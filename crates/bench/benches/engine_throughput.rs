@@ -1,0 +1,56 @@
+//! End-to-end engine throughput: full parse → (JITS) → optimize → execute
+//! round trips under each statistics setting. This is the per-query latency
+//! the paper's elapsed-time measurements are built from.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use jits::JitsConfig;
+use jits_workload::{prepare, setup_database, DataGenConfig, Setting};
+
+const QUERY: &str = "SELECT COUNT(*) FROM car c, owner o \
+    WHERE c.ownerid = o.id AND make = 'Toyota' AND model = 'Camry' AND salary > 40000";
+
+fn bench_settings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_query_roundtrip");
+    for (label, setting) in [
+        ("general_stats", Setting::GeneralStats),
+        ("jits", Setting::Jits(JitsConfig::default())),
+        (
+            "jits_always_collect",
+            Setting::Jits(JitsConfig {
+                s_max: 0.0,
+                ..JitsConfig::default()
+            }),
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &setting, |b, s| {
+            let mut db = setup_database(&DataGenConfig {
+                scale: 0.002,
+                seed: 1,
+            })
+            .unwrap();
+            prepare(&mut db, s, &[]).unwrap();
+            b.iter(|| black_box(db.execute(QUERY).unwrap().rows.len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dml(c: &mut Criterion) {
+    let mut db = setup_database(&DataGenConfig {
+        scale: 0.002,
+        seed: 1,
+    })
+    .unwrap();
+    prepare(&mut db, &Setting::GeneralStats, &[]).unwrap();
+    let mut i = 10_000_000i64;
+    c.bench_function("engine_insert_row", |b| {
+        b.iter(|| {
+            i += 1;
+            let sql = format!("INSERT INTO owner VALUES ({i}, 'bench{i}', 44, 52000)");
+            black_box(db.execute(&sql).unwrap().metrics.result_rows)
+        })
+    });
+}
+
+criterion_group!(benches, bench_settings, bench_dml);
+criterion_main!(benches);

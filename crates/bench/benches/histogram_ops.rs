@@ -1,0 +1,85 @@
+//! Microbenchmarks of the histogram substrate: equi-depth construction,
+//! max-entropy observation application, and selectivity lookups — the inner
+//! loops of both RUNSTATS and the QSS archive.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use jits_common::SplitMix64;
+use jits_histogram::{EquiDepth, GridHistogram, Region};
+
+fn bench_equidepth_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equidepth_build");
+    for n in [1_000usize, 10_000, 100_000] {
+        let mut rng = SplitMix64::new(1);
+        let values: Vec<f64> = (0..n).map(|_| rng.next_f64() * 1e6).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, v| {
+            b.iter(|| EquiDepth::build(black_box(v.clone()), 20))
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid_observation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_apply_observation");
+    for dims in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(dims), &dims, |b, &dims| {
+            let frame = Region::new(vec![(0.0, 1000.0); dims]);
+            let mut rng = SplitMix64::new(7);
+            b.iter(|| {
+                let mut h = GridHistogram::new(&frame, 100_000.0, 0);
+                for t in 0..16u64 {
+                    let lo = rng.next_f64() * 900.0;
+                    let mut ranges = vec![(f64::NEG_INFINITY, f64::INFINITY); dims];
+                    ranges[t as usize % dims] = (lo, lo + 100.0);
+                    h.apply_observation(
+                        &Region::new(ranges),
+                        rng.next_f64() * 100_000.0,
+                        100_000.0,
+                        t,
+                    );
+                }
+                black_box(h.n_buckets())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid_selectivity(c: &mut Criterion) {
+    // a well-refined 2-D histogram
+    let frame = Region::new(vec![(0.0, 1000.0), (0.0, 1000.0)]);
+    let mut h = GridHistogram::new(&frame, 100_000.0, 0);
+    let mut rng = SplitMix64::new(3);
+    for t in 0..24u64 {
+        let (a, b) = (rng.next_f64() * 900.0, rng.next_f64() * 900.0);
+        h.apply_observation(
+            &Region::new(vec![(a, a + 100.0), (b, b + 100.0)]),
+            rng.next_f64() * 50_000.0,
+            100_000.0,
+            t,
+        );
+    }
+    c.bench_function("grid_selectivity_2d", |b| {
+        b.iter(|| {
+            let q = Region::new(vec![(250.0, 750.0), (100.0, 900.0)]);
+            black_box(h.selectivity(&q))
+        })
+    });
+}
+
+fn bench_equidepth_estimate(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(5);
+    let values: Vec<f64> = (0..100_000).map(|_| rng.next_f64() * 1e6).collect();
+    let h = EquiDepth::build(values, 20);
+    c.bench_function("equidepth_estimate_range", |b| {
+        b.iter(|| black_box(h.estimate_range(2e5, 7e5)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_equidepth_build,
+    bench_grid_observation,
+    bench_grid_selectivity,
+    bench_equidepth_estimate
+);
+criterion_main!(benches);

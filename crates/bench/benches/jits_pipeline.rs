@@ -1,0 +1,167 @@
+//! Microbenchmarks of the JITS compile-time pipeline stages: Algorithm 1
+//! (query analysis), Algorithms 2–4 (sensitivity analysis), and sampling
+//! collection — the per-query overhead JITS adds to compilation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use jits::{
+    collect_for_tables, query_analysis, sensitivity_analysis, JitsConfig, PredicateCache,
+    QssArchive, StatHistory,
+};
+use jits_common::SplitMix64;
+use jits_query::{bind_statement, parse, BoundStatement, QueryBlock};
+use jits_storage::SampleSpec;
+use jits_workload::{setup_database, DataGenConfig};
+
+const PAPER_QUERY: &str = "SELECT o.name, driver, damage \
+    FROM car as c, accidents as a, demographics as d, owner as o \
+    WHERE d.ownerid = o.id AND a.carid = c.id AND c.ownerid = o.id \
+    AND make = 'Toyota' AND model = 'Camry' AND city = 'Ottawa' \
+    AND country = 'CA' AND salary > 5000";
+
+fn block_of(db: &jits_engine::Database, sql: &str) -> QueryBlock {
+    let BoundStatement::Select(block) = bind_statement(&parse(sql).unwrap(), db.catalog()).unwrap()
+    else {
+        panic!("expected SELECT")
+    };
+    block
+}
+
+fn bench_query_analysis(c: &mut Criterion) {
+    let db = setup_database(&DataGenConfig {
+        scale: 0.001,
+        seed: 1,
+    })
+    .unwrap();
+    let block = block_of(&db, PAPER_QUERY);
+    c.bench_function("query_analysis_paper_query", |b| {
+        b.iter(|| black_box(query_analysis(&block, 6)).len())
+    });
+    // wide predicate set (8 predicates on one table)
+    let wide = block_of(
+        &db,
+        "SELECT COUNT(*) FROM car WHERE make = 'a' AND model = 'b' AND year > 1 \
+         AND year < 9 AND price > 0 AND price < 1000000 AND id > 0 AND id < 100",
+    );
+    c.bench_function("query_analysis_wide_capped", |b| {
+        b.iter(|| black_box(query_analysis(&wide, 6)).len())
+    });
+}
+
+fn bench_sensitivity(c: &mut Criterion) {
+    let db = setup_database(&DataGenConfig {
+        scale: 0.002,
+        seed: 1,
+    })
+    .unwrap();
+    let block = block_of(&db, PAPER_QUERY);
+    let candidates = query_analysis(&block, 6);
+    let history = StatHistory::new();
+    let archive = QssArchive::default();
+    let cache = PredicateCache::default();
+    let cfg = JitsConfig::default();
+    c.bench_function("sensitivity_analysis_cold", |b| {
+        b.iter(|| {
+            // a cold history forces the full scoring path for all 4 tables
+            black_box(sensitivity_analysis(
+                &block,
+                &candidates,
+                &history,
+                &archive,
+                &cache,
+                db.catalog(),
+                db.tables(),
+                &cfg,
+            ))
+        })
+    });
+}
+
+fn bench_collection(c: &mut Criterion) {
+    let db = setup_database(&DataGenConfig {
+        scale: 0.005,
+        seed: 1,
+    })
+    .unwrap();
+    let block = block_of(&db, PAPER_QUERY);
+    let candidates = query_analysis(&block, 6);
+    let mut group = c.benchmark_group("collect_for_tables");
+    for sample in [500usize, 2_000, 8_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(sample), &sample, |b, &n| {
+            let mut rng = SplitMix64::new(9);
+            b.iter(|| {
+                black_box(collect_for_tables(
+                    &block,
+                    &[0, 1, 2, 3],
+                    &candidates,
+                    db.tables(),
+                    SampleSpec::fixed(n),
+                    &mut rng,
+                ))
+                .groups
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_query_analysis,
+    bench_sensitivity,
+    bench_collection,
+    bench_strategies,
+    bench_predicate_cache
+);
+criterion_main!(benches);
+
+fn bench_strategies(c: &mut Criterion) {
+    use jits::{EpsilonConfig, SensitivityStrategy};
+    use jits_workload::{prepare, Setting};
+    let mut group = c.benchmark_group("sensitivity_strategy_roundtrip");
+    for (label, strategy) in [
+        ("paper_heuristic", SensitivityStrategy::PaperHeuristic),
+        (
+            "epsilon_planning",
+            SensitivityStrategy::EpsilonPlanning(EpsilonConfig::default()),
+        ),
+    ] {
+        group.bench_function(label, |b| {
+            let mut db = setup_database(&DataGenConfig {
+                scale: 0.002,
+                seed: 1,
+            })
+            .unwrap();
+            prepare(
+                &mut db,
+                &Setting::Jits(JitsConfig {
+                    strategy: strategy.clone(),
+                    ..JitsConfig::default()
+                }),
+                &[],
+            )
+            .unwrap();
+            b.iter(|| black_box(db.execute(PAPER_QUERY).unwrap().metrics.compile_work))
+        });
+    }
+    group.finish();
+}
+
+fn bench_predicate_cache(c: &mut Criterion) {
+    use jits::PredicateCache;
+    use jits_common::TableId;
+    let mut cache = PredicateCache::new(256);
+    for i in 0..256u64 {
+        cache.insert(TableId(0), format!("fp{i}"), 0.5, i);
+    }
+    c.bench_function("predicate_cache_hit", |b| {
+        b.iter(|| black_box(cache.get(TableId(0), "fp128").is_some()))
+    });
+    c.bench_function("predicate_cache_insert_evict", |b| {
+        let mut i = 1000u64;
+        b.iter(|| {
+            i += 1;
+            cache.insert(TableId(0), format!("fp{i}"), 0.5, i);
+        })
+    });
+}

@@ -1,0 +1,72 @@
+//! Microbenchmarks of the optimizer: dynamic-programming enumeration cost
+//! for increasing join widths and under different statistics providers.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use jits_optimizer::{
+    optimize, CardinalityEstimator, CatalogStatisticsProvider, CostModel, DefaultSelectivities,
+    NoStatisticsProvider,
+};
+use jits_query::{bind_statement, parse, BoundStatement, QueryBlock};
+use jits_workload::{prepare, setup_database, DataGenConfig, Setting};
+
+const QUERIES: [(&str, &str); 3] = [
+    (
+        "2way",
+        "SELECT COUNT(*) FROM car c, owner o WHERE c.ownerid = o.id AND make = 'Toyota'",
+    ),
+    (
+        "3way",
+        "SELECT COUNT(*) FROM car c, owner o, demographics d \
+         WHERE c.ownerid = o.id AND d.ownerid = o.id \
+         AND make = 'Toyota' AND city = 'Ottawa'",
+    ),
+    (
+        "4way",
+        "SELECT o.name, driver, damage \
+         FROM car as c, accidents as a, demographics as d, owner as o \
+         WHERE d.ownerid = o.id AND a.carid = c.id AND c.ownerid = o.id \
+         AND make = 'Toyota' AND model = 'Camry' AND city = 'Ottawa' \
+         AND country = 'CA' AND salary > 5000",
+    ),
+];
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut db = setup_database(&DataGenConfig {
+        scale: 0.002,
+        seed: 1,
+    })
+    .unwrap();
+    prepare(&mut db, &Setting::GeneralStats, &[]).unwrap();
+    let cost = CostModel::default();
+
+    let mut group = c.benchmark_group("optimize_catalog_stats");
+    for (label, sql) in QUERIES {
+        let BoundStatement::Select(block) =
+            bind_statement(&parse(sql).unwrap(), db.catalog()).unwrap()
+        else {
+            panic!()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &block, |b, blk| {
+            let provider = CatalogStatisticsProvider::new(db.catalog());
+            let est = CardinalityEstimator::new(&provider, DefaultSelectivities::default());
+            b.iter(|| black_box(optimize(blk, &est, &cost, db.catalog()).unwrap()).est())
+        });
+    }
+    group.finish();
+
+    // no statistics: the estimator's decomposition path dominates
+    let BoundStatement::Select(block4) =
+        bind_statement(&parse(QUERIES[2].1).unwrap(), db.catalog()).unwrap()
+    else {
+        panic!()
+    };
+    c.bench_function("optimize_no_stats_4way", |b| {
+        let provider = NoStatisticsProvider;
+        let est = CardinalityEstimator::new(&provider, DefaultSelectivities::default());
+        b.iter(|| black_box(optimize(&block4, &est, &cost, db.catalog()).unwrap()).est())
+    });
+    let _: &QueryBlock = &block4;
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

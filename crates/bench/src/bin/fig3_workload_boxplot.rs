@@ -1,0 +1,58 @@
+//! Figure 3 — box plot of per-query elapsed time over the 840-operation
+//! workload in the four settings of §4.2.
+//!
+//! Prints the five-number summary (smallest observation, lower quartile,
+//! median, upper quartile, largest observation) of simulated per-query
+//! total seconds, per setting, plus the workload totals.
+
+use jits::JitsConfig;
+use jits_bench::{print_markdown_table, query_sim_totals, secs, BenchArgs};
+use jits_workload::{boxplot, generate_workload, prepare, run_workload, setup_database, Setting};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let ops = generate_workload(&args.workload(), &args.datagen());
+    println!(
+        "## Figure 3 — workload box plot ({} ops, scale {})\n",
+        ops.len(),
+        args.scale
+    );
+
+    let mut rows = Vec::new();
+    for setting in [
+        Setting::NoStats,
+        Setting::GeneralStats,
+        Setting::WorkloadStats,
+        Setting::Jits(JitsConfig::default()),
+    ] {
+        let mut db = setup_database(&args.datagen()).expect("database builds");
+        prepare(&mut db, &setting, &ops).expect("prepare");
+        let records = run_workload(&mut db, &ops).expect("workload runs");
+        let totals = query_sim_totals(&records);
+        let b = boxplot(&totals).expect("non-empty");
+        let sum: f64 = totals.iter().sum();
+        rows.push(vec![
+            setting.label(),
+            secs(b.min),
+            secs(b.q1),
+            secs(b.median),
+            secs(b.q3),
+            secs(b.max),
+            secs(sum),
+        ]);
+    }
+    print_markdown_table(
+        &[
+            "setting",
+            "min (sim s)",
+            "Q1",
+            "median",
+            "Q3",
+            "max",
+            "workload total",
+        ],
+        &rows,
+    );
+    println!("\npaper shape: no-stats worst; general stats a slight benefit;");
+    println!("workload stats better; JITS best overall despite collection overhead.");
+}

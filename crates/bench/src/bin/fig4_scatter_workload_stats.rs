@@ -1,0 +1,100 @@
+//! Figure 4 — scatter of per-query elapsed time: JITS (enabled, no prior
+//! statistics) on the y-axis vs. the workload-statistics setting on the
+//! x-axis. Points above the diagonal are degradations, below are
+//! improvements.
+//!
+//! Prints the improvement/degradation tallies, summary statistics, and the
+//! scatter points as CSV (`--points` to include all of them).
+
+use jits::JitsConfig;
+use jits_bench::{query_sim_totals, secs, BenchArgs};
+use jits_workload::{generate_workload, prepare, run_workload, setup_database, Setting};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let show_points = std::env::args().any(|a| a == "--points");
+    let ops = generate_workload(&args.workload(), &args.datagen());
+    println!(
+        "## Figure 4 — per-query scatter: workload stats (x) vs JITS (y), {} ops, scale {}\n",
+        ops.len(),
+        args.scale
+    );
+
+    let run = |setting: &Setting| {
+        let mut db = setup_database(&args.datagen()).expect("database builds");
+        prepare(&mut db, setting, &ops).expect("prepare");
+        query_sim_totals(&run_workload(&mut db, &ops).expect("workload runs"))
+    };
+    let xs = run(&Setting::WorkloadStats);
+    let ys = run(&Setting::Jits(JitsConfig::default()));
+    assert_eq!(xs.len(), ys.len());
+
+    scatter_report(&xs, &ys, show_points);
+    println!("\npaper shape: early queries pay JITS collection overhead; as updates");
+    println!("stale the pre-collected statistics, the cloud shifts below the diagonal.");
+}
+
+/// Shared scatter summary used by Figures 4 and 5.
+pub fn scatter_report(xs: &[f64], ys: &[f64], show_points: bool) {
+    let n = xs.len();
+    let improved = xs.iter().zip(ys).filter(|(x, y)| y < x).count();
+    let degraded = xs.iter().zip(ys).filter(|(x, y)| y > x).count();
+    let sum_x: f64 = xs.iter().sum();
+    let sum_y: f64 = ys.iter().sum();
+    println!("queries: {n}");
+    println!(
+        "improvement region (y < x): {improved} ({:.0}%)",
+        100.0 * improved as f64 / n as f64
+    );
+    println!(
+        "degradation region (y > x): {degraded} ({:.0}%)",
+        100.0 * degraded as f64 / n as f64
+    );
+    println!(
+        "baseline total: {} sim s; JITS total: {} sim s",
+        secs(sum_x),
+        secs(sum_y)
+    );
+    let gain: f64 = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, y)| *y < *x)
+        .map(|(x, y)| x - y)
+        .sum();
+    let loss: f64 = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, y)| *y > *x)
+        .map(|(x, y)| y - x)
+        .sum();
+    println!(
+        "total improvement: {} sim s; total degradation: {} sim s (ratio {:.1}x)",
+        secs(gain),
+        secs(loss),
+        gain / loss.max(1e-12)
+    );
+    // first/second half split shows the staleness dynamic
+    let half = n / 2;
+    let fx: f64 = xs[..half].iter().sum();
+    let fy: f64 = ys[..half].iter().sum();
+    let sx: f64 = xs[half..].iter().sum();
+    let sy: f64 = ys[half..].iter().sum();
+    println!(
+        "first half:  baseline {} vs JITS {} (ratio {:.2})",
+        secs(fx),
+        secs(fy),
+        fy / fx.max(1e-12)
+    );
+    println!(
+        "second half: baseline {} vs JITS {} (ratio {:.2})",
+        secs(sx),
+        secs(sy),
+        sy / sx.max(1e-12)
+    );
+    let shown = if show_points { n } else { 20.min(n) };
+    println!("\nscatter points (x = baseline sim s, y = JITS sim s), first {shown}:");
+    println!("x,y");
+    for (x, y) in xs.iter().zip(ys).take(shown) {
+        println!("{x:.5},{y:.5}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Table 2 — evaluation table sizes.
+//!
+//! Prints the paper's row counts next to the generated counts at the chosen
+//! scale, verifying the generator hits the target sizes exactly.
+
+use jits_bench::{print_markdown_table, BenchArgs};
+use jits_workload::{paper_row_counts, setup_database, TABLE_NAMES};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let db = setup_database(&args.datagen()).expect("database builds");
+    println!("## Table 2 — table sizes (scale {})\n", args.scale);
+    let rows: Vec<Vec<String>> = TABLE_NAMES
+        .iter()
+        .zip(paper_row_counts())
+        .map(|(name, (_, paper))| {
+            let tid = db.table_id(name).expect("table exists");
+            let actual = db.table(tid).unwrap().row_count();
+            let expected = ((paper as f64) * args.scale).round() as usize;
+            vec![
+                name.to_uppercase(),
+                paper.to_string(),
+                expected.to_string(),
+                actual.to_string(),
+                if actual == expected {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+            ]
+        })
+        .collect();
+    print_markdown_table(
+        &["table", "paper rows", "scaled target", "generated", "match"],
+        &rows,
+    );
+}

@@ -1,0 +1,133 @@
+//! Shared plumbing for the experiment harness binaries.
+//!
+//! Every binary reproduces one table or figure from the paper's evaluation
+//! (§4). They print Markdown so their output can be pasted straight into
+//! `EXPERIMENTS.md`. All binaries accept:
+//!
+//! ```text
+//! --scale <f64>   fraction of the paper's Table 2 row counts (default 0.01)
+//! --ops <usize>   workload length (default 840, the paper's)
+//! --seed <u64>    master seed (default: the workspace seed)
+//! ```
+
+use jits_engine::QueryMetrics;
+use jits_workload::{DataGenConfig, RunRecord, WorkloadSpec};
+
+/// Parsed common command-line arguments.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchArgs {
+    /// Data scale (fraction of the paper's row counts).
+    pub scale: f64,
+    /// Workload operation count.
+    pub ops: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl BenchArgs {
+    /// Parses `--scale`, `--ops` and `--seed` from `std::env::args`.
+    pub fn parse() -> Self {
+        let mut args = BenchArgs {
+            scale: 0.01,
+            ops: 840,
+            seed: 0x2007_1CDE,
+        };
+        let argv: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i + 1 < argv.len() {
+            match argv[i].as_str() {
+                "--scale" => args.scale = argv[i + 1].parse().expect("bad --scale"),
+                "--ops" => args.ops = argv[i + 1].parse().expect("bad --ops"),
+                "--seed" => args.seed = argv[i + 1].parse().expect("bad --seed"),
+                other => panic!("unknown argument {other}"),
+            }
+            i += 2;
+        }
+        args
+    }
+
+    /// The datagen configuration for these arguments.
+    pub fn datagen(&self) -> DataGenConfig {
+        DataGenConfig {
+            scale: self.scale,
+            seed: self.seed,
+        }
+    }
+
+    /// The workload specification for these arguments.
+    pub fn workload(&self) -> WorkloadSpec {
+        WorkloadSpec {
+            total_ops: self.ops,
+            dml_every: 12,
+            seed: self.seed ^ 0x77,
+        }
+    }
+}
+
+/// Simulated total seconds of one query (compile + execute, work-unit
+/// based, machine-independent).
+pub fn sim_total(m: &QueryMetrics) -> f64 {
+    m.total_sim()
+}
+
+/// Per-query simulated total seconds for the read queries of a run.
+pub fn query_sim_totals(records: &[RunRecord]) -> Vec<f64> {
+    records
+        .iter()
+        .filter(|r| r.is_query)
+        .map(|r| sim_total(&r.metrics))
+        .collect()
+}
+
+/// Prints a Markdown table.
+pub fn print_markdown_table(headers: &[&str], rows: &[Vec<String>]) {
+    println!("| {} |", headers.join(" | "));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Formats seconds with 3 significant decimals.
+pub fn secs(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args() {
+        let a = BenchArgs {
+            scale: 0.01,
+            ops: 840,
+            seed: 1,
+        };
+        assert_eq!(a.datagen().scale, 0.01);
+        assert_eq!(a.workload().total_ops, 840);
+    }
+
+    #[test]
+    fn sim_totals_filter_queries() {
+        let mk = |is_query: bool, work: f64| RunRecord {
+            index: 0,
+            is_query,
+            metrics: QueryMetrics {
+                exec_work: work,
+                ..QueryMetrics::default()
+            },
+        };
+        let records = vec![
+            mk(true, 250_000.0),
+            mk(false, 250_000.0),
+            mk(true, 500_000.0),
+        ];
+        let totals = query_sim_totals(&records);
+        assert_eq!(totals.len(), 2);
+        assert!(totals[1] > totals[0]);
+    }
+}

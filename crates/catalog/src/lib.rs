@@ -1,0 +1,20 @@
+//! System catalog: table metadata and *general statistics*.
+//!
+//! This is the part of a traditional DBMS the JITS paper contrasts itself
+//! with: the catalog stores per-table and per-column statistics collected by
+//! a RUNSTATS-style utility ([`runstats::runstats`]) — row counts, min/max, distinct
+//! counts, frequent values, and one-dimensional equi-depth histograms.
+//! These are the statistics the optimizer falls back on (with uniformity and
+//! independence assumptions) when no query-specific statistics exist.
+//!
+//! The catalog also records *when* statistics were collected (a logical
+//! clock), which — together with the storage layer's UDI counters — lets the
+//! JITS sensitivity analysis judge staleness.
+
+pub mod catalog;
+pub mod runstats;
+pub mod stats;
+
+pub use catalog::{Catalog, CatalogTable};
+pub use runstats::{runstats, runstats_cost, RunstatsOptions};
+pub use stats::{ColumnStats, TableStats};

@@ -1,0 +1,160 @@
+//! `jits-sql` — an interactive SQL shell over the JITS engine.
+//!
+//! ```sh
+//! cargo run --release -p jits-cli [-- --scale 0.002]
+//! ```
+//!
+//! Boots the paper's car-insurance database and reads statements from stdin.
+//! Besides SQL (`SELECT`/`INSERT`/`UPDATE`/`DELETE`/`EXPLAIN ...`), the
+//! shell understands:
+//!
+//! ```text
+//! \setting no-stats | general | workload | jits [s_max]
+//! \runstats           collect general statistics on all tables
+//! \migrate            fold 1-D QSS histograms into the catalog
+//! \stats              show archive / history / catalog status
+//! \help, \quit
+//! ```
+
+use jits::JitsConfig;
+use jits_engine::{Database, StatsSetting};
+use jits_workload::{create_schema, populate, DataGenConfig};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut scale = 0.002f64;
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--scale") {
+        scale = args
+            .get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(scale);
+    }
+    eprintln!("loading the car-insurance database at scale {scale} ...");
+    let cfg = DataGenConfig {
+        scale,
+        ..DataGenConfig::default()
+    };
+    let mut db = Database::new(cfg.seed);
+    create_schema(&mut db).expect("schema");
+    let counts = populate(&mut db, &cfg).expect("populate");
+    db.set_setting(StatsSetting::Jits(JitsConfig::default()));
+    eprintln!(
+        "tables: car={} owner={} demographics={} accidents={} (JITS enabled; \\help for commands)",
+        counts[0], counts[1], counts[2], counts[3]
+    );
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        eprint!("jits> ");
+        let _ = std::io::stderr().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(cmd) = line.strip_prefix('\\') {
+            if !meta_command(&mut db, cmd) {
+                break;
+            }
+            continue;
+        }
+        match db.execute(line) {
+            Ok(result) => {
+                let shown = result.rows.len().min(40);
+                for row in result.rows.iter().take(shown) {
+                    let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                    let _ = writeln!(out, "{}", cells.join(" | "));
+                }
+                if result.rows.len() > shown {
+                    let _ = writeln!(out, "... ({} rows total)", result.rows.len());
+                }
+                let m = &result.metrics;
+                eprintln!(
+                    "-- {} rows, compile {:.2} ms (work {:.0}), exec {:.2} ms (work {:.0}), sampled {} table(s)",
+                    result.rows.len(),
+                    m.compile_wall.as_secs_f64() * 1e3,
+                    m.compile_work,
+                    m.exec_wall.as_secs_f64() * 1e3,
+                    m.exec_work,
+                    m.sampled_tables,
+                );
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}
+
+/// Handles a `\...` meta command; returns false to quit.
+fn meta_command(db: &mut Database, cmd: &str) -> bool {
+    let parts: Vec<&str> = cmd.split_whitespace().collect();
+    match parts.first().copied() {
+        Some("q") | Some("quit") | Some("exit") => return false,
+        Some("help") => {
+            eprintln!("SQL: SELECT / INSERT / UPDATE / DELETE / EXPLAIN SELECT ...");
+            eprintln!("\\setting no-stats|general|workload|jits [s_max]");
+            eprintln!("\\runstats   \\migrate   \\stats   \\quit");
+        }
+        Some("runstats") => match db.runstats_all() {
+            Ok(()) => eprintln!("general statistics collected on all tables"),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        Some("migrate") => {
+            let n = db.migrate_statistics();
+            eprintln!("migrated {n} one-dimensional histogram(s) into the catalog");
+        }
+        Some("stats") => {
+            eprintln!(
+                "archive: {} histogram(s), {} bucket(s); history: {} entr(ies); clock {}",
+                db.archive().len(),
+                db.archive().total_buckets(),
+                db.history().len(),
+                db.clock()
+            );
+        }
+        Some("setting") => {
+            let setting = match parts.get(1).copied() {
+                Some("no-stats") => Some(StatsSetting::NoStatistics),
+                Some("general") => Some(StatsSetting::CatalogOnly),
+                Some("workload") => Some(StatsSetting::ArchiveReadOnly),
+                Some("jits") => {
+                    let s_max = parts
+                        .get(2)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(JitsConfig::default().s_max);
+                    Some(StatsSetting::Jits(JitsConfig {
+                        s_max,
+                        ..JitsConfig::default()
+                    }))
+                }
+                other => {
+                    eprintln!("unknown setting {other:?} (no-stats|general|workload|jits)");
+                    None
+                }
+            };
+            if let Some(s) = setting {
+                let needs_runstats = matches!(s, StatsSetting::CatalogOnly)
+                    && db
+                        .table_id("car")
+                        .and_then(|t| db.catalog().row_count(t))
+                        .is_none();
+                eprintln!("setting -> {}", s.label());
+                if needs_runstats {
+                    eprintln!("(catalog is empty — run \\runstats to collect general statistics)");
+                }
+                db.set_setting(s);
+            }
+        }
+        other => eprintln!("unknown command {other:?} (try \\help)"),
+    }
+    true
+}

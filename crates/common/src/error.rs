@@ -1,0 +1,74 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, JitsError>;
+
+/// Errors surfaced by any layer of the engine.
+///
+/// A single enum keeps error plumbing simple across the crate graph; each
+/// variant carries a human-readable message with enough context to diagnose
+/// the failure without a backtrace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JitsError {
+    /// SQL text failed to lex or parse.
+    Parse(String),
+    /// A name in a query did not resolve against the catalog.
+    Binding(String),
+    /// A value was used with an incompatible type.
+    TypeMismatch(String),
+    /// A table, column, or index was not found.
+    NotFound(String),
+    /// An object already exists (e.g. `CREATE TABLE` duplicate).
+    AlreadyExists(String),
+    /// The optimizer could not produce a plan.
+    Plan(String),
+    /// A runtime failure during execution.
+    Execution(String),
+    /// An invalid argument or internal invariant violation.
+    Internal(String),
+}
+
+impl JitsError {
+    /// Shorthand constructor for [`JitsError::Internal`].
+    pub fn internal(msg: impl Into<String>) -> Self {
+        JitsError::Internal(msg.into())
+    }
+}
+
+impl fmt::Display for JitsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JitsError::Parse(m) => write!(f, "parse error: {m}"),
+            JitsError::Binding(m) => write!(f, "binding error: {m}"),
+            JitsError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            JitsError::NotFound(m) => write!(f, "not found: {m}"),
+            JitsError::AlreadyExists(m) => write!(f, "already exists: {m}"),
+            JitsError::Plan(m) => write!(f, "planning error: {m}"),
+            JitsError::Execution(m) => write!(f, "execution error: {m}"),
+            JitsError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JitsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = JitsError::NotFound("table CAR".into());
+        assert_eq!(e.to_string(), "not found: table CAR");
+        let e = JitsError::internal("boom");
+        assert_eq!(e.to_string(), "internal error: boom");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(JitsError::Parse("x".into()), JitsError::Parse("x".into()));
+        assert_ne!(JitsError::Parse("x".into()), JitsError::Binding("x".into()));
+    }
+}

@@ -1,0 +1,29 @@
+//! Shared substrate for the JITS engine.
+//!
+//! This crate hosts the vocabulary types used by every other crate in the
+//! workspace: typed [`Value`]s, [`Schema`] descriptions, identifier newtypes,
+//! numeric [`Interval`] constraints, canonical [`ColGroup`] column-group
+//! identities (the unit of statistics in the JITS paper), error types, and a
+//! small dependency-free deterministic RNG used wherever reproducibility
+//! matters.
+//!
+//! [`Value`]: value::Value
+//! [`Schema`]: schema::Schema
+//! [`Interval`]: interval::Interval
+//! [`ColGroup`]: colgroup::ColGroup
+
+pub mod colgroup;
+pub mod error;
+pub mod ids;
+pub mod interval;
+pub mod rng;
+pub mod schema;
+pub mod value;
+
+pub use colgroup::ColGroup;
+pub use error::{JitsError, Result};
+pub use ids::{ColumnId, TableId};
+pub use interval::{Bound, Interval};
+pub use rng::SplitMix64;
+pub use schema::{ColumnDef, Schema};
+pub use value::{DataType, Value};

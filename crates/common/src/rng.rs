@@ -1,0 +1,188 @@
+//! Dependency-free deterministic RNG.
+//!
+//! SplitMix64 (Steele, Lea & Flood 2014): tiny state, full 64-bit period per
+//! stream, excellent statistical quality for the engine's needs (sampling,
+//! synthetic data generation, test shuffling). Being dependency-free keeps
+//! `jits-common` at the bottom of the crate graph; crates that need the
+//! richer `rand` distributions layer it on top of seeds drawn from here.
+
+/// SplitMix64 pseudo-random generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds yield equal streams on
+    /// every platform.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits -> uniform double in [0,1)
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be non-zero.
+    pub fn next_bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "bound must be positive");
+        // Lemire's multiply-shift rejection method (unbiased).
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= low.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform usize index in `[0, len)`. `len` must be non-zero.
+    pub fn next_index(&mut self, len: usize) -> usize {
+        self.next_bounded(len as u64) as usize
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Derives an independent child stream (for giving each table/worker its
+    /// own generator without correlated sequences).
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64() ^ 0xA5A5_A5A5_DEAD_BEEF)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Reservoir-samples `k` items from an iterator of unknown length,
+    /// uniformly without replacement.
+    pub fn reservoir_sample<T, I: IntoIterator<Item = T>>(&mut self, iter: I, k: usize) -> Vec<T> {
+        let mut out: Vec<T> = Vec::with_capacity(k);
+        if k == 0 {
+            return out;
+        }
+        for (seen, item) in iter.into_iter().enumerate() {
+            if out.len() < k {
+                out.push(item);
+            } else {
+                let j = self.next_bounded((seen + 1) as u64) as usize;
+                if j < k {
+                    out[j] = item;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bounded_is_roughly_uniform() {
+        let mut r = SplitMix64::new(9);
+        let mut counts = [0u32; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[r.next_bounded(10) as usize] += 1;
+        }
+        for &c in &counts {
+            // each bin expects 10_000; allow 5% deviation
+            assert!((9_500..10_500).contains(&c), "bin count {c}");
+        }
+    }
+
+    #[test]
+    fn reservoir_sample_size_and_membership() {
+        let mut r = SplitMix64::new(3);
+        let s = r.reservoir_sample(0..1000, 50);
+        assert_eq!(s.len(), 50);
+        assert!(s.iter().all(|&x| x < 1000));
+        // sampling more than available returns everything
+        let s = r.reservoir_sample(0..10, 50);
+        assert_eq!(s.len(), 10);
+        let s: Vec<i32> = r.reservoir_sample(0..10, 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn reservoir_sample_is_unbiased() {
+        // item 0 of 0..100 should appear in a k=10 sample ~10% of the time
+        let mut hits = 0;
+        for seed in 0..2000u64 {
+            let mut r = SplitMix64::new(seed);
+            if r.reservoir_sample(0..100, 10).contains(&0) {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / 2000.0;
+        assert!((0.07..0.13).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        let mut r = SplitMix64::new(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle should permute");
+    }
+
+    proptest! {
+        #[test]
+        fn bounded_respects_bound(seed in any::<u64>(), bound in 1u64..1_000_000) {
+            let mut r = SplitMix64::new(seed);
+            for _ in 0..20 {
+                prop_assert!(r.next_bounded(bound) < bound);
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! The database engine facade.
+//!
+//! [`Database`] owns the storage tables, the catalog, the QSS archive and
+//! the StatHistory, and wires the full query path:
+//!
+//! ```text
+//! SQL → parse → bind → [JITS: analyze → sensitivity → sample → archive]
+//!     → optimize (provider = defaults | catalog | JITS layers)
+//!     → execute (work counters + cardinality observations)
+//!     → feedback (StatHistory)
+//! ```
+//!
+//! Each query returns [`QueryMetrics`] carrying wall-clock *and* simulated
+//! (cost-unit) compile/execution times — the quantities every experiment in
+//! the paper's evaluation section reports.
+
+pub mod database;
+pub mod metrics;
+pub mod settings;
+
+pub use database::{Database, QueryResult};
+pub use metrics::QueryMetrics;
+pub use settings::StatsSetting;

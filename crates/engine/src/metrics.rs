@@ -1,0 +1,77 @@
+//! Per-query timing and diagnostics.
+
+use jits::TableScore;
+use jits_optimizer::PlanSummary;
+use std::time::Duration;
+
+/// The rate converting cost-model work units into simulated seconds.
+///
+/// Calibrated so the single-query experiment at default scale lands in the
+/// same order of magnitude as the paper's DB2 numbers (seconds); all
+/// experiment *shapes* are rate-invariant.
+pub const WORK_UNITS_PER_SIM_SECOND: f64 = 250_000.0;
+
+/// Everything measured about one statement.
+#[derive(Debug, Clone, Default)]
+pub struct QueryMetrics {
+    /// Wall-clock compilation time (parse + bind + JITS + optimize).
+    pub compile_wall: Duration,
+    /// Wall-clock execution time.
+    pub exec_wall: Duration,
+    /// Compile-side work in cost-model units (JITS sampling).
+    pub compile_work: f64,
+    /// Execution work in cost-model units.
+    pub exec_work: f64,
+    /// Chosen plan (empty for DML).
+    pub plan: Option<PlanSummary>,
+    /// Result rows returned (or rows affected, for DML).
+    pub result_rows: usize,
+    /// Tables JITS sampled for this query.
+    pub sampled_tables: usize,
+    /// Predicate groups materialized into the QSS archive.
+    pub materialized_groups: usize,
+    /// Sensitivity-analysis diagnostics.
+    pub table_scores: Vec<TableScore>,
+}
+
+impl QueryMetrics {
+    /// Total wall-clock time.
+    pub fn total_wall(&self) -> Duration {
+        self.compile_wall + self.exec_wall
+    }
+
+    /// Simulated compilation seconds (work-unit based, machine-independent).
+    pub fn compile_sim(&self) -> f64 {
+        self.compile_work / WORK_UNITS_PER_SIM_SECOND
+    }
+
+    /// Simulated execution seconds.
+    pub fn exec_sim(&self) -> f64 {
+        self.exec_work / WORK_UNITS_PER_SIM_SECOND
+    }
+
+    /// Simulated total seconds.
+    pub fn total_sim(&self) -> f64 {
+        self.compile_sim() + self.exec_sim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_times() {
+        let m = QueryMetrics {
+            compile_wall: Duration::from_millis(10),
+            exec_wall: Duration::from_millis(30),
+            compile_work: 250_000.0,
+            exec_work: 500_000.0,
+            ..QueryMetrics::default()
+        };
+        assert_eq!(m.total_wall(), Duration::from_millis(40));
+        assert!((m.compile_sim() - 1.0).abs() < 1e-12);
+        assert!((m.exec_sim() - 2.0).abs() < 1e-12);
+        assert!((m.total_sim() - 3.0).abs() < 1e-12);
+    }
+}

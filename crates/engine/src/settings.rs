@@ -1,0 +1,71 @@
+//! Statistics settings — the experiment knob of the paper's evaluation.
+
+use jits::JitsConfig;
+
+/// How the optimizer gets its statistics for a session. These map directly
+/// onto the four settings of the paper's §4.2 workload experiment:
+///
+/// | Paper setting                          | This enum                     |
+/// |----------------------------------------|-------------------------------|
+/// | JITS disabled, no initial statistics   | `NoStatistics`                |
+/// | JITS disabled, general statistics      | `CatalogOnly` (after RUNSTATS)|
+/// | JITS disabled, general + workload stats| `CatalogOnly` + pre-populated archive via `ArchiveReadOnly` |
+/// | JITS enabled                           | `Jits(config)`                |
+#[derive(Debug, Clone, Default)]
+pub enum StatsSetting {
+    /// Ignore all statistics: textbook default selectivities only.
+    NoStatistics,
+    /// General catalog statistics with independence assumptions
+    /// (whatever RUNSTATS has populated; an empty catalog degrades to
+    /// defaults).
+    #[default]
+    CatalogOnly,
+    /// Consult the QSS archive and catalog, but never collect at compile
+    /// time (the paper's "workload statistics" setting: column-group stats
+    /// exist from a prior analysis pass but are not maintained).
+    ArchiveReadOnly,
+    /// Full JITS: sensitivity analysis, compile-time sampling, archive
+    /// maintenance, feedback.
+    Jits(JitsConfig),
+}
+
+impl StatsSetting {
+    /// The JITS config, if JITS is active.
+    pub fn jits_config(&self) -> Option<&JitsConfig> {
+        match self {
+            StatsSetting::Jits(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Whether the QSS archive participates in estimation.
+    pub fn uses_archive(&self) -> bool {
+        matches!(self, StatsSetting::ArchiveReadOnly | StatsSetting::Jits(_))
+    }
+
+    /// Human-readable label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StatsSetting::NoStatistics => "no-stats",
+            StatsSetting::CatalogOnly => "general-stats",
+            StatsSetting::ArchiveReadOnly => "workload-stats",
+            StatsSetting::Jits(_) => "jits",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_flags() {
+        assert_eq!(StatsSetting::NoStatistics.label(), "no-stats");
+        assert!(!StatsSetting::NoStatistics.uses_archive());
+        assert!(StatsSetting::ArchiveReadOnly.uses_archive());
+        let j = StatsSetting::Jits(JitsConfig::default());
+        assert!(j.uses_archive());
+        assert!(j.jits_config().is_some());
+        assert!(StatsSetting::CatalogOnly.jits_config().is_none());
+    }
+}

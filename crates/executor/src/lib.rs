@@ -1,0 +1,21 @@
+//! Plan execution with cardinality monitoring.
+//!
+//! The executor materializes intermediate results as vectors of row-id
+//! tuples (one row id per covered quantifier), so joins move 4-byte ids, not
+//! values. Two byproducts matter to JITS:
+//!
+//! * **work accounting** — every operator charges the same
+//!   [`CostModel`](jits_optimizer::CostModel) constants the optimizer used
+//!   to *estimate* cost, so "actual work" and "estimated cost" are in one
+//!   currency and simulated time is machine-independent;
+//! * **cardinality observations** — each base-table access records the
+//!   actual number of rows satisfying its predicate group next to the
+//!   optimizer's estimate and the statistics (`statlist`) that produced it.
+//!   This is the LEO-style feedback (paper §5.1, \[14\]) that fills the JITS
+//!   StatHistory with `errorFactor` entries.
+
+pub mod exec;
+pub mod monitor;
+
+pub use exec::{execute, ExecOutput};
+pub use monitor::{ExecStats, NodeKind, NodeObservation, ScanObservation};

@@ -1,0 +1,128 @@
+//! Execution statistics and cardinality observations.
+
+use jits_common::{ColGroup, TableId};
+use jits_optimizer::StatSource;
+
+/// What kind of node an observation came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Sequential scan.
+    SeqScan,
+    /// Index scan.
+    IndexScan,
+    /// Hash join.
+    HashJoin,
+    /// Index nested-loop join.
+    IndexNLJoin,
+    /// Nested-loop join.
+    NLJoin,
+}
+
+/// Estimated vs. actual output cardinality of one plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeObservation {
+    /// Node kind.
+    pub kind: NodeKind,
+    /// Optimizer's estimate.
+    pub est_rows: f64,
+    /// What actually came out.
+    pub actual_rows: f64,
+}
+
+/// Actual selectivity of a base-table predicate group, paired with how it
+/// was estimated — the raw material for StatHistory `errorFactor` entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanObservation {
+    /// Quantifier index in the block.
+    pub qun: usize,
+    /// Base table.
+    pub table: TableId,
+    /// Indices of the applied local predicates.
+    pub pred_indices: Vec<usize>,
+    /// Estimated joint selectivity.
+    pub est_selectivity: f64,
+    /// Statistics used for the estimate (the `statlist`).
+    pub statlist: Vec<ColGroup>,
+    /// Estimate provenance.
+    pub source: StatSource,
+    /// Rows that actually satisfied the group.
+    pub actual_rows: f64,
+    /// Live rows in the table at execution time.
+    pub table_rows: f64,
+}
+
+impl ScanObservation {
+    /// Actual selectivity (0 when the table is empty).
+    pub fn actual_selectivity(&self) -> f64 {
+        if self.table_rows <= 0.0 {
+            0.0
+        } else {
+            (self.actual_rows / self.table_rows).clamp(0.0, 1.0)
+        }
+    }
+
+    /// The paper's `errorFactor` = estimated / actual selectivity, guarded
+    /// against division by zero (an actual of zero with a non-zero estimate
+    /// reports a large over-estimate factor).
+    pub fn error_factor(&self) -> f64 {
+        let actual = self.actual_selectivity();
+        if actual > 0.0 {
+            self.est_selectivity / actual
+        } else if self.est_selectivity > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Work and observations accumulated during one execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Total work in cost-model units (same currency as plan cost).
+    pub work: f64,
+    /// Per-node estimated-vs-actual cardinalities.
+    pub nodes: Vec<NodeObservation>,
+    /// Base-table predicate-group observations for the feedback loop.
+    pub scans: Vec<ScanObservation>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(est: f64, actual_rows: f64, table_rows: f64) -> ScanObservation {
+        ScanObservation {
+            qun: 0,
+            table: TableId(0),
+            pred_indices: vec![0],
+            est_selectivity: est,
+            statlist: vec![],
+            source: StatSource::Default,
+            actual_rows,
+            table_rows,
+        }
+    }
+
+    #[test]
+    fn actual_selectivity_and_error_factor() {
+        let o = obs(0.2, 500.0, 1000.0);
+        assert_eq!(o.actual_selectivity(), 0.5);
+        assert!((o.error_factor() - 0.4).abs() < 1e-12); // the paper's example
+    }
+
+    #[test]
+    fn zero_actual_guard() {
+        let o = obs(0.2, 0.0, 1000.0);
+        assert_eq!(o.actual_selectivity(), 0.0);
+        assert!(o.error_factor().is_infinite());
+        let o = obs(0.0, 0.0, 1000.0);
+        assert_eq!(o.error_factor(), 1.0);
+    }
+
+    #[test]
+    fn empty_table_guard() {
+        let o = obs(0.5, 0.0, 0.0);
+        assert_eq!(o.actual_selectivity(), 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! The paper's histogram accuracy metric (§3.3.2).
+//!
+//! > "The accuracy of a histogram with respect to a predicate (group) is a
+//! > value in the range \[0,1\] that represents how accurately the selectivity
+//! > of this predicate (group) can be estimated from this histogram."
+//!
+//! For a predicate constant `value` against one dimension's boundaries
+//! `b_0 < b_1 < ... < b_n`:
+//!
+//! 1. locate the bucket `B_j = [b_{j-1}, b_j]` containing `value`;
+//! 2. `d1 = value - b_{j-1}`, `d2 = b_j - value`;
+//! 3. `u = (min(d1,d2) / max(d1,d2)) * ((b_j - b_{j-1}) / (b_n - b_0))`;
+//! 4. `accuracy = 1 - u`.
+//!
+//! A constant sitting *on* a boundary estimates exactly (accuracy 1); a
+//! constant mid-bucket inside a wide bucket estimates poorly. Multi-
+//! dimensional accuracy is the product across dimensions.
+
+use crate::region::Region;
+
+/// Accuracy of estimating a predicate with constant `value` from a
+/// dimension with the given sorted `boundaries`.
+///
+/// Values outside the histogram's domain score 0 (the histogram knows
+/// nothing about them). Fewer than two boundaries (no buckets) also scores 0.
+pub fn boundary_accuracy(boundaries: &[f64], value: f64) -> f64 {
+    if boundaries.len() < 2 {
+        return 0.0;
+    }
+    let total = boundaries[boundaries.len() - 1] - boundaries[0];
+    if total <= 0.0 || total.is_nan() || !value.is_finite() {
+        return 0.0;
+    }
+    if value < boundaries[0] || value > boundaries[boundaries.len() - 1] {
+        return 0.0;
+    }
+    // Exact hit on any boundary estimates perfectly.
+    // partition_point gives the first boundary > value.
+    let up = boundaries.partition_point(|b| *b <= value);
+    if up == 0 {
+        return 0.0; // value below domain (guarded above, defensive)
+    }
+    if boundaries[up - 1] == value {
+        return 1.0;
+    }
+    if up >= boundaries.len() {
+        // value == last boundary was handled; beyond is guarded above
+        return 1.0;
+    }
+    let (blo, bhi) = (boundaries[up - 1], boundaries[up]);
+    let d1 = value - blo;
+    let d2 = bhi - value;
+    let ratio = d1.min(d2) / d1.max(d2);
+    let u = ratio * ((bhi - blo) / total);
+    (1.0 - u).clamp(0.0, 1.0)
+}
+
+/// Accuracy of estimating a region (predicate group) from a grid with the
+/// given per-dimension boundaries: per dimension, the minimum accuracy over
+/// the region's finite endpoints; across dimensions, the product.
+///
+/// Dimensions the region leaves unconstrained (both endpoints infinite)
+/// contribute 1 — the histogram's total count answers them exactly.
+pub fn region_accuracy(per_dim_boundaries: &[Vec<f64>], region: &Region) -> f64 {
+    debug_assert_eq!(per_dim_boundaries.len(), region.dims());
+    let mut acc = 1.0;
+    for (d, bounds) in per_dim_boundaries.iter().enumerate() {
+        let (lo, hi) = region.range(d);
+        let mut dim_acc = 1.0f64;
+        let mut constrained = false;
+        if lo.is_finite() {
+            dim_acc = dim_acc.min(boundary_accuracy(bounds, lo));
+            constrained = true;
+        }
+        if hi.is_finite() {
+            dim_acc = dim_acc.min(boundary_accuracy(bounds, hi));
+            constrained = true;
+        }
+        if constrained {
+            acc *= dim_acc;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn boundary_hit_is_perfect() {
+        let b = [0.0, 10.0, 20.0, 50.0];
+        assert_eq!(boundary_accuracy(&b, 10.0), 1.0);
+        assert_eq!(boundary_accuracy(&b, 0.0), 1.0);
+        assert_eq!(boundary_accuracy(&b, 50.0), 1.0);
+    }
+
+    #[test]
+    fn mid_bucket_penalized_by_width() {
+        let b = [0.0, 10.0, 50.0];
+        // center of narrow bucket [0,10): u = 1 * 10/50 = 0.2
+        assert!((boundary_accuracy(&b, 5.0) - 0.8).abs() < 1e-12);
+        // center of wide bucket [10,50): u = 1 * 40/50 = 0.8
+        assert!((boundary_accuracy(&b, 30.0) - 0.2).abs() < 1e-12);
+        // nearer a boundary -> better
+        assert!(boundary_accuracy(&b, 12.0) > boundary_accuracy(&b, 30.0));
+    }
+
+    #[test]
+    fn out_of_domain_scores_zero() {
+        let b = [0.0, 10.0];
+        assert_eq!(boundary_accuracy(&b, -1.0), 0.0);
+        assert_eq!(boundary_accuracy(&b, 11.0), 0.0);
+        assert_eq!(boundary_accuracy(&[5.0], 5.0), 0.0);
+        assert_eq!(boundary_accuracy(&b, f64::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn region_accuracy_is_product_of_dims() {
+        let dims = vec![vec![0.0, 10.0, 50.0], vec![0.0, 100.0]];
+        // dim 0 endpoint at boundary (acc 1), dim 1 midpoint of single
+        // bucket (u = 1*1 = 1 -> acc 0)
+        let r = Region::new(vec![(10.0, f64::INFINITY), (50.0, f64::INFINITY)]);
+        assert_eq!(region_accuracy(&dims, &r), 0.0);
+        // unconstrained dim contributes 1
+        let r = Region::new(vec![
+            (10.0, f64::INFINITY),
+            (f64::NEG_INFINITY, f64::INFINITY),
+        ]);
+        assert_eq!(region_accuracy(&dims, &r), 1.0);
+    }
+
+    #[test]
+    fn between_uses_worse_endpoint() {
+        let b = vec![vec![0.0, 10.0, 50.0]];
+        let r = Region::new(vec![(10.0, 30.0)]);
+        let acc = region_accuracy(&b, &r);
+        // endpoint 10 -> 1.0, endpoint 30 -> 0.2; min is 0.2
+        assert!((acc - 0.2).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn accuracy_in_unit_interval(
+            v in -10.0f64..110.0,
+            cut in 1.0f64..99.0,
+        ) {
+            let b = [0.0, cut, 100.0];
+            let a = boundary_accuracy(&b, v);
+            prop_assert!((0.0..=1.0).contains(&a));
+        }
+
+        #[test]
+        fn refining_at_the_constant_never_hurts(
+            v in 1.0f64..99.0,
+        ) {
+            // adding a boundary exactly at the queried constant yields 1.0
+            let coarse = [0.0, 100.0];
+            let fine = [0.0, v, 100.0];
+            prop_assert!(boundary_accuracy(&fine, v) >= boundary_accuracy(&coarse, v));
+            prop_assert_eq!(boundary_accuracy(&fine, v), 1.0);
+        }
+    }
+}

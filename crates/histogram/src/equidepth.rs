@@ -1,0 +1,342 @@
+//! One-dimensional equi-depth histograms (general catalog statistics).
+
+use crate::accuracy::boundary_accuracy;
+
+/// An equi-depth histogram over a numeric axis.
+///
+/// Built from a full or sampled column scan; each bucket holds roughly the
+/// same number of rows. Stores per-bucket row counts and distinct-value
+/// estimates so both range and equality selectivities can be estimated with
+/// the classic uniformity-within-bucket assumption.
+///
+/// ```
+/// use jits_histogram::EquiDepth;
+///
+/// let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+/// let h = EquiDepth::build(values, 10);
+/// let sel = h.estimate_range(0.0, 250.0).unwrap();
+/// assert!((sel - 0.25).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquiDepth {
+    /// `n_buckets + 1` sorted boundary positions; bucket `i` spans
+    /// `[boundaries[i], boundaries[i+1])`, except the last bucket which is
+    /// closed on the right.
+    boundaries: Vec<f64>,
+    /// Rows per bucket.
+    counts: Vec<f64>,
+    /// Distinct values per bucket.
+    distincts: Vec<f64>,
+    /// Total rows represented (including none — empty histograms allowed).
+    total: f64,
+}
+
+impl EquiDepth {
+    /// Builds a histogram with (up to) `n_buckets` buckets from axis values.
+    /// NULLs must be filtered out by the caller. Returns an empty histogram
+    /// for empty input.
+    pub fn build(mut values: Vec<f64>, n_buckets: usize) -> Self {
+        values.retain(|v| v.is_finite());
+        if values.is_empty() || n_buckets == 0 {
+            return EquiDepth {
+                boundaries: Vec::new(),
+                counts: Vec::new(),
+                distincts: Vec::new(),
+                total: 0.0,
+            };
+        }
+        values.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = values.len();
+        let per_bucket = (n as f64 / n_buckets as f64).max(1.0);
+
+        let mut boundaries = vec![values[0]];
+        let mut counts = Vec::new();
+        let mut distincts = Vec::new();
+
+        let mut start = 0usize;
+        while start < n {
+            let mut end = ((counts.len() + 1) as f64 * per_bucket).round() as usize;
+            end = end.clamp(start + 1, n);
+            // never split a run of equal values across buckets
+            while end < n && values[end] == values[end - 1] {
+                end += 1;
+            }
+            let bucket = &values[start..end];
+            let mut distinct = 1.0;
+            for w in bucket.windows(2) {
+                if w[1] != w[0] {
+                    distinct += 1.0;
+                }
+            }
+            counts.push(bucket.len() as f64);
+            distincts.push(distinct);
+            // boundary at the first value *after* the bucket, or just past
+            // the max for the final bucket so it stays inclusive
+            let hi = if end < n {
+                values[end]
+            } else {
+                next_up(values[n - 1])
+            };
+            boundaries.push(hi);
+            start = end;
+        }
+        EquiDepth {
+            boundaries,
+            counts,
+            distincts,
+            total: n as f64,
+        }
+    }
+
+    /// Builds a histogram directly from bucket boundaries and counts
+    /// (used by statistics migration from QSS grid histograms, whose bucket
+    /// counts are already known). Distinct counts are approximated as one
+    /// distinct value per unit of bucket width, capped by the count.
+    pub fn from_buckets(boundaries: Vec<f64>, counts: Vec<f64>) -> Self {
+        assert_eq!(
+            boundaries.len(),
+            counts.len() + 1,
+            "boundaries must be one longer than counts"
+        );
+        let total = counts.iter().sum();
+        let distincts = counts
+            .iter()
+            .zip(boundaries.windows(2))
+            .map(|(c, w)| (w[1] - w[0]).max(1.0).min(c.max(1.0)))
+            .collect();
+        EquiDepth {
+            boundaries,
+            counts,
+            distincts,
+            total,
+        }
+    }
+
+    /// True if the histogram holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Number of buckets.
+    pub fn n_buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total rows represented.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Bucket boundaries (length `n_buckets + 1`).
+    pub fn boundaries(&self) -> &[f64] {
+        &self.boundaries
+    }
+
+    /// Estimated fraction of rows in the half-open axis range `[lo, hi)`,
+    /// interpolating uniformly within buckets. Returns `None` when empty.
+    pub fn estimate_range(&self, lo: f64, hi: f64) -> Option<f64> {
+        if self.is_empty() || self.total <= 0.0 {
+            return None;
+        }
+        if hi <= lo {
+            return Some(0.0);
+        }
+        let mut rows = 0.0;
+        for i in 0..self.counts.len() {
+            let (blo, bhi) = (self.boundaries[i], self.boundaries[i + 1]);
+            let width = bhi - blo;
+            if width <= 0.0 {
+                continue;
+            }
+            let olo = lo.max(blo);
+            let ohi = hi.min(bhi);
+            if ohi > olo {
+                rows += self.counts[i] * (ohi - olo) / width;
+            }
+        }
+        Some((rows / self.total).clamp(0.0, 1.0))
+    }
+
+    /// Estimated fraction of rows equal to axis value `v`: the containing
+    /// bucket's count spread uniformly over its distinct values.
+    pub fn estimate_eq(&self, v: f64) -> Option<f64> {
+        if self.is_empty() || self.total <= 0.0 {
+            return None;
+        }
+        let last = self.boundaries.len() - 1;
+        if v < self.boundaries[0] || v >= self.boundaries[last] {
+            return Some(0.0);
+        }
+        let up = self.boundaries.partition_point(|b| *b <= v);
+        let i = (up - 1).min(self.counts.len() - 1);
+        let d = self.distincts[i].max(1.0);
+        Some((self.counts[i] / d / self.total).clamp(0.0, 1.0))
+    }
+
+    /// The paper's accuracy of this histogram w.r.t. a predicate constant.
+    pub fn accuracy(&self, value: f64) -> f64 {
+        boundary_accuracy(&self.boundaries, value)
+    }
+
+    /// Estimated number of distinct values overall.
+    pub fn distinct_total(&self) -> f64 {
+        self.distincts.iter().sum()
+    }
+}
+
+/// Smallest float strictly greater than `x` (for inclusive max boundaries).
+fn next_up(x: f64) -> f64 {
+    if x.is_nan() || x == f64::INFINITY {
+        return x;
+    }
+    let bits = x.to_bits();
+    let next = if x == 0.0 {
+        1
+    } else if x > 0.0 {
+        bits + 1
+    } else {
+        bits - 1
+    };
+    f64::from_bits(next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uniform_data_gives_even_buckets() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let h = EquiDepth::build(values, 10);
+        assert_eq!(h.n_buckets(), 10);
+        assert_eq!(h.total(), 1000.0);
+        for i in 0..h.n_buckets() {
+            assert!(
+                (h.counts[i] - 100.0).abs() < 2.0,
+                "bucket {i}: {}",
+                h.counts[i]
+            );
+        }
+    }
+
+    #[test]
+    fn range_estimates_on_uniform_data() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let h = EquiDepth::build(values, 10);
+        let est = h.estimate_range(0.0, 500.0).unwrap();
+        assert!((est - 0.5).abs() < 0.01, "est {est}");
+        let est = h.estimate_range(900.0, 2000.0).unwrap();
+        assert!((est - 0.1).abs() < 0.01, "est {est}");
+        assert_eq!(h.estimate_range(5000.0, 6000.0).unwrap(), 0.0);
+        assert_eq!(h.estimate_range(10.0, 10.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn skewed_data_keeps_depth_equal() {
+        // 90% of mass at value 1, rest spread out
+        let mut values = vec![1.0; 900];
+        values.extend((0..100).map(|i| 100.0 + i as f64));
+        let h = EquiDepth::build(values, 10);
+        // equality estimate at the heavy value should be large
+        let eq = h.estimate_eq(1.0).unwrap();
+        assert!(eq > 0.5, "eq {eq}");
+        // and at a light value small
+        let eq = h.estimate_eq(150.0).unwrap();
+        assert!(eq < 0.05, "eq {eq}");
+    }
+
+    #[test]
+    fn equal_runs_never_split() {
+        let values = vec![5.0; 100];
+        let h = EquiDepth::build(values, 10);
+        assert_eq!(h.n_buckets(), 1);
+        assert!((h.estimate_eq(5.0).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_value_is_included() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = EquiDepth::build(values, 4);
+        // the max value 99 must be inside the last bucket
+        assert!(h.estimate_eq(99.0).unwrap() > 0.0);
+        let full = h.estimate_range(f64::NEG_INFINITY, f64::INFINITY).unwrap();
+        assert!((full - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = EquiDepth::build(vec![], 10);
+        assert!(h.is_empty());
+        assert_eq!(h.estimate_range(0.0, 1.0), None);
+        assert_eq!(h.estimate_eq(0.0), None);
+        assert_eq!(h.accuracy(0.0), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn counts_sum_to_total(values in proptest::collection::vec(-1e6f64..1e6, 1..500)) {
+            let n = values.len();
+            let h = EquiDepth::build(values, 8);
+            let sum: f64 = h.counts.iter().sum();
+            prop_assert!((sum - n as f64).abs() < 1e-6);
+        }
+
+        #[test]
+        fn estimates_are_fractions(
+            values in proptest::collection::vec(-1e3f64..1e3, 1..300),
+            lo in -2e3f64..2e3,
+            width in 0.0f64..4e3,
+        ) {
+            let h = EquiDepth::build(values, 8);
+            let est = h.estimate_range(lo, lo + width).unwrap();
+            prop_assert!((0.0..=1.0).contains(&est));
+        }
+
+        #[test]
+        fn range_estimate_is_monotone_in_width(
+            values in proptest::collection::vec(-1e3f64..1e3, 10..300),
+            lo in -1e3f64..1e3,
+            w1 in 0.0f64..1e3,
+            w2 in 0.0f64..1e3,
+        ) {
+            let h = EquiDepth::build(values, 8);
+            let (small, big) = (w1.min(w2), w1.max(w2));
+            let e1 = h.estimate_range(lo, lo + small).unwrap();
+            let e2 = h.estimate_range(lo, lo + big).unwrap();
+            prop_assert!(e1 <= e2 + 1e-9);
+        }
+    }
+}
+
+#[cfg(test)]
+mod from_buckets_tests {
+    use super::*;
+
+    #[test]
+    fn from_buckets_reconstructs_distribution() {
+        let h = EquiDepth::from_buckets(vec![0.0, 10.0, 50.0, 100.0], vec![800.0, 150.0, 50.0]);
+        assert_eq!(h.n_buckets(), 3);
+        assert_eq!(h.total(), 1000.0);
+        let s = h.estimate_range(0.0, 10.0).unwrap();
+        assert!((s - 0.8).abs() < 1e-9);
+        let s = h.estimate_range(50.0, 100.0).unwrap();
+        assert!((s - 0.05).abs() < 1e-9);
+        // interpolation inside a migrated bucket
+        let s = h.estimate_range(0.0, 5.0).unwrap();
+        assert!((s - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "boundaries must be one longer")]
+    fn from_buckets_validates_arity() {
+        let _ = EquiDepth::from_buckets(vec![0.0, 1.0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn from_buckets_distinct_capped_by_count() {
+        // a narrow bucket with few rows cannot claim more distincts than rows
+        let h = EquiDepth::from_buckets(vec![0.0, 1000.0], vec![3.0]);
+        assert!(h.distinct_total() <= 3.0);
+    }
+}

@@ -1,0 +1,969 @@
+//! Adaptive N-dimensional grid histograms — the QSS archive's storage form.
+//!
+//! A [`GridHistogram`] partitions a finite frame into an axis-aligned grid
+//! (per-dimension boundary lists, row-major bucket counts). It *adapts* to
+//! the queries it serves, exactly as the paper's Figure 2 illustrates:
+//! every observed predicate region inserts its endpoints as new boundaries
+//! (splitting bucket counts proportionally, i.e. assuming uniformity within
+//! the old bucket), and the observed count becomes a max-entropy constraint
+//! fitted by [`maxent::fit`]. Each bucket carries the **timestamp** of the
+//! last observation that touched it, which the sensitivity analysis uses to
+//! judge recentness.
+
+use crate::maxent::{self, Constraint, FitResult, IpfOptions, LoweredConstraint};
+use crate::region::Region;
+use std::collections::VecDeque;
+
+/// Hard caps keeping adaptive histograms bounded.
+#[derive(Debug, Clone, Copy)]
+pub struct GridLimits {
+    /// Maximum boundaries per dimension (buckets per dim = boundaries − 1).
+    pub max_boundaries_per_dim: usize,
+    /// Maximum retained max-entropy constraints.
+    pub max_constraints: usize,
+}
+
+impl Default for GridLimits {
+    fn default() -> Self {
+        GridLimits {
+            // categorical axes need two boundaries per observed value, so
+            // the cap must exceed twice the expected distinct constants
+            max_boundaries_per_dim: 65, // 64 buckets per dimension
+            max_constraints: 24,
+        }
+    }
+}
+
+/// An adaptive N-dimensional histogram.
+///
+/// ```
+/// use jits_histogram::{GridHistogram, Region};
+///
+/// // paper Figure 2: a in [0,50], b in [0,100], 100 tuples
+/// let frame = Region::new(vec![(0.0, 50.0), (0.0, 100.0)]);
+/// let mut h = GridHistogram::new(&frame, 100.0, 0);
+///
+/// // observe: 20 tuples satisfy (a > 20 AND b > 60)
+/// let inf = f64::INFINITY;
+/// h.apply_observation(&Region::new(vec![(20.0, inf), (60.0, inf)]), 20.0, 100.0, 1);
+///
+/// // the observed region now answers exactly
+/// let sel = h.selectivity(&Region::new(vec![(20.0, inf), (60.0, inf)]));
+/// assert!((sel - 0.2).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridHistogram {
+    /// Per-dimension sorted boundaries; dimension `d` has
+    /// `boundaries[d].len() - 1` buckets.
+    boundaries: Vec<Vec<f64>>,
+    /// Row-major bucket counts (`prod(buckets per dim)` entries).
+    counts: Vec<f64>,
+    /// Per-bucket timestamp of the last constraint that covered the bucket.
+    stamps: Vec<u64>,
+    /// Total rows represented.
+    total: f64,
+    /// Retained constraints (FIFO, newest at the back).
+    constraints: VecDeque<Constraint>,
+    /// Logical time this histogram last served the optimizer (LRU input).
+    last_used: u64,
+    limits: GridLimits,
+}
+
+impl GridHistogram {
+    /// A single-bucket histogram over a finite frame holding `total` rows.
+    ///
+    /// The frame must be finite and non-degenerate in every dimension;
+    /// degenerate dimensions are widened by an epsilon.
+    pub fn new(frame: &Region, total: f64, stamp: u64) -> Self {
+        let boundaries: Vec<Vec<f64>> = frame
+            .ranges()
+            .iter()
+            .map(|&(lo, hi)| {
+                let lo = if lo.is_finite() { lo } else { 0.0 };
+                let mut hi = if hi.is_finite() { hi } else { lo + 1.0 };
+                if hi <= lo {
+                    hi = lo + 1.0;
+                }
+                vec![lo, hi]
+            })
+            .collect();
+        GridHistogram {
+            boundaries,
+            counts: vec![total.max(0.0)],
+            stamps: vec![stamp],
+            total: total.max(0.0),
+            constraints: VecDeque::new(),
+            last_used: stamp,
+            limits: GridLimits::default(),
+        }
+    }
+
+    /// Overrides the default size limits.
+    pub fn with_limits(mut self, limits: GridLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// Total bucket count.
+    pub fn n_buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total rows represented.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Per-dimension boundary lists (for the accuracy metric).
+    pub fn boundaries(&self) -> &[Vec<f64>] {
+        &self.boundaries
+    }
+
+    /// Row-major bucket counts (for one-dimensional histograms this is one
+    /// count per bucket, in boundary order) — used by statistics migration.
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Whether dimension `d` has a boundary at `x` (within a relative
+    /// tolerance). Used to decide if an equality constant on a categorical
+    /// axis was *observed* — interpolating such a point from a wide bucket
+    /// would be meaningless.
+    pub fn has_boundary(&self, d: usize, x: f64) -> bool {
+        let tol = (x.abs() * 1e-12).max(1e-12);
+        let b = &self.boundaries[d];
+        let pos = b.partition_point(|p| *p < x - tol);
+        pos < b.len() && (b[pos] - x).abs() <= tol
+    }
+
+    /// The finite frame covered by the grid.
+    pub fn frame(&self) -> Region {
+        Region::new(
+            self.boundaries
+                .iter()
+                .map(|b| (b[0], b[b.len() - 1]))
+                .collect(),
+        )
+    }
+
+    /// Logical time the histogram last served an estimate.
+    pub fn last_used(&self) -> u64 {
+        self.last_used
+    }
+
+    /// Records a use (LRU bookkeeping).
+    pub fn touch(&mut self, stamp: u64) {
+        self.last_used = self.last_used.max(stamp);
+    }
+
+    /// Newest per-bucket observation stamp inside `region` (clamped to the
+    /// frame); `None` if the region misses the frame entirely.
+    pub fn newest_stamp_in(&self, region: &Region) -> Option<u64> {
+        let clamped = region.clamp_to(&self.frame());
+        if clamped.is_empty() {
+            return None;
+        }
+        let mut newest = None;
+        self.for_each_overlapping(&clamped, |flat, _| {
+            newest = Some(newest.map_or(self.stamps[flat], |n: u64| n.max(self.stamps[flat])));
+        });
+        newest
+    }
+
+    /// Estimated fraction of rows inside `region` (uniformity within
+    /// buckets). Regions outside the frame contribute nothing.
+    pub fn selectivity(&self, region: &Region) -> f64 {
+        if self.total <= 0.0 {
+            return 0.0;
+        }
+        let clamped = region.clamp_to(&self.frame());
+        if clamped.is_empty() {
+            return 0.0;
+        }
+        let mut rows = 0.0;
+        self.for_each_overlapping(&clamped, |flat, overlap| {
+            rows += self.counts[flat] * overlap;
+        });
+        (rows / self.total).clamp(0.0, 1.0)
+    }
+
+    /// Applies an observation: `count` rows fall in `region` out of
+    /// `new_total` rows overall, observed at `stamp`.
+    ///
+    /// The frame extends to cover the region's finite endpoints, the region's
+    /// endpoints become boundaries (paper Figure 2), the constraint joins the
+    /// retained set, and IPF re-fits all retained constraints.
+    pub fn apply_observation(
+        &mut self,
+        region: &Region,
+        count: f64,
+        new_total: f64,
+        stamp: u64,
+    ) -> FitResult {
+        debug_assert_eq!(region.dims(), self.dims());
+        self.set_total(new_total.max(0.0));
+        self.extend_frame(region);
+        let inserted = self.refine(region);
+        let clamped = region.clamp_to(&self.frame());
+        // Stamp the buckets the observation covers, plus the buckets on both
+        // sides of every freshly inserted boundary (paper Figure 2: "the
+        // time stamp of the 4 new buckets (on both sides of the dotted
+        // line) is updated").
+        let mut touched = self.buckets_in(&clamped);
+        for (d, x) in inserted {
+            let b = &self.boundaries[d];
+            let (blo, bhi) = (b[0], b[b.len() - 1]);
+            let mut slab = Region::unbounded(self.dims()).clamp_to(&self.frame());
+            let mut ranges: Vec<(f64, f64)> = slab.ranges().to_vec();
+            // the two slabs adjacent to x along dimension d
+            // x now sits at index `pos`; the adjacent slabs span
+            // [b[pos-1], x] and [x, b[pos+1]]
+            let pos = b.partition_point(|p| *p < x);
+            let lo = if pos >= 1 { b[pos - 1] } else { blo };
+            let hi = if pos + 1 < b.len() { b[pos + 1] } else { bhi };
+            ranges[d] = (lo, hi);
+            slab = Region::new(ranges);
+            touched.extend(self.buckets_in(&slab));
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for &b in &touched {
+            self.stamps[b] = self.stamps[b].max(stamp);
+        }
+        // Replace any retained constraint over the same region.
+        self.constraints.retain(|c| c.region != clamped);
+        self.constraints.push_back(Constraint {
+            region: clamped,
+            count: count.clamp(0.0, self.total),
+            stamp,
+        });
+        while self.constraints.len() > self.limits.max_constraints {
+            self.constraints.pop_front();
+        }
+        self.fit()
+    }
+
+    /// Rescales all counts so the histogram represents `total` rows
+    /// (table cardinality changed).
+    pub fn set_total(&mut self, total: f64) {
+        if self.total > 0.0 && total > 0.0 {
+            let f = total / self.total;
+            for c in &mut self.counts {
+                *c *= f;
+            }
+        } else if total > 0.0 {
+            // was empty: spread uniformly by volume
+            let frame_vol = self.frame().volume().max(f64::MIN_POSITIVE);
+            let volumes: Vec<f64> = (0..self.counts.len())
+                .map(|i| self.bucket_region(i).volume())
+                .collect();
+            for (c, vol) in self.counts.iter_mut().zip(volumes) {
+                *c = total * vol / frame_vol;
+            }
+        } else {
+            for c in &mut self.counts {
+                *c = 0.0;
+            }
+        }
+        self.total = total;
+    }
+
+    /// How close the distribution is to uniform-by-volume, in `[0, 1]`
+    /// (1 = exactly uniform). This drives the archive's eviction policy:
+    /// near-uniform histograms add nothing over the optimizer's assumptions.
+    pub fn uniformity(&self) -> f64 {
+        if self.total <= 0.0 || self.counts.len() <= 1 {
+            return 1.0;
+        }
+        let frame_vol = self.frame().volume();
+        if frame_vol <= 0.0 || frame_vol.is_nan() {
+            return 1.0;
+        }
+        // total-variation distance between bucket-mass distribution and the
+        // volume-proportional (uniform) distribution
+        let mut tv = 0.0;
+        for (i, c) in self.counts.iter().enumerate() {
+            let mass = c / self.total;
+            let unif = self.bucket_region(i).volume() / frame_vol;
+            tv += (mass - unif).abs();
+        }
+        (1.0 - 0.5 * tv).clamp(0.0, 1.0)
+    }
+
+    /// Re-runs IPF over the retained constraint set.
+    pub fn fit(&mut self) -> FitResult {
+        self.purge_orphaned_constraints();
+        let lowered: Vec<LoweredConstraint> = self
+            .constraints
+            .iter()
+            .map(|c| LoweredConstraint {
+                buckets: self.buckets_in(&c.region),
+                target: c.count,
+            })
+            .collect();
+        let result = maxent::fit(
+            &mut self.counts,
+            self.total,
+            &lowered,
+            IpfOptions::default(),
+        );
+        if !result.converged && self.constraints.len() > 1 {
+            // Inconsistent observations (data changed under us): drop the
+            // oldest constraints and retry with the most recent half.
+            let keep = self.constraints.len().div_ceil(2);
+            while self.constraints.len() > keep {
+                self.constraints.pop_front();
+            }
+            let lowered: Vec<LoweredConstraint> = self
+                .constraints
+                .iter()
+                .map(|c| LoweredConstraint {
+                    buckets: self.buckets_in(&c.region),
+                    target: c.count,
+                })
+                .collect();
+            return maxent::fit(
+                &mut self.counts,
+                self.total,
+                &lowered,
+                IpfOptions::default(),
+            );
+        }
+        result
+    }
+
+    /// Number of retained constraints (test/diagnostic).
+    pub fn constraint_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    // ---- geometry ----------------------------------------------------
+
+    fn bucket_counts_per_dim(&self) -> Vec<usize> {
+        self.boundaries.iter().map(|b| b.len() - 1).collect()
+    }
+
+    fn strides(&self) -> Vec<usize> {
+        let nb = self.bucket_counts_per_dim();
+        let mut strides = vec![0usize; nb.len()];
+        let mut s = 1;
+        for d in (0..nb.len()).rev() {
+            strides[d] = s;
+            s *= nb[d];
+        }
+        strides
+    }
+
+    /// The axis region covered by flat bucket `flat`.
+    fn bucket_region(&self, flat: usize) -> Region {
+        let strides = self.strides();
+        let nb = self.bucket_counts_per_dim();
+        let mut ranges = Vec::with_capacity(self.dims());
+        let mut rest = flat;
+        for d in 0..self.dims() {
+            let i = rest / strides[d];
+            rest %= strides[d];
+            debug_assert!(i < nb[d]);
+            ranges.push((self.boundaries[d][i], self.boundaries[d][i + 1]));
+        }
+        Region::new(ranges)
+    }
+
+    /// Per-dimension index ranges `[lo, hi)` of buckets overlapping `region`
+    /// (which must be clamped to the frame).
+    fn index_ranges(&self, region: &Region) -> Vec<(usize, usize)> {
+        (0..self.dims())
+            .map(|d| {
+                let (lo, hi) = region.range(d);
+                let b = &self.boundaries[d];
+                // first bucket whose high boundary exceeds lo
+                let start = b[1..].partition_point(|x| *x <= lo);
+                // first bucket whose low boundary is >= hi
+                let end = b[..b.len() - 1].partition_point(|x| *x < hi);
+                (start.min(end), end)
+            })
+            .collect()
+    }
+
+    /// Visits every bucket overlapping `region`, passing the flat index and
+    /// the fraction of the bucket's volume inside the region.
+    fn for_each_overlapping<F: FnMut(usize, f64)>(&self, region: &Region, mut f: F) {
+        let ranges = self.index_ranges(region);
+        if ranges.iter().any(|(lo, hi)| hi <= lo) {
+            return;
+        }
+        let strides = self.strides();
+        let mut idx: Vec<usize> = ranges.iter().map(|(lo, _)| *lo).collect();
+        loop {
+            let flat: usize = idx.iter().zip(&strides).map(|(i, s)| i * s).sum();
+            // build the bucket region from the odometer indices directly --
+            // bucket_region(flat) would redo the stride decode per bucket
+            let bucket = Region::new(
+                idx.iter()
+                    .enumerate()
+                    .map(|(d, &i)| (self.boundaries[d][i], self.boundaries[d][i + 1]))
+                    .collect(),
+            );
+            f(flat, bucket.overlap_fraction(region));
+            // odometer increment
+            let mut d = self.dims();
+            loop {
+                if d == 0 {
+                    return;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < ranges[d].1 {
+                    break;
+                }
+                idx[d] = ranges[d].0;
+                if d == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Flat indices of buckets overlapping `region` at all. After
+    /// refinement, constraint regions align with boundaries, so overlap is
+    /// all-or-nothing (modulo frame clamping).
+    fn buckets_in(&self, region: &Region) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_overlapping(region, |flat, overlap| {
+            if overlap > 1e-9 {
+                out.push(flat);
+            }
+        });
+        out
+    }
+
+    // ---- refinement ----------------------------------------------------
+
+    /// Widens the frame so every finite endpoint of `region` fits inside.
+    fn extend_frame(&mut self, region: &Region) {
+        for d in 0..self.dims() {
+            let (lo, hi) = region.range(d);
+            let b = &mut self.boundaries[d];
+            if lo.is_finite() && lo < b[0] {
+                b[0] = lo;
+            }
+            let last = b.len() - 1;
+            if hi.is_finite() && hi > b[last] {
+                b[last] = hi;
+            }
+        }
+    }
+
+    /// Inserts the region's finite endpoints as boundaries (Figure 2),
+    /// splitting bucket counts proportionally to volume. Returns the
+    /// boundaries actually inserted, so the caller can stamp the buckets on
+    /// both sides of each cut — the paper stamps "the new buckets (on both
+    /// sides of the dotted line)".
+    fn refine(&mut self, region: &Region) -> Vec<(usize, f64)> {
+        let mut inserted = Vec::new();
+        for d in 0..self.dims() {
+            let (lo, hi) = region.range(d);
+            for x in [lo, hi] {
+                if x.is_finite() && self.insert_boundary(d, x) {
+                    inserted.push((d, x));
+                }
+            }
+        }
+        inserted
+    }
+
+    /// Inserts boundary `x` into dimension `d` (no-op if present or outside
+    /// the frame), splitting the covering slab of buckets proportionally.
+    /// Enforces the per-dimension boundary cap by merging the least
+    /// informative existing boundary first. Returns whether a boundary was
+    /// actually inserted.
+    fn insert_boundary(&mut self, d: usize, x: f64) -> bool {
+        let b = &self.boundaries[d];
+        if x <= b[0]
+            || x >= b[b.len() - 1]
+            || b.binary_search_by(|p| p.partial_cmp(&x).unwrap()).is_ok()
+        {
+            return false;
+        }
+        if b.len() >= self.limits.max_boundaries_per_dim {
+            self.merge_least_informative_boundary(d, x);
+            if self.boundaries[d].len() >= self.limits.max_boundaries_per_dim {
+                return false; // could not make room (all boundaries protected)
+            }
+        }
+        let b = &self.boundaries[d];
+        let pos = b.partition_point(|p| *p < x); // insert before boundaries[pos]
+        let slab = pos - 1; // bucket index being split
+        let (slab_lo, slab_hi) = (b[slab], b[pos]);
+        let f_low = (x - slab_lo) / (slab_hi - slab_lo);
+
+        let old_nb = self.bucket_counts_per_dim();
+        let old_strides = self.strides();
+        let mut new_boundaries = self.boundaries.clone();
+        new_boundaries[d].insert(pos, x);
+
+        let new_nb: Vec<usize> = new_boundaries.iter().map(|bb| bb.len() - 1).collect();
+        let total_new: usize = new_nb.iter().product();
+        let mut new_counts = vec![0.0; total_new];
+        let mut new_stamps = vec![0u64; total_new];
+
+        // new strides
+        let mut new_strides = vec![0usize; new_nb.len()];
+        let mut s = 1;
+        for dd in (0..new_nb.len()).rev() {
+            new_strides[dd] = s;
+            s *= new_nb[dd];
+        }
+
+        for flat in 0..self.counts.len() {
+            // decode old index
+            let mut rest = flat;
+            let mut idx = Vec::with_capacity(old_nb.len());
+            for stride in &old_strides {
+                idx.push(rest / stride);
+                rest %= stride;
+            }
+            let old_i = idx[d];
+            if old_i < slab {
+                let nf: usize = idx
+                    .iter()
+                    .enumerate()
+                    .map(|(dd, i)| i * new_strides[dd])
+                    .sum();
+                new_counts[nf] = self.counts[flat];
+                new_stamps[nf] = self.stamps[flat];
+            } else if old_i > slab {
+                let mut nidx = idx.clone();
+                nidx[d] += 1;
+                let nf: usize = nidx
+                    .iter()
+                    .enumerate()
+                    .map(|(dd, i)| i * new_strides[dd])
+                    .sum();
+                new_counts[nf] = self.counts[flat];
+                new_stamps[nf] = self.stamps[flat];
+            } else {
+                // split proportionally (uniformity within the old bucket)
+                let lowf: usize = idx
+                    .iter()
+                    .enumerate()
+                    .map(|(dd, i)| i * new_strides[dd])
+                    .sum();
+                let mut hidx = idx.clone();
+                hidx[d] += 1;
+                let highf: usize = hidx
+                    .iter()
+                    .enumerate()
+                    .map(|(dd, i)| i * new_strides[dd])
+                    .sum();
+                new_counts[lowf] = self.counts[flat] * f_low;
+                new_counts[highf] = self.counts[flat] * (1.0 - f_low);
+                new_stamps[lowf] = self.stamps[flat];
+                new_stamps[highf] = self.stamps[flat];
+            }
+        }
+        self.boundaries = new_boundaries;
+        self.counts = new_counts;
+        self.stamps = new_stamps;
+        true
+    }
+
+    /// Removes the interior boundary of dimension `d` whose removal loses
+    /// the least information (smallest density discontinuity), merging the
+    /// two adjacent bucket slabs. Boundaries appearing in retained
+    /// constraints or equal to `protect` are kept.
+    fn merge_least_informative_boundary(&mut self, d: usize, protect: f64) {
+        let b = &self.boundaries[d];
+        let mut protected: Vec<f64> = vec![protect];
+        for c in &self.constraints {
+            let (lo, hi) = c.region.range(d);
+            protected.push(lo);
+            protected.push(hi);
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (i, bi) in b.iter().enumerate().take(b.len() - 1).skip(1) {
+            if protected.iter().any(|p| (*p - bi).abs() < 1e-12) {
+                continue;
+            }
+            // density difference across the boundary, aggregated over the slab
+            let score = self.slab_density_discontinuity(d, i);
+            if best.is_none_or(|(_, s)| score < s) {
+                best = Some((i, score));
+            }
+        }
+        if let Some((i, _)) = best {
+            self.remove_boundary(d, i);
+        }
+    }
+
+    /// Aggregate |density_left − density_right| across the boundary at
+    /// index `i` of dimension `d`.
+    fn slab_density_discontinuity(&self, d: usize, i: usize) -> f64 {
+        let strides = self.strides();
+        let nb = self.bucket_counts_per_dim();
+        let b = &self.boundaries[d];
+        let w_left = b[i] - b[i - 1];
+        let w_right = b[i + 1] - b[i];
+        let mut score = 0.0;
+        let left_slab = i - 1;
+        // iterate all buckets in the left slab, compare with right neighbor
+        for flat in 0..self.counts.len() {
+            let idx_d = (flat / strides[d]) % nb[d];
+            if idx_d == left_slab {
+                let right = flat + strides[d];
+                let dl = self.counts[flat] / w_left.max(f64::MIN_POSITIVE);
+                let dr = self.counts[right] / w_right.max(f64::MIN_POSITIVE);
+                score += (dl - dr).abs();
+            }
+        }
+        score
+    }
+
+    /// Removes the interior boundary at index `i` of dimension `d`, merging
+    /// adjacent slabs (counts summed, stamps maxed).
+    fn remove_boundary(&mut self, d: usize, i: usize) {
+        debug_assert!(i > 0 && i < self.boundaries[d].len() - 1);
+        let old_nb = self.bucket_counts_per_dim();
+        let old_strides = self.strides();
+        let mut new_boundaries = self.boundaries.clone();
+        new_boundaries[d].remove(i);
+        let new_nb: Vec<usize> = new_boundaries.iter().map(|bb| bb.len() - 1).collect();
+        let total_new: usize = new_nb.iter().product();
+        let mut new_counts = vec![0.0; total_new];
+        let mut new_stamps = vec![0u64; total_new];
+        let mut new_strides = vec![0usize; new_nb.len()];
+        let mut s = 1;
+        for dd in (0..new_nb.len()).rev() {
+            new_strides[dd] = s;
+            s *= new_nb[dd];
+        }
+        let merged_slab = i - 1;
+        for flat in 0..self.counts.len() {
+            let mut rest = flat;
+            let mut idx = Vec::with_capacity(old_nb.len());
+            for stride in &old_strides {
+                idx.push(rest / stride);
+                rest %= stride;
+            }
+            let mut nidx = idx.clone();
+            if idx[d] > merged_slab {
+                nidx[d] -= 1;
+            }
+            let nf: usize = nidx
+                .iter()
+                .enumerate()
+                .map(|(dd, ii)| ii * new_strides[dd])
+                .sum();
+            new_counts[nf] += self.counts[flat];
+            new_stamps[nf] = new_stamps[nf].max(self.stamps[flat]);
+        }
+        self.boundaries = new_boundaries;
+        self.counts = new_counts;
+        self.stamps = new_stamps;
+    }
+
+    /// Drops retained constraints that no longer align with the grid (their
+    /// region covers no bucket, e.g. after a boundary merge removed their
+    /// sliver). Fitting an orphaned constraint would only dilute mass.
+    fn purge_orphaned_constraints(&mut self) {
+        let aligned: Vec<bool> = self
+            .constraints
+            .iter()
+            .map(|c| !self.buckets_in(&c.region).is_empty())
+            .collect();
+        let mut it = aligned.into_iter();
+        self.constraints.retain(|_| it.next().unwrap_or(false));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_2d() -> Region {
+        // paper Figure 2: a in [0, 50], b in [0, 100], 100 tuples
+        Region::new(vec![(0.0, 50.0), (0.0, 100.0)])
+    }
+
+    #[test]
+    fn paper_figure2_walkthrough() {
+        // Figure 2(a): one bucket with 100 tuples.
+        let mut h = GridHistogram::new(&frame_2d(), 100.0, 0);
+        assert_eq!(h.n_buckets(), 1);
+
+        // Query 1: (a > 20 AND b > 60), joint = 20, marginals 70 and 30.
+        let t1 = 1u64;
+        h.apply_observation(
+            &Region::new(vec![
+                (20.0, f64::INFINITY),
+                (f64::NEG_INFINITY, f64::INFINITY),
+            ]),
+            70.0,
+            100.0,
+            t1,
+        );
+        h.apply_observation(
+            &Region::new(vec![
+                (f64::NEG_INFINITY, f64::INFINITY),
+                (60.0, f64::INFINITY),
+            ]),
+            30.0,
+            100.0,
+            t1,
+        );
+        h.apply_observation(
+            &Region::new(vec![(20.0, f64::INFINITY), (60.0, f64::INFINITY)]),
+            20.0,
+            100.0,
+            t1,
+        );
+        assert_eq!(h.n_buckets(), 4, "Figure 2(b): 2x2 grid");
+        // Figure 2(b) bucket values: 20 / 10 / 50 / 20
+        fn sel(h: &GridHistogram, alo: f64, ahi: f64, blo: f64, bhi: f64) -> f64 {
+            h.selectivity(&Region::new(vec![(alo, ahi), (blo, bhi)])) * 100.0
+        }
+        assert!((sel(&h, 0.0, 20.0, 0.0, 60.0) - 20.0).abs() < 0.1);
+        assert!((sel(&h, 0.0, 20.0, 60.0, 100.0) - 10.0).abs() < 0.1);
+        assert!((sel(&h, 20.0, 50.0, 0.0, 60.0) - 50.0).abs() < 0.1);
+        assert!((sel(&h, 20.0, 50.0, 60.0, 100.0) - 20.0).abs() < 0.1);
+
+        // Query 2 (Figure 2(c)): a > 40, 14 tuples; uniformity splits the
+        // previous buckets.
+        let t2 = 2u64;
+        h.apply_observation(
+            &Region::new(vec![
+                (40.0, f64::INFINITY),
+                (f64::NEG_INFINITY, f64::INFINITY),
+            ]),
+            14.0,
+            100.0,
+            t2,
+        );
+        assert_eq!(h.n_buckets(), 6, "Figure 2(c): 3x2 grid");
+        // the a>40 slice now holds exactly 14
+        assert!((sel(&h, 40.0, 50.0, 0.0, 100.0) - 14.0).abs() < 0.1);
+        // total preserved
+        assert!((sel(&h, 0.0, 50.0, 0.0, 100.0) - 100.0).abs() < 0.1);
+        // new buckets carry the new stamp; untouched ones keep the old
+        let new_stamp = h
+            .newest_stamp_in(&Region::new(vec![(40.0, 50.0), (0.0, 100.0)]))
+            .unwrap();
+        assert_eq!(new_stamp, t2);
+        let old_stamp = h
+            .newest_stamp_in(&Region::new(vec![(0.0, 20.0), (0.0, 60.0)]))
+            .unwrap();
+        assert_eq!(old_stamp, t1);
+    }
+
+    #[test]
+    fn selectivity_interpolates_within_buckets() {
+        let h = GridHistogram::new(&Region::new(vec![(0.0, 100.0)]), 1000.0, 0);
+        let s = h.selectivity(&Region::new(vec![(0.0, 25.0)]));
+        assert!((s - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observation_outside_frame_extends_it() {
+        let mut h = GridHistogram::new(&Region::new(vec![(0.0, 100.0)]), 100.0, 0);
+        h.apply_observation(&Region::new(vec![(150.0, 200.0)]), 10.0, 110.0, 1);
+        let f = h.frame();
+        assert_eq!(f.range(0).1, 200.0);
+        let s = h.selectivity(&Region::new(vec![(150.0, 200.0)]));
+        assert!((s - 10.0 / 110.0).abs() < 1e-6, "sel {s}");
+    }
+
+    #[test]
+    fn set_total_rescales() {
+        let mut h = GridHistogram::new(&Region::new(vec![(0.0, 10.0)]), 100.0, 0);
+        h.apply_observation(&Region::new(vec![(0.0, 5.0)]), 80.0, 100.0, 1);
+        h.set_total(200.0);
+        assert_eq!(h.total(), 200.0);
+        let s = h.selectivity(&Region::new(vec![(0.0, 5.0)]));
+        assert!((s - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniformity_scores() {
+        let mut uniform = GridHistogram::new(&Region::new(vec![(0.0, 100.0)]), 100.0, 0);
+        uniform.apply_observation(&Region::new(vec![(0.0, 50.0)]), 50.0, 100.0, 1);
+        assert!(uniform.uniformity() > 0.99, "{}", uniform.uniformity());
+
+        let mut skewed = GridHistogram::new(&Region::new(vec![(0.0, 100.0)]), 100.0, 0);
+        skewed.apply_observation(&Region::new(vec![(0.0, 50.0)]), 95.0, 100.0, 1);
+        assert!(skewed.uniformity() < 0.6, "{}", skewed.uniformity());
+    }
+
+    #[test]
+    fn boundary_cap_enforced() {
+        let limits = GridLimits {
+            max_boundaries_per_dim: 5,
+            max_constraints: 4,
+        };
+        let mut h =
+            GridHistogram::new(&Region::new(vec![(0.0, 100.0)]), 100.0, 0).with_limits(limits);
+        for i in 1..40 {
+            let lo = (i as f64 * 2.3) % 100.0;
+            h.apply_observation(
+                &Region::new(vec![(lo, (lo + 7.0).min(100.0))]),
+                5.0,
+                100.0,
+                i as u64,
+            );
+        }
+        assert!(
+            h.boundaries()[0].len() <= 5 + 1,
+            "len {}",
+            h.boundaries()[0].len()
+        );
+        assert!(h.constraint_count() <= 4);
+        // mass stays non-negative and totals ~100
+        let s = h.selectivity(&Region::new(vec![(0.0, 100.0)]));
+        assert!((s - 1.0).abs() < 1e-3, "sel {s}");
+    }
+
+    #[test]
+    fn repeated_same_observation_replaces_constraint() {
+        let mut h = GridHistogram::new(&Region::new(vec![(0.0, 100.0)]), 100.0, 0);
+        for t in 1..10u64 {
+            h.apply_observation(&Region::new(vec![(0.0, 50.0)]), 30.0, 100.0, t);
+        }
+        assert_eq!(h.constraint_count(), 1);
+        let s = h.selectivity(&Region::new(vec![(0.0, 50.0)]));
+        assert!((s - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inconsistent_history_recovers_with_recent_data() {
+        let mut h = GridHistogram::new(&Region::new(vec![(0.0, 100.0)]), 100.0, 0);
+        h.apply_observation(&Region::new(vec![(0.0, 50.0)]), 90.0, 100.0, 1);
+        // data churned: same region now holds 10
+        let r = h.apply_observation(&Region::new(vec![(0.0, 50.0)]), 10.0, 100.0, 2);
+        assert!(r.converged);
+        let s = h.selectivity(&Region::new(vec![(0.0, 50.0)]));
+        assert!((s - 0.1).abs() < 1e-3, "sel {s}");
+    }
+
+    #[test]
+    fn three_dimensional_grid() {
+        let frame = Region::new(vec![(0.0, 10.0), (0.0, 10.0), (0.0, 10.0)]);
+        let mut h = GridHistogram::new(&frame, 1000.0, 0);
+        h.apply_observation(
+            &Region::new(vec![(5.0, 10.0), (5.0, 10.0), (5.0, 10.0)]),
+            500.0,
+            1000.0,
+            1,
+        );
+        assert_eq!(h.n_buckets(), 8);
+        let s = h.selectivity(&Region::new(vec![(5.0, 10.0), (5.0, 10.0), (5.0, 10.0)]));
+        assert!((s - 0.5).abs() < 1e-6);
+        // a sub-cube of the corner octant interpolates uniformly
+        let s = h.selectivity(&Region::new(vec![(5.0, 7.5), (5.0, 10.0), (5.0, 10.0)]));
+        assert!((s - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lru_touch() {
+        let mut h = GridHistogram::new(&Region::new(vec![(0.0, 1.0)]), 10.0, 3);
+        assert_eq!(h.last_used(), 3);
+        h.touch(7);
+        assert_eq!(h.last_used(), 7);
+        h.touch(5);
+        assert_eq!(h.last_used(), 7, "touch never moves time backwards");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use jits_common::SplitMix64;
+    use proptest::prelude::*;
+
+    /// Random observation sequences over a 2-D grid.
+    fn random_observations(seed: u64, n: usize) -> (GridHistogram, Vec<(Region, f64)>) {
+        let mut rng = SplitMix64::new(seed);
+        let frame = Region::new(vec![(0.0, 1000.0), (0.0, 1000.0)]);
+        let mut h = GridHistogram::new(&frame, 10_000.0, 0);
+        let mut obs = Vec::new();
+        for t in 0..n {
+            let alo = rng.next_f64() * 900.0;
+            let blo = rng.next_f64() * 900.0;
+            let region = Region::new(vec![
+                (alo, alo + 1.0 + rng.next_f64() * 99.0),
+                (blo, blo + 1.0 + rng.next_f64() * 99.0),
+            ]);
+            let count = rng.next_f64() * 10_000.0;
+            h.apply_observation(&region, count, 10_000.0, t as u64 + 1);
+            obs.push((region, count));
+        }
+        (h, obs)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn selectivity_is_always_a_fraction(seed in any::<u64>(), n in 1usize..12) {
+            let (h, _) = random_observations(seed, n);
+            let mut rng = SplitMix64::new(seed ^ 0xABCD);
+            for _ in 0..16 {
+                let alo = rng.next_f64() * 1000.0;
+                let blo = rng.next_f64() * 1000.0;
+                let q = Region::new(vec![
+                    (alo, alo + rng.next_f64() * 500.0),
+                    (blo, blo + rng.next_f64() * 500.0),
+                ]);
+                let s = h.selectivity(&q);
+                prop_assert!((0.0..=1.0).contains(&s), "sel {s}");
+            }
+        }
+
+        #[test]
+        fn full_frame_mass_is_total(seed in any::<u64>(), n in 1usize..12) {
+            let (h, _) = random_observations(seed, n);
+            let full = h.frame();
+            let s = h.selectivity(&full);
+            prop_assert!((s - 1.0).abs() < 1e-3, "full-frame selectivity {s}");
+        }
+
+        #[test]
+        fn counts_stay_nonnegative(seed in any::<u64>(), n in 1usize..12) {
+            let (h, _) = random_observations(seed, n);
+            prop_assert!(h.counts().iter().all(|c| *c >= -1e-9));
+        }
+
+        #[test]
+        fn latest_consistent_observation_is_honored(seed in any::<u64>()) {
+            // a single (thus trivially consistent) observation must be
+            // answered exactly
+            let frame = Region::new(vec![(0.0, 100.0)]);
+            let mut h = GridHistogram::new(&frame, 1000.0, 0);
+            let mut rng = SplitMix64::new(seed);
+            let lo = rng.next_f64() * 90.0;
+            let region = Region::new(vec![(lo, lo + 1.0 + rng.next_f64() * 9.0)]);
+            let count = rng.next_f64() * 1000.0;
+            h.apply_observation(&region, count, 1000.0, 1);
+            let s = h.selectivity(&region);
+            prop_assert!(
+                (s - count / 1000.0).abs() < 1e-6,
+                "sel {s} vs observed {}",
+                count / 1000.0
+            );
+        }
+
+        #[test]
+        fn monotone_in_region_growth(seed in any::<u64>(), n in 1usize..10) {
+            let (h, _) = random_observations(seed, n);
+            let mut rng = SplitMix64::new(seed ^ 0x5555);
+            let alo = rng.next_f64() * 500.0;
+            let blo = rng.next_f64() * 500.0;
+            let small = Region::new(vec![(alo, alo + 100.0), (blo, blo + 100.0)]);
+            let big = Region::new(vec![(alo, alo + 400.0), (blo, blo + 400.0)]);
+            prop_assert!(h.selectivity(&small) <= h.selectivity(&big) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Maximum-entropy fitting of bucket counts to region constraints.
+//!
+//! The QSS archive update (paper §3.4) must find "a distribution that
+//! satisfies the knowledge gained by the new statistics without assuming any
+//! further knowledge of the data, i.e., assuming uniformity unless more
+//! information is known". For a set of observed region counts over a grid
+//! whose buckets align with every region (the grid refines itself before
+//! fitting), the maximum-entropy distribution is reached by **iterative
+//! proportional fitting** (IPF / raking): repeatedly scale the mass inside
+//! each constraint region to its observed count and the mass outside to the
+//! remainder, until all constraints hold.
+
+use crate::region::Region;
+
+/// An observed fact: `count` rows fall in `region`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// The predicate region (finite after clamping to the grid frame).
+    pub region: Region,
+    /// Observed (or sample-extrapolated) number of rows inside.
+    pub count: f64,
+    /// Logical time the observation was made; newer constraints win when the
+    /// retained set must shrink.
+    pub stamp: u64,
+}
+
+/// IPF convergence knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct IpfOptions {
+    /// Maximum raking sweeps over the constraint set.
+    pub max_iters: usize,
+    /// Stop when every constraint's relative residual falls below this.
+    pub tolerance: f64,
+}
+
+impl Default for IpfOptions {
+    fn default() -> Self {
+        IpfOptions {
+            max_iters: 60,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+/// Outcome of a fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitResult {
+    /// Sweeps performed.
+    pub iterations: usize,
+    /// Largest relative constraint residual at exit (0 = exact).
+    pub max_residual: f64,
+    /// Whether the tolerance was reached (false means the constraint set is
+    /// inconsistent — e.g. observations from different data versions).
+    pub converged: bool,
+}
+
+/// A constraint lowered onto the grid: the flat indices of the buckets it
+/// covers plus its target count.
+#[derive(Debug, Clone)]
+pub struct LoweredConstraint {
+    /// Flat bucket indices fully covered by the constraint region.
+    pub buckets: Vec<usize>,
+    /// Target mass for those buckets.
+    pub target: f64,
+}
+
+/// Runs IPF over `counts` (total mass `total`) for the lowered constraints.
+///
+/// Each sweep visits every constraint and rescales the inside mass to the
+/// target and the outside mass to `total - target`, preserving the grand
+/// total. Zero inside-mass is re-seeded uniformly across the constraint's
+/// buckets so constraints over previously-empty regions still take effect.
+pub fn fit(
+    counts: &mut [f64],
+    total: f64,
+    constraints: &[LoweredConstraint],
+    opts: IpfOptions,
+) -> FitResult {
+    if constraints.is_empty() || counts.is_empty() || total <= 0.0 {
+        return FitResult {
+            iterations: 0,
+            max_residual: 0.0,
+            converged: true,
+        };
+    }
+    // Precompute membership masks so each sweep is allocation-free.
+    let masks: Vec<Vec<bool>> = constraints
+        .iter()
+        .map(|c| {
+            let mut m = vec![false; counts.len()];
+            for &b in &c.buckets {
+                m[b] = true;
+            }
+            m
+        })
+        .collect();
+    let mut max_residual = 0.0;
+    for iter in 0..opts.max_iters {
+        max_residual = 0.0f64;
+        for (c, mask) in constraints.iter().zip(&masks) {
+            if c.buckets.is_empty() {
+                continue; // orphaned constraint: nothing to scale
+            }
+            let target = c.count_clamped(total);
+            let inside: f64 = c.buckets.iter().map(|&b| counts[b]).sum();
+            let outside = (total - inside).max(0.0);
+            let residual = relative_residual(inside, target, total);
+            max_residual = max_residual.max(residual);
+            if residual <= opts.tolerance {
+                continue;
+            }
+            // scale inside to target
+            if inside > 0.0 {
+                let f = target / inside;
+                for &b in &c.buckets {
+                    counts[b] *= f;
+                }
+            } else if target > 0.0 {
+                let per = target / c.buckets.len() as f64;
+                for &b in &c.buckets {
+                    counts[b] = per;
+                }
+            }
+            // scale outside to keep the grand total
+            let new_outside_target = (total - target).max(0.0);
+            if outside > 0.0 {
+                let f = new_outside_target / outside;
+                for (v, inside_bucket) in counts.iter_mut().zip(mask) {
+                    if !inside_bucket {
+                        *v *= f;
+                    }
+                }
+            }
+        }
+        if max_residual <= opts.tolerance {
+            return FitResult {
+                iterations: iter + 1,
+                max_residual,
+                converged: true,
+            };
+        }
+    }
+    FitResult {
+        iterations: opts.max_iters,
+        max_residual,
+        converged: max_residual <= opts.tolerance,
+    }
+}
+
+impl LoweredConstraint {
+    fn count_clamped(&self, total: f64) -> f64 {
+        self.target.clamp(0.0, total)
+    }
+}
+
+fn relative_residual(actual: f64, target: f64, total: f64) -> f64 {
+    (actual - target).abs() / total.max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum(c: &[f64]) -> f64 {
+        c.iter().sum()
+    }
+
+    #[test]
+    fn single_constraint_splits_mass() {
+        // 4 buckets, total 100, constraint: buckets {2,3} hold 20
+        let mut counts = vec![25.0; 4];
+        let cs = [LoweredConstraint {
+            buckets: vec![2, 3],
+            target: 20.0,
+        }];
+        let r = fit(&mut counts, 100.0, &cs, IpfOptions::default());
+        assert!(r.converged);
+        assert!((counts[2] + counts[3] - 20.0).abs() < 1e-6);
+        assert!((sum(&counts) - 100.0).abs() < 1e-6);
+        // outside mass distributed proportionally (stays uniform)
+        assert!((counts[0] - 40.0).abs() < 1e-6);
+        assert!((counts[1] - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_figure2_marginals() {
+        // Figure 2(b): 2x2 grid over a in {<=20, >20}, b in {<=60, >60},
+        // total 100, constraints: a>20 -> 70, b>60 -> 30, joint -> 20.
+        // flat layout: [a0b0, a0b1, a1b0, a1b1]
+        let mut counts = vec![25.0; 4];
+        let cs = [
+            LoweredConstraint {
+                buckets: vec![2, 3],
+                target: 70.0,
+            },
+            LoweredConstraint {
+                buckets: vec![1, 3],
+                target: 30.0,
+            },
+            LoweredConstraint {
+                buckets: vec![3],
+                target: 20.0,
+            },
+        ];
+        let r = fit(&mut counts, 100.0, &cs, IpfOptions::default());
+        assert!(r.converged, "residual {}", r.max_residual);
+        // the unique solution given all three constraints:
+        // a1b1=20, a1b0=50, a0b1=10, a0b0=20  (matches Figure 2(b))
+        assert!((counts[3] - 20.0).abs() < 1e-3, "{counts:?}");
+        assert!((counts[2] - 50.0).abs() < 1e-3, "{counts:?}");
+        assert!((counts[1] - 10.0).abs() < 1e-3, "{counts:?}");
+        assert!((counts[0] - 20.0).abs() < 1e-3, "{counts:?}");
+    }
+
+    #[test]
+    fn empty_region_reseeded() {
+        let mut counts = vec![100.0, 0.0, 0.0, 0.0];
+        let cs = [LoweredConstraint {
+            buckets: vec![1, 2],
+            target: 40.0,
+        }];
+        let r = fit(&mut counts, 100.0, &cs, IpfOptions::default());
+        assert!(r.converged);
+        assert!((counts[1] - 20.0).abs() < 1e-6);
+        assert!((counts[2] - 20.0).abs() < 1e-6);
+        assert!((sum(&counts) - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inconsistent_constraints_flagged() {
+        // two constraints on the same bucket demanding different masses
+        let mut counts = vec![50.0, 50.0];
+        let cs = [
+            LoweredConstraint {
+                buckets: vec![0],
+                target: 10.0,
+            },
+            LoweredConstraint {
+                buckets: vec![0],
+                target: 90.0,
+            },
+        ];
+        let r = fit(
+            &mut counts,
+            100.0,
+            &cs,
+            IpfOptions {
+                max_iters: 20,
+                tolerance: 1e-9,
+            },
+        );
+        assert!(!r.converged);
+        assert!(sum(&counts) > 0.0);
+        assert!(counts.iter().all(|c| *c >= 0.0));
+    }
+
+    #[test]
+    fn target_clamped_to_total() {
+        let mut counts = vec![50.0, 50.0];
+        let cs = [LoweredConstraint {
+            buckets: vec![0],
+            target: 500.0,
+        }];
+        let r = fit(&mut counts, 100.0, &cs, IpfOptions::default());
+        assert!(r.converged);
+        assert!((counts[0] - 100.0).abs() < 1e-6);
+        assert!(counts[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_constraints_is_noop() {
+        let mut counts = vec![30.0, 70.0];
+        let r = fit(&mut counts, 100.0, &[], IpfOptions::default());
+        assert!(r.converged);
+        assert_eq!(counts, vec![30.0, 70.0]);
+    }
+
+    #[test]
+    fn counts_stay_nonnegative_and_total_preserved() {
+        let mut counts = vec![10.0, 20.0, 30.0, 40.0];
+        let cs = [
+            LoweredConstraint {
+                buckets: vec![0, 1],
+                target: 80.0,
+            },
+            LoweredConstraint {
+                buckets: vec![1, 2],
+                target: 15.0,
+            },
+        ];
+        let r = fit(&mut counts, 100.0, &cs, IpfOptions::default());
+        assert!(counts.iter().all(|c| *c >= -1e-9), "{counts:?}");
+        assert!((sum(&counts) - 100.0).abs() < 1e-3, "{counts:?}");
+        assert!(r.iterations >= 1);
+    }
+}

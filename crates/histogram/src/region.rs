@@ -1,0 +1,177 @@
+//! Axis-aligned N-dimensional regions on the histogram axis.
+//!
+//! A region is the numeric form of a predicate group: one half-open range
+//! `[lo, hi)` per dimension (unconstrained dimensions use infinite bounds).
+//! Regions are what max-entropy constraints and selectivity queries are
+//! expressed in.
+
+use std::fmt;
+
+/// An axis-aligned box, one `[lo, hi)` range per dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    ranges: Vec<(f64, f64)>,
+}
+
+impl Region {
+    /// Builds a region from per-dimension half-open ranges.
+    ///
+    /// Empty-or-inverted ranges are normalized to zero-width at `lo`.
+    pub fn new(ranges: Vec<(f64, f64)>) -> Self {
+        let ranges = ranges
+            .into_iter()
+            .map(|(lo, hi)| if hi < lo { (lo, lo) } else { (lo, hi) })
+            .collect();
+        Region { ranges }
+    }
+
+    /// The fully unbounded region of `dims` dimensions.
+    pub fn unbounded(dims: usize) -> Self {
+        Region {
+            ranges: vec![(f64::NEG_INFINITY, f64::INFINITY); dims],
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Per-dimension ranges.
+    pub fn ranges(&self) -> &[(f64, f64)] {
+        &self.ranges
+    }
+
+    /// The range along dimension `d`.
+    pub fn range(&self, d: usize) -> (f64, f64) {
+        self.ranges[d]
+    }
+
+    /// True if any dimension has zero width.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.iter().any(|(lo, hi)| hi <= lo)
+    }
+
+    /// True if the point lies inside (half-open semantics).
+    pub fn contains(&self, point: &[f64]) -> bool {
+        debug_assert_eq!(point.len(), self.dims());
+        self.ranges
+            .iter()
+            .zip(point)
+            .all(|((lo, hi), x)| x >= lo && x < hi)
+    }
+
+    /// Intersection with another region of equal dimensionality.
+    pub fn intersect(&self, other: &Region) -> Region {
+        debug_assert_eq!(self.dims(), other.dims());
+        Region::new(
+            self.ranges
+                .iter()
+                .zip(&other.ranges)
+                .map(|((alo, ahi), (blo, bhi))| (alo.max(*blo), ahi.min(*bhi)))
+                .collect(),
+        )
+    }
+
+    /// Clamps infinite bounds to a finite frame (same dimensionality).
+    pub fn clamp_to(&self, frame: &Region) -> Region {
+        self.intersect(frame)
+    }
+
+    /// Volume of the region; meaningful only after clamping to a finite
+    /// frame. Zero-width dimensions yield zero volume.
+    pub fn volume(&self) -> f64 {
+        self.ranges
+            .iter()
+            .map(|(lo, hi)| (hi - lo).max(0.0))
+            .product()
+    }
+
+    /// Fraction of this region's volume that overlaps `other`
+    /// (0 when this region has zero volume).
+    pub fn overlap_fraction(&self, other: &Region) -> f64 {
+        let v = self.volume();
+        if v <= 0.0 || !v.is_finite() {
+            return 0.0;
+        }
+        self.intersect(other).volume() / v
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (lo, hi)) in self.ranges.iter().enumerate() {
+            if i > 0 {
+                write!(f, " x ")?;
+            }
+            write!(f, "[{lo}, {hi})")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn contains_half_open() {
+        let r = Region::new(vec![(0.0, 10.0), (5.0, 6.0)]);
+        assert!(r.contains(&[0.0, 5.0]));
+        assert!(!r.contains(&[10.0, 5.0]));
+        assert!(!r.contains(&[5.0, 6.0]));
+    }
+
+    #[test]
+    fn inverted_ranges_normalize_empty() {
+        let r = Region::new(vec![(5.0, 2.0)]);
+        assert!(r.is_empty());
+        assert_eq!(r.volume(), 0.0);
+    }
+
+    #[test]
+    fn intersection_and_volume() {
+        let a = Region::new(vec![(0.0, 10.0), (0.0, 10.0)]);
+        let b = Region::new(vec![(5.0, 15.0), (-5.0, 5.0)]);
+        let i = a.intersect(&b);
+        assert_eq!(i.ranges(), &[(5.0, 10.0), (0.0, 5.0)]);
+        assert_eq!(i.volume(), 25.0);
+        assert_eq!(a.overlap_fraction(&b), 0.25);
+    }
+
+    #[test]
+    fn clamp_infinite_bounds() {
+        let frame = Region::new(vec![(0.0, 100.0)]);
+        let r = Region::new(vec![(20.0, f64::INFINITY)]).clamp_to(&frame);
+        assert_eq!(r.ranges(), &[(20.0, 100.0)]);
+        let u = Region::unbounded(1).clamp_to(&frame);
+        assert_eq!(u.ranges(), frame.ranges());
+    }
+
+    proptest! {
+        #[test]
+        fn intersect_commutes(
+            a in (-100.0f64..100.0, -100.0f64..100.0),
+            b in (-100.0f64..100.0, -100.0f64..100.0),
+        ) {
+            let r1 = Region::new(vec![(a.0.min(a.1), a.0.max(a.1))]);
+            let r2 = Region::new(vec![(b.0.min(b.1), b.0.max(b.1))]);
+            prop_assert_eq!(r1.intersect(&r2), r2.intersect(&r1));
+        }
+
+        #[test]
+        fn intersection_volume_bounded(
+            a in (-100.0f64..100.0, -100.0f64..100.0),
+            b in (-100.0f64..100.0, -100.0f64..100.0),
+        ) {
+            let r1 = Region::new(vec![(a.0.min(a.1), a.0.max(a.1))]);
+            let r2 = Region::new(vec![(b.0.min(b.1), b.0.max(b.1))]);
+            let v = r1.intersect(&r2).volume();
+            prop_assert!(v <= r1.volume() + 1e-9);
+            prop_assert!(v <= r2.volume() + 1e-9);
+            prop_assert!(v >= 0.0);
+        }
+    }
+}

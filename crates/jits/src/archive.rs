@@ -1,0 +1,328 @@
+//! The QSS archive — "a repository of adaptive single- and
+//! multi-dimensional histograms" (paper §3.1).
+//!
+//! Histograms are keyed by [`ColGroup`]. Observations from compile-time
+//! sampling update them through the max-entropy machinery in
+//! `jits-histogram`. A bucket budget bounds total space; when exceeded, the
+//! paper's eviction policy applies (§3.4): "we remove the histograms that
+//! are almost uniformly distributed (as they are close to the optimizer's
+//! assumptions). In case more than one histogram satisfies this property, we
+//! use LRU".
+
+use jits_common::ColGroup;
+use jits_histogram::{region_accuracy, GridHistogram, Region};
+use std::collections::HashMap;
+
+/// The archive.
+///
+/// ```
+/// use jits::QssArchive;
+/// use jits_common::{ColGroup, ColumnId, TableId};
+/// use jits_histogram::Region;
+///
+/// let mut archive = QssArchive::default();
+/// let group = ColGroup::single(TableId(0), ColumnId(2));
+/// archive.apply_observation(
+///     group.clone(),
+///     &Region::new(vec![(0.0, 100.0)]),   // frame
+///     &Region::new(vec![(0.0, 30.0)]),    // observed region
+///     600.0,                               // rows inside
+///     1000.0,                              // table rows
+///     1,                                   // logical time
+/// );
+/// let sel = archive.selectivity(&group, &Region::new(vec![(0.0, 30.0)])).unwrap();
+/// assert!((sel - 0.6).abs() < 1e-9);
+/// ```
+#[derive(Debug)]
+pub struct QssArchive {
+    histograms: HashMap<ColGroup, GridHistogram>,
+    /// Total-bucket budget across all histograms.
+    bucket_budget: usize,
+    /// Uniformity above which a histogram is "almost uniform" and evictable
+    /// ahead of LRU.
+    eviction_uniformity: f64,
+}
+
+impl QssArchive {
+    /// An empty archive with the given space budget.
+    pub fn new(bucket_budget: usize, eviction_uniformity: f64) -> Self {
+        QssArchive {
+            histograms: HashMap::new(),
+            bucket_budget: bucket_budget.max(1),
+            eviction_uniformity,
+        }
+    }
+
+    /// Adjusts the space budget and eviction threshold in place (keeps the
+    /// stored histograms, evicting only if the new budget is tighter).
+    pub fn set_limits(&mut self, bucket_budget: usize, eviction_uniformity: f64) {
+        self.bucket_budget = bucket_budget.max(1);
+        self.eviction_uniformity = eviction_uniformity;
+        self.enforce_budget();
+    }
+
+    /// Number of stored histograms.
+    pub fn len(&self) -> usize {
+        self.histograms.len()
+    }
+
+    /// True if the archive holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.histograms.is_empty()
+    }
+
+    /// Total buckets across all histograms.
+    pub fn total_buckets(&self) -> usize {
+        self.histograms.values().map(GridHistogram::n_buckets).sum()
+    }
+
+    /// The histogram stored for a column group, if any.
+    pub fn histogram(&self, group: &ColGroup) -> Option<&GridHistogram> {
+        self.histograms.get(group)
+    }
+
+    /// Iterates over all (group, histogram) pairs (for migration).
+    pub fn iter(&self) -> impl Iterator<Item = (&ColGroup, &GridHistogram)> {
+        self.histograms.iter()
+    }
+
+    /// Estimated selectivity of `region` under the group's histogram.
+    pub fn selectivity(&self, group: &ColGroup, region: &Region) -> Option<f64> {
+        self.histograms.get(group).map(|h| h.selectivity(region))
+    }
+
+    /// Marks a histogram as used at `stamp` (LRU bookkeeping — call after
+    /// the optimizer consumed an estimate from it).
+    pub fn touch(&mut self, group: &ColGroup, stamp: u64) {
+        if let Some(h) = self.histograms.get_mut(group) {
+            h.touch(stamp);
+        }
+    }
+
+    /// The paper's accuracy of the group's histogram w.r.t. a region, or
+    /// `None` when no histogram exists.
+    pub fn accuracy(&self, group: &ColGroup, region: &Region) -> Option<f64> {
+        self.histograms
+            .get(group)
+            .map(|h| region_accuracy(h.boundaries(), region))
+    }
+
+    /// Applies an observation (`count` of `total` rows in `region`) to the
+    /// group's histogram, creating it over `frame` first if absent, then
+    /// enforces the space budget.
+    pub fn apply_observation(
+        &mut self,
+        group: ColGroup,
+        frame: &Region,
+        region: &Region,
+        count: f64,
+        total: f64,
+        stamp: u64,
+    ) {
+        let hist = self
+            .histograms
+            .entry(group)
+            .or_insert_with(|| GridHistogram::new(frame, total, stamp));
+        hist.apply_observation(region, count, total, stamp);
+        hist.touch(stamp);
+        self.enforce_budget();
+    }
+
+    /// Rescales a group's histogram to a new table cardinality (e.g. after
+    /// heavy churn was detected).
+    pub fn set_total(&mut self, group: &ColGroup, total: f64) {
+        if let Some(h) = self.histograms.get_mut(group) {
+            h.set_total(total);
+        }
+    }
+
+    /// Evicts histograms until the bucket budget holds: almost-uniform
+    /// histograms first (LRU among them), then pure LRU.
+    fn enforce_budget(&mut self) {
+        while self.total_buckets() > self.bucket_budget && self.histograms.len() > 1 {
+            let victim = self.pick_victim();
+            if let Some(v) = victim {
+                self.histograms.remove(&v);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn pick_victim(&self) -> Option<ColGroup> {
+        // almost-uniform candidates, least recently used first
+        let uniform = self
+            .histograms
+            .iter()
+            .filter(|(_, h)| h.uniformity() >= self.eviction_uniformity)
+            .min_by(|(ga, a), (gb, b)| a.last_used().cmp(&b.last_used()).then_with(|| ga.cmp(gb)))
+            .map(|(g, _)| g.clone());
+        if uniform.is_some() {
+            return uniform;
+        }
+        self.histograms
+            .iter()
+            .min_by(|(ga, a), (gb, b)| a.last_used().cmp(&b.last_used()).then_with(|| ga.cmp(gb)))
+            .map(|(g, _)| g.clone())
+    }
+
+    /// Drops everything (used between experiment settings).
+    pub fn clear(&mut self) {
+        self.histograms.clear();
+    }
+}
+
+impl Default for QssArchive {
+    fn default() -> Self {
+        QssArchive::new(4096, 0.9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jits_common::{ColumnId, TableId};
+
+    fn group(t: u32, cols: &[u32]) -> ColGroup {
+        ColGroup::new(TableId(t), cols.iter().map(|c| ColumnId(*c)).collect())
+    }
+
+    fn frame1d() -> Region {
+        Region::new(vec![(0.0, 100.0)])
+    }
+
+    #[test]
+    fn store_and_estimate() {
+        let mut a = QssArchive::default();
+        let g = group(0, &[1]);
+        a.apply_observation(
+            g.clone(),
+            &frame1d(),
+            &Region::new(vec![(0.0, 30.0)]),
+            90.0,
+            100.0,
+            1,
+        );
+        assert_eq!(a.len(), 1);
+        let sel = a.selectivity(&g, &Region::new(vec![(0.0, 30.0)])).unwrap();
+        assert!((sel - 0.9).abs() < 1e-6);
+        assert!(a.selectivity(&group(0, &[2]), &frame1d()).is_none());
+    }
+
+    #[test]
+    fn accuracy_reflects_boundaries() {
+        let mut a = QssArchive::default();
+        let g = group(0, &[1]);
+        a.apply_observation(
+            g.clone(),
+            &frame1d(),
+            &Region::new(vec![(0.0, 30.0)]),
+            50.0,
+            100.0,
+            1,
+        );
+        // exactly at the observed boundary: perfect accuracy
+        let acc = a
+            .accuracy(&g, &Region::new(vec![(30.0, f64::INFINITY)]))
+            .unwrap();
+        assert_eq!(acc, 1.0);
+        // mid-bucket: worse
+        let acc = a
+            .accuracy(&g, &Region::new(vec![(55.0, f64::INFINITY)]))
+            .unwrap();
+        assert!(acc < 1.0);
+        assert!(a.accuracy(&group(9, &[9]), &frame1d()).is_none());
+    }
+
+    #[test]
+    fn budget_evicts_uniform_first() {
+        // 7 histograms of 2 buckets each will exceed this budget by one
+        // histogram, forcing exactly one eviction
+        let mut a = QssArchive::new(12, 0.9);
+        let skewed = group(0, &[1]);
+        let uniform = group(0, &[2]);
+        // skewed histogram: heavily non-uniform, recently used
+        a.apply_observation(
+            skewed.clone(),
+            &frame1d(),
+            &Region::new(vec![(0.0, 10.0)]),
+            95.0,
+            100.0,
+            10,
+        );
+        // uniform histogram, also recently used
+        a.apply_observation(
+            uniform.clone(),
+            &frame1d(),
+            &Region::new(vec![(0.0, 50.0)]),
+            50.0,
+            100.0,
+            11,
+        );
+        assert_eq!(a.len(), 2);
+        // now push several more groups to blow the budget
+        for c in 3..8u32 {
+            a.apply_observation(
+                group(0, &[c]),
+                &frame1d(),
+                &Region::new(vec![(0.0, 10.0)]),
+                90.0,
+                100.0,
+                12 + c as u64,
+            );
+        }
+        // the uniform histogram must be gone; the skewed one must survive
+        assert!(a.histogram(&uniform).is_none(), "uniform should be evicted");
+        assert!(a.histogram(&skewed).is_some(), "skewed should survive");
+        assert!(a.total_buckets() <= 12);
+    }
+
+    #[test]
+    fn lru_breaks_ties() {
+        let mut a = QssArchive::new(4, 0.0); // everything is "uniform enough"
+        a.apply_observation(
+            group(0, &[1]),
+            &frame1d(),
+            &Region::new(vec![(0.0, 50.0)]),
+            50.0,
+            100.0,
+            1,
+        );
+        a.apply_observation(
+            group(0, &[2]),
+            &frame1d(),
+            &Region::new(vec![(0.0, 50.0)]),
+            50.0,
+            100.0,
+            2,
+        );
+        a.touch(&group(0, &[1]), 10); // make g1 the most recent
+        a.apply_observation(
+            group(0, &[3]),
+            &frame1d(),
+            &Region::new(vec![(0.0, 50.0)]),
+            50.0,
+            100.0,
+            3,
+        );
+        // g2 (last_used 2) is the LRU victim
+        assert!(a.histogram(&group(0, &[2])).is_none());
+        assert!(a.histogram(&group(0, &[1])).is_some());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut a = QssArchive::default();
+        a.apply_observation(
+            group(0, &[1]),
+            &frame1d(),
+            &Region::new(vec![(0.0, 50.0)]),
+            50.0,
+            100.0,
+            1,
+        );
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.total_buckets(), 0);
+    }
+}

@@ -1,0 +1,344 @@
+//! Statistics collection: sample once per marked table, evaluate every
+//! candidate group on the sample.
+//!
+//! This is the paper's simplification heuristic in action (§3.3): "most of
+//! the cost of computing the statistics is in the sampling process. Once a
+//! table is sampled, it is relatively cheap to collect the selectivities of
+//! all predicate groups that belong to this table." Single predicates are
+//! evaluated once per sampled row into bitsets; every group's joint count is
+//! then a bitwise AND.
+
+use crate::analysis::CandidateGroup;
+use jits_common::{ColGroup, ColumnId, DataType, SplitMix64, TableId};
+use jits_histogram::Region;
+use jits_query::QueryBlock;
+use jits_storage::{sample::sample_rows, SampleSpec, Table};
+use std::collections::HashMap;
+
+/// Joint statistics of one candidate group, measured on a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupStat {
+    /// Canonical column group.
+    pub colgroup: ColGroup,
+    /// Measured selectivity (matches / sample size).
+    pub selectivity: f64,
+    /// Matching sample rows.
+    pub matches: usize,
+    /// Sample size the selectivity was measured on.
+    pub sample_size: usize,
+    /// The group's axis region (present iff every predicate has an interval
+    /// form), in colgroup column order.
+    pub region: Option<Region>,
+}
+
+/// Everything one compile-time collection pass produced.
+#[derive(Debug, Clone, Default)]
+pub struct CollectedStats {
+    /// Group statistics keyed by (quantifier, sorted predicate indices).
+    pub groups: HashMap<(usize, Vec<usize>), GroupStat>,
+    /// Exact live row counts of the sampled tables.
+    pub table_rows: HashMap<TableId, f64>,
+    /// Per-column-group finite frames observed from the sample (min/max per
+    /// column, slightly widened) — used to seed new archive histograms.
+    pub frames: HashMap<ColGroup, Region>,
+    /// Work charged for the collection, in cost-model units.
+    pub work: f64,
+}
+
+impl CollectedStats {
+    /// Looks up a group's stats by quantifier and predicate indices.
+    pub fn group(&self, qun: usize, pred_indices: &[usize]) -> Option<&GroupStat> {
+        let mut key = pred_indices.to_vec();
+        key.sort_unstable();
+        self.groups.get(&(qun, key))
+    }
+}
+
+/// The axis region of a predicate group, in canonical colgroup column order.
+/// `None` if any predicate lacks an interval form.
+pub fn group_region(
+    block: &QueryBlock,
+    qun: usize,
+    pred_indices: &[usize],
+    schema_types: &dyn Fn(ColumnId) -> DataType,
+) -> Option<Region> {
+    if !block.group_is_region(pred_indices) {
+        return None;
+    }
+    let colgroup = block.colgroup_of(pred_indices);
+    let (intervals, _residuals) = block.constraints_of(pred_indices);
+    let mut ranges = Vec::with_capacity(colgroup.arity());
+    for &col in colgroup.columns() {
+        let iv = intervals
+            .iter()
+            .find(|(c, _)| *c == col)
+            .map(|(_, iv)| iv)?;
+        ranges.push(iv.to_axis_range_typed(schema_types(col)));
+    }
+    let _ = qun;
+    Some(Region::new(ranges))
+}
+
+/// Samples each marked quantifier's table once and computes the selectivity
+/// of every candidate group on that quantifier.
+pub fn collect_for_tables(
+    block: &QueryBlock,
+    sample_quns: &[usize],
+    candidates: &[CandidateGroup],
+    tables: &[Table],
+    spec: SampleSpec,
+    rng: &mut SplitMix64,
+) -> CollectedStats {
+    let mut out = CollectedStats::default();
+    // Table statistics (row counts) are "needed for every table involved in
+    // the query" (paper §3.2) and are cheap metadata — collect them for all
+    // quantifiers, not just the sampled ones.
+    for qun in &block.quns {
+        if let Some(table) = tables.get(qun.table.index()) {
+            out.table_rows.insert(qun.table, table.row_count() as f64);
+        }
+    }
+    for &qun in sample_quns {
+        let tid = block.quns[qun].table;
+        let Some(table) = tables.get(tid.index()) else {
+            continue;
+        };
+
+        let rows = sample_rows(table, spec, rng);
+        let n = rows.len();
+        // random-probe sampling costs O(sample), independent of table size
+        // (paper §4, citing [1, 8, 12]); charge a random-access fetch per
+        // sampled row
+        out.work += n as f64 * 2.0;
+        if n == 0 {
+            continue;
+        }
+
+        // evaluate each single local predicate into a bitset over the sample
+        let local = block.local_predicates_of(qun);
+        let words = n.div_ceil(64);
+        let mut bitsets: HashMap<usize, Vec<u64>> = HashMap::new();
+        for &pi in &local {
+            let p = &block.local_predicates[pi];
+            let mut bits = vec![0u64; words];
+            for (i, &row) in rows.iter().enumerate() {
+                if p.matches(&table.value(row, p.column)) {
+                    bits[i / 64] |= 1 << (i % 64);
+                }
+            }
+            bitsets.insert(pi, bits);
+        }
+        out.work += (n * local.len()) as f64;
+
+        // per-column frames from the sample, for seeding archive histograms
+        let mut col_minmax: HashMap<ColumnId, (f64, f64)> = HashMap::new();
+        let used_cols: Vec<ColumnId> = {
+            let mut cols: Vec<ColumnId> = local
+                .iter()
+                .map(|&pi| block.local_predicates[pi].column)
+                .collect();
+            cols.sort_unstable();
+            cols.dedup();
+            cols
+        };
+        for &col in &used_cols {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &row in &rows {
+                if let Some(x) = table.axis_value(row, col) {
+                    lo = lo.min(x);
+                    hi = hi.max(x);
+                }
+            }
+            if lo.is_finite() && hi >= lo {
+                let pad = ((hi - lo).abs() * 0.05).max(1.0);
+                col_minmax.insert(col, (lo - pad, hi + pad));
+            }
+        }
+
+        // AND bitsets per candidate group
+        let types = |col: ColumnId| {
+            table
+                .schema()
+                .column(col)
+                .map(|c| c.dtype)
+                .unwrap_or(DataType::Float)
+        };
+        for cand in candidates.iter().filter(|c| c.qun == qun) {
+            let mut acc = vec![u64::MAX; words];
+            for &pi in &cand.pred_indices {
+                for (w, b) in acc.iter_mut().zip(&bitsets[&pi]) {
+                    *w &= b;
+                }
+            }
+            // mask the tail beyond n
+            if !n.is_multiple_of(64) {
+                let last = words - 1;
+                acc[last] &= (1u64 << (n % 64)) - 1;
+            }
+            let matches: usize = acc.iter().map(|w| w.count_ones() as usize).sum();
+            out.work += words as f64 / 8.0;
+
+            let region = group_region(block, qun, &cand.pred_indices, &types);
+            let mut key = cand.pred_indices.clone();
+            key.sort_unstable();
+            out.groups.insert(
+                (qun, key),
+                GroupStat {
+                    colgroup: cand.colgroup.clone(),
+                    selectivity: matches as f64 / n as f64,
+                    matches,
+                    sample_size: n,
+                    region,
+                },
+            );
+
+            // frame for this colgroup (sample min/max per column)
+            if !out.frames.contains_key(&cand.colgroup) {
+                let ranges: Option<Vec<(f64, f64)>> = cand
+                    .colgroup
+                    .columns()
+                    .iter()
+                    .map(|c| col_minmax.get(c).copied())
+                    .collect();
+                if let Some(ranges) = ranges {
+                    out.frames
+                        .insert(cand.colgroup.clone(), Region::new(ranges));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::query_analysis;
+    use jits_catalog::Catalog;
+    use jits_common::{Schema, Value};
+    use jits_query::{bind_statement, parse, BoundStatement};
+
+    /// 1000 cars; make and model perfectly correlated (30% Toyota Camry).
+    fn setup() -> (Catalog, Vec<Table>, QueryBlock) {
+        let mut catalog = Catalog::new();
+        let schema = Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("make", DataType::Str),
+            ("model", DataType::Str),
+            ("year", DataType::Int),
+        ]);
+        catalog.register_table("car", schema.clone()).unwrap();
+        let mut t = Table::new("car", schema);
+        for i in 0..1000i64 {
+            let (make, model) = match i % 10 {
+                0..=2 => ("Toyota", "Camry"),
+                3..=5 => ("Toyota", "Corolla"),
+                _ => ("Honda", "Civic"),
+            };
+            t.insert(vec![
+                Value::Int(i),
+                Value::str(make),
+                Value::str(model),
+                Value::Int(1990 + i % 17),
+            ])
+            .unwrap();
+        }
+        let BoundStatement::Select(block) = bind_statement(
+            &parse("SELECT * FROM car WHERE make = 'Toyota' AND model = 'Camry'").unwrap(),
+            &catalog,
+        )
+        .unwrap() else {
+            panic!()
+        };
+        (catalog, vec![t], block)
+    }
+
+    #[test]
+    fn joint_selectivities_measured_exactly_on_full_sample() {
+        let (_, tables, block) = setup();
+        let candidates = query_analysis(&block, 6);
+        let mut rng = SplitMix64::new(1);
+        // sample larger than the table: all rows examined
+        let stats = collect_for_tables(
+            &block,
+            &[0],
+            &candidates,
+            &tables,
+            SampleSpec::fixed(5000),
+            &mut rng,
+        );
+        // 3 groups: {make}, {model}, {make, model}
+        assert_eq!(stats.groups.len(), 3);
+        let joint = stats.group(0, &[0, 1]).unwrap();
+        assert!((joint.selectivity - 0.3).abs() < 1e-9);
+        let make = stats.group(0, &[0]).unwrap();
+        assert!((make.selectivity - 0.6).abs() < 1e-9);
+        assert_eq!(stats.table_rows[&block.quns[0].table], 1000.0);
+        assert!(stats.work > 0.0);
+    }
+
+    #[test]
+    fn sampled_selectivities_approximate() {
+        let (_, tables, block) = setup();
+        let candidates = query_analysis(&block, 6);
+        let mut rng = SplitMix64::new(7);
+        let stats = collect_for_tables(
+            &block,
+            &[0],
+            &candidates,
+            &tables,
+            SampleSpec::fixed(400),
+            &mut rng,
+        );
+        let joint = stats.group(0, &[0, 1]).unwrap();
+        assert_eq!(joint.sample_size, 400);
+        assert!(
+            (joint.selectivity - 0.3).abs() < 0.08,
+            "sel {}",
+            joint.selectivity
+        );
+    }
+
+    #[test]
+    fn regions_and_frames_produced() {
+        let (_, tables, block) = setup();
+        let candidates = query_analysis(&block, 6);
+        let mut rng = SplitMix64::new(1);
+        let stats = collect_for_tables(
+            &block,
+            &[0],
+            &candidates,
+            &tables,
+            SampleSpec::fixed(5000),
+            &mut rng,
+        );
+        let joint = stats.group(0, &[0, 1]).unwrap();
+        let region = joint.region.as_ref().expect("equality group is a region");
+        assert_eq!(region.dims(), 2);
+        assert!(!region.is_empty());
+        let frame = stats.frames.get(&joint.colgroup).expect("frame exists");
+        assert_eq!(frame.dims(), 2);
+        // frame must contain the region (string codes of observed makes)
+        assert!(frame.intersect(region).volume() > 0.0);
+    }
+
+    #[test]
+    fn unmarked_tables_not_sampled() {
+        let (_, tables, block) = setup();
+        let candidates = query_analysis(&block, 6);
+        let mut rng = SplitMix64::new(1);
+        let stats = collect_for_tables(
+            &block,
+            &[],
+            &candidates,
+            &tables,
+            SampleSpec::default(),
+            &mut rng,
+        );
+        assert!(stats.groups.is_empty());
+        // table cardinalities are metadata, collected for every block table
+        assert_eq!(stats.table_rows.len(), 1);
+        assert_eq!(stats.work, 0.0);
+    }
+}

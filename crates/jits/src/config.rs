@@ -1,0 +1,152 @@
+//! JITS tuning knobs.
+
+use crate::epsilon::EpsilonConfig;
+use jits_storage::SampleSpec;
+
+/// How the two sensitivity scores are combined (paper §3.3.2: "The total
+/// score of the table is computed as an aggregate function of the two
+/// metric values ... In our implemented prototype, the aggregate function is
+/// the average of the two scores").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateFn {
+    /// `(s1 + s2) / 2` — the paper's prototype choice.
+    Average,
+    /// `max(s1, s2)` — collect if *either* signal fires.
+    Max,
+    /// `min(s1, s2)` — collect only if *both* signals fire.
+    Min,
+}
+
+impl AggregateFn {
+    /// Combines the accuracy score `s1` and activity score `s2`.
+    pub fn combine(self, s1: f64, s2: f64) -> f64 {
+        match self {
+            AggregateFn::Average => (s1 + s2) / 2.0,
+            AggregateFn::Max => s1.max(s2),
+            AggregateFn::Min => s1.min(s2),
+        }
+    }
+}
+
+/// Which sensitivity analysis decides what to collect.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SensitivityStrategy {
+    /// The paper's lightweight heuristic (Algorithms 2–4): StatHistory
+    /// accuracy + UDI activity, no optimizer calls.
+    PaperHeuristic,
+    /// The \[6\]-style ε-planning analysis (double-optimize with unknowns
+    /// at ε and 1−ε) — the related-work baseline, far more expensive per
+    /// query.
+    EpsilonPlanning(EpsilonConfig),
+}
+
+/// Configuration of the JITS pipeline.
+#[derive(Debug, Clone)]
+pub struct JitsConfig {
+    /// Which sensitivity analysis runs (the paper's heuristic by default).
+    pub strategy: SensitivityStrategy,
+    /// The sensitivity threshold `s_max` (paper §3.3.2 and Figure 6):
+    /// statistics are collected/materialized when a score **≥ s_max**.
+    /// `0.0` collects everything ("no actual sensitivity analysis");
+    /// `>= 1.0` never collects.
+    pub s_max: f64,
+    /// How `s1` and `s2` combine.
+    pub aggregate: AggregateFn,
+    /// Fixed sample size per table (independent of table size, per the
+    /// paper's citations [1, 8, 12]).
+    pub sample: SampleSpec,
+    /// Cap on local predicates per table fed to the power-set enumeration of
+    /// Algorithm 1; beyond it only singletons, pairs, and the full group are
+    /// enumerated to bound the candidate count.
+    pub max_group_enumeration: usize,
+    /// QSS archive space budget: total buckets across all histograms.
+    pub archive_bucket_budget: usize,
+    /// Uniformity above which a histogram is an eviction candidate before
+    /// LRU kicks in (paper §3.4: evict "histograms that are almost uniformly
+    /// distributed ... as they are close to the optimizer's assumptions").
+    pub eviction_uniformity: f64,
+    /// Maximum StatHistory entries per (table, column-group) key.
+    pub history_entries_per_key: usize,
+    /// EWMA weight of the newest errorFactor observation when merging into
+    /// an existing history entry.
+    pub history_ewma: f64,
+    /// Minimum boundary accuracy (the paper's §3.3.2 metric) an archive
+    /// histogram must score on a query region before its estimate is used.
+    /// Guards against volume-interpolating equality predicates on
+    /// categorical axes far from any observed boundary, where interpolation
+    /// is meaningless.
+    pub archive_accuracy_gate: f64,
+    /// Answer a predicate group from a *superset* group's histogram when no
+    /// exact histogram exists (marginalizing the extra dimensions) — the
+    /// paper's future-work idea of "inferring some of the absent
+    /// statistics".
+    pub infer_from_supersets: bool,
+    /// Capacity of the auxiliary predicate cache (paper §3.4 footnote 1) for
+    /// groups with no histogram-region form.
+    pub predicate_cache_capacity: usize,
+    /// Run the statistics-migration module every this many statements,
+    /// folding one-dimensional QSS histograms into the catalog's general
+    /// statistics (paper §3.1: "the information in the QSS archive can be
+    /// used to periodically update the system catalog"). 0 disables.
+    pub migrate_every: u64,
+    /// Route execution-time actual counts into the archive as max-entropy
+    /// constraints (an extension beyond the paper, off by default — the
+    /// paper updates the archive from compile-time samples only).
+    pub feedback_to_archive: bool,
+}
+
+impl Default for JitsConfig {
+    fn default() -> Self {
+        JitsConfig {
+            strategy: SensitivityStrategy::PaperHeuristic,
+            s_max: 0.5,
+            aggregate: AggregateFn::Average,
+            sample: SampleSpec::default(),
+            max_group_enumeration: 6,
+            archive_bucket_budget: 4096,
+            eviction_uniformity: 0.9,
+            history_entries_per_key: 8,
+            history_ewma: 0.5,
+            archive_accuracy_gate: 0.3,
+            infer_from_supersets: true,
+            predicate_cache_capacity: 256,
+            migrate_every: 25,
+            feedback_to_archive: false,
+        }
+    }
+}
+
+impl JitsConfig {
+    /// True if the threshold disables collection entirely.
+    pub fn never_collects(&self) -> bool {
+        self.s_max >= 1.0
+    }
+
+    /// True if the threshold forces collection on every query.
+    pub fn always_collects(&self) -> bool {
+        self.s_max <= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_functions() {
+        assert_eq!(AggregateFn::Average.combine(1.0, 0.0), 0.5);
+        assert_eq!(AggregateFn::Max.combine(1.0, 0.0), 1.0);
+        assert_eq!(AggregateFn::Min.combine(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn threshold_extremes() {
+        let mut c = JitsConfig::default();
+        assert!(!c.never_collects());
+        assert!(!c.always_collects());
+        c.s_max = 1.0;
+        assert!(c.never_collects());
+        c.s_max = 0.0;
+        assert!(c.always_collects());
+    }
+}

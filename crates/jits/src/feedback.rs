@@ -1,0 +1,217 @@
+//! LEO-style feedback ingestion (paper §3.3.1 and \[14\]).
+//!
+//! After execution, the executor's per-scan cardinality observations become
+//! StatHistory entries: `(T, colgrp, statlist, count, errorFactor)` with
+//! `errorFactor = estimated / actual selectivity`. These entries are what
+//! Algorithm 3 reads to judge whether existing statistics estimate a group
+//! accurately, and what Algorithm 4 reads to judge whether a statistic has
+//! been useful.
+
+use crate::archive::QssArchive;
+use crate::collect::group_region;
+use crate::config::JitsConfig;
+use crate::history::StatHistory;
+use jits_catalog::Catalog;
+use jits_common::{ColumnId, DataType};
+use jits_executor::ScanObservation;
+use jits_query::QueryBlock;
+
+/// Ingests one query's scan observations into the StatHistory (and,
+/// optionally, the QSS archive — an extension the paper leaves to LEO).
+pub fn ingest(
+    block: &QueryBlock,
+    observations: &[ScanObservation],
+    history: &mut StatHistory,
+    archive: &mut QssArchive,
+    catalog: &Catalog,
+    config: &JitsConfig,
+    clock: u64,
+) {
+    for obs in observations {
+        if obs.pred_indices.is_empty() {
+            continue;
+        }
+        // Estimates produced purely from textbook defaults used no stored
+        // statistic, so there is nothing for Algorithm 3 to judge: recording
+        // them would let a lucky default suppress collection forever. The
+        // StatHistory only describes statistics-derived estimates.
+        if obs.statlist.is_empty() {
+            continue;
+        }
+        let colgrp = block.colgroup_of(&obs.pred_indices);
+        history.record(
+            obs.table,
+            colgrp.clone(),
+            obs.statlist.clone(),
+            obs.error_factor(),
+            config.history_entries_per_key,
+        );
+        if config.feedback_to_archive && archive.histogram(&colgrp).is_some() {
+            let types = |c: ColumnId| {
+                catalog
+                    .table(obs.table)
+                    .and_then(|t| t.schema.column(c))
+                    .map(|cd| cd.dtype)
+                    .unwrap_or(DataType::Float)
+            };
+            if let Some(region) = group_region(block, obs.qun, &obs.pred_indices, &types) {
+                let frame = archive
+                    .histogram(&colgrp)
+                    .map(|h| h.frame())
+                    .expect("histogram checked above");
+                archive.apply_observation(
+                    colgrp,
+                    &frame,
+                    &region,
+                    obs.actual_rows,
+                    obs.table_rows,
+                    clock,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jits_common::{Schema, TableId};
+    use jits_histogram::Region;
+    use jits_optimizer::StatSource;
+    use jits_query::{bind_statement, parse, BoundStatement};
+
+    fn setup() -> (Catalog, QueryBlock) {
+        let mut catalog = Catalog::new();
+        catalog
+            .register_table(
+                "car",
+                Schema::from_pairs(&[
+                    ("id", DataType::Int),
+                    ("make", DataType::Str),
+                    ("year", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        let BoundStatement::Select(block) = bind_statement(
+            &parse("SELECT * FROM car WHERE make = 'Toyota' AND year > 2000").unwrap(),
+            &catalog,
+        )
+        .unwrap() else {
+            panic!()
+        };
+        (catalog, block)
+    }
+
+    fn obs(block: &QueryBlock, est: f64, actual: f64) -> ScanObservation {
+        ScanObservation {
+            qun: 0,
+            table: TableId(0),
+            pred_indices: vec![0, 1],
+            est_selectivity: est,
+            statlist: vec![block.colgroup_of(&[0]), block.colgroup_of(&[1])],
+            source: StatSource::Catalog,
+            actual_rows: actual * 1000.0,
+            table_rows: 1000.0,
+        }
+    }
+
+    #[test]
+    fn observations_become_history_entries() {
+        let (catalog, block) = setup();
+        let mut history = StatHistory::new();
+        let mut archive = QssArchive::default();
+        let o = obs(&block, 0.2, 0.5);
+        ingest(
+            &block,
+            &[o],
+            &mut history,
+            &mut archive,
+            &catalog,
+            &JitsConfig::default(),
+            1,
+        );
+        let colgrp = block.colgroup_of(&[0, 1]);
+        let entries = history.entries_for(TableId(0), &colgrp);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].statlist.len(), 2);
+        assert!((entries[0].error_factor - 0.4).abs() < 1e-9);
+        // archive untouched by default
+        assert!(archive.is_empty());
+    }
+
+    #[test]
+    fn feedback_to_archive_updates_existing_histograms() {
+        let (catalog, block) = setup();
+        let mut history = StatHistory::new();
+        let mut archive = QssArchive::default();
+        let colgrp = block.colgroup_of(&[0, 1]);
+        // seed a histogram over (make, year)
+        archive.apply_observation(
+            colgrp.clone(),
+            &Region::new(vec![(0.0, 1e19), (1990.0, 2010.0)]),
+            &Region::new(vec![(0.0, 1e18), (1990.0, 2000.0)]),
+            100.0,
+            1000.0,
+            1,
+        );
+        let cfg = JitsConfig {
+            feedback_to_archive: true,
+            ..JitsConfig::default()
+        };
+        ingest(
+            &block,
+            &[obs(&block, 0.2, 0.5)],
+            &mut history,
+            &mut archive,
+            &catalog,
+            &cfg,
+            2,
+        );
+        // the actual count (500 of 1000) is now a constraint on the region
+        let types = |_c: ColumnId| DataType::Int;
+        let _ = types;
+        let hist = archive.histogram(&colgrp).unwrap();
+        assert!(hist.constraint_count() >= 2);
+    }
+
+    #[test]
+    fn empty_pred_groups_skipped() {
+        let (catalog, block) = setup();
+        let mut history = StatHistory::new();
+        let mut archive = QssArchive::default();
+        let mut o = obs(&block, 0.2, 0.5);
+        o.pred_indices.clear();
+        ingest(
+            &block,
+            &[o],
+            &mut history,
+            &mut archive,
+            &catalog,
+            &JitsConfig::default(),
+            1,
+        );
+        assert!(history.is_empty());
+    }
+
+    #[test]
+    fn default_estimates_not_recorded() {
+        // an estimate from pure defaults used no statistic -> no entry,
+        // so the sensitivity analysis keeps s1 = 1 and samples the table
+        let (catalog, block) = setup();
+        let mut history = StatHistory::new();
+        let mut archive = QssArchive::default();
+        let mut o = obs(&block, 0.0333, 0.0333);
+        o.statlist.clear();
+        o.source = StatSource::Default;
+        ingest(
+            &block,
+            &[o],
+            &mut history,
+            &mut archive,
+            &catalog,
+            &JitsConfig::default(),
+            1,
+        );
+        assert!(history.is_empty());
+    }
+}

@@ -1,0 +1,349 @@
+//! Cardinality estimation.
+//!
+//! The estimator turns predicate groups into selectivities by asking the
+//! [`StatisticsProvider`] for the *joint* group first and, failing that,
+//! decomposing greedily into the largest sub-groups the provider can answer,
+//! combining the pieces under the independence assumption. The decomposition
+//! records exactly which stored statistics were used (the `statlist`), which
+//! the JITS StatHistory needs to later judge how well those statistics
+//! estimated this group.
+
+use crate::provider::{SelEstimate, StatSource, StatisticsProvider};
+use jits_common::ColGroup;
+use jits_query::{PredKind, QueryBlock};
+
+/// Textbook fallback constants used when no statistics exist.
+#[derive(Debug, Clone, Copy)]
+pub struct DefaultSelectivities {
+    /// Equality predicate.
+    pub eq: f64,
+    /// Range predicate (one- or two-sided).
+    pub range: f64,
+    /// Not-equal predicate.
+    pub noteq: f64,
+    /// Join predicate.
+    pub join: f64,
+    /// Table cardinality when the table has never been analyzed.
+    pub table_cardinality: f64,
+    /// Distinct count when unknown.
+    pub distinct: f64,
+}
+
+impl Default for DefaultSelectivities {
+    fn default() -> Self {
+        DefaultSelectivities {
+            eq: 0.1,
+            range: 1.0 / 3.0,
+            noteq: 0.9,
+            join: 0.1,
+            table_cardinality: 1000.0,
+            distinct: 10.0,
+        }
+    }
+}
+
+/// Cardinality estimator over a provider.
+pub struct CardinalityEstimator<'a> {
+    provider: &'a dyn StatisticsProvider,
+    defaults: DefaultSelectivities,
+}
+
+impl<'a> CardinalityEstimator<'a> {
+    /// Builds an estimator.
+    pub fn new(provider: &'a dyn StatisticsProvider, defaults: DefaultSelectivities) -> Self {
+        CardinalityEstimator { provider, defaults }
+    }
+
+    /// The fallback constants.
+    pub fn defaults(&self) -> DefaultSelectivities {
+        self.defaults
+    }
+
+    /// Estimated base cardinality of the table behind quantifier `qun`.
+    pub fn table_cardinality(&self, block: &QueryBlock, qun: usize) -> f64 {
+        self.provider
+            .table_cardinality(block.quns[qun].table)
+            .unwrap_or(self.defaults.table_cardinality)
+            .max(1.0)
+    }
+
+    /// Joint selectivity of all the given local predicates (indices into
+    /// `block.local_predicates`, all on `qun`).
+    ///
+    /// Strategy: ask for the whole group; otherwise peel off the largest
+    /// answerable sub-group, multiply, and recurse on the remainder
+    /// (independence across sub-groups). Unanswerable single predicates use
+    /// the defaults.
+    pub fn local_selectivity(
+        &self,
+        block: &QueryBlock,
+        qun: usize,
+        pred_indices: &[usize],
+    ) -> SelEstimate {
+        if pred_indices.is_empty() {
+            return SelEstimate {
+                selectivity: 1.0,
+                statlist: Vec::new(),
+                source: StatSource::Default,
+            };
+        }
+        if let Some(est) = self.provider.group_selectivity(block, qun, pred_indices) {
+            return est;
+        }
+        let mut remaining: Vec<usize> = pred_indices.to_vec();
+        let mut selectivity = 1.0;
+        let mut statlist: Vec<ColGroup> = Vec::new();
+        let mut best_source = StatSource::Default;
+
+        while !remaining.is_empty() {
+            match self.largest_answerable(block, qun, &remaining) {
+                Some((subset, est)) => {
+                    selectivity *= est.selectivity;
+                    statlist.extend(est.statlist);
+                    if est.source != StatSource::Default {
+                        best_source = est.source;
+                    }
+                    remaining.retain(|i| !subset.contains(i));
+                }
+                None => {
+                    // nothing answerable: defaults for each remaining pred
+                    for &i in &remaining {
+                        selectivity *= self.default_for(block, i);
+                    }
+                    remaining.clear();
+                }
+            }
+        }
+        SelEstimate {
+            selectivity: selectivity.clamp(0.0, 1.0),
+            statlist,
+            source: best_source,
+        }
+    }
+
+    /// The largest (by predicate count) sub-group the provider answers.
+    /// Subset enumeration is exponential in the group size, but groups are
+    /// bounded by the predicates on a single table (and JITS caps them).
+    fn largest_answerable(
+        &self,
+        block: &QueryBlock,
+        qun: usize,
+        preds: &[usize],
+    ) -> Option<(Vec<usize>, SelEstimate)> {
+        let n = preds.len();
+        debug_assert!(n <= 20, "predicate group too large to enumerate");
+        for size in (1..=n).rev() {
+            // enumerate subsets of this size via bitmask counting
+            for mask in 1u32..(1 << n) {
+                if mask.count_ones() as usize != size {
+                    continue;
+                }
+                let subset: Vec<usize> = (0..n)
+                    .filter(|b| mask & (1 << b) != 0)
+                    .map(|b| preds[b])
+                    .collect();
+                if let Some(est) = self.provider.group_selectivity(block, qun, &subset) {
+                    return Some((subset, est));
+                }
+            }
+        }
+        None
+    }
+
+    /// Default selectivity for a single predicate.
+    fn default_for(&self, block: &QueryBlock, pred_index: usize) -> f64 {
+        match &block.local_predicates[pred_index].kind {
+            PredKind::Interval(iv) if iv.is_point() => self.defaults.eq,
+            PredKind::Interval(_) => self.defaults.range,
+            PredKind::NotEq(_) => self.defaults.noteq,
+            PredKind::InList(vals) => (self.defaults.eq * vals.len() as f64).min(1.0),
+            // most real columns are mostly non-NULL
+            PredKind::IsNull(true) => 1.0 - self.defaults.noteq,
+            PredKind::IsNull(false) => self.defaults.noteq,
+        }
+    }
+
+    /// Distinct count of a column, falling back to the default.
+    pub fn distinct_or_default(
+        &self,
+        block: &QueryBlock,
+        qun: usize,
+        column: jits_common::ColumnId,
+    ) -> f64 {
+        self.provider
+            .distinct(block.quns[qun].table, column)
+            .unwrap_or(self.defaults.distinct)
+    }
+
+    /// Selectivity of one equality join predicate:
+    /// `1 / max(distinct(left key), distinct(right key))`, defaulting when
+    /// distincts are unknown.
+    pub fn single_join_selectivity(
+        &self,
+        block: &QueryBlock,
+        j: &jits_query::JoinPredicate,
+    ) -> f64 {
+        let d_left = self.provider.distinct(block.quns[j.left.0].table, j.left.1);
+        let d_right = self
+            .provider
+            .distinct(block.quns[j.right.0].table, j.right.1);
+        let sel = match (d_left, d_right) {
+            (Some(a), Some(b)) => 1.0 / a.max(b).max(1.0),
+            (Some(a), None) => 1.0 / a.max(1.0),
+            (None, Some(b)) => 1.0 / b.max(1.0),
+            (None, None) => self.defaults.join,
+        };
+        sel.clamp(0.0, 1.0)
+    }
+
+    /// Selectivity of the equality join predicates connecting two quantifier
+    /// sets (product over the connecting predicates; 1 for a cross product).
+    pub fn join_selectivity(
+        &self,
+        block: &QueryBlock,
+        left_set: &[usize],
+        right_set: &[usize],
+    ) -> f64 {
+        block
+            .joins_between(left_set, right_set)
+            .into_iter()
+            .map(|j| self.single_join_selectivity(block, j))
+            .product::<f64>()
+            .clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::{CatalogStatisticsProvider, NoStatisticsProvider};
+    use jits_catalog::{runstats, Catalog, RunstatsOptions};
+    use jits_common::{DataType, Schema, TableId, Value};
+    use jits_query::{bind_statement, parse, BoundStatement};
+    use jits_storage::Table;
+
+    /// Correlated data: model determines make (every Camry is a Toyota).
+    fn setup() -> (Catalog, Table) {
+        let mut catalog = Catalog::new();
+        let schema = Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("make", DataType::Str),
+            ("model", DataType::Str),
+            ("year", DataType::Int),
+        ]);
+        let tid = catalog.register_table("car", schema.clone()).unwrap();
+        let mut t = Table::new("car", schema);
+        for i in 0..1000i64 {
+            let (make, model) = match i % 10 {
+                0..=2 => ("Toyota", "Camry"),
+                3..=5 => ("Toyota", "Corolla"),
+                6..=7 => ("Honda", "Civic"),
+                _ => ("Audi", "A4"),
+            };
+            t.insert(vec![
+                Value::Int(i),
+                Value::str(make),
+                Value::str(model),
+                Value::Int(1990 + (i % 17)),
+            ])
+            .unwrap();
+        }
+        let (ts, cs) = runstats(&t, RunstatsOptions::default(), 1);
+        catalog.set_stats(tid, ts, cs).unwrap();
+        (catalog, t)
+    }
+
+    fn block(catalog: &Catalog, sql: &str) -> QueryBlock {
+        let BoundStatement::Select(b) = bind_statement(&parse(sql).unwrap(), catalog).unwrap()
+        else {
+            panic!()
+        };
+        b
+    }
+
+    #[test]
+    fn no_stats_uses_defaults() {
+        let (catalog, _) = setup();
+        let b = block(
+            &catalog,
+            "SELECT * FROM car WHERE make = 'Toyota' AND year > 2000",
+        );
+        let p = NoStatisticsProvider;
+        let est = CardinalityEstimator::new(&p, DefaultSelectivities::default());
+        let sel = est.local_selectivity(&b, 0, &[0, 1]);
+        assert!((sel.selectivity - 0.1 / 3.0).abs() < 1e-9);
+        assert_eq!(sel.source, StatSource::Default);
+        assert!(sel.statlist.is_empty());
+        assert_eq!(est.table_cardinality(&b, 0), 1000.0); // the default
+    }
+
+    #[test]
+    fn catalog_independence_underestimates_correlated_group() {
+        let (catalog, _) = setup();
+        let b = block(
+            &catalog,
+            "SELECT * FROM car WHERE make = 'Toyota' AND model = 'Camry'",
+        );
+        let p = CatalogStatisticsProvider::new(&catalog);
+        let est = CardinalityEstimator::new(&p, DefaultSelectivities::default());
+        let sel = est.local_selectivity(&b, 0, &[0, 1]);
+        // truth: 0.3. independence says 0.6 * 0.3 = 0.18
+        assert!(
+            (sel.selectivity - 0.18).abs() < 0.02,
+            "sel {}",
+            sel.selectivity
+        );
+        assert_eq!(sel.statlist.len(), 2, "two 1-D statistics combined");
+        assert_eq!(sel.source, StatSource::Catalog);
+    }
+
+    #[test]
+    fn empty_group_is_one() {
+        let (catalog, _) = setup();
+        let b = block(&catalog, "SELECT * FROM car");
+        let p = NoStatisticsProvider;
+        let est = CardinalityEstimator::new(&p, DefaultSelectivities::default());
+        assert_eq!(est.local_selectivity(&b, 0, &[]).selectivity, 1.0);
+    }
+
+    #[test]
+    fn join_selectivity_uses_distincts() {
+        let mut catalog = Catalog::new();
+        let car = Schema::from_pairs(&[("id", DataType::Int), ("ownerid", DataType::Int)]);
+        let owner = Schema::from_pairs(&[("id", DataType::Int), ("name", DataType::Str)]);
+        let car_id = catalog.register_table("car", car.clone()).unwrap();
+        let owner_id = catalog.register_table("owner", owner.clone()).unwrap();
+
+        let mut tc = Table::new("car", car);
+        let mut to = Table::new("owner", owner);
+        for i in 0..500i64 {
+            tc.insert(vec![Value::Int(i), Value::Int(i % 100)]).unwrap();
+        }
+        for i in 0..100i64 {
+            to.insert(vec![Value::Int(i), Value::str(format!("o{i}"))])
+                .unwrap();
+        }
+        let (ts, cs) = runstats(&tc, RunstatsOptions::default(), 1);
+        catalog.set_stats(car_id, ts, cs).unwrap();
+        let (ts, cs) = runstats(&to, RunstatsOptions::default(), 1);
+        catalog.set_stats(owner_id, ts, cs).unwrap();
+
+        let b = block(
+            &catalog,
+            "SELECT * FROM car c, owner o WHERE c.ownerid = o.id",
+        );
+        let p = CatalogStatisticsProvider::new(&catalog);
+        let est = CardinalityEstimator::new(&p, DefaultSelectivities::default());
+        let sel = est.join_selectivity(&b, &[0], &[1]);
+        assert!((sel - 0.01).abs() < 1e-9, "sel {sel}");
+        // disconnected sets: cross product
+        assert_eq!(est.join_selectivity(&b, &[0], &[]), 1.0);
+
+        // defaults when no stats
+        let p = NoStatisticsProvider;
+        let est = CardinalityEstimator::new(&p, DefaultSelectivities::default());
+        assert!((est.join_selectivity(&b, &[0], &[1]) - 0.1).abs() < 1e-9);
+
+        let _ = TableId(0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Cost-based query optimizer.
+//!
+//! The optimizer is deliberately classical — Selinger-style dynamic
+//! programming over join orders with a tuples-processed cost model — because
+//! the JITS paper's entire premise is that *a competent cost-based optimizer
+//! fed bad statistics picks bad plans*. The interesting part for JITS is the
+//! [`StatisticsProvider`] seam: every cardinality the enumerator uses flows
+//! through that trait, so the same optimizer runs with
+//!
+//! * no statistics (textbook default selectivities),
+//! * general catalog statistics (1-D histograms + independence), or
+//! * query-specific statistics (JITS: exact joint selectivities from
+//!   compile-time sampling and the QSS archive).
+//!
+//! Every estimate carries its `statlist` — the column groups whose
+//! statistics produced it — which is exactly what the paper's StatHistory
+//! records and the LEO-style feedback loop attributes errors to.
+//!
+//! [`StatisticsProvider`]: provider::StatisticsProvider
+
+pub mod card;
+pub mod cost;
+pub mod enumerate;
+pub mod plan;
+pub mod provider;
+
+pub use card::{CardinalityEstimator, DefaultSelectivities};
+pub use cost::CostModel;
+pub use enumerate::optimize;
+pub use plan::{NodeEst, PhysicalPlan, PlanSummary, ScanGroupEstimate};
+pub use provider::{
+    CatalogStatisticsProvider, NoStatisticsProvider, SelEstimate, StatSource, StatisticsProvider,
+};

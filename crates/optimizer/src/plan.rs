@@ -1,0 +1,283 @@
+//! Physical plans.
+
+use crate::provider::StatSource;
+use jits_common::{ColGroup, ColumnId, TableId};
+use std::fmt;
+
+/// Estimated output rows and cumulative cost of a plan node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeEst {
+    /// Estimated output cardinality.
+    pub rows: f64,
+    /// Estimated cumulative cost (tuples-processed units).
+    pub cost: f64,
+}
+
+/// Everything the feedback loop needs to know about how a base-table access
+/// was estimated: the predicate group applied, the estimate, and the
+/// statistics (`statlist`) that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanGroupEstimate {
+    /// Quantifier index within the block.
+    pub qun: usize,
+    /// Base table.
+    pub table: TableId,
+    /// Indices into `block.local_predicates` applied at this access.
+    pub pred_indices: Vec<usize>,
+    /// Estimated joint selectivity of the group.
+    pub selectivity: f64,
+    /// Estimated base-table cardinality used.
+    pub base_rows: f64,
+    /// Statistics used to produce the estimate.
+    pub statlist: Vec<ColGroup>,
+    /// Estimate provenance.
+    pub source: StatSource,
+}
+
+impl ScanGroupEstimate {
+    /// The column group of the applied predicates, if any predicates exist.
+    pub fn colgroup(&self, block: &jits_query::QueryBlock) -> Option<ColGroup> {
+        if self.pred_indices.is_empty() {
+            None
+        } else {
+            Some(block.colgroup_of(&self.pred_indices))
+        }
+    }
+}
+
+/// A join key: (left-side quantifier/column, right-side quantifier/column).
+pub type JoinKey = ((usize, ColumnId), (usize, ColumnId));
+
+/// A physical plan tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// Full scan with all local predicates applied.
+    SeqScan {
+        /// Scan estimate and predicate bookkeeping.
+        scan: ScanGroupEstimate,
+        /// Node estimates.
+        est: NodeEst,
+    },
+    /// Index range/equality access on `index_column`, residual predicates
+    /// applied afterwards.
+    IndexScan {
+        /// Scan estimate (covers the *full* predicate group).
+        scan: ScanGroupEstimate,
+        /// The indexed column driving the access.
+        index_column: ColumnId,
+        /// Estimated rows fetched from the index before residual filtering.
+        index_rows: f64,
+        /// Node estimates.
+        est: NodeEst,
+    },
+    /// Hash join: build on the left child, probe with the right.
+    HashJoin {
+        /// Build side.
+        build: Box<PhysicalPlan>,
+        /// Probe side.
+        probe: Box<PhysicalPlan>,
+        /// Equality keys (build side first).
+        keys: Vec<JoinKey>,
+        /// Node estimates.
+        est: NodeEst,
+    },
+    /// Index nested-loop join: for each outer tuple, probe the inner
+    /// table's index on the join column.
+    IndexNLJoin {
+        /// Outer side.
+        outer: Box<PhysicalPlan>,
+        /// Inner base-table access description (predicates applied after
+        /// each index probe).
+        inner: ScanGroupEstimate,
+        /// Inner index column (must equal the inner side of `keys[0]`).
+        index_column: ColumnId,
+        /// Equality keys (outer side first).
+        keys: Vec<JoinKey>,
+        /// Node estimates.
+        est: NodeEst,
+    },
+    /// Nested-loop join (covers cross products and tiny inners).
+    NLJoin {
+        /// Outer side.
+        outer: Box<PhysicalPlan>,
+        /// Inner side.
+        inner: Box<PhysicalPlan>,
+        /// Equality keys, possibly empty (cross product).
+        keys: Vec<JoinKey>,
+        /// Node estimates.
+        est: NodeEst,
+    },
+}
+
+impl PhysicalPlan {
+    /// Node estimates.
+    pub fn est(&self) -> NodeEst {
+        match self {
+            PhysicalPlan::SeqScan { est, .. }
+            | PhysicalPlan::IndexScan { est, .. }
+            | PhysicalPlan::HashJoin { est, .. }
+            | PhysicalPlan::IndexNLJoin { est, .. }
+            | PhysicalPlan::NLJoin { est, .. } => *est,
+        }
+    }
+
+    /// Quantifiers covered by this subtree, in tuple-layout order.
+    pub fn quns(&self) -> Vec<usize> {
+        match self {
+            PhysicalPlan::SeqScan { scan, .. } | PhysicalPlan::IndexScan { scan, .. } => {
+                vec![scan.qun]
+            }
+            PhysicalPlan::HashJoin { build, probe, .. } => {
+                let mut q = build.quns();
+                q.extend(probe.quns());
+                q
+            }
+            PhysicalPlan::IndexNLJoin { outer, inner, .. } => {
+                let mut q = outer.quns();
+                q.push(inner.qun);
+                q
+            }
+            PhysicalPlan::NLJoin { outer, inner, .. } => {
+                let mut q = outer.quns();
+                q.extend(inner.quns());
+                q
+            }
+        }
+    }
+
+    /// All base-table access estimates in the tree (for feedback).
+    pub fn scan_estimates(&self) -> Vec<&ScanGroupEstimate> {
+        let mut out = Vec::new();
+        self.collect_scans(&mut out);
+        out
+    }
+
+    fn collect_scans<'a>(&'a self, out: &mut Vec<&'a ScanGroupEstimate>) {
+        match self {
+            PhysicalPlan::SeqScan { scan, .. } | PhysicalPlan::IndexScan { scan, .. } => {
+                out.push(scan)
+            }
+            PhysicalPlan::HashJoin { build, probe, .. } => {
+                build.collect_scans(out);
+                probe.collect_scans(out);
+            }
+            PhysicalPlan::IndexNLJoin { outer, inner, .. } => {
+                outer.collect_scans(out);
+                out.push(inner);
+            }
+            PhysicalPlan::NLJoin { outer, inner, .. } => {
+                outer.collect_scans(out);
+                inner.collect_scans(out);
+            }
+        }
+    }
+
+    /// Renders an EXPLAIN-style tree.
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        self.explain_into(&mut s, 0);
+        s
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        let est = self.est();
+        match self {
+            PhysicalPlan::SeqScan { scan, .. } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}SeqScan q{} [{} preds, sel {:.4}] rows={:.0} cost={:.0}",
+                    scan.qun,
+                    scan.pred_indices.len(),
+                    scan.selectivity,
+                    est.rows,
+                    est.cost
+                );
+            }
+            PhysicalPlan::IndexScan {
+                scan, index_column, ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}IndexScan q{} on {index_column} [{} preds, sel {:.4}] rows={:.0} cost={:.0}",
+                    scan.qun,
+                    scan.pred_indices.len(),
+                    scan.selectivity,
+                    est.rows,
+                    est.cost
+                );
+            }
+            PhysicalPlan::HashJoin {
+                build, probe, keys, ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}HashJoin [{} keys] rows={:.0} cost={:.0}",
+                    keys.len(),
+                    est.rows,
+                    est.cost
+                );
+                build.explain_into(out, depth + 1);
+                probe.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::IndexNLJoin {
+                outer,
+                inner,
+                index_column,
+                ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}IndexNLJoin inner=q{} via {index_column} rows={:.0} cost={:.0}",
+                    inner.qun, est.rows, est.cost
+                );
+                outer.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::NLJoin {
+                outer, inner, keys, ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}NLJoin [{} keys] rows={:.0} cost={:.0}",
+                    keys.len(),
+                    est.rows,
+                    est.cost
+                );
+                outer.explain_into(out, depth + 1);
+                inner.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+/// Compact plan description used in experiment logs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanSummary {
+    /// Join order as quantifier indices (left-deep rendering of the tree).
+    pub qun_order: Vec<usize>,
+    /// Estimated final cardinality.
+    pub est_rows: f64,
+    /// Estimated total cost.
+    pub est_cost: f64,
+}
+
+impl From<&PhysicalPlan> for PlanSummary {
+    fn from(p: &PhysicalPlan) -> Self {
+        PlanSummary {
+            qun_order: p.quns(),
+            est_rows: p.est().rows,
+            est_cost: p.est().cost,
+        }
+    }
+}
+
+impl fmt::Display for PlanSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "order={:?} rows={:.0} cost={:.0}",
+            self.qun_order, self.est_rows, self.est_cost
+        )
+    }
+}

@@ -1,0 +1,268 @@
+//! Abstract syntax trees for the supported SQL subset.
+
+use jits_common::Value;
+use std::fmt;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// Conjunctive SPJ query.
+    Select(SelectStmt),
+    /// `EXPLAIN SELECT ...` — compile only, return the plan.
+    Explain(SelectStmt),
+    /// `INSERT INTO t VALUES (...), (...)`.
+    Insert(InsertStmt),
+    /// `UPDATE t SET c = v [, ...] [WHERE ...]`.
+    Update(UpdateStmt),
+    /// `DELETE FROM t [WHERE ...]`.
+    Delete(DeleteStmt),
+}
+
+/// `SELECT ... FROM ... WHERE c1 AND c2 AND ... [ORDER BY col] [LIMIT n]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projection list.
+    pub projections: Vec<SelectItem>,
+    /// FROM clause (implicit inner join).
+    pub from: Vec<TableRef>,
+    /// WHERE conjuncts (empty = no WHERE).
+    pub predicates: Vec<AstPredicate>,
+    /// GROUP BY columns (empty = no grouping).
+    pub group_by: Vec<ColRef>,
+    /// Optional ORDER BY column (and direction).
+    pub order_by: Option<OrderBy>,
+    /// Optional LIMIT.
+    pub limit: Option<usize>,
+}
+
+/// An ORDER BY clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderBy {
+    /// Sort column.
+    pub col: ColRef,
+    /// True for DESC.
+    pub desc: bool,
+}
+
+/// An aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(col)` — non-NULL values.
+    Count,
+    /// `SUM(col)`.
+    Sum,
+    /// `AVG(col)`.
+    Avg,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+}
+
+impl AggFunc {
+    /// Parses a function name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_lowercase().as_str() {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "avg" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `COUNT(*)`
+    CountStar,
+    /// An aggregate over a column.
+    Aggregate(AggFunc, ColRef),
+    /// A (possibly qualified) column.
+    Column(ColRef),
+}
+
+/// A table in the FROM clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name.
+    pub table: String,
+    /// Optional alias (`car AS c` or `car c`).
+    pub alias: Option<String>,
+}
+
+/// A possibly-qualified column reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColRef {
+    /// Qualifier: alias or table name.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColRef {
+    /// Unqualified reference.
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColRef {
+            qualifier: None,
+            column: column.into(),
+        }
+    }
+
+    /// Qualified reference.
+    pub fn qualified(qualifier: impl Into<String>, column: impl Into<String>) -> Self {
+        ColRef {
+            qualifier: Some(qualifier.into()),
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Right-hand side of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// A constant.
+    Literal(Value),
+    /// Another column (an equality across tables is a join predicate).
+    Column(ColRef),
+}
+
+/// One WHERE conjunct.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstPredicate {
+    /// `col op operand`.
+    Cmp {
+        /// Left column.
+        left: ColRef,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand.
+        right: Operand,
+    },
+    /// `col BETWEEN low AND high` (inclusive).
+    Between {
+        /// Constrained column.
+        col: ColRef,
+        /// Lower constant.
+        low: Value,
+        /// Upper constant.
+        high: Value,
+    },
+    /// `col IN (v1, v2, ...)`.
+    InList {
+        /// Constrained column.
+        col: ColRef,
+        /// The disjunction of constants.
+        values: Vec<Value>,
+    },
+    /// `col IS NULL` / `col IS NOT NULL`.
+    IsNull {
+        /// Constrained column.
+        col: ColRef,
+        /// True for IS NULL, false for IS NOT NULL.
+        negated: bool,
+    },
+}
+
+/// `INSERT INTO t VALUES ...`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStmt {
+    /// Target table.
+    pub table: String,
+    /// Literal rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// `UPDATE t SET ... WHERE ...`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStmt {
+    /// Target table.
+    pub table: String,
+    /// Column/value assignments.
+    pub sets: Vec<(String, Value)>,
+    /// WHERE conjuncts.
+    pub predicates: Vec<AstPredicate>,
+}
+
+/// `DELETE FROM t WHERE ...`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteStmt {
+    /// Target table.
+    pub table: String,
+    /// WHERE conjuncts.
+    pub predicates: Vec<AstPredicate>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colref_display() {
+        assert_eq!(ColRef::bare("make").to_string(), "make");
+        assert_eq!(ColRef::qualified("c", "make").to_string(), "c.make");
+    }
+
+    #[test]
+    fn cmp_display() {
+        assert_eq!(CmpOp::Le.to_string(), "<=");
+        assert_eq!(CmpOp::Ne.to_string(), "<>");
+    }
+}

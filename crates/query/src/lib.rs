@@ -1,0 +1,29 @@
+//! SQL parsing and the QGM-like query model.
+//!
+//! The JITS prototype analyzes queries through DB2's Query Graph Model after
+//! parsing and rewrite (paper §3.2: "the input to the algorithm is the query
+//! after rewrite, so the query blocks are finalized"). This crate provides
+//! the equivalent substrate:
+//!
+//! * a hand-written lexer/parser for the SQL subset the evaluation needs
+//!   (conjunctive SPJ SELECT, plus INSERT/UPDATE/DELETE for workload churn),
+//! * a binder resolving names against the catalog,
+//! * [`QueryBlock`] — the bound, rewrite-finalized SPJ block the optimizer
+//!   and the JITS query-analysis module both consume: quantifiers (table
+//!   instances), *local predicates* normalized to per-column intervals, and
+//!   equality *join predicates*.
+//!
+//! [`QueryBlock`]: qgm::QueryBlock
+
+pub mod ast;
+pub mod bind;
+pub mod lexer;
+pub mod parser;
+pub mod predicate;
+pub mod qgm;
+
+pub use ast::{AstPredicate, CmpOp, ColRef, Operand, SelectItem, SelectStmt, Statement, TableRef};
+pub use bind::{bind_statement, BoundDelete, BoundInsert, BoundStatement, BoundUpdate};
+pub use parser::parse;
+pub use predicate::{JoinPredicate, LocalPredicate, PredKind};
+pub use qgm::{BoundAggregate, Projection, QueryBlock, Qun};

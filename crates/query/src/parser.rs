@@ -1,0 +1,618 @@
+//! Recursive-descent parser for the SQL subset.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! statement  := [EXPLAIN] select | insert | update | delete
+//! select     := SELECT items FROM tables [WHERE conjuncts]
+//!               [GROUP BY colref (',' colref)*]
+//!               [ORDER BY colref [ASC|DESC]] [LIMIT int]
+//! items      := '*' | item (',' item)*
+//! item       := COUNT '(' '*' ')' | aggfn '(' colref ')' | colref
+//! aggfn      := COUNT | SUM | AVG | MIN | MAX
+//! tables     := tableref (',' tableref)*
+//! tableref   := ident [[AS] ident]
+//! conjuncts  := predicate (AND predicate)*
+//! predicate  := colref op operand
+//!             | colref BETWEEN literal AND literal
+//!             | colref IN '(' literal (',' literal)* ')'
+//!             | colref IS [NOT] NULL
+//! operand    := literal | colref
+//! colref     := ident ['.' ident]
+//! insert     := INSERT INTO ident VALUES row (',' row)*
+//! row        := '(' literal (',' literal)* ')'
+//! update     := UPDATE ident SET ident '=' literal (',' ident '=' literal)*
+//!               [WHERE conjuncts]
+//! delete     := DELETE FROM ident [WHERE conjuncts]
+//! ```
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token};
+use jits_common::{JitsError, Result, Value};
+
+/// Parses one SQL statement.
+///
+/// ```
+/// use jits_query::{parse, Statement};
+///
+/// let stmt = parse(
+///     "SELECT make, COUNT(*) FROM car WHERE year > 2000 GROUP BY make",
+/// ).unwrap();
+/// assert!(matches!(stmt, Statement::Select(_)));
+/// assert!(parse("SELEC oops").is_err());
+/// ```
+pub fn parse(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_optional_semicolon();
+    if !p.at_end() {
+        return Err(JitsError::Parse(format!(
+            "trailing tokens after statement: {:?}",
+            p.peek()
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn advance(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_optional_semicolon(&mut self) {
+        if matches!(self.peek(), Some(Token::Semicolon)) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.peek() {
+            Some(t) if t.is_keyword(kw) => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(JitsError::Parse(format!(
+                "expected keyword {kw}, found {other:?}"
+            ))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_keyword(kw))
+    }
+
+    fn expect_token(&mut self, tok: Token) -> Result<()> {
+        match self.peek() {
+            Some(t) if *t == tok => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(JitsError::Parse(format!(
+                "expected {tok:?}, found {other:?}"
+            ))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s.clone()),
+            other => Err(JitsError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        match self.peek() {
+            Some(t) if t.is_keyword("EXPLAIN") => {
+                self.pos += 1;
+                self.select().map(Statement::Explain)
+            }
+            Some(t) if t.is_keyword("SELECT") => self.select().map(Statement::Select),
+            Some(t) if t.is_keyword("INSERT") => self.insert().map(Statement::Insert),
+            Some(t) if t.is_keyword("UPDATE") => self.update().map(Statement::Update),
+            Some(t) if t.is_keyword("DELETE") => self.delete().map(Statement::Delete),
+            other => Err(JitsError::Parse(format!(
+                "expected SELECT/INSERT/UPDATE/DELETE, found {other:?}"
+            ))),
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_keyword("SELECT")?;
+        let projections = self.select_items()?;
+        self.expect_keyword("FROM")?;
+        let from = self.table_refs()?;
+        let predicates = if self.peek_keyword("WHERE") {
+            self.pos += 1;
+            self.conjuncts()?
+        } else {
+            Vec::new()
+        };
+        let mut group_by = Vec::new();
+        if self.peek_keyword("GROUP") {
+            self.pos += 1;
+            self.expect_keyword("BY")?;
+            group_by.push(self.colref()?);
+            while matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+                group_by.push(self.colref()?);
+            }
+        }
+        let order_by = if self.peek_keyword("ORDER") {
+            self.pos += 1;
+            self.expect_keyword("BY")?;
+            let col = self.colref()?;
+            let desc = if self.peek_keyword("DESC") {
+                self.pos += 1;
+                true
+            } else {
+                if self.peek_keyword("ASC") {
+                    self.pos += 1;
+                }
+                false
+            };
+            Some(OrderBy { col, desc })
+        } else {
+            None
+        };
+        let limit = if self.peek_keyword("LIMIT") {
+            self.pos += 1;
+            match self.advance() {
+                Some(Token::Int(n)) if *n >= 0 => Some(*n as usize),
+                other => {
+                    return Err(JitsError::Parse(format!(
+                        "expected a non-negative LIMIT, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            projections,
+            from,
+            predicates,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_items(&mut self) -> Result<Vec<SelectItem>> {
+        if matches!(self.peek(), Some(Token::Star)) {
+            self.pos += 1;
+            return Ok(vec![SelectItem::Wildcard]);
+        }
+        let mut items = Vec::new();
+        loop {
+            let agg = match self.peek() {
+                Some(Token::Ident(name))
+                    if matches!(self.tokens.get(self.pos + 1), Some(Token::LParen)) =>
+                {
+                    AggFunc::from_name(name)
+                }
+                _ => None,
+            };
+            if let Some(func) = agg {
+                self.pos += 1;
+                self.expect_token(Token::LParen)?;
+                if matches!(self.peek(), Some(Token::Star)) {
+                    if func != AggFunc::Count {
+                        return Err(JitsError::Parse(format!("{func}(*) is not supported")));
+                    }
+                    self.pos += 1;
+                    self.expect_token(Token::RParen)?;
+                    items.push(SelectItem::CountStar);
+                } else {
+                    let col = self.colref()?;
+                    self.expect_token(Token::RParen)?;
+                    items.push(SelectItem::Aggregate(func, col));
+                }
+            } else {
+                items.push(SelectItem::Column(self.colref()?));
+            }
+            if matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn table_refs(&mut self) -> Result<Vec<TableRef>> {
+        let mut refs = Vec::new();
+        loop {
+            let table = self.ident()?;
+            let alias = if self.peek_keyword("AS") {
+                self.pos += 1;
+                Some(self.ident()?)
+            } else if matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved(s)) {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            refs.push(TableRef { table, alias });
+            if matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(refs)
+    }
+
+    fn conjuncts(&mut self) -> Result<Vec<AstPredicate>> {
+        let mut preds = vec![self.predicate()?];
+        while self.peek_keyword("AND") {
+            self.pos += 1;
+            preds.push(self.predicate()?);
+        }
+        Ok(preds)
+    }
+
+    fn predicate(&mut self) -> Result<AstPredicate> {
+        let left = self.colref()?;
+        if self.peek_keyword("IN") {
+            self.pos += 1;
+            self.expect_token(Token::LParen)?;
+            let mut values = vec![self.literal()?];
+            while matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+                values.push(self.literal()?);
+            }
+            self.expect_token(Token::RParen)?;
+            return Ok(AstPredicate::InList { col: left, values });
+        }
+        if self.peek_keyword("IS") {
+            self.pos += 1;
+            let negated = if self.peek_keyword("NOT") {
+                self.pos += 1;
+                false
+            } else {
+                true
+            };
+            self.expect_keyword("NULL")?;
+            return Ok(AstPredicate::IsNull { col: left, negated });
+        }
+        if self.peek_keyword("BETWEEN") {
+            self.pos += 1;
+            let low = self.literal()?;
+            self.expect_keyword("AND")?;
+            let high = self.literal()?;
+            return Ok(AstPredicate::Between {
+                col: left,
+                low,
+                high,
+            });
+        }
+        let op = match self.advance() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Ne) => CmpOp::Ne,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            other => {
+                return Err(JitsError::Parse(format!(
+                    "expected comparison operator, found {other:?}"
+                )))
+            }
+        };
+        let right = match self.peek() {
+            Some(Token::Ident(_)) => Operand::Column(self.colref()?),
+            _ => Operand::Literal(self.literal()?),
+        };
+        Ok(AstPredicate::Cmp { left, op, right })
+    }
+
+    fn colref(&mut self) -> Result<ColRef> {
+        let first = self.ident()?;
+        if matches!(self.peek(), Some(Token::Dot)) {
+            self.pos += 1;
+            let column = self.ident()?;
+            Ok(ColRef {
+                qualifier: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColRef {
+                qualifier: None,
+                column: first,
+            })
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        match self.advance() {
+            Some(Token::Int(i)) => Ok(Value::Int(*i)),
+            Some(Token::Float(f)) => Ok(Value::Float(*f)),
+            Some(Token::Str(s)) => Ok(Value::str(s)),
+            Some(t) if t.is_keyword("NULL") => Ok(Value::Null),
+            other => Err(JitsError::Parse(format!(
+                "expected literal, found {other:?}"
+            ))),
+        }
+    }
+
+    fn insert(&mut self) -> Result<InsertStmt> {
+        self.expect_keyword("INSERT")?;
+        self.expect_keyword("INTO")?;
+        let table = self.ident()?;
+        self.expect_keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_token(Token::LParen)?;
+            let mut row = vec![self.literal()?];
+            while matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+                row.push(self.literal()?);
+            }
+            self.expect_token(Token::RParen)?;
+            rows.push(row);
+            if matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(InsertStmt { table, rows })
+    }
+
+    fn update(&mut self) -> Result<UpdateStmt> {
+        self.expect_keyword("UPDATE")?;
+        let table = self.ident()?;
+        self.expect_keyword("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_token(Token::Eq)?;
+            sets.push((col, self.literal()?));
+            if matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let predicates = if self.peek_keyword("WHERE") {
+            self.pos += 1;
+            self.conjuncts()?
+        } else {
+            Vec::new()
+        };
+        Ok(UpdateStmt {
+            table,
+            sets,
+            predicates,
+        })
+    }
+
+    fn delete(&mut self) -> Result<DeleteStmt> {
+        self.expect_keyword("DELETE")?;
+        self.expect_keyword("FROM")?;
+        let table = self.ident()?;
+        let predicates = if self.peek_keyword("WHERE") {
+            self.pos += 1;
+            self.conjuncts()?
+        } else {
+            Vec::new()
+        };
+        Ok(DeleteStmt { table, predicates })
+    }
+}
+
+fn is_reserved(word: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "select", "from", "where", "and", "between", "as", "insert", "into", "values", "update",
+        "set", "delete", "count", "null", "order", "by", "limit", "asc", "desc", "explain",
+        "group", "sum", "avg", "min", "max", "in", "is", "not",
+    ];
+    RESERVED.iter().any(|r| word.eq_ignore_ascii_case(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_query() {
+        // the paper's §3.2 example
+        let stmt = parse(
+            "SELECT price FROM car \
+             WHERE make = 'Toyota' AND model = 'Corolla' AND year > 2000",
+        )
+        .unwrap();
+        let Statement::Select(s) = stmt else {
+            panic!("expected SELECT");
+        };
+        assert_eq!(
+            s.projections,
+            vec![SelectItem::Column(ColRef::bare("price"))]
+        );
+        assert_eq!(s.from.len(), 1);
+        assert_eq!(s.predicates.len(), 3);
+        assert_eq!(
+            s.predicates[2],
+            AstPredicate::Cmp {
+                left: ColRef::bare("year"),
+                op: CmpOp::Gt,
+                right: Operand::Literal(Value::Int(2000)),
+            }
+        );
+    }
+
+    #[test]
+    fn paper_experiment_query() {
+        // the paper's §4.1 four-way join
+        let stmt = parse(
+            "SELECT o.name, driver, damage \
+             FROM car as c, accidents as a, demographics as d, owner as o \
+             WHERE d.ownerid = o.id AND a.carid = c.id AND c.ownerid = o.id \
+             AND make = 'Toyota' AND model = 'Camry' AND city = 'Ottawa' \
+             AND country = 'CA' AND salary > 5000",
+        )
+        .unwrap();
+        let Statement::Select(s) = stmt else {
+            panic!("expected SELECT");
+        };
+        assert_eq!(s.from.len(), 4);
+        assert_eq!(s.from[0].alias.as_deref(), Some("c"));
+        assert_eq!(s.predicates.len(), 8);
+        // join predicate shape
+        assert_eq!(
+            s.predicates[0],
+            AstPredicate::Cmp {
+                left: ColRef::qualified("d", "ownerid"),
+                op: CmpOp::Eq,
+                right: Operand::Column(ColRef::qualified("o", "id")),
+            }
+        );
+    }
+
+    #[test]
+    fn alias_without_as() {
+        let stmt = parse("SELECT * FROM car c WHERE c.year BETWEEN 2000 AND 2005").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        assert_eq!(s.from[0].alias.as_deref(), Some("c"));
+        assert_eq!(
+            s.predicates[0],
+            AstPredicate::Between {
+                col: ColRef::qualified("c", "year"),
+                low: Value::Int(2000),
+                high: Value::Int(2005),
+            }
+        );
+    }
+
+    #[test]
+    fn count_star() {
+        let stmt = parse("SELECT COUNT(*) FROM car").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        assert_eq!(s.projections, vec![SelectItem::CountStar]);
+    }
+
+    #[test]
+    fn insert_rows() {
+        let stmt = parse("INSERT INTO car VALUES (1, 'Toyota', 2001), (2, 'Honda', 1999)").unwrap();
+        let Statement::Insert(i) = stmt else { panic!() };
+        assert_eq!(i.table, "car");
+        assert_eq!(i.rows.len(), 2);
+        assert_eq!(i.rows[1][1], Value::str("Honda"));
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let stmt = parse("UPDATE car SET price = 9000.5, year = 2006 WHERE make = 'Audi'").unwrap();
+        let Statement::Update(u) = stmt else { panic!() };
+        assert_eq!(u.sets.len(), 2);
+        assert_eq!(u.predicates.len(), 1);
+
+        let stmt = parse("DELETE FROM car WHERE year < 1995").unwrap();
+        let Statement::Delete(d) = stmt else { panic!() };
+        assert_eq!(d.table, "car");
+        assert_eq!(d.predicates.len(), 1);
+    }
+
+    #[test]
+    fn delete_without_where() {
+        let stmt = parse("DELETE FROM car").unwrap();
+        let Statement::Delete(d) = stmt else { panic!() };
+        assert!(d.predicates.is_empty());
+    }
+
+    #[test]
+    fn errors_are_parse_errors() {
+        for bad in [
+            "",
+            "SELECT",
+            "SELECT FROM car",
+            "SELECT * car",
+            "SELECT * FROM car WHERE",
+            "SELECT * FROM car WHERE make =",
+            "SELECT * FROM car WHERE make = 'x' trailing",
+            "INSERT INTO car VALUES 1, 2",
+            "FROBNICATE car",
+        ] {
+            assert!(parse(bad).is_err(), "should fail: {bad}");
+        }
+    }
+
+    #[test]
+    fn semicolon_tolerated() {
+        assert!(parse("SELECT * FROM car;").is_ok());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The parser must never panic, whatever bytes arrive.
+        #[test]
+        fn parser_never_panics_on_arbitrary_input(input in "\\PC{0,80}") {
+            let _ = parse(&input);
+        }
+
+        /// Nor on strings built from SQL-ish fragments.
+        #[test]
+        fn parser_never_panics_on_sqlish_soup(
+            parts in proptest::collection::vec(
+                prop_oneof![
+                    Just("SELECT"), Just("FROM"), Just("WHERE"), Just("AND"),
+                    Just("BETWEEN"), Just("ORDER"), Just("BY"), Just("LIMIT"),
+                    Just("COUNT"), Just("("), Just(")"), Just("*"), Just(","),
+                    Just("="), Just("<"), Just(">"), Just("<>"), Just("'x'"),
+                    Just("42"), Just("3.5"), Just("car"), Just("make"),
+                    Just("c"), Just("."), Just(";"),
+                ],
+                0..24,
+            )
+        ) {
+            let sql = parts.join(" ");
+            let _ = parse(&sql);
+        }
+
+        /// Round trip: a well-formed filter query parses to the expected
+        /// structural shape for any constants.
+        #[test]
+        fn well_formed_filters_always_parse(
+            year in -10_000i64..10_000,
+            price in -1e6f64..1e6,
+            limit in 0usize..1000,
+        ) {
+            let sql = format!(
+                "SELECT COUNT(*) FROM car WHERE year > {year} AND price <= {price:.2} \
+                 ORDER BY year DESC LIMIT {limit}"
+            );
+            // ORDER BY + aggregate is rejected at *bind* time, not parse time
+            let stmt = parse(&sql).unwrap();
+            let Statement::Select(s) = stmt else { panic!() };
+            prop_assert_eq!(s.predicates.len(), 2);
+            prop_assert_eq!(s.limit, Some(limit));
+            prop_assert!(s.order_by.is_some());
+        }
+    }
+}

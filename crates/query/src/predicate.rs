@@ -1,0 +1,163 @@
+//! Bound predicates.
+//!
+//! Local predicates constrain one column of one quantifier; after binding
+//! they are normalized to [`Interval`]s (plus a residual not-equal form that
+//! has no interval representation). Join predicates are column equalities
+//! across quantifiers.
+
+use jits_common::{ColumnId, Interval, Value};
+use std::fmt;
+
+/// The shape of a bound local predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredKind {
+    /// A per-column interval (`=`, `<`, `<=`, `>`, `>=`, `BETWEEN`).
+    Interval(Interval),
+    /// `col <> v` — evaluable, but not representable as a region, so it is
+    /// excluded from QSS histogram materialization.
+    NotEq(Value),
+    /// `col IN (v1, v2, ...)` — a disjunction of points; no single region
+    /// form, served by the auxiliary predicate cache.
+    InList(Vec<Value>),
+    /// `col IS NULL` (`true`) / `col IS NOT NULL` (`false`).
+    IsNull(bool),
+}
+
+/// A bound local predicate: `quns[qun].column <kind>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalPredicate {
+    /// Index of the quantifier within the owning [`QueryBlock`].
+    ///
+    /// [`QueryBlock`]: crate::qgm::QueryBlock
+    pub qun: usize,
+    /// Constrained column.
+    pub column: ColumnId,
+    /// Normalized constraint.
+    pub kind: PredKind,
+}
+
+impl LocalPredicate {
+    /// Whether a value satisfies the predicate (NULL only matches
+    /// `IS NULL`).
+    pub fn matches(&self, v: &Value) -> bool {
+        match &self.kind {
+            PredKind::Interval(iv) => iv.contains(v),
+            PredKind::NotEq(x) => !v.is_null() && !v.sql_eq(x),
+            PredKind::InList(vals) => vals.iter().any(|x| v.sql_eq(x)),
+            PredKind::IsNull(want_null) => v.is_null() == *want_null,
+        }
+    }
+
+    /// The interval form, if the predicate has one.
+    pub fn interval(&self) -> Option<&Interval> {
+        match &self.kind {
+            PredKind::Interval(iv) => Some(iv),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LocalPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            PredKind::Interval(iv) => write!(f, "q{}.{} in {}", self.qun, self.column, iv),
+            PredKind::NotEq(v) => write!(f, "q{}.{} <> {}", self.qun, self.column, v),
+            PredKind::InList(vals) => {
+                write!(f, "q{}.{} IN (", self.qun, self.column)?;
+                for (i, v) in vals.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            PredKind::IsNull(true) => write!(f, "q{}.{} IS NULL", self.qun, self.column),
+            PredKind::IsNull(false) => write!(f, "q{}.{} IS NOT NULL", self.qun, self.column),
+        }
+    }
+}
+
+/// A bound equality join predicate between two quantifiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinPredicate {
+    /// Left side: (quantifier index, column).
+    pub left: (usize, ColumnId),
+    /// Right side: (quantifier index, column).
+    pub right: (usize, ColumnId),
+}
+
+impl JoinPredicate {
+    /// The side of the predicate touching `qun`, if any.
+    pub fn side_for(&self, qun: usize) -> Option<ColumnId> {
+        if self.left.0 == qun {
+            Some(self.left.1)
+        } else if self.right.0 == qun {
+            Some(self.right.1)
+        } else {
+            None
+        }
+    }
+
+    /// True if the predicate connects the two quantifier sets.
+    pub fn connects(&self, left_set: &[usize], right_set: &[usize]) -> bool {
+        (left_set.contains(&self.left.0) && right_set.contains(&self.right.0))
+            || (left_set.contains(&self.right.0) && right_set.contains(&self.left.0))
+    }
+}
+
+impl fmt::Display for JoinPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "q{}.{} = q{}.{}",
+            self.left.0, self.left.1, self.right.0, self.right.1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_predicate_matches() {
+        let p = LocalPredicate {
+            qun: 0,
+            column: ColumnId(1),
+            kind: PredKind::Interval(Interval::at_least(Value::Int(10), false)),
+        };
+        assert!(p.matches(&Value::Int(11)));
+        assert!(!p.matches(&Value::Int(10)));
+        assert!(!p.matches(&Value::Null));
+        assert!(p.interval().is_some());
+    }
+
+    #[test]
+    fn noteq_predicate_matches() {
+        let p = LocalPredicate {
+            qun: 0,
+            column: ColumnId(0),
+            kind: PredKind::NotEq(Value::str("Toyota")),
+        };
+        assert!(p.matches(&Value::str("Honda")));
+        assert!(!p.matches(&Value::str("Toyota")));
+        assert!(!p.matches(&Value::Null));
+        assert!(p.interval().is_none());
+    }
+
+    #[test]
+    fn join_predicate_sides() {
+        let j = JoinPredicate {
+            left: (0, ColumnId(2)),
+            right: (3, ColumnId(0)),
+        };
+        assert_eq!(j.side_for(0), Some(ColumnId(2)));
+        assert_eq!(j.side_for(3), Some(ColumnId(0)));
+        assert_eq!(j.side_for(1), None);
+        assert!(j.connects(&[0, 1], &[3]));
+        assert!(j.connects(&[3], &[0]));
+        assert!(!j.connects(&[1], &[2]));
+        assert!(!j.connects(&[0, 3], &[2]));
+    }
+}

@@ -1,0 +1,233 @@
+//! The bound query block — our Query Graph Model equivalent.
+//!
+//! The JITS prototype "uses the Query Graph Model (QGM) to analyze the query
+//! structure" and collects predicate groups *per query block* because "most
+//! optimizers, including our prototype DBMS, perform intra-block
+//! optimization" (paper §3.2). The supported SQL subset has exactly one SPJ
+//! block per query, so [`QueryBlock`] is the unit the JITS query analysis,
+//! the optimizer, and the executor all operate on.
+
+use crate::ast::AggFunc;
+use crate::predicate::{JoinPredicate, LocalPredicate, PredKind};
+use jits_common::{ColGroup, ColumnId, Interval, TableId};
+
+/// A quantifier: one table instance in the FROM clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Qun {
+    /// Base table.
+    pub table: TableId,
+    /// Alias (or the table name when no alias was given).
+    pub alias: String,
+}
+
+/// One bound aggregate expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundAggregate {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// The aggregated column; `None` for `COUNT(*)`.
+    pub col: Option<(usize, ColumnId)>,
+}
+
+/// One output item of a grouped projection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupItem {
+    /// The i-th grouping key.
+    Key(usize),
+    /// An aggregate over each group.
+    Agg(BoundAggregate),
+}
+
+/// The projection list of a block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// All columns of all quantifiers, in quantifier order.
+    Wildcard,
+    /// `COUNT(*)`.
+    CountStar,
+    /// A list of aggregates (the block is a one-row aggregation).
+    Aggregates(Vec<BoundAggregate>),
+    /// GROUP BY: one output row per distinct key combination.
+    GroupBy {
+        /// Grouping key columns.
+        keys: Vec<(usize, ColumnId)>,
+        /// Output items (keys and per-group aggregates).
+        items: Vec<GroupItem>,
+    },
+    /// Specific columns.
+    Columns(Vec<(usize, ColumnId)>),
+}
+
+/// A bound SPJ query block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryBlock {
+    /// Table instances.
+    pub quns: Vec<Qun>,
+    /// Conjunctive local predicates.
+    pub local_predicates: Vec<LocalPredicate>,
+    /// Conjunctive equality join predicates.
+    pub join_predicates: Vec<JoinPredicate>,
+    /// Projection list.
+    pub projection: Projection,
+    /// Optional ORDER BY: (quantifier, column, descending).
+    pub order_by: Option<(usize, ColumnId, bool)>,
+    /// Optional LIMIT.
+    pub limit: Option<usize>,
+}
+
+impl QueryBlock {
+    /// Indices of local predicates that constrain quantifier `qun`
+    /// (the paper's `P_t`, as positions into `local_predicates`).
+    pub fn local_predicates_of(&self, qun: usize) -> Vec<usize> {
+        self.local_predicates
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.qun == qun)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The canonical column group of a set of local-predicate indices
+    /// (which must all constrain the same quantifier).
+    pub fn colgroup_of(&self, pred_indices: &[usize]) -> ColGroup {
+        debug_assert!(!pred_indices.is_empty());
+        let qun = self.local_predicates[pred_indices[0]].qun;
+        debug_assert!(pred_indices
+            .iter()
+            .all(|&i| self.local_predicates[i].qun == qun));
+        ColGroup::new(
+            self.quns[qun].table,
+            pred_indices
+                .iter()
+                .map(|&i| self.local_predicates[i].column)
+                .collect(),
+        )
+    }
+
+    /// Folds a set of local-predicate indices into per-column intervals
+    /// (conjunction), ready for sampling evaluation. Not-equal predicates
+    /// have no interval; they are returned separately.
+    pub fn constraints_of(
+        &self,
+        pred_indices: &[usize],
+    ) -> (Vec<(ColumnId, Interval)>, Vec<&LocalPredicate>) {
+        let mut intervals: Vec<(ColumnId, Interval)> = Vec::new();
+        let mut residuals = Vec::new();
+        for &i in pred_indices {
+            let p = &self.local_predicates[i];
+            match &p.kind {
+                PredKind::Interval(iv) => {
+                    if let Some(existing) = intervals.iter_mut().find(|(c, _)| *c == p.column) {
+                        existing.1 = existing.1.intersect(iv);
+                    } else {
+                        intervals.push((p.column, iv.clone()));
+                    }
+                }
+                _ => residuals.push(p),
+            }
+        }
+        (intervals, residuals)
+    }
+
+    /// True if every predicate in the group has an interval form (i.e. the
+    /// group can be represented as a histogram region).
+    pub fn group_is_region(&self, pred_indices: &[usize]) -> bool {
+        pred_indices
+            .iter()
+            .all(|&i| self.local_predicates[i].interval().is_some())
+    }
+
+    /// Join predicates connecting the two quantifier sets.
+    pub fn joins_between(&self, left: &[usize], right: &[usize]) -> Vec<&JoinPredicate> {
+        self.join_predicates
+            .iter()
+            .filter(|j| j.connects(left, right))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jits_common::Value;
+
+    fn block() -> QueryBlock {
+        QueryBlock {
+            quns: vec![
+                Qun {
+                    table: TableId(0),
+                    alias: "c".into(),
+                },
+                Qun {
+                    table: TableId(1),
+                    alias: "o".into(),
+                },
+            ],
+            local_predicates: vec![
+                LocalPredicate {
+                    qun: 0,
+                    column: ColumnId(1),
+                    kind: PredKind::Interval(Interval::point(Value::str("Toyota"))),
+                },
+                LocalPredicate {
+                    qun: 0,
+                    column: ColumnId(2),
+                    kind: PredKind::Interval(Interval::at_least(Value::Int(2000), false)),
+                },
+                LocalPredicate {
+                    qun: 1,
+                    column: ColumnId(3),
+                    kind: PredKind::Interval(Interval::at_least(Value::Int(5000), false)),
+                },
+                LocalPredicate {
+                    qun: 0,
+                    column: ColumnId(2),
+                    kind: PredKind::NotEq(Value::Int(2003)),
+                },
+            ],
+            join_predicates: vec![JoinPredicate {
+                left: (0, ColumnId(0)),
+                right: (1, ColumnId(0)),
+            }],
+            projection: Projection::CountStar,
+            order_by: None,
+            limit: None,
+        }
+    }
+
+    #[test]
+    fn local_predicates_partition_by_qun() {
+        let b = block();
+        assert_eq!(b.local_predicates_of(0), vec![0, 1, 3]);
+        assert_eq!(b.local_predicates_of(1), vec![2]);
+    }
+
+    #[test]
+    fn colgroup_canonicalizes() {
+        let b = block();
+        let g = b.colgroup_of(&[1, 0]);
+        assert_eq!(g.table(), TableId(0));
+        assert_eq!(g.columns(), &[ColumnId(1), ColumnId(2)]);
+        // duplicate columns collapse (predicates 1 and 3 share column 2)
+        let g = b.colgroup_of(&[1, 3]);
+        assert_eq!(g.columns(), &[ColumnId(2)]);
+    }
+
+    #[test]
+    fn constraints_merge_same_column() {
+        let b = block();
+        let (ivs, residuals) = b.constraints_of(&[0, 1, 3]);
+        assert_eq!(ivs.len(), 2);
+        assert_eq!(residuals.len(), 1);
+        // group with a residual is not a region
+        assert!(!b.group_is_region(&[0, 1, 3]));
+        assert!(b.group_is_region(&[0, 1]));
+    }
+
+    #[test]
+    fn joins_between_sets() {
+        let b = block();
+        assert_eq!(b.joins_between(&[0], &[1]).len(), 1);
+        assert_eq!(b.joins_between(&[0], &[0]).len(), 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Typed column vectors.
+
+use jits_common::{DataType, JitsError, Result, Value};
+use std::sync::Arc;
+
+/// A typed column vector with per-slot validity.
+///
+/// NULLs are stored as a parallel validity bitmap; slot payloads for NULL
+/// entries are the type's default and must never be observed through the
+/// public API.
+#[derive(Debug, Clone)]
+pub struct Column {
+    data: ColumnData,
+    validity: Vec<bool>,
+}
+
+#[derive(Debug, Clone)]
+enum ColumnData {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Str(Vec<Arc<str>>),
+}
+
+impl Column {
+    /// Creates an empty column of the given type.
+    pub fn new(dtype: DataType) -> Self {
+        let data = match dtype {
+            DataType::Int => ColumnData::Int(Vec::new()),
+            DataType::Float => ColumnData::Float(Vec::new()),
+            DataType::Str => ColumnData::Str(Vec::new()),
+        };
+        Column {
+            data,
+            validity: Vec::new(),
+        }
+    }
+
+    /// Creates an empty column with reserved capacity.
+    pub fn with_capacity(dtype: DataType, cap: usize) -> Self {
+        let data = match dtype {
+            DataType::Int => ColumnData::Int(Vec::with_capacity(cap)),
+            DataType::Float => ColumnData::Float(Vec::with_capacity(cap)),
+            DataType::Str => ColumnData::Str(Vec::with_capacity(cap)),
+        };
+        Column {
+            data,
+            validity: Vec::with_capacity(cap),
+        }
+    }
+
+    /// The column's data type.
+    pub fn dtype(&self) -> DataType {
+        match &self.data {
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Number of slots (including tombstoned rows — the table tracks
+    /// liveness, not the column).
+    pub fn len(&self) -> usize {
+        self.validity.len()
+    }
+
+    /// True if no slots exist.
+    pub fn is_empty(&self) -> bool {
+        self.validity.is_empty()
+    }
+
+    /// Appends a value, coercing compatible types (Int into Float columns).
+    pub fn push(&mut self, v: Value) -> Result<()> {
+        let v = match v {
+            Value::Null => {
+                self.push_null();
+                return Ok(());
+            }
+            other => other.coerce(self.dtype())?,
+        };
+        match (&mut self.data, v) {
+            (ColumnData::Int(col), Value::Int(i)) => col.push(i),
+            (ColumnData::Float(col), Value::Float(f)) => col.push(f),
+            (ColumnData::Str(col), Value::Str(s)) => col.push(s),
+            _ => unreachable!("coerce guarantees matching type"),
+        }
+        self.validity.push(true);
+        Ok(())
+    }
+
+    /// Appends a NULL slot.
+    pub fn push_null(&mut self) {
+        match &mut self.data {
+            ColumnData::Int(col) => col.push(0),
+            ColumnData::Float(col) => col.push(0.0),
+            ColumnData::Str(col) => col.push(Arc::from("")),
+        }
+        self.validity.push(false);
+    }
+
+    /// Reads the value at `idx`; out-of-bounds is an internal error.
+    pub fn get(&self, idx: usize) -> Value {
+        debug_assert!(idx < self.len(), "column index {idx} out of bounds");
+        if !self.validity[idx] {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(col) => Value::Int(col[idx]),
+            ColumnData::Float(col) => Value::Float(col[idx]),
+            ColumnData::Str(col) => Value::Str(Arc::clone(&col[idx])),
+        }
+    }
+
+    /// Overwrites the value at `idx` (used by UPDATE).
+    pub fn set(&mut self, idx: usize, v: Value) -> Result<()> {
+        if idx >= self.len() {
+            return Err(JitsError::internal(format!(
+                "column set index {idx} out of bounds (len {})",
+                self.len()
+            )));
+        }
+        let v = match v {
+            Value::Null => {
+                self.validity[idx] = false;
+                return Ok(());
+            }
+            other => other.coerce(self.dtype())?,
+        };
+        match (&mut self.data, v) {
+            (ColumnData::Int(col), Value::Int(i)) => col[idx] = i,
+            (ColumnData::Float(col), Value::Float(f)) => col[idx] = f,
+            (ColumnData::Str(col), Value::Str(s)) => col[idx] = s,
+            _ => unreachable!("coerce guarantees matching type"),
+        }
+        self.validity[idx] = true;
+        Ok(())
+    }
+
+    /// Axis (numeric) projection of the value at `idx`, `None` for NULL.
+    /// Hot path for histogram construction; avoids materializing a `Value`
+    /// for numeric columns.
+    pub fn axis_value(&self, idx: usize) -> Option<f64> {
+        if !self.validity[idx] {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Int(col) => Some(col[idx] as f64),
+            ColumnData::Float(col) => Some(col[idx]),
+            ColumnData::Str(col) => Some(jits_common::value::lex_code(&col[idx])),
+        }
+    }
+
+    /// True if slot `idx` is non-NULL.
+    pub fn is_valid(&self, idx: usize) -> bool {
+        self.validity[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_roundtrip() {
+        let mut c = Column::new(DataType::Int);
+        c.push(Value::Int(1)).unwrap();
+        c.push(Value::Null).unwrap();
+        c.push(Value::Int(3)).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Value::Int(1));
+        assert_eq!(c.get(1), Value::Null);
+        assert_eq!(c.get(2), Value::Int(3));
+        assert!(!c.is_valid(1));
+    }
+
+    #[test]
+    fn int_coerces_into_float_column() {
+        let mut c = Column::new(DataType::Float);
+        c.push(Value::Int(2)).unwrap();
+        assert_eq!(c.get(0), Value::Float(2.0));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut c = Column::new(DataType::Int);
+        assert!(c.push(Value::str("x")).is_err());
+        assert_eq!(c.len(), 0, "failed push must not grow the column");
+    }
+
+    #[test]
+    fn set_overwrites_and_handles_null() {
+        let mut c = Column::new(DataType::Str);
+        c.push(Value::str("a")).unwrap();
+        c.set(0, Value::str("b")).unwrap();
+        assert_eq!(c.get(0), Value::str("b"));
+        c.set(0, Value::Null).unwrap();
+        assert_eq!(c.get(0), Value::Null);
+        assert!(c.set(5, Value::str("x")).is_err());
+    }
+
+    #[test]
+    fn axis_values() {
+        let mut c = Column::new(DataType::Str);
+        c.push(Value::str("Honda")).unwrap();
+        c.push_null();
+        assert!(c.axis_value(0).is_some());
+        assert_eq!(c.axis_value(1), None);
+    }
+}

@@ -1,0 +1,177 @@
+//! Secondary B-tree indexes.
+//!
+//! Indexes give the optimizer a genuine access-path decision to make:
+//! index-nested-loop joins and index range scans look cheap when the
+//! estimated outer/matching cardinality is small — which is exactly the
+//! decision misestimated selectivities sabotage, the failure mode JITS
+//! exists to prevent.
+
+use crate::row::RowId;
+use jits_common::{Bound, Interval, Value};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::ops::Bound as RangeBound;
+
+/// `Value` wrapper with the total order required by `BTreeMap`.
+#[derive(Debug, Clone, PartialEq)]
+struct OrdValue(Value);
+
+impl Eq for OrdValue {}
+
+impl PartialOrd for OrdValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdValue {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.cmp_total(&other.0)
+    }
+}
+
+/// A secondary index over one column: value → row ids.
+///
+/// NULLs are not indexed (no predicate the engine supports matches NULL).
+#[derive(Debug, Default)]
+pub struct SecondaryIndex {
+    map: BTreeMap<OrdValue, Vec<RowId>>,
+    entries: usize,
+}
+
+impl SecondaryIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        SecondaryIndex::default()
+    }
+
+    /// Number of indexed (non-NULL) entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Number of distinct indexed keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Adds a row under `value`.
+    pub fn insert(&mut self, value: Value, row: RowId) {
+        if value.is_null() {
+            return;
+        }
+        self.map.entry(OrdValue(value)).or_default().push(row);
+        self.entries += 1;
+    }
+
+    /// Removes a row previously inserted under `value`.
+    pub fn remove(&mut self, value: &Value, row: RowId) {
+        if value.is_null() {
+            return;
+        }
+        let key = OrdValue(value.clone());
+        if let Some(rows) = self.map.get_mut(&key) {
+            if let Some(pos) = rows.iter().position(|r| *r == row) {
+                rows.swap_remove(pos);
+                self.entries -= 1;
+                if rows.is_empty() {
+                    self.map.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Rows with exactly `value`.
+    pub fn lookup_eq(&self, value: &Value) -> &[RowId] {
+        self.map
+            .get(&OrdValue(value.clone()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Rows whose key falls inside `interval`, in key order.
+    pub fn lookup_range(&self, interval: &Interval) -> Vec<RowId> {
+        let lo = match &interval.low {
+            Bound::Unbounded => RangeBound::Unbounded,
+            Bound::Inclusive(v) => RangeBound::Included(OrdValue(v.clone())),
+            Bound::Exclusive(v) => RangeBound::Excluded(OrdValue(v.clone())),
+        };
+        let hi = match &interval.high {
+            Bound::Unbounded => RangeBound::Unbounded,
+            Bound::Inclusive(v) => RangeBound::Included(OrdValue(v.clone())),
+            Bound::Exclusive(v) => RangeBound::Excluded(OrdValue(v.clone())),
+        };
+        let mut out = Vec::new();
+        for (_, rows) in self.map.range((lo, hi)) {
+            out.extend_from_slice(rows);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build() -> SecondaryIndex {
+        let mut idx = SecondaryIndex::new();
+        for (i, v) in [10i64, 20, 20, 30, 40].iter().enumerate() {
+            idx.insert(Value::Int(*v), i as RowId);
+        }
+        idx
+    }
+
+    #[test]
+    fn eq_lookup() {
+        let idx = build();
+        assert_eq!(idx.lookup_eq(&Value::Int(20)), &[1, 2]);
+        assert!(idx.lookup_eq(&Value::Int(99)).is_empty());
+        assert_eq!(idx.len(), 5);
+        assert_eq!(idx.distinct_keys(), 4);
+    }
+
+    #[test]
+    fn range_lookup() {
+        let idx = build();
+        let rows = idx.lookup_range(&Interval::between(Value::Int(20), Value::Int(30)));
+        assert_eq!(rows, vec![1, 2, 3]);
+        let rows = idx.lookup_range(&Interval::at_least(Value::Int(30), false));
+        assert_eq!(rows, vec![4]);
+        let rows = idx.lookup_range(&Interval::unbounded());
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn remove_entries() {
+        let mut idx = build();
+        idx.remove(&Value::Int(20), 1);
+        assert_eq!(idx.lookup_eq(&Value::Int(20)), &[2]);
+        idx.remove(&Value::Int(20), 2);
+        assert!(idx.lookup_eq(&Value::Int(20)).is_empty());
+        assert_eq!(idx.distinct_keys(), 3);
+        // removing a missing entry is a no-op
+        idx.remove(&Value::Int(20), 7);
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn nulls_not_indexed() {
+        let mut idx = SecondaryIndex::new();
+        idx.insert(Value::Null, 0);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn string_keys() {
+        let mut idx = SecondaryIndex::new();
+        idx.insert(Value::str("Honda"), 0);
+        idx.insert(Value::str("Toyota"), 1);
+        let rows = idx.lookup_range(&Interval::at_least(Value::str("M"), true));
+        assert_eq!(rows, vec![1]);
+    }
+}

@@ -1,0 +1,25 @@
+//! In-memory column store for the JITS engine.
+//!
+//! Tables are append-only column vectors with a tombstone bitmap for
+//! deletions. Every mutation ticks the table's **UDI counter** (updates /
+//! deletions / insertions since the last statistics collection), which the
+//! JITS sensitivity analysis consults as its data-activity signal `s2`.
+//!
+//! The crate also provides the sampling primitive statistics collection is
+//! built on (fixed-size uniform samples of live rows — the paper cites
+//! [1, 8, 12] for sample sizes being independent of table size) and simple
+//! B-tree secondary indexes that give the optimizer real access-path choices.
+
+pub mod column;
+pub mod index;
+pub mod row;
+pub mod sample;
+pub mod table;
+pub mod udi;
+
+pub use column::Column;
+pub use index::SecondaryIndex;
+pub use row::{Row, RowId};
+pub use sample::SampleSpec;
+pub use table::Table;
+pub use udi::UdiCounter;

@@ -1,0 +1,12 @@
+//! Row identity and materialized rows.
+
+use jits_common::Value;
+
+/// Physical position of a row within a table's column vectors.
+///
+/// Row ids are stable for the lifetime of the row (deletes tombstone rather
+/// than compact), so indexes and samples can hold them safely.
+pub type RowId = u32;
+
+/// A materialized row: one [`Value`] per schema column.
+pub type Row = Vec<Value>;

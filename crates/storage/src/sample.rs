@@ -1,0 +1,143 @@
+//! Uniform row sampling — the substrate of JITS statistics collection.
+//!
+//! The paper (§4, citing [1, 8, 12]) relies on the observation that "the
+//! best sample size sufficient to give accurate statistics of a database
+//! table is independent of the table size": collection draws a *fixed-size*
+//! uniform sample once per marked table and then evaluates every candidate
+//! predicate group against it. [`SampleSpec`] captures the fixed size;
+//! [`sample_rows`] draws the rows.
+
+use crate::row::RowId;
+use crate::table::Table;
+use jits_common::SplitMix64;
+
+/// How to draw a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleSpec {
+    /// Target number of rows (tables smaller than this are fully scanned).
+    pub size: usize,
+}
+
+impl SampleSpec {
+    /// Fixed-size sample of `size` rows.
+    pub fn fixed(size: usize) -> Self {
+        SampleSpec { size }
+    }
+}
+
+impl Default for SampleSpec {
+    /// 1 000 rows — above the size the paper's citations deem sufficient
+    /// for selectivity estimation (the sample-size ablation in
+    /// `jits-bench` shows execution quality is flat from 250 rows up while
+    /// collection cost grows linearly).
+    fn default() -> Self {
+        SampleSpec { size: 1_000 }
+    }
+}
+
+/// Draws a uniform sample of live row ids without replacement.
+///
+/// Cost is proportional to the *sample* size, not the table size — the
+/// property the paper's collection strategy depends on: random slot probes
+/// with tombstone rejection, falling back to a reservoir pass only when the
+/// table is heavily tombstoned (rejection would thrash) or smaller than the
+/// sample.
+pub fn sample_rows(table: &Table, spec: SampleSpec, rng: &mut SplitMix64) -> Vec<RowId> {
+    let live = table.row_count();
+    let slots = table.slot_count();
+    if live == 0 {
+        return Vec::new();
+    }
+    let live_fraction = live as f64 / slots as f64;
+    if live <= spec.size || live_fraction < 0.25 {
+        return rng.reservoir_sample(table.scan(), spec.size);
+    }
+    let mut chosen = std::collections::HashSet::with_capacity(spec.size * 2);
+    let mut out = Vec::with_capacity(spec.size);
+    // expected probes ~ size / live_fraction; the generous cap only trips
+    // under adversarial tombstone layouts, where we fall back
+    let max_probes = spec.size * 20 + 64;
+    for _ in 0..max_probes {
+        if out.len() == spec.size {
+            return out;
+        }
+        let slot = rng.next_bounded(slots as u64) as RowId;
+        if table.is_live(slot) && chosen.insert(slot) {
+            out.push(slot);
+        }
+    }
+    rng.reservoir_sample(table.scan(), spec.size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jits_common::{DataType, Schema, Value};
+
+    fn table_with(n: usize) -> Table {
+        let mut t = Table::new("t", Schema::from_pairs(&[("v", DataType::Int)]));
+        for i in 0..n {
+            t.insert(vec![Value::Int(i as i64)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn sample_has_requested_size() {
+        let t = table_with(10_000);
+        let mut rng = SplitMix64::new(1);
+        let s = sample_rows(&t, SampleSpec::fixed(500), &mut rng);
+        assert_eq!(s.len(), 500);
+        // no duplicates
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 500);
+    }
+
+    #[test]
+    fn small_table_fully_sampled() {
+        let t = table_with(10);
+        let mut rng = SplitMix64::new(1);
+        let s = sample_rows(&t, SampleSpec::fixed(500), &mut rng);
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn sample_skips_tombstones() {
+        let mut t = table_with(100);
+        for r in 0..50 {
+            t.delete(r);
+        }
+        let mut rng = SplitMix64::new(2);
+        let s = sample_rows(&t, SampleSpec::fixed(500), &mut rng);
+        assert_eq!(s.len(), 50);
+        assert!(s.iter().all(|r| *r >= 50));
+    }
+
+    #[test]
+    fn sample_selectivity_estimates_converge() {
+        // 30% of rows have v < 3000; a 2000-row sample should estimate
+        // selectivity within a few points.
+        let t = table_with(10_000);
+        let mut rng = SplitMix64::new(3);
+        let s = sample_rows(&t, SampleSpec::default(), &mut rng);
+        let hits = s
+            .iter()
+            .filter(|r| match t.value(**r, jits_common::ColumnId(0)) {
+                Value::Int(i) => i < 3000,
+                _ => false,
+            })
+            .count();
+        let est = hits as f64 / s.len() as f64;
+        assert!((est - 0.3).abs() < 0.04, "estimate {est}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let t = table_with(1_000);
+        let a = sample_rows(&t, SampleSpec::fixed(100), &mut SplitMix64::new(7));
+        let b = sample_rows(&t, SampleSpec::fixed(100), &mut SplitMix64::new(7));
+        assert_eq!(a, b);
+    }
+}

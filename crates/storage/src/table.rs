@@ -1,0 +1,359 @@
+//! Tables: column vectors + tombstones + UDI counters + indexes.
+
+use crate::column::Column;
+use crate::index::SecondaryIndex;
+use crate::row::{Row, RowId};
+use crate::udi::UdiCounter;
+use jits_common::{ColumnId, Interval, JitsError, Result, Schema, Value};
+use std::collections::HashMap;
+
+/// An in-memory table.
+///
+/// Rows are appended; DELETE tombstones rows in place so [`RowId`]s stay
+/// stable for indexes and samples. All mutations tick the [`UdiCounter`].
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    live: Vec<bool>,
+    live_count: usize,
+    udi: UdiCounter,
+    indexes: HashMap<ColumnId, SecondaryIndex>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let columns = schema
+            .columns()
+            .iter()
+            .map(|c| Column::new(c.dtype))
+            .collect();
+        Table {
+            name: name.into(),
+            schema,
+            columns,
+            live: Vec::new(),
+            live_count: 0,
+            udi: UdiCounter::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live (non-deleted) rows.
+    pub fn row_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Number of physical slots, including tombstones. `RowId`s range over
+    /// `0..slot_count()`.
+    pub fn slot_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True if the row id refers to a live row.
+    #[inline]
+    pub fn is_live(&self, row: RowId) -> bool {
+        self.live.get(row as usize).copied().unwrap_or(false)
+    }
+
+    /// The UDI activity counter.
+    pub fn udi(&self) -> &UdiCounter {
+        &self.udi
+    }
+
+    /// Resets UDI counters; called by statistics collection.
+    pub fn reset_udi(&mut self) {
+        self.udi.reset();
+    }
+
+    /// Inserts a row (one value per schema column) and returns its id.
+    pub fn insert(&mut self, row: Row) -> Result<RowId> {
+        if row.len() != self.schema.len() {
+            return Err(JitsError::Execution(format!(
+                "INSERT into '{}' supplies {} values for {} columns",
+                self.name,
+                row.len(),
+                self.schema.len()
+            )));
+        }
+        let id = self.live.len() as RowId;
+        // Validate all values first so a failed insert leaves columns aligned.
+        let coerced: Result<Vec<Value>> = row
+            .into_iter()
+            .zip(self.schema.columns())
+            .map(|(v, def)| {
+                if v.is_null() {
+                    Ok(v)
+                } else {
+                    v.coerce(def.dtype)
+                }
+            })
+            .collect();
+        let coerced = coerced?;
+        for (col, v) in self.columns.iter_mut().zip(coerced.iter()) {
+            col.push(v.clone())
+                .expect("values were coerced to the column type");
+        }
+        self.live.push(true);
+        self.live_count += 1;
+        self.udi.inserts += 1;
+        for (cid, idx) in self.indexes.iter_mut() {
+            idx.insert(coerced[cid.index()].clone(), id);
+        }
+        Ok(id)
+    }
+
+    /// Deletes a live row; returns whether anything was deleted.
+    pub fn delete(&mut self, row: RowId) -> bool {
+        let i = row as usize;
+        if i >= self.live.len() || !self.live[i] {
+            return false;
+        }
+        for (cid, idx) in self.indexes.iter_mut() {
+            let old = self.columns[cid.index()].get(i);
+            idx.remove(&old, row);
+        }
+        self.live[i] = false;
+        self.live_count -= 1;
+        self.udi.deletes += 1;
+        true
+    }
+
+    /// Updates one column of a live row.
+    pub fn update(&mut self, row: RowId, column: ColumnId, value: Value) -> Result<()> {
+        let i = row as usize;
+        if !self.is_live(row) {
+            return Err(JitsError::Execution(format!(
+                "UPDATE of dead row {row} in '{}'",
+                self.name
+            )));
+        }
+        if column.index() >= self.columns.len() {
+            return Err(JitsError::NotFound(format!(
+                "column {column} in '{}'",
+                self.name
+            )));
+        }
+        let coerced = if value.is_null() {
+            value
+        } else {
+            value.coerce(self.schema.column(column).unwrap().dtype)?
+        };
+        if let Some(idx) = self.indexes.get_mut(&column) {
+            let old = self.columns[column.index()].get(i);
+            idx.remove(&old, row);
+            idx.insert(coerced.clone(), row);
+        }
+        self.columns[column.index()].set(i, coerced)?;
+        self.udi.updates += 1;
+        Ok(())
+    }
+
+    /// Reads one cell.
+    pub fn value(&self, row: RowId, column: ColumnId) -> Value {
+        self.columns[column.index()].get(row as usize)
+    }
+
+    /// Axis (numeric) projection of one cell, `None` for NULL.
+    pub fn axis_value(&self, row: RowId, column: ColumnId) -> Option<f64> {
+        self.columns[column.index()].axis_value(row as usize)
+    }
+
+    /// Materializes a full row.
+    pub fn row(&self, row: RowId) -> Row {
+        self.columns.iter().map(|c| c.get(row as usize)).collect()
+    }
+
+    /// Iterator over live row ids.
+    pub fn scan(&self) -> impl Iterator<Item = RowId> + '_ {
+        self.live
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l)
+            .map(|(i, _)| i as RowId)
+    }
+
+    /// Whether a live row satisfies a conjunction of per-column intervals.
+    pub fn row_matches(&self, row: RowId, constraints: &[(ColumnId, Interval)]) -> bool {
+        constraints
+            .iter()
+            .all(|(cid, iv)| iv.contains(&self.value(row, *cid)))
+    }
+
+    /// Builds (or rebuilds) a secondary index on `column`.
+    pub fn create_index(&mut self, column: ColumnId) -> Result<()> {
+        if column.index() >= self.columns.len() {
+            return Err(JitsError::NotFound(format!(
+                "column {column} in '{}'",
+                self.name
+            )));
+        }
+        let mut idx = SecondaryIndex::new();
+        for row in self.scan() {
+            idx.insert(self.value(row, column), row);
+        }
+        self.indexes.insert(column, idx);
+        Ok(())
+    }
+
+    /// The index on `column`, if one exists.
+    pub fn index(&self, column: ColumnId) -> Option<&SecondaryIndex> {
+        self.indexes.get(&column)
+    }
+
+    /// Columns that currently have secondary indexes.
+    pub fn indexed_columns(&self) -> Vec<ColumnId> {
+        let mut cols: Vec<ColumnId> = self.indexes.keys().copied().collect();
+        cols.sort_unstable();
+        cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jits_common::DataType;
+
+    fn cars() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("make", DataType::Str),
+            ("year", DataType::Int),
+        ]);
+        let mut t = Table::new("car", schema);
+        for (id, make, year) in [
+            (1i64, "Toyota", 2001i64),
+            (2, "Toyota", 2003),
+            (3, "Honda", 2001),
+            (4, "Audi", 2005),
+        ] {
+            t.insert(vec![Value::Int(id), Value::str(make), Value::Int(year)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn insert_scan_and_counts() {
+        let t = cars();
+        assert_eq!(t.row_count(), 4);
+        assert_eq!(t.scan().count(), 4);
+        assert_eq!(t.udi().inserts, 4);
+        assert_eq!(t.value(0, ColumnId(1)), Value::str("Toyota"));
+    }
+
+    #[test]
+    fn insert_arity_mismatch() {
+        let mut t = cars();
+        assert!(t.insert(vec![Value::Int(9)]).is_err());
+        assert_eq!(t.row_count(), 4, "failed insert must not add a row");
+    }
+
+    #[test]
+    fn insert_type_mismatch_keeps_columns_aligned() {
+        let mut t = cars();
+        let err = t.insert(vec![Value::str("x"), Value::str("y"), Value::Int(1)]);
+        assert!(err.is_err());
+        assert_eq!(t.slot_count(), 4);
+        // subsequent valid insert still works
+        t.insert(vec![Value::Int(5), Value::str("BMW"), Value::Int(2000)])
+            .unwrap();
+        assert_eq!(t.value(4, ColumnId(1)), Value::str("BMW"));
+    }
+
+    #[test]
+    fn delete_tombstones() {
+        let mut t = cars();
+        assert!(t.delete(1));
+        assert!(!t.delete(1), "double delete is a no-op");
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.slot_count(), 4, "slots are not compacted");
+        assert!(!t.is_live(1));
+        assert_eq!(t.scan().collect::<Vec<_>>(), vec![0, 2, 3]);
+        assert_eq!(t.udi().deletes, 1);
+    }
+
+    #[test]
+    fn update_changes_value_and_udi() {
+        let mut t = cars();
+        t.update(0, ColumnId(2), Value::Int(2010)).unwrap();
+        assert_eq!(t.value(0, ColumnId(2)), Value::Int(2010));
+        assert_eq!(t.udi().updates, 1);
+        assert!(t.update(99, ColumnId(2), Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn row_matches_constraints() {
+        let t = cars();
+        let cs = vec![
+            (ColumnId(1), Interval::point(Value::str("Toyota"))),
+            (ColumnId(2), Interval::at_least(Value::Int(2002), true)),
+        ];
+        let matches: Vec<RowId> = t.scan().filter(|r| t.row_matches(*r, &cs)).collect();
+        assert_eq!(matches, vec![1]);
+    }
+
+    #[test]
+    fn index_maintenance_through_dml() {
+        let mut t = cars();
+        t.create_index(ColumnId(1)).unwrap();
+        assert_eq!(
+            t.index(ColumnId(1))
+                .unwrap()
+                .lookup_eq(&Value::str("Toyota")),
+            &[0, 1]
+        );
+
+        t.insert(vec![Value::Int(5), Value::str("Toyota"), Value::Int(1999)])
+            .unwrap();
+        assert_eq!(
+            t.index(ColumnId(1))
+                .unwrap()
+                .lookup_eq(&Value::str("Toyota")),
+            &[0, 1, 4]
+        );
+
+        t.delete(0);
+        assert_eq!(
+            t.index(ColumnId(1))
+                .unwrap()
+                .lookup_eq(&Value::str("Toyota")),
+            &[4, 1]
+        );
+
+        t.update(1, ColumnId(1), Value::str("Honda")).unwrap();
+        assert_eq!(
+            t.index(ColumnId(1))
+                .unwrap()
+                .lookup_eq(&Value::str("Toyota")),
+            &[4]
+        );
+        assert_eq!(
+            t.index(ColumnId(1))
+                .unwrap()
+                .lookup_eq(&Value::str("Honda")),
+            &[2, 1]
+        );
+        assert_eq!(t.indexed_columns(), vec![ColumnId(1)]);
+    }
+
+    #[test]
+    fn reset_udi() {
+        let mut t = cars();
+        assert!(t.udi().total() > 0);
+        t.reset_udi();
+        assert_eq!(t.udi().total(), 0);
+    }
+}

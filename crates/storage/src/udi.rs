@@ -1,0 +1,73 @@
+//! UDI (update / delete / insert) activity counters.
+//!
+//! The JITS sensitivity analysis (paper §3.3.1) keeps, per table, "a counter
+//! that encapsulates the number of updates, deletions and insertions that
+//! took place since the last statistics collection" and uses
+//! `UDI / cardinality` as its data-activity score `s2`.
+
+/// Mutation counters since the last statistics collection on a table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UdiCounter {
+    /// Rows updated in place.
+    pub updates: u64,
+    /// Rows deleted.
+    pub deletes: u64,
+    /// Rows inserted.
+    pub inserts: u64,
+}
+
+impl UdiCounter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        UdiCounter::default()
+    }
+
+    /// Total activity since the last reset.
+    pub fn total(&self) -> u64 {
+        self.updates + self.deletes + self.inserts
+    }
+
+    /// Activity ratio against a table cardinality, clamped to `[0, 1]` —
+    /// this is the paper's `s2 = min(UDI(t)/cardinality(t), 1)`.
+    pub fn activity_ratio(&self, cardinality: u64) -> f64 {
+        if cardinality == 0 {
+            // all-new or fully-churned table: maximal activity signal
+            return if self.total() > 0 { 1.0 } else { 0.0 };
+        }
+        (self.total() as f64 / cardinality as f64).min(1.0)
+    }
+
+    /// Clears the counters (called when statistics are collected).
+    pub fn reset(&mut self) {
+        *self = UdiCounter::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_reset() {
+        let mut u = UdiCounter::new();
+        u.updates = 3;
+        u.deletes = 2;
+        u.inserts = 5;
+        assert_eq!(u.total(), 10);
+        u.reset();
+        assert_eq!(u.total(), 0);
+    }
+
+    #[test]
+    fn activity_ratio_clamps() {
+        let u = UdiCounter {
+            updates: 50,
+            deletes: 0,
+            inserts: 0,
+        };
+        assert_eq!(u.activity_ratio(100), 0.5);
+        assert_eq!(u.activity_ratio(10), 1.0);
+        assert_eq!(u.activity_ratio(0), 1.0);
+        assert_eq!(UdiCounter::new().activity_ratio(0), 0.0);
+    }
+}

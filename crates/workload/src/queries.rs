@@ -1,0 +1,344 @@
+//! The 840-operation workload generator.
+//!
+//! §4.2: "a workload of 840 queries, including data updates to simulate a
+//! real-world operational database". Queries draw their constants from the
+//! generator's correlated domains (make/model pairs that really co-occur,
+//! city/country pairs that really match), so the independence assumption is
+//! wrong for them in exactly the way the paper exploits. DML batches shift
+//! the data — a rotating "trending make" floods the fleet, old accidents
+//! are purged, prices are repriced — so statistics collected early go stale
+//! by the middle of the run.
+
+use crate::datagen::{DataGenConfig, ZipfSampler, CITY_COUNTRY, MAKE_MODELS, YEAR_RANGE};
+use jits_common::SplitMix64;
+
+/// One workload operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadOp {
+    /// The SQL text.
+    pub sql: String,
+    /// Whether this is a read query (vs. a DML statement).
+    pub is_query: bool,
+}
+
+/// Workload shape parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Total operations (the paper uses 840).
+    pub total_ops: usize,
+    /// Every n-th operation is a DML batch.
+    pub dml_every: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            total_ops: 840,
+            dml_every: 12,
+            seed: 77,
+        }
+    }
+}
+
+/// Generates the operation stream. `datagen` supplies the id ranges DML
+/// inserts must respect.
+pub fn generate_workload(spec: &WorkloadSpec, datagen: &DataGenConfig) -> Vec<WorkloadOp> {
+    let mut rng = SplitMix64::new(spec.seed);
+    let counts = datagen.row_counts();
+    let mut gen = Generator {
+        rng: &mut rng,
+        next_car_id: counts[0] as i64,
+        next_owner_id: counts[1] as i64,
+        next_accident_id: counts[3] as i64,
+        dml_batches_emitted: 0,
+    };
+    let mut ops = Vec::with_capacity(spec.total_ops);
+    for i in 0..spec.total_ops {
+        if spec.dml_every > 0 && i % spec.dml_every == spec.dml_every - 1 {
+            ops.push(gen.dml());
+        } else {
+            ops.push(gen.query());
+        }
+    }
+    ops
+}
+
+struct Generator<'a> {
+    rng: &'a mut SplitMix64,
+    next_car_id: i64,
+    next_owner_id: i64,
+    next_accident_id: i64,
+    dml_batches_emitted: usize,
+}
+
+impl Generator<'_> {
+    /// A correlated (make, model) pair: the model genuinely belongs to the
+    /// make, drawn with the same Zipf skew the data uses.
+    fn make_model(&mut self) -> (&'static str, &'static str) {
+        let zipf = ZipfSampler::new(MAKE_MODELS.len());
+        let (make, models, _) = MAKE_MODELS[zipf.sample(self.rng)];
+        (make, models[self.rng.next_index(models.len())])
+    }
+
+    fn city_country(&mut self) -> (&'static str, &'static str) {
+        let zipf = ZipfSampler::new(CITY_COUNTRY.len());
+        CITY_COUNTRY[zipf.sample(self.rng)]
+    }
+
+    fn year_cut(&mut self) -> i64 {
+        YEAR_RANGE.0
+            + 3
+            + self
+                .rng
+                .next_bounded((YEAR_RANGE.1 - YEAR_RANGE.0 - 4) as u64) as i64
+    }
+
+    fn salary_cut(&mut self) -> i64 {
+        20_000 + self.rng.next_bounded(80) as i64 * 1_000
+    }
+
+    fn damage_cut(&mut self) -> i64 {
+        2_000 + self.rng.next_bounded(30) as i64 * 1_000
+    }
+
+    fn query(&mut self) -> WorkloadOp {
+        let sql = match self.rng.next_bounded(12) {
+            // single-table car query with the correlated make/model pair
+            0 | 1 => {
+                let (make, model) = self.make_model();
+                let year = self.year_cut();
+                format!(
+                    "SELECT COUNT(*) FROM car WHERE make = '{make}' \
+                     AND model = '{model}' AND year > {year}"
+                )
+            }
+            // car x owner
+            2 | 3 => {
+                let (make, model) = self.make_model();
+                let salary = self.salary_cut();
+                format!(
+                    "SELECT o.name FROM car c, owner o WHERE c.ownerid = o.id \
+                     AND make = '{make}' AND model = '{model}' AND salary > {salary}"
+                )
+            }
+            // owner x demographics with the correlated city/country pair
+            4 | 5 => {
+                let (city, country) = self.city_country();
+                let age = 25 + self.rng.next_bounded(35) as i64;
+                format!(
+                    "SELECT o.name FROM owner o, demographics d \
+                     WHERE d.ownerid = o.id AND city = '{city}' \
+                     AND country = '{country}' AND age > {age}"
+                )
+            }
+            // car x accidents with the cross-table damage correlation
+            6 | 7 => {
+                let (make, model) = self.make_model();
+                let damage = self.damage_cut();
+                format!(
+                    "SELECT COUNT(*) FROM car c, accidents a WHERE a.carid = c.id \
+                     AND make = '{make}' AND model = '{model}' AND damage > {damage}"
+                )
+            }
+            // IN-list over a correlated make set (no region form: exercises
+            // the footnote-1 predicate cache)
+            9 => {
+                let zipf = ZipfSampler::new(MAKE_MODELS.len());
+                let a = zipf.sample(self.rng);
+                let mut b = zipf.sample(self.rng);
+                if b == a {
+                    b = (b + 1) % MAKE_MODELS.len();
+                }
+                let year = self.year_cut();
+                format!(
+                    "SELECT COUNT(*) FROM car WHERE make IN ('{}', '{}') AND year > {year}",
+                    MAKE_MODELS[a].0, MAKE_MODELS[b].0
+                )
+            }
+            // OLAP rollup: accident damage per make (aggregates + grouping,
+            // the DSS shape the paper's introduction motivates)
+            8 => {
+                let damage = self.damage_cut();
+                let year = self.year_cut();
+                format!(
+                    "SELECT make, COUNT(*), AVG(damage) FROM car c, accidents a \
+                     WHERE a.carid = c.id AND damage > {damage} AND c.year > {year} \
+                     GROUP BY make"
+                )
+            }
+            // the paper's §4.1 four-way join, with rotating constants
+            _ => {
+                let (make, model) = self.make_model();
+                let (city, country) = self.city_country();
+                let salary = self.salary_cut();
+                format!(
+                    "SELECT o.name, driver, damage \
+                     FROM car c, accidents a, demographics d, owner o \
+                     WHERE d.ownerid = o.id AND a.carid = c.id AND c.ownerid = o.id \
+                     AND make = '{make}' AND model = '{model}' AND city = '{city}' \
+                     AND country = '{country}' AND salary > {salary}"
+                )
+            }
+        };
+        WorkloadOp {
+            sql,
+            is_query: true,
+        }
+    }
+
+    fn dml(&mut self) -> WorkloadOp {
+        self.dml_batches_emitted += 1;
+        // the "trending make" and "trending city" rotate as the workload
+        // progresses, so distributions drift away from any early statistics
+        let trend = MAKE_MODELS[(self.dml_batches_emitted / 4) % MAKE_MODELS.len()];
+        let trend_city = CITY_COUNTRY[(self.dml_batches_emitted / 3) % CITY_COUNTRY.len()];
+        let car_burst = (self.next_car_id as usize / 150).max(25);
+        let acc_burst = (self.next_accident_id as usize / 150).max(25);
+        let sql = match self.rng.next_bounded(6) {
+            // insert a burst of trending cars (newest model years)
+            0 => {
+                let rows: Vec<String> = (0..car_burst)
+                    .map(|_| {
+                        let id = self.next_car_id;
+                        self.next_car_id += 1;
+                        let owner = self.rng.next_bounded(self.next_owner_id as u64);
+                        let model = trend.1[self.rng.next_index(trend.1.len())];
+                        let year = YEAR_RANGE.1 - self.rng.next_bounded(2) as i64;
+                        let price = 9_000 + self.rng.next_bounded(30_000);
+                        format!(
+                            "({id}, {owner}, '{}', '{model}', {year}, {price}.0)",
+                            trend.0
+                        )
+                    })
+                    .collect();
+                format!("INSERT INTO car VALUES {}", rows.join(", "))
+            }
+            // purge low-damage accidents (shrinks and reshapes ACCIDENTS)
+            1 => {
+                let cut = 900 + self.rng.next_bounded(600);
+                format!("DELETE FROM accidents WHERE damage < {cut}")
+            }
+            // reprice one make (price distribution drifts per make)
+            2 => {
+                let (make, _, _) = MAKE_MODELS[self.rng.next_index(MAKE_MODELS.len())];
+                let price = 3_000 + self.rng.next_bounded(25_000);
+                format!("UPDATE car SET price = {price}.0 WHERE make = '{make}'")
+            }
+            // a slice of owners moves to the trending city (shifts the
+            // city/country distribution and puts UDI on DEMOGRAPHICS)
+            3 => {
+                let span = (self.next_owner_id / 40).max(1);
+                let lo = self.rng.next_bounded(self.next_owner_id as u64) as i64;
+                format!(
+                    "UPDATE demographics SET city = '{}', country = '{}' \
+                     WHERE ownerid BETWEEN {lo} AND {}",
+                    trend_city.0,
+                    trend_city.1,
+                    lo + span
+                )
+            }
+            // raises for a salary band (shifts OWNER's salary distribution)
+            4 => {
+                let lo = 20_000 + self.rng.next_bounded(60) as i64 * 1_000;
+                let new = lo + 15_000 + self.rng.next_bounded(20_000) as i64;
+                format!(
+                    "UPDATE owner SET salary = {new} \
+                     WHERE salary BETWEEN {lo} AND {}",
+                    lo + 8_000
+                )
+            }
+            // new accidents, skewed to recent cars
+            _ => {
+                let rows: Vec<String> = (0..acc_burst)
+                    .map(|_| {
+                        let id = self.next_accident_id;
+                        self.next_accident_id += 1;
+                        let car = self.rng.next_bounded((self.next_car_id as u64).max(1));
+                        let damage = 500 + self.rng.next_bounded(20_000);
+                        let year = 2006;
+                        format!("({id}, {car}, 'driver{}', {damage}, {year})", id % 997)
+                    })
+                    .collect();
+                format!("INSERT INTO accidents VALUES {}", rows.join(", "))
+            }
+        };
+        WorkloadOp {
+            sql,
+            is_query: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jits_query::parse;
+
+    #[test]
+    fn default_workload_has_840_ops_with_dml() {
+        let ops = generate_workload(&WorkloadSpec::default(), &DataGenConfig::default());
+        assert_eq!(ops.len(), 840);
+        let dml = ops.iter().filter(|o| !o.is_query).count();
+        assert_eq!(dml, 840 / 12);
+    }
+
+    #[test]
+    fn all_operations_parse() {
+        let ops = generate_workload(&WorkloadSpec::default(), &DataGenConfig::default());
+        for op in &ops {
+            parse(&op.sql).unwrap_or_else(|e| panic!("{e}: {}", op.sql));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_workload(&WorkloadSpec::default(), &DataGenConfig::default());
+        let b = generate_workload(&WorkloadSpec::default(), &DataGenConfig::default());
+        assert_eq!(a, b);
+        let c = generate_workload(
+            &WorkloadSpec {
+                seed: 78,
+                ..WorkloadSpec::default()
+            },
+            &DataGenConfig::default(),
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn make_model_pairs_are_correlated() {
+        let ops = generate_workload(&WorkloadSpec::default(), &DataGenConfig::default());
+        for op in ops.iter().filter(|o| o.is_query) {
+            if let Some(make_pos) = op.sql.find("make = '") {
+                let make = &op.sql[make_pos + 8..];
+                let make = &make[..make.find('\'').unwrap()];
+                if let Some(model_pos) = op.sql.find("model = '") {
+                    let model = &op.sql[model_pos + 9..];
+                    let model = &model[..model.find('\'').unwrap()];
+                    let entry = MAKE_MODELS.iter().find(|(m, _, _)| *m == make).unwrap();
+                    assert!(
+                        entry.1.contains(&model),
+                        "{model} is not a {make} model: {}",
+                        op.sql
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queries_without_dml() {
+        let ops = generate_workload(
+            &WorkloadSpec {
+                total_ops: 50,
+                dml_every: 0,
+                seed: 1,
+            },
+            &DataGenConfig::default(),
+        );
+        assert_eq!(ops.len(), 50);
+        assert!(ops.iter().all(|o| o.is_query));
+    }
+}

@@ -1,0 +1,100 @@
+//! DDL for the car-insurance evaluation database.
+
+use jits_common::{DataType, Result, Schema};
+use jits_engine::Database;
+
+/// The four evaluation tables, in `TableId` order.
+pub const TABLE_NAMES: [&str; 4] = ["car", "owner", "demographics", "accidents"];
+
+/// Row counts from the paper's Table 2.
+pub fn paper_row_counts() -> [(&'static str, usize); 4] {
+    [
+        ("car", 1_430_798),
+        ("owner", 1_000_000),
+        ("demographics", 1_000_000),
+        ("accidents", 4_289_980),
+    ]
+}
+
+/// Creates the four tables, primary keys and foreign-key indexes.
+///
+/// Schema (the columns the paper's queries §3.2/§4.1 reference, plus the
+/// obvious attributes they imply):
+///
+/// * `car(id, ownerid, make, model, year, price)` — PK `id`, FK `ownerid`
+/// * `owner(id, name, age, salary)` — PK `id`
+/// * `demographics(ownerid, city, country, marital)` — FK `ownerid`
+/// * `accidents(id, carid, driver, damage, year)` — PK `id`, FK `carid`
+pub fn create_schema(db: &mut Database) -> Result<()> {
+    db.create_table(
+        "car",
+        Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("ownerid", DataType::Int),
+            ("make", DataType::Str),
+            ("model", DataType::Str),
+            ("year", DataType::Int),
+            ("price", DataType::Float),
+        ]),
+    )?;
+    db.create_table(
+        "owner",
+        Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("name", DataType::Str),
+            ("age", DataType::Int),
+            ("salary", DataType::Int),
+        ]),
+    )?;
+    db.create_table(
+        "demographics",
+        Schema::from_pairs(&[
+            ("ownerid", DataType::Int),
+            ("city", DataType::Str),
+            ("country", DataType::Str),
+            ("marital", DataType::Str),
+        ]),
+    )?;
+    db.create_table(
+        "accidents",
+        Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("carid", DataType::Int),
+            ("driver", DataType::Str),
+            ("damage", DataType::Int),
+            ("year", DataType::Int),
+        ]),
+    )?;
+
+    db.set_primary_key("car", "id")?;
+    db.create_index("car", "ownerid")?;
+    db.set_primary_key("owner", "id")?;
+    db.create_index("demographics", "ownerid")?;
+    db.set_primary_key("accidents", "id")?;
+    db.create_index("accidents", "carid")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_creates_all_tables() {
+        let mut db = Database::new(1);
+        create_schema(&mut db).unwrap();
+        for name in TABLE_NAMES {
+            assert!(db.table_id(name).is_some(), "missing {name}");
+        }
+        // keys and indexes registered
+        let car = db.table_id("car").unwrap();
+        assert_eq!(db.catalog().table(car).unwrap().indexed_columns.len(), 2);
+    }
+
+    #[test]
+    fn paper_counts_match_table2() {
+        let counts = paper_row_counts();
+        assert_eq!(counts[0].1, 1_430_798);
+        assert_eq!(counts[3].1, 4_289_980);
+    }
+}

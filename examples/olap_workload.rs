@@ -1,0 +1,77 @@
+//! The paper's evaluation scenario in miniature: the four-table
+//! car-insurance database under an OLAP workload with data churn, compared
+//! across all four statistics settings (§4.2, Figure 3).
+//!
+//! ```sh
+//! cargo run --release --example olap_workload [scale] [ops]
+//! ```
+
+use jits::JitsConfig;
+use jits_workload::{
+    boxplot, generate_workload, prepare, run_workload, setup_database, DataGenConfig, Setting,
+    WorkloadSpec,
+};
+
+fn main() -> jits_common::Result<()> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.005);
+    let total_ops: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(240);
+
+    let datagen = DataGenConfig {
+        scale,
+        ..DataGenConfig::default()
+    };
+    let spec = WorkloadSpec {
+        total_ops,
+        ..WorkloadSpec::default()
+    };
+    let ops = generate_workload(&spec, &datagen);
+    println!(
+        "car-insurance database at scale {scale} ({} ops, {} queries)\n",
+        ops.len(),
+        ops.iter().filter(|o| o.is_query).count()
+    );
+    println!(
+        "{:<16} {:>12} {:>12} {:>12}   five-number summary of per-query work",
+        "setting", "exec work", "compile work", "total"
+    );
+
+    for setting in [
+        Setting::NoStats,
+        Setting::GeneralStats,
+        Setting::WorkloadStats,
+        Setting::Jits(JitsConfig::default()),
+    ] {
+        let mut db = setup_database(&datagen)?;
+        prepare(&mut db, &setting, &ops)?;
+        let records = run_workload(&mut db, &ops)?;
+        let queries: Vec<_> = records.iter().filter(|r| r.is_query).collect();
+        let exec: f64 = queries.iter().map(|r| r.metrics.exec_work).sum();
+        let compile: f64 = queries.iter().map(|r| r.metrics.compile_work).sum();
+        let per_query: Vec<f64> = queries
+            .iter()
+            .map(|r| r.metrics.exec_work + r.metrics.compile_work)
+            .collect();
+        let b = boxplot(&per_query).expect("non-empty workload");
+        println!(
+            "{:<16} {:>12.0} {:>12.0} {:>12.0}   [{:.0} | {:.0} | {:.0} | {:.0} | {:.0}]",
+            setting.label(),
+            exec,
+            compile,
+            exec + compile,
+            b.min,
+            b.q1,
+            b.median,
+            b.q3,
+            b.max
+        );
+    }
+    println!("\n(no-stats should be worst by an order of magnitude; JITS should");
+    println!(" have the lowest execution work — the paper's Figure 3 shape)");
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Tuning the sensitivity threshold `s_max` (the paper's §4.3 / Figure 6).
+//!
+//! ```sh
+//! cargo run --release --example sensitivity_tuning [scale] [ops]
+//! ```
+//!
+//! Sweeps `s_max` over the paper's grid and prints average compile and
+//! execution work per query. Expect: huge compile work at 0 ("no actual
+//! sensitivity analysis"), falling as `s_max` rises; execution work flat
+//! through the mid-range, then rising once the system stops collecting.
+
+use jits::JitsConfig;
+use jits_workload::{
+    generate_workload, prepare, run_workload, setup_database, DataGenConfig, Setting, WorkloadSpec,
+};
+
+fn main() -> jits_common::Result<()> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.005);
+    let total_ops: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(240);
+    let datagen = DataGenConfig {
+        scale,
+        ..DataGenConfig::default()
+    };
+    let spec = WorkloadSpec {
+        total_ops,
+        ..WorkloadSpec::default()
+    };
+    let ops = generate_workload(&spec, &datagen);
+
+    println!("s_max   avg compile work   avg exec work   avg total   tables sampled");
+    for s_max in [0.0, 0.1, 0.5, 0.7, 0.9, 1.0] {
+        let mut db = setup_database(&datagen)?;
+        let setting = Setting::Jits(JitsConfig {
+            s_max,
+            ..JitsConfig::default()
+        });
+        prepare(&mut db, &setting, &ops)?;
+        let records = run_workload(&mut db, &ops)?;
+        let queries: Vec<_> = records.iter().filter(|r| r.is_query).collect();
+        let n = queries.len() as f64;
+        let compile: f64 = queries.iter().map(|r| r.metrics.compile_work).sum::<f64>() / n;
+        let exec: f64 = queries.iter().map(|r| r.metrics.exec_work).sum::<f64>() / n;
+        let sampled: usize = queries.iter().map(|r| r.metrics.sampled_tables).sum();
+        println!(
+            "{s_max:<7} {compile:>17.0} {exec:>15.0} {:>11.0} {sampled:>16}",
+            compile + exec
+        );
+    }
+    Ok(())
+}

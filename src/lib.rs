@@ -1,0 +1,16 @@
+//! Umbrella crate for the JITS reproduction workspace.
+//!
+//! Re-exports the public API of every member crate so examples and
+//! integration tests can `use jits_repro::...`. See `README.md` for the
+//! architecture and `DESIGN.md` for the paper-to-module mapping.
+
+pub use jits as core;
+pub use jits_catalog as catalog;
+pub use jits_common as common;
+pub use jits_engine as engine;
+pub use jits_executor as executor;
+pub use jits_histogram as histogram;
+pub use jits_optimizer as optimizer;
+pub use jits_query as query;
+pub use jits_storage as storage;
+pub use jits_workload as workload;

@@ -1,0 +1,259 @@
+//! Differential testing: the full engine (parser → optimizer → executor)
+//! against a brute-force nested-loop reference evaluator, over randomized
+//! databases, predicates, and statistics settings. Whatever plan the
+//! optimizer picks, the rows must match.
+
+use jits_repro::common::{DataType, Schema, SplitMix64, Value};
+use jits_repro::core::JitsConfig;
+use jits_repro::engine::{Database, StatsSetting};
+use proptest::prelude::*;
+
+const MAKES: [&str; 5] = ["Toyota", "Honda", "Audi", "BMW", "Ford"];
+
+#[derive(Debug, Clone)]
+struct CarRow {
+    id: i64,
+    owner: i64,
+    make: &'static str,
+    year: i64,
+}
+
+#[derive(Debug, Clone)]
+struct OwnerRow {
+    id: i64,
+    salary: i64,
+}
+
+fn build_db(cars: &[CarRow], owners: &[OwnerRow], with_indexes: bool) -> Database {
+    let mut db = Database::new(5);
+    db.create_table(
+        "car",
+        Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("ownerid", DataType::Int),
+            ("make", DataType::Str),
+            ("year", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "owner",
+        Schema::from_pairs(&[("id", DataType::Int), ("salary", DataType::Int)]),
+    )
+    .unwrap();
+    if with_indexes {
+        db.set_primary_key("owner", "id").unwrap();
+        db.create_index("car", "ownerid").unwrap();
+    }
+    db.load_rows(
+        "car",
+        cars.iter()
+            .map(|c| {
+                vec![
+                    Value::Int(c.id),
+                    Value::Int(c.owner),
+                    Value::str(c.make),
+                    Value::Int(c.year),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+    db.load_rows(
+        "owner",
+        owners
+            .iter()
+            .map(|o| vec![Value::Int(o.id), Value::Int(o.salary)])
+            .collect(),
+    )
+    .unwrap();
+    db
+}
+
+/// A randomly generated single-table filter.
+#[derive(Debug, Clone)]
+enum Filter {
+    MakeEq(usize),
+    MakeNe(usize),
+    YearGt(i64),
+    YearLe(i64),
+    YearBetween(i64, i64),
+    SalaryGt(i64),
+}
+
+impl Filter {
+    fn sql(&self) -> String {
+        match self {
+            Filter::MakeEq(i) => format!("make = '{}'", MAKES[*i]),
+            Filter::MakeNe(i) => format!("make <> '{}'", MAKES[*i]),
+            Filter::YearGt(y) => format!("year > {y}"),
+            Filter::YearLe(y) => format!("year <= {y}"),
+            Filter::YearBetween(a, b) => format!("year BETWEEN {a} AND {b}"),
+            Filter::SalaryGt(s) => format!("salary > {s}"),
+        }
+    }
+
+    fn on_owner(&self) -> bool {
+        matches!(self, Filter::SalaryGt(_))
+    }
+
+    fn matches_car(&self, c: &CarRow) -> bool {
+        match self {
+            Filter::MakeEq(i) => c.make == MAKES[*i],
+            Filter::MakeNe(i) => c.make != MAKES[*i],
+            Filter::YearGt(y) => c.year > *y,
+            Filter::YearLe(y) => c.year <= *y,
+            Filter::YearBetween(a, b) => c.year >= *a && c.year <= *b,
+            Filter::SalaryGt(_) => true,
+        }
+    }
+
+    fn matches_owner(&self, o: &OwnerRow) -> bool {
+        match self {
+            Filter::SalaryGt(s) => o.salary > *s,
+            _ => true,
+        }
+    }
+}
+
+fn filter_strategy() -> impl Strategy<Value = Filter> {
+    prop_oneof![
+        (0..MAKES.len()).prop_map(Filter::MakeEq),
+        (0..MAKES.len()).prop_map(Filter::MakeNe),
+        (1990i64..2007).prop_map(Filter::YearGt),
+        (1990i64..2007).prop_map(Filter::YearLe),
+        (1990i64..2000, 0i64..10).prop_map(|(a, d)| Filter::YearBetween(a, a + d)),
+        (0i64..100_000).prop_map(Filter::SalaryGt),
+    ]
+}
+
+fn rows_strategy() -> impl Strategy<Value = (Vec<CarRow>, Vec<OwnerRow>)> {
+    (1usize..120, 1usize..40, any::<u64>()).prop_map(|(n_cars, n_owners, seed)| {
+        let mut rng = SplitMix64::new(seed);
+        let cars = (0..n_cars)
+            .map(|i| CarRow {
+                id: i as i64,
+                owner: rng.next_bounded(n_owners as u64) as i64,
+                make: MAKES[rng.next_index(MAKES.len())],
+                year: 1990 + rng.next_bounded(17) as i64,
+            })
+            .collect();
+        let owners = (0..n_owners)
+            .map(|i| OwnerRow {
+                id: i as i64,
+                salary: rng.next_bounded(100_000) as i64,
+            })
+            .collect();
+        (cars, owners)
+    })
+}
+
+fn settings_strategy() -> impl Strategy<Value = u8> {
+    0u8..4
+}
+
+fn apply_setting(db: &mut Database, which: u8) {
+    match which {
+        0 => db.set_setting(StatsSetting::NoStatistics),
+        1 => {
+            db.runstats_all().unwrap();
+            db.set_setting(StatsSetting::CatalogOnly);
+        }
+        2 => db.set_setting(StatsSetting::Jits(JitsConfig::default())),
+        _ => db.set_setting(StatsSetting::Jits(JitsConfig {
+            s_max: 0.0,
+            ..JitsConfig::default()
+        })),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Single-table filters: engine count == reference count.
+    #[test]
+    fn single_table_counts_match_reference(
+        (cars, owners) in rows_strategy(),
+        filters in proptest::collection::vec(filter_strategy(), 1..4),
+        setting in settings_strategy(),
+        with_indexes in any::<bool>(),
+    ) {
+        let car_filters: Vec<&Filter> =
+            filters.iter().filter(|f| !f.on_owner()).collect();
+        prop_assume!(!car_filters.is_empty());
+        let mut db = build_db(&cars, &owners, with_indexes);
+        apply_setting(&mut db, setting);
+        let wheres: Vec<String> = car_filters.iter().map(|f| f.sql()).collect();
+        let sql = format!(
+            "SELECT COUNT(*) FROM car WHERE {}",
+            wheres.join(" AND ")
+        );
+        let got = db.execute(&sql).unwrap().rows[0][0].as_i64().unwrap();
+        let expected = cars
+            .iter()
+            .filter(|c| car_filters.iter().all(|f| f.matches_car(c)))
+            .count() as i64;
+        prop_assert_eq!(got, expected, "{}", sql);
+    }
+
+    /// Joins with mixed filters: engine count == nested-loop reference.
+    #[test]
+    fn join_counts_match_reference(
+        (cars, owners) in rows_strategy(),
+        filters in proptest::collection::vec(filter_strategy(), 0..4),
+        setting in settings_strategy(),
+        with_indexes in any::<bool>(),
+    ) {
+        let mut db = build_db(&cars, &owners, with_indexes);
+        apply_setting(&mut db, setting);
+        let mut wheres = vec!["c.ownerid = o.id".to_string()];
+        wheres.extend(filters.iter().map(|f| f.sql()));
+        let sql = format!(
+            "SELECT COUNT(*) FROM car c, owner o WHERE {}",
+            wheres.join(" AND ")
+        );
+        let got = db.execute(&sql).unwrap().rows[0][0].as_i64().unwrap();
+        let expected = cars
+            .iter()
+            .filter(|c| filters.iter().all(|f| f.matches_car(c)))
+            .map(|c| {
+                owners
+                    .iter()
+                    .filter(|o| o.id == c.owner)
+                    .filter(|o| filters.iter().all(|f| f.matches_owner(o)))
+                    .count() as i64
+            })
+            .sum::<i64>();
+        prop_assert_eq!(got, expected, "{}", sql);
+    }
+
+    /// DML then query: the engine stays consistent with an incrementally
+    /// maintained reference.
+    #[test]
+    fn dml_then_query_matches_reference(
+        (mut cars, owners) in rows_strategy(),
+        cutoff in 1990i64..2007,
+        make_idx in 0..MAKES.len(),
+        setting in settings_strategy(),
+    ) {
+        let mut db = build_db(&cars, &owners, true);
+        apply_setting(&mut db, setting);
+        // delete old cars
+        db.execute(&format!("DELETE FROM car WHERE year < {cutoff}")).unwrap();
+        cars.retain(|c| c.year >= cutoff);
+        // retag a make
+        db.execute(&format!(
+            "UPDATE car SET make = 'Retagged' WHERE make = '{}'",
+            MAKES[make_idx]
+        ))
+        .unwrap();
+        let expected = cars.iter().filter(|c| c.make == MAKES[make_idx]).count();
+        let got = db
+            .execute("SELECT COUNT(*) FROM car WHERE make = 'Retagged'")
+            .unwrap()
+            .rows[0][0]
+            .as_i64()
+            .unwrap();
+        prop_assert_eq!(got, expected as i64);
+    }
+}
