@@ -1,0 +1,202 @@
+//! Offline vendored mini-criterion.
+//!
+//! The real `criterion` crate cannot be fetched in this build environment,
+//! so this workspace-local crate provides the API surface the benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`black_box`],
+//! [`criterion_group!`], [`criterion_main!`], and [`BenchmarkId`].
+//!
+//! Timing model: each benchmark warms up briefly, then runs batches until
+//! ~`measure_ms` of wall-clock time has elapsed and reports mean time per
+//! iteration. No statistics, plots, or baselines — just honest numbers on
+//! stderr-free stdout, enough to compare before/after locally.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (stable `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the parameter alone.
+    pub fn from_parameter<P: fmt::Display>(p: P) -> Self {
+        BenchmarkId { id: p.to_string() }
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<S: Into<String>, P: fmt::Display>(function: S, p: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), p),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives the timed closure.
+pub struct Bencher {
+    measure: Duration,
+    /// Mean nanoseconds per iteration, filled by `iter`.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly and records the mean per-call duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warm-up: one call (also primes caches/allocations)
+        black_box(f());
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        let mut batch: u64 = 1;
+        while elapsed < self.measure {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            elapsed += t0.elapsed();
+            iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        self.iters = iters;
+        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(name: &str, measure: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        measure,
+        mean_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    println!(
+        "bench  {name:<52} {:>12}/iter   ({} iters)",
+        human(b.mean_ns),
+        b.iters
+    );
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // keep local runs quick; CRITERION_MEASURE_MS overrides
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            measure: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.measure, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<N: fmt::Display, F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: N,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.criterion.measure, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, N: fmt::Display, F>(
+        &mut self,
+        id: N,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.criterion.measure,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function list.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

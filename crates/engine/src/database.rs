@@ -3,8 +3,9 @@
 use crate::metrics::QueryMetrics;
 use crate::settings::StatsSetting;
 use jits::{
-    collect_for_tables, ingest, query_analysis, sensitivity_analysis, CollectedStats, JitsConfig,
-    JitsStatisticsProvider, PredicateCache, QssArchive, SensitivityStrategy, StatHistory,
+    collect_for_tables, collect_for_tables_parallel, ingest, query_analysis, sensitivity_analysis,
+    CollectedStats, JitsConfig, JitsStatisticsProvider, PredicateCache, QssArchive,
+    SensitivityStrategy, StatHistory,
 };
 use jits_catalog::{runstats, Catalog, RunstatsOptions};
 use jits_common::{ColumnId, JitsError, Result, Schema, SplitMix64, TableId, Value};
@@ -258,6 +259,26 @@ impl Database {
         self.predcache.clear();
     }
 
+    /// Converts this single-owner database into a [`crate::SharedDatabase`]
+    /// whose sessions can execute concurrently. The master RNG state moves
+    /// over verbatim, so the first session replays exactly where this
+    /// `Database` would have continued.
+    pub fn into_shared(self) -> crate::SharedDatabase {
+        crate::session::SharedDatabase::from_database_parts(
+            self.tables,
+            self.catalog,
+            self.archive,
+            self.history,
+            self.predcache,
+            self.setting,
+            self.clock,
+            self.rng,
+            self.cost,
+            self.defaults,
+            self.runstats_opts,
+        )
+    }
+
     // ---- query execution --------------------------------------------------
 
     /// Parses, optimizes and executes one SQL statement.
@@ -314,6 +335,7 @@ impl Database {
         metrics.sampled_tables = sampled;
         metrics.materialized_groups = self.last_materialized;
         metrics.table_scores = scores;
+        metrics.collect_threads = collected.collect_threads;
 
         // -- optimize --
         let plan = self.plan_for(&block, &collected)?;
@@ -409,13 +431,14 @@ impl Database {
                 (outcome.sample_quns, Vec::new(), Vec::new(), work)
             }
         };
-        let mut collected = collect_for_tables(
+        let mut collected = collect_for_tables_parallel(
             block,
             &sample_quns,
             &candidates,
             &self.tables,
             cfg.sample,
             &mut self.rng,
+            cfg.collect_threads,
         );
         collected.work += extra_work;
         for &qun in &sample_quns {
@@ -436,34 +459,16 @@ impl Database {
         cand: &jits::CandidateGroup,
         collected: &CollectedStats,
     ) {
-        let Some(stat) = collected.group(cand.qun, &cand.pred_indices) else {
-            return;
-        };
-        let tid = block.quns[cand.qun].table;
-        let Some(region) = &stat.region else {
-            // no region form (e.g. a `<>` predicate): the auxiliary
-            // predicate cache stores the measured selectivity instead
-            // (paper §3.4 footnote 1)
-            let fp = jits::fingerprint(block, &cand.pred_indices);
-            self.predcache.insert(tid, fp, stat.selectivity, self.clock);
-            self.last_materialized += 1;
-            return;
-        };
-        let Some(frame) = collected.frames.get(&cand.colgroup) else {
-            return;
-        };
-        let Some(total) = collected.table_rows.get(&tid).copied() else {
-            return;
-        };
-        self.archive.apply_observation(
-            cand.colgroup.clone(),
-            frame,
-            region,
-            stat.selectivity * total,
-            total,
+        if materialize_group_into(
+            block,
+            cand,
+            collected,
             self.clock,
-        );
-        self.last_materialized += 1;
+            &mut self.archive,
+            &mut self.predcache,
+        ) {
+            self.last_materialized += 1;
+        }
     }
 
     /// Optimizes a block under the session's statistics setting.
@@ -597,15 +602,56 @@ impl Database {
 /// Simulated work units one optimizer invocation costs — charged by the
 /// ε-planning sensitivity baseline for each of its extra plan enumerations
 /// (the lightweight heuristic makes none).
-const OPTIMIZER_CALL_WORK: f64 = 2_000.0;
+pub(crate) const OPTIMIZER_CALL_WORK: f64 = 2_000.0;
+
+/// Pushes one collected group into the archive or the predicate cache.
+/// Returns whether anything was materialized. Shared by the single-owner
+/// [`Database`] path and the locked [`crate::SharedDatabase`] path, which
+/// holds narrow write guards on `archive`/`predcache` around the call.
+pub(crate) fn materialize_group_into(
+    block: &QueryBlock,
+    cand: &jits::CandidateGroup,
+    collected: &CollectedStats,
+    clock: u64,
+    archive: &mut QssArchive,
+    predcache: &mut PredicateCache,
+) -> bool {
+    let Some(stat) = collected.group(cand.qun, &cand.pred_indices) else {
+        return false;
+    };
+    let tid = block.quns[cand.qun].table;
+    let Some(region) = &stat.region else {
+        // no region form (e.g. a `<>` predicate): the auxiliary
+        // predicate cache stores the measured selectivity instead
+        // (paper §3.4 footnote 1)
+        let fp = jits::fingerprint(block, &cand.pred_indices);
+        predcache.insert(tid, fp, stat.selectivity, clock);
+        return true;
+    };
+    let Some(frame) = collected.frames.get(&cand.colgroup) else {
+        return false;
+    };
+    let Some(total) = collected.table_rows.get(&tid).copied() else {
+        return false;
+    };
+    archive.apply_observation(
+        cand.colgroup.clone(),
+        frame,
+        region,
+        stat.selectivity * total,
+        total,
+        clock,
+    );
+    true
+}
 
 /// The "no statistics" provider a real DBMS actually has: nothing from any
 /// statistics subsystem, but table cardinalities still come from physical
 /// storage metadata (DB2 derives a default CARD from the table's page
 /// count even before any RUNSTATS). Selectivities all fall to textbook
 /// defaults.
-struct PhysicalMetadataProvider<'a> {
-    tables: &'a [Table],
+pub(crate) struct PhysicalMetadataProvider<'a> {
+    pub(crate) tables: &'a [Table],
 }
 
 impl StatisticsProvider for PhysicalMetadataProvider<'_> {

@@ -16,8 +16,10 @@
 
 pub mod database;
 pub mod metrics;
+pub mod session;
 pub mod settings;
 
 pub use database::{Database, QueryResult};
-pub use metrics::QueryMetrics;
+pub use metrics::{CountersSnapshot, EngineCounters, QueryMetrics};
+pub use session::{Session, SharedDatabase};
 pub use settings::StatsSetting;

@@ -1,0 +1,980 @@
+//! Concurrent query sessions over one shared database.
+//!
+//! [`SharedDatabase`] wraps every piece of engine state a statement touches
+//! — catalog, storage tables, QSS archive, StatHistory, predicate cache,
+//! statistics setting — in `parking_lot` locks so that N [`Session`]s on N
+//! threads can run [`Session::execute`] concurrently. The read-mostly query
+//! path (bind, sensitivity analysis, sampling, plan costing, execution)
+//! takes shared read guards; only the narrow mutation windows (DML, UDI
+//! reset, archive materialization, feedback ingest, migration) take write
+//! guards.
+//!
+//! # Lock ordering
+//!
+//! Whenever a statement holds more than one lock, it acquires them in this
+//! fixed order (and never acquires an earlier lock while holding a later
+//! one), which makes deadlock impossible:
+//!
+//! ```text
+//! catalog < tables < archive < history < predcache < setting
+//! ```
+//!
+//! # Determinism
+//!
+//! Each session carries its own `SplitMix64` sampling stream. The first
+//! session of a [`Database::into_shared`] conversion continues the master
+//! stream exactly where the `Database` left it, so a single-session
+//! `SharedDatabase` run is bit-identical to the `Database` run it replaces.
+//! Later sessions fork independent streams. Within any one statement,
+//! parallel statistics collection is bit-identical to sequential regardless
+//! of `collect_threads` (see `jits::collect`), so concurrency knobs never
+//! change *what* is computed — only wall-clock time.
+//!
+//! Every acquisition that actually blocks is charged to
+//! [`EngineCounters::lock_wait_nanos`] and to the statement's
+//! [`QueryMetrics::lock_wait`].
+
+use crate::database::{materialize_group_into, PhysicalMetadataProvider, OPTIMIZER_CALL_WORK};
+use crate::metrics::{CountersSnapshot, EngineCounters, QueryMetrics};
+use crate::settings::StatsSetting;
+use crate::{Database, QueryResult};
+use jits::{
+    collect_for_tables_parallel, ingest, query_analysis, sensitivity_analysis, CollectedStats,
+    JitsStatisticsProvider, PredicateCache, QssArchive, SensitivityStrategy, StatHistory,
+};
+use jits_catalog::{runstats, Catalog, RunstatsOptions};
+use jits_common::{JitsError, Result, Schema, SplitMix64, TableId, Value};
+use jits_executor::execute;
+use jits_optimizer::{
+    optimize, CardinalityEstimator, CatalogStatisticsProvider, CostModel, DefaultSelectivities,
+    PhysicalPlan, PlanSummary,
+};
+use jits_query::{
+    bind_statement, parse, BoundDelete, BoundInsert, BoundStatement, BoundUpdate, QueryBlock,
+};
+use jits_storage::{RowId, Table};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Engine state shared by all sessions, each component behind its own lock
+/// (see the module docs for the acquisition order).
+struct Shared {
+    catalog: RwLock<Catalog>,
+    tables: RwLock<Vec<Table>>,
+    archive: RwLock<QssArchive>,
+    history: RwLock<StatHistory>,
+    predcache: RwLock<PredicateCache>,
+    setting: RwLock<StatsSetting>,
+    /// Logical statement clock, global across sessions so archive/history
+    /// timestamps stay monotone.
+    clock: AtomicU64,
+    /// Master RNG: the first session takes its state verbatim, later
+    /// sessions fork independent streams from it.
+    rng_source: Mutex<SplitMix64>,
+    /// Sessions handed out so far.
+    sessions: AtomicU64,
+    cost: CostModel,
+    defaults: DefaultSelectivities,
+    runstats_opts: RunstatsOptions,
+    counters: EngineCounters,
+}
+
+/// A database whose state is shareable across threads; spawn one
+/// [`Session`] per thread with [`SharedDatabase::session`].
+///
+/// ```
+/// use jits_common::{DataType, Schema, Value};
+/// use jits_engine::SharedDatabase;
+///
+/// let db = SharedDatabase::new(42);
+/// db.create_table("t", Schema::from_pairs(&[("id", DataType::Int)]))?;
+/// db.load_rows("t", (0..10i64).map(|i| vec![Value::Int(i)]).collect())?;
+///
+/// let mut a = db.session();
+/// let mut b = db.session();
+/// std::thread::scope(|s| {
+///     s.spawn(|| a.execute("SELECT id FROM t WHERE id > 4").unwrap());
+///     s.spawn(|| b.execute("SELECT id FROM t WHERE id < 5").unwrap());
+/// });
+/// # jits_common::Result::Ok(())
+/// ```
+pub struct SharedDatabase {
+    shared: Arc<Shared>,
+}
+
+/// One thread's handle onto a [`SharedDatabase`]: owns a private sampling
+/// RNG and executes statements against the shared state.
+pub struct Session {
+    shared: Arc<Shared>,
+    rng: SplitMix64,
+    id: u64,
+}
+
+/// Reads a lock, charging any blocked time to the counters and the
+/// statement's running wait tally (uncontended acquisitions cost nothing).
+fn timed_read<'a, T: ?Sized>(
+    lock: &'a RwLock<T>,
+    counters: &EngineCounters,
+    waited: &mut u64,
+) -> RwLockReadGuard<'a, T> {
+    if let Some(g) = lock.try_read() {
+        return g;
+    }
+    let t = Instant::now();
+    let g = lock.read();
+    let ns = t.elapsed().as_nanos() as u64;
+    counters.charge_lock_wait(ns);
+    *waited += ns;
+    g
+}
+
+/// Write-lock counterpart of [`timed_read`].
+fn timed_write<'a, T: ?Sized>(
+    lock: &'a RwLock<T>,
+    counters: &EngineCounters,
+    waited: &mut u64,
+) -> RwLockWriteGuard<'a, T> {
+    if let Some(g) = lock.try_write() {
+        return g;
+    }
+    let t = Instant::now();
+    let g = lock.write();
+    let ns = t.elapsed().as_nanos() as u64;
+    counters.charge_lock_wait(ns);
+    *waited += ns;
+    g
+}
+
+impl SharedDatabase {
+    /// Creates an empty shared database; equal seeds give bit-identical
+    /// single-session runs (and statistically independent per-session
+    /// streams under concurrency).
+    pub fn new(seed: u64) -> Self {
+        Database::new(seed).into_shared()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_database_parts(
+        tables: Vec<Table>,
+        catalog: Catalog,
+        archive: QssArchive,
+        history: StatHistory,
+        predcache: PredicateCache,
+        setting: StatsSetting,
+        clock: u64,
+        rng: SplitMix64,
+        cost: CostModel,
+        defaults: DefaultSelectivities,
+        runstats_opts: RunstatsOptions,
+    ) -> Self {
+        SharedDatabase {
+            shared: Arc::new(Shared {
+                catalog: RwLock::new(catalog),
+                tables: RwLock::new(tables),
+                archive: RwLock::new(archive),
+                history: RwLock::new(history),
+                predcache: RwLock::new(predcache),
+                setting: RwLock::new(setting),
+                clock: AtomicU64::new(clock),
+                rng_source: Mutex::new(rng),
+                sessions: AtomicU64::new(0),
+                cost,
+                defaults,
+                runstats_opts,
+                counters: EngineCounters::default(),
+            }),
+        }
+    }
+
+    /// Opens a new session. The first session continues the master RNG
+    /// stream verbatim (single-session replay parity with [`Database`]);
+    /// every later session forks an independent stream.
+    pub fn session(&self) -> Session {
+        let id = self.shared.sessions.fetch_add(1, Ordering::SeqCst);
+        let rng = {
+            let mut src = self.shared.rng_source.lock();
+            if id == 0 {
+                src.clone()
+            } else {
+                src.fork()
+            }
+        };
+        Session {
+            shared: Arc::clone(&self.shared),
+            rng,
+            id,
+        }
+    }
+
+    /// Selects the statistics setting for subsequent statements (all
+    /// sessions). Accumulated statistics survive, as on [`Database`].
+    pub fn set_setting(&self, setting: StatsSetting) {
+        let mut w = 0u64;
+        if let StatsSetting::Jits(cfg) = &setting {
+            let mut archive = timed_write(&self.shared.archive, &self.shared.counters, &mut w);
+            archive.set_limits(cfg.archive_bucket_budget, cfg.eviction_uniformity);
+            let mut predcache = timed_write(&self.shared.predcache, &self.shared.counters, &mut w);
+            predcache.set_capacity(cfg.predicate_cache_capacity);
+        }
+        *timed_write(&self.shared.setting, &self.shared.counters, &mut w) = setting;
+    }
+
+    // ---- DDL and bulk loading (admin path; narrow write locks) -----------
+
+    /// Creates a table.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<TableId> {
+        let mut w = 0u64;
+        let mut catalog = timed_write(&self.shared.catalog, &self.shared.counters, &mut w);
+        let mut tables = timed_write(&self.shared.tables, &self.shared.counters, &mut w);
+        let id = catalog.register_table(name, schema.clone())?;
+        debug_assert_eq!(id.index(), tables.len());
+        tables.push(Table::new(name, schema));
+        Ok(id)
+    }
+
+    /// Creates a secondary index.
+    pub fn create_index(&self, table: &str, column: &str) -> Result<()> {
+        let mut w = 0u64;
+        let mut catalog = timed_write(&self.shared.catalog, &self.shared.counters, &mut w);
+        let mut tables = timed_write(&self.shared.tables, &self.shared.counters, &mut w);
+        let tid = catalog.require(table)?;
+        let col = catalog.table(tid).unwrap().schema.require_column(column)?;
+        tables[tid.index()].create_index(col)?;
+        catalog.add_index(tid, col)
+    }
+
+    /// Declares a primary key (also builds its index).
+    pub fn set_primary_key(&self, table: &str, column: &str) -> Result<()> {
+        let mut w = 0u64;
+        let mut catalog = timed_write(&self.shared.catalog, &self.shared.counters, &mut w);
+        let mut tables = timed_write(&self.shared.tables, &self.shared.counters, &mut w);
+        let tid = catalog.require(table)?;
+        let col = catalog.table(tid).unwrap().schema.require_column(column)?;
+        catalog.set_primary_key(tid, col)?;
+        tables[tid.index()].create_index(col)?;
+        catalog.add_index(tid, col)
+    }
+
+    /// Bulk-loads rows (bypasses SQL parsing; used by data generators).
+    pub fn load_rows(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
+        let mut w = 0u64;
+        let tid = {
+            let catalog = timed_read(&self.shared.catalog, &self.shared.counters, &mut w);
+            catalog.require(table)?
+        };
+        let mut tables = timed_write(&self.shared.tables, &self.shared.counters, &mut w);
+        let t = &mut tables[tid.index()];
+        let n = rows.len();
+        for row in rows {
+            t.insert(row)?;
+        }
+        Ok(n)
+    }
+
+    /// Resets a table's UDI counter (bulk loads are initial state, not
+    /// churn).
+    pub fn reset_udi(&self, id: TableId) {
+        let mut w = 0u64;
+        let mut tables = timed_write(&self.shared.tables, &self.shared.counters, &mut w);
+        if let Some(t) = tables.get_mut(id.index()) {
+            t.reset_udi();
+        }
+    }
+
+    /// Resolves a table name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        let mut w = 0u64;
+        timed_read(&self.shared.catalog, &self.shared.counters, &mut w).resolve(name)
+    }
+
+    // ---- statistics management -------------------------------------------
+
+    /// Runs RUNSTATS over every table (see [`Database::runstats_all`]).
+    pub fn runstats_all(&self) -> Result<()> {
+        let clock = self.shared.clock.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut w = 0u64;
+        let mut catalog = timed_write(&self.shared.catalog, &self.shared.counters, &mut w);
+        let mut tables = timed_write(&self.shared.tables, &self.shared.counters, &mut w);
+        for tid in 0..tables.len() {
+            let (ts, cs) = runstats(&tables[tid], self.shared.runstats_opts, clock);
+            catalog.set_stats(TableId(tid as u32), ts, cs)?;
+            tables[tid].reset_udi();
+        }
+        Ok(())
+    }
+
+    /// Migrates one-dimensional QSS histograms into the catalog.
+    pub fn migrate_statistics(&self) -> usize {
+        let clock = self.shared.clock.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut w = 0u64;
+        let mut catalog = timed_write(&self.shared.catalog, &self.shared.counters, &mut w);
+        let archive = timed_read(&self.shared.archive, &self.shared.counters, &mut w);
+        jits::migrate::migrate(&archive, &mut catalog, clock)
+    }
+
+    /// Drops catalog statistics, the archive, and the history.
+    pub fn clear_statistics(&self) {
+        let mut w = 0u64;
+        timed_write(&self.shared.catalog, &self.shared.counters, &mut w).clear_stats();
+        timed_write(&self.shared.archive, &self.shared.counters, &mut w).clear();
+        timed_write(&self.shared.history, &self.shared.counters, &mut w).clear();
+        timed_write(&self.shared.predcache, &self.shared.counters, &mut w).clear();
+    }
+
+    // ---- observation ------------------------------------------------------
+
+    /// The logical clock (statements executed so far).
+    pub fn clock(&self) -> u64 {
+        self.shared.clock.load(Ordering::SeqCst)
+    }
+
+    /// Point-in-time copy of the engine-wide concurrency counters.
+    pub fn counters(&self) -> CountersSnapshot {
+        self.shared.counters.snapshot()
+    }
+
+    /// Runs `f` under a read guard on the catalog.
+    pub fn with_catalog<R>(&self, f: impl FnOnce(&Catalog) -> R) -> R {
+        let mut w = 0u64;
+        f(&timed_read(
+            &self.shared.catalog,
+            &self.shared.counters,
+            &mut w,
+        ))
+    }
+
+    /// Runs `f` under a read guard on the storage tables.
+    pub fn with_tables<R>(&self, f: impl FnOnce(&[Table]) -> R) -> R {
+        let mut w = 0u64;
+        f(&timed_read(
+            &self.shared.tables,
+            &self.shared.counters,
+            &mut w,
+        ))
+    }
+
+    /// Runs `f` under a read guard on the QSS archive.
+    pub fn with_archive<R>(&self, f: impl FnOnce(&QssArchive) -> R) -> R {
+        let mut w = 0u64;
+        f(&timed_read(
+            &self.shared.archive,
+            &self.shared.counters,
+            &mut w,
+        ))
+    }
+
+    /// Runs `f` under a read guard on the StatHistory.
+    pub fn with_history<R>(&self, f: impl FnOnce(&StatHistory) -> R) -> R {
+        let mut w = 0u64;
+        f(&timed_read(
+            &self.shared.history,
+            &self.shared.counters,
+            &mut w,
+        ))
+    }
+}
+
+impl Session {
+    /// This session's id (0 for the first session opened).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Parses, optimizes and executes one SQL statement. Mirrors
+    /// [`Database::execute`] statement-for-statement, but against shared
+    /// state under the module's lock discipline.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let t0 = Instant::now();
+        let mut waited = 0u64;
+        self.shared
+            .counters
+            .statements
+            .fetch_add(1, Ordering::Relaxed);
+        let stmt = parse(sql)?;
+        let bound = {
+            let catalog = timed_read(&self.shared.catalog, &self.shared.counters, &mut waited);
+            bind_statement(&stmt, &catalog)?
+        };
+        match bound {
+            BoundStatement::Select(block) => self.run_select(block, t0, waited),
+            BoundStatement::Explain(block) => {
+                let clock = self.shared.clock.fetch_add(1, Ordering::SeqCst) + 1;
+                let setting =
+                    timed_read(&self.shared.setting, &self.shared.counters, &mut waited).clone();
+                let (collected, _, _, _) = self.compile_phase(&block, &setting, clock, &mut waited);
+                let plan = self.plan_for(&block, &collected, &setting, clock, &mut waited)?;
+                let metrics = QueryMetrics {
+                    compile_wall: t0.elapsed(),
+                    compile_work: collected.work,
+                    plan: Some(PlanSummary::from(&plan)),
+                    collect_threads: collected.collect_threads,
+                    lock_wait: Duration::from_nanos(waited),
+                    ..QueryMetrics::default()
+                };
+                let rows = plan
+                    .explain()
+                    .lines()
+                    .map(|l| vec![Value::str(l)])
+                    .collect();
+                Ok(QueryResult { rows, metrics })
+            }
+            BoundStatement::Insert(ins) => self.run_insert(ins, t0, waited),
+            BoundStatement::Update(upd) => self.run_update(upd, t0, waited),
+            BoundStatement::Delete(del) => self.run_delete(del, t0, waited),
+        }
+    }
+
+    /// Compiles a query and renders its plan (EXPLAIN).
+    pub fn explain(&mut self, sql: &str) -> Result<String> {
+        let mut waited = 0u64;
+        let stmt = parse(sql)?;
+        let bound = {
+            let catalog = timed_read(&self.shared.catalog, &self.shared.counters, &mut waited);
+            bind_statement(&stmt, &catalog)?
+        };
+        let (BoundStatement::Select(block) | BoundStatement::Explain(block)) = bound else {
+            return Err(JitsError::Plan("EXPLAIN supports SELECT only".into()));
+        };
+        let clock = self.shared.clock.fetch_add(1, Ordering::SeqCst) + 1;
+        let setting = timed_read(&self.shared.setting, &self.shared.counters, &mut waited).clone();
+        let (collected, _, _, _) = self.compile_phase(&block, &setting, clock, &mut waited);
+        let plan = self.plan_for(&block, &collected, &setting, clock, &mut waited)?;
+        Ok(plan.explain())
+    }
+
+    fn run_select(
+        &mut self,
+        block: QueryBlock,
+        t0: Instant,
+        mut waited: u64,
+    ) -> Result<QueryResult> {
+        let sh = Arc::clone(&self.shared);
+        let clock = sh.clock.fetch_add(1, Ordering::SeqCst) + 1;
+        let setting = timed_read(&sh.setting, &sh.counters, &mut waited).clone();
+        let mut metrics = QueryMetrics::default();
+
+        // -- JITS compile-time pipeline --
+        let (collected, sampled, materialized, scores) =
+            self.compile_phase(&block, &setting, clock, &mut waited);
+        metrics.compile_work = collected.work;
+        metrics.sampled_tables = sampled;
+        metrics.materialized_groups = materialized;
+        metrics.table_scores = scores;
+        metrics.collect_threads = collected.collect_threads;
+
+        // -- optimize --
+        let plan = self.plan_for(&block, &collected, &setting, clock, &mut waited)?;
+        metrics.plan = Some(PlanSummary::from(&plan));
+        metrics.compile_wall = t0.elapsed();
+
+        // -- execute --
+        let t1 = Instant::now();
+        let out = {
+            let tables = timed_read(&sh.tables, &sh.counters, &mut waited);
+            execute(&plan, &block, &tables, &sh.cost)?
+        };
+        metrics.exec_wall = t1.elapsed();
+        metrics.exec_work = out.stats.work;
+        metrics.result_rows = out.rows.len();
+
+        // -- feedback (LEO) --
+        let cfg = setting.jits_config().cloned().unwrap_or_default();
+        {
+            let catalog = timed_read(&sh.catalog, &sh.counters, &mut waited);
+            let mut archive = timed_write(&sh.archive, &sh.counters, &mut waited);
+            let mut history = timed_write(&sh.history, &sh.counters, &mut waited);
+            ingest(
+                &block,
+                &out.stats.scans,
+                &mut history,
+                &mut archive,
+                &catalog,
+                &cfg,
+                clock,
+            );
+        }
+
+        // -- periodic statistics migration (paper Figure 1) --
+        if matches!(setting, StatsSetting::Jits(_))
+            && cfg.migrate_every > 0
+            && clock.is_multiple_of(cfg.migrate_every)
+        {
+            let mut catalog = timed_write(&sh.catalog, &sh.counters, &mut waited);
+            let archive = timed_read(&sh.archive, &sh.counters, &mut waited);
+            jits::migrate::migrate(&archive, &mut catalog, clock);
+        }
+
+        metrics.lock_wait = Duration::from_nanos(waited);
+        Ok(QueryResult {
+            rows: out.rows,
+            metrics,
+        })
+    }
+
+    /// Runs query analysis, sensitivity analysis, sampling and archive
+    /// materialization under read guards, with two narrow write windows
+    /// (UDI reset, materialization). Returns the fresh statistics, the
+    /// sampled-table count, the materialized-group count, and the scores.
+    fn compile_phase(
+        &mut self,
+        block: &QueryBlock,
+        setting: &StatsSetting,
+        clock: u64,
+        waited: &mut u64,
+    ) -> (CollectedStats, usize, usize, Vec<jits::TableScore>) {
+        let StatsSetting::Jits(cfg) = setting.clone() else {
+            return (CollectedStats::default(), 0, 0, Vec::new());
+        };
+        if cfg.never_collects() {
+            return (CollectedStats::default(), 0, 0, Vec::new());
+        }
+        let candidates = query_analysis(block, cfg.max_group_enumeration);
+        let sh = &self.shared;
+        let (sample_quns, materialize, table_scores, collected) = {
+            let catalog = timed_read(&sh.catalog, &sh.counters, waited);
+            let tables = timed_read(&sh.tables, &sh.counters, waited);
+            let archive = timed_read(&sh.archive, &sh.counters, waited);
+            let history = timed_read(&sh.history, &sh.counters, waited);
+            let (sample_quns, materialize, table_scores, extra_work) = match &cfg.strategy {
+                SensitivityStrategy::PaperHeuristic => {
+                    let predcache = timed_read(&sh.predcache, &sh.counters, waited);
+                    let decision = sensitivity_analysis(
+                        block,
+                        &candidates,
+                        &history,
+                        &archive,
+                        &predcache,
+                        &catalog,
+                        &tables,
+                        &cfg,
+                    );
+                    (
+                        decision.sample_quns,
+                        decision.materialize,
+                        decision.table_scores,
+                        0.0,
+                    )
+                }
+                SensitivityStrategy::EpsilonPlanning(eps) => {
+                    let outcome = jits::epsilon::epsilon_sensitivity_default(
+                        block, &archive, &catalog, &tables, &sh.cost, eps,
+                    )
+                    .unwrap_or(jits::EpsilonOutcome {
+                        sample_quns: Vec::new(),
+                        optimizer_calls: 0,
+                        final_gap: 0.0,
+                    });
+                    let work = outcome.optimizer_calls as f64 * OPTIMIZER_CALL_WORK;
+                    (outcome.sample_quns, Vec::new(), Vec::new(), work)
+                }
+            };
+            let mut collected = collect_for_tables_parallel(
+                block,
+                &sample_quns,
+                &candidates,
+                &tables,
+                cfg.sample,
+                &mut self.rng,
+                cfg.collect_threads,
+            );
+            collected.work += extra_work;
+            (sample_quns, materialize, table_scores, collected)
+        };
+        if collected.collect_threads > 1 {
+            sh.counters
+                .parallel_collections
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        sh.counters
+            .tables_sampled
+            .fetch_add(sample_quns.len() as u64, Ordering::Relaxed);
+        if !sample_quns.is_empty() {
+            let mut tables = timed_write(&sh.tables, &sh.counters, waited);
+            for &qun in &sample_quns {
+                let tid = block.quns[qun].table;
+                tables[tid.index()].reset_udi();
+            }
+        }
+        let mut materialized = 0usize;
+        if !materialize.is_empty() {
+            let mut archive = timed_write(&sh.archive, &sh.counters, waited);
+            let mut predcache = timed_write(&sh.predcache, &sh.counters, waited);
+            for cand in &materialize {
+                if materialize_group_into(
+                    block,
+                    cand,
+                    &collected,
+                    clock,
+                    &mut archive,
+                    &mut predcache,
+                ) {
+                    materialized += 1;
+                }
+            }
+        }
+        (collected, sample_quns.len(), materialized, table_scores)
+    }
+
+    /// Optimizes a block under the given statistics setting (the locked
+    /// counterpart of `Database::plan_for`).
+    fn plan_for(
+        &self,
+        block: &QueryBlock,
+        collected: &CollectedStats,
+        setting: &StatsSetting,
+        clock: u64,
+        waited: &mut u64,
+    ) -> Result<PhysicalPlan> {
+        let sh = &self.shared;
+        match setting {
+            StatsSetting::NoStatistics => {
+                let catalog = timed_read(&sh.catalog, &sh.counters, waited);
+                let tables = timed_read(&sh.tables, &sh.counters, waited);
+                let provider = PhysicalMetadataProvider { tables: &tables };
+                let est = CardinalityEstimator::new(&provider, sh.defaults);
+                optimize(block, &est, &sh.cost, &catalog)
+            }
+            StatsSetting::CatalogOnly => {
+                let catalog = timed_read(&sh.catalog, &sh.counters, waited);
+                let provider = CatalogStatisticsProvider::new(&catalog);
+                let est = CardinalityEstimator::new(&provider, sh.defaults);
+                optimize(block, &est, &sh.cost, &catalog)
+            }
+            StatsSetting::ArchiveReadOnly | StatsSetting::Jits(_) => {
+                let cfg = setting.jits_config().cloned().unwrap_or_default();
+                let (plan, used, used_cache) = {
+                    let catalog = timed_read(&sh.catalog, &sh.counters, waited);
+                    let tables = timed_read(&sh.tables, &sh.counters, waited);
+                    let archive = timed_read(&sh.archive, &sh.counters, waited);
+                    let predcache = timed_read(&sh.predcache, &sh.counters, waited);
+                    let provider =
+                        JitsStatisticsProvider::new(collected, &archive, &catalog, &tables)
+                            .with_accuracy_gate(cfg.archive_accuracy_gate)
+                            .with_predicate_cache(&predcache)
+                            .with_superset_inference(cfg.infer_from_supersets);
+                    let est = CardinalityEstimator::new(&provider, sh.defaults);
+                    let plan = optimize(block, &est, &sh.cost, &catalog)?;
+                    (
+                        plan,
+                        provider.take_used_archive_groups(),
+                        provider.take_used_cache_entries(),
+                    )
+                };
+                if !used.is_empty() {
+                    let mut archive = timed_write(&sh.archive, &sh.counters, waited);
+                    for g in used {
+                        archive.touch(&g, clock);
+                    }
+                }
+                if !used_cache.is_empty() {
+                    let mut predcache = timed_write(&sh.predcache, &sh.counters, waited);
+                    for (t, fp) in used_cache {
+                        predcache.touch(t, &fp, clock);
+                    }
+                }
+                Ok(plan)
+            }
+        }
+    }
+
+    fn run_insert(
+        &mut self,
+        ins: BoundInsert,
+        t0: Instant,
+        mut waited: u64,
+    ) -> Result<QueryResult> {
+        self.shared.clock.fetch_add(1, Ordering::SeqCst);
+        let compile_wall = t0.elapsed();
+        let t1 = Instant::now();
+        let n = ins.rows.len();
+        {
+            let mut tables = timed_write(&self.shared.tables, &self.shared.counters, &mut waited);
+            let t = &mut tables[ins.table.index()];
+            for row in ins.rows {
+                t.insert(row)?;
+            }
+        }
+        Ok(QueryResult {
+            rows: Vec::new(),
+            metrics: QueryMetrics {
+                compile_wall,
+                exec_wall: t1.elapsed(),
+                exec_work: n as f64,
+                result_rows: n,
+                lock_wait: Duration::from_nanos(waited),
+                ..QueryMetrics::default()
+            },
+        })
+    }
+
+    fn run_update(
+        &mut self,
+        upd: BoundUpdate,
+        t0: Instant,
+        mut waited: u64,
+    ) -> Result<QueryResult> {
+        self.shared.clock.fetch_add(1, Ordering::SeqCst);
+        let compile_wall = t0.elapsed();
+        let t1 = Instant::now();
+        let (scanned, changed) = {
+            let mut tables = timed_write(&self.shared.tables, &self.shared.counters, &mut waited);
+            let t = &mut tables[upd.table.index()];
+            let matching: Vec<RowId> = t
+                .scan()
+                .filter(|&r| {
+                    upd.predicates
+                        .iter()
+                        .all(|p| p.matches(&t.value(r, p.column)))
+                })
+                .collect();
+            let scanned = t.row_count();
+            for &r in &matching {
+                for (col, v) in &upd.sets {
+                    t.update(r, *col, v.clone())?;
+                }
+            }
+            (scanned, matching.len())
+        };
+        Ok(QueryResult {
+            rows: Vec::new(),
+            metrics: QueryMetrics {
+                compile_wall,
+                exec_wall: t1.elapsed(),
+                exec_work: scanned as f64 + changed as f64,
+                result_rows: changed,
+                lock_wait: Duration::from_nanos(waited),
+                ..QueryMetrics::default()
+            },
+        })
+    }
+
+    fn run_delete(
+        &mut self,
+        del: BoundDelete,
+        t0: Instant,
+        mut waited: u64,
+    ) -> Result<QueryResult> {
+        self.shared.clock.fetch_add(1, Ordering::SeqCst);
+        let compile_wall = t0.elapsed();
+        let t1 = Instant::now();
+        let (scanned, changed) = {
+            let mut tables = timed_write(&self.shared.tables, &self.shared.counters, &mut waited);
+            let t = &mut tables[del.table.index()];
+            let matching: Vec<RowId> = t
+                .scan()
+                .filter(|&r| {
+                    del.predicates
+                        .iter()
+                        .all(|p| p.matches(&t.value(r, p.column)))
+                })
+                .collect();
+            let scanned = t.row_count();
+            for &r in &matching {
+                t.delete(r);
+            }
+            (scanned, matching.len())
+        };
+        Ok(QueryResult {
+            rows: Vec::new(),
+            metrics: QueryMetrics {
+                compile_wall,
+                exec_wall: t1.elapsed(),
+                exec_work: scanned as f64 + changed as f64,
+                result_rows: changed,
+                lock_wait: Duration::from_nanos(waited),
+                ..QueryMetrics::default()
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jits::JitsConfig;
+    use jits_common::DataType;
+
+    fn seed_shared(seed: u64) -> SharedDatabase {
+        let db = SharedDatabase::new(seed);
+        db.create_table(
+            "car",
+            Schema::from_pairs(&[
+                ("id", DataType::Int),
+                ("make", DataType::Str),
+                ("year", DataType::Int),
+            ]),
+        )
+        .unwrap();
+        let rows = (0..1500i64)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::str(if i % 3 == 0 { "Toyota" } else { "Honda" }),
+                    Value::Int(1990 + i % 17),
+                ]
+            })
+            .collect();
+        db.load_rows("car", rows).unwrap();
+        db
+    }
+
+    fn seed_database(seed: u64) -> Database {
+        let mut db = Database::new(seed);
+        db.create_table(
+            "car",
+            Schema::from_pairs(&[
+                ("id", DataType::Int),
+                ("make", DataType::Str),
+                ("year", DataType::Int),
+            ]),
+        )
+        .unwrap();
+        let rows = (0..1500i64)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::str(if i % 3 == 0 { "Toyota" } else { "Honda" }),
+                    Value::Int(1990 + i % 17),
+                ]
+            })
+            .collect();
+        db.load_rows("car", rows).unwrap();
+        db
+    }
+
+    const QUERIES: &[&str] = &[
+        "SELECT id FROM car WHERE make = 'Toyota' AND year > 2000",
+        "SELECT id FROM car WHERE year > 1995",
+        "SELECT id FROM car WHERE make = 'Honda' AND year > 1992",
+    ];
+
+    #[test]
+    fn single_session_replays_database_exactly() {
+        let mut db = seed_database(7);
+        db.set_setting(StatsSetting::Jits(JitsConfig::default()));
+        let shared = seed_shared(7);
+        shared.set_setting(StatsSetting::Jits(JitsConfig::default()));
+        let mut s = shared.session();
+        for sql in QUERIES.iter().chain(QUERIES.iter()) {
+            let a = db.execute(sql).unwrap();
+            let b = s.execute(sql).unwrap();
+            assert_eq!(a.rows, b.rows, "{sql}");
+            assert_eq!(a.metrics.sampled_tables, b.metrics.sampled_tables, "{sql}");
+            assert_eq!(
+                a.metrics.materialized_groups, b.metrics.materialized_groups,
+                "{sql}"
+            );
+            assert_eq!(
+                a.metrics.compile_work.to_bits(),
+                b.metrics.compile_work.to_bits(),
+                "{sql}"
+            );
+            let (pa, pb) = (a.metrics.plan.unwrap(), b.metrics.plan.unwrap());
+            assert_eq!(pa.est_rows.to_bits(), pb.est_rows.to_bits(), "{sql}");
+        }
+        // the learned state converged identically too
+        assert_eq!(db.clock(), shared.clock());
+        let mut db_sel = db
+            .archive()
+            .iter()
+            .map(|(g, _)| format!("{g:?}"))
+            .collect::<Vec<_>>();
+        let mut sh_sel =
+            shared.with_archive(|a| a.iter().map(|(g, _)| format!("{g:?}")).collect::<Vec<_>>());
+        db_sel.sort();
+        sh_sel.sort();
+        assert_eq!(db_sel, sh_sel);
+    }
+
+    #[test]
+    fn concurrent_sessions_make_progress_and_stay_consistent() {
+        let shared = seed_shared(11);
+        shared.set_setting(StatsSetting::Jits(JitsConfig::default()));
+        let n_threads = 4;
+        let per_thread = 12;
+        let sessions: Vec<Session> = (0..n_threads).map(|_| shared.session()).collect();
+        std::thread::scope(|scope| {
+            for mut s in sessions {
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let sql = QUERIES[i % QUERIES.len()];
+                        let r = s.execute(sql).unwrap();
+                        assert!(!r.rows.is_empty(), "{sql}");
+                        if i % 5 == 4 {
+                            s.execute("UPDATE car SET year = 2001 WHERE id = 3")
+                                .unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        let snap = shared.counters();
+        let expected = (n_threads * per_thread) as u64 + (n_threads * (per_thread / 5)) as u64;
+        assert_eq!(snap.statements, expected);
+        assert_eq!(shared.clock(), expected);
+        // the unmutated predicate still answers exactly
+        let mut s = shared.session();
+        let r = s
+            .execute("SELECT id FROM car WHERE make = 'Toyota'")
+            .unwrap();
+        assert_eq!(r.rows.len(), 500);
+    }
+
+    #[test]
+    fn blocked_acquisitions_are_charged() {
+        let shared = seed_shared(3);
+        let inner = Arc::clone(&shared.shared);
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let holder = std::thread::spawn(move || {
+            let _guard = inner.tables.write();
+            tx.send(()).unwrap();
+            std::thread::sleep(Duration::from_millis(30));
+        });
+        rx.recv().unwrap(); // writer certainly holds the lock now
+        let mut s = shared.session();
+        let r = s.execute("SELECT id FROM car WHERE year > 2004").unwrap();
+        holder.join().unwrap();
+        assert!(r.metrics.lock_wait > Duration::ZERO);
+        let snap = shared.counters();
+        assert!(snap.contended_acquisitions >= 1);
+        assert!(snap.lock_wait > Duration::ZERO);
+    }
+
+    #[test]
+    fn dml_and_ddl_through_shared_paths() {
+        let shared = seed_shared(5);
+        shared.runstats_all().unwrap();
+        let mut s = shared.session();
+        let r = s
+            .execute("INSERT INTO car VALUES (9000, 'BMW', 2006)")
+            .unwrap();
+        assert_eq!(r.metrics.result_rows, 1);
+        let r = s
+            .execute("UPDATE car SET year = 2007 WHERE make = 'BMW'")
+            .unwrap();
+        assert_eq!(r.metrics.result_rows, 1);
+        let r = s.execute("DELETE FROM car WHERE make = 'BMW'").unwrap();
+        assert_eq!(r.metrics.result_rows, 1);
+        let plan = s.explain("SELECT id FROM car WHERE year > 2000").unwrap();
+        assert!(plan.contains("Scan"), "{plan}");
+        assert!(s.execute("SELECT * FROM nosuch").is_err());
+    }
+
+    #[test]
+    fn sessions_get_distinct_streams() {
+        let shared = seed_shared(9);
+        let a = shared.session();
+        let b = shared.session();
+        let c = shared.session();
+        assert_eq!(a.id(), 0);
+        assert_eq!(b.id(), 1);
+        assert_eq!(c.id(), 2);
+        let (mut ra, mut rb, mut rc) = (a.rng.clone(), b.rng.clone(), c.rng.clone());
+        let (xa, xb, xc) = (ra.next_u64(), rb.next_u64(), rc.next_u64());
+        assert_ne!(xa, xb);
+        assert_ne!(xb, xc);
+        assert_ne!(xa, xc);
+    }
+}

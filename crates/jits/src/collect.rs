@@ -7,6 +7,13 @@
 //! all predicate groups that belong to this table." Single predicates are
 //! evaluated once per sampled row into bitsets; every group's joint count is
 //! then a bitwise AND.
+//!
+//! Collection is independent per marked table, so
+//! [`collect_for_tables_parallel`] fans the per-table work out across scoped
+//! worker threads. Each table draws from its own [`SplitMix64`] stream
+//! derived from the caller's RNG state and the (table id, quantifier) pair —
+//! never from a shared sequential stream — so the collected statistics are
+//! bit-identical whatever the thread count or scheduling order.
 
 use crate::analysis::CandidateGroup;
 use jits_common::{ColGroup, ColumnId, DataType, SplitMix64, TableId};
@@ -43,6 +50,10 @@ pub struct CollectedStats {
     pub frames: HashMap<ColGroup, Region>,
     /// Work charged for the collection, in cost-model units.
     pub work: f64,
+    /// Marked tables actually sampled by this pass.
+    pub tables_sampled: usize,
+    /// Worker threads the pass fanned sampling out across (1 = sequential).
+    pub collect_threads: usize,
 }
 
 impl CollectedStats {
@@ -79,8 +90,150 @@ pub fn group_region(
     Some(Region::new(ranges))
 }
 
+/// Everything collecting one marked quantifier produced. Accumulated into
+/// [`CollectedStats`] in quantifier order, so the merged result is
+/// independent of which worker thread produced which partial.
+struct TablePartial {
+    qun: usize,
+    groups: Vec<((usize, Vec<usize>), GroupStat)>,
+    frames: Vec<(ColGroup, Region)>,
+    work: f64,
+}
+
+/// Derives the independent RNG stream of one (table, quantifier) pair.
+///
+/// The stream depends only on the caller's RNG state and the pair identity —
+/// not on how many draws other tables made — which is what makes parallel
+/// collection bit-identical to sequential collection.
+fn table_stream(base: u64, tid: TableId, qun: usize) -> SplitMix64 {
+    let mix = (tid.0 as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((qun as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    SplitMix64::new(base ^ mix)
+}
+
+/// Samples one marked quantifier's table and evaluates every candidate
+/// group on that quantifier against the sample.
+fn collect_one_table(
+    block: &QueryBlock,
+    qun: usize,
+    candidates: &[CandidateGroup],
+    table: &Table,
+    spec: SampleSpec,
+    mut rng: SplitMix64,
+) -> TablePartial {
+    let mut out = TablePartial {
+        qun,
+        groups: Vec::new(),
+        frames: Vec::new(),
+        work: 0.0,
+    };
+    let rows = sample_rows(table, spec, &mut rng);
+    let n = rows.len();
+    // random-probe sampling costs O(sample), independent of table size
+    // (paper §4, citing [1, 8, 12]); charge a random-access fetch per
+    // sampled row
+    out.work += n as f64 * 2.0;
+    if n == 0 {
+        return out;
+    }
+
+    // evaluate each single local predicate into a bitset over the sample
+    let local = block.local_predicates_of(qun);
+    let words = n.div_ceil(64);
+    let mut bitsets: HashMap<usize, Vec<u64>> = HashMap::new();
+    for &pi in &local {
+        let p = &block.local_predicates[pi];
+        let mut bits = vec![0u64; words];
+        for (i, &row) in rows.iter().enumerate() {
+            if p.matches(&table.value(row, p.column)) {
+                bits[i / 64] |= 1 << (i % 64);
+            }
+        }
+        bitsets.insert(pi, bits);
+    }
+    out.work += (n * local.len()) as f64;
+
+    // per-column frames from the sample, for seeding archive histograms
+    let mut col_minmax: HashMap<ColumnId, (f64, f64)> = HashMap::new();
+    let used_cols: Vec<ColumnId> = {
+        let mut cols: Vec<ColumnId> = local
+            .iter()
+            .map(|&pi| block.local_predicates[pi].column)
+            .collect();
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    };
+    for &col in &used_cols {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &row in &rows {
+            if let Some(x) = table.axis_value(row, col) {
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+        }
+        if lo.is_finite() && hi >= lo {
+            let pad = ((hi - lo).abs() * 0.05).max(1.0);
+            col_minmax.insert(col, (lo - pad, hi + pad));
+        }
+    }
+
+    // AND bitsets per candidate group
+    let types = |col: ColumnId| {
+        table
+            .schema()
+            .column(col)
+            .map(|c| c.dtype)
+            .unwrap_or(DataType::Float)
+    };
+    for cand in candidates.iter().filter(|c| c.qun == qun) {
+        let mut acc = vec![u64::MAX; words];
+        for &pi in &cand.pred_indices {
+            for (w, b) in acc.iter_mut().zip(&bitsets[&pi]) {
+                *w &= b;
+            }
+        }
+        // mask the tail beyond n
+        if !n.is_multiple_of(64) {
+            let last = words - 1;
+            acc[last] &= (1u64 << (n % 64)) - 1;
+        }
+        let matches: usize = acc.iter().map(|w| w.count_ones() as usize).sum();
+        out.work += words as f64 / 8.0;
+
+        let region = group_region(block, qun, &cand.pred_indices, &types);
+        let mut key = cand.pred_indices.clone();
+        key.sort_unstable();
+        out.groups.push((
+            (qun, key),
+            GroupStat {
+                colgroup: cand.colgroup.clone(),
+                selectivity: matches as f64 / n as f64,
+                matches,
+                sample_size: n,
+                region,
+            },
+        ));
+
+        // frame for this colgroup (sample min/max per column)
+        let ranges: Option<Vec<(f64, f64)>> = cand
+            .colgroup
+            .columns()
+            .iter()
+            .map(|c| col_minmax.get(c).copied())
+            .collect();
+        if let Some(ranges) = ranges {
+            out.frames
+                .push((cand.colgroup.clone(), Region::new(ranges)));
+        }
+    }
+    out
+}
+
 /// Samples each marked quantifier's table once and computes the selectivity
-/// of every candidate group on that quantifier.
+/// of every candidate group on that quantifier (sequential collection).
 pub fn collect_for_tables(
     block: &QueryBlock,
     sample_quns: &[usize],
@@ -88,6 +241,25 @@ pub fn collect_for_tables(
     tables: &[Table],
     spec: SampleSpec,
     rng: &mut SplitMix64,
+) -> CollectedStats {
+    collect_for_tables_parallel(block, sample_quns, candidates, tables, spec, rng, 1)
+}
+
+/// [`collect_for_tables`] with the per-table sampling fanned out across up
+/// to `threads` scoped worker threads.
+///
+/// Results are **bit-identical** to the sequential path for any `threads`
+/// value: every (table, quantifier) pair draws from its own RNG stream
+/// derived via [`table_stream`], and partials merge in quantifier order
+/// (fixing the f64 `work` summation order too).
+pub fn collect_for_tables_parallel(
+    block: &QueryBlock,
+    sample_quns: &[usize],
+    candidates: &[CandidateGroup],
+    tables: &[Table],
+    spec: SampleSpec,
+    rng: &mut SplitMix64,
+    threads: usize,
 ) -> CollectedStats {
     let mut out = CollectedStats::default();
     // Table statistics (row counts) are "needed for every table involved in
@@ -98,114 +270,64 @@ pub fn collect_for_tables(
             out.table_rows.insert(qun.table, table.row_count() as f64);
         }
     }
-    for &qun in sample_quns {
-        let tid = block.quns[qun].table;
-        let Some(table) = tables.get(tid.index()) else {
-            continue;
-        };
 
-        let rows = sample_rows(table, spec, rng);
-        let n = rows.len();
-        // random-probe sampling costs O(sample), independent of table size
-        // (paper §4, citing [1, 8, 12]); charge a random-access fetch per
-        // sampled row
-        out.work += n as f64 * 2.0;
-        if n == 0 {
-            continue;
-        }
+    // one deterministic stream per marked (table, qun) pair
+    let stream_base = rng.next_u64();
+    let jobs: Vec<(usize, &Table, SplitMix64)> = sample_quns
+        .iter()
+        .filter_map(|&qun| {
+            let tid = block.quns[qun].table;
+            tables
+                .get(tid.index())
+                .map(|t| (qun, t, table_stream(stream_base, tid, qun)))
+        })
+        .collect();
 
-        // evaluate each single local predicate into a bitset over the sample
-        let local = block.local_predicates_of(qun);
-        let words = n.div_ceil(64);
-        let mut bitsets: HashMap<usize, Vec<u64>> = HashMap::new();
-        for &pi in &local {
-            let p = &block.local_predicates[pi];
-            let mut bits = vec![0u64; words];
-            for (i, &row) in rows.iter().enumerate() {
-                if p.matches(&table.value(row, p.column)) {
-                    bits[i / 64] |= 1 << (i % 64);
-                }
-            }
-            bitsets.insert(pi, bits);
-        }
-        out.work += (n * local.len()) as f64;
+    let workers = threads.max(1).min(jobs.len().max(1));
+    out.collect_threads = workers;
+    out.tables_sampled = jobs.len();
 
-        // per-column frames from the sample, for seeding archive histograms
-        let mut col_minmax: HashMap<ColumnId, (f64, f64)> = HashMap::new();
-        let used_cols: Vec<ColumnId> = {
-            let mut cols: Vec<ColumnId> = local
-                .iter()
-                .map(|&pi| block.local_predicates[pi].column)
-                .collect();
-            cols.sort_unstable();
-            cols.dedup();
-            cols
-        };
-        for &col in &used_cols {
-            let mut lo = f64::INFINITY;
-            let mut hi = f64::NEG_INFINITY;
-            for &row in &rows {
-                if let Some(x) = table.axis_value(row, col) {
-                    lo = lo.min(x);
-                    hi = hi.max(x);
-                }
-            }
-            if lo.is_finite() && hi >= lo {
-                let pad = ((hi - lo).abs() * 0.05).max(1.0);
-                col_minmax.insert(col, (lo - pad, hi + pad));
-            }
-        }
-
-        // AND bitsets per candidate group
-        let types = |col: ColumnId| {
-            table
-                .schema()
-                .column(col)
-                .map(|c| c.dtype)
-                .unwrap_or(DataType::Float)
-        };
-        for cand in candidates.iter().filter(|c| c.qun == qun) {
-            let mut acc = vec![u64::MAX; words];
-            for &pi in &cand.pred_indices {
-                for (w, b) in acc.iter_mut().zip(&bitsets[&pi]) {
-                    *w &= b;
-                }
-            }
-            // mask the tail beyond n
-            if !n.is_multiple_of(64) {
-                let last = words - 1;
-                acc[last] &= (1u64 << (n % 64)) - 1;
-            }
-            let matches: usize = acc.iter().map(|w| w.count_ones() as usize).sum();
-            out.work += words as f64 / 8.0;
-
-            let region = group_region(block, qun, &cand.pred_indices, &types);
-            let mut key = cand.pred_indices.clone();
-            key.sort_unstable();
-            out.groups.insert(
-                (qun, key),
-                GroupStat {
-                    colgroup: cand.colgroup.clone(),
-                    selectivity: matches as f64 / n as f64,
-                    matches,
-                    sample_size: n,
-                    region,
-                },
-            );
-
-            // frame for this colgroup (sample min/max per column)
-            if !out.frames.contains_key(&cand.colgroup) {
-                let ranges: Option<Vec<(f64, f64)>> = cand
-                    .colgroup
-                    .columns()
+    let mut partials: Vec<TablePartial> = if workers <= 1 || jobs.len() <= 1 {
+        jobs.into_iter()
+            .map(|(qun, table, rng)| collect_one_table(block, qun, candidates, table, spec, rng))
+            .collect()
+    } else {
+        // round-robin the jobs across scoped workers; assignment does not
+        // affect the result, only the wall clock
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let worker_jobs: Vec<(usize, &Table, SplitMix64)> = jobs
                     .iter()
-                    .map(|c| col_minmax.get(c).copied())
+                    .skip(w)
+                    .step_by(workers)
+                    .map(|(qun, table, rng)| (*qun, *table, rng.clone()))
                     .collect();
-                if let Some(ranges) = ranges {
-                    out.frames
-                        .insert(cand.colgroup.clone(), Region::new(ranges));
-                }
+                handles.push(scope.spawn(move || {
+                    worker_jobs
+                        .into_iter()
+                        .map(|(qun, table, rng)| {
+                            collect_one_table(block, qun, candidates, table, spec, rng)
+                        })
+                        .collect::<Vec<TablePartial>>()
+                }));
             }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("collection worker panicked"))
+                .collect()
+        })
+    };
+
+    // deterministic merge in quantifier order
+    partials.sort_by_key(|p| p.qun);
+    for p in partials {
+        out.work += p.work;
+        for (key, stat) in p.groups {
+            out.groups.insert(key, stat);
+        }
+        for (cg, frame) in p.frames {
+            out.frames.entry(cg).or_insert(frame);
         }
     }
     out
@@ -321,6 +443,125 @@ mod tests {
         assert_eq!(frame.dims(), 2);
         // frame must contain the region (string codes of observed makes)
         assert!(frame.intersect(region).volume() > 0.0);
+    }
+
+    /// Two correlated tables joined, both quantifiers marked.
+    fn setup_join() -> (Catalog, Vec<Table>, QueryBlock) {
+        let mut catalog = Catalog::new();
+        let car_schema = Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("ownerid", DataType::Int),
+            ("make", DataType::Str),
+            ("year", DataType::Int),
+        ]);
+        let owner_schema = Schema::from_pairs(&[("id", DataType::Int), ("salary", DataType::Int)]);
+        catalog.register_table("car", car_schema.clone()).unwrap();
+        catalog
+            .register_table("owner", owner_schema.clone())
+            .unwrap();
+        let mut car = Table::new("car", car_schema);
+        for i in 0..1200i64 {
+            car.insert(vec![
+                Value::Int(i),
+                Value::Int(i % 300),
+                Value::str(if i % 3 == 0 { "Toyota" } else { "Honda" }),
+                Value::Int(1990 + i % 17),
+            ])
+            .unwrap();
+        }
+        let mut owner = Table::new("owner", owner_schema);
+        for i in 0..300i64 {
+            owner
+                .insert(vec![Value::Int(i), Value::Int(i * 400)])
+                .unwrap();
+        }
+        let BoundStatement::Select(block) = bind_statement(
+            &parse(
+                "SELECT COUNT(*) FROM car c, owner o WHERE c.ownerid = o.id \
+                 AND make = 'Toyota' AND year > 2000 AND salary > 50000",
+            )
+            .unwrap(),
+            &catalog,
+        )
+        .unwrap() else {
+            panic!()
+        };
+        (catalog, vec![car, owner], block)
+    }
+
+    #[test]
+    fn parallel_collection_is_bit_identical_to_sequential() {
+        let (_, tables, block) = setup_join();
+        let candidates = query_analysis(&block, 6);
+        let seq = collect_for_tables(
+            &block,
+            &[0, 1],
+            &candidates,
+            &tables,
+            SampleSpec::fixed(400),
+            &mut SplitMix64::new(99),
+        );
+        for threads in [2, 4, 8] {
+            let par = collect_for_tables_parallel(
+                &block,
+                &[0, 1],
+                &candidates,
+                &tables,
+                SampleSpec::fixed(400),
+                &mut SplitMix64::new(99),
+                threads,
+            );
+            assert_eq!(par.groups, seq.groups, "groups differ at {threads} threads");
+            assert_eq!(par.frames, seq.frames, "frames differ at {threads} threads");
+            assert_eq!(par.table_rows, seq.table_rows);
+            assert_eq!(
+                par.work.to_bits(),
+                seq.work.to_bits(),
+                "work must sum in the same order"
+            );
+            assert_eq!(par.tables_sampled, 2);
+        }
+    }
+
+    #[test]
+    fn per_table_streams_are_independent_of_marking_order() {
+        // sampling table B alone must give the same rows for B as sampling
+        // A and B together — streams derive from identity, not draw order
+        let (_, tables, block) = setup_join();
+        let candidates = query_analysis(&block, 6);
+        let both = collect_for_tables(
+            &block,
+            &[0, 1],
+            &candidates,
+            &tables,
+            SampleSpec::fixed(200),
+            &mut SplitMix64::new(7),
+        );
+        let only_owner = collect_for_tables(
+            &block,
+            &[1],
+            &candidates,
+            &tables,
+            SampleSpec::fixed(200),
+            &mut SplitMix64::new(7),
+        );
+        let key_both: Vec<_> = both
+            .groups
+            .iter()
+            .filter(|((q, _), _)| *q == 1)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let key_only: Vec<_> = only_owner
+            .groups
+            .iter()
+            .filter(|((q, _), _)| *q == 1)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let sorted = |mut v: Vec<((usize, Vec<usize>), GroupStat)>| {
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+        assert_eq!(sorted(key_both), sorted(key_only));
     }
 
     #[test]

@@ -55,6 +55,11 @@ pub struct JitsConfig {
     /// Fixed sample size per table (independent of table size, per the
     /// paper's citations [1, 8, 12]).
     pub sample: SampleSpec,
+    /// Worker threads for per-table statistics collection (1 = sequential).
+    /// Any value yields bit-identical statistics — per-table RNG streams
+    /// derive from (seed, table, quantifier), not from a shared sequence —
+    /// so this is purely a wall-clock knob.
+    pub collect_threads: usize,
     /// Cap on local predicates per table fed to the power-set enumeration of
     /// Algorithm 1; beyond it only singletons, pairs, and the full group are
     /// enumerated to bound the candidate count.
@@ -102,6 +107,7 @@ impl Default for JitsConfig {
             s_max: 0.5,
             aggregate: AggregateFn::Average,
             sample: SampleSpec::default(),
+            collect_threads: 1,
             max_group_enumeration: 6,
             archive_bucket_budget: 4096,
             eviction_uniformity: 0.9,

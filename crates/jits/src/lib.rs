@@ -45,7 +45,7 @@ pub mod sensitivity;
 
 pub use analysis::{query_analysis, CandidateGroup};
 pub use archive::QssArchive;
-pub use collect::{collect_for_tables, CollectedStats};
+pub use collect::{collect_for_tables, collect_for_tables_parallel, CollectedStats};
 pub use config::{AggregateFn, JitsConfig, SensitivityStrategy};
 pub use epsilon::{epsilon_sensitivity, EpsilonConfig, EpsilonOutcome};
 pub use feedback::ingest;

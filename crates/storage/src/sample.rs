@@ -43,6 +43,17 @@ impl Default for SampleSpec {
 /// table is heavily tombstoned (rejection would thrash) or smaller than the
 /// sample.
 pub fn sample_rows(table: &Table, spec: SampleSpec, rng: &mut SplitMix64) -> Vec<RowId> {
+    // expected probes ~ size / live_fraction; the generous cap only trips
+    // under adversarial tombstone layouts, where we top up from a scan
+    sample_rows_with_probe_cap(table, spec, rng, spec.size * 20 + 64)
+}
+
+fn sample_rows_with_probe_cap(
+    table: &Table,
+    spec: SampleSpec,
+    rng: &mut SplitMix64,
+    max_probes: usize,
+) -> Vec<RowId> {
     let live = table.row_count();
     let slots = table.slot_count();
     if live == 0 {
@@ -54,9 +65,6 @@ pub fn sample_rows(table: &Table, spec: SampleSpec, rng: &mut SplitMix64) -> Vec
     }
     let mut chosen = std::collections::HashSet::with_capacity(spec.size * 2);
     let mut out = Vec::with_capacity(spec.size);
-    // expected probes ~ size / live_fraction; the generous cap only trips
-    // under adversarial tombstone layouts, where we fall back
-    let max_probes = spec.size * 20 + 64;
     for _ in 0..max_probes {
         if out.len() == spec.size {
             return out;
@@ -66,7 +74,15 @@ pub fn sample_rows(table: &Table, spec: SampleSpec, rng: &mut SplitMix64) -> Vec
             out.push(slot);
         }
     }
-    rng.reservoir_sample(table.scan(), spec.size)
+    // The cap tripped: keep the probe-phase rows (a uniform random subset
+    // of the live rows) and reservoir-fill only the remainder from the rows
+    // not yet chosen. A uniform k-subset extended by a uniform (m−k)-subset
+    // of its complement is a uniform m-subset, so uniformity is preserved —
+    // and the partial work is not thrown away.
+    let remainder = spec.size - out.len();
+    let fill = rng.reservoir_sample(table.scan().filter(|r| !chosen.contains(r)), remainder);
+    out.extend(fill);
+    out
 }
 
 #[cfg(test)]
@@ -131,6 +147,49 @@ mod tests {
             .count();
         let est = hits as f64 / s.len() as f64;
         assert!((est - 0.3).abs() < 0.04, "estimate {est}");
+    }
+
+    #[test]
+    fn probe_cap_keeps_partial_sample_and_fills_remainder() {
+        let t = table_with(10_000);
+        // a probe cap far below the requested size forces the top-up path
+        // mid-sample; the result must still be exact-size and duplicate-free
+        let mut rng = SplitMix64::new(11);
+        let s = sample_rows_with_probe_cap(&t, SampleSpec::fixed(2_000), &mut rng, 300);
+        assert_eq!(s.len(), 2_000);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 2_000, "top-up must not re-pick probed rows");
+        // deterministic given the same seed and cap
+        let mut rng = SplitMix64::new(11);
+        let again = sample_rows_with_probe_cap(&t, SampleSpec::fixed(2_000), &mut rng, 300);
+        assert_eq!(s, again);
+    }
+
+    #[test]
+    fn probe_cap_fallback_remains_unbiased() {
+        // with an adversarially small cap, every row must still appear with
+        // roughly equal frequency across seeds (uniformity of the hybrid)
+        let t = table_with(200);
+        let mut hits_low = 0usize;
+        let mut hits_high = 0usize;
+        for seed in 0..600u64 {
+            let mut rng = SplitMix64::new(seed);
+            let s = sample_rows_with_probe_cap(&t, SampleSpec::fixed(100), &mut rng, 30);
+            assert_eq!(s.len(), 100);
+            if s.contains(&0) {
+                hits_low += 1;
+            }
+            if s.contains(&199) {
+                hits_high += 1;
+            }
+        }
+        // each row is expected in half the samples; allow generous slack
+        let lo = hits_low as f64 / 600.0;
+        let hi = hits_high as f64 / 600.0;
+        assert!((0.4..0.6).contains(&lo), "row 0 rate {lo}");
+        assert!((0.4..0.6).contains(&hi), "row 199 rate {hi}");
     }
 
     #[test]

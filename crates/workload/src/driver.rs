@@ -6,7 +6,7 @@ use crate::queries::WorkloadOp;
 use crate::schema::create_schema;
 use jits::JitsConfig;
 use jits_common::Result;
-use jits_engine::{Database, QueryMetrics, StatsSetting};
+use jits_engine::{Database, QueryMetrics, Session, SharedDatabase, StatsSetting};
 
 /// The four experiment settings of the paper's §4.2.
 #[derive(Debug, Clone)]
@@ -90,6 +90,71 @@ pub fn run_workload(db: &mut Database, ops: &[WorkloadOp]) -> Result<Vec<RunReco
         });
     }
     Ok(records)
+}
+
+/// Executes the workload through one [`Session`] of a [`SharedDatabase`] —
+/// the shared-state equivalent of [`run_workload`]. With a session opened
+/// first on a fresh conversion ([`Database::into_shared`]), the statement
+/// stream replays the `Database` run bit-for-bit; the JITS
+/// `collect_threads` knob then changes wall-clock only, never results.
+pub fn run_workload_session(session: &mut Session, ops: &[WorkloadOp]) -> Result<Vec<RunRecord>> {
+    let mut records = Vec::with_capacity(ops.len());
+    for (index, op) in ops.iter().enumerate() {
+        let result = session.execute(&op.sql)?;
+        records.push(RunRecord {
+            index,
+            is_query: op.is_query,
+            metrics: result.metrics,
+        });
+    }
+    Ok(records)
+}
+
+/// Executes the workload across `threads` concurrent sessions of a
+/// [`SharedDatabase`], partitioning the operations round-robin. Returns one
+/// record per operation, ordered by workload index.
+///
+/// Unlike the `collect_threads` axis, *session* concurrency interleaves
+/// statements nondeterministically, so learned statistics (and therefore
+/// plans) can differ run to run — query answers on tables the workload's
+/// DML does not touch stay exact.
+pub fn run_workload_concurrent(
+    db: &SharedDatabase,
+    ops: &[WorkloadOp],
+    threads: usize,
+) -> Result<Vec<RunRecord>> {
+    let threads = threads.max(1).min(ops.len().max(1));
+    let sessions: Vec<Session> = (0..threads).map(|_| db.session()).collect();
+    let mut outcomes: Vec<Result<Vec<RunRecord>>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = sessions
+            .into_iter()
+            .enumerate()
+            .map(|(t, mut session)| {
+                scope.spawn(move || -> Result<Vec<RunRecord>> {
+                    let mut records = Vec::new();
+                    for (index, op) in ops.iter().enumerate().skip(t).step_by(threads) {
+                        let result = session.execute(&op.sql)?;
+                        records.push(RunRecord {
+                            index,
+                            is_query: op.is_query,
+                            metrics: result.metrics,
+                        });
+                    }
+                    Ok(records)
+                })
+            })
+            .collect();
+        for h in handles {
+            outcomes.push(h.join().expect("workload session thread panicked"));
+        }
+    });
+    let mut all = Vec::with_capacity(ops.len());
+    for outcome in outcomes {
+        all.extend(outcome?);
+    }
+    all.sort_by_key(|r| r.index);
+    Ok(all)
 }
 
 /// Five-number summary for the paper's Figure 3 box plot.

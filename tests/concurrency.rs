@@ -1,0 +1,192 @@
+//! Concurrency integration tests: parallel statistics collection must be
+//! bit-deterministic, and concurrent sessions must keep the engine
+//! consistent under a mixed query/DML workload.
+
+use jits::JitsConfig;
+use jits_common::Value;
+use jits_engine::StatsSetting;
+use jits_workload::{
+    generate_workload, prepare, run_workload, run_workload_concurrent, run_workload_session,
+    setup_database, DataGenConfig, Setting, WorkloadSpec,
+};
+
+fn tiny() -> (DataGenConfig, WorkloadSpec) {
+    (
+        DataGenConfig {
+            scale: 0.002,
+            seed: 0xC0FFEE,
+        },
+        WorkloadSpec {
+            total_ops: 36,
+            dml_every: 6,
+            seed: 0xBEEF,
+        },
+    )
+}
+
+/// One op's observable outcome, bit-exact: rows, work, sampling decisions,
+/// simulated cost.
+type OpTrace = (Vec<Vec<Value>>, u64, u64, usize, usize, u64);
+
+/// Runs the tiny workload on one session of a shared database with the
+/// given JITS collection parallelism, returning per-op traces plus a
+/// canonical digest of the final QSS archive.
+fn drive(collect_threads: usize) -> (Vec<OpTrace>, Vec<String>) {
+    let (dg, ws) = tiny();
+    let ops = generate_workload(&ws, &dg);
+    let mut db = setup_database(&dg).unwrap();
+    let cfg = JitsConfig {
+        collect_threads,
+        ..JitsConfig::default()
+    };
+    prepare(&mut db, &Setting::Jits(cfg), &ops).unwrap();
+    let shared = db.into_shared();
+    let mut session = shared.session();
+    let mut traces = Vec::with_capacity(ops.len());
+    for op in &ops {
+        let r = session.execute(&op.sql).unwrap();
+        traces.push((
+            r.rows,
+            r.metrics.exec_work.to_bits(),
+            r.metrics.compile_work.to_bits(),
+            r.metrics.sampled_tables,
+            r.metrics.materialized_groups,
+            r.metrics.total_sim().to_bits(),
+        ));
+    }
+    let mut digest = shared.with_archive(|a| {
+        a.iter()
+            .map(|(g, h)| format!("{g:?}={h:?}"))
+            .collect::<Vec<String>>()
+    });
+    digest.sort();
+    (traces, digest)
+}
+
+#[test]
+fn workload_bit_identical_at_1_and_8_collect_threads() {
+    let sequential = drive(1);
+    let parallel = drive(8);
+    assert_eq!(
+        sequential.0.len(),
+        parallel.0.len(),
+        "same number of operations"
+    );
+    for (i, (a, b)) in sequential.0.iter().zip(&parallel.0).enumerate() {
+        assert_eq!(a, b, "op {i} diverged between 1 and 8 collect threads");
+    }
+    assert_eq!(
+        sequential.1, parallel.1,
+        "final archive contents must be identical"
+    );
+}
+
+#[test]
+fn session_stream_replays_single_owner_database() {
+    let (dg, ws) = tiny();
+    let ops = generate_workload(&ws, &dg);
+
+    let mut db = setup_database(&dg).unwrap();
+    prepare(&mut db, &Setting::Jits(JitsConfig::default()), &ops).unwrap();
+    let base = run_workload(&mut db, &ops).unwrap();
+
+    let mut db2 = setup_database(&dg).unwrap();
+    prepare(&mut db2, &Setting::Jits(JitsConfig::default()), &ops).unwrap();
+    let shared = db2.into_shared();
+    let mut session = shared.session();
+    let replay = run_workload_session(&mut session, &ops).unwrap();
+
+    assert_eq!(base.len(), replay.len());
+    for (a, b) in base.iter().zip(&replay) {
+        assert_eq!(a.index, b.index);
+        assert_eq!(
+            a.metrics.exec_work.to_bits(),
+            b.metrics.exec_work.to_bits(),
+            "op {}",
+            a.index
+        );
+        assert_eq!(
+            a.metrics.compile_work.to_bits(),
+            b.metrics.compile_work.to_bits(),
+            "op {}",
+            a.index
+        );
+        assert_eq!(a.metrics.sampled_tables, b.metrics.sampled_tables);
+        assert_eq!(a.metrics.result_rows, b.metrics.result_rows);
+    }
+}
+
+#[test]
+fn concurrent_sessions_complete_a_mixed_workload() {
+    for round in 0..3 {
+        let (dg, ws) = tiny();
+        let ops = generate_workload(&ws, &dg);
+        let mut db = setup_database(&dg).unwrap();
+        prepare(&mut db, &Setting::Jits(JitsConfig::default()), &ops).unwrap();
+        let shared = db.into_shared();
+
+        let records = run_workload_concurrent(&shared, &ops, 4).unwrap();
+        assert_eq!(records.len(), ops.len(), "round {round}");
+        for r in &records {
+            if r.is_query {
+                assert!(r.metrics.exec_work > 0.0, "round {round} op {}", r.index);
+            }
+        }
+        let snap = shared.counters();
+        assert_eq!(snap.statements, ops.len() as u64, "round {round}");
+        assert_eq!(shared.clock(), ops.len() as u64, "round {round}");
+
+        // the engine stays fully usable afterwards
+        let mut session = shared.session();
+        let r = session.execute("SELECT COUNT(*) FROM owner").unwrap();
+        assert_eq!(r.rows.len(), 1, "round {round}");
+    }
+}
+
+#[test]
+fn concurrent_sessions_under_non_jits_settings() {
+    let (dg, ws) = tiny();
+    let ops = generate_workload(&ws, &dg);
+    for setting in [Setting::NoStats, Setting::GeneralStats] {
+        let mut db = setup_database(&dg).unwrap();
+        prepare(&mut db, &setting, &ops).unwrap();
+        let shared = db.into_shared();
+        let records = run_workload_concurrent(&shared, &ops, 4).unwrap();
+        assert_eq!(records.len(), ops.len(), "{}", setting.label());
+        assert!(
+            records
+                .iter()
+                .filter(|r| r.is_query)
+                .all(|r| r.metrics.exec_work > 0.0),
+            "{}",
+            setting.label()
+        );
+    }
+}
+
+#[test]
+fn collect_threads_knob_reaches_the_metrics() {
+    let (dg, ws) = tiny();
+    let ops = generate_workload(&ws, &dg);
+    let mut db = setup_database(&dg).unwrap();
+    let cfg = JitsConfig {
+        collect_threads: 4,
+        s_max: 0.0, // collect on every query so the knob is observable
+        ..JitsConfig::default()
+    };
+    db.set_setting(StatsSetting::Jits(cfg));
+    let shared = db.into_shared();
+    let mut session = shared.session();
+    let mut saw_parallel = false;
+    for op in ops.iter().filter(|o| o.is_query).take(6) {
+        let r = session.execute(&op.sql).unwrap();
+        if r.metrics.collect_threads > 1 {
+            saw_parallel = true;
+        }
+    }
+    assert!(
+        saw_parallel,
+        "a multi-table query must report a parallel collection pass"
+    );
+    assert!(shared.counters().parallel_collections >= 1);
+}
