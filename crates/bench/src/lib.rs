@@ -10,6 +10,8 @@
 //! --seed <u64>    master seed (default: the workspace seed)
 //! ```
 
+#![forbid(unsafe_code)]
+
 use jits_engine::QueryMetrics;
 use jits_workload::{DataGenConfig, RunRecord, WorkloadSpec};
 

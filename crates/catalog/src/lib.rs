@@ -11,6 +11,8 @@
 //! clock), which — together with the storage layer's UDI counters — lets the
 //! JITS sensitivity analysis judge staleness.
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod runstats;
 pub mod stats;

@@ -74,6 +74,10 @@ pub fn runstats(
     };
     let column_stats = (0..n_cols)
         .map(|c| {
+            // `Value` has no `Ord` impl, so a BTreeMap is unavailable here; the
+            // sort on the next line imposes a total order (count desc, then
+            // `cmp_total`), which erases the hash order.
+            // jits-lint: allow(hash-iteration)
             let mut mcv: Vec<(Value, f64)> = freq[c].iter().map(|(v, n)| (v.clone(), *n)).collect();
             mcv.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp_total(&b.0)));
             let distinct = mcv.len() as f64;

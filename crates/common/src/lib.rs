@@ -12,6 +12,9 @@
 //! [`Interval`]: interval::Interval
 //! [`ColGroup`]: colgroup::ColGroup
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod colgroup;
 pub mod error;
 pub mod ids;

@@ -11,6 +11,8 @@
 //! iteration. No statistics, plots, or baselines — just honest numbers on
 //! stderr-free stdout, enough to compare before/after locally.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

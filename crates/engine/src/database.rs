@@ -122,7 +122,7 @@ impl Database {
         let col = self
             .catalog
             .table(tid)
-            .unwrap()
+            .ok_or_else(|| JitsError::internal(format!("catalog entry missing for {tid:?}")))?
             .schema
             .require_column(column)?;
         self.tables[tid.index()].create_index(col)?;
@@ -135,7 +135,7 @@ impl Database {
         let col = self
             .catalog
             .table(tid)
-            .unwrap()
+            .ok_or_else(|| JitsError::internal(format!("catalog entry missing for {tid:?}")))?
             .schema
             .require_column(column)?;
         self.catalog.set_primary_key(tid, col)?;

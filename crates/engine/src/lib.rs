@@ -14,6 +14,9 @@
 //! (cost-unit) compile/execution times — the quantities every experiment in
 //! the paper's evaluation section reports.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod database;
 pub mod metrics;
 pub mod session;

@@ -19,6 +19,13 @@
 //! catalog < tables < archive < history < predcache < setting
 //! ```
 //!
+//! The order is load-bearing and enforced twice: statically by
+//! `jits-lint`'s lock-order pass over this crate's source, and dynamically
+//! by the rank tracker in the `parking_lot` shim — every component lock is
+//! built with [`parking_lot::RwLock::with_rank`] using the `RANK_*`
+//! constants below, so in debug/test builds any out-of-order acquisition
+//! panics with both lock names instead of deadlocking.
+//!
 //! # Determinism
 //!
 //! Each session carries its own `SplitMix64` sampling stream. The first
@@ -53,10 +60,24 @@ use jits_query::{
     bind_statement, parse, BoundDelete, BoundInsert, BoundStatement, BoundUpdate, QueryBlock,
 };
 use jits_storage::{RowId, Table};
+use parking_lot::rank::LockRank;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Rank of the catalog lock — first in the acquisition order.
+pub const RANK_CATALOG: LockRank = LockRank::new(1, "catalog");
+/// Rank of the storage-tables lock.
+pub const RANK_TABLES: LockRank = LockRank::new(2, "tables");
+/// Rank of the QSS-archive lock.
+pub const RANK_ARCHIVE: LockRank = LockRank::new(3, "archive");
+/// Rank of the StatHistory lock.
+pub const RANK_HISTORY: LockRank = LockRank::new(4, "history");
+/// Rank of the predicate-cache lock.
+pub const RANK_PREDCACHE: LockRank = LockRank::new(5, "predcache");
+/// Rank of the statistics-setting lock — last in the acquisition order.
+pub const RANK_SETTING: LockRank = LockRank::new(6, "setting");
 
 /// Engine state shared by all sessions, each component behind its own lock
 /// (see the module docs for the acquisition order).
@@ -171,12 +192,12 @@ impl SharedDatabase {
     ) -> Self {
         SharedDatabase {
             shared: Arc::new(Shared {
-                catalog: RwLock::new(catalog),
-                tables: RwLock::new(tables),
-                archive: RwLock::new(archive),
-                history: RwLock::new(history),
-                predcache: RwLock::new(predcache),
-                setting: RwLock::new(setting),
+                catalog: RwLock::with_rank(catalog, RANK_CATALOG),
+                tables: RwLock::with_rank(tables, RANK_TABLES),
+                archive: RwLock::with_rank(archive, RANK_ARCHIVE),
+                history: RwLock::with_rank(history, RANK_HISTORY),
+                predcache: RwLock::with_rank(predcache, RANK_PREDCACHE),
+                setting: RwLock::with_rank(setting, RANK_SETTING),
                 clock: AtomicU64::new(clock),
                 rng_source: Mutex::new(rng),
                 sessions: AtomicU64::new(0),
@@ -240,7 +261,11 @@ impl SharedDatabase {
         let mut catalog = timed_write(&self.shared.catalog, &self.shared.counters, &mut w);
         let mut tables = timed_write(&self.shared.tables, &self.shared.counters, &mut w);
         let tid = catalog.require(table)?;
-        let col = catalog.table(tid).unwrap().schema.require_column(column)?;
+        let col = catalog
+            .table(tid)
+            .ok_or_else(|| JitsError::internal(format!("catalog entry missing for {tid:?}")))?
+            .schema
+            .require_column(column)?;
         tables[tid.index()].create_index(col)?;
         catalog.add_index(tid, col)
     }
@@ -251,7 +276,11 @@ impl SharedDatabase {
         let mut catalog = timed_write(&self.shared.catalog, &self.shared.counters, &mut w);
         let mut tables = timed_write(&self.shared.tables, &self.shared.counters, &mut w);
         let tid = catalog.require(table)?;
-        let col = catalog.table(tid).unwrap().schema.require_column(column)?;
+        let col = catalog
+            .table(tid)
+            .ok_or_else(|| JitsError::internal(format!("catalog entry missing for {tid:?}")))?
+            .schema
+            .require_column(column)?;
         catalog.set_primary_key(tid, col)?;
         tables[tid.index()].create_index(col)?;
         catalog.add_index(tid, col)
@@ -960,6 +989,28 @@ mod tests {
         let plan = s.explain("SELECT id FROM car WHERE year > 2000").unwrap();
         assert!(plan.contains("Scan"), "{plan}");
         assert!(s.execute("SELECT * FROM nosuch").is_err());
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "rank tracker compiles out in release")]
+    fn shared_database_locks_are_rank_tracked() {
+        // Holding `tables` (rank 2) and then taking `catalog` (rank 1) on
+        // the same thread must panic — proof the runtime validator guards
+        // the real SharedDatabase locks, not just synthetic ones.
+        let shared = seed_shared(1);
+        let inner = Arc::clone(&shared.shared);
+        let _tables = inner.tables.read();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _catalog = inner.catalog.read();
+        }))
+        .expect_err("catalog after tables must violate the rank order");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("lock-rank violation"), "{msg}");
+        assert!(msg.contains("catalog") && msg.contains("tables"), "{msg}");
+        // in-order acquisition still works on this thread
+        drop(_tables);
+        let _catalog = inner.catalog.read();
+        let _tables = inner.tables.read();
     }
 
     #[test]

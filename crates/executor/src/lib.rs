@@ -14,6 +14,8 @@
 //!   This is the LEO-style feedback (paper §5.1, \[14\]) that fills the JITS
 //!   StatHistory with `errorFactor` entries.
 
+#![forbid(unsafe_code)]
+
 pub mod exec;
 pub mod monitor;
 

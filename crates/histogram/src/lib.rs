@@ -23,6 +23,8 @@
 //! [`EquiDepth`]: equidepth::EquiDepth
 //! [`GridHistogram`]: grid::GridHistogram
 
+#![forbid(unsafe_code)]
+
 pub mod accuracy;
 pub mod equidepth;
 pub mod grid;

@@ -103,7 +103,15 @@ pub fn fit(
             }
             let target = c.count_clamped(total);
             let inside: f64 = c.buckets.iter().map(|&b| counts[b]).sum();
-            let outside = (total - inside).max(0.0);
+            // measure the outside mass instead of inferring `total - inside`:
+            // with inconsistent constraints the running sum can drift, and an
+            // inferred value would compound the drift each sweep
+            let outside: f64 = counts
+                .iter()
+                .zip(mask.iter())
+                .filter(|(_, m)| !**m)
+                .map(|(v, _)| *v)
+                .sum();
             let residual = relative_residual(inside, target, total);
             max_residual = max_residual.max(residual);
             if residual <= opts.tolerance {
@@ -121,13 +129,24 @@ pub fn fit(
                     counts[b] = per;
                 }
             }
-            // scale outside to keep the grand total
+            // scale outside to keep the grand total; if the outside mass has
+            // been squeezed to zero (conflicting constraints can do that) but
+            // the target requires some, re-seed it uniformly — otherwise the
+            // grand total would silently collapse to `target`
             let new_outside_target = (total - target).max(0.0);
+            let n_outside = counts.len() - c.buckets.len();
             if outside > 0.0 {
                 let f = new_outside_target / outside;
                 for (v, inside_bucket) in counts.iter_mut().zip(mask) {
                     if !inside_bucket {
                         *v *= f;
+                    }
+                }
+            } else if new_outside_target > 0.0 && n_outside > 0 {
+                let per = new_outside_target / n_outside as f64;
+                for (v, inside_bucket) in counts.iter_mut().zip(mask) {
+                    if !inside_bucket {
+                        *v = per;
                     }
                 }
             }
@@ -292,5 +311,88 @@ mod tests {
         assert!(counts.iter().all(|c| *c >= -1e-9), "{counts:?}");
         assert!((sum(&counts) - 100.0).abs() < 1e-3, "{counts:?}");
         assert!(r.iterations >= 1);
+    }
+
+    use proptest::prelude::*;
+
+    /// Builds a consistent random fitting problem: positive bucket counts,
+    /// plus constraints over contiguous bucket ranges that never cover the
+    /// whole grid, with targets strictly inside `(0, total)`. Under those
+    /// conditions every IPF sweep rescales by positive finite factors, so
+    /// refinement must keep buckets non-negative and preserve total mass.
+    fn problem(
+        raw_counts: &[f64],
+        spec: &[(usize, usize, f64)],
+    ) -> (Vec<f64>, f64, Vec<LoweredConstraint>) {
+        let counts: Vec<f64> = raw_counts.to_vec();
+        let total: f64 = counts.iter().sum();
+        let n = counts.len();
+        let constraints: Vec<LoweredConstraint> = spec
+            .iter()
+            .map(|&(start, len, frac)| {
+                // contiguous range of at most n-1 buckets
+                let s = start % n;
+                let l = 1 + len % (n - 1).max(1);
+                let buckets: Vec<usize> = (s..(s + l).min(n)).collect();
+                LoweredConstraint {
+                    buckets,
+                    target: frac * total,
+                }
+            })
+            .collect();
+        (counts, total, constraints)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn refinement_keeps_buckets_nonnegative(
+            raw in proptest::collection::vec(0.01f64..100.0, 2..32),
+            spec in proptest::collection::vec(
+                (0usize..64, 0usize..64, 0.05f64..0.95), 1..5),
+        ) {
+            let (mut counts, total, constraints) = problem(&raw, &spec);
+            fit(&mut counts, total, &constraints, IpfOptions::default());
+            for (i, c) in counts.iter().enumerate() {
+                prop_assert!(
+                    c.is_finite() && *c >= 0.0,
+                    "bucket {i} went negative or non-finite: {c} in {counts:?}"
+                );
+            }
+        }
+
+        #[test]
+        fn refinement_preserves_total_mass(
+            raw in proptest::collection::vec(0.01f64..100.0, 2..32),
+            spec in proptest::collection::vec(
+                (0usize..64, 0usize..64, 0.05f64..0.95), 1..5),
+        ) {
+            let (mut counts, total, constraints) = problem(&raw, &spec);
+            fit(&mut counts, total, &constraints, IpfOptions::default());
+            let mass: f64 = counts.iter().sum();
+            prop_assert!(
+                (mass - total).abs() <= 1e-6 * total.max(1.0),
+                "total mass drifted: {mass} vs {total} ({counts:?})"
+            );
+        }
+
+        #[test]
+        fn satisfied_single_constraint_is_exact(
+            raw in proptest::collection::vec(0.01f64..100.0, 2..32),
+            spec in proptest::collection::vec(
+                (0usize..64, 0usize..64, 0.05f64..0.95), 1..2),
+        ) {
+            // a single consistent constraint must be met to tolerance
+            let (mut counts, total, constraints) = problem(&raw, &spec);
+            let r = fit(&mut counts, total, &constraints, IpfOptions::default());
+            prop_assert!(r.converged, "single constraint did not converge: {r:?}");
+            let inside: f64 = constraints[0].buckets.iter().map(|&b| counts[b]).sum();
+            let target = constraints[0].target.clamp(0.0, total);
+            prop_assert!(
+                (inside - target).abs() <= 1e-4 * total.max(1.0),
+                "constraint missed: inside {inside} target {target}"
+            );
+        }
     }
 }

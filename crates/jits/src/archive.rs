@@ -11,7 +11,7 @@
 
 use jits_common::ColGroup;
 use jits_histogram::{region_accuracy, GridHistogram, Region};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The archive.
 ///
@@ -35,7 +35,10 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug)]
 pub struct QssArchive {
-    histograms: HashMap<ColGroup, GridHistogram>,
+    /// Keyed by `BTreeMap` so [`QssArchive::iter`] (which feeds statistics
+    /// migration and superset inference) walks groups in a deterministic
+    /// order regardless of insertion history.
+    histograms: BTreeMap<ColGroup, GridHistogram>,
     /// Total-bucket budget across all histograms.
     bucket_budget: usize,
     /// Uniformity above which a histogram is "almost uniform" and evictable
@@ -47,7 +50,7 @@ impl QssArchive {
     /// An empty archive with the given space budget.
     pub fn new(bucket_budget: usize, eviction_uniformity: f64) -> Self {
         QssArchive {
-            histograms: HashMap::new(),
+            histograms: BTreeMap::new(),
             bucket_budget: bucket_budget.max(1),
             eviction_uniformity,
         }

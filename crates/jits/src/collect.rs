@@ -20,7 +20,7 @@ use jits_common::{ColGroup, ColumnId, DataType, SplitMix64, TableId};
 use jits_histogram::Region;
 use jits_query::QueryBlock;
 use jits_storage::{sample::sample_rows, SampleSpec, Table};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Joint statistics of one candidate group, measured on a sample.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,15 +39,20 @@ pub struct GroupStat {
 }
 
 /// Everything one compile-time collection pass produced.
+///
+/// The maps are `BTreeMap`s, not `HashMap`s, so that any iteration over
+/// collected statistics (materialization, migration, diagnostics) visits
+/// entries in a deterministic order — hash-iteration order must never leak
+/// into what the optimizer sees.
 #[derive(Debug, Clone, Default)]
 pub struct CollectedStats {
     /// Group statistics keyed by (quantifier, sorted predicate indices).
-    pub groups: HashMap<(usize, Vec<usize>), GroupStat>,
+    pub groups: BTreeMap<(usize, Vec<usize>), GroupStat>,
     /// Exact live row counts of the sampled tables.
-    pub table_rows: HashMap<TableId, f64>,
+    pub table_rows: BTreeMap<TableId, f64>,
     /// Per-column-group finite frames observed from the sample (min/max per
     /// column, slightly widened) — used to seed new archive histograms.
-    pub frames: HashMap<ColGroup, Region>,
+    pub frames: BTreeMap<ColGroup, Region>,
     /// Work charged for the collection, in cost-model units.
     pub work: f64,
     /// Marked tables actually sampled by this pass.

@@ -27,7 +27,7 @@
 //! ```
 
 use jits_common::{ColGroup, TableId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One StatHistory row (sans the key fields, which index the map).
 #[derive(Debug, Clone, PartialEq)]
@@ -56,9 +56,13 @@ impl HistEntry {
 }
 
 /// The statistics-collection history.
+///
+/// Keyed by `BTreeMap`: [`StatHistory::entries_using`] iterates the whole
+/// map and its results feed sensitivity scores, so the visit order must be
+/// deterministic, never hash order.
 #[derive(Debug, Default, Clone)]
 pub struct StatHistory {
-    entries: HashMap<(TableId, ColGroup), Vec<HistEntry>>,
+    entries: BTreeMap<(TableId, ColGroup), Vec<HistEntry>>,
 }
 
 /// Error factors are clamped into this range so EWMAs stay finite.

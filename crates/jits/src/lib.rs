@@ -30,6 +30,9 @@
 //! 5. After execution, [`feedback::ingest`] turns the executor's
 //!    cardinality observations into StatHistory `errorFactor` entries.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod analysis;
 pub mod archive;
 pub mod collect;

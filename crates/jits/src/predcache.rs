@@ -10,7 +10,7 @@
 
 use jits_common::TableId;
 use jits_query::{PredKind, QueryBlock};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A cached selectivity for one exact predicate group.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,9 +24,12 @@ pub struct CachedSelectivity {
 }
 
 /// LRU cache of measured selectivities for non-region predicate groups.
+///
+/// Keyed by `BTreeMap` so eviction scans visit entries in a deterministic
+/// order (the LRU tie-break on the key then needs no hash-order rescue).
 #[derive(Debug)]
 pub struct PredicateCache {
-    entries: HashMap<(TableId, String), CachedSelectivity>,
+    entries: BTreeMap<(TableId, String), CachedSelectivity>,
     capacity: usize,
 }
 
@@ -34,7 +37,7 @@ impl PredicateCache {
     /// A cache holding at most `capacity` predicates.
     pub fn new(capacity: usize) -> Self {
         PredicateCache {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             capacity: capacity.max(1),
         }
     }

@@ -1,0 +1,26 @@
+//! Known-bad fixture for the determinism pass. Never compiled — the
+//! integration test feeds it to the analyzer and expects violations.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn stamps_with_wall_clock() -> u64 {
+    // BAD: statistics must use the logical clock
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+fn sums_in_hash_order(counts: &HashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    // BAD: iteration order leaks into the accumulation order
+    for (_, c) in counts.iter() {
+        total += c;
+    }
+    total
+}
+
+fn samples_from_the_environment() -> u64 {
+    // BAD: unseeded randomness makes collection irreproducible
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,35 @@
+//! Known-bad fixture for the lock-order pass. Never compiled — the
+//! integration test feeds it to the analyzer and expects violations.
+
+fn out_of_order(sh: &SharedDatabase, w: &mut u64) {
+    let history = timed_write(&sh.history, &sh.counters, w);
+    // BAD: history (rank 4) is held while acquiring catalog (rank 1)
+    let catalog = timed_read(&sh.catalog, &sh.counters, w);
+    use_both(&history, &catalog);
+}
+
+fn reacquire(sh: &SharedDatabase, w: &mut u64) {
+    let archive = timed_write(&sh.archive, &sh.counters, w);
+    // BAD: self-deadlock — archive's write guard is still held
+    let again = timed_read(&sh.archive, &sh.counters, w);
+    use_both(&archive, &again);
+}
+
+fn direct_methods_out_of_order(db: &Inner) {
+    let tables = db.tables.read();
+    // BAD: tables (rank 2) held while acquiring catalog (rank 1)
+    let catalog = db.catalog.read();
+    use_both(&tables, &catalog);
+}
+
+fn locks_predcache(sh: &SharedDatabase, w: &mut u64) {
+    let predcache = timed_write(&sh.predcache, &sh.counters, w);
+    touch(&predcache);
+}
+
+fn held_across_reacquiring_call(sh: &SharedDatabase, w: &mut u64) {
+    let predcache = timed_read(&sh.predcache, &sh.counters, w);
+    // BAD: callee write-locks predcache while our read guard is held
+    locks_predcache(sh, w);
+    touch(&predcache);
+}

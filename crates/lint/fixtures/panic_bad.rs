@@ -1,0 +1,16 @@
+//! Known-bad fixture for the panic-surface pass. Never compiled — the
+//! integration test feeds it to the analyzer and expects violations. In
+//! fixture mode the allowlist permits nothing, so any site is an error.
+
+fn unwraps(x: Option<u32>) -> u32 {
+    // BAD: library code should return a typed error
+    x.unwrap()
+}
+
+fn panics(kind: u8) -> u32 {
+    match kind {
+        0 => panic!("bad kind"),
+        1 => unimplemented!(),
+        _ => 7,
+    }
+}

@@ -1,0 +1,415 @@
+//! Determinism pass.
+//!
+//! The paper's premise is that statistics collected just-in-time make plans
+//! *reproducible*: the same workload against the same data must collect the
+//! same statistics and pick the same plans. Three rules guard that:
+//!
+//! - **wall-clock**: `Instant::now()` / `SystemTime::now()` are forbidden
+//!   outside the metrics whitelist (lock-wait and phase-latency counters in
+//!   `crates/engine`, which never feed statistics or plan choices). All
+//!   statistics logic uses the logical clock (`stamp`).
+//! - **hash-iteration**: iterating a `HashMap`/`HashSet` in stats-bearing
+//!   crates leaks hash order into statistics. Lookups (`get`/`contains_key`/
+//!   `entry`) are fine; `iter`/`keys`/`values`/`drain`/`retain`/`for … in`
+//!   are not. Stats containers use `BTreeMap`, or sort before iterating
+//!   (with a waiver).
+//! - **unseeded-rng**: `thread_rng` / `from_entropy` / `OsRng` /
+//!   `rand::random` / `RandomState` seed from the environment; all
+//!   randomness must flow through `jits_common::rng` with explicit seeds.
+//!
+//! Waive with `// jits-lint: allow(wall-clock)` (or `hash-iteration`,
+//! `unseeded-rng`).
+
+use crate::source::SourceFile;
+use crate::{Severity, Violation};
+use std::collections::BTreeSet;
+
+/// Rule slugs.
+pub const RULE_WALL_CLOCK: &str = "wall-clock";
+/// See module docs.
+pub const RULE_HASH_ITERATION: &str = "hash-iteration";
+/// See module docs.
+pub const RULE_UNSEEDED_RNG: &str = "unseeded-rng";
+
+/// Pass configuration: whitelists for repo mode, nothing for fixture mode.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Files (repo-relative) allowed to read wall clocks.
+    pub wall_clock_whitelist: &'static [&'static str],
+    /// Files allowed to seed RNGs from the environment.
+    pub rng_whitelist: &'static [&'static str],
+    /// Restrict hash-iteration to these crates (`None` = every file given).
+    pub hash_crates: Option<&'static [&'static str]>,
+}
+
+impl Config {
+    /// Repo mode: the checked-in whitelists apply.
+    pub fn repo() -> Config {
+        Config {
+            wall_clock_whitelist: crate::WALL_CLOCK_WHITELIST,
+            rng_whitelist: crate::RNG_WHITELIST,
+            hash_crates: Some(crate::HASH_ORDER_CRATES),
+        }
+    }
+
+    /// Fixture mode: every rule applies to every file, no whitelists.
+    pub fn strict() -> Config {
+        Config {
+            wall_clock_whitelist: &[],
+            rng_whitelist: &[],
+            hash_crates: None,
+        }
+    }
+}
+
+/// Runs the pass.
+pub fn run(files: &[SourceFile], cfg: Config) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in files {
+        if !cfg.wall_clock_whitelist.contains(&file.path.as_str()) {
+            scan_tokens(
+                file,
+                &["Instant::now", "SystemTime::now"],
+                RULE_WALL_CLOCK,
+                "wall-clock read in deterministic code; use the logical clock (`stamp`) \
+                 or move the timing into the metrics whitelist",
+                &mut out,
+            );
+        }
+        if !cfg.rng_whitelist.contains(&file.path.as_str()) {
+            scan_tokens(
+                file,
+                &[
+                    "thread_rng",
+                    "from_entropy",
+                    "OsRng",
+                    "rand::random",
+                    "getrandom",
+                    "RandomState",
+                    "SystemRandom",
+                ],
+                RULE_UNSEEDED_RNG,
+                "environment-seeded randomness; route through `jits_common::rng` with an \
+                 explicit seed",
+                &mut out,
+            );
+        }
+        let in_hash_scope = match cfg.hash_crates {
+            None => true,
+            Some(crates) => crates
+                .iter()
+                .any(|k| file.path.starts_with(&format!("crates/{k}/src"))),
+        };
+        if in_hash_scope {
+            hash_iteration(file, &mut out);
+        }
+    }
+    out
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Flags every ident-boundary occurrence of any token.
+fn scan_tokens(
+    file: &SourceFile,
+    tokens: &[&str],
+    rule: &'static str,
+    what: &str,
+    out: &mut Vec<Violation>,
+) {
+    let code = &file.code;
+    let b = code.as_bytes();
+    for token in tokens {
+        let mut search = 0usize;
+        while let Some(rel) = code[search..].find(token) {
+            let at = search + rel;
+            search = at + token.len();
+            let before_ok = at == 0 || (!is_ident(b[at - 1]) && b[at - 1] != b':');
+            let after = at + token.len();
+            let after_ok = after >= b.len() || !is_ident(b[after]);
+            if !before_ok || !after_ok {
+                continue;
+            }
+            let line = file.line_of(at);
+            if file.is_test_line(line) || file.is_waived(line, rule) {
+                continue;
+            }
+            out.push(Violation {
+                rule,
+                path: file.path.clone(),
+                line,
+                message: format!("`{token}`: {what}"),
+                severity: Severity::Error,
+            });
+        }
+    }
+}
+
+/// Methods whose results depend on hash iteration order.
+const ITERATING_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain(",
+    ".retain(",
+];
+
+/// Finds identifiers declared with a `HashMap`/`HashSet` type in this file,
+/// then flags order-observing uses of them.
+fn hash_iteration(file: &SourceFile, out: &mut Vec<Violation>) {
+    let names = hash_typed_names(&file.code);
+    if names.is_empty() {
+        return;
+    }
+    let code = &file.code;
+    let b = code.as_bytes();
+    for name in &names {
+        let mut search = 0usize;
+        while let Some(rel) = code[search..].find(name.as_str()) {
+            let at = search + rel;
+            search = at + name.len();
+            let end = at + name.len();
+            // a preceding `.` is fine: `s.counts.iter()` is a field access
+            let before_ok = at == 0 || !is_ident(b[at - 1]);
+            let after_ok = end >= b.len() || !is_ident(b[end]);
+            if !before_ok || !after_ok {
+                continue;
+            }
+            // allow an index expression between the name and the method:
+            // `freq[c].iter()`
+            let mut q = end;
+            if q < b.len() && b[q] == b'[' {
+                let mut depth = 0i32;
+                while q < b.len() {
+                    match b[q] {
+                        b'[' => depth += 1,
+                        b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                q += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    q += 1;
+                }
+            }
+            let method = ITERATING_METHODS.iter().find(|m| code[q..].starts_with(*m));
+            let for_loop = method.is_none() && is_for_in_target(code, at);
+            let Some(kind) = method
+                .map(|m| m.trim_matches(['.', '(', ')']))
+                .or(if for_loop { Some("for … in") } else { None })
+            else {
+                continue;
+            };
+            let line = file.line_of(at);
+            if file.is_test_line(line) || file.is_waived(line, RULE_HASH_ITERATION) {
+                continue;
+            }
+            out.push(Violation {
+                rule: RULE_HASH_ITERATION,
+                path: file.path.clone(),
+                line,
+                message: format!(
+                    "`{name}` is declared as a HashMap/HashSet in this file and `{kind}` \
+                     observes its hash order; use a BTreeMap/BTreeSet or sort first",
+                ),
+                severity: Severity::Error,
+            });
+        }
+    }
+}
+
+/// True if the identifier at `at` is the target of a `for … in` loop
+/// (possibly behind `&` / `&mut`).
+fn is_for_in_target(code: &str, at: usize) -> bool {
+    let b = code.as_bytes();
+    let mut j = at;
+    // skip backward over whitespace, `&`, and `mut`
+    loop {
+        while j > 0 && (b[j - 1].is_ascii_whitespace() || b[j - 1] == b'&') {
+            j -= 1;
+        }
+        if j >= 3 && &code[j - 3..j] == "mut" && (j == 3 || !is_ident(b[j - 4])) {
+            j -= 3;
+            continue;
+        }
+        break;
+    }
+    j >= 2 && &code[j - 2..j] == "in" && (j == 2 || !is_ident(b[j - 3]))
+}
+
+/// Identifiers declared in this file with a hash-ordered collection type.
+///
+/// Heuristic, line-based: a line mentioning `HashMap`/`HashSet` declares the
+/// identifier bound by its `let`, or annotated by the nearest preceding
+/// `name:` on the line (covering struct fields and fn parameters). Values
+/// produced by function calls are not tracked — keeping declarations local
+/// is part of the contract.
+fn hash_typed_names(code: &str) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for line in code.lines() {
+        let Some(pos) = line.find("HashMap").or_else(|| line.find("HashSet")) else {
+            continue;
+        };
+        let head = &line[..pos];
+        if head.trim_end().ends_with("use") || head.contains("use ") {
+            continue; // `use std::collections::HashMap;`
+        }
+        let lb = head.as_bytes();
+        if let Some(let_pos) = head.find("let ") {
+            // `let mut name = HashMap::new()` / `let name: HashMap<…> = …`
+            let rest = head[let_pos + 4..].trim_start();
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                names.insert(name);
+            }
+            continue;
+        }
+        // `name: HashMap<…>` (field or parameter): nearest single `:` before
+        // the type, identifier right before it
+        let mut colon = None;
+        for (i, &c) in lb.iter().enumerate().rev() {
+            if c == b':' {
+                let double = (i > 0 && lb[i - 1] == b':') || lb.get(i + 1) == Some(&b':');
+                if !double {
+                    colon = Some(i);
+                    break;
+                }
+            }
+        }
+        let Some(colon) = colon else { continue };
+        let mut j = colon;
+        while j > 0 && lb[j - 1].is_ascii_whitespace() {
+            j -= 1;
+        }
+        let mut s = j;
+        while s > 0 && is_ident(lb[s - 1]) {
+            s -= 1;
+        }
+        if s < j {
+            names.insert(head[s..j].to_string());
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str, cfg: Config) -> Vec<Violation> {
+        let f = SourceFile::from_source("crates/jits/src/t.rs".into(), src.into());
+        run(&[f], cfg)
+    }
+
+    #[test]
+    fn wall_clock_flagged() {
+        let v = lint("fn f() { let t = Instant::now(); }\n", Config::strict());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RULE_WALL_CLOCK);
+    }
+
+    #[test]
+    fn wall_clock_whitelist_respected() {
+        let f = SourceFile::from_source(
+            "crates/engine/src/session.rs".into(),
+            "fn f() { let t = Instant::now(); }\n".into(),
+        );
+        let v = run(&[f], Config::repo());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unseeded_rng_flagged() {
+        let v = lint("fn f() { let mut rng = thread_rng(); }\n", Config::strict());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RULE_UNSEEDED_RNG);
+    }
+
+    #[test]
+    fn hash_iteration_flagged_for_let_and_field() {
+        let v = lint(
+            "struct S { counts: HashMap<u32, f64> }\n\
+             fn f(s: &S) { for (k, c) in s.counts.iter() { use_(k, c); } }\n\
+             fn g() { let mut m = HashMap::new(); m.insert(1, 2); for k in m.keys() {} }\n",
+            Config::strict(),
+        );
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == RULE_HASH_ITERATION));
+    }
+
+    #[test]
+    fn hash_lookup_is_fine() {
+        let v = lint(
+            "fn f() { let mut m: HashMap<u32, u32> = HashMap::new(); m.insert(1, 2); \
+             let _ = m.get(&1); let _ = m.entry(3).or_default(); }\n",
+            Config::strict(),
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn for_in_with_reference_flagged() {
+        let v = lint(
+            "fn f(m: &HashMap<u32, u32>) { for (k, v) in m { use_(k, v); } }\n",
+            Config::strict(),
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn indexed_vec_of_hashmaps_flagged() {
+        let v = lint(
+            "fn f(freq: &[HashMap<u32, f64>], c: usize) { let freq = freq; \
+             for e in freq[c].iter() { use_(e); } }\n",
+            Config::strict(),
+        );
+        // `freq` is declared via the parameter annotation
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn waiver_suppresses_hash_iteration() {
+        let v = lint(
+            "fn f(m: &HashMap<u32, u32>) {\n\
+             // jits-lint: allow(hash-iteration) -- sorted below\n\
+             let mut v: Vec<_> = m.iter().collect();\n\
+             v.sort();\n\
+             }\n",
+            Config::strict(),
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn btreemap_is_not_flagged() {
+        let v = lint(
+            "fn f(m: &BTreeMap<u32, u32>) { for (k, v) in m.iter() { use_(k, v); } }\n",
+            Config::strict(),
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn hash_scope_limits_to_crates() {
+        let f = SourceFile::from_source(
+            "crates/executor/src/exec.rs".into(),
+            "fn f(m: &HashMap<u32, u32>) { for k in m.keys() {} }\n".into(),
+        );
+        let v = run(&[f], Config::repo());
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,254 @@
+//! `jits-lint` — static invariant analyzer for the JITS workspace.
+//!
+//! Three passes enforce the contracts that `cargo test` can only probe:
+//!
+//! 1. **lock-order** ([`lock_order`]): the `SharedDatabase` components must
+//!    be acquired in rank order `catalog < tables < archive < history <
+//!    predcache < setting`, and no function may hold a guard across a call
+//!    that re-acquires the same component. Mirrors the runtime tracker in
+//!    the vendored `parking_lot::rank` module — the static pass catches
+//!    paths tests never execute; the runtime tracker catches aliasing the
+//!    static pass cannot see.
+//! 2. **determinism** ([`determinism`]): statistics must not depend on wall
+//!    clocks (`Instant::now` / `SystemTime::now` outside the metrics
+//!    whitelist), hash-order iteration (`HashMap`/`HashSet` iteration in
+//!    stats-bearing crates), or unseeded randomness.
+//! 3. **panic-surface** ([`panics`]): `unwrap()` / `expect(` / `panic!`-
+//!    family macros in library crates are inventoried against a checked-in
+//!    allowlist (`crates/lint/panic_allowlist.txt`); new sites fail the
+//!    build, removals only warn that the allowlist can be tightened.
+//!
+//! Individual findings can be waived with an inline comment on the same or
+//! previous line: `// jits-lint: allow(rule-name) -- justification`.
+
+#![forbid(unsafe_code)]
+
+pub mod determinism;
+pub mod lock_order;
+pub mod panics;
+pub mod source;
+
+use source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the lint run.
+    Error,
+    /// Reported; fails only under `--deny-all`.
+    Warning,
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule slug (`lock-order`, `wall-clock`, `hash-iteration`,
+    /// `unseeded-rng`, `panic-surface`).
+    pub rule: &'static str,
+    /// Repo-relative path (or the literal path given on the command line).
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+    /// Error or warning.
+    pub severity: Severity,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(
+            f,
+            "{}:{}: {sev}[{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Library crates whose source the determinism and panic passes cover.
+/// `bench` and `cli` are measurement/driver binaries (wall-clock timing and
+/// `main`-adjacent exits are their job); `proptest`, `criterion` and
+/// `parking_lot` are vendored third-party shims; `lint` is this tool.
+pub const PRODUCT_CRATES: &[&str] = &[
+    "catalog",
+    "common",
+    "engine",
+    "executor",
+    "histogram",
+    "jits",
+    "optimizer",
+    "query",
+    "storage",
+    "workload",
+];
+
+/// Crates whose data feeds statistics: `HashMap`/`HashSet` iteration order
+/// must never be observable here.
+pub const HASH_ORDER_CRATES: &[&str] = &["catalog", "histogram", "jits", "storage"];
+
+/// The lock-order pass covers the crate that owns `SharedDatabase`.
+pub const LOCK_ORDER_CRATES: &[&str] = &["engine"];
+
+/// Files allowed to read wall clocks: the lock-wait / phase-latency metrics
+/// plumbing. Timing there feeds [`EngineMetrics`]-style counters only, never
+/// statistics or plans.
+pub const WALL_CLOCK_WHITELIST: &[&str] = &[
+    "crates/engine/src/database.rs",
+    "crates/engine/src/session.rs",
+];
+
+/// Files allowed to seed randomness from the environment (none currently:
+/// all RNG flows through `jits_common::rng` with explicit seeds).
+pub const RNG_WHITELIST: &[&str] = &["crates/common/src/rng.rs"];
+
+/// Result of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Everything found, in file/line order.
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// Number of hard errors.
+    pub fn errors(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warnings.
+    pub fn warnings(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.severity == Severity::Warning)
+            .count()
+    }
+
+    /// True if the run should fail: any error, or any finding at all under
+    /// `deny_all`.
+    pub fn failed(&self, deny_all: bool) -> bool {
+        if deny_all {
+            !self.violations.is_empty()
+        } else {
+            self.errors() > 0
+        }
+    }
+
+    fn sort(&mut self) {
+        self.violations
+            .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    }
+}
+
+/// Locates the workspace root from the lint crate's own manifest dir.
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}
+
+/// All `.rs` files under `dir`, recursively, sorted for determinism.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn load_crate_sources(root: &Path, crates: &[&str]) -> Vec<SourceFile> {
+    let mut files = Vec::new();
+    for krate in crates {
+        let src = root.join("crates").join(krate).join("src");
+        for path in rust_files(&src) {
+            let display = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            // binaries may time and exit as they please
+            if display.contains("/src/bin/") || display.ends_with("/main.rs") {
+                continue;
+            }
+            if let Ok(f) = SourceFile::load(&path, display) {
+                files.push(f);
+            }
+        }
+    }
+    files
+}
+
+/// Loads every in-scope product-crate source file (used by the CLI's
+/// `--update-allowlist` so the inventory matches exactly what the panic
+/// pass sees).
+pub fn product_sources(root: &Path) -> Vec<SourceFile> {
+    load_crate_sources(root, PRODUCT_CRATES)
+}
+
+/// Runs all passes over the workspace at `root`.
+///
+/// `allowlist` is the parsed panic allowlist (path → permitted count); pass
+/// the result of [`panics::load_allowlist`].
+pub fn run_repo(root: &Path, allowlist: &panics::Allowlist) -> Report {
+    let mut report = Report::default();
+
+    let engine = load_crate_sources(root, LOCK_ORDER_CRATES);
+    report.violations.extend(lock_order::run(&engine));
+
+    let product = load_crate_sources(root, PRODUCT_CRATES);
+    report
+        .violations
+        .extend(determinism::run(&product, determinism::Config::repo()));
+
+    report.violations.extend(panics::run(&product, allowlist));
+
+    report.sort();
+    report
+}
+
+/// Runs all passes over explicitly-given files (fixture mode): every rule
+/// applies with no whitelists, and the panic pass allows nothing.
+pub fn run_paths(paths: &[PathBuf]) -> Report {
+    let mut report = Report::default();
+    let mut files = Vec::new();
+    for path in paths {
+        match SourceFile::load(path, path.to_string_lossy().into_owned()) {
+            Ok(f) => files.push(f),
+            Err(e) => report.violations.push(Violation {
+                rule: "io",
+                path: path.to_string_lossy().into_owned(),
+                line: 0,
+                message: format!("cannot read file: {e}"),
+                severity: Severity::Error,
+            }),
+        }
+    }
+    report.violations.extend(lock_order::run(&files));
+    report
+        .violations
+        .extend(determinism::run(&files, determinism::Config::strict()));
+    report
+        .violations
+        .extend(panics::run(&files, &panics::Allowlist::default()));
+    report.sort();
+    report
+}

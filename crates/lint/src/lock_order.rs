@@ -1,0 +1,700 @@
+//! Lock-order pass.
+//!
+//! `SharedDatabase` guards its six components with ranked `RwLock`s:
+//! `catalog (1) < tables (2) < archive (3) < history (4) < predcache (5) <
+//! setting (6)`. Any thread holding a guard may only acquire components of
+//! strictly greater rank; re-acquiring a held component deadlocks a
+//! writer-preferring `RwLock` outright. The runtime tracker in
+//! `parking_lot::rank` asserts this on every acquisition in debug builds;
+//! this pass proves it for paths the test suite never executes.
+//!
+//! The analysis is intentionally syntactic (no `rustc` internals are
+//! available offline):
+//!
+//! - Acquisitions are recognized as `timed_read(&…​.comp, …)` /
+//!   `timed_write(&…​.comp, …)` calls and as direct `.comp.read()` /
+//!   `.comp.write()` / `.try_read()` / `.try_write()` method chains, where
+//!   `comp` is one of the six component names.
+//! - A guard bound by a plain `let` is held until its block scope closes; an
+//!   acquisition that is immediately chained (`timed_read(…).clone()`) or
+//!   not `let`-bound is a statement temporary, released at the next `;`.
+//! - A second, interprocedural layer summarizes which components each
+//!   function in scope acquires, then flags calls made while a guard is
+//!   held if the callee (re-)acquires a conflicting component.
+//!
+//! Waive a finding with `// jits-lint: allow(lock-order)`.
+
+use crate::source::SourceFile;
+use crate::{Severity, Violation};
+use std::collections::BTreeMap;
+
+/// The rule slug for waivers.
+pub const RULE: &str = "lock-order";
+
+/// Component names in rank order (rank = index + 1).
+pub const COMPONENTS: &[&str] = &[
+    "catalog",
+    "tables",
+    "archive",
+    "history",
+    "predcache",
+    "setting",
+];
+
+fn rank_of(comp: &str) -> Option<usize> {
+    COMPONENTS.iter().position(|c| *c == comp).map(|i| i + 1)
+}
+
+/// One guard known to be live at some program point.
+#[derive(Debug, Clone)]
+struct Held {
+    comp: usize, // index into COMPONENTS
+    write: bool,
+    line: usize,
+}
+
+/// One acquisition found while scanning a function body.
+#[derive(Debug, Clone)]
+struct Acquisition {
+    comp: usize,
+    write: bool,
+}
+
+/// Per-function summary for the interprocedural layer.
+#[derive(Debug, Default, Clone)]
+struct FnSummary {
+    acquires: Vec<Acquisition>,
+}
+
+/// A function body located in a file.
+struct FnBody {
+    name: String,
+    /// Whether the first parameter is `self` (a method).
+    is_method: bool,
+    /// Offset of the byte after the opening `{`.
+    start: usize,
+    /// Offset of the closing `}`.
+    end: usize,
+}
+
+/// Function summaries, split by call form: a method named `create_index`
+/// must not shadow `Table::create_index` called on a guard's contents, so
+/// method summaries only apply to `self.name(…)` call sites and free-fn
+/// summaries only to bare `name(…)` calls.
+#[derive(Debug, Default)]
+struct Summaries {
+    methods: BTreeMap<String, FnSummary>,
+    free_fns: BTreeMap<String, FnSummary>,
+}
+
+/// Runs the pass over a set of files (normally all of `crates/engine/src`).
+pub fn run(files: &[SourceFile]) -> Vec<Violation> {
+    // layer 1: per-function summaries + direct violations
+    let mut summaries = Summaries::default();
+    let mut violations = Vec::new();
+    let mut bodies_per_file: Vec<Vec<FnBody>> = Vec::new();
+    for file in files {
+        let bodies = find_functions(&file.code);
+        for body in &bodies {
+            let line = file.line_of(body.start);
+            if file.is_test_line(line) {
+                continue;
+            }
+            let mut analyzer = BodyAnalyzer::new(file);
+            analyzer.scan(body, None, &mut violations);
+            let map = if body.is_method {
+                &mut summaries.methods
+            } else {
+                &mut summaries.free_fns
+            };
+            let entry = map.entry(body.name.clone()).or_default();
+            entry.acquires.extend(analyzer.all_acquisitions);
+        }
+        bodies_per_file.push(bodies);
+    }
+
+    // layer 2: calls made while holding guards, against the summaries
+    for (file, bodies) in files.iter().zip(&bodies_per_file) {
+        for body in bodies {
+            let line = file.line_of(body.start);
+            if file.is_test_line(line) {
+                continue;
+            }
+            let mut analyzer = BodyAnalyzer::new(file);
+            analyzer.scan(body, Some(&summaries), &mut violations);
+        }
+    }
+    violations
+}
+
+/// Locates every `fn` body in stripped source.
+fn find_functions(code: &str) -> Vec<FnBody> {
+    let b = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 2 < b.len() {
+        // `fn` keyword at an identifier boundary
+        if &b[i..i + 2] == b"fn"
+            && (i == 0 || !is_ident(b[i - 1]))
+            && b.get(i + 2).is_some_and(|c| c.is_ascii_whitespace())
+        {
+            let mut j = i + 2;
+            while j < b.len() && b[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            let name_start = j;
+            while j < b.len() && is_ident(b[j]) {
+                j += 1;
+            }
+            let name = code[name_start..j].to_string();
+            if name.is_empty() {
+                i += 2;
+                continue;
+            }
+            // find the body `{` at paren depth 0, or `;` (trait decl)
+            let mut depth = 0i32;
+            let mut open = None;
+            while j < b.len() {
+                match b[j] {
+                    b'(' | b'[' => depth += 1,
+                    b')' | b']' => depth -= 1,
+                    b'{' if depth == 0 => {
+                        open = Some(j);
+                        break;
+                    }
+                    b';' if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let Some(open) = open else {
+                i = j.max(i + 2);
+                continue;
+            };
+            // brace-match the body
+            let mut bd = 0i32;
+            let mut k = open;
+            while k < b.len() {
+                match b[k] {
+                    b'{' => bd += 1,
+                    b'}' => {
+                        bd -= 1;
+                        if bd == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            // `self` as the first parameter marks a method
+            let params_open = code[name_start..open].find('(').map(|p| name_start + p);
+            let is_method = params_open.is_some_and(|p| {
+                // strip `&`, an optional lifetime, and `mut` off the first
+                // parameter, then look for `self`
+                let mut first = code[p + 1..open].trim_start();
+                first = first.strip_prefix('&').unwrap_or(first).trim_start();
+                if let Some(rest) = first.strip_prefix('\'') {
+                    let skip = rest
+                        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                        .unwrap_or(rest.len());
+                    first = rest[skip..].trim_start();
+                }
+                first = first.strip_prefix("mut ").unwrap_or(first).trim_start();
+                first == "self"
+                    || first.starts_with("self,")
+                    || first.starts_with("self)")
+                    || first.starts_with("self ")
+                    || first.starts_with("self:")
+            });
+            out.push(FnBody {
+                name,
+                is_method,
+                start: open + 1,
+                end: k.min(b.len()),
+            });
+            // continue scanning *inside* the body too: nested fns are rare
+            // but harmless to re-discover, and closures are not fns
+            i = open + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+struct BodyAnalyzer<'a> {
+    file: &'a SourceFile,
+    /// Let-bound guards, per open scope.
+    scopes: Vec<Vec<Held>>,
+    /// Statement-temporary guards (released at `;`, `{`, `}`).
+    temps: Vec<Held>,
+    /// Every acquisition seen, for the function summary.
+    all_acquisitions: Vec<Acquisition>,
+}
+
+impl<'a> BodyAnalyzer<'a> {
+    fn new(file: &'a SourceFile) -> Self {
+        BodyAnalyzer {
+            file,
+            scopes: vec![Vec::new()],
+            temps: Vec::new(),
+            all_acquisitions: Vec::new(),
+        }
+    }
+
+    fn held(&self) -> impl Iterator<Item = &Held> {
+        self.scopes.iter().flatten().chain(self.temps.iter())
+    }
+
+    fn scan(
+        &mut self,
+        body: &FnBody,
+        summaries: Option<&Summaries>,
+        violations: &mut Vec<Violation>,
+    ) {
+        let code = &self.file.code;
+        let b = code.as_bytes();
+        let mut i = body.start;
+        while i < body.end {
+            match b[i] {
+                b'{' => {
+                    self.scopes.push(Vec::new());
+                    self.temps.clear();
+                    i += 1;
+                }
+                b'}' => {
+                    if self.scopes.len() > 1 {
+                        self.scopes.pop();
+                    } else {
+                        self.scopes[0].clear();
+                    }
+                    self.temps.clear();
+                    i += 1;
+                }
+                b';' => {
+                    self.temps.clear();
+                    i += 1;
+                }
+                _ => {
+                    if let Some(next) =
+                        self.try_acquisition(body, i, summaries.is_none(), violations)
+                    {
+                        i = next;
+                    } else if let Some(next) =
+                        summaries.and_then(|s| self.try_call_site(i, s, violations))
+                    {
+                        i = next;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Detects an acquisition starting at offset `i`; returns the offset to
+    /// resume scanning from.
+    fn try_acquisition(
+        &mut self,
+        body: &FnBody,
+        i: usize,
+        report: bool,
+        violations: &mut Vec<Violation>,
+    ) -> Option<usize> {
+        let code = &self.file.code;
+        let rest = &code[i..body.end];
+
+        // pattern A: timed_read(&path.comp, …) / timed_write(&path.comp, …)
+        for (kw, write) in [("timed_read(", false), ("timed_write(", true)] {
+            if rest.starts_with(kw) && !prev_is_ident(code, i) {
+                let open = i + kw.len() - 1;
+                let arg_start = open + 1;
+                // first argument: `&path.to.comp`
+                let arg_end = code[arg_start..body.end]
+                    .find([',', ')'])
+                    .map(|p| arg_start + p)
+                    .unwrap_or(body.end);
+                let arg = code[arg_start..arg_end].trim().trim_start_matches('&');
+                let comp_name = arg.rsplit('.').next().unwrap_or(arg).trim();
+                let Some(rank) = rank_of(comp_name) else {
+                    return Some(arg_end); // not a component lock; skip the arg
+                };
+                let close = match_paren(code, open, body.end);
+                self.record_acquisition(rank - 1, write, i, open, close, report, violations);
+                return Some(arg_end);
+            }
+        }
+
+        // pattern B: .comp.read() / .comp.write() / .comp.try_read() / …
+        for (kw, write) in [
+            (".read()", false),
+            (".write()", true),
+            (".try_read()", false),
+            (".try_write()", true),
+        ] {
+            if rest.starts_with(kw) {
+                // identifier immediately before the `.` must be a component
+                let (comp_start, comp) = ident_before(code, i)?;
+                let rank = rank_of(comp)?;
+                // require a field access (`x.comp`) or bare `comp` receiver,
+                // not e.g. a method call result
+                let _ = comp_start;
+                let close = i + kw.len() - 1; // offset of the final `)`
+                self.record_acquisition(
+                    rank - 1,
+                    write,
+                    i,
+                    close, // paren already closed at `close`
+                    Some(close),
+                    report,
+                    violations,
+                );
+                return Some(i + kw.len());
+            }
+        }
+        None
+    }
+
+    /// Common bookkeeping for both acquisition patterns.
+    #[allow(clippy::too_many_arguments)]
+    fn record_acquisition(
+        &mut self,
+        comp: usize,
+        write: bool,
+        at: usize,
+        _open: usize,
+        close: Option<usize>,
+        report: bool,
+        violations: &mut Vec<Violation>,
+    ) {
+        let code = &self.file.code;
+        let line = self.file.line_of(at);
+        if report && !self.file.is_waived(line, RULE) {
+            for h in self.held() {
+                if h.comp == comp {
+                    violations.push(Violation {
+                        rule: RULE,
+                        path: self.file.path.clone(),
+                        line,
+                        message: format!(
+                            "re-acquires `{}` while a guard taken at line {} is still held \
+                             (self-deadlock on a writer-preferring RwLock)",
+                            COMPONENTS[comp], h.line
+                        ),
+                        severity: Severity::Error,
+                    });
+                } else if h.comp > comp {
+                    violations.push(Violation {
+                        rule: RULE,
+                        path: self.file.path.clone(),
+                        line,
+                        message: format!(
+                            "acquires `{}` (rank {}) while holding `{}` (rank {}, {} guard \
+                             taken at line {}); ranks must be acquired in increasing order",
+                            COMPONENTS[comp],
+                            comp + 1,
+                            COMPONENTS[h.comp],
+                            h.comp + 1,
+                            if h.write { "write" } else { "read" },
+                            h.line
+                        ),
+                        severity: Severity::Error,
+                    });
+                }
+            }
+        }
+        self.all_acquisitions.push(Acquisition { comp, write });
+        // let-bound and not chained → held for the scope; otherwise a
+        // statement temporary
+        let chained = close
+            .map(|c| {
+                code[c + 1..]
+                    .chars()
+                    .find(|ch| !ch.is_whitespace())
+                    .is_some_and(|ch| ch == '.' || ch == '?')
+            })
+            .unwrap_or(false);
+        let held = Held { comp, write, line };
+        if !chained && stmt_has_let(code, at) {
+            self.scopes
+                .last_mut()
+                .expect("analyzer always has a root scope")
+                .push(held);
+        } else {
+            self.temps.push(held);
+        }
+    }
+
+    /// Detects `known_fn(…)` / `self.known_method(…)` call sites made while
+    /// guards are held. Methods on receivers other than `self` cannot be
+    /// resolved by name and are skipped — the runtime tracker covers those.
+    fn try_call_site(
+        &mut self,
+        i: usize,
+        summaries: &Summaries,
+        violations: &mut Vec<Violation>,
+    ) -> Option<usize> {
+        let code = &self.file.code;
+        let b = code.as_bytes();
+        if b[i] != b'(' || self.held().next().is_none() {
+            return None;
+        }
+        let (name_start, name) = ident_before(code, i)?;
+        if name == "timed_read" || name == "timed_write" {
+            return None; // handled as acquisitions
+        }
+        let summary = if name_start > 0 && b[name_start - 1] == b'.' {
+            // method call: only `self.name(…)` resolves to our summaries
+            let (_, receiver) = ident_before(code, name_start - 1)?;
+            if receiver != "self" {
+                return None;
+            }
+            summaries.methods.get(name)?
+        } else {
+            summaries.free_fns.get(name)?
+        };
+        if summary.acquires.is_empty() {
+            return None;
+        }
+        let line = self.file.line_of(i);
+        if self.file.is_waived(line, RULE) {
+            return Some(i + 1);
+        }
+        let held: Vec<Held> = self.held().cloned().collect();
+        let mut reported = std::collections::BTreeSet::new();
+        for acq in &summary.acquires {
+            for h in &held {
+                if !reported.insert((acq.comp, h.comp)) {
+                    continue;
+                }
+                if h.comp == acq.comp {
+                    violations.push(Violation {
+                        rule: RULE,
+                        path: self.file.path.clone(),
+                        line,
+                        message: format!(
+                            "calls `{name}` (which {} `{}`) while holding the `{}` guard \
+                             taken at line {}",
+                            if acq.write {
+                                "write-locks"
+                            } else {
+                                "read-locks"
+                            },
+                            COMPONENTS[acq.comp],
+                            COMPONENTS[h.comp],
+                            h.line
+                        ),
+                        severity: Severity::Error,
+                    });
+                } else if h.comp > acq.comp {
+                    violations.push(Violation {
+                        rule: RULE,
+                        path: self.file.path.clone(),
+                        line,
+                        message: format!(
+                            "calls `{name}` (which acquires `{}`, rank {}) while holding \
+                             `{}` (rank {}) taken at line {}; callee would acquire out of \
+                             rank order",
+                            COMPONENTS[acq.comp],
+                            acq.comp + 1,
+                            COMPONENTS[h.comp],
+                            h.comp + 1,
+                            h.line
+                        ),
+                        severity: Severity::Error,
+                    });
+                }
+            }
+        }
+        Some(i + 1)
+    }
+}
+
+/// Offset of the `)` matching the `(` at `open`, within `[open, end)`.
+fn match_paren(code: &str, open: usize, end: usize) -> Option<usize> {
+    let b = code.as_bytes();
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < end.min(b.len()) {
+        match b[i] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The identifier ending immediately before offset `i` (skipping nothing).
+fn ident_before(code: &str, i: usize) -> Option<(usize, &str)> {
+    let b = code.as_bytes();
+    let mut j = i;
+    while j > 0 && is_ident(b[j - 1]) {
+        j -= 1;
+    }
+    if j == i {
+        return None;
+    }
+    Some((j, &code[j..i]))
+}
+
+fn prev_is_ident(code: &str, i: usize) -> bool {
+    i > 0 && {
+        let c = code.as_bytes()[i - 1];
+        is_ident(c) || c == b'.'
+    }
+}
+
+/// True if the statement containing offset `at` starts with a `let` binding
+/// (scanning back to the nearest `;`, `{` or `}`).
+fn stmt_has_let(code: &str, at: usize) -> bool {
+    let b = code.as_bytes();
+    let mut j = at;
+    while j > 0 {
+        let c = b[j - 1];
+        if c == b';' || c == b'{' || c == b'}' {
+            break;
+        }
+        j -= 1;
+    }
+    let stmt = &code[j..at];
+    stmt.split_whitespace().any(|tok| {
+        tok == "let" || tok.starts_with("let(") // `let (a, b) = …`
+    }) || stmt.contains(" let ")
+        || stmt.trim_start().starts_with("let ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Violation> {
+        let f = SourceFile::from_source("t.rs".into(), src.into());
+        run(&[f])
+    }
+
+    #[test]
+    fn in_order_acquisition_is_clean() {
+        let v = lint(
+            "fn ok(sh: &S, w: &mut f64) {\n\
+             let catalog = timed_read(&sh.catalog, &sh.counters, w);\n\
+             let tables = timed_read(&sh.tables, &sh.counters, w);\n\
+             let archive = timed_write(&sh.archive, &sh.counters, w);\n\
+             }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn out_of_order_is_flagged() {
+        let v = lint(
+            "fn bad(sh: &S, w: &mut f64) {\n\
+             let history = timed_write(&sh.history, &sh.counters, w);\n\
+             let catalog = timed_read(&sh.catalog, &sh.counters, w);\n\
+             }\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("rank"), "{}", v[0].message);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn reacquisition_is_flagged() {
+        let v = lint(
+            "fn bad(sh: &S, w: &mut f64) {\n\
+             let a = timed_write(&sh.archive, &sh.counters, w);\n\
+             let b = timed_read(&sh.archive, &sh.counters, w);\n\
+             }\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("re-acquires"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn direct_method_calls_are_recognized() {
+        let v = lint(
+            "fn bad(db: &S) {\n\
+             let t = db.inner.tables.read();\n\
+             let c = db.inner.catalog.read();\n\
+             }\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn chained_guard_is_a_temporary() {
+        // the guard from `.clone()` chains dies at the semicolon, so the
+        // later catalog acquisition is fine
+        let v = lint(
+            "fn ok(sh: &S, w: &mut f64) {\n\
+             let setting = timed_read(&sh.setting, &sh.counters, w).clone();\n\
+             let catalog = timed_read(&sh.catalog, &sh.counters, w);\n\
+             }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn scope_exit_releases_guards() {
+        let v = lint(
+            "fn ok(sh: &S, w: &mut f64) {\n\
+             {\n\
+             let history = timed_read(&sh.history, &sh.counters, w);\n\
+             }\n\
+             let catalog = timed_read(&sh.catalog, &sh.counters, w);\n\
+             }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn interprocedural_reacquire_is_flagged() {
+        let v = lint(
+            "fn helper(sh: &S, w: &mut f64) {\n\
+             let t = timed_write(&sh.tables, &sh.counters, w);\n\
+             }\n\
+             fn bad(sh: &S, w: &mut f64) {\n\
+             let tables = timed_read(&sh.tables, &sh.counters, w);\n\
+             helper(sh, w);\n\
+             }\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("helper"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn waiver_suppresses() {
+        let v = lint(
+            "fn waived(sh: &S, w: &mut f64) {\n\
+             let history = timed_write(&sh.history, &sh.counters, w);\n\
+             // jits-lint: allow(lock-order) -- deliberate in this fixture\n\
+             let catalog = timed_read(&sh.catalog, &sh.counters, w);\n\
+             }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn test_module_code_is_exempt() {
+        let v = lint(
+            "#[cfg(test)]\nmod tests {\n\
+             fn bad(sh: &S, w: &mut f64) {\n\
+             let history = timed_write(&sh.history, &sh.counters, w);\n\
+             let catalog = timed_read(&sh.catalog, &sh.counters, w);\n\
+             }\n\
+             }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

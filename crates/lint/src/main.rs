@@ -1,0 +1,90 @@
+//! `jits-lint` CLI.
+//!
+//! ```text
+//! cargo run -p jits-lint                        # lint the workspace
+//! cargo run -p jits-lint -- --deny-all          # warnings fail too (CI)
+//! cargo run -p jits-lint -- --update-allowlist  # regenerate panic allowlist
+//! cargo run -p jits-lint -- path/to/file.rs …   # strict mode on given files
+//! ```
+//!
+//! Exit status: 0 clean, 1 findings, 2 usage/IO error.
+
+#![forbid(unsafe_code)]
+
+use jits_lint::panics;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut update_allowlist = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--update-allowlist" => update_allowlist = true,
+            "--help" | "-h" => {
+                eprintln!("usage: jits-lint [--deny-all] [--update-allowlist] [FILE.rs ...]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("jits-lint: unknown flag `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+
+    if update_allowlist {
+        if !paths.is_empty() {
+            eprintln!("jits-lint: --update-allowlist takes no paths");
+            return ExitCode::from(2);
+        }
+        let root = jits_lint::repo_root();
+        let files = jits_lint::product_sources(&root);
+        let inv = panics::inventory(&files);
+        let text = panics::format_allowlist(&inv);
+        let dest = root.join("crates/lint/panic_allowlist.txt");
+        if let Err(e) = std::fs::write(&dest, text) {
+            eprintln!("jits-lint: cannot write {}: {e}", dest.display());
+            return ExitCode::from(2);
+        }
+        let total: usize = inv.values().map(Vec::len).sum();
+        println!(
+            "jits-lint: allowlist updated — {} panic site(s) across {} file(s)",
+            total,
+            inv.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let report = if paths.is_empty() {
+        let root = jits_lint::repo_root();
+        let allowlist_path = root.join("crates/lint/panic_allowlist.txt");
+        let allowlist = match panics::load_allowlist(&allowlist_path) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("jits-lint: cannot read {}: {e}", allowlist_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        jits_lint::run_repo(&root, &allowlist)
+    } else {
+        jits_lint::run_paths(&paths)
+    };
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+    let (errors, warnings) = (report.errors(), report.warnings());
+    if errors == 0 && warnings == 0 {
+        println!("jits-lint: clean");
+    } else {
+        println!("jits-lint: {errors} error(s), {warnings} warning(s)");
+    }
+    if report.failed(deny_all) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

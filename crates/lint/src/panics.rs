@@ -1,0 +1,252 @@
+//! Panic-surface pass.
+//!
+//! Library crates should return `JitsError`, not panic: a panicking worker
+//! poisons nothing in our `parking_lot` shim, but it kills the collection
+//! thread that holds the caller's statistics. This pass inventories every
+//! `unwrap()` / `expect(` / `panic!` / `unreachable!` / `todo!` /
+//! `unimplemented!` in non-test library code and compares the per-file
+//! counts against the checked-in allowlist
+//! (`crates/lint/panic_allowlist.txt`).
+//!
+//! The allowlist is a ratchet: counts above it are errors (new panic paths
+//! need review), counts below it are warnings (tighten the allowlist with
+//! `--update-allowlist`). Individual deliberate sites can instead carry a
+//! `// jits-lint: allow(panic-surface)` waiver, which removes them from the
+//! count entirely.
+
+use crate::source::SourceFile;
+use crate::{Severity, Violation};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// The rule slug for waivers.
+pub const RULE: &str = "panic-surface";
+
+/// Tokens that introduce a panic path.
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// One panic site.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// 1-based line.
+    pub line: usize,
+    /// Which token.
+    pub token: &'static str,
+}
+
+/// Parsed allowlist: path → permitted panic-site count.
+#[derive(Debug, Default, Clone)]
+pub struct Allowlist {
+    counts: BTreeMap<String, usize>,
+}
+
+impl Allowlist {
+    /// Permitted count for a file (0 if unlisted).
+    pub fn allowed(&self, path: &str) -> usize {
+        self.counts.get(path).copied().unwrap_or(0)
+    }
+
+    /// Paths with a non-zero budget that the inventory no longer contains.
+    pub fn stale<'a>(
+        &'a self,
+        seen: &'a BTreeMap<String, Vec<Site>>,
+    ) -> impl Iterator<Item = &'a str> {
+        self.counts
+            .keys()
+            .filter(|p| !seen.contains_key(*p))
+            .map(String::as_str)
+    }
+}
+
+/// Loads `panic_allowlist.txt` (`<count> <path>` lines, `#` comments).
+pub fn load_allowlist(path: &Path) -> std::io::Result<Allowlist> {
+    let text = std::fs::read_to_string(path)?;
+    let mut counts = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(2, char::is_whitespace);
+        let (Some(count), Some(p)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        if let Ok(n) = count.parse::<usize>() {
+            counts.insert(p.trim().to_string(), n);
+        }
+    }
+    Ok(Allowlist { counts })
+}
+
+/// Renders an inventory back into allowlist format.
+pub fn format_allowlist(inventory: &BTreeMap<String, Vec<Site>>) -> String {
+    let mut out = String::from(
+        "# jits-lint panic allowlist: permitted panic-site counts per library file.\n\
+         # Regenerate with `cargo run -p jits-lint -- --update-allowlist` after\n\
+         # reviewing that every new site is a genuine invariant, not error handling.\n",
+    );
+    for (path, sites) in inventory {
+        if !sites.is_empty() {
+            out.push_str(&format!("{} {}\n", sites.len(), path));
+        }
+    }
+    out
+}
+
+/// Collects every non-test, non-waived panic site per file.
+pub fn inventory(files: &[SourceFile]) -> BTreeMap<String, Vec<Site>> {
+    let mut out = BTreeMap::new();
+    for file in files {
+        let mut sites = Vec::new();
+        let code = &file.code;
+        let b = code.as_bytes();
+        for token in PANIC_TOKENS {
+            let mut search = 0usize;
+            while let Some(rel) = code[search..].find(token) {
+                let at = search + rel;
+                search = at + token.len();
+                // macros need a left identifier boundary (`.unwrap()` and
+                // `.expect(` carry their own `.`)
+                if !token.starts_with('.') {
+                    let boundary = at == 0 || {
+                        let c = b[at - 1];
+                        !(c.is_ascii_alphanumeric() || c == b'_')
+                    };
+                    if !boundary {
+                        continue;
+                    }
+                }
+                let line = file.line_of(at);
+                if file.is_test_line(line) || file.is_waived(line, RULE) {
+                    continue;
+                }
+                sites.push(Site { line, token });
+            }
+        }
+        sites.sort_by_key(|s| s.line);
+        if !sites.is_empty() {
+            out.insert(file.path.clone(), sites);
+        }
+    }
+    out
+}
+
+/// Runs the pass against an allowlist.
+pub fn run(files: &[SourceFile], allow: &Allowlist) -> Vec<Violation> {
+    let seen = inventory(files);
+    let mut out = Vec::new();
+    for (path, sites) in &seen {
+        let allowed = allow.allowed(path);
+        if sites.len() > allowed {
+            let lines: Vec<String> = sites.iter().map(|s| s.line.to_string()).collect();
+            out.push(Violation {
+                rule: RULE,
+                path: path.clone(),
+                line: sites[0].line,
+                message: format!(
+                    "{} panic site(s) but the allowlist permits {allowed} (lines {}); \
+                     convert to typed errors, waive deliberate invariants inline, or \
+                     review and run --update-allowlist",
+                    sites.len(),
+                    lines.join(", "),
+                ),
+                severity: Severity::Error,
+            });
+        } else if sites.len() < allowed {
+            out.push(Violation {
+                rule: RULE,
+                path: path.clone(),
+                line: sites[0].line,
+                message: format!(
+                    "allowlist permits {allowed} panic site(s) but only {} remain; \
+                     tighten it with --update-allowlist",
+                    sites.len(),
+                ),
+                severity: Severity::Warning,
+            });
+        }
+    }
+    for path in allow.stale(&seen) {
+        out.push(Violation {
+            rule: RULE,
+            path: path.to_string(),
+            line: 0,
+            message: "allowlist entry is stale (file has no panic sites or no longer \
+                      exists); tighten it with --update-allowlist"
+                .to_string(),
+            severity: Severity::Warning,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        SourceFile::from_source(path.into(), src.into())
+    }
+
+    #[test]
+    fn counts_panic_sites() {
+        let f = file(
+            "a.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+             fn g() { panic!(\"boom\"); }\n\
+             fn h(x: Option<u32>) -> u32 { x.unwrap_or(3) }\n",
+        );
+        let inv = inventory(&[f]);
+        assert_eq!(inv["a.rs"].len(), 2, "{inv:?}");
+    }
+
+    #[test]
+    fn over_allowlist_is_an_error() {
+        let f = file("a.rs", "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n");
+        let v = run(&[f], &Allowlist::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn at_allowlist_is_clean_and_under_warns() {
+        let mut counts = BTreeMap::new();
+        counts.insert("a.rs".to_string(), 1);
+        let allow = Allowlist { counts };
+        let f = file("a.rs", "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n");
+        assert!(run(&[f], &allow).is_empty());
+        let mut counts = BTreeMap::new();
+        counts.insert("a.rs".to_string(), 5);
+        let allow = Allowlist { counts };
+        let f = file("a.rs", "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n");
+        let v = run(&[f], &allow);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn waived_and_test_sites_do_not_count() {
+        let f = file(
+            "a.rs",
+            "fn f(h: Handle) { h.join().expect(\"worker panicked\"); } \
+             // jits-lint: allow(panic-surface)\n\
+             #[cfg(test)]\nmod tests { fn t() { None::<u32>.unwrap(); } }\n",
+        );
+        assert!(inventory(&[f]).is_empty());
+    }
+
+    #[test]
+    fn allowlist_roundtrip() {
+        let f = file("b.rs", "fn g() { unreachable!() }\n");
+        let inv = inventory(&[f]);
+        let text = format_allowlist(&inv);
+        assert!(text.contains("1 b.rs"), "{text}");
+    }
+}

@@ -1,0 +1,330 @@
+//! Lightweight source model for the lint passes.
+//!
+//! The passes operate on a *stripped* view of each file: comments and the
+//! contents of string/char literals are blanked with spaces (newlines are
+//! preserved), so pattern scans never match inside documentation or literal
+//! text, and every byte offset in the stripped view maps to the same line
+//! as in the raw file.
+//!
+//! The model also computes, per line:
+//!
+//! - whether the line sits inside a `#[cfg(test)] mod … { … }` region
+//!   (test code is exempt from every pass — tests deliberately hold raw
+//!   locks and unwrap), and
+//! - inline waivers: a comment `jits-lint: allow(rule-name)` waives the
+//!   named rule on its own line and the line below, mirroring
+//!   `#[allow(..)]` ergonomics.
+
+use std::fs;
+use std::path::Path;
+
+/// One loaded, pre-processed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path as reported in violations (repo-relative when walking the repo).
+    pub path: String,
+    /// Raw file contents.
+    pub raw: String,
+    /// Contents with comments and literal bodies blanked (same length and
+    /// line structure as `raw`).
+    pub code: String,
+    /// Per line (0-based): inside a `#[cfg(test)]` module.
+    pub in_test: Vec<bool>,
+    /// Per line (0-based): rules waived on this line.
+    pub waivers: Vec<Vec<String>>,
+}
+
+impl SourceFile {
+    /// Loads and pre-processes a file.
+    pub fn load(path: &Path, display_path: String) -> std::io::Result<SourceFile> {
+        let raw = fs::read_to_string(path)?;
+        Ok(SourceFile::from_source(display_path, raw))
+    }
+
+    /// Builds the model from in-memory source (used by unit tests).
+    pub fn from_source(path: String, raw: String) -> SourceFile {
+        let code = strip(&raw);
+        let in_test = test_regions(&code);
+        let waivers = parse_waivers(&raw);
+        SourceFile {
+            path,
+            raw,
+            code,
+            in_test,
+            waivers,
+        }
+    }
+
+    /// 1-based line number of a byte offset into `code`/`raw`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.code[..offset.min(self.code.len())]
+            .bytes()
+            .filter(|&b| b == b'\n')
+            .count()
+            + 1
+    }
+
+    /// True if the (1-based) line is inside a `#[cfg(test)]` module.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.in_test
+            .get(line.saturating_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// True if `rule` is waived on the (1-based) line, either by a waiver
+    /// comment on the line itself or on the line above.
+    pub fn is_waived(&self, line: usize, rule: &str) -> bool {
+        let idx = line.saturating_sub(1);
+        let here = self.waivers.get(idx).map(Vec::as_slice).unwrap_or(&[]);
+        let above = if idx > 0 {
+            self.waivers.get(idx - 1).map(Vec::as_slice).unwrap_or(&[])
+        } else {
+            &[]
+        };
+        here.iter().chain(above.iter()).any(|w| w == rule)
+    }
+}
+
+/// Blanks comments and literal bodies, preserving length and newlines.
+fn strip(raw: &str) -> String {
+    let b = raw.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    let blank = |out: &mut Vec<u8>, b: &[u8], from: usize, to: usize| {
+        for &c in &b[from..to.min(b.len())] {
+            out.push(if c == b'\n' { b'\n' } else { b' ' });
+        }
+    };
+    while i < b.len() {
+        let c = b[i];
+        // line comment (incl. doc comments)
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            blank(&mut out, b, start, i);
+            continue;
+        }
+        // block comment (nesting supported)
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let start = i;
+            let mut depth = 1usize;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            blank(&mut out, b, start, i);
+            continue;
+        }
+        // raw strings r"..." / r#"..."# (and br variants)
+        let prev_ident = i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_');
+        if !prev_ident && (c == b'r' || (c == b'b' && b.get(i + 1) == Some(&b'r'))) {
+            let mut j = i + if c == b'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while b.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if b.get(j) == Some(&b'"') {
+                let start = i;
+                j += 1;
+                'scan: while j < b.len() {
+                    if b[j] == b'"' {
+                        let mut k = j + 1;
+                        let mut seen = 0usize;
+                        while seen < hashes && b.get(k) == Some(&b'#') {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            j = k;
+                            break 'scan;
+                        }
+                    }
+                    j += 1;
+                }
+                blank(&mut out, b, start, j);
+                i = j;
+                continue;
+            }
+        }
+        // normal string literal (and b"...")
+        if c == b'"' || (c == b'b' && !prev_ident && b.get(i + 1) == Some(&b'"')) {
+            let start = i;
+            i += if c == b'b' { 2 } else { 1 };
+            while i < b.len() {
+                if b[i] == b'\\' {
+                    i += 2;
+                } else if b[i] == b'"' {
+                    i += 1;
+                    break;
+                } else {
+                    i += 1;
+                }
+            }
+            blank(&mut out, b, start, i);
+            continue;
+        }
+        // char literal vs lifetime
+        if c == b'\'' {
+            if b.get(i + 1) == Some(&b'\\') {
+                // escaped char literal: '\n', '\u{..}', ...
+                let start = i;
+                i += 2;
+                while i < b.len() && b[i] != b'\'' {
+                    i += 1;
+                }
+                i = (i + 1).min(b.len());
+                blank(&mut out, b, start, i);
+                continue;
+            }
+            // 'x' (single ASCII char) — multi-byte char literals fall
+            // through to the lifetime case, which is harmless: their
+            // contents are a single character, never a scannable pattern.
+            if b.get(i + 2) == Some(&b'\'') && b.get(i + 1) != Some(&b'\'') {
+                blank(&mut out, b, i, i + 3);
+                i += 3;
+                continue;
+            }
+            out.push(c);
+            i += 1;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Marks the lines covered by every `#[cfg(test)] mod … { … }` region.
+fn test_regions(code: &str) -> Vec<bool> {
+    let n_lines = code.bytes().filter(|&b| b == b'\n').count() + 1;
+    let mut mask = vec![false; n_lines];
+    let b = code.as_bytes();
+    let mut search = 0usize;
+    while let Some(found) = code[search..].find("#[cfg(test)") {
+        let attr = search + found;
+        // the attribute itself is test-only code
+        // find the `mod` keyword after the attribute (skipping more attrs)
+        let j = attr;
+        let body_open = match code[j..].find('{') {
+            // require a `mod` keyword between the attribute and `{`;
+            // `#[cfg(test)]` attached to something else (fn, use) is skipped
+            Some(rel) if code[attr..j + rel].contains("mod ") => Some(j + rel),
+            _ => None,
+        };
+        let Some(open) = body_open else {
+            search = attr + 1;
+            continue;
+        };
+        // brace-match
+        let mut depth = 0usize;
+        let mut k = open;
+        while k < b.len() {
+            match b[k] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let first = code[..attr].bytes().filter(|&x| x == b'\n').count();
+        let last = code[..k.min(b.len())]
+            .bytes()
+            .filter(|&x| x == b'\n')
+            .count();
+        for line in mask.iter_mut().take(last + 1).skip(first) {
+            *line = true;
+        }
+        search = k.min(b.len()).max(attr + 1);
+    }
+    mask
+}
+
+/// Parses `jits-lint: allow(rule-a, rule-b)` waiver comments per line.
+fn parse_waivers(raw: &str) -> Vec<Vec<String>> {
+    raw.lines()
+        .map(|line| {
+            let Some(pos) = line.find("jits-lint: allow(") else {
+                return Vec::new();
+            };
+            let rest = &line[pos + "jits-lint: allow(".len()..];
+            let Some(end) = rest.find(')') else {
+                return Vec::new();
+            };
+            rest[..end]
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = "let x = \"Instant::now()\"; // Instant::now()\nlet y = 1; /* panic!() */\n";
+        let s = strip(src);
+        assert!(!s.contains("Instant::now"));
+        assert!(!s.contains("panic!"));
+        assert_eq!(s.len(), src.len());
+        assert_eq!(s.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn strips_raw_strings_and_chars() {
+        let src =
+            "let p = r#\"unwrap()\"#; let c = 'u'; let nl = '\\n'; let lt: &'static str = \"x\";";
+        let s = strip(src);
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("'static"), "lifetimes survive: {s}");
+    }
+
+    #[test]
+    fn doc_comments_do_not_leak() {
+        let src = "/// call .unwrap() freely\nfn f() {}\n//! SystemTime::now\n";
+        let s = strip(src);
+        assert!(!s.contains("unwrap"));
+        assert!(!s.contains("SystemTime"));
+    }
+
+    #[test]
+    fn test_region_detection() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn b() { y.unwrap(); }\n}\nfn c() {}\n";
+        let f = SourceFile::from_source("t.rs".into(), src.into());
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn waivers_cover_same_and_next_line() {
+        let src = "// jits-lint: allow(hash-iteration) -- sorted right after\nfor v in map.iter() {}\nfor v in map.iter() {}\n";
+        let f = SourceFile::from_source("t.rs".into(), src.into());
+        assert!(f.is_waived(1, "hash-iteration"));
+        assert!(f.is_waived(2, "hash-iteration"));
+        assert!(!f.is_waived(3, "hash-iteration"));
+        assert!(!f.is_waived(2, "wall-clock"));
+    }
+}

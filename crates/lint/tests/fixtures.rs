@@ -1,0 +1,102 @@
+//! The fixture suite: every checked-in bad fixture must be flagged, and the
+//! repository itself must lint clean. Running this under `cargo test` keeps
+//! the analyzer honest in both directions — it cannot silently stop firing
+//! (fixtures would pass) and it cannot drift into noise (the repo would
+//! fail).
+
+#![forbid(unsafe_code)]
+
+use jits_lint::{lock_order, panics, repo_root, run_paths, run_repo, Severity};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    repo_root().join("crates/lint/fixtures").join(name)
+}
+
+#[test]
+fn lock_order_fixture_is_flagged() {
+    let report = run_paths(&[fixture("lock_order_bad.rs")]);
+    let lock: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == lock_order::RULE)
+        .collect();
+    // out-of-order, re-acquire, direct-method out-of-order, and the
+    // interprocedural re-acquire
+    assert!(
+        lock.len() >= 4,
+        "expected >= 4 lock-order findings: {lock:#?}"
+    );
+    assert!(
+        lock.iter().any(|v| v.message.contains("re-acquires")),
+        "{lock:#?}"
+    );
+    assert!(lock.iter().any(|v| v.message.contains("rank")), "{lock:#?}");
+    assert!(
+        lock.iter().any(|v| v.message.contains("locks_predcache")),
+        "interprocedural finding missing: {lock:#?}"
+    );
+    assert!(report.failed(false));
+}
+
+#[test]
+fn determinism_fixture_is_flagged() {
+    let report = run_paths(&[fixture("determinism_bad.rs")]);
+    let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+    assert!(rules.contains(&"wall-clock"), "{:#?}", report.violations);
+    assert!(
+        rules.contains(&"hash-iteration"),
+        "{:#?}",
+        report.violations
+    );
+    assert!(rules.contains(&"unseeded-rng"), "{:#?}", report.violations);
+    assert!(report.failed(false));
+}
+
+#[test]
+fn panic_fixture_is_flagged() {
+    let report = run_paths(&[fixture("panic_bad.rs")]);
+    let sites: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == panics::RULE)
+        .collect();
+    assert_eq!(sites.len(), 1, "{sites:#?}"); // one per-file count violation
+    assert!(
+        sites[0].message.contains("3 panic site(s)"),
+        "unwrap + panic! + unimplemented!: {}",
+        sites[0].message
+    );
+    assert!(report.failed(false));
+}
+
+#[test]
+fn missing_fixture_path_is_an_io_error() {
+    let report = run_paths(&[fixture("does_not_exist.rs")]);
+    assert!(report.failed(false));
+    assert_eq!(report.violations[0].rule, "io");
+}
+
+#[test]
+fn repository_lints_clean() {
+    let root = repo_root();
+    let allowlist = panics::load_allowlist(&root.join("crates/lint/panic_allowlist.txt"))
+        .expect("panic_allowlist.txt must exist and parse");
+    let report = run_repo(&root, &allowlist);
+    let errors: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.severity == Severity::Error)
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "the workspace must lint clean; fix the findings or waive them with \
+         `// jits-lint: allow(rule)` and a justification:\n{errors:#?}"
+    );
+    // warnings mean the allowlist is stale; keep it tight
+    assert!(
+        report.warnings() == 0,
+        "stale panic allowlist — run `cargo run -p jits-lint -- --update-allowlist`:\n{:#?}",
+        report.violations
+    );
+}

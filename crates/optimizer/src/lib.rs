@@ -18,6 +18,8 @@
 //!
 //! [`StatisticsProvider`]: provider::StatisticsProvider
 
+#![forbid(unsafe_code)]
+
 pub mod card;
 pub mod cost;
 pub mod enumerate;

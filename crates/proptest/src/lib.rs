@@ -15,6 +15,8 @@
 //! inputs and panics. Case generation is fully deterministic — the RNG is
 //! seeded from the test function's name, so failures reproduce exactly.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 // ---------------------------------------------------------------------------

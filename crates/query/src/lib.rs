@@ -15,6 +15,8 @@
 //!
 //! [`QueryBlock`]: qgm::QueryBlock
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod bind;
 pub mod lexer;

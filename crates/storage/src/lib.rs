@@ -10,6 +10,8 @@
 //! [1, 8, 12] for sample sizes being independent of table size) and simple
 //! B-tree secondary indexes that give the optimizer real access-path choices.
 
+#![forbid(unsafe_code)]
+
 pub mod column;
 pub mod index;
 pub mod row;

@@ -5,7 +5,7 @@ use crate::index::SecondaryIndex;
 use crate::row::{Row, RowId};
 use crate::udi::UdiCounter;
 use jits_common::{ColumnId, Interval, JitsError, Result, Schema, Value};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An in-memory table.
 ///
@@ -19,7 +19,9 @@ pub struct Table {
     live: Vec<bool>,
     live_count: usize,
     udi: UdiCounter,
-    indexes: HashMap<ColumnId, SecondaryIndex>,
+    /// Keyed by `BTreeMap`: index maintenance and [`Table::indexed_columns`]
+    /// iterate this map, and their order must not depend on hash state.
+    indexes: BTreeMap<ColumnId, SecondaryIndex>,
 }
 
 impl Table {
@@ -37,7 +39,7 @@ impl Table {
             live: Vec::new(),
             live_count: 0,
             udi: UdiCounter::new(),
-            indexes: HashMap::new(),
+            indexes: BTreeMap::new(),
         }
     }
 

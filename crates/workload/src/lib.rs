@@ -16,6 +16,8 @@
 //! INSERT batches that *shift* the distributions over time so pre-collected
 //! statistics go stale.
 
+#![forbid(unsafe_code)]
+
 pub mod datagen;
 pub mod driver;
 pub mod queries;
