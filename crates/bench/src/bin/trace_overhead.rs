@@ -1,0 +1,78 @@
+//! Tracing-overhead benchmark: runs the full JITS workload with span
+//! tracing off and on, and reports the throughput delta.
+//!
+//! The tracer is designed to be zero-cost when disabled (a pointer-sized
+//! enum whose event closures are never evaluated) and cheap when enabled,
+//! so the measured overhead should stay well under the 3% budget. Writes
+//! `BENCH_trace_overhead.json` next to the workspace root and prints the
+//! same JSON to stdout.
+
+use jits::JitsConfig;
+use jits_bench::BenchArgs;
+use jits_workload::{
+    generate_workload, prepare, run_workload_observed, setup_database, ObserveOptions, Setting,
+    WorkloadOp,
+};
+use std::time::Instant;
+
+const REPS: usize = 5;
+
+/// One full workload run on a freshly built database; returns wall seconds.
+fn run_once(args: &BenchArgs, ops: &[WorkloadOp], trace: bool) -> f64 {
+    let mut db = setup_database(&args.datagen()).expect("database builds");
+    prepare(&mut db, &Setting::Jits(JitsConfig::default()), ops).expect("prepare");
+    let t = Instant::now();
+    let observed = run_workload_observed(
+        &mut db,
+        ops,
+        ObserveOptions {
+            trace,
+            metrics: false,
+        },
+    )
+    .expect("workload runs");
+    let wall = t.elapsed().as_secs_f64();
+    assert_eq!(observed.records.len(), ops.len());
+    wall
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    v[v.len() / 2]
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let ops = generate_workload(&args.workload(), &args.datagen());
+
+    // one throwaway warm-up run, then interleave off/on reps so slow drift
+    // (cache warmth, frequency scaling) hits both states evenly
+    run_once(&args, &ops, false);
+    let (mut off, mut on) = (Vec::new(), Vec::new());
+    for _ in 0..REPS {
+        off.push(run_once(&args, &ops, false));
+        on.push(run_once(&args, &ops, true));
+    }
+    let (med_off, med_on) = (median(off), median(on));
+    let (tput_off, tput_on) = (ops.len() as f64 / med_off, ops.len() as f64 / med_on);
+    let overhead_pct = (med_on / med_off - 1.0) * 100.0;
+
+    let json = format!(
+        "{{\n  \"bench\": \"trace_overhead\",\n  \"scale\": {},\n  \"ops\": {},\n  \"reps\": {},\n  \"median_wall_secs_tracing_off\": {:.6},\n  \"median_wall_secs_tracing_on\": {:.6},\n  \"ops_per_sec_tracing_off\": {:.2},\n  \"ops_per_sec_tracing_on\": {:.2},\n  \"overhead_pct\": {:.3},\n  \"target_pct\": 3.0,\n  \"within_target\": {}\n}}\n",
+        args.scale,
+        ops.len(),
+        REPS,
+        med_off,
+        med_on,
+        tput_off,
+        tput_on,
+        overhead_pct,
+        overhead_pct < 3.0,
+    );
+    print!("{json}");
+    std::fs::write("BENCH_trace_overhead.json", &json).expect("write BENCH_trace_overhead.json");
+    eprintln!(
+        "tracing overhead: {overhead_pct:.3}% ({} target 3%)",
+        if overhead_pct < 3.0 { "within" } else { "OVER" }
+    );
+}

@@ -13,8 +13,14 @@
 //! \runstats           collect general statistics on all tables
 //! \migrate            fold 1-D QSS histograms into the catalog
 //! \stats              show archive / history / catalog status
+//! \trace on|off       per-statement span traces (also: --trace flag)
+//! \metrics [prom]     dump the metrics registry (JSON or Prometheus)
 //! \help, \quit
 //! ```
+//!
+//! With `--trace`, each statement prints its span tree (parse/bind,
+//! analyze, sensitivity, collect, refine, optimize, execute, feedback)
+//! to stderr; `--metrics` dumps the registry as JSON on exit.
 
 use jits::JitsConfig;
 use jits_engine::{Database, StatsSetting};
@@ -30,6 +36,8 @@ fn main() {
             .and_then(|s| s.parse().ok())
             .unwrap_or(scale);
     }
+    let trace = args.iter().any(|a| a == "--trace");
+    let metrics = args.iter().any(|a| a == "--metrics");
     eprintln!("loading the car-insurance database at scale {scale} ...");
     let cfg = DataGenConfig {
         scale,
@@ -39,6 +47,7 @@ fn main() {
     create_schema(&mut db).expect("schema");
     let counts = populate(&mut db, &cfg).expect("populate");
     db.set_setting(StatsSetting::Jits(JitsConfig::default()));
+    db.obs().tracer.set_enabled(trace);
     eprintln!(
         "tables: car={} owner={} demographics={} accidents={} (JITS enabled; \\help for commands)",
         counts[0], counts[1], counts[2], counts[3]
@@ -78,6 +87,11 @@ fn main() {
                 if result.rows.len() > shown {
                     let _ = writeln!(out, "... ({} rows total)", result.rows.len());
                 }
+                if db.obs().tracer.enabled() {
+                    if let Some(t) = db.obs().tracer.latest() {
+                        eprint!("{}", t.render());
+                    }
+                }
                 let m = &result.metrics;
                 eprintln!(
                     "-- {} rows, compile {:.2} ms (work {:.0}), exec {:.2} ms (work {:.0}), sampled {} table(s)",
@@ -92,6 +106,9 @@ fn main() {
             Err(e) => eprintln!("error: {e}"),
         }
     }
+    if metrics {
+        println!("{}", db.metrics_json(true));
+    }
 }
 
 /// Handles a `\...` meta command; returns false to quit.
@@ -103,6 +120,26 @@ fn meta_command(db: &mut Database, cmd: &str) -> bool {
             eprintln!("SQL: SELECT / INSERT / UPDATE / DELETE / EXPLAIN SELECT ...");
             eprintln!("\\setting no-stats|general|workload|jits [s_max]");
             eprintln!("\\runstats   \\migrate   \\stats   \\quit");
+            eprintln!("\\trace on|off   \\metrics [prom]");
+        }
+        Some("trace") => match parts.get(1).copied() {
+            Some("on") => db.obs().tracer.set_enabled(true),
+            Some("off") => db.obs().tracer.set_enabled(false),
+            _ => eprintln!(
+                "tracing is {}",
+                if db.obs().tracer.enabled() {
+                    "on"
+                } else {
+                    "off"
+                }
+            ),
+        },
+        Some("metrics") => {
+            if parts.get(1).copied() == Some("prom") {
+                print!("{}", db.metrics_prometheus());
+            } else {
+                println!("{}", db.metrics_json(true));
+            }
         }
         Some("runstats") => match db.runstats_all() {
             Ok(()) => eprintln!("general statistics collected on all tables"),

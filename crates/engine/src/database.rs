@@ -1,23 +1,28 @@
 //! The `Database` facade.
 
-use crate::metrics::QueryMetrics;
+use crate::explain::{explain_block, JitsExplain};
+use crate::metrics::{QueryMetrics, StageWalls};
 use crate::settings::StatsSetting;
+use crate::{observe, views};
 use jits::{
-    collect_for_tables, collect_for_tables_parallel, ingest, query_analysis, sensitivity_analysis,
-    CollectedStats, JitsConfig, JitsStatisticsProvider, PredicateCache, QssArchive,
+    collect_for_tables, collect_for_tables_traced, ingest, query_analysis, sensitivity_analysis,
+    CollectedStats, JitsConfig, JitsStatisticsProvider, PredicateCache, QssArchive, RefineOutcome,
     SensitivityStrategy, StatHistory,
 };
 use jits_catalog::{runstats, Catalog, RunstatsOptions};
 use jits_common::{ColumnId, JitsError, Result, Schema, SplitMix64, TableId, Value};
 use jits_executor::execute;
+use jits_obs::{Observability, QueryLogEntry, TraceBuilder};
 use jits_optimizer::{
     optimize, CardinalityEstimator, CatalogStatisticsProvider, CostModel, DefaultSelectivities,
     PhysicalPlan, PlanSummary, SelEstimate, StatisticsProvider,
 };
 use jits_query::{
     bind_statement, parse, BoundDelete, BoundInsert, BoundStatement, BoundUpdate, QueryBlock,
+    Statement,
 };
 use jits_storage::{RowId, Table};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Result of executing one SQL statement.
@@ -65,6 +70,8 @@ pub struct Database {
     runstats_opts: RunstatsOptions,
     /// Groups materialized by the most recent JITS compile phase.
     last_materialized: usize,
+    /// Tracer, metrics registry, and query log.
+    obs: Arc<Observability>,
 }
 
 impl Database {
@@ -84,7 +91,28 @@ impl Database {
             defaults: DefaultSelectivities::default(),
             runstats_opts: RunstatsOptions::default(),
             last_materialized: 0,
+            obs: Arc::new(Observability::new()),
         }
+    }
+
+    /// The observability state: tracer, metrics registry, and query log.
+    pub fn obs(&self) -> &Arc<Observability> {
+        &self.obs
+    }
+
+    /// Exports the metrics registry as JSON (see `jits-obs` for the
+    /// format). Pass `include_volatile = false` for the deterministic
+    /// subset, which is byte-identical for equal workloads and seeds at
+    /// any `collect_threads`.
+    pub fn metrics_json(&self, include_volatile: bool) -> String {
+        observe::note_archive_gauges(&self.obs, &self.archive);
+        self.obs.metrics_json(include_volatile)
+    }
+
+    /// Exports the metrics registry in Prometheus text exposition format.
+    pub fn metrics_prometheus(&self) -> String {
+        observe::note_archive_gauges(&self.obs, &self.archive);
+        self.obs.metrics_prometheus(true)
     }
 
     /// Selects the statistics setting for subsequent queries.
@@ -276,6 +304,7 @@ impl Database {
             self.cost,
             self.defaults,
             self.runstats_opts,
+            self.obs,
         )
     }
 
@@ -285,12 +314,23 @@ impl Database {
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
         let t0 = Instant::now();
         let stmt = parse(sql)?;
+        if let Some(rows) = self.system_view_rows(&stmt) {
+            return Ok(QueryResult {
+                metrics: QueryMetrics {
+                    compile_wall: t0.elapsed(),
+                    result_rows: rows.len(),
+                    ..QueryMetrics::default()
+                },
+                rows,
+            });
+        }
         let bound = bind_statement(&stmt, &self.catalog)?;
         match bound {
-            BoundStatement::Select(block) => self.run_select(block, t0),
+            BoundStatement::Select(block) => self.run_select(block, t0, sql),
             BoundStatement::Explain(block) => {
                 self.clock += 1;
-                let (collected, _, _) = self.jits_compile_phase(&block);
+                let (collected, _, _, _) =
+                    self.jits_compile_phase(&block, &mut TraceBuilder::off());
                 let plan = self.plan_for(&block, &collected)?;
                 let metrics = QueryMetrics {
                     compile_wall: t0.elapsed(),
@@ -320,17 +360,59 @@ impl Database {
             return Err(JitsError::Plan("EXPLAIN supports SELECT only".into()));
         };
         self.clock += 1;
-        let (collected, _, _) = self.jits_compile_phase(&block);
+        let (collected, _, _, _) = self.jits_compile_phase(&block, &mut TraceBuilder::off());
         let plan = self.plan_for(&block, &collected)?;
         Ok(plan.explain())
     }
 
-    fn run_select(&mut self, block: QueryBlock, t0: Instant) -> Result<QueryResult> {
+    /// Replays the JITS compile-phase decisions for `sql` without
+    /// executing it, bumping the clock, or drawing from the sampling RNG:
+    /// the reported scores and verdicts are bit-for-bit what the next
+    /// [`Database::execute`] of the same statement would compute.
+    pub fn explain_jits(&self, sql: &str) -> Result<JitsExplain> {
+        let stmt = parse(sql)?;
+        let (BoundStatement::Select(block) | BoundStatement::Explain(block)) =
+            bind_statement(&stmt, &self.catalog)?
+        else {
+            return Err(JitsError::Plan("EXPLAIN JITS supports SELECT only".into()));
+        };
+        Ok(explain_block(
+            sql,
+            &block,
+            &self.setting,
+            &self.catalog,
+            &self.tables,
+            &self.archive,
+            &self.history,
+            &self.predcache,
+        ))
+    }
+
+    /// Answers a `SELECT` from one of the virtual system views, unless a
+    /// user table shadows the name.
+    fn system_view_rows(&self, stmt: &Statement) -> Option<Vec<Vec<Value>>> {
+        let view = views::system_view_name(stmt)?;
+        if self.catalog.resolve(view).is_some() {
+            return None;
+        }
+        Some(match view {
+            views::VIEW_ARCHIVE_STATS => views::archive_stats_rows(&self.archive),
+            views::VIEW_TABLE_SCORES => views::table_scores_rows(&self.obs),
+            _ => views::query_log_rows(&self.obs),
+        })
+    }
+
+    fn run_select(&mut self, block: QueryBlock, t0: Instant, sql: &str) -> Result<QueryResult> {
         self.clock += 1;
+        let obs = Arc::clone(&self.obs);
+        let mut tb = obs.tracer.start(sql, self.clock, 0);
+        tb.begin("parse_bind");
+        tb.end(t0.elapsed().as_nanos() as u64);
         let mut metrics = QueryMetrics::default();
 
         // -- JITS compile-time pipeline --
-        let (collected, sampled, scores) = self.jits_compile_phase(&block);
+        let (collected, sampled, scores, walls) = self.jits_compile_phase(&block, &mut tb);
+        metrics.set_stage_walls(walls);
         metrics.compile_work = collected.work;
         metrics.sampled_tables = sampled;
         metrics.materialized_groups = self.last_materialized;
@@ -338,18 +420,25 @@ impl Database {
         metrics.collect_threads = collected.collect_threads;
 
         // -- optimize --
+        tb.begin("optimize");
+        let topt = Instant::now();
         let plan = self.plan_for(&block, &collected)?;
+        tb.end(topt.elapsed().as_nanos() as u64);
         metrics.plan = Some(PlanSummary::from(&plan));
         metrics.compile_wall = t0.elapsed();
 
         // -- execute --
+        tb.begin("execute");
         let t1 = Instant::now();
         let out = execute(&plan, &block, &self.tables, &self.cost)?;
         metrics.exec_wall = t1.elapsed();
+        tb.end(metrics.exec_wall.as_nanos() as u64);
         metrics.exec_work = out.stats.work;
         metrics.result_rows = out.rows.len();
 
         // -- feedback (LEO) --
+        tb.begin("feedback");
+        let tf = Instant::now();
         let cfg = self.setting.jits_config().cloned().unwrap_or_default();
         ingest(
             &block,
@@ -360,6 +449,8 @@ impl Database {
             &cfg,
             self.clock,
         );
+        observe::note_feedback(&obs, &mut tb, out.stats.scans.len());
+        tb.end(tf.elapsed().as_nanos() as u64);
 
         // -- periodic statistics migration (paper Figure 1) --
         if matches!(self.setting, StatsSetting::Jits(_))
@@ -369,6 +460,20 @@ impl Database {
             jits::migrate::migrate(&self.archive, &mut self.catalog, self.clock);
         }
 
+        observe::note_statement(
+            &obs,
+            QueryLogEntry {
+                clock: self.clock,
+                session: 0,
+                sql: sql.to_string(),
+                result_rows: metrics.result_rows,
+                compile_nanos: metrics.compile_wall.as_nanos() as u64,
+                exec_nanos: metrics.exec_wall.as_nanos() as u64,
+                sampled_tables: sampled,
+            },
+        );
+        obs.tracer.finish(tb, t0.elapsed().as_nanos() as u64);
+
         Ok(QueryResult {
             rows: out.rows,
             metrics,
@@ -377,20 +482,34 @@ impl Database {
 
     /// Runs query analysis, sensitivity analysis, sampling and archive
     /// materialization, if JITS is enabled. Returns the fresh statistics,
-    /// the number of sampled tables, and the sensitivity scores.
+    /// the number of sampled tables, the sensitivity scores, and the
+    /// per-stage wall times (which also decorate `tb`'s spans).
     fn jits_compile_phase(
         &mut self,
         block: &QueryBlock,
-    ) -> (CollectedStats, usize, Vec<jits::TableScore>) {
+        tb: &mut TraceBuilder,
+    ) -> (CollectedStats, usize, Vec<jits::TableScore>, StageWalls) {
         self.last_materialized = 0;
+        let mut walls = StageWalls::default();
         let StatsSetting::Jits(cfg) = self.setting.clone() else {
-            return (CollectedStats::default(), 0, Vec::new());
+            return (CollectedStats::default(), 0, Vec::new(), walls);
         };
         if cfg.never_collects() {
-            return (CollectedStats::default(), 0, Vec::new());
+            return (CollectedStats::default(), 0, Vec::new(), walls);
         }
+
+        // -- query analysis (Algorithm 1) --
+        tb.begin("analyze");
+        let t = Instant::now();
         let candidates = query_analysis(block, cfg.max_group_enumeration);
-        let (sample_quns, materialize, table_scores, extra_work) = match &cfg.strategy {
+        walls.analyze = t.elapsed();
+        observe::note_analysis(&self.obs, tb, block.quns.len(), candidates.len());
+        tb.end(walls.analyze.as_nanos() as u64);
+
+        // -- sensitivity analysis (Algorithms 2-4) --
+        tb.begin("sensitivity");
+        let t = Instant::now();
+        let (sample_quns, materialize, table_scores, extra_work, mat_log) = match &cfg.strategy {
             SensitivityStrategy::PaperHeuristic => {
                 let decision = sensitivity_analysis(
                     block,
@@ -407,6 +526,7 @@ impl Database {
                     decision.materialize,
                     decision.table_scores,
                     0.0,
+                    decision.materialize_log,
                 )
             }
             SensitivityStrategy::EpsilonPlanning(eps) => {
@@ -428,10 +548,36 @@ impl Database {
                 });
                 // each extra optimizer invocation costs real compile work
                 let work = outcome.optimizer_calls as f64 * OPTIMIZER_CALL_WORK;
-                (outcome.sample_quns, Vec::new(), Vec::new(), work)
+                (
+                    outcome.sample_quns,
+                    Vec::new(),
+                    Vec::new(),
+                    work,
+                    Vec::new(),
+                )
             }
         };
-        let mut collected = collect_for_tables_parallel(
+        walls.sensitivity = t.elapsed();
+        observe::note_sensitivity(
+            &self.obs,
+            tb,
+            &self.catalog,
+            &table_scores,
+            &mat_log,
+            &cfg,
+            self.clock,
+        );
+        tb.end(walls.sensitivity.as_nanos() as u64);
+
+        // -- statistics collection (sampling) --
+        tb.begin("collect");
+        let t = Instant::now();
+        let clock_fn: Option<&(dyn Fn() -> u64 + Sync)> = if tb.enabled() {
+            Some(&jits_obs::clock::now_nanos)
+        } else {
+            None
+        };
+        let (mut collected, timings) = collect_for_tables_traced(
             block,
             &sample_quns,
             &candidates,
@@ -439,16 +585,29 @@ impl Database {
             cfg.sample,
             &mut self.rng,
             cfg.collect_threads,
+            clock_fn,
         );
         collected.work += extra_work;
+        walls.collect = t.elapsed();
+        observe::note_collect(&self.obs, tb, block, &self.catalog, &timings);
+        tb.end(walls.collect.as_nanos() as u64);
+
         for &qun in &sample_quns {
             let tid = block.quns[qun].table;
             self.tables[tid.index()].reset_udi();
         }
+
+        // -- archive materialization / max-entropy refinement --
+        tb.begin("refine");
+        let t = Instant::now();
         for cand in &materialize {
-            self.materialize_group(block, cand, &collected);
+            self.materialize_group_traced(block, cand, &collected, tb);
         }
-        (collected, sample_quns.len(), table_scores)
+        walls.refine = t.elapsed();
+        observe::note_archive_gauges(&self.obs, &self.archive);
+        tb.end(walls.refine.as_nanos() as u64);
+
+        (collected, sample_quns.len(), table_scores, walls)
     }
 
     /// Pushes one collected group into the archive (if it was actually
@@ -459,16 +618,29 @@ impl Database {
         cand: &jits::CandidateGroup,
         collected: &CollectedStats,
     ) {
-        if materialize_group_into(
+        self.materialize_group_traced(block, cand, collected, &mut TraceBuilder::off());
+    }
+
+    /// [`Database::materialize_group`] with trace/metric recording.
+    fn materialize_group_traced(
+        &mut self,
+        block: &QueryBlock,
+        cand: &jits::CandidateGroup,
+        collected: &CollectedStats,
+        tb: &mut TraceBuilder,
+    ) {
+        let outcome = materialize_group_into(
             block,
             cand,
             collected,
             self.clock,
             &mut self.archive,
             &mut self.predcache,
-        ) {
+        );
+        if !matches!(outcome, MaterializeOutcome::Skipped) {
             self.last_materialized += 1;
         }
+        observe::note_materialize_outcome(&self.obs, tb, &cand.colgroup, &outcome);
     }
 
     /// Optimizes a block under the session's statistics setting.
@@ -604,10 +776,21 @@ impl Database {
 /// (the lightweight heuristic makes none).
 pub(crate) const OPTIMIZER_CALL_WORK: f64 = 2_000.0;
 
+/// What [`materialize_group_into`] did with one collected group.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum MaterializeOutcome {
+    /// Nothing was materialized (group not collected, or no frame/total).
+    Skipped,
+    /// The measured selectivity went into the predicate cache.
+    Cache,
+    /// The observation refined (or created) an archive histogram.
+    Histogram(RefineOutcome),
+}
+
 /// Pushes one collected group into the archive or the predicate cache.
-/// Returns whether anything was materialized. Shared by the single-owner
-/// [`Database`] path and the locked [`crate::SharedDatabase`] path, which
-/// holds narrow write guards on `archive`/`predcache` around the call.
+/// Returns what happened. Shared by the single-owner [`Database`] path and
+/// the locked [`crate::SharedDatabase`] path, which holds narrow write
+/// guards on `archive`/`predcache` around the call.
 pub(crate) fn materialize_group_into(
     block: &QueryBlock,
     cand: &jits::CandidateGroup,
@@ -615,9 +798,9 @@ pub(crate) fn materialize_group_into(
     clock: u64,
     archive: &mut QssArchive,
     predcache: &mut PredicateCache,
-) -> bool {
+) -> MaterializeOutcome {
     let Some(stat) = collected.group(cand.qun, &cand.pred_indices) else {
-        return false;
+        return MaterializeOutcome::Skipped;
     };
     let tid = block.quns[cand.qun].table;
     let Some(region) = &stat.region else {
@@ -626,15 +809,15 @@ pub(crate) fn materialize_group_into(
         // (paper §3.4 footnote 1)
         let fp = jits::fingerprint(block, &cand.pred_indices);
         predcache.insert(tid, fp, stat.selectivity, clock);
-        return true;
+        return MaterializeOutcome::Cache;
     };
     let Some(frame) = collected.frames.get(&cand.colgroup) else {
-        return false;
+        return MaterializeOutcome::Skipped;
     };
     let Some(total) = collected.table_rows.get(&tid).copied() else {
-        return false;
+        return MaterializeOutcome::Skipped;
     };
-    archive.apply_observation(
+    let outcome = archive.apply_observation(
         cand.colgroup.clone(),
         frame,
         region,
@@ -642,7 +825,7 @@ pub(crate) fn materialize_group_into(
         total,
         clock,
     );
-    true
+    MaterializeOutcome::Histogram(outcome)
 }
 
 /// The "no statistics" provider a real DBMS actually has: nothing from any
@@ -899,6 +1082,57 @@ mod tests {
         assert!(migrated >= 1);
         let (tid, col) = db.column_id("car", "year").unwrap();
         assert!(db.catalog().column_stats(tid, col).is_some());
+    }
+
+    #[test]
+    fn explain_jits_matches_next_execution_bit_for_bit() {
+        let mut db = demo_db();
+        db.set_setting(StatsSetting::Jits(JitsConfig::default()));
+        let sql = "SELECT id FROM car WHERE make = 'Toyota' AND model = 'Camry'";
+        // across the full lifecycle (first sample, materialize, then skip)
+        // the preview must equal what execute() then actually decides
+        for _ in 0..4 {
+            let ex = db.explain_jits(sql).unwrap();
+            assert!(ex.enabled);
+            let r = db.execute(sql).unwrap();
+            assert_eq!(ex.table_scores, r.metrics.table_scores);
+            assert_eq!(ex.sample_tables.len(), r.metrics.sampled_tables);
+        }
+        let rendered = db.explain_jits(sql).unwrap().render();
+        assert!(rendered.contains("s1="), "{rendered}");
+        assert!(rendered.contains("s_max"), "{rendered}");
+        // non-JITS settings report a disabled trace
+        db.set_setting(StatsSetting::CatalogOnly);
+        assert!(!db.explain_jits(sql).unwrap().enabled);
+    }
+
+    #[test]
+    fn tracer_spans_system_views_and_exports() {
+        let mut db = demo_db();
+        db.set_setting(StatsSetting::Jits(JitsConfig::default()));
+        db.obs().tracer.set_enabled(true);
+        let sql = "SELECT id FROM car WHERE make = 'Toyota' AND model = 'Camry'";
+        db.execute(sql).unwrap();
+        let trace = db.obs().tracer.latest().unwrap();
+        let text = trace.render();
+        for span in ["analyze", "sensitivity", "collect", "optimize", "execute"] {
+            assert!(text.contains(span), "missing span {span} in:\n{text}");
+        }
+        assert!(text.contains("car"), "{text}");
+
+        // system views answer without executing user plans
+        let scores = db.execute("SELECT * FROM jits_table_scores").unwrap();
+        assert!(!scores.rows.is_empty());
+        let log = db.execute("SELECT * FROM jits_query_log").unwrap();
+        assert_eq!(log.rows.len(), 1, "views must not log themselves");
+        db.execute(sql).unwrap();
+        db.execute(sql).unwrap(); // second run materializes proven groups
+        let arch = db.execute("SELECT * FROM jits_archive_stats").unwrap();
+        assert!(!arch.rows.is_empty());
+
+        // both exporters produce grammatically valid output
+        jits_obs::export::validate_json(&db.metrics_json(true)).unwrap();
+        jits_obs::export::validate_prometheus(&db.metrics_prometheus()).unwrap();
     }
 
     #[test]

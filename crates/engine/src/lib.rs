@@ -13,16 +13,28 @@
 //! Each query returns [`QueryMetrics`] carrying wall-clock *and* simulated
 //! (cost-unit) compile/execution times — the quantities every experiment in
 //! the paper's evaluation section reports.
+//!
+//! Observability (see `jits-obs` and DESIGN.md §8): every statement can be
+//! traced span-by-span, counters/histograms accumulate in a metrics
+//! registry, [`Database::explain_jits`] previews the JITS decisions
+//! without executing, and three virtual system views
+//! (`jits_archive_stats`, `jits_table_scores`, `jits_query_log`) expose
+//! the collected state through plain SQL.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod database;
+pub mod explain;
 pub mod metrics;
+mod observe;
 pub mod session;
 pub mod settings;
+pub mod views;
 
 pub use database::{Database, QueryResult};
-pub use metrics::{CountersSnapshot, EngineCounters, QueryMetrics};
+pub use explain::{JitsExplain, MaterializeExplain};
+pub use metrics::{CountersSnapshot, EngineCounters, QueryMetrics, StageWalls};
 pub use session::{Session, SharedDatabase};
 pub use settings::StatsSetting;
+pub use views::{VIEW_ARCHIVE_STATS, VIEW_QUERY_LOG, VIEW_TABLE_SCORES};

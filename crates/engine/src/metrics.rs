@@ -12,6 +12,23 @@ use std::time::Duration;
 /// experiment *shapes* are rate-invariant.
 pub const WORK_UNITS_PER_SIM_SECOND: f64 = 250_000.0;
 
+/// Wall-clock durations of the JITS compile-phase stages of one statement.
+///
+/// The same measurements decorate the statement's trace spans — flat
+/// metrics and spans are populated from a single reading, so they cannot
+/// disagree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageWalls {
+    /// Query analysis (Algorithm 1 group enumeration).
+    pub analyze: Duration,
+    /// Sensitivity analysis (Algorithms 2–4).
+    pub sensitivity: Duration,
+    /// Sampling / statistics collection.
+    pub collect: Duration,
+    /// Archive materialization and max-entropy refinement.
+    pub refine: Duration,
+}
+
 /// Everything measured about one statement.
 #[derive(Debug, Clone, Default)]
 pub struct QueryMetrics {
@@ -19,6 +36,14 @@ pub struct QueryMetrics {
     pub compile_wall: Duration,
     /// Wall-clock execution time.
     pub exec_wall: Duration,
+    /// Wall-clock time of query analysis (Algorithm 1).
+    pub analyze_wall: Duration,
+    /// Wall-clock time of sensitivity analysis (Algorithms 2–4).
+    pub sensitivity_wall: Duration,
+    /// Wall-clock time of sampling / statistics collection.
+    pub collect_wall: Duration,
+    /// Wall-clock time of archive materialization and refinement.
+    pub refine_wall: Duration,
     /// Compile-side work in cost-model units (JITS sampling).
     pub compile_work: f64,
     /// Execution work in cost-model units.
@@ -45,6 +70,15 @@ impl QueryMetrics {
     /// Total wall-clock time.
     pub fn total_wall(&self) -> Duration {
         self.compile_wall + self.exec_wall
+    }
+
+    /// Copies the per-stage compile-phase durations into the flat fields
+    /// (the single write point keeping flat fields and spans in agreement).
+    pub fn set_stage_walls(&mut self, walls: StageWalls) {
+        self.analyze_wall = walls.analyze;
+        self.sensitivity_wall = walls.sensitivity;
+        self.collect_wall = walls.collect;
+        self.refine_wall = walls.refine;
     }
 
     /// Simulated compilation seconds (work-unit based, machine-independent).

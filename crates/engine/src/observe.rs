@@ -1,0 +1,248 @@
+//! Bridges engine/JITS types into the generic `jits-obs` events and
+//! metrics.
+//!
+//! Both execution paths — the single-owner [`crate::Database`] and the
+//! locked [`crate::Session`] — funnel their instrumentation through these
+//! helpers so span taxonomy, metric names (`jits.<component>.<name>`), and
+//! volatility classification are defined in exactly one place. Registry
+//! updates happen unconditionally; trace events cost nothing when the
+//! tracer is off (the builder drops the closures unevaluated).
+//!
+//! The obs registry lock ranks *above* every engine lock, so calling these
+//! helpers while holding engine guards is always rank-safe.
+
+use crate::database::MaterializeOutcome;
+use crate::metrics::CountersSnapshot;
+use jits::{CollectTiming, JitsConfig, MaterializeDecision, TableScore};
+use jits_catalog::Catalog;
+use jits_common::{ColGroup, TableId};
+use jits_obs::{Observability, QueryLogEntry, ScoreRow, TraceBuilder, TraceEvent, Volatility};
+use jits_query::QueryBlock;
+
+/// Resolves a table id to its name for trace/score rows.
+pub(crate) fn table_name(catalog: &Catalog, tid: TableId) -> String {
+    catalog
+        .table(tid)
+        .map(|t| t.name.clone())
+        .unwrap_or_else(|| format!("table{}", tid.0))
+}
+
+/// The human-readable rationale of one Algorithm 3 verdict.
+pub(crate) fn score_reason(score: &TableScore, cfg: &JitsConfig) -> String {
+    if cfg.always_collects() {
+        "s_max = 0: always collect".to_string()
+    } else if score.collect {
+        format!("score {:.3} >= s_max {:.3}", score.score, cfg.s_max)
+    } else {
+        format!("score {:.3} < s_max {:.3}", score.score, cfg.s_max)
+    }
+}
+
+/// Records the query-analysis stage (Algorithm 1).
+pub(crate) fn note_analysis(
+    obs: &Observability,
+    tb: &mut TraceBuilder,
+    tables: usize,
+    candidate_groups: usize,
+) {
+    obs.registry
+        .counter("jits.analysis.candidate_groups", Volatility::Deterministic)
+        .add(candidate_groups as u64);
+    tb.event(|| TraceEvent::Analysis {
+        tables,
+        candidate_groups,
+    });
+}
+
+/// Records the sensitivity stage (Algorithms 2–4): per-table scores with
+/// rationale, per-candidate materialize verdicts, and the latest-scores
+/// state backing the `jits_table_scores` view.
+pub(crate) fn note_sensitivity(
+    obs: &Observability,
+    tb: &mut TraceBuilder,
+    catalog: &Catalog,
+    scores: &[TableScore],
+    materialize_log: &[MaterializeDecision],
+    cfg: &JitsConfig,
+    clock: u64,
+) {
+    let marked = scores.iter().filter(|s| s.collect).count();
+    obs.registry
+        .counter("jits.sensitivity.tables_scored", Volatility::Deterministic)
+        .add(scores.len() as u64);
+    obs.registry
+        .counter("jits.sensitivity.tables_marked", Volatility::Deterministic)
+        .add(marked as u64);
+    let rows: Vec<ScoreRow> = scores
+        .iter()
+        .map(|s| ScoreRow {
+            qun: s.qun,
+            table: table_name(catalog, s.table),
+            s1: s.s1,
+            s2: s.s2,
+            score: s.score,
+            collect: s.collect,
+            reason: score_reason(s, cfg),
+        })
+        .collect();
+    for r in &rows {
+        tb.event(|| TraceEvent::TableSensitivity {
+            qun: r.qun,
+            table: r.table.clone(),
+            s1: r.s1,
+            s2: r.s2,
+            score: r.score,
+            collect: r.collect,
+            reason: r.reason.clone(),
+        });
+    }
+    for d in materialize_log {
+        tb.event(|| TraceEvent::MaterializeDecision {
+            colgroup: d.colgroup.to_string(),
+            materialize: d.materialize,
+            reason: d.reason.to_string(),
+        });
+    }
+    obs.record_scores(clock, rows);
+}
+
+/// Records the collection stage: deterministic row/probe counters plus
+/// volatile per-table sampling wall times.
+pub(crate) fn note_collect(
+    obs: &Observability,
+    tb: &mut TraceBuilder,
+    block: &QueryBlock,
+    catalog: &Catalog,
+    timings: &[CollectTiming],
+) {
+    if timings.is_empty() {
+        return;
+    }
+    let reg = &obs.registry;
+    reg.counter("jits.collect.tables_sampled", Volatility::Deterministic)
+        .add(timings.len() as u64);
+    reg.counter("jits.collect.rows_sampled", Volatility::Deterministic)
+        .add(timings.iter().map(|t| t.rows_sampled as u64).sum());
+    reg.counter("jits.collect.slot_probes", Volatility::Deterministic)
+        .add(timings.iter().map(|t| t.slot_probes as u64).sum());
+    let hist = reg.histogram("jits.collect.table_nanos", Volatility::Volatile);
+    for t in timings {
+        if t.wall_nanos > 0 {
+            hist.observe(t.wall_nanos);
+        }
+        tb.event(|| TraceEvent::SampleTable {
+            qun: t.qun,
+            table: table_name(catalog, block.quns[t.qun].table),
+            rows_sampled: t.rows_sampled,
+            slot_probes: t.slot_probes,
+            worker: t.worker,
+            wall_nanos: t.wall_nanos,
+        });
+    }
+}
+
+/// Records one materialization's outcome: cache insert, or archive refine
+/// (bucket growth, IPF fit, forced evictions).
+pub(crate) fn note_materialize_outcome(
+    obs: &Observability,
+    tb: &mut TraceBuilder,
+    colgroup: &ColGroup,
+    outcome: &MaterializeOutcome,
+) {
+    let reg = &obs.registry;
+    match outcome {
+        MaterializeOutcome::Skipped => {}
+        MaterializeOutcome::Cache => {
+            reg.counter("jits.archive.cached_groups", Volatility::Deterministic)
+                .inc();
+            tb.event(|| TraceEvent::Refine {
+                colgroup: colgroup.to_string(),
+                target: "predcache",
+                buckets_before: 0,
+                buckets_after: 0,
+                ipf_iterations: 0,
+                max_residual: 0.0,
+                converged: true,
+            });
+        }
+        MaterializeOutcome::Histogram(r) => {
+            reg.counter(
+                "jits.archive.materialized_groups",
+                Volatility::Deterministic,
+            )
+            .inc();
+            reg.counter("jits.refine.ipf_iterations", Volatility::Deterministic)
+                .add(r.fit.iterations as u64);
+            if r.buckets_after > r.buckets_before {
+                reg.counter("jits.refine.buckets_split", Volatility::Deterministic)
+                    .add((r.buckets_after - r.buckets_before) as u64);
+            }
+            if !r.fit.converged {
+                reg.counter("jits.refine.nonconverged", Volatility::Deterministic)
+                    .inc();
+            }
+            reg.counter("jits.archive.evictions", Volatility::Deterministic)
+                .add(r.evicted.len() as u64);
+            tb.event(|| TraceEvent::Refine {
+                colgroup: colgroup.to_string(),
+                target: "archive",
+                buckets_before: r.buckets_before,
+                buckets_after: r.buckets_after,
+                ipf_iterations: r.fit.iterations,
+                max_residual: r.fit.max_residual,
+                converged: r.fit.converged,
+            });
+            for g in &r.evicted {
+                tb.event(|| TraceEvent::Evicted {
+                    colgroup: g.to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Refreshes the archive-size gauges.
+pub(crate) fn note_archive_gauges(obs: &Observability, archive: &jits::QssArchive) {
+    obs.registry
+        .gauge("jits.archive.histograms", Volatility::Deterministic)
+        .set(archive.len() as u64);
+    obs.registry
+        .gauge("jits.archive.total_buckets", Volatility::Deterministic)
+        .set(archive.total_buckets() as u64);
+}
+
+/// Records the feedback stage (LEO ingest).
+pub(crate) fn note_feedback(obs: &Observability, tb: &mut TraceBuilder, observations: usize) {
+    obs.registry
+        .counter("jits.feedback.observations", Volatility::Deterministic)
+        .add(observations as u64);
+    tb.event(|| TraceEvent::Feedback { observations });
+}
+
+/// Records one finished statement: counter, latency histograms, query log.
+pub(crate) fn note_statement(obs: &Observability, entry: QueryLogEntry) {
+    let reg = &obs.registry;
+    reg.counter("jits.query.statements", Volatility::Deterministic)
+        .inc();
+    reg.histogram("jits.query.compile_nanos", Volatility::Volatile)
+        .observe(entry.compile_nanos);
+    reg.histogram("jits.query.exec_nanos", Volatility::Volatile)
+        .observe(entry.exec_nanos);
+    obs.log_query(entry);
+}
+
+/// Mirrors the engine-wide [`crate::EngineCounters`] into registry gauges
+/// (called before exporting a snapshot, so the two surfaces agree).
+pub(crate) fn sync_engine_counters(obs: &Observability, snap: &CountersSnapshot) {
+    let reg = &obs.registry;
+    reg.gauge("jits.engine.statements", Volatility::Deterministic)
+        .set(snap.statements);
+    reg.gauge("jits.engine.tables_sampled", Volatility::Deterministic)
+        .set(snap.tables_sampled);
+    reg.gauge("jits.engine.lock_wait_nanos", Volatility::Volatile)
+        .set(snap.lock_wait.as_nanos() as u64);
+    reg.gauge("jits.engine.contended_acquisitions", Volatility::Volatile)
+        .set(snap.contended_acquisitions);
+    reg.gauge("jits.engine.parallel_collections", Volatility::Volatile)
+        .set(snap.parallel_collections);
+}

@@ -41,17 +41,21 @@
 //! [`EngineCounters::lock_wait_nanos`] and to the statement's
 //! [`QueryMetrics::lock_wait`].
 
-use crate::database::{materialize_group_into, PhysicalMetadataProvider, OPTIMIZER_CALL_WORK};
-use crate::metrics::{CountersSnapshot, EngineCounters, QueryMetrics};
+use crate::database::{
+    materialize_group_into, MaterializeOutcome, PhysicalMetadataProvider, OPTIMIZER_CALL_WORK,
+};
+use crate::explain::{explain_block, JitsExplain};
+use crate::metrics::{CountersSnapshot, EngineCounters, QueryMetrics, StageWalls};
 use crate::settings::StatsSetting;
-use crate::{Database, QueryResult};
+use crate::{observe, views, Database, QueryResult};
 use jits::{
-    collect_for_tables_parallel, ingest, query_analysis, sensitivity_analysis, CollectedStats,
+    collect_for_tables_traced, ingest, query_analysis, sensitivity_analysis, CollectedStats,
     JitsStatisticsProvider, PredicateCache, QssArchive, SensitivityStrategy, StatHistory,
 };
 use jits_catalog::{runstats, Catalog, RunstatsOptions};
 use jits_common::{JitsError, Result, Schema, SplitMix64, TableId, Value};
 use jits_executor::execute;
+use jits_obs::{Observability, QueryLogEntry, TraceBuilder};
 use jits_optimizer::{
     optimize, CardinalityEstimator, CatalogStatisticsProvider, CostModel, DefaultSelectivities,
     PhysicalPlan, PlanSummary,
@@ -100,6 +104,9 @@ struct Shared {
     defaults: DefaultSelectivities,
     runstats_opts: RunstatsOptions,
     counters: EngineCounters,
+    /// Tracer, metrics registry, and query log (lock-free or rank-7
+    /// internally, so usable while holding any engine lock).
+    obs: Arc<Observability>,
 }
 
 /// A database whose state is shareable across threads; spawn one
@@ -189,6 +196,7 @@ impl SharedDatabase {
         cost: CostModel,
         defaults: DefaultSelectivities,
         runstats_opts: RunstatsOptions,
+        obs: Arc<Observability>,
     ) -> Self {
         SharedDatabase {
             shared: Arc::new(Shared {
@@ -205,6 +213,7 @@ impl SharedDatabase {
                 defaults,
                 runstats_opts,
                 counters: EngineCounters::default(),
+                obs,
             }),
         }
     }
@@ -364,6 +373,36 @@ impl SharedDatabase {
         self.shared.counters.snapshot()
     }
 
+    /// The observability state: tracer, metrics registry, and query log
+    /// (shared by every session).
+    pub fn obs(&self) -> &Arc<Observability> {
+        &self.shared.obs
+    }
+
+    /// Exports the metrics registry as JSON, after mirroring the engine
+    /// counters and archive gauges into it. Pass `include_volatile =
+    /// false` for the deterministic subset, which is byte-identical for
+    /// equal workloads and seeds at any `collect_threads`.
+    pub fn metrics_json(&self, include_volatile: bool) -> String {
+        self.sync_observability();
+        self.shared.obs.metrics_json(include_volatile)
+    }
+
+    /// Exports the metrics registry in Prometheus text exposition format.
+    pub fn metrics_prometheus(&self) -> String {
+        self.sync_observability();
+        self.shared.obs.metrics_prometheus(true)
+    }
+
+    /// Mirrors point-in-time engine state (counters, archive size) into
+    /// the registry so exports are coherent.
+    fn sync_observability(&self) {
+        observe::sync_engine_counters(&self.shared.obs, &self.shared.counters.snapshot());
+        let mut w = 0u64;
+        let archive = timed_read(&self.shared.archive, &self.shared.counters, &mut w);
+        observe::note_archive_gauges(&self.shared.obs, &archive);
+    }
+
     /// Runs `f` under a read guard on the catalog.
     pub fn with_catalog<R>(&self, f: impl FnOnce(&Catalog) -> R) -> R {
         let mut w = 0u64;
@@ -422,17 +461,34 @@ impl Session {
             .statements
             .fetch_add(1, Ordering::Relaxed);
         let stmt = parse(sql)?;
+        if let Some(rows) = self.system_view_rows(&stmt, &mut waited) {
+            return Ok(QueryResult {
+                metrics: QueryMetrics {
+                    compile_wall: t0.elapsed(),
+                    result_rows: rows.len(),
+                    lock_wait: Duration::from_nanos(waited),
+                    ..QueryMetrics::default()
+                },
+                rows,
+            });
+        }
         let bound = {
             let catalog = timed_read(&self.shared.catalog, &self.shared.counters, &mut waited);
             bind_statement(&stmt, &catalog)?
         };
         match bound {
-            BoundStatement::Select(block) => self.run_select(block, t0, waited),
+            BoundStatement::Select(block) => self.run_select(block, t0, waited, sql),
             BoundStatement::Explain(block) => {
                 let clock = self.shared.clock.fetch_add(1, Ordering::SeqCst) + 1;
                 let setting =
                     timed_read(&self.shared.setting, &self.shared.counters, &mut waited).clone();
-                let (collected, _, _, _) = self.compile_phase(&block, &setting, clock, &mut waited);
+                let (collected, _, _, _, _) = self.compile_phase(
+                    &block,
+                    &setting,
+                    clock,
+                    &mut waited,
+                    &mut TraceBuilder::off(),
+                );
                 let plan = self.plan_for(&block, &collected, &setting, clock, &mut waited)?;
                 let metrics = QueryMetrics {
                     compile_wall: t0.elapsed(),
@@ -468,9 +524,66 @@ impl Session {
         };
         let clock = self.shared.clock.fetch_add(1, Ordering::SeqCst) + 1;
         let setting = timed_read(&self.shared.setting, &self.shared.counters, &mut waited).clone();
-        let (collected, _, _, _) = self.compile_phase(&block, &setting, clock, &mut waited);
+        let (collected, _, _, _, _) = self.compile_phase(
+            &block,
+            &setting,
+            clock,
+            &mut waited,
+            &mut TraceBuilder::off(),
+        );
         let plan = self.plan_for(&block, &collected, &setting, clock, &mut waited)?;
         Ok(plan.explain())
+    }
+
+    /// Replays the JITS compile-phase decisions for `sql` against a
+    /// consistent snapshot of the shared state, without executing,
+    /// bumping the clock, or drawing from this session's sampling RNG
+    /// (the locked counterpart of [`Database::explain_jits`]).
+    pub fn explain_jits(&self, sql: &str) -> Result<JitsExplain> {
+        let mut waited = 0u64;
+        let sh = &self.shared;
+        let stmt = parse(sql)?;
+        // guards in rank order; all reads, held together for a coherent
+        // snapshot of the decision inputs
+        let catalog = timed_read(&sh.catalog, &sh.counters, &mut waited);
+        let (BoundStatement::Select(block) | BoundStatement::Explain(block)) =
+            bind_statement(&stmt, &catalog)?
+        else {
+            return Err(JitsError::Plan("EXPLAIN JITS supports SELECT only".into()));
+        };
+        let tables = timed_read(&sh.tables, &sh.counters, &mut waited);
+        let archive = timed_read(&sh.archive, &sh.counters, &mut waited);
+        let history = timed_read(&sh.history, &sh.counters, &mut waited);
+        let predcache = timed_read(&sh.predcache, &sh.counters, &mut waited);
+        let setting = timed_read(&sh.setting, &sh.counters, &mut waited).clone();
+        Ok(explain_block(
+            sql, &block, &setting, &catalog, &tables, &archive, &history, &predcache,
+        ))
+    }
+
+    /// Answers a `SELECT` from one of the virtual system views, unless a
+    /// user table shadows the name.
+    fn system_view_rows(
+        &self,
+        stmt: &jits_query::Statement,
+        waited: &mut u64,
+    ) -> Option<Vec<Vec<Value>>> {
+        let view = views::system_view_name(stmt)?;
+        let sh = &self.shared;
+        {
+            let catalog = timed_read(&sh.catalog, &sh.counters, waited);
+            if catalog.resolve(view).is_some() {
+                return None;
+            }
+        }
+        Some(match view {
+            views::VIEW_ARCHIVE_STATS => {
+                let archive = timed_read(&sh.archive, &sh.counters, waited);
+                views::archive_stats_rows(&archive)
+            }
+            views::VIEW_TABLE_SCORES => views::table_scores_rows(&sh.obs),
+            _ => views::query_log_rows(&sh.obs),
+        })
     }
 
     fn run_select(
@@ -478,15 +591,20 @@ impl Session {
         block: QueryBlock,
         t0: Instant,
         mut waited: u64,
+        sql: &str,
     ) -> Result<QueryResult> {
         let sh = Arc::clone(&self.shared);
         let clock = sh.clock.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut tb = sh.obs.tracer.start(sql, clock, self.id);
+        tb.begin("parse_bind");
+        tb.end(t0.elapsed().as_nanos() as u64);
         let setting = timed_read(&sh.setting, &sh.counters, &mut waited).clone();
         let mut metrics = QueryMetrics::default();
 
         // -- JITS compile-time pipeline --
-        let (collected, sampled, materialized, scores) =
-            self.compile_phase(&block, &setting, clock, &mut waited);
+        let (collected, sampled, materialized, scores, walls) =
+            self.compile_phase(&block, &setting, clock, &mut waited, &mut tb);
+        metrics.set_stage_walls(walls);
         metrics.compile_work = collected.work;
         metrics.sampled_tables = sampled;
         metrics.materialized_groups = materialized;
@@ -494,21 +612,28 @@ impl Session {
         metrics.collect_threads = collected.collect_threads;
 
         // -- optimize --
+        tb.begin("optimize");
+        let topt = Instant::now();
         let plan = self.plan_for(&block, &collected, &setting, clock, &mut waited)?;
+        tb.end(topt.elapsed().as_nanos() as u64);
         metrics.plan = Some(PlanSummary::from(&plan));
         metrics.compile_wall = t0.elapsed();
 
         // -- execute --
+        tb.begin("execute");
         let t1 = Instant::now();
         let out = {
             let tables = timed_read(&sh.tables, &sh.counters, &mut waited);
             execute(&plan, &block, &tables, &sh.cost)?
         };
         metrics.exec_wall = t1.elapsed();
+        tb.end(metrics.exec_wall.as_nanos() as u64);
         metrics.exec_work = out.stats.work;
         metrics.result_rows = out.rows.len();
 
         // -- feedback (LEO) --
+        tb.begin("feedback");
+        let tf = Instant::now();
         let cfg = setting.jits_config().cloned().unwrap_or_default();
         {
             let catalog = timed_read(&sh.catalog, &sh.counters, &mut waited);
@@ -524,6 +649,8 @@ impl Session {
                 clock,
             );
         }
+        observe::note_feedback(&sh.obs, &mut tb, out.stats.scans.len());
+        tb.end(tf.elapsed().as_nanos() as u64);
 
         // -- periodic statistics migration (paper Figure 1) --
         if matches!(setting, StatsSetting::Jits(_))
@@ -536,6 +663,19 @@ impl Session {
         }
 
         metrics.lock_wait = Duration::from_nanos(waited);
+        observe::note_statement(
+            &sh.obs,
+            QueryLogEntry {
+                clock,
+                session: self.id,
+                sql: sql.to_string(),
+                result_rows: metrics.result_rows,
+                compile_nanos: metrics.compile_wall.as_nanos() as u64,
+                exec_nanos: metrics.exec_wall.as_nanos() as u64,
+                sampled_tables: sampled,
+            },
+        );
+        sh.obs.tracer.finish(tb, t0.elapsed().as_nanos() as u64);
         Ok(QueryResult {
             rows: out.rows,
             metrics,
@@ -545,28 +685,50 @@ impl Session {
     /// Runs query analysis, sensitivity analysis, sampling and archive
     /// materialization under read guards, with two narrow write windows
     /// (UDI reset, materialization). Returns the fresh statistics, the
-    /// sampled-table count, the materialized-group count, and the scores.
+    /// sampled-table count, the materialized-group count, the scores,
+    /// and the per-stage wall times (which also decorate `tb`'s spans).
     fn compile_phase(
         &mut self,
         block: &QueryBlock,
         setting: &StatsSetting,
         clock: u64,
         waited: &mut u64,
-    ) -> (CollectedStats, usize, usize, Vec<jits::TableScore>) {
+        tb: &mut TraceBuilder,
+    ) -> (
+        CollectedStats,
+        usize,
+        usize,
+        Vec<jits::TableScore>,
+        StageWalls,
+    ) {
+        let mut walls = StageWalls::default();
         let StatsSetting::Jits(cfg) = setting.clone() else {
-            return (CollectedStats::default(), 0, 0, Vec::new());
+            return (CollectedStats::default(), 0, 0, Vec::new(), walls);
         };
         if cfg.never_collects() {
-            return (CollectedStats::default(), 0, 0, Vec::new());
+            return (CollectedStats::default(), 0, 0, Vec::new(), walls);
         }
+
+        // -- query analysis (Algorithm 1; no locks needed) --
+        tb.begin("analyze");
+        let t = Instant::now();
         let candidates = query_analysis(block, cfg.max_group_enumeration);
+        walls.analyze = t.elapsed();
         let sh = &self.shared;
+        observe::note_analysis(&sh.obs, tb, block.quns.len(), candidates.len());
+        tb.end(walls.analyze.as_nanos() as u64);
+
         let (sample_quns, materialize, table_scores, collected) = {
             let catalog = timed_read(&sh.catalog, &sh.counters, waited);
             let tables = timed_read(&sh.tables, &sh.counters, waited);
             let archive = timed_read(&sh.archive, &sh.counters, waited);
             let history = timed_read(&sh.history, &sh.counters, waited);
-            let (sample_quns, materialize, table_scores, extra_work) = match &cfg.strategy {
+
+            // -- sensitivity analysis (Algorithms 2-4) --
+            tb.begin("sensitivity");
+            let t = Instant::now();
+            let (sample_quns, materialize, table_scores, extra_work, mat_log) = match &cfg.strategy
+            {
                 SensitivityStrategy::PaperHeuristic => {
                     let predcache = timed_read(&sh.predcache, &sh.counters, waited);
                     let decision = sensitivity_analysis(
@@ -584,6 +746,7 @@ impl Session {
                         decision.materialize,
                         decision.table_scores,
                         0.0,
+                        decision.materialize_log,
                     )
                 }
                 SensitivityStrategy::EpsilonPlanning(eps) => {
@@ -596,10 +759,28 @@ impl Session {
                         final_gap: 0.0,
                     });
                     let work = outcome.optimizer_calls as f64 * OPTIMIZER_CALL_WORK;
-                    (outcome.sample_quns, Vec::new(), Vec::new(), work)
+                    (
+                        outcome.sample_quns,
+                        Vec::new(),
+                        Vec::new(),
+                        work,
+                        Vec::new(),
+                    )
                 }
             };
-            let mut collected = collect_for_tables_parallel(
+            walls.sensitivity = t.elapsed();
+            observe::note_sensitivity(&sh.obs, tb, &catalog, &table_scores, &mat_log, &cfg, clock);
+            tb.end(walls.sensitivity.as_nanos() as u64);
+
+            // -- statistics collection (sampling) --
+            tb.begin("collect");
+            let t = Instant::now();
+            let clock_fn: Option<&(dyn Fn() -> u64 + Sync)> = if tb.enabled() {
+                Some(&jits_obs::clock::now_nanos)
+            } else {
+                None
+            };
+            let (mut collected, timings) = collect_for_tables_traced(
                 block,
                 &sample_quns,
                 &candidates,
@@ -607,8 +788,13 @@ impl Session {
                 cfg.sample,
                 &mut self.rng,
                 cfg.collect_threads,
+                clock_fn,
             );
             collected.work += extra_work;
+            walls.collect = t.elapsed();
+            observe::note_collect(&sh.obs, tb, block, &catalog, &timings);
+            tb.end(walls.collect.as_nanos() as u64);
+
             (sample_quns, materialize, table_scores, collected)
         };
         if collected.collect_threads > 1 {
@@ -626,24 +812,40 @@ impl Session {
                 tables[tid.index()].reset_udi();
             }
         }
+
+        // -- archive materialization / max-entropy refinement --
+        tb.begin("refine");
+        let t = Instant::now();
         let mut materialized = 0usize;
         if !materialize.is_empty() {
             let mut archive = timed_write(&sh.archive, &sh.counters, waited);
             let mut predcache = timed_write(&sh.predcache, &sh.counters, waited);
             for cand in &materialize {
-                if materialize_group_into(
+                let outcome = materialize_group_into(
                     block,
                     cand,
                     &collected,
                     clock,
                     &mut archive,
                     &mut predcache,
-                ) {
+                );
+                if !matches!(outcome, MaterializeOutcome::Skipped) {
                     materialized += 1;
                 }
+                observe::note_materialize_outcome(&sh.obs, tb, &cand.colgroup, &outcome);
             }
+            observe::note_archive_gauges(&sh.obs, &archive);
         }
-        (collected, sample_quns.len(), materialized, table_scores)
+        walls.refine = t.elapsed();
+        tb.end(walls.refine.as_nanos() as u64);
+
+        (
+            collected,
+            sample_quns.len(),
+            materialized,
+            table_scores,
+            walls,
+        )
     }
 
     /// Optimizes a block under the given statistics setting (the locked

@@ -1,0 +1,96 @@
+//! Virtual system views over the observability state.
+//!
+//! Three read-only views answer plain `SELECT * FROM <view>` statements
+//! without touching user data, bumping the query clock, or drawing from
+//! the sampling RNG:
+//!
+//! | View                 | Row layout                                         |
+//! |----------------------|----------------------------------------------------|
+//! | `jits_archive_stats` | colgroup, buckets, total, uniformity, last_used    |
+//! | `jits_table_scores`  | clock, qun, table, s1, s2, score, collect, reason  |
+//! | `jits_query_log`     | clock, session, sql, rows, compile_ns, exec_ns, sampled |
+//!
+//! A user table with the same name shadows the view (the interception only
+//! fires when the name does not resolve in the catalog).
+
+use jits::QssArchive;
+use jits_common::Value;
+use jits_obs::Observability;
+use jits_query::Statement;
+
+/// `SELECT * FROM jits_archive_stats` — one row per archived histogram.
+pub const VIEW_ARCHIVE_STATS: &str = "jits_archive_stats";
+/// `SELECT * FROM jits_table_scores` — latest sensitivity scores.
+pub const VIEW_TABLE_SCORES: &str = "jits_table_scores";
+/// `SELECT * FROM jits_query_log` — recent statements.
+pub const VIEW_QUERY_LOG: &str = "jits_query_log";
+
+/// Returns the canonical view name if `stmt` is a single-table SELECT from
+/// one of the virtual system views (matched case-insensitively).
+pub(crate) fn system_view_name(stmt: &Statement) -> Option<&'static str> {
+    let Statement::Select(sel) = stmt else {
+        return None;
+    };
+    if sel.from.len() != 1 {
+        return None;
+    }
+    match sel.from[0].table.to_ascii_lowercase().as_str() {
+        VIEW_ARCHIVE_STATS => Some(VIEW_ARCHIVE_STATS),
+        VIEW_TABLE_SCORES => Some(VIEW_TABLE_SCORES),
+        VIEW_QUERY_LOG => Some(VIEW_QUERY_LOG),
+        _ => None,
+    }
+}
+
+/// Rows of `jits_archive_stats`, in the archive's deterministic key order.
+pub(crate) fn archive_stats_rows(archive: &QssArchive) -> Vec<Vec<Value>> {
+    archive
+        .iter()
+        .map(|(group, hist)| {
+            vec![
+                Value::str(group.to_string()),
+                Value::Int(hist.n_buckets() as i64),
+                Value::Float(hist.total()),
+                Value::Float(hist.uniformity()),
+                Value::Int(hist.last_used() as i64),
+            ]
+        })
+        .collect()
+}
+
+/// Rows of `jits_table_scores` from the most recent sensitivity pass.
+pub(crate) fn table_scores_rows(obs: &Observability) -> Vec<Vec<Value>> {
+    let (clock, rows) = obs.latest_scores();
+    rows.into_iter()
+        .map(|r| {
+            vec![
+                Value::Int(clock as i64),
+                Value::Int(r.qun as i64),
+                Value::str(r.table),
+                Value::Float(r.s1),
+                Value::Float(r.s2),
+                Value::Float(r.score),
+                Value::Int(r.collect as i64),
+                Value::str(r.reason),
+            ]
+        })
+        .collect()
+}
+
+/// Rows of `jits_query_log`, oldest first.
+pub(crate) fn query_log_rows(obs: &Observability) -> Vec<Vec<Value>> {
+    obs.recent_queries()
+        .into_iter()
+        .map(|q| {
+            vec![
+                Value::Int(q.clock as i64),
+                Value::Int(q.session as i64),
+                Value::str(q.sql),
+                Value::Int(q.result_rows as i64),
+                Value::Int(q.compile_nanos as i64),
+                Value::Int(q.exec_nanos as i64),
+                Value::Int(q.sampled_tables as i64),
+            ]
+        })
+        .collect()
+}

@@ -34,5 +34,5 @@ pub mod region;
 pub use accuracy::{boundary_accuracy, region_accuracy};
 pub use equidepth::EquiDepth;
 pub use grid::GridHistogram;
-pub use maxent::{Constraint, IpfOptions};
+pub use maxent::{Constraint, FitResult, IpfOptions};
 pub use region::Region;

@@ -54,6 +54,22 @@ pub struct FitResult {
     pub converged: bool,
 }
 
+impl std::fmt::Display for FitResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} sweep(s), residual {:.2e}{}",
+            self.iterations,
+            self.max_residual,
+            if self.converged {
+                ""
+            } else {
+                " (not converged)"
+            }
+        )
+    }
+}
+
 /// A constraint lowered onto the grid: the flat indices of the buckets it
 /// covers plus its target count.
 #[derive(Debug, Clone)]

@@ -10,8 +10,25 @@
 //! use LRU".
 
 use jits_common::ColGroup;
-use jits_histogram::{region_accuracy, GridHistogram, Region};
+use jits_histogram::{region_accuracy, FitResult, GridHistogram, Region};
 use std::collections::BTreeMap;
+
+/// What one [`QssArchive::apply_observation`] call did — the refine trail
+/// observability reports (created vs refreshed, bucket growth, IPF fit
+/// quality, evictions the budget forced).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefineOutcome {
+    /// Whether the histogram was created by this observation.
+    pub created: bool,
+    /// Buckets before the observation (0 when `created`).
+    pub buckets_before: usize,
+    /// Buckets after splitting on the observation's region boundaries.
+    pub buckets_after: usize,
+    /// The max-entropy refit result (IPF iterations, residual, convergence).
+    pub fit: FitResult,
+    /// Groups the budget enforcement evicted, in eviction order.
+    pub evicted: Vec<ColGroup>,
+}
 
 /// The archive.
 ///
@@ -58,10 +75,11 @@ impl QssArchive {
 
     /// Adjusts the space budget and eviction threshold in place (keeps the
     /// stored histograms, evicting only if the new budget is tighter).
-    pub fn set_limits(&mut self, bucket_budget: usize, eviction_uniformity: f64) {
+    /// Returns the groups evicted to honour the tighter budget.
+    pub fn set_limits(&mut self, bucket_budget: usize, eviction_uniformity: f64) -> Vec<ColGroup> {
         self.bucket_budget = bucket_budget.max(1);
         self.eviction_uniformity = eviction_uniformity;
-        self.enforce_budget();
+        self.enforce_budget()
     }
 
     /// Number of stored histograms.
@@ -112,7 +130,8 @@ impl QssArchive {
 
     /// Applies an observation (`count` of `total` rows in `region`) to the
     /// group's histogram, creating it over `frame` first if absent, then
-    /// enforces the space budget.
+    /// enforces the space budget. Returns the refine trail for
+    /// observability; callers that only maintain the archive may ignore it.
     pub fn apply_observation(
         &mut self,
         group: ColGroup,
@@ -121,14 +140,24 @@ impl QssArchive {
         count: f64,
         total: f64,
         stamp: u64,
-    ) {
+    ) -> RefineOutcome {
+        let created = !self.histograms.contains_key(&group);
         let hist = self
             .histograms
             .entry(group)
             .or_insert_with(|| GridHistogram::new(frame, total, stamp));
-        hist.apply_observation(region, count, total, stamp);
+        let buckets_before = if created { 0 } else { hist.n_buckets() };
+        let fit = hist.apply_observation(region, count, total, stamp);
         hist.touch(stamp);
-        self.enforce_budget();
+        let buckets_after = hist.n_buckets();
+        let evicted = self.enforce_budget();
+        RefineOutcome {
+            created,
+            buckets_before,
+            buckets_after,
+            fit,
+            evicted,
+        }
     }
 
     /// Rescales a group's histogram to a new table cardinality (e.g. after
@@ -140,16 +169,20 @@ impl QssArchive {
     }
 
     /// Evicts histograms until the bucket budget holds: almost-uniform
-    /// histograms first (LRU among them), then pure LRU.
-    fn enforce_budget(&mut self) {
+    /// histograms first (LRU among them), then pure LRU. Returns the
+    /// evicted groups in eviction order.
+    fn enforce_budget(&mut self) -> Vec<ColGroup> {
+        let mut evicted = Vec::new();
         while self.total_buckets() > self.bucket_budget && self.histograms.len() > 1 {
             let victim = self.pick_victim();
             if let Some(v) = victim {
                 self.histograms.remove(&v);
+                evicted.push(v);
             } else {
                 break;
             }
         }
+        evicted
     }
 
     fn pick_victim(&self) -> Option<ColGroup> {

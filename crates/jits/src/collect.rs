@@ -19,8 +19,27 @@ use crate::analysis::CandidateGroup;
 use jits_common::{ColGroup, ColumnId, DataType, SplitMix64, TableId};
 use jits_histogram::Region;
 use jits_query::QueryBlock;
-use jits_storage::{sample::sample_rows, SampleSpec, Table};
+use jits_storage::{sample::sample_rows_counted, SampleSpec, Table};
 use std::collections::{BTreeMap, HashMap};
+
+/// Per-table collection telemetry — trace decoration only, deliberately
+/// kept *out* of [`CollectedStats`] so wall-clock readings can never reach
+/// statistics-bearing state. `rows_sampled` and `slot_probes` are
+/// deterministic; `worker` and `wall_nanos` depend on scheduling and the
+/// caller's clock (both 0 when no clock is supplied).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectTiming {
+    /// Quantifier index the table was sampled for.
+    pub qun: usize,
+    /// Rows drawn into the sample.
+    pub rows_sampled: usize,
+    /// Storage slot probes the draw cost.
+    pub slot_probes: usize,
+    /// Worker thread index that handled the table.
+    pub worker: usize,
+    /// Wall nanoseconds the table's collection took (0 without a clock).
+    pub wall_nanos: u64,
+}
 
 /// Joint statistics of one candidate group, measured on a sample.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +122,7 @@ struct TablePartial {
     groups: Vec<((usize, Vec<usize>), GroupStat)>,
     frames: Vec<(ColGroup, Region)>,
     work: f64,
+    timing: CollectTiming,
 }
 
 /// Derives the independent RNG stream of one (table, quantifier) pair.
@@ -119,6 +139,7 @@ fn table_stream(base: u64, tid: TableId, qun: usize) -> SplitMix64 {
 
 /// Samples one marked quantifier's table and evaluates every candidate
 /// group on that quantifier against the sample.
+#[allow(clippy::too_many_arguments)]
 fn collect_one_table(
     block: &QueryBlock,
     qun: usize,
@@ -126,20 +147,33 @@ fn collect_one_table(
     table: &Table,
     spec: SampleSpec,
     mut rng: SplitMix64,
+    worker: usize,
+    clock: Option<&(dyn Fn() -> u64 + Sync)>,
 ) -> TablePartial {
+    let started = clock.map(|c| c()).unwrap_or(0);
     let mut out = TablePartial {
         qun,
         groups: Vec::new(),
         frames: Vec::new(),
         work: 0.0,
+        timing: CollectTiming {
+            qun,
+            rows_sampled: 0,
+            slot_probes: 0,
+            worker,
+            wall_nanos: 0,
+        },
     };
-    let rows = sample_rows(table, spec, &mut rng);
+    let (rows, probes) = sample_rows_counted(table, spec, &mut rng);
     let n = rows.len();
+    out.timing.rows_sampled = n;
+    out.timing.slot_probes = probes;
     // random-probe sampling costs O(sample), independent of table size
     // (paper §4, citing [1, 8, 12]); charge a random-access fetch per
     // sampled row
     out.work += n as f64 * 2.0;
     if n == 0 {
+        out.timing.wall_nanos = clock.map(|c| c().saturating_sub(started)).unwrap_or(0);
         return out;
     }
 
@@ -234,6 +268,7 @@ fn collect_one_table(
                 .push((cand.colgroup.clone(), Region::new(ranges)));
         }
     }
+    out.timing.wall_nanos = clock.map(|c| c().saturating_sub(started)).unwrap_or(0);
     out
 }
 
@@ -255,7 +290,7 @@ pub fn collect_for_tables(
 ///
 /// Results are **bit-identical** to the sequential path for any `threads`
 /// value: every (table, quantifier) pair draws from its own RNG stream
-/// derived via [`table_stream`], and partials merge in quantifier order
+/// derived via `table_stream`, and partials merge in quantifier order
 /// (fixing the f64 `work` summation order too).
 pub fn collect_for_tables_parallel(
     block: &QueryBlock,
@@ -266,6 +301,35 @@ pub fn collect_for_tables_parallel(
     rng: &mut SplitMix64,
     threads: usize,
 ) -> CollectedStats {
+    collect_for_tables_traced(
+        block,
+        sample_quns,
+        candidates,
+        tables,
+        spec,
+        rng,
+        threads,
+        None,
+    )
+    .0
+}
+
+/// [`collect_for_tables_parallel`] plus per-table [`CollectTiming`]
+/// telemetry for tracing. `clock` supplies monotonic nanoseconds (pass
+/// `None` when not tracing — timings then carry zero wall time but still
+/// report deterministic row/probe counts). The statistics returned are
+/// identical whether or not a clock is supplied.
+#[allow(clippy::too_many_arguments)]
+pub fn collect_for_tables_traced(
+    block: &QueryBlock,
+    sample_quns: &[usize],
+    candidates: &[CandidateGroup],
+    tables: &[Table],
+    spec: SampleSpec,
+    rng: &mut SplitMix64,
+    threads: usize,
+    clock: Option<&(dyn Fn() -> u64 + Sync)>,
+) -> (CollectedStats, Vec<CollectTiming>) {
     let mut out = CollectedStats::default();
     // Table statistics (row counts) are "needed for every table involved in
     // the query" (paper §3.2) and are cheap metadata — collect them for all
@@ -294,7 +358,9 @@ pub fn collect_for_tables_parallel(
 
     let mut partials: Vec<TablePartial> = if workers <= 1 || jobs.len() <= 1 {
         jobs.into_iter()
-            .map(|(qun, table, rng)| collect_one_table(block, qun, candidates, table, spec, rng))
+            .map(|(qun, table, rng)| {
+                collect_one_table(block, qun, candidates, table, spec, rng, 0, clock)
+            })
             .collect()
     } else {
         // round-robin the jobs across scoped workers; assignment does not
@@ -312,7 +378,7 @@ pub fn collect_for_tables_parallel(
                     worker_jobs
                         .into_iter()
                         .map(|(qun, table, rng)| {
-                            collect_one_table(block, qun, candidates, table, spec, rng)
+                            collect_one_table(block, qun, candidates, table, spec, rng, w, clock)
                         })
                         .collect::<Vec<TablePartial>>()
                 }));
@@ -326,6 +392,7 @@ pub fn collect_for_tables_parallel(
 
     // deterministic merge in quantifier order
     partials.sort_by_key(|p| p.qun);
+    let mut timings = Vec::with_capacity(partials.len());
     for p in partials {
         out.work += p.work;
         for (key, stat) in p.groups {
@@ -334,8 +401,9 @@ pub fn collect_for_tables_parallel(
         for (cg, frame) in p.frames {
             out.frames.entry(cg).or_insert(frame);
         }
+        timings.push(p.timing);
     }
-    out
+    (out, timings)
 }
 
 #[cfg(test)]

@@ -47,12 +47,17 @@ pub mod provider;
 pub mod sensitivity;
 
 pub use analysis::{query_analysis, CandidateGroup};
-pub use archive::QssArchive;
-pub use collect::{collect_for_tables, collect_for_tables_parallel, CollectedStats};
+pub use archive::{QssArchive, RefineOutcome};
+pub use collect::{
+    collect_for_tables, collect_for_tables_parallel, collect_for_tables_traced, CollectTiming,
+    CollectedStats,
+};
 pub use config::{AggregateFn, JitsConfig, SensitivityStrategy};
 pub use epsilon::{epsilon_sensitivity, EpsilonConfig, EpsilonOutcome};
 pub use feedback::ingest;
 pub use history::{HistEntry, StatHistory};
 pub use predcache::{fingerprint, PredicateCache};
 pub use provider::JitsStatisticsProvider;
-pub use sensitivity::{sensitivity_analysis, SensitivityDecision, TableScore};
+pub use sensitivity::{
+    sensitivity_analysis, MaterializeDecision, MaterializeReason, SensitivityDecision, TableScore,
+};

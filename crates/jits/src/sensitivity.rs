@@ -23,6 +23,7 @@ use jits_catalog::Catalog;
 use jits_common::{ColGroup, ColumnId, DataType, Interval, TableId};
 use jits_query::QueryBlock;
 use jits_storage::Table;
+use std::fmt;
 
 /// Diagnostic scores for one quantifier's table.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +43,50 @@ pub struct TableScore {
     pub collect: bool,
 }
 
+/// Why Algorithm 4 did (or did not) materialize a candidate group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MaterializeReason {
+    /// An archive histogram on the group already exists and is refreshed.
+    RefreshArchive,
+    /// A predicate-cache entry for the fingerprint exists and is refreshed.
+    RefreshCache,
+    /// `s_max = 0`: the configuration materializes everything collected.
+    AlwaysCollects,
+    /// Usage-weighted historical usefulness cleared `s_max` (the score).
+    Useful(f64),
+    /// The group was never used by a recorded estimate, so usefulness is
+    /// unknowable.
+    NoUsageHistory,
+    /// Usage-weighted usefulness fell below `s_max` (the score).
+    BelowThreshold(f64),
+}
+
+impl fmt::Display for MaterializeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaterializeReason::RefreshArchive => write!(f, "refresh existing archive histogram"),
+            MaterializeReason::RefreshCache => write!(f, "refresh existing predicate-cache entry"),
+            MaterializeReason::AlwaysCollects => write!(f, "s_max = 0: always materialize"),
+            MaterializeReason::Useful(s) => write!(f, "usefulness {s:.3} >= s_max"),
+            MaterializeReason::NoUsageHistory => write!(f, "no usage history"),
+            MaterializeReason::BelowThreshold(s) => write!(f, "usefulness {s:.3} < s_max"),
+        }
+    }
+}
+
+/// One Algorithm 4 verdict, with its rationale (diagnostics/tracing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaterializeDecision {
+    /// Quantifier index the candidate belongs to.
+    pub qun: usize,
+    /// The candidate's column group.
+    pub colgroup: ColGroup,
+    /// Whether the group will be materialized.
+    pub materialize: bool,
+    /// Why.
+    pub reason: MaterializeReason,
+}
+
 /// The outcome of Algorithm 2.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SensitivityDecision {
@@ -51,6 +96,9 @@ pub struct SensitivityDecision {
     pub sample_quns: Vec<usize>,
     /// Collected groups to materialize into the QSS archive.
     pub materialize: Vec<CandidateGroup>,
+    /// Per-candidate Algorithm 4 verdicts with rationale, for every
+    /// candidate of every sampled table (diagnostics/tracing).
+    pub materialize_log: Vec<MaterializeDecision>,
 }
 
 /// Algorithm 2: mark tables for collection and groups for materialization.
@@ -69,6 +117,7 @@ pub fn sensitivity_analysis(
         table_scores: Vec::new(),
         sample_quns: Vec::new(),
         materialize: Vec::new(),
+        materialize_log: Vec::new(),
     };
     if config.never_collects() {
         return decision;
@@ -97,9 +146,17 @@ pub fn sensitivity_analysis(
         }
         decision.sample_quns.push(qun);
         for cand in quns_candidates {
-            if should_materialize(block, cand, history, archive, predcache, config) {
+            let (materialize, reason) =
+                materialize_verdict(block, cand, history, archive, predcache, config);
+            if materialize {
                 decision.materialize.push(cand.clone());
             }
+            decision.materialize_log.push(MaterializeDecision {
+                qun,
+                colgroup: cand.colgroup.clone(),
+                materialize,
+                reason,
+            });
         }
     }
     decision
@@ -229,40 +286,44 @@ fn merged_interval(block: &QueryBlock, group_preds: &[usize], col: ColumnId) -> 
 /// Region-representable groups go to the QSS archive; groups without a
 /// region form (e.g. containing `<>`) go to the auxiliary predicate cache
 /// (paper §3.4 footnote 1) under the same usefulness rule.
-fn should_materialize(
+fn materialize_verdict(
     block: &QueryBlock,
     cand: &CandidateGroup,
     history: &StatHistory,
     archive: &QssArchive,
     predcache: &PredicateCache,
     config: &JitsConfig,
-) -> bool {
+) -> (bool, MaterializeReason) {
     // line 2: an existing stored statistic is always refreshed
     if cand.is_region {
         if archive.histogram(&cand.colgroup).is_some() {
-            return true;
+            return (true, MaterializeReason::RefreshArchive);
         }
     } else {
         let fp = fingerprint(block, &cand.pred_indices);
         if predcache.get(cand.colgroup.table(), &fp).is_some() {
-            return true;
+            return (true, MaterializeReason::RefreshCache);
         }
     }
     if config.always_collects() {
-        return true;
+        return (true, MaterializeReason::AlwaysCollects);
     }
     // usage-count-weighted average error factor of entries that *used* this
     // statistic
     let entries: Vec<_> = history.entries_using(&cand.colgroup).collect();
     let f: u64 = entries.iter().map(|e| e.count).sum();
     if f == 0 {
-        return false;
+        return (false, MaterializeReason::NoUsageHistory);
     }
     let score: f64 = entries
         .iter()
         .map(|e| e.accuracy() * e.count as f64 / f as f64)
         .sum();
-    score >= config.s_max
+    if score >= config.s_max {
+        (true, MaterializeReason::Useful(score))
+    } else {
+        (false, MaterializeReason::BelowThreshold(score))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,27 @@
+//! Known-bad fixture for the metrics-registry lock rank. Never compiled —
+//! the integration test feeds it to the analyzer and expects violations.
+//!
+//! The `registry` lock (rank 7) sits above every engine component: code may
+//! record metrics while holding any engine guard, but must never hold the
+//! registry open across an engine acquisition.
+
+fn registry_held_across_setting(obs: &Observability, sh: &SharedDatabase, w: &mut u64) {
+    let registry = obs.registry.read();
+    // BAD: registry (rank 7) is held while acquiring setting (rank 6)
+    let setting = timed_read(&sh.setting, &sh.counters, w);
+    use_both(&registry, &setting);
+}
+
+fn registry_reacquired(obs: &Observability) {
+    let registry = obs.registry.write();
+    // BAD: self-deadlock — the registry write guard is still held
+    let again = obs.registry.read();
+    use_both(&registry, &again);
+}
+
+fn metric_under_engine_guard_is_fine(obs: &Observability, sh: &SharedDatabase, w: &mut u64) {
+    let setting = timed_read(&sh.setting, &sh.counters, w);
+    // OK: ascending rank, and the registry guard is a statement temporary
+    obs.registry.read();
+    touch(&setting);
+}

@@ -81,6 +81,7 @@ pub const PRODUCT_CRATES: &[&str] = &[
     "executor",
     "histogram",
     "jits",
+    "obs",
     "optimizer",
     "query",
     "storage",
@@ -88,18 +89,24 @@ pub const PRODUCT_CRATES: &[&str] = &[
 ];
 
 /// Crates whose data feeds statistics: `HashMap`/`HashSet` iteration order
-/// must never be observable here.
-pub const HASH_ORDER_CRATES: &[&str] = &["catalog", "histogram", "jits", "storage"];
+/// must never be observable here. `obs` qualifies because its exporters must
+/// emit byte-identical output for identical runs (`BTreeMap` only).
+pub const HASH_ORDER_CRATES: &[&str] = &["catalog", "histogram", "jits", "obs", "storage"];
 
-/// The lock-order pass covers the crate that owns `SharedDatabase`.
-pub const LOCK_ORDER_CRATES: &[&str] = &["engine"];
+/// The lock-order pass covers the crate that owns `SharedDatabase` plus the
+/// observability crate, whose `registry` lock ranks above every engine
+/// component (it may be taken while any engine guard is held, never the
+/// reverse).
+pub const LOCK_ORDER_CRATES: &[&str] = &["engine", "obs"];
 
 /// Files allowed to read wall clocks: the lock-wait / phase-latency metrics
-/// plumbing. Timing there feeds [`EngineMetrics`]-style counters only, never
-/// statistics or plans.
+/// plumbing and the observability clock. Timing there feeds
+/// `EngineMetrics`-style counters, span durations and volatile metrics
+/// only, never statistics or plans.
 pub const WALL_CLOCK_WHITELIST: &[&str] = &[
     "crates/engine/src/database.rs",
     "crates/engine/src/session.rs",
+    "crates/obs/src/clock.rs",
 ];
 
 /// Files allowed to seed randomness from the environment (none currently:

@@ -2,8 +2,11 @@
 //!
 //! `SharedDatabase` guards its six components with ranked `RwLock`s:
 //! `catalog (1) < tables (2) < archive (3) < history (4) < predcache (5) <
-//! setting (6)`. Any thread holding a guard may only acquire components of
-//! strictly greater rank; re-acquiring a held component deadlocks a
+//! setting (6)`; the observability `registry` lock ranks above them all
+//! (7), so metrics may be recorded while any engine guard is held but the
+//! registry must never be held across an engine acquisition. Any thread
+//! holding a guard may only acquire components of strictly greater rank;
+//! re-acquiring a held component deadlocks a
 //! writer-preferring `RwLock` outright. The runtime tracker in
 //! `parking_lot::rank` asserts this on every acquisition in debug builds;
 //! this pass proves it for paths the test suite never executes.
@@ -31,7 +34,10 @@ use std::collections::BTreeMap;
 /// The rule slug for waivers.
 pub const RULE: &str = "lock-order";
 
-/// Component names in rank order (rank = index + 1).
+/// Component names in rank order (rank = index + 1). `registry` is the
+/// metrics-registry lock in `jits-obs`: highest rank, so recording a metric
+/// is legal under any engine guard but holding the registry across an
+/// engine acquisition is not.
 pub const COMPONENTS: &[&str] = &[
     "catalog",
     "tables",
@@ -39,6 +45,7 @@ pub const COMPONENTS: &[&str] = &[
     "history",
     "predcache",
     "setting",
+    "registry",
 ];
 
 fn rank_of(comp: &str) -> Option<usize> {

@@ -40,6 +40,30 @@ fn lock_order_fixture_is_flagged() {
 }
 
 #[test]
+fn lock_order_registry_fixture_is_flagged() {
+    let report = run_paths(&[fixture("lock_order_registry_bad.rs")]);
+    let lock: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == lock_order::RULE)
+        .collect();
+    // registry held across an engine acquisition + registry re-acquire;
+    // the metric-under-engine-guard function must stay clean
+    assert_eq!(lock.len(), 2, "expected 2 registry findings: {lock:#?}");
+    assert!(
+        lock.iter()
+            .any(|v| v.message.contains("`setting`") && v.message.contains("`registry`")),
+        "rank-order finding missing: {lock:#?}"
+    );
+    assert!(
+        lock.iter()
+            .any(|v| v.message.contains("re-acquires `registry`")),
+        "re-acquire finding missing: {lock:#?}"
+    );
+    assert!(report.failed(false));
+}
+
+#[test]
 fn determinism_fixture_is_flagged() {
     let report = run_paths(&[fixture("determinism_bad.rs")]);
     let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();

@@ -1,0 +1,36 @@
+//! The observability wall clock.
+//!
+//! This file is the only place in the observability crate allowed to read
+//! the OS clock (it is on `jits-lint`'s wall-clock whitelist). Everything
+//! else — trace spans, latency histograms, per-worker collection timings —
+//! receives nanosecond readings *through* [`now_nanos`], which keeps all
+//! timing quarantined in trace/metrics state and out of anything
+//! statistics-bearing: a reading taken here can decorate a span, but it can
+//! never influence what the engine computes.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Monotonic nanoseconds since the first call in this process.
+///
+/// Process-relative (not UNIX time) on purpose: differences are meaningful,
+/// absolute values are not, so a reading is useless as a data timestamp —
+/// one more guard against timing leaking into statistics.
+pub fn now_nanos() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone() {
+        let a = now_nanos();
+        let b = now_nanos();
+        assert!(b >= a);
+    }
+}

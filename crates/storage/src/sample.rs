@@ -43,6 +43,18 @@ impl Default for SampleSpec {
 /// table is heavily tombstoned (rejection would thrash) or smaller than the
 /// sample.
 pub fn sample_rows(table: &Table, spec: SampleSpec, rng: &mut SplitMix64) -> Vec<RowId> {
+    sample_rows_counted(table, spec, rng).0
+}
+
+/// [`sample_rows`] plus the number of storage slot probes the draw cost —
+/// the collection-cost signal observability reports. The probe count is a
+/// deterministic function of the table state, spec, and RNG stream (the
+/// reservoir fallback counts one probe per scanned slot).
+pub fn sample_rows_counted(
+    table: &Table,
+    spec: SampleSpec,
+    rng: &mut SplitMix64,
+) -> (Vec<RowId>, usize) {
     // expected probes ~ size / live_fraction; the generous cap only trips
     // under adversarial tombstone layouts, where we top up from a scan
     sample_rows_with_probe_cap(table, spec, rng, spec.size * 20 + 64)
@@ -53,23 +65,25 @@ fn sample_rows_with_probe_cap(
     spec: SampleSpec,
     rng: &mut SplitMix64,
     max_probes: usize,
-) -> Vec<RowId> {
+) -> (Vec<RowId>, usize) {
     let live = table.row_count();
     let slots = table.slot_count();
     if live == 0 {
-        return Vec::new();
+        return (Vec::new(), 0);
     }
     let live_fraction = live as f64 / slots as f64;
     if live <= spec.size || live_fraction < 0.25 {
-        return rng.reservoir_sample(table.scan(), spec.size);
+        return (rng.reservoir_sample(table.scan(), spec.size), live);
     }
     let mut chosen = std::collections::HashSet::with_capacity(spec.size * 2);
     let mut out = Vec::with_capacity(spec.size);
+    let mut probes = 0usize;
     for _ in 0..max_probes {
         if out.len() == spec.size {
-            return out;
+            return (out, probes);
         }
         let slot = rng.next_bounded(slots as u64) as RowId;
+        probes += 1;
         if table.is_live(slot) && chosen.insert(slot) {
             out.push(slot);
         }
@@ -81,8 +95,9 @@ fn sample_rows_with_probe_cap(
     // and the partial work is not thrown away.
     let remainder = spec.size - out.len();
     let fill = rng.reservoir_sample(table.scan().filter(|r| !chosen.contains(r)), remainder);
+    probes += live - out.len(); // the top-up scan touches every remaining live row
     out.extend(fill);
-    out
+    (out, probes)
 }
 
 #[cfg(test)]
@@ -155,16 +170,19 @@ mod tests {
         // a probe cap far below the requested size forces the top-up path
         // mid-sample; the result must still be exact-size and duplicate-free
         let mut rng = SplitMix64::new(11);
-        let s = sample_rows_with_probe_cap(&t, SampleSpec::fixed(2_000), &mut rng, 300);
+        let (s, probes) = sample_rows_with_probe_cap(&t, SampleSpec::fixed(2_000), &mut rng, 300);
         assert_eq!(s.len(), 2_000);
+        assert!(probes >= 300, "probe count must include the top-up scan");
         let mut sorted = s.clone();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), 2_000, "top-up must not re-pick probed rows");
         // deterministic given the same seed and cap
         let mut rng = SplitMix64::new(11);
-        let again = sample_rows_with_probe_cap(&t, SampleSpec::fixed(2_000), &mut rng, 300);
+        let (again, again_probes) =
+            sample_rows_with_probe_cap(&t, SampleSpec::fixed(2_000), &mut rng, 300);
         assert_eq!(s, again);
+        assert_eq!(probes, again_probes);
     }
 
     #[test]
@@ -176,7 +194,7 @@ mod tests {
         let mut hits_high = 0usize;
         for seed in 0..600u64 {
             let mut rng = SplitMix64::new(seed);
-            let s = sample_rows_with_probe_cap(&t, SampleSpec::fixed(100), &mut rng, 30);
+            let (s, _) = sample_rows_with_probe_cap(&t, SampleSpec::fixed(100), &mut rng, 30);
             assert_eq!(s.len(), 100);
             if s.contains(&0) {
                 hits_low += 1;

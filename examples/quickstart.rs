@@ -1,7 +1,7 @@
 //! Quickstart: build a database, watch JITS fix a correlated estimate.
 //!
 //! ```sh
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart [-- --trace --metrics]
 //! ```
 //!
 //! Creates a car table in which `model` functionally determines `make`
@@ -9,14 +9,25 @@
 //! same query under general statistics and under JITS. General statistics
 //! multiply the two selectivities (independence) and under-estimate ~3x;
 //! JITS samples the table at compile time and nails the joint selectivity.
+//!
+//! With `--trace`, the JITS run's span tree (parse/bind → analyze →
+//! sensitivity → collect → refine → optimize → execute → feedback) is
+//! printed; with `--metrics`, the metrics registry is exported as both JSON
+//! and Prometheus text and each export is checked against its grammar.
 
 use jits::JitsConfig;
 use jits_common::{DataType, Schema, Value};
 use jits_engine::{Database, StatsSetting};
+use jits_obs::{validate_json, validate_prometheus};
 
 fn main() -> jits_common::Result<()> {
+    let argv: Vec<String> = std::env::args().collect();
+    let trace = argv.iter().any(|a| a == "--trace");
+    let metrics = argv.iter().any(|a| a == "--metrics");
+
     // -- build a small correlated table --------------------------------
     let mut db = Database::new(42);
+    db.obs().tracer.set_enabled(trace);
     db.create_table(
         "car",
         Schema::from_pairs(&[
@@ -77,5 +88,21 @@ fn main() -> jits_common::Result<()> {
         db.archive().len(),
         db.history().len()
     );
+
+    if trace {
+        let t = db.obs().tracer.latest().expect("tracing was enabled");
+        println!("\n-- span trace of the JITS run ------------------------------");
+        print!("{}", t.render());
+    }
+    if metrics {
+        let json = db.metrics_json(true);
+        validate_json(&json).expect("metrics JSON export must parse");
+        let prom = db.metrics_prometheus();
+        validate_prometheus(&prom).expect("metrics Prometheus export must match the grammar");
+        println!("\n-- metrics registry (JSON, validated) ----------------------");
+        print!("{json}");
+        println!("-- metrics registry (Prometheus, validated) ----------------");
+        print!("{prom}");
+    }
     Ok(())
 }

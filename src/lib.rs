@@ -10,6 +10,7 @@ pub use jits_common as common;
 pub use jits_engine as engine;
 pub use jits_executor as executor;
 pub use jits_histogram as histogram;
+pub use jits_obs as obs;
 pub use jits_optimizer as optimizer;
 pub use jits_query as query;
 pub use jits_storage as storage;

@@ -4,7 +4,8 @@
 
 use jits_repro::core::JitsConfig;
 use jits_repro::workload::{
-    generate_workload, prepare, run_workload, setup_database, DataGenConfig, Setting, WorkloadSpec,
+    generate_workload, prepare, run_workload, run_workload_session, setup_database, DataGenConfig,
+    Setting, WorkloadSpec,
 };
 
 fn run_once(setting: &Setting) -> Vec<(f64, f64, usize)> {
@@ -45,6 +46,54 @@ fn general_stats_runs_are_identical() {
 fn jits_runs_are_identical() {
     let setting = Setting::Jits(JitsConfig::default());
     assert_eq!(run_once(&setting), run_once(&setting));
+}
+
+/// Runs the JITS workload through one session at the given collection
+/// fan-out with span tracing enabled, and returns the deterministic
+/// (non-volatile) metrics-registry export.
+fn metrics_json_at(collect_threads: usize) -> String {
+    let dg = DataGenConfig {
+        scale: 0.002,
+        seed: 123,
+    };
+    let spec = WorkloadSpec {
+        total_ops: 48,
+        dml_every: 8,
+        seed: 321,
+    };
+    let ops = generate_workload(&spec, &dg);
+    let mut db = setup_database(&dg).unwrap();
+    prepare(
+        &mut db,
+        &Setting::Jits(JitsConfig {
+            collect_threads,
+            ..JitsConfig::default()
+        }),
+        &ops,
+    )
+    .unwrap();
+    let shared = db.into_shared();
+    shared.obs().tracer.set_enabled(true);
+    let mut session = shared.session();
+    run_workload_session(&mut session, &ops).unwrap();
+    shared.metrics_json(false)
+}
+
+#[test]
+fn deterministic_metrics_are_byte_identical_across_collect_threads() {
+    // same workload + seed => the non-volatile registry export is
+    // byte-for-byte identical no matter how many collection workers run,
+    // with tracing enabled throughout (observability must not perturb the
+    // computation it observes)
+    let one = metrics_json_at(1);
+    let eight = metrics_json_at(8);
+    assert!(
+        one.contains("jits.collect.rows_sampled"),
+        "export must carry collection counters:\n{one}"
+    );
+    assert_eq!(one, eight);
+    // and the export stays deterministic across repeated identical runs
+    assert_eq!(one, metrics_json_at(1));
 }
 
 #[test]
