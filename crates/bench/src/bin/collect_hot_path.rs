@@ -1,0 +1,346 @@
+//! Collection fast-path benchmark: cold vs warm vs churned sample cache,
+//! plus the columnar-vs-row-oriented single-query win.
+//!
+//! Two layers are measured. The **library layer** times one
+//! `collect_for_tables_sourced` pass directly — cold (fresh draw), warm
+//! rows-only (served row ids, columns re-gathered), warm (served row ids
+//! *and* memoized columnar gathers — the exact-epoch engine hit), and a
+//! row-oriented reference that replays the pre-columnar shape (per-row
+//! `table.value()` clones, one full predicate pass per lattice group,
+//! separate min/max re-scan). The
+//! **engine layer** drives a repeated query through `Database` and reads the
+//! per-statement `collect_wall`, covering the cache's cold / warm /
+//! light-churn / mass-churn lifecycle end to end.
+//!
+//! Writes `BENCH_collect.json` next to the workspace root and prints the
+//! same JSON to stdout. `--quick` shrinks the data and fails (exit 1) if
+//! warm collection is not faster than cold — the CI regression guard.
+
+use jits::{collect_for_tables_sourced, query_analysis, JitsConfig};
+use jits_catalog::Catalog;
+use jits_common::{DataType, Schema, SplitMix64, Value};
+use jits_engine::{Database, StatsSetting};
+use jits_query::{bind_statement, parse, BoundStatement, QueryBlock};
+use jits_storage::{sample::sample_rows_counted, SampleSpec, Table};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SQL: &str =
+    "SELECT COUNT(*) FROM car WHERE make = 'Toyota' AND year > 1999 AND price < 30000";
+
+struct Args {
+    rows: usize,
+    reps: usize,
+    quick: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        rows: 120_000,
+        reps: 9,
+        quick: false,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--rows" => {
+                args.rows = argv[i + 1].parse().expect("bad --rows");
+                i += 2;
+            }
+            "--reps" => {
+                args.reps = argv[i + 1].parse().expect("bad --reps");
+                i += 2;
+            }
+            "--quick" => {
+                args.quick = true;
+                args.rows = 20_000;
+                args.reps = 5;
+                i += 1;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+fn median(mut v: Vec<u64>) -> u64 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+fn car_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("id", DataType::Int),
+        ("make", DataType::Str),
+        ("year", DataType::Int),
+        ("price", DataType::Int),
+    ])
+}
+
+fn car_row(i: i64) -> Vec<Value> {
+    vec![
+        Value::Int(i),
+        Value::str(if i % 3 == 0 { "Toyota" } else { "Honda" }),
+        Value::Int(1990 + i % 17),
+        Value::Int(5_000 + (i * 37) % 60_000),
+    ]
+}
+
+/// One table + the bound three-predicate block for the library layer.
+fn library_setup(rows: usize) -> (Vec<Table>, QueryBlock) {
+    let mut catalog = Catalog::new();
+    catalog.register_table("car", car_schema()).unwrap();
+    let mut t = Table::new("car", car_schema());
+    for i in 0..rows as i64 {
+        t.insert(car_row(i)).unwrap();
+    }
+    let BoundStatement::Select(block) = bind_statement(&parse(SQL).unwrap(), &catalog).unwrap()
+    else {
+        panic!("SQL is a SELECT")
+    };
+    (vec![t], block)
+}
+
+/// The pre-columnar collection shape: draw, then for every lattice group a
+/// full per-row pass cloning `Value`s out of the table, then a separate
+/// min/max re-scan per used column.
+fn row_oriented_reference(tables: &[Table], block: &QueryBlock, spec: SampleSpec) -> usize {
+    let candidates = query_analysis(block, 6);
+    let table = &tables[0];
+    let mut rng = SplitMix64::new(7);
+    let (rows, _probes) = sample_rows_counted(table, spec, &mut rng);
+    let mut total = 0usize;
+    for cand in &candidates {
+        total += rows
+            .iter()
+            .filter(|&&r| {
+                cand.pred_indices.iter().all(|&pi| {
+                    let p = &block.local_predicates[pi];
+                    p.matches(&table.value(r, p.column))
+                })
+            })
+            .count();
+    }
+    let mut used: Vec<jits_common::ColumnId> =
+        block.local_predicates.iter().map(|p| p.column).collect();
+    used.sort_unstable();
+    used.dedup();
+    for &col in &used {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &r in &rows {
+            if let Some(v) = table.axis_value(r, col) {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        total += (hi >= lo) as usize;
+    }
+    total
+}
+
+/// Times the library-layer scenarios; returns medians in nanoseconds:
+/// (cold draw+collect, warm rows-only, warm rows+frames, row-oriented
+/// reference).
+fn library_scenarios(rows: usize, reps: usize, spec: SampleSpec) -> (u64, u64, u64, u64) {
+    let (tables, block) = library_setup(rows);
+    let candidates = query_analysis(&block, 6);
+    let cold_sources = BTreeMap::new();
+
+    // a cold pass's drawn rows + gathers become the warm passes' serve
+    let mut rng = SplitMix64::new(7);
+    let (_, _, drawn) = collect_for_tables_sourced(
+        &block,
+        &[0],
+        &candidates,
+        &tables,
+        spec,
+        &mut rng,
+        1,
+        None,
+        &cold_sources,
+    );
+    let d = &drawn[0];
+    let rows_only_sources: BTreeMap<usize, jits::SampleSource> = [(
+        0usize,
+        jits::SampleSource::Served {
+            rows: Arc::clone(&d.rows),
+            probes: d.probes,
+            staleness: 0.0,
+            frames: BTreeMap::new(),
+            bitsets: BTreeMap::new(),
+        },
+    )]
+    .into();
+    let warm_sources: BTreeMap<usize, jits::SampleSource> = [(
+        0usize,
+        jits::SampleSource::Served {
+            rows: Arc::clone(&d.rows),
+            probes: d.probes,
+            staleness: 0.0,
+            frames: d.frames.iter().cloned().collect(),
+            bitsets: d.bitsets.iter().cloned().collect(),
+        },
+    )]
+    .into();
+
+    let (mut cold, mut warm_rows, mut warm, mut rowref) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    for _ in 0..reps {
+        let mut rng = SplitMix64::new(7);
+        let t = Instant::now();
+        let out = collect_for_tables_sourced(
+            &block,
+            &[0],
+            &candidates,
+            &tables,
+            spec,
+            &mut rng,
+            1,
+            None,
+            &cold_sources,
+        );
+        cold.push(t.elapsed().as_nanos() as u64);
+        assert!(!out.0.groups.is_empty());
+
+        let mut rng = SplitMix64::new(7);
+        let t = Instant::now();
+        let out = collect_for_tables_sourced(
+            &block,
+            &[0],
+            &candidates,
+            &tables,
+            spec,
+            &mut rng,
+            1,
+            None,
+            &rows_only_sources,
+        );
+        warm_rows.push(t.elapsed().as_nanos() as u64);
+        assert!(!out.0.groups.is_empty());
+
+        let mut rng = SplitMix64::new(7);
+        let t = Instant::now();
+        let out = collect_for_tables_sourced(
+            &block,
+            &[0],
+            &candidates,
+            &tables,
+            spec,
+            &mut rng,
+            1,
+            None,
+            &warm_sources,
+        );
+        warm.push(t.elapsed().as_nanos() as u64);
+        assert!(!out.0.groups.is_empty());
+
+        let t = Instant::now();
+        let n = row_oriented_reference(&tables, &block, spec);
+        rowref.push(t.elapsed().as_nanos() as u64);
+        assert!(n > 0);
+    }
+    (
+        median(cold),
+        median(warm_rows),
+        median(warm),
+        median(rowref),
+    )
+}
+
+/// Times the engine-layer lifecycle on a repeated query; returns medians in
+/// nanoseconds: (cold, warm, light-churn serve, mass-churn redraw).
+fn engine_scenarios(rows: usize, reps: usize) -> (u64, u64, u64, u64) {
+    let mut db = Database::new(0xC01D);
+    db.create_table("car", car_schema()).unwrap();
+    db.set_primary_key("car", "id").unwrap();
+    db.load_rows("car", (0..rows as i64).map(car_row).collect())
+        .unwrap();
+    db.set_setting(StatsSetting::Jits(JitsConfig {
+        s_max: 0.0, // collect on every query
+        collect_threads: 1,
+        ..JitsConfig::default()
+    }));
+    let collect_ns = |db: &mut Database, sql: &str| -> u64 {
+        db.execute(sql).unwrap().metrics.collect_wall.as_nanos() as u64
+    };
+
+    let mut cold = Vec::new();
+    for _ in 0..reps {
+        db.clear_statistics(); // empties the sample cache: next draw is cold
+        cold.push(collect_ns(&mut db, SQL));
+    }
+    let mut warm = Vec::new();
+    for _ in 0..reps {
+        warm.push(collect_ns(&mut db, SQL));
+    }
+    // one mutated row stays far under the staleness limit: still served
+    let mut churn_serve = Vec::new();
+    for i in 0..reps {
+        db.execute(&format!("UPDATE car SET year = 2007 WHERE id = {i}"))
+            .unwrap();
+        churn_serve.push(collect_ns(&mut db, SQL));
+    }
+    // an eighth of the table (12.5% > the 10% limit) forces a redraw
+    let mut churn_redraw = Vec::new();
+    for _ in 0..reps {
+        db.execute(&format!(
+            "UPDATE car SET year = 2008 WHERE id < {}",
+            rows / 8
+        ))
+        .unwrap();
+        churn_redraw.push(collect_ns(&mut db, SQL));
+    }
+    (
+        median(cold),
+        median(warm),
+        median(churn_serve),
+        median(churn_redraw),
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = SampleSpec::default();
+
+    let (lib_cold, lib_warm_rows, lib_warm, lib_rowref) =
+        library_scenarios(args.rows, args.reps, spec);
+    let (eng_cold, eng_warm, eng_serve, eng_redraw) = engine_scenarios(args.rows, args.reps);
+
+    let warm_speedup = eng_cold as f64 / eng_warm.max(1) as f64;
+    let lib_warm_speedup = lib_cold as f64 / lib_warm.max(1) as f64;
+    let columnar_speedup = lib_rowref as f64 / lib_cold.max(1) as f64;
+
+    let json = format!(
+        "{{\n  \"bench\": \"collect_hot_path\",\n  \"rows\": {},\n  \"sample_size\": {},\n  \"reps\": {},\n  \"quick\": {},\n  \"library\": {{\n    \"cold_collect_nanos\": {},\n    \"warm_rows_only_nanos\": {},\n    \"warm_collect_nanos\": {},\n    \"row_oriented_nanos\": {},\n    \"warm_vs_cold_speedup\": {:.2},\n    \"columnar_vs_row_oriented_speedup\": {:.2}\n  }},\n  \"engine\": {{\n    \"cold_collect_nanos\": {},\n    \"warm_collect_nanos\": {},\n    \"light_churn_serve_nanos\": {},\n    \"mass_churn_redraw_nanos\": {},\n    \"warm_vs_cold_speedup\": {:.2}\n  }}\n}}\n",
+        args.rows,
+        spec.size,
+        args.reps,
+        args.quick,
+        lib_cold,
+        lib_warm_rows,
+        lib_warm,
+        lib_rowref,
+        lib_warm_speedup,
+        columnar_speedup,
+        eng_cold,
+        eng_warm,
+        eng_serve,
+        eng_redraw,
+        warm_speedup,
+    );
+    print!("{json}");
+    if !args.quick {
+        std::fs::write("BENCH_collect.json", &json).expect("write BENCH_collect.json");
+    }
+    eprintln!(
+        "warm vs cold: engine {warm_speedup:.2}x, library {lib_warm_speedup:.2}x; \
+         columnar vs row-oriented: {columnar_speedup:.2}x"
+    );
+    if args.quick && eng_warm >= eng_cold {
+        eprintln!("REGRESSION: warm-cache collection is not faster than cold");
+        std::process::exit(1);
+    }
+}

@@ -5,9 +5,9 @@ use crate::metrics::{QueryMetrics, StageWalls};
 use crate::settings::StatsSetting;
 use crate::{observe, views};
 use jits::{
-    collect_for_tables, collect_for_tables_traced, ingest, query_analysis, sensitivity_analysis,
+    collect_for_tables, collect_for_tables_sourced, ingest, query_analysis, sensitivity_analysis,
     CollectedStats, JitsConfig, JitsStatisticsProvider, PredicateCache, QssArchive, RefineOutcome,
-    SensitivityStrategy, StatHistory,
+    SampleSource, SensitivityStrategy, StatHistory,
 };
 use jits_catalog::{runstats, Catalog, RunstatsOptions};
 use jits_common::{ColumnId, JitsError, Result, Schema, SplitMix64, TableId, Value};
@@ -21,7 +21,8 @@ use jits_query::{
     bind_statement, parse, BoundDelete, BoundInsert, BoundStatement, BoundUpdate, QueryBlock,
     Statement,
 };
-use jits_storage::{RowId, Table};
+use jits_storage::{CacheLookup, CachedSample, RowId, SampleCache, Table};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -62,6 +63,7 @@ pub struct Database {
     archive: QssArchive,
     history: StatHistory,
     predcache: PredicateCache,
+    samplecache: SampleCache,
     setting: StatsSetting,
     clock: u64,
     rng: SplitMix64,
@@ -84,6 +86,7 @@ impl Database {
             archive: QssArchive::default(),
             history: StatHistory::new(),
             predcache: PredicateCache::default(),
+            samplecache: SampleCache::new(),
             setting: StatsSetting::default(),
             clock: 0,
             rng: SplitMix64::new(seed),
@@ -125,6 +128,9 @@ impl Database {
             self.archive
                 .set_limits(cfg.archive_bucket_budget, cfg.eviction_uniformity);
             self.predcache.set_capacity(cfg.predicate_cache_capacity);
+            if !cfg.sample_cache {
+                self.samplecache.clear();
+            }
         }
         self.setting = setting;
     }
@@ -223,6 +229,11 @@ impl Database {
         &self.history
     }
 
+    /// The versioned sample cache (read access, for diagnostics).
+    pub fn sample_cache(&self) -> &SampleCache {
+        &self.samplecache
+    }
+
     /// The logical clock (statements executed).
     pub fn clock(&self) -> u64 {
         self.clock
@@ -285,6 +296,7 @@ impl Database {
         self.archive.clear();
         self.history.clear();
         self.predcache.clear();
+        self.samplecache.clear();
     }
 
     /// Converts this single-owner database into a [`crate::SharedDatabase`]
@@ -298,6 +310,7 @@ impl Database {
             self.archive,
             self.history,
             self.predcache,
+            self.samplecache,
             self.setting,
             self.clock,
             self.rng,
@@ -398,6 +411,7 @@ impl Database {
         Some(match view {
             views::VIEW_ARCHIVE_STATS => views::archive_stats_rows(&self.archive),
             views::VIEW_TABLE_SCORES => views::table_scores_rows(&self.obs),
+            views::VIEW_SAMPLE_CACHE => views::sample_cache_rows(&self.samplecache, &self.catalog),
             _ => views::query_log_rows(&self.obs),
         })
     }
@@ -577,7 +591,15 @@ impl Database {
         } else {
             None
         };
-        let (mut collected, timings) = collect_for_tables_traced(
+        let cache_before = self.samplecache.counters();
+        let (sources, draw_meta) = resolve_sample_sources(
+            &mut self.samplecache,
+            block,
+            &sample_quns,
+            &self.tables,
+            &cfg,
+        );
+        let (mut collected, timings, drawn) = collect_for_tables_sourced(
             block,
             &sample_quns,
             &candidates,
@@ -586,10 +608,13 @@ impl Database {
             &mut self.rng,
             cfg.collect_threads,
             clock_fn,
+            &sources,
         );
+        commit_drawn_samples(&mut self.samplecache, &cfg, &drawn, &draw_meta);
         collected.work += extra_work;
         walls.collect = t.elapsed();
         observe::note_collect(&self.obs, tb, block, &self.catalog, &timings);
+        observe::note_samplecache(&self.obs, tb, cache_before, self.samplecache.counters());
         tb.end(walls.collect.as_nanos() as u64);
 
         for &qun in &sample_quns {
@@ -826,6 +851,105 @@ pub(crate) fn materialize_group_into(
         clock,
     );
     MaterializeOutcome::Histogram(outcome)
+}
+
+/// Phase A of the collection fast path: decide, per marked quantifier,
+/// whether to serve a cached sample or draw fresh, and capture each table's
+/// mutation epoch and cardinality *at resolve time* (the version a fresh
+/// draw will be committed under). Decisions are made sequentially in
+/// quantifier order, so they are independent of `collect_threads`. With the
+/// cache disabled both maps come back empty — exactly the cold path.
+///
+/// Shared by the single-owner [`Database`] path and the locked
+/// [`crate::SharedDatabase`] path, which holds the `samplecache` write
+/// guard (rank 6) around the call.
+pub(crate) fn resolve_sample_sources(
+    cache: &mut jits_storage::SampleCache,
+    block: &QueryBlock,
+    sample_quns: &[usize],
+    tables: &[Table],
+    cfg: &JitsConfig,
+) -> (BTreeMap<usize, SampleSource>, BTreeMap<TableId, (u64, u64)>) {
+    let mut sources = BTreeMap::new();
+    let mut draw_meta = BTreeMap::new();
+    if !cfg.sample_cache {
+        return (sources, draw_meta);
+    }
+    for &qun in sample_quns {
+        let tid = block.quns[qun].table;
+        let Some(table) = tables.get(tid.index()) else {
+            continue;
+        };
+        let epoch = table.mutation_epoch();
+        draw_meta.insert(tid, (epoch, table.row_count() as u64));
+        let source = match cache.lookup(tid, cfg.sample, epoch, cfg.sample_cache_staleness) {
+            CacheLookup::Hit {
+                rows,
+                probes,
+                staleness,
+                frames,
+                bitsets,
+            } => SampleSource::Served {
+                rows,
+                probes,
+                staleness,
+                frames,
+                bitsets,
+            },
+            CacheLookup::Stale { staleness } => SampleSource::Draw {
+                staleness: Some(staleness),
+            },
+            CacheLookup::Miss => SampleSource::Draw { staleness: None },
+        };
+        sources.insert(qun, source);
+    }
+    (sources, draw_meta)
+}
+
+/// Phase C of the collection fast path: memoize the fresh draws (with their
+/// columnar gathers) under the epoch captured at resolve time, and merge
+/// frame-only deposits — columns gathered on top of a served sample — into
+/// the existing entry. When several quantifiers of a self-join drew from
+/// the same table, the first quantifier's draw wins (lowest qun — `drawn`
+/// arrives in quantifier order), keeping the committed entry deterministic.
+/// Frame merges carry the resolve-time epoch, so a gather made over a
+/// stale-but-served sample (newer cell values than the entry's version)
+/// is rejected by the cache rather than contaminating the older sample.
+pub(crate) fn commit_drawn_samples(
+    cache: &mut jits_storage::SampleCache,
+    cfg: &JitsConfig,
+    drawn: &[jits::DrawnSample],
+    draw_meta: &BTreeMap<TableId, (u64, u64)>,
+) {
+    if !cfg.sample_cache {
+        return;
+    }
+    let mut committed = BTreeSet::new();
+    for d in drawn {
+        let Some(&(epoch, rows_at_draw)) = draw_meta.get(&d.table) else {
+            continue;
+        };
+        if !d.fresh {
+            cache.merge_artifacts(d.table, cfg.sample, epoch, &d.frames, &d.bitsets);
+            continue;
+        }
+        if !committed.insert(d.table) {
+            continue;
+        }
+        cache.store(
+            d.table,
+            CachedSample {
+                spec: cfg.sample,
+                epoch,
+                rows_at_draw,
+                rows: Arc::clone(&d.rows),
+                probes: d.probes,
+                hits: 0,
+                frames: d.frames.iter().cloned().collect(),
+                bitsets: d.bitsets.iter().cloned().collect(),
+            },
+        );
+    }
 }
 
 /// The "no statistics" provider a real DBMS actually has: nothing from any

@@ -13,11 +13,12 @@
 
 use crate::database::MaterializeOutcome;
 use crate::metrics::CountersSnapshot;
-use jits::{CollectTiming, JitsConfig, MaterializeDecision, TableScore};
+use jits::{CollectTiming, JitsConfig, MaterializeDecision, SampleOrigin, TableScore};
 use jits_catalog::Catalog;
 use jits_common::{ColGroup, TableId};
 use jits_obs::{Observability, QueryLogEntry, ScoreRow, TraceBuilder, TraceEvent, Volatility};
 use jits_query::QueryBlock;
+use jits_storage::CacheCounters;
 
 /// Resolves a table id to its name for trace/score rows.
 pub(crate) fn table_name(catalog: &Catalog, tid: TableId) -> String {
@@ -126,9 +127,17 @@ pub(crate) fn note_collect(
     reg.counter("jits.collect.slot_probes", Volatility::Deterministic)
         .add(timings.iter().map(|t| t.slot_probes as u64).sum());
     let hist = reg.histogram("jits.collect.table_nanos", Volatility::Volatile);
+    let gather = reg.histogram("jits.collect.gather_nanos", Volatility::Volatile);
+    let eval = reg.histogram("jits.collect.eval_nanos", Volatility::Volatile);
     for t in timings {
         if t.wall_nanos > 0 {
             hist.observe(t.wall_nanos);
+        }
+        if t.gather_nanos > 0 {
+            gather.observe(t.gather_nanos);
+        }
+        if t.eval_nanos > 0 {
+            eval.observe(t.eval_nanos);
         }
         tb.event(|| TraceEvent::SampleTable {
             qun: t.qun,
@@ -138,7 +147,54 @@ pub(crate) fn note_collect(
             worker: t.worker,
             wall_nanos: t.wall_nanos,
         });
+        match t.origin {
+            SampleOrigin::Fresh => {}
+            SampleOrigin::Cached { staleness } => tb.event(|| TraceEvent::Note {
+                label: "samplecache",
+                detail: format!(
+                    "qun {} served cached sample (staleness {staleness:.3})",
+                    t.qun
+                ),
+            }),
+            SampleOrigin::Redrawn { staleness } => tb.event(|| TraceEvent::Note {
+                label: "samplecache",
+                detail: format!(
+                    "qun {} redrew stale sample (staleness {staleness:.3})",
+                    t.qun
+                ),
+            }),
+        }
     }
+}
+
+/// Records one collect pass's sample-cache outcomes as counter deltas.
+/// The lookups run sequentially in quantifier order before collection fans
+/// out, so these counters are deterministic at any `collect_threads`.
+pub(crate) fn note_samplecache(
+    obs: &Observability,
+    tb: &mut TraceBuilder,
+    before: CacheCounters,
+    after: CacheCounters,
+) {
+    if before == after {
+        return;
+    }
+    let (hits, misses, stale) = (
+        after.hits - before.hits,
+        after.misses - before.misses,
+        after.stale_redraws - before.stale_redraws,
+    );
+    let reg = &obs.registry;
+    reg.counter("jits.samplecache.hits", Volatility::Deterministic)
+        .add(hits);
+    reg.counter("jits.samplecache.misses", Volatility::Deterministic)
+        .add(misses);
+    reg.counter("jits.samplecache.stale_redraws", Volatility::Deterministic)
+        .add(stale);
+    tb.event(|| TraceEvent::Note {
+        label: "samplecache",
+        detail: format!("hits {hits}, misses {misses}, stale redraws {stale}"),
+    });
 }
 
 /// Records one materialization's outcome: cache insert, or archive refine

@@ -16,7 +16,7 @@
 //! one), which makes deadlock impossible:
 //!
 //! ```text
-//! catalog < tables < archive < history < predcache < setting
+//! catalog < tables < archive < history < predcache < samplecache < setting
 //! ```
 //!
 //! The order is load-bearing and enforced twice: statically by
@@ -42,14 +42,15 @@
 //! [`QueryMetrics::lock_wait`].
 
 use crate::database::{
-    materialize_group_into, MaterializeOutcome, PhysicalMetadataProvider, OPTIMIZER_CALL_WORK,
+    commit_drawn_samples, materialize_group_into, resolve_sample_sources, MaterializeOutcome,
+    PhysicalMetadataProvider, OPTIMIZER_CALL_WORK,
 };
 use crate::explain::{explain_block, JitsExplain};
 use crate::metrics::{CountersSnapshot, EngineCounters, QueryMetrics, StageWalls};
 use crate::settings::StatsSetting;
 use crate::{observe, views, Database, QueryResult};
 use jits::{
-    collect_for_tables_traced, ingest, query_analysis, sensitivity_analysis, CollectedStats,
+    collect_for_tables_sourced, ingest, query_analysis, sensitivity_analysis, CollectedStats,
     JitsStatisticsProvider, PredicateCache, QssArchive, SensitivityStrategy, StatHistory,
 };
 use jits_catalog::{runstats, Catalog, RunstatsOptions};
@@ -63,7 +64,7 @@ use jits_optimizer::{
 use jits_query::{
     bind_statement, parse, BoundDelete, BoundInsert, BoundStatement, BoundUpdate, QueryBlock,
 };
-use jits_storage::{RowId, Table};
+use jits_storage::{RowId, SampleCache, Table};
 use parking_lot::rank::LockRank;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -80,8 +81,10 @@ pub const RANK_ARCHIVE: LockRank = LockRank::new(3, "archive");
 pub const RANK_HISTORY: LockRank = LockRank::new(4, "history");
 /// Rank of the predicate-cache lock.
 pub const RANK_PREDCACHE: LockRank = LockRank::new(5, "predcache");
+/// Rank of the versioned sample-cache lock.
+pub const RANK_SAMPLECACHE: LockRank = LockRank::new(6, "samplecache");
 /// Rank of the statistics-setting lock — last in the acquisition order.
-pub const RANK_SETTING: LockRank = LockRank::new(6, "setting");
+pub const RANK_SETTING: LockRank = LockRank::new(7, "setting");
 
 /// Engine state shared by all sessions, each component behind its own lock
 /// (see the module docs for the acquisition order).
@@ -91,6 +94,7 @@ struct Shared {
     archive: RwLock<QssArchive>,
     history: RwLock<StatHistory>,
     predcache: RwLock<PredicateCache>,
+    samplecache: RwLock<SampleCache>,
     setting: RwLock<StatsSetting>,
     /// Logical statement clock, global across sessions so archive/history
     /// timestamps stay monotone.
@@ -104,7 +108,7 @@ struct Shared {
     defaults: DefaultSelectivities,
     runstats_opts: RunstatsOptions,
     counters: EngineCounters,
-    /// Tracer, metrics registry, and query log (lock-free or rank-7
+    /// Tracer, metrics registry, and query log (lock-free or rank-8
     /// internally, so usable while holding any engine lock).
     obs: Arc<Observability>,
 }
@@ -190,6 +194,7 @@ impl SharedDatabase {
         archive: QssArchive,
         history: StatHistory,
         predcache: PredicateCache,
+        samplecache: SampleCache,
         setting: StatsSetting,
         clock: u64,
         rng: SplitMix64,
@@ -205,6 +210,7 @@ impl SharedDatabase {
                 archive: RwLock::with_rank(archive, RANK_ARCHIVE),
                 history: RwLock::with_rank(history, RANK_HISTORY),
                 predcache: RwLock::with_rank(predcache, RANK_PREDCACHE),
+                samplecache: RwLock::with_rank(samplecache, RANK_SAMPLECACHE),
                 setting: RwLock::with_rank(setting, RANK_SETTING),
                 clock: AtomicU64::new(clock),
                 rng_source: Mutex::new(rng),
@@ -247,6 +253,9 @@ impl SharedDatabase {
             archive.set_limits(cfg.archive_bucket_budget, cfg.eviction_uniformity);
             let mut predcache = timed_write(&self.shared.predcache, &self.shared.counters, &mut w);
             predcache.set_capacity(cfg.predicate_cache_capacity);
+            if !cfg.sample_cache {
+                timed_write(&self.shared.samplecache, &self.shared.counters, &mut w).clear();
+            }
         }
         *timed_write(&self.shared.setting, &self.shared.counters, &mut w) = setting;
     }
@@ -359,6 +368,7 @@ impl SharedDatabase {
         timed_write(&self.shared.archive, &self.shared.counters, &mut w).clear();
         timed_write(&self.shared.history, &self.shared.counters, &mut w).clear();
         timed_write(&self.shared.predcache, &self.shared.counters, &mut w).clear();
+        timed_write(&self.shared.samplecache, &self.shared.counters, &mut w).clear();
     }
 
     // ---- observation ------------------------------------------------------
@@ -582,6 +592,11 @@ impl Session {
                 views::archive_stats_rows(&archive)
             }
             views::VIEW_TABLE_SCORES => views::table_scores_rows(&sh.obs),
+            views::VIEW_SAMPLE_CACHE => {
+                let catalog = timed_read(&sh.catalog, &sh.counters, waited);
+                let samplecache = timed_read(&sh.samplecache, &sh.counters, waited);
+                views::sample_cache_rows(&samplecache, &catalog)
+            }
             _ => views::query_log_rows(&sh.obs),
         })
     }
@@ -780,7 +795,17 @@ impl Session {
             } else {
                 None
             };
-            let (mut collected, timings) = collect_for_tables_traced(
+            // Phase A: resolve each quantifier's sample source under a short
+            // samplecache write window (rank 6, legal above the held reads).
+            let (sources, draw_meta, cache_before) = {
+                let mut samplecache = timed_write(&sh.samplecache, &sh.counters, waited);
+                let before = samplecache.counters();
+                let (sources, draw_meta) =
+                    resolve_sample_sources(&mut samplecache, block, &sample_quns, &tables, &cfg);
+                (sources, draw_meta, before)
+            };
+            // Phase B: collect with no cache lock held.
+            let (mut collected, timings, drawn) = collect_for_tables_sourced(
                 block,
                 &sample_quns,
                 &candidates,
@@ -789,10 +814,18 @@ impl Session {
                 &mut self.rng,
                 cfg.collect_threads,
                 clock_fn,
+                &sources,
             );
+            // Phase C: commit freshly drawn samples for future queries.
+            let cache_after = {
+                let mut samplecache = timed_write(&sh.samplecache, &sh.counters, waited);
+                commit_drawn_samples(&mut samplecache, &cfg, &drawn, &draw_meta);
+                samplecache.counters()
+            };
             collected.work += extra_work;
             walls.collect = t.elapsed();
             observe::note_collect(&sh.obs, tb, block, &catalog, &timings);
+            observe::note_samplecache(&sh.obs, tb, cache_before, cache_after);
             tb.end(walls.collect.as_nanos() as u64);
 
             (sample_quns, materialize, table_scores, collected)

@@ -1,6 +1,6 @@
 //! Virtual system views over the observability state.
 //!
-//! Three read-only views answer plain `SELECT * FROM <view>` statements
+//! Four read-only views answer plain `SELECT * FROM <view>` statements
 //! without touching user data, bumping the query clock, or drawing from
 //! the sampling RNG:
 //!
@@ -9,14 +9,17 @@
 //! | `jits_archive_stats` | colgroup, buckets, total, uniformity, last_used    |
 //! | `jits_table_scores`  | clock, qun, table, s1, s2, score, collect, reason  |
 //! | `jits_query_log`     | clock, session, sql, rows, compile_ns, exec_ns, sampled |
+//! | `jits_sample_cache`  | table, spec_size, epoch, rows_at_draw, sample_rows, probes, hits, frame_cols |
 //!
 //! A user table with the same name shadows the view (the interception only
 //! fires when the name does not resolve in the catalog).
 
 use jits::QssArchive;
+use jits_catalog::Catalog;
 use jits_common::Value;
 use jits_obs::Observability;
 use jits_query::Statement;
+use jits_storage::SampleCache;
 
 /// `SELECT * FROM jits_archive_stats` — one row per archived histogram.
 pub const VIEW_ARCHIVE_STATS: &str = "jits_archive_stats";
@@ -24,6 +27,8 @@ pub const VIEW_ARCHIVE_STATS: &str = "jits_archive_stats";
 pub const VIEW_TABLE_SCORES: &str = "jits_table_scores";
 /// `SELECT * FROM jits_query_log` — recent statements.
 pub const VIEW_QUERY_LOG: &str = "jits_query_log";
+/// `SELECT * FROM jits_sample_cache` — one row per memoized table sample.
+pub const VIEW_SAMPLE_CACHE: &str = "jits_sample_cache";
 
 /// Returns the canonical view name if `stmt` is a single-table SELECT from
 /// one of the virtual system views (matched case-insensitively).
@@ -38,6 +43,7 @@ pub(crate) fn system_view_name(stmt: &Statement) -> Option<&'static str> {
         VIEW_ARCHIVE_STATS => Some(VIEW_ARCHIVE_STATS),
         VIEW_TABLE_SCORES => Some(VIEW_TABLE_SCORES),
         VIEW_QUERY_LOG => Some(VIEW_QUERY_LOG),
+        VIEW_SAMPLE_CACHE => Some(VIEW_SAMPLE_CACHE),
         _ => None,
     }
 }
@@ -72,6 +78,27 @@ pub(crate) fn table_scores_rows(obs: &Observability) -> Vec<Vec<Value>> {
                 Value::Float(r.score),
                 Value::Int(r.collect as i64),
                 Value::str(r.reason),
+            ]
+        })
+        .collect()
+}
+
+/// Rows of `jits_sample_cache`, in table-id order: one row per memoized
+/// sample with its version (mutation epoch and cardinality at draw time),
+/// serve count, and how many columnar gathers are memoized alongside it.
+pub(crate) fn sample_cache_rows(cache: &SampleCache, catalog: &Catalog) -> Vec<Vec<Value>> {
+    cache
+        .entries()
+        .map(|(tid, e)| {
+            vec![
+                Value::str(crate::observe::table_name(catalog, tid)),
+                Value::Int(e.spec.size as i64),
+                Value::Int(e.epoch as i64),
+                Value::Int(e.rows_at_draw as i64),
+                Value::Int(e.rows.len() as i64),
+                Value::Int(e.probes as i64),
+                Value::Int(e.hits as i64),
+                Value::Int(e.frames.len() as i64),
             ]
         })
         .collect()

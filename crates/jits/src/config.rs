@@ -55,6 +55,17 @@ pub struct JitsConfig {
     /// Fixed sample size per table (independent of table size, per the
     /// paper's citations [1, 8, 12]).
     pub sample: SampleSpec,
+    /// Reuse memoized per-table samples across queries when the table has
+    /// barely mutated since the draw (the versioned sample cache). Purely a
+    /// wall-clock optimization on unmutated tables; on mutated tables it
+    /// trades the bounded staleness below for skipping the re-draw.
+    pub sample_cache: bool,
+    /// Staleness limit for serving a cached sample: mutations since the
+    /// draw over cardinality at the draw (the Algorithm 3 `s2` shape) must
+    /// be **strictly below** this to serve. `0.0` disables serving (every
+    /// lookup re-draws); `1.0` serves until the table has churned through
+    /// its own cardinality.
+    pub sample_cache_staleness: f64,
     /// Worker threads for per-table statistics collection (1 = sequential).
     /// Any value yields bit-identical statistics — per-table RNG streams
     /// derive from (seed, table, quantifier), not from a shared sequence —
@@ -107,6 +118,8 @@ impl Default for JitsConfig {
             s_max: 0.5,
             aggregate: AggregateFn::Average,
             sample: SampleSpec::default(),
+            sample_cache: true,
+            sample_cache_staleness: 0.1,
             collect_threads: 1,
             max_group_enumeration: 6,
             archive_bucket_budget: 4096,

@@ -49,8 +49,9 @@ pub mod sensitivity;
 pub use analysis::{query_analysis, CandidateGroup};
 pub use archive::{QssArchive, RefineOutcome};
 pub use collect::{
-    collect_for_tables, collect_for_tables_parallel, collect_for_tables_traced, CollectTiming,
-    CollectedStats,
+    collect_for_tables, collect_for_tables_parallel, collect_for_tables_sourced,
+    collect_for_tables_traced, CollectTiming, CollectedStats, DrawnSample, SampleOrigin,
+    SampleSource,
 };
 pub use config::{AggregateFn, JitsConfig, SensitivityStrategy};
 pub use epsilon::{epsilon_sensitivity, EpsilonConfig, EpsilonOutcome};

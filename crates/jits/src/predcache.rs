@@ -46,14 +46,27 @@ impl PredicateCache {
     /// capacity is tighter.
     pub fn set_capacity(&mut self, capacity: usize) {
         self.capacity = capacity.max(1);
-        while self.entries.len() > self.capacity {
-            let victim = self
-                .entries
-                .iter()
-                .min_by(|(ka, a), (kb, b)| a.last_used.cmp(&b.last_used).then_with(|| ka.cmp(kb)))
-                .map(|(k, _)| k.clone())
-                .expect("cache is non-empty");
-            self.entries.remove(&victim);
+        self.evict_to_capacity();
+    }
+
+    /// Evicts the least-recently-used entries (ties broken by key, so
+    /// eviction is deterministic) until the cache fits its capacity. All
+    /// victims are selected in one ranking pass — O(n log n) for any number
+    /// of evictions, where the old scan-per-victim loop was O(n) *per*
+    /// victim (quadratic when the capacity shrinks across a large cache).
+    fn evict_to_capacity(&mut self) {
+        let overflow = self.entries.len().saturating_sub(self.capacity);
+        if overflow == 0 {
+            return;
+        }
+        let mut ranked: Vec<(u64, (TableId, String))> = self
+            .entries
+            .iter()
+            .map(|(k, e)| (e.last_used, k.clone()))
+            .collect();
+        ranked.sort_unstable_by(|(a, ka), (b, kb)| a.cmp(b).then_with(|| ka.cmp(kb)));
+        for (_, key) in ranked.into_iter().take(overflow) {
+            self.entries.remove(&key);
         }
     }
 
@@ -77,16 +90,8 @@ impl PredicateCache {
                 last_used: stamp,
             },
         );
-        while self.entries.len() > self.capacity {
-            // LRU pruning, exactly as the footnote suggests
-            let victim = self
-                .entries
-                .iter()
-                .min_by(|(ka, a), (kb, b)| a.last_used.cmp(&b.last_used).then_with(|| ka.cmp(kb)))
-                .map(|(k, _)| k.clone())
-                .expect("cache is non-empty");
-            self.entries.remove(&victim);
-        }
+        // LRU pruning, exactly as the footnote suggests
+        self.evict_to_capacity();
     }
 
     /// Looks up a cached selectivity (read-only; call [`Self::touch`] after
@@ -211,6 +216,21 @@ mod tests {
         assert!(c.get(TableId(0), "b").is_none());
         assert!(c.get(TableId(0), "a").is_some());
         assert!(c.get(TableId(0), "c").is_some());
+    }
+
+    #[test]
+    fn set_capacity_prunes_in_lru_order() {
+        let mut c = PredicateCache::new(64);
+        for i in 0..64u64 {
+            c.insert(TableId(0), format!("f{i:02}"), 0.5, i);
+        }
+        c.set_capacity(3);
+        assert_eq!(c.len(), 3);
+        // the three most recently used survive the mass eviction
+        for f in ["f61", "f62", "f63"] {
+            assert!(c.get(TableId(0), f).is_some(), "{f} should survive");
+        }
+        assert!(c.get(TableId(0), "f60").is_none());
     }
 
     #[test]

@@ -1,13 +1,13 @@
 //! Known-bad fixture for the metrics-registry lock rank. Never compiled —
 //! the integration test feeds it to the analyzer and expects violations.
 //!
-//! The `registry` lock (rank 7) sits above every engine component: code may
+//! The `registry` lock (rank 8) sits above every engine component: code may
 //! record metrics while holding any engine guard, but must never hold the
 //! registry open across an engine acquisition.
 
 fn registry_held_across_setting(obs: &Observability, sh: &SharedDatabase, w: &mut u64) {
     let registry = obs.registry.read();
-    // BAD: registry (rank 7) is held while acquiring setting (rank 6)
+    // BAD: registry (rank 8) is held while acquiring setting (rank 7)
     let setting = timed_read(&sh.setting, &sh.counters, w);
     use_both(&registry, &setting);
 }

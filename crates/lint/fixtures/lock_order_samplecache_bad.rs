@@ -1,0 +1,28 @@
+//! Known-bad fixture for the sample-cache lock rank. Never compiled — the
+//! integration test feeds it to the analyzer and expects violations.
+//!
+//! The `samplecache` lock (rank 6) sits between `predcache` (5) and
+//! `setting` (7): collection may resolve/commit cached samples while holding
+//! the table-side reads, but never while the setting guard is already held.
+
+fn samplecache_after_setting(sh: &SharedDatabase, w: &mut u64) {
+    let setting = timed_read(&sh.setting, &sh.counters, w);
+    // BAD: samplecache (rank 6) acquired while holding setting (rank 7)
+    let samplecache = timed_write(&sh.samplecache, &sh.counters, w);
+    use_both(&setting, &samplecache);
+}
+
+fn samplecache_reacquired(sh: &SharedDatabase, w: &mut u64) {
+    let resolve = timed_write(&sh.samplecache, &sh.counters, w);
+    // BAD: self-deadlock — the resolve-phase write guard is still held
+    let commit = timed_write(&sh.samplecache, &sh.counters, w);
+    use_both(&resolve, &commit);
+}
+
+fn samplecache_above_table_reads_is_fine(sh: &SharedDatabase, w: &mut u64) {
+    let tables = timed_read(&sh.tables, &sh.counters, w);
+    let history = timed_read(&sh.history, &sh.counters, w);
+    // OK: ascending rank — exactly the collect fast path's resolve window
+    let samplecache = timed_write(&sh.samplecache, &sh.counters, w);
+    use_all(&tables, &history, &samplecache);
+}

@@ -4,7 +4,8 @@
 //!
 //! 1. **lock-order** ([`lock_order`]): the `SharedDatabase` components must
 //!    be acquired in rank order `catalog < tables < archive < history <
-//!    predcache < setting`, and no function may hold a guard across a call
+//!    predcache < samplecache < setting`, and no function may hold a guard
+//!    across a call
 //!    that re-acquires the same component. Mirrors the runtime tracker in
 //!    the vendored `parking_lot::rank` module — the static pass catches
 //!    paths tests never execute; the runtime tracker catches aliasing the

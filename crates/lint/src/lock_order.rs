@@ -1,10 +1,10 @@
 //! Lock-order pass.
 //!
-//! `SharedDatabase` guards its six components with ranked `RwLock`s:
+//! `SharedDatabase` guards its seven components with ranked `RwLock`s:
 //! `catalog (1) < tables (2) < archive (3) < history (4) < predcache (5) <
-//! setting (6)`; the observability `registry` lock ranks above them all
-//! (7), so metrics may be recorded while any engine guard is held but the
-//! registry must never be held across an engine acquisition. Any thread
+//! samplecache (6) < setting (7)`; the observability `registry` lock ranks
+//! above them all (8), so metrics may be recorded while any engine guard is
+//! held but the registry must never be held across an engine acquisition. Any thread
 //! holding a guard may only acquire components of strictly greater rank;
 //! re-acquiring a held component deadlocks a
 //! writer-preferring `RwLock` outright. The runtime tracker in
@@ -17,7 +17,7 @@
 //! - Acquisitions are recognized as `timed_read(&…​.comp, …)` /
 //!   `timed_write(&…​.comp, …)` calls and as direct `.comp.read()` /
 //!   `.comp.write()` / `.try_read()` / `.try_write()` method chains, where
-//!   `comp` is one of the six component names.
+//!   `comp` is one of the seven component names.
 //! - A guard bound by a plain `let` is held until its block scope closes; an
 //!   acquisition that is immediately chained (`timed_read(…).clone()`) or
 //!   not `let`-bound is a statement temporary, released at the next `;`.
@@ -44,6 +44,7 @@ pub const COMPONENTS: &[&str] = &[
     "archive",
     "history",
     "predcache",
+    "samplecache",
     "setting",
     "registry",
 ];

@@ -64,6 +64,30 @@ fn lock_order_registry_fixture_is_flagged() {
 }
 
 #[test]
+fn lock_order_samplecache_fixture_is_flagged() {
+    let report = run_paths(&[fixture("lock_order_samplecache_bad.rs")]);
+    let lock: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == lock_order::RULE)
+        .collect();
+    // samplecache under a held setting guard + samplecache re-acquire; the
+    // resolve-window function (tables/history reads first) must stay clean
+    assert_eq!(lock.len(), 2, "expected 2 samplecache findings: {lock:#?}");
+    assert!(
+        lock.iter()
+            .any(|v| v.message.contains("`samplecache`") && v.message.contains("`setting`")),
+        "rank-order finding missing: {lock:#?}"
+    );
+    assert!(
+        lock.iter()
+            .any(|v| v.message.contains("re-acquires `samplecache`")),
+        "re-acquire finding missing: {lock:#?}"
+    );
+    assert!(report.failed(false));
+}
+
+#[test]
 fn determinism_fixture_is_flagged() {
     let report = run_paths(&[fixture("determinism_bad.rs")]);
     let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();

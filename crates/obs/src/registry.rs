@@ -21,10 +21,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Rank of the registry lock in the engine's global acquisition order: it
-/// sits *above* every engine lock (`catalog(1)` … `setting(6)`), so metric
+/// sits *above* every engine lock (`catalog(1)` … `setting(7)`), so metric
 /// registration/snapshot is always legal while holding engine guards, and
 /// no engine lock may be acquired while holding the registry lock.
-pub const RANK_REGISTRY: LockRank = LockRank::new(7, "registry");
+pub const RANK_REGISTRY: LockRank = LockRank::new(8, "registry");
 
 /// Whether a metric is reproducible across runs and thread counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,7 +175,7 @@ pub struct MetricSample {
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     /// Named `registry` so the static lock-order pass attributes
-    /// acquisitions to the rank-7 `registry` component.
+    /// acquisitions to the rank-8 `registry` component.
     registry: RwLock<BTreeMap<String, Registered>>,
 }
 

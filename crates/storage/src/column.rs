@@ -153,6 +153,70 @@ impl Column {
     pub fn is_valid(&self, idx: usize) -> bool {
         self.validity[idx]
     }
+
+    /// Gathers the slots `rows` into a dense typed
+    /// [`FrameColumn`](crate::frame::FrameColumn), folding the axis min/max
+    /// accumulation into the same pass (see `crate::frame`).
+    pub(crate) fn gather(&self, rows: &[crate::row::RowId]) -> crate::frame::FrameColumn {
+        use crate::frame::{FrameColumn, FrameValues};
+        let mut validity = Vec::with_capacity(rows.len());
+        let mut non_null = 0usize;
+        let mut axis_min = f64::INFINITY;
+        let mut axis_max = f64::NEG_INFINITY;
+        let mut fold = |valid: bool, axis: f64| {
+            if valid {
+                non_null += 1;
+                axis_min = axis_min.min(axis);
+                axis_max = axis_max.max(axis);
+            }
+        };
+        let values = match &self.data {
+            ColumnData::Int(col) => {
+                let mut out = Vec::with_capacity(rows.len());
+                for &r in rows {
+                    let i = r as usize;
+                    let valid = self.validity[i];
+                    validity.push(valid);
+                    out.push(col[i]);
+                    fold(valid, col[i] as f64);
+                }
+                FrameValues::Int(out)
+            }
+            ColumnData::Float(col) => {
+                let mut out = Vec::with_capacity(rows.len());
+                for &r in rows {
+                    let i = r as usize;
+                    let valid = self.validity[i];
+                    validity.push(valid);
+                    out.push(col[i]);
+                    fold(valid, col[i]);
+                }
+                FrameValues::Float(out)
+            }
+            ColumnData::Str(col) => {
+                let mut out = Vec::with_capacity(rows.len());
+                for &r in rows {
+                    let i = r as usize;
+                    let valid = self.validity[i];
+                    validity.push(valid);
+                    if valid {
+                        fold(true, jits_common::value::lex_code(&col[i]));
+                    } else {
+                        fold(false, 0.0);
+                    }
+                    out.push(Arc::clone(&col[i]));
+                }
+                FrameValues::Str(out)
+            }
+        };
+        FrameColumn {
+            values,
+            validity,
+            axis_min,
+            axis_max,
+            non_null,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -13,15 +13,19 @@
 #![forbid(unsafe_code)]
 
 pub mod column;
+pub mod frame;
 pub mod index;
 pub mod row;
 pub mod sample;
+pub mod samplecache;
 pub mod table;
 pub mod udi;
 
 pub use column::Column;
+pub use frame::{FrameColumn, FrameValues, SampleFrame};
 pub use index::SecondaryIndex;
 pub use row::{Row, RowId};
 pub use sample::SampleSpec;
+pub use samplecache::{sample_staleness, CacheCounters, CacheLookup, CachedSample, SampleCache};
 pub use table::Table;
 pub use udi::UdiCounter;

@@ -19,6 +19,10 @@ pub struct Table {
     live: Vec<bool>,
     live_count: usize,
     udi: UdiCounter,
+    /// Total mutations over the table's lifetime. Unlike the UDI counter it
+    /// is *never* reset, so cached artifacts (samples) can be versioned
+    /// against it without racing statistics collection's `reset_udi`.
+    epoch: u64,
     /// Keyed by `BTreeMap`: index maintenance and [`Table::indexed_columns`]
     /// iterate this map, and their order must not depend on hash state.
     indexes: BTreeMap<ColumnId, SecondaryIndex>,
@@ -39,6 +43,7 @@ impl Table {
             live: Vec::new(),
             live_count: 0,
             udi: UdiCounter::new(),
+            epoch: 0,
             indexes: BTreeMap::new(),
         }
     }
@@ -75,9 +80,17 @@ impl Table {
         &self.udi
     }
 
-    /// Resets UDI counters; called by statistics collection.
+    /// Resets UDI counters; called by statistics collection. The mutation
+    /// epoch is deliberately untouched — it versions cached samples across
+    /// collections.
     pub fn reset_udi(&mut self) {
         self.udi.reset();
+    }
+
+    /// Lifetime mutation count (never reset). Two equal epochs guarantee the
+    /// table's live set and cell values are unchanged between the readings.
+    pub fn mutation_epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Inserts a row (one value per schema column) and returns its id.
@@ -111,6 +124,7 @@ impl Table {
         self.live.push(true);
         self.live_count += 1;
         self.udi.inserts += 1;
+        self.epoch += 1;
         for (cid, idx) in self.indexes.iter_mut() {
             idx.insert(coerced[cid.index()].clone(), id);
         }
@@ -130,6 +144,7 @@ impl Table {
         self.live[i] = false;
         self.live_count -= 1;
         self.udi.deletes += 1;
+        self.epoch += 1;
         true
     }
 
@@ -160,6 +175,7 @@ impl Table {
         }
         self.columns[column.index()].set(i, coerced)?;
         self.udi.updates += 1;
+        self.epoch += 1;
         Ok(())
     }
 
@@ -185,6 +201,13 @@ impl Table {
             .enumerate()
             .filter(|(_, l)| **l)
             .map(|(i, _)| i as RowId)
+    }
+
+    /// Gathers the slots `rows` of one column into a dense typed
+    /// [`FrameColumn`](crate::frame::FrameColumn) (columnar fast path for
+    /// statistics collection).
+    pub fn gather_column(&self, column: ColumnId, rows: &[RowId]) -> crate::frame::FrameColumn {
+        self.columns[column.index()].gather(rows)
     }
 
     /// Whether a live row satisfies a conjunction of per-column intervals.
@@ -357,5 +380,18 @@ mod tests {
         assert!(t.udi().total() > 0);
         t.reset_udi();
         assert_eq!(t.udi().total(), 0);
+    }
+
+    #[test]
+    fn mutation_epoch_survives_udi_reset() {
+        let mut t = cars();
+        assert_eq!(t.mutation_epoch(), 4, "one tick per insert");
+        t.reset_udi();
+        assert_eq!(t.mutation_epoch(), 4, "epoch is never reset");
+        t.update(0, ColumnId(2), Value::Int(2010)).unwrap();
+        t.delete(1);
+        assert_eq!(t.mutation_epoch(), 6);
+        assert!(!t.delete(1), "no-op delete must not tick the epoch");
+        assert_eq!(t.mutation_epoch(), 6);
     }
 }
