@@ -18,7 +18,7 @@
 
 use jits::{collect_for_tables_sourced, query_analysis, JitsConfig};
 use jits_catalog::Catalog;
-use jits_common::{DataType, Schema, SplitMix64, Value};
+use jits_common::{DataType, FaultPlane, Schema, SplitMix64, Value};
 use jits_engine::{Database, StatsSetting};
 use jits_query::{bind_statement, parse, BoundStatement, QueryBlock};
 use jits_storage::{sample::sample_rows_counted, SampleSpec, Table};
@@ -161,6 +161,9 @@ fn library_scenarios(rows: usize, reps: usize, spec: SampleSpec) -> (u64, u64, u
         1,
         None,
         &cold_sources,
+        0,
+        &FaultPlane::disabled(),
+        1,
     );
     let d = &drawn[0];
     let rows_only_sources: BTreeMap<usize, jits::SampleSource> = [(
@@ -201,6 +204,9 @@ fn library_scenarios(rows: usize, reps: usize, spec: SampleSpec) -> (u64, u64, u
             1,
             None,
             &cold_sources,
+            0,
+            &FaultPlane::disabled(),
+            1,
         );
         cold.push(t.elapsed().as_nanos() as u64);
         assert!(!out.0.groups.is_empty());
@@ -217,6 +223,9 @@ fn library_scenarios(rows: usize, reps: usize, spec: SampleSpec) -> (u64, u64, u
             1,
             None,
             &rows_only_sources,
+            0,
+            &FaultPlane::disabled(),
+            1,
         );
         warm_rows.push(t.elapsed().as_nanos() as u64);
         assert!(!out.0.groups.is_empty());
@@ -233,6 +242,9 @@ fn library_scenarios(rows: usize, reps: usize, spec: SampleSpec) -> (u64, u64, u
             1,
             None,
             &warm_sources,
+            0,
+            &FaultPlane::disabled(),
+            1,
         );
         warm.push(t.elapsed().as_nanos() as u64);
         assert!(!out.0.groups.is_empty());

@@ -21,8 +21,17 @@
 //! With `--trace`, each statement prints its span tree (parse/bind,
 //! analyze, sensitivity, collect, refine, optimize, execute, feedback)
 //! to stderr; `--metrics` dumps the registry as JSON on exit.
+//!
+//! Chaos testing: `--fault-spec 'point=mode:arg[:attempts],...'` installs
+//! the deterministic fault plane (e.g. `--fault-spec
+//! 'sample.draw=every:3:inf,archive.write=once:2049'`), and `--fault-seed
+//! <u64>` (default 0) keys its schedules; replaying with the same seed,
+//! spec, and workload reproduces every fault bit-identically. Degradations
+//! show up in `SELECT * FROM jits_degradation` and the `jits.degraded.*`
+//! counters.
 
 use jits::JitsConfig;
+use jits_common::FaultPlane;
 use jits_engine::{Database, StatsSetting};
 use jits_workload::{create_schema, populate, DataGenConfig};
 use std::io::{BufRead, Write};
@@ -38,6 +47,32 @@ fn main() {
     }
     let trace = args.iter().any(|a| a == "--trace");
     let metrics = args.iter().any(|a| a == "--metrics");
+    let fault_seed: u64 = match args.iter().position(|a| a == "--fault-seed") {
+        Some(i) => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+            Some(seed) => seed,
+            None => {
+                eprintln!("--fault-seed requires an unsigned integer");
+                std::process::exit(2);
+            }
+        },
+        None => 0,
+    };
+    let fault = match args.iter().position(|a| a == "--fault-spec") {
+        Some(i) => {
+            let Some(spec) = args.get(i + 1) else {
+                eprintln!("--fault-spec requires a specification string");
+                std::process::exit(2);
+            };
+            match FaultPlane::from_spec(fault_seed, spec) {
+                Ok(plane) => plane,
+                Err(e) => {
+                    eprintln!("invalid --fault-spec: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => FaultPlane::disabled(),
+    };
     eprintln!("loading the car-insurance database at scale {scale} ...");
     let cfg = DataGenConfig {
         scale,
@@ -48,6 +83,12 @@ fn main() {
     let counts = populate(&mut db, &cfg).expect("populate");
     db.set_setting(StatsSetting::Jits(JitsConfig::default()));
     db.obs().tracer.set_enabled(trace);
+    if fault.is_enabled() {
+        eprintln!(
+            "fault plane enabled (seed {fault_seed}); degradations: SELECT * FROM jits_degradation"
+        );
+        db.set_fault_plane(fault);
+    }
     eprintln!(
         "tables: car={} owner={} demographics={} accidents={} (JITS enabled; \\help for commands)",
         counts[0], counts[1], counts[2], counts[3]

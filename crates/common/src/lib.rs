@@ -17,6 +17,7 @@
 
 pub mod colgroup;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod interval;
 pub mod rng;
@@ -25,6 +26,7 @@ pub mod value;
 
 pub use colgroup::ColGroup;
 pub use error::{JitsError, Result};
+pub use fault::{fault_key, FaultPlane, FaultSchedule, FaultSpec};
 pub use ids::{ColumnId, TableId};
 pub use interval::{Bound, Interval};
 pub use rng::SplitMix64;

@@ -10,7 +10,12 @@ use jits::{
     SampleSource, SensitivityStrategy, StatHistory,
 };
 use jits_catalog::{runstats, Catalog, RunstatsOptions};
-use jits_common::{ColumnId, JitsError, Result, Schema, SplitMix64, TableId, Value};
+use jits_common::fault::{
+    FP_ARCHIVE_READ, FP_ARCHIVE_WRITE, FP_HISTORY_READ, FP_SAMPLECACHE_COMMIT,
+};
+use jits_common::{
+    fault_key, ColumnId, FaultPlane, JitsError, Result, Schema, SplitMix64, TableId, Value,
+};
 use jits_executor::execute;
 use jits_obs::{Observability, QueryLogEntry, TraceBuilder};
 use jits_optimizer::{
@@ -74,6 +79,9 @@ pub struct Database {
     last_materialized: usize,
     /// Tracer, metrics registry, and query log.
     obs: Arc<Observability>,
+    /// Deterministic fault-injection plane (disabled by default: every
+    /// check is a constant `false`).
+    fault: FaultPlane,
 }
 
 impl Database {
@@ -95,7 +103,17 @@ impl Database {
             runstats_opts: RunstatsOptions::default(),
             last_materialized: 0,
             obs: Arc::new(Observability::new()),
+            fault: FaultPlane::disabled(),
         }
+    }
+
+    /// Installs the deterministic fault-injection plane (chaos testing).
+    /// Every fault decision is a pure function of the plane's seed, the
+    /// fault point, and the statement clock — never wall time — so a
+    /// faulted run replays bit-identically at any `collect_threads`.
+    /// [`FaultPlane::disabled`] (the default) restores normal operation.
+    pub fn set_fault_plane(&mut self, fault: FaultPlane) {
+        self.fault = fault;
     }
 
     /// The observability state: tracer, metrics registry, and query log.
@@ -318,6 +336,7 @@ impl Database {
             self.defaults,
             self.runstats_opts,
             self.obs,
+            self.fault,
         )
     }
 
@@ -342,8 +361,11 @@ impl Database {
             BoundStatement::Select(block) => self.run_select(block, t0, sql),
             BoundStatement::Explain(block) => {
                 self.clock += 1;
-                let (collected, _, _, _) =
-                    self.jits_compile_phase(&block, &mut TraceBuilder::off());
+                let (collected, _, _, _) = self.jits_compile_phase(
+                    &block,
+                    &mut TraceBuilder::off(),
+                    &mut QueryMetrics::default(),
+                );
                 let plan = self.plan_for(&block, &collected)?;
                 let metrics = QueryMetrics {
                     compile_wall: t0.elapsed(),
@@ -373,7 +395,11 @@ impl Database {
             return Err(JitsError::Plan("EXPLAIN supports SELECT only".into()));
         };
         self.clock += 1;
-        let (collected, _, _, _) = self.jits_compile_phase(&block, &mut TraceBuilder::off());
+        let (collected, _, _, _) = self.jits_compile_phase(
+            &block,
+            &mut TraceBuilder::off(),
+            &mut QueryMetrics::default(),
+        );
         let plan = self.plan_for(&block, &collected)?;
         Ok(plan.explain())
     }
@@ -412,6 +438,7 @@ impl Database {
             views::VIEW_ARCHIVE_STATS => views::archive_stats_rows(&self.archive),
             views::VIEW_TABLE_SCORES => views::table_scores_rows(&self.obs),
             views::VIEW_SAMPLE_CACHE => views::sample_cache_rows(&self.samplecache, &self.catalog),
+            views::VIEW_DEGRADATION => views::degradation_rows(&self.obs),
             _ => views::query_log_rows(&self.obs),
         })
     }
@@ -425,7 +452,8 @@ impl Database {
         let mut metrics = QueryMetrics::default();
 
         // -- JITS compile-time pipeline --
-        let (collected, sampled, scores, walls) = self.jits_compile_phase(&block, &mut tb);
+        let (collected, sampled, scores, walls) =
+            self.jits_compile_phase(&block, &mut tb, &mut metrics);
         metrics.set_stage_walls(walls);
         metrics.compile_work = collected.work;
         metrics.sampled_tables = sampled;
@@ -498,10 +526,15 @@ impl Database {
     /// materialization, if JITS is enabled. Returns the fresh statistics,
     /// the number of sampled tables, the sensitivity scores, and the
     /// per-stage wall times (which also decorate `tb`'s spans).
+    ///
+    /// Degradations (fault-isolated tables, budget aborts, quarantined
+    /// archive groups) are recorded onto `metrics` and the obs state as
+    /// they happen; the statement always proceeds to planning.
     fn jits_compile_phase(
         &mut self,
         block: &QueryBlock,
         tb: &mut TraceBuilder,
+        metrics: &mut QueryMetrics,
     ) -> (CollectedStats, usize, Vec<jits::TableScore>, StageWalls) {
         self.last_materialized = 0;
         let mut walls = StageWalls::default();
@@ -525,10 +558,27 @@ impl Database {
         let t = Instant::now();
         let (sample_quns, materialize, table_scores, extra_work, mat_log) = match &cfg.strategy {
             SensitivityStrategy::PaperHeuristic => {
+                // history.read fault: a failed (post-retry) history read
+                // degrades to an empty StatHistory — every table scores
+                // s1 = 1 (no accuracy evidence), so sensitivity errs
+                // toward collecting, never toward serving stale stats.
+                let (history_ok, _) = self.fault.retry(FP_HISTORY_READ, self.clock);
+                let empty_history = (!history_ok).then(StatHistory::new);
+                if !history_ok {
+                    observe::note_degradation(
+                        &self.obs,
+                        tb,
+                        metrics,
+                        self.clock,
+                        String::new(),
+                        FP_HISTORY_READ,
+                        "empty_history",
+                    );
+                }
                 let decision = sensitivity_analysis(
                     block,
                     &candidates,
-                    &self.history,
+                    empty_history.as_ref().unwrap_or(&self.history),
                     &self.archive,
                     &self.predcache,
                     &self.catalog,
@@ -609,8 +659,39 @@ impl Database {
             cfg.collect_threads,
             clock_fn,
             &sources,
+            cfg.collect_budget,
+            &self.fault,
+            self.clock,
         );
-        commit_drawn_samples(&mut self.samplecache, &cfg, &drawn, &draw_meta);
+        for d in &collected.degraded {
+            let table = observe::table_name(&self.catalog, d.table);
+            observe::note_degradation(
+                &self.obs,
+                tb,
+                metrics,
+                self.clock,
+                table,
+                d.fault_point,
+                d.fallback,
+            );
+        }
+        // samplecache.commit fault: a failed (post-retry) commit skips the
+        // memoization — the draw is still used for this statement's stats,
+        // only its reuse by later statements is lost.
+        let (commit_ok, _) = self.fault.retry(FP_SAMPLECACHE_COMMIT, self.clock);
+        if commit_ok {
+            commit_drawn_samples(&mut self.samplecache, &cfg, &drawn, &draw_meta);
+        } else {
+            observe::note_degradation(
+                &self.obs,
+                tb,
+                metrics,
+                self.clock,
+                String::new(),
+                FP_SAMPLECACHE_COMMIT,
+                "skip_commit",
+            );
+        }
         collected.work += extra_work;
         walls.collect = t.elapsed();
         observe::note_collect(&self.obs, tb, block, &self.catalog, &timings);
@@ -625,8 +706,54 @@ impl Database {
         // -- archive materialization / max-entropy refinement --
         tb.begin("refine");
         let t = Instant::now();
-        for cand in &materialize {
+        // Quarantined groups rebuild on the next collection that covers
+        // them, regardless of the sensitivity verdict (the verdict may be
+        // "skip" precisely because the group *was* archived).
+        let rebuilds: Vec<&jits::CandidateGroup> = candidates
+            .iter()
+            .filter(|c| {
+                self.archive.pending_rebuild(&c.colgroup)
+                    && !materialize
+                        .iter()
+                        .any(|m| m.qun == c.qun && m.colgroup == c.colgroup)
+            })
+            .collect();
+        for (i, cand) in materialize.iter().chain(rebuilds).enumerate() {
             self.materialize_group_traced(block, cand, &collected, tb);
+            // archive.write fault: a torn write lands a histogram whose
+            // stored checksum no longer matches — detected (and
+            // quarantined) by the verification pass below.
+            let (write_ok, _) = self
+                .fault
+                .retry(FP_ARCHIVE_WRITE, fault_key(self.clock, i as u64));
+            if !write_ok {
+                self.archive.corrupt_checksum(&cand.colgroup);
+            }
+        }
+        // Verify every group the optimizer may read for this block before
+        // planning: a failed read or checksum mismatch quarantines the
+        // bucket set, so the estimate falls back to default selectivities
+        // instead of serving poisoned statistics.
+        for (i, cand) in candidates.iter().enumerate() {
+            if self.archive.histogram(&cand.colgroup).is_none() {
+                continue;
+            }
+            let (read_ok, _) = self
+                .fault
+                .retry(FP_ARCHIVE_READ, fault_key(self.clock, i as u64));
+            if !read_ok || !self.archive.validate(&cand.colgroup) {
+                self.archive.quarantine(&cand.colgroup);
+                let table = observe::table_name(&self.catalog, block.quns[cand.qun].table);
+                observe::note_degradation(
+                    &self.obs,
+                    tb,
+                    metrics,
+                    self.clock,
+                    table,
+                    FP_ARCHIVE_READ,
+                    "default_selectivity",
+                );
+            }
         }
         walls.refine = t.elapsed();
         observe::note_archive_gauges(&self.obs, &self.archive);

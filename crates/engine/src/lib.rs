@@ -17,9 +17,14 @@
 //! Observability (see `jits-obs` and DESIGN.md §8): every statement can be
 //! traced span-by-span, counters/histograms accumulate in a metrics
 //! registry, [`Database::explain_jits`] previews the JITS decisions
-//! without executing, and three virtual system views
-//! (`jits_archive_stats`, `jits_table_scores`, `jits_query_log`) expose
-//! the collected state through plain SQL.
+//! without executing, and virtual system views (`jits_archive_stats`,
+//! `jits_table_scores`, `jits_query_log`, `jits_degradation`) expose the
+//! collected state through plain SQL.
+//!
+//! Fault injection and graceful degradation (DESIGN.md §10): install a
+//! [`jits_common::FaultPlane`] with [`Database::set_fault_plane`] to
+//! deterministically fail named pipeline points; every failure degrades to
+//! a weaker statistics source — the statement always returns a plan.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,4 +42,4 @@ pub use explain::{JitsExplain, MaterializeExplain};
 pub use metrics::{CountersSnapshot, EngineCounters, QueryMetrics, StageWalls};
 pub use session::{Session, SharedDatabase};
 pub use settings::StatsSetting;
-pub use views::{VIEW_ARCHIVE_STATS, VIEW_QUERY_LOG, VIEW_TABLE_SCORES};
+pub use views::{VIEW_ARCHIVE_STATS, VIEW_DEGRADATION, VIEW_QUERY_LOG, VIEW_TABLE_SCORES};

@@ -64,6 +64,14 @@ pub struct QueryMetrics {
     /// Time this statement spent blocked acquiring engine locks (always
     /// zero on the single-session [`crate::Database`] path).
     pub lock_wait: Duration,
+    /// True when any part of the JITS pipeline degraded for this statement
+    /// (budget abort, fault-isolated table, quarantined archive group, …).
+    /// The statement still returns a plan — degradation trades statistics
+    /// quality, never availability.
+    pub degraded: bool,
+    /// One `"<fault-point> -> <fallback>"` entry per degradation, in the
+    /// deterministic order they were recorded.
+    pub degraded_reasons: Vec<String>,
 }
 
 impl QueryMetrics {

@@ -16,7 +16,9 @@ use crate::metrics::CountersSnapshot;
 use jits::{CollectTiming, JitsConfig, MaterializeDecision, SampleOrigin, TableScore};
 use jits_catalog::Catalog;
 use jits_common::{ColGroup, TableId};
-use jits_obs::{Observability, QueryLogEntry, ScoreRow, TraceBuilder, TraceEvent, Volatility};
+use jits_obs::{
+    DegradationRow, Observability, QueryLogEntry, ScoreRow, TraceBuilder, TraceEvent, Volatility,
+};
 use jits_query::QueryBlock;
 use jits_storage::CacheCounters;
 
@@ -265,6 +267,59 @@ pub(crate) fn note_archive_gauges(obs: &Observability, archive: &jits::QssArchiv
     obs.registry
         .gauge("jits.archive.total_buckets", Volatility::Deterministic)
         .set(archive.total_buckets() as u64);
+}
+
+/// Registry counter fed by one fault point's degradations. Static names so
+/// the registry key set stays closed (and the export surface predictable).
+fn degraded_counter_name(point: &str) -> &'static str {
+    match point {
+        jits_common::fault::FP_SAMPLE_DRAW => "jits.degraded.sample_draw",
+        jits_common::fault::FP_SAMPLECACHE_COMMIT => "jits.degraded.samplecache_commit",
+        jits_common::fault::FP_COLLECT_WORKER => "jits.degraded.collect_worker",
+        jits_common::fault::FP_ARCHIVE_READ => "jits.degraded.archive_read",
+        jits_common::fault::FP_ARCHIVE_WRITE => "jits.degraded.archive_write",
+        jits_common::fault::FP_HISTORY_READ => "jits.degraded.history_read",
+        jits::FP_COLLECT_BUDGET => "jits.degraded.collect_budget",
+        _ => "jits.degraded.other",
+    }
+}
+
+/// Records one degradation event: per-fault-point counter, trace note,
+/// `jits_degradation` view row, and the statement-level flag/reason on the
+/// metrics. Degradation counters are deterministic — every decision derives
+/// from the fault seed or a work-unit budget, never wall clock.
+pub(crate) fn note_degradation(
+    obs: &Observability,
+    tb: &mut TraceBuilder,
+    metrics: &mut crate::QueryMetrics,
+    clock: u64,
+    table: String,
+    fault_point: &str,
+    fallback: &str,
+) {
+    obs.registry
+        .counter(
+            degraded_counter_name(fault_point),
+            Volatility::Deterministic,
+        )
+        .inc();
+    obs.registry
+        .counter("jits.degraded.total", Volatility::Deterministic)
+        .inc();
+    tb.event(|| TraceEvent::Note {
+        label: "degraded",
+        detail: format!("{fault_point} -> {fallback} (table '{table}')"),
+    });
+    metrics.degraded = true;
+    metrics
+        .degraded_reasons
+        .push(format!("{fault_point} -> {fallback}"));
+    obs.record_degradation(DegradationRow {
+        clock,
+        table,
+        fault_point: fault_point.to_string(),
+        fallback: fallback.to_string(),
+    });
 }
 
 /// Records the feedback stage (LEO ingest).

@@ -54,7 +54,10 @@ use jits::{
     JitsStatisticsProvider, PredicateCache, QssArchive, SensitivityStrategy, StatHistory,
 };
 use jits_catalog::{runstats, Catalog, RunstatsOptions};
-use jits_common::{JitsError, Result, Schema, SplitMix64, TableId, Value};
+use jits_common::fault::{
+    FP_ARCHIVE_READ, FP_ARCHIVE_WRITE, FP_HISTORY_READ, FP_SAMPLECACHE_COMMIT,
+};
+use jits_common::{fault_key, FaultPlane, JitsError, Result, Schema, SplitMix64, TableId, Value};
 use jits_executor::execute;
 use jits_obs::{Observability, QueryLogEntry, TraceBuilder};
 use jits_optimizer::{
@@ -111,6 +114,10 @@ struct Shared {
     /// Tracer, metrics registry, and query log (lock-free or rank-8
     /// internally, so usable while holding any engine lock).
     obs: Arc<Observability>,
+    /// Deterministic fault-injection plane. Like `rng_source`, guarded by a
+    /// plain mutex outside the ranked hierarchy: sessions clone the handle
+    /// (an `Arc` bump) once per statement before taking any engine lock.
+    fault: Mutex<FaultPlane>,
 }
 
 /// A database whose state is shareable across threads; spawn one
@@ -202,6 +209,7 @@ impl SharedDatabase {
         defaults: DefaultSelectivities,
         runstats_opts: RunstatsOptions,
         obs: Arc<Observability>,
+        fault: FaultPlane,
     ) -> Self {
         SharedDatabase {
             shared: Arc::new(Shared {
@@ -220,8 +228,16 @@ impl SharedDatabase {
                 runstats_opts,
                 counters: EngineCounters::default(),
                 obs,
+                fault: Mutex::new(fault),
             }),
         }
+    }
+
+    /// Installs the deterministic fault-injection plane for every session
+    /// (see [`Database::set_fault_plane`]). Takes effect at each session's
+    /// next statement.
+    pub fn set_fault_plane(&self, fault: FaultPlane) {
+        *self.shared.fault.lock() = fault;
     }
 
     /// Opens a new session. The first session continues the master RNG
@@ -498,6 +514,7 @@ impl Session {
                     clock,
                     &mut waited,
                     &mut TraceBuilder::off(),
+                    &mut QueryMetrics::default(),
                 );
                 let plan = self.plan_for(&block, &collected, &setting, clock, &mut waited)?;
                 let metrics = QueryMetrics {
@@ -540,6 +557,7 @@ impl Session {
             clock,
             &mut waited,
             &mut TraceBuilder::off(),
+            &mut QueryMetrics::default(),
         );
         let plan = self.plan_for(&block, &collected, &setting, clock, &mut waited)?;
         Ok(plan.explain())
@@ -597,6 +615,7 @@ impl Session {
                 let samplecache = timed_read(&sh.samplecache, &sh.counters, waited);
                 views::sample_cache_rows(&samplecache, &catalog)
             }
+            views::VIEW_DEGRADATION => views::degradation_rows(&sh.obs),
             _ => views::query_log_rows(&sh.obs),
         })
     }
@@ -618,7 +637,7 @@ impl Session {
 
         // -- JITS compile-time pipeline --
         let (collected, sampled, materialized, scores, walls) =
-            self.compile_phase(&block, &setting, clock, &mut waited, &mut tb);
+            self.compile_phase(&block, &setting, clock, &mut waited, &mut tb, &mut metrics);
         metrics.set_stage_walls(walls);
         metrics.compile_work = collected.work;
         metrics.sampled_tables = sampled;
@@ -709,6 +728,7 @@ impl Session {
         clock: u64,
         waited: &mut u64,
         tb: &mut TraceBuilder,
+        metrics: &mut QueryMetrics,
     ) -> (
         CollectedStats,
         usize,
@@ -716,6 +736,10 @@ impl Session {
         Vec<jits::TableScore>,
         StageWalls,
     ) {
+        // Snapshot the fault plane before any ranked lock is taken (the
+        // handle is an Arc clone; decisions stay pure functions of the
+        // plane's seed and the statement clock).
+        let fault = self.shared.fault.lock().clone();
         let mut walls = StageWalls::default();
         let StatsSetting::Jits(cfg) = setting.clone() else {
             return (CollectedStats::default(), 0, 0, Vec::new(), walls);
@@ -746,10 +770,26 @@ impl Session {
             {
                 SensitivityStrategy::PaperHeuristic => {
                     let predcache = timed_read(&sh.predcache, &sh.counters, waited);
+                    // history.read fault: degrade to an empty StatHistory,
+                    // biasing sensitivity toward collecting (see the
+                    // single-owner path in `database.rs`).
+                    let (history_ok, _) = fault.retry(FP_HISTORY_READ, clock);
+                    let empty_history = (!history_ok).then(StatHistory::new);
+                    if !history_ok {
+                        observe::note_degradation(
+                            &sh.obs,
+                            tb,
+                            metrics,
+                            clock,
+                            String::new(),
+                            FP_HISTORY_READ,
+                            "empty_history",
+                        );
+                    }
                     let decision = sensitivity_analysis(
                         block,
                         &candidates,
-                        &history,
+                        empty_history.as_ref().unwrap_or(&history),
                         &archive,
                         &predcache,
                         &catalog,
@@ -815,12 +855,42 @@ impl Session {
                 cfg.collect_threads,
                 clock_fn,
                 &sources,
+                cfg.collect_budget,
+                &fault,
+                clock,
             );
-            // Phase C: commit freshly drawn samples for future queries.
-            let cache_after = {
+            for d in &collected.degraded {
+                let table = observe::table_name(&catalog, d.table);
+                observe::note_degradation(
+                    &sh.obs,
+                    tb,
+                    metrics,
+                    clock,
+                    table,
+                    d.fault_point,
+                    d.fallback,
+                );
+            }
+            // Phase C: commit freshly drawn samples for future queries. A
+            // failed (post-retry) commit skips the memoization; the draw is
+            // still used for this statement's statistics.
+            let (commit_ok, _) = fault.retry(FP_SAMPLECACHE_COMMIT, clock);
+            let cache_after = if commit_ok {
                 let mut samplecache = timed_write(&sh.samplecache, &sh.counters, waited);
                 commit_drawn_samples(&mut samplecache, &cfg, &drawn, &draw_meta);
                 samplecache.counters()
+            } else {
+                observe::note_degradation(
+                    &sh.obs,
+                    tb,
+                    metrics,
+                    clock,
+                    String::new(),
+                    FP_SAMPLECACHE_COMMIT,
+                    "skip_commit",
+                );
+                // still account the Phase A lookup outcomes
+                timed_read(&sh.samplecache, &sh.counters, waited).counters()
             };
             collected.work += extra_work;
             walls.collect = t.elapsed();
@@ -850,10 +920,34 @@ impl Session {
         tb.begin("refine");
         let t = Instant::now();
         let mut materialized = 0usize;
-        if !materialize.is_empty() {
+        // With the fault plane enabled the write window also runs the
+        // rebuild scan and checksum verification; disabled, neither can
+        // have any effect (quarantines only originate from faults), so the
+        // guard is skipped exactly as before.
+        if !materialize.is_empty() || (fault.is_enabled() && !candidates.is_empty()) {
+            // Candidate table names resolved up front: the catalog (rank 1)
+            // must not be acquired under the archive guard (rank 3).
+            let cand_tables: Vec<String> = {
+                let catalog = timed_read(&sh.catalog, &sh.counters, waited);
+                candidates
+                    .iter()
+                    .map(|c| observe::table_name(&catalog, block.quns[c.qun].table))
+                    .collect()
+            };
             let mut archive = timed_write(&sh.archive, &sh.counters, waited);
             let mut predcache = timed_write(&sh.predcache, &sh.counters, waited);
-            for cand in &materialize {
+            // Quarantined groups rebuild on the next collection covering
+            // them, regardless of the sensitivity verdict.
+            let rebuilds: Vec<&jits::CandidateGroup> = candidates
+                .iter()
+                .filter(|c| {
+                    archive.pending_rebuild(&c.colgroup)
+                        && !materialize
+                            .iter()
+                            .any(|m| m.qun == c.qun && m.colgroup == c.colgroup)
+                })
+                .collect();
+            for (i, cand) in materialize.iter().chain(rebuilds).enumerate() {
                 let outcome = materialize_group_into(
                     block,
                     cand,
@@ -866,6 +960,34 @@ impl Session {
                     materialized += 1;
                 }
                 observe::note_materialize_outcome(&sh.obs, tb, &cand.colgroup, &outcome);
+                // archive.write fault: a torn write is detected (and
+                // quarantined) by the verification pass below.
+                let (write_ok, _) = fault.retry(FP_ARCHIVE_WRITE, fault_key(clock, i as u64));
+                if !write_ok {
+                    archive.corrupt_checksum(&cand.colgroup);
+                }
+            }
+            // Verify every group the optimizer may read for this block: a
+            // failed read or checksum mismatch quarantines the bucket set,
+            // so planning falls back to default selectivities instead of
+            // serving poisoned statistics.
+            for (i, cand) in candidates.iter().enumerate() {
+                if archive.histogram(&cand.colgroup).is_none() {
+                    continue;
+                }
+                let (read_ok, _) = fault.retry(FP_ARCHIVE_READ, fault_key(clock, i as u64));
+                if !read_ok || !archive.validate(&cand.colgroup) {
+                    archive.quarantine(&cand.colgroup);
+                    observe::note_degradation(
+                        &sh.obs,
+                        tb,
+                        metrics,
+                        clock,
+                        cand_tables[i].clone(),
+                        FP_ARCHIVE_READ,
+                        "default_selectivity",
+                    );
+                }
             }
             observe::note_archive_gauges(&sh.obs, &archive);
         }

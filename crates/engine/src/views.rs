@@ -1,6 +1,6 @@
 //! Virtual system views over the observability state.
 //!
-//! Four read-only views answer plain `SELECT * FROM <view>` statements
+//! Five read-only views answer plain `SELECT * FROM <view>` statements
 //! without touching user data, bumping the query clock, or drawing from
 //! the sampling RNG:
 //!
@@ -10,6 +10,7 @@
 //! | `jits_table_scores`  | clock, qun, table, s1, s2, score, collect, reason  |
 //! | `jits_query_log`     | clock, session, sql, rows, compile_ns, exec_ns, sampled |
 //! | `jits_sample_cache`  | table, spec_size, epoch, rows_at_draw, sample_rows, probes, hits, frame_cols |
+//! | `jits_degradation`   | clock, table, fault_point, fallback                |
 //!
 //! A user table with the same name shadows the view (the interception only
 //! fires when the name does not resolve in the catalog).
@@ -29,6 +30,8 @@ pub const VIEW_TABLE_SCORES: &str = "jits_table_scores";
 pub const VIEW_QUERY_LOG: &str = "jits_query_log";
 /// `SELECT * FROM jits_sample_cache` — one row per memoized table sample.
 pub const VIEW_SAMPLE_CACHE: &str = "jits_sample_cache";
+/// `SELECT * FROM jits_degradation` — recent pipeline degradation events.
+pub const VIEW_DEGRADATION: &str = "jits_degradation";
 
 /// Returns the canonical view name if `stmt` is a single-table SELECT from
 /// one of the virtual system views (matched case-insensitively).
@@ -44,6 +47,7 @@ pub(crate) fn system_view_name(stmt: &Statement) -> Option<&'static str> {
         VIEW_TABLE_SCORES => Some(VIEW_TABLE_SCORES),
         VIEW_QUERY_LOG => Some(VIEW_QUERY_LOG),
         VIEW_SAMPLE_CACHE => Some(VIEW_SAMPLE_CACHE),
+        VIEW_DEGRADATION => Some(VIEW_DEGRADATION),
         _ => None,
     }
 }
@@ -99,6 +103,22 @@ pub(crate) fn sample_cache_rows(cache: &SampleCache, catalog: &Catalog) -> Vec<V
                 Value::Int(e.probes as i64),
                 Value::Int(e.hits as i64),
                 Value::Int(e.frames.len() as i64),
+            ]
+        })
+        .collect()
+}
+
+/// Rows of `jits_degradation`, oldest first: every time the pipeline fell
+/// back (budget abort, fault-isolated table, quarantined archive group).
+pub(crate) fn degradation_rows(obs: &Observability) -> Vec<Vec<Value>> {
+    obs.recent_degradations()
+        .into_iter()
+        .map(|d| {
+            vec![
+                Value::Int(d.clock as i64),
+                Value::str(d.table),
+                Value::str(d.fault_point),
+                Value::str(d.fallback),
             ]
         })
         .collect()

@@ -11,7 +11,7 @@
 
 use jits_common::ColGroup;
 use jits_histogram::{region_accuracy, FitResult, GridHistogram, Region};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// What one [`QssArchive::apply_observation`] call did — the refine trail
 /// observability reports (created vs refreshed, bucket growth, IPF fit
@@ -56,6 +56,15 @@ pub struct QssArchive {
     /// migration and superset inference) walks groups in a deterministic
     /// order regardless of insertion history.
     histograms: BTreeMap<ColGroup, GridHistogram>,
+    /// Write-time checksums, one per stored histogram. Recomputed on every
+    /// [`QssArchive::apply_observation`]; [`QssArchive::validate`] compares
+    /// against the live contents to detect torn writes before an estimate
+    /// is served.
+    checksums: BTreeMap<ColGroup, u64>,
+    /// Groups whose stored histogram failed validation: the bucket set was
+    /// dropped (served as "no stats" → optimizer default selectivities) and
+    /// the next collection covering the group must rebuild it.
+    rebuild: BTreeSet<ColGroup>,
     /// Total-bucket budget across all histograms.
     bucket_budget: usize,
     /// Uniformity above which a histogram is "almost uniform" and evictable
@@ -63,11 +72,38 @@ pub struct QssArchive {
     eviction_uniformity: f64,
 }
 
+/// Order-dependent FNV-1a over the histogram's full logical content
+/// (boundary and count f64 bits, total, bucket count). Dependency-free and
+/// platform-stable, which is all a torn-write detector needs.
+fn histogram_checksum(h: &GridHistogram) -> u64 {
+    let mut sum: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            sum ^= b as u64;
+            sum = sum.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(h.n_buckets() as u64);
+    eat(h.total().to_bits());
+    for dim in h.boundaries() {
+        eat(dim.len() as u64);
+        for x in dim {
+            eat(x.to_bits());
+        }
+    }
+    for c in h.counts() {
+        eat(c.to_bits());
+    }
+    sum
+}
+
 impl QssArchive {
     /// An empty archive with the given space budget.
     pub fn new(bucket_budget: usize, eviction_uniformity: f64) -> Self {
         QssArchive {
             histograms: BTreeMap::new(),
+            checksums: BTreeMap::new(),
+            rebuild: BTreeSet::new(),
             bucket_budget: bucket_budget.max(1),
             eviction_uniformity,
         }
@@ -141,15 +177,21 @@ impl QssArchive {
         total: f64,
         stamp: u64,
     ) -> RefineOutcome {
+        // A quarantined group rebuilds from scratch: the poisoned bucket set
+        // is already gone, so this observation creates a fresh histogram and
+        // clears the rebuild flag.
+        self.rebuild.remove(&group);
         let created = !self.histograms.contains_key(&group);
         let hist = self
             .histograms
-            .entry(group)
+            .entry(group.clone())
             .or_insert_with(|| GridHistogram::new(frame, total, stamp));
         let buckets_before = if created { 0 } else { hist.n_buckets() };
         let fit = hist.apply_observation(region, count, total, stamp);
         hist.touch(stamp);
         let buckets_after = hist.n_buckets();
+        let sum = histogram_checksum(hist);
+        self.checksums.insert(group, sum);
         let evicted = self.enforce_budget();
         RefineOutcome {
             created,
@@ -157,6 +199,54 @@ impl QssArchive {
             buckets_after,
             fit,
             evicted,
+        }
+    }
+
+    /// Recomputes the group's checksum against the write-time record.
+    /// `true` means the entry is intact (or absent — nothing to serve,
+    /// nothing to validate). `false` means a torn write: the caller should
+    /// [`QssArchive::quarantine`] the group.
+    pub fn validate(&self, group: &ColGroup) -> bool {
+        match self.histograms.get(group) {
+            None => true,
+            Some(h) => self.checksums.get(group) == Some(&histogram_checksum(h)),
+        }
+    }
+
+    /// Drops the group's bucket set and schedules a rebuild on the next
+    /// collection covering it. Until then the group is served as "no
+    /// stats", so the optimizer falls back to default selectivities (the
+    /// paper's no-statistics path). Returns whether a histogram was
+    /// actually dropped.
+    pub fn quarantine(&mut self, group: &ColGroup) -> bool {
+        let had = self.histograms.remove(group).is_some();
+        self.checksums.remove(group);
+        self.rebuild.insert(group.clone());
+        had
+    }
+
+    /// True when the group was quarantined and awaits its rebuild: the next
+    /// collection that produces stats for it must materialize regardless of
+    /// the sensitivity verdict.
+    pub fn pending_rebuild(&self, group: &ColGroup) -> bool {
+        self.rebuild.contains(group)
+    }
+
+    /// The groups currently awaiting a rebuild, in deterministic order.
+    pub fn pending_rebuilds(&self) -> impl Iterator<Item = &ColGroup> {
+        self.rebuild.iter()
+    }
+
+    /// Corrupts the stored checksum of a group (fault injection: simulates
+    /// a torn archive write — the next [`QssArchive::validate`] fails).
+    /// Returns whether the group had a stored entry to corrupt.
+    pub fn corrupt_checksum(&mut self, group: &ColGroup) -> bool {
+        match self.checksums.get_mut(group) {
+            Some(s) => {
+                *s ^= 0xDEAD_BEEF;
+                true
+            }
+            None => false,
         }
     }
 
@@ -177,6 +267,7 @@ impl QssArchive {
             let victim = self.pick_victim();
             if let Some(v) = victim {
                 self.histograms.remove(&v);
+                self.checksums.remove(&v);
                 evicted.push(v);
             } else {
                 break;
@@ -205,6 +296,8 @@ impl QssArchive {
     /// Drops everything (used between experiment settings).
     pub fn clear(&mut self) {
         self.histograms.clear();
+        self.checksums.clear();
+        self.rebuild.clear();
     }
 }
 
@@ -344,6 +437,99 @@ mod tests {
         // g2 (last_used 2) is the LRU victim
         assert!(a.histogram(&group(0, &[2])).is_none());
         assert!(a.histogram(&group(0, &[1])).is_some());
+    }
+
+    #[test]
+    fn validate_detects_corruption_and_quarantine_hides_stats() {
+        let mut a = QssArchive::default();
+        let g = group(0, &[1]);
+        a.apply_observation(
+            g.clone(),
+            &frame1d(),
+            &Region::new(vec![(0.0, 30.0)]),
+            90.0,
+            100.0,
+            1,
+        );
+        assert!(a.validate(&g), "fresh write must validate");
+        assert!(a.validate(&group(9, &[9])), "absent group trivially valid");
+        assert!(a.corrupt_checksum(&g));
+        assert!(!a.validate(&g), "torn write must fail validation");
+        assert!(a.quarantine(&g));
+        // served as "no stats" across every read surface
+        assert!(a.histogram(&g).is_none());
+        assert!(a.selectivity(&g, &frame1d()).is_none());
+        assert!(a.accuracy(&g, &frame1d()).is_none());
+        assert_eq!(a.iter().count(), 0);
+        assert!(a.pending_rebuild(&g));
+        assert_eq!(a.pending_rebuilds().count(), 1);
+    }
+
+    #[test]
+    fn rebuild_after_quarantine_restores_byte_identical_stats() {
+        // two archives receive the same observation; one is corrupted,
+        // quarantined, and rebuilt from the same observation — the rebuilt
+        // histogram must be bit-identical to the untouched control
+        let g = group(0, &[1]);
+        let region = Region::new(vec![(0.0, 30.0)]);
+        let mut control = QssArchive::default();
+        control.apply_observation(g.clone(), &frame1d(), &region, 90.0, 100.0, 1);
+        let mut faulty = QssArchive::default();
+        faulty.apply_observation(g.clone(), &frame1d(), &region, 90.0, 100.0, 1);
+        faulty.corrupt_checksum(&g);
+        assert!(!faulty.validate(&g));
+        faulty.quarantine(&g);
+        let out = faulty.apply_observation(g.clone(), &frame1d(), &region, 90.0, 100.0, 1);
+        assert!(out.created, "rebuild creates a fresh histogram");
+        assert!(!faulty.pending_rebuild(&g), "rebuild clears the flag");
+        assert!(faulty.validate(&g), "rebuild recomputes the checksum");
+        let (c, f) = (
+            control.histogram(&g).unwrap(),
+            faulty.histogram(&g).unwrap(),
+        );
+        assert_eq!(c.boundaries(), f.boundaries());
+        let cb: Vec<u64> = c.counts().iter().map(|x| x.to_bits()).collect();
+        let fb: Vec<u64> = f.counts().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(cb, fb, "rebuilt counts must match bit-for-bit");
+        assert_eq!(c.total().to_bits(), f.total().to_bits());
+    }
+
+    #[test]
+    fn eviction_keeps_checksums_in_sync() {
+        let mut a = QssArchive::new(4, 0.0);
+        a.apply_observation(
+            group(0, &[1]),
+            &frame1d(),
+            &Region::new(vec![(0.0, 50.0)]),
+            50.0,
+            100.0,
+            1,
+        );
+        a.apply_observation(
+            group(0, &[2]),
+            &frame1d(),
+            &Region::new(vec![(0.0, 50.0)]),
+            50.0,
+            100.0,
+            2,
+        );
+        a.apply_observation(
+            group(0, &[3]),
+            &frame1d(),
+            &Region::new(vec![(0.0, 50.0)]),
+            50.0,
+            100.0,
+            3,
+        );
+        // every surviving histogram still validates after forced evictions
+        let survivors: Vec<ColGroup> = a.iter().map(|(g, _)| g.clone()).collect();
+        assert!(!survivors.is_empty());
+        for g in &survivors {
+            assert!(a.validate(g));
+        }
+        // evicted groups validate trivially (absent) and are not quarantined
+        assert!(a.validate(&group(0, &[1])));
+        assert!(!a.pending_rebuild(&group(0, &[1])));
     }
 
     #[test]

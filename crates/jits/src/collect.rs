@@ -45,15 +45,28 @@
 
 use crate::analysis::CandidateGroup;
 use crate::predcache::fingerprint;
+use jits_common::fault::{FP_COLLECT_WORKER, FP_SAMPLE_DRAW};
 use jits_common::interval::Bound;
-use jits_common::{ColGroup, ColumnId, DataType, SplitMix64, TableId, Value};
+use jits_common::{
+    fault_key, ColGroup, ColumnId, DataType, FaultPlane, SplitMix64, TableId, Value,
+};
 use jits_histogram::Region;
 use jits_query::{LocalPredicate, PredKind, QueryBlock};
 use jits_storage::{
-    sample::sample_rows_counted, FrameColumn, FrameValues, RowId, SampleSpec, Table,
+    sample::sample_rows_budgeted, FrameColumn, FrameValues, RowId, SampleSpec, Table,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Fallback label: the table's statistics come from the QSS archive /
+/// catalog chain instead of a fresh sample.
+pub const FB_ARCHIVE_STATS: &str = "archive_or_catalog_stats";
+/// Fallback label: a budget-truncated (still uniform) partial sample was
+/// kept and statistics were measured on it.
+pub const FB_PARTIAL_SAMPLE: &str = "partial_sample";
+/// Pseudo fault point recorded when the deterministic work-unit budget —
+/// not an injected fault — degraded a table.
+pub const FP_COLLECT_BUDGET: &str = "collect.budget";
 
 /// How a quantifier's sample rows were obtained.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -99,6 +112,23 @@ pub struct CollectTiming {
     pub eval_nanos: u64,
 }
 
+/// One table whose collection degraded instead of failing the statement:
+/// which quantifier, what tripped it, and which fallback the pipeline took.
+/// The qun-ordered merge proceeds with the remaining tables; the provider
+/// chain (fresh → predcache → archive → superset → catalog) serves this
+/// table from whatever older statistics exist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedTable {
+    /// Quantifier whose collection degraded.
+    pub qun: usize,
+    /// The quantifier's table.
+    pub table: TableId,
+    /// The fault point (or [`FP_COLLECT_BUDGET`]) that tripped.
+    pub fault_point: &'static str,
+    /// The fallback the pipeline served instead.
+    pub fallback: &'static str,
+}
+
 /// Joint statistics of one candidate group, measured on a sample.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GroupStat {
@@ -136,6 +166,11 @@ pub struct CollectedStats {
     pub tables_sampled: usize,
     /// Worker threads the pass fanned sampling out across (1 = sequential).
     pub collect_threads: usize,
+    /// Tables whose collection degraded this pass (quantifier order). A
+    /// table in this list contributes no fresh group stats — unless the
+    /// fallback was [`FB_PARTIAL_SAMPLE`], where stats were measured on the
+    /// kept partial — and the optimizer falls through to older statistics.
+    pub degraded: Vec<DegradedTable>,
 }
 
 impl CollectedStats {
@@ -241,6 +276,44 @@ struct TablePartial {
     work: f64,
     timing: CollectTiming,
     drawn: Option<DrawnSample>,
+    degraded: Option<DegradedTable>,
+}
+
+impl TablePartial {
+    /// A partial that collected nothing because the table degraded: no
+    /// groups, no frames, no cache deposit — just the degradation record
+    /// (plus any deterministic backoff work already charged).
+    fn degraded(
+        qun: usize,
+        table: TableId,
+        fault_point: &'static str,
+        fallback: &'static str,
+        work: f64,
+    ) -> TablePartial {
+        TablePartial {
+            qun,
+            groups: Vec::new(),
+            frames: Vec::new(),
+            work,
+            timing: CollectTiming {
+                qun,
+                rows_sampled: 0,
+                slot_probes: 0,
+                worker: 0,
+                wall_nanos: 0,
+                origin: SampleOrigin::Fresh,
+                gather_nanos: 0,
+                eval_nanos: 0,
+            },
+            drawn: None,
+            degraded: Some(DegradedTable {
+                qun,
+                table,
+                fault_point,
+                fallback,
+            }),
+        }
+    }
 }
 
 /// Derives the independent RNG stream of one (table, quantifier) pair.
@@ -482,18 +555,58 @@ fn collect_one_table(
     mut rng: SplitMix64,
     worker: usize,
     clock: Option<&(dyn Fn() -> u64 + Sync)>,
+    budget: u64,
+    fault: &FaultPlane,
+    stmt_clock: u64,
 ) -> TablePartial {
     let started = clock.map(|c| c()).unwrap_or(0);
+    // Fault decisions key off (statement clock, quantifier) — both fixed
+    // before the parallel fan-out — so which tables degrade is independent
+    // of worker count and scheduling order.
+    let key = fault_key(stmt_clock, qun as u64);
+    if fault.fires(FP_COLLECT_WORKER, key, 0) {
+        return TablePartial::degraded(qun, tid, FP_COLLECT_WORKER, FB_ARCHIVE_STATS, 0.0);
+    }
+    let mut backoff_work = 0.0;
+    let mut budget_abort = false;
     let (rows, probes, origin, fresh_draw, cached_frames, cached_bitsets) = match source {
         SampleSource::Draw { staleness } => {
-            let (r, p) = sample_rows_counted(table, spec, &mut rng);
+            // Transient draw failures get bounded retry with deterministic
+            // backoff: each failed attempt charges 1 << attempt work units
+            // to the pass (an attempt counter, never a sleep).
+            let (cleared, attempts) = fault.retry(FP_SAMPLE_DRAW, key);
+            if attempts > 0 {
+                backoff_work = ((1u64 << attempts) - 1) as f64;
+            }
+            if !cleared {
+                return TablePartial::degraded(
+                    qun,
+                    tid,
+                    FP_SAMPLE_DRAW,
+                    FB_ARCHIVE_STATS,
+                    backoff_work,
+                );
+            }
+            let draw = sample_rows_budgeted(table, spec, &mut rng, budget);
+            if draw.aborted && draw.rows.is_empty() {
+                // a truncated reservoir scan would be biased, so nothing was
+                // kept — fall back to archive/catalog statistics
+                return TablePartial::degraded(
+                    qun,
+                    tid,
+                    FP_COLLECT_BUDGET,
+                    FB_ARCHIVE_STATS,
+                    backoff_work,
+                );
+            }
+            budget_abort = draw.aborted;
             let origin = match staleness {
                 Some(s) => SampleOrigin::Redrawn { staleness: s },
                 None => SampleOrigin::Fresh,
             };
             (
-                Arc::new(r),
-                p,
+                Arc::new(draw.rows),
+                draw.probes,
                 origin,
                 true,
                 BTreeMap::new(),
@@ -546,12 +659,28 @@ fn collect_one_table(
             eval_nanos: 0,
         },
         drawn,
+        degraded: if budget_abort {
+            // the budget stopped the draw but the partial stayed uniform:
+            // keep it, measure on it, and record the degradation
+            Some(DegradedTable {
+                qun,
+                table: tid,
+                fault_point: FP_COLLECT_BUDGET,
+                fallback: FB_PARTIAL_SAMPLE,
+            })
+        } else {
+            None
+        },
     };
     // random-probe sampling costs O(sample), independent of table size
     // (paper §4, citing [1, 8, 12]); charge a random-access fetch per
     // sampled row. Cache hits charge the same units: `work` feeds the
     // machine-independent cost model the paper's experiments replay, so it
-    // stays invariant to the (wall-clock-only) fast path.
+    // stays invariant to the (wall-clock-only) fast path. Retry backoff is
+    // charged first (zero when no fault fired, leaving the sum untouched).
+    if backoff_work > 0.0 {
+        out.work += backoff_work;
+    }
     out.work += n as f64 * 2.0;
     if n == 0 {
         out.timing.wall_nanos = clock.map(|c| c().saturating_sub(started)).unwrap_or(0);
@@ -566,6 +695,21 @@ fn collect_one_table(
     // so its buffers are bit-identical to what this gather would produce.
     let gather_started = clock.map(|c| c()).unwrap_or(0);
     let local = block.local_predicates_of(qun);
+    // Post-draw evaluation budget: a full draw can still blow the budget in
+    // the row×predicate evaluation phase (probes already spent plus one
+    // unit per row×predicate). Degrade to older statistics rather than
+    // exceed the bound. A budget-aborted partial is exempt — its draw
+    // consumed the budget by construction, and evaluating the (small)
+    // partial is the whole point of keeping it.
+    if budget != 0
+        && !budget_abort
+        && (probes as u64).saturating_add((n * local.len()) as u64) > budget
+    {
+        let mut d = TablePartial::degraded(qun, tid, FP_COLLECT_BUDGET, FB_ARCHIVE_STATS, out.work);
+        d.timing = out.timing;
+        d.timing.wall_nanos = clock.map(|c| c().saturating_sub(started)).unwrap_or(0);
+        return d;
+    }
     let used_cols: Vec<ColumnId> = {
         let mut cols: Vec<ColumnId> = local
             .iter()
@@ -809,6 +953,9 @@ pub fn collect_for_tables_traced(
         threads,
         clock,
         &BTreeMap::new(),
+        0,
+        &FaultPlane::disabled(),
+        0,
     );
     (stats, timings)
 }
@@ -819,6 +966,13 @@ pub fn collect_for_tables_traced(
 /// cache deposit — fresh draws plus columns gathered on top of served
 /// samples — as [`DrawnSample`]s (in quantifier order) for the caller to
 /// commit back to its cache.
+///
+/// `budget` is the per-table work-unit budget (`0` = unlimited), `fault`
+/// the injection plane (pass [`FaultPlane::disabled`] outside chaos runs),
+/// and `stmt_clock` the statement clock fault decisions key off. Per-table
+/// failures — injected or budget-driven — are isolated: the failing table
+/// lands in [`CollectedStats::degraded`] and the qun-ordered merge proceeds
+/// with the remaining tables.
 #[allow(clippy::too_many_arguments)]
 pub fn collect_for_tables_sourced(
     block: &QueryBlock,
@@ -830,6 +984,9 @@ pub fn collect_for_tables_sourced(
     threads: usize,
     clock: Option<&(dyn Fn() -> u64 + Sync)>,
     sources: &BTreeMap<usize, SampleSource>,
+    budget: u64,
+    fault: &FaultPlane,
+    stmt_clock: u64,
 ) -> (CollectedStats, Vec<CollectTiming>, Vec<DrawnSample>) {
     let mut out = CollectedStats::default();
     // Table statistics (row counts) are "needed for every table involved in
@@ -868,7 +1025,8 @@ pub fn collect_for_tables_sourced(
         jobs.into_iter()
             .map(|(qun, tid, table, rng, source)| {
                 collect_one_table(
-                    block, qun, candidates, tid, table, spec, source, rng, 0, clock,
+                    block, qun, candidates, tid, table, spec, source, rng, 0, clock, budget, fault,
+                    stmt_clock,
                 )
             })
             .collect()
@@ -886,21 +1044,35 @@ pub fn collect_for_tables_sourced(
                         (*qun, *tid, *table, rng.clone(), source.clone())
                     })
                     .collect();
-                handles.push(scope.spawn(move || {
+                // remember the worker's job identities so a poisoned worker
+                // degrades exactly its tables instead of the whole pass
+                let idents: Vec<(usize, TableId)> =
+                    worker_jobs.iter().map(|(q, t, ..)| (*q, *t)).collect();
+                let handle = scope.spawn(move || {
                     worker_jobs
                         .into_iter()
                         .map(|(qun, tid, table, rng, source)| {
                             collect_one_table(
                                 block, qun, candidates, tid, table, spec, source, rng, w, clock,
+                                budget, fault, stmt_clock,
                             )
                         })
                         .collect::<Vec<TablePartial>>()
-                }));
+                });
+                handles.push((idents, handle));
             }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("collection worker panicked"))
-                .collect()
+            let mut all = Vec::new();
+            for (idents, h) in handles {
+                match h.join() {
+                    Ok(worker_partials) => all.extend(worker_partials),
+                    // worker isolation: a panicked worker marks its tables
+                    // degraded and the merge proceeds with the rest
+                    Err(_) => all.extend(idents.into_iter().map(|(qun, tid)| {
+                        TablePartial::degraded(qun, tid, FP_COLLECT_WORKER, FB_ARCHIVE_STATS, 0.0)
+                    })),
+                }
+            }
+            all
         })
     };
 
@@ -919,6 +1091,9 @@ pub fn collect_for_tables_sourced(
         timings.push(p.timing);
         if let Some(d) = p.drawn {
             drawn.push(d);
+        }
+        if let Some(d) = p.degraded {
+            out.degraded.push(d);
         }
     }
     (out, timings, drawn)
@@ -1345,6 +1520,9 @@ mod tests {
             1,
             None,
             &BTreeMap::new(),
+            0,
+            &FaultPlane::disabled(),
+            0,
         );
         assert_eq!(drawn.len(), 1);
         assert!(drawn[0].fresh);
@@ -1374,6 +1552,9 @@ mod tests {
             1,
             None,
             &sources,
+            0,
+            &FaultPlane::disabled(),
+            0,
         );
         assert!(
             warm_drawn.iter().all(|d| !d.fresh),
@@ -1418,6 +1599,9 @@ mod tests {
             1,
             None,
             &hot_sources,
+            0,
+            &FaultPlane::disabled(),
+            0,
         );
         assert!(hot_drawn.is_empty(), "nothing left to deposit");
         assert_eq!(hot.groups, cold.groups);
@@ -1457,7 +1641,143 @@ mod tests {
             1,
             None,
             &sources,
+            0,
+            &FaultPlane::disabled(),
+            0,
         );
         assert_eq!(rng_cold.next_u64(), rng_warm.next_u64());
+    }
+
+    fn collect_faulted(
+        block: &QueryBlock,
+        tables: &[Table],
+        candidates: &[CandidateGroup],
+        threads: usize,
+        budget: u64,
+        fault: &FaultPlane,
+        stmt_clock: u64,
+    ) -> CollectedStats {
+        collect_for_tables_sourced(
+            block,
+            &[0, 1],
+            candidates,
+            tables,
+            SampleSpec::fixed(200),
+            &mut SplitMix64::new(21),
+            threads,
+            None,
+            &BTreeMap::new(),
+            budget,
+            fault,
+            stmt_clock,
+        )
+        .0
+    }
+
+    #[test]
+    fn persistent_draw_fault_degrades_only_its_table() {
+        let (_, tables, block) = setup_join();
+        let candidates = query_analysis(&block, 6);
+        // key = clock*1024 + qun: arm qun 0 of statement 1 persistently
+        let fault = FaultPlane::from_spec(5, "sample.draw=once:1024:inf").unwrap();
+        let stats = collect_faulted(&block, &tables, &candidates, 1, 0, &fault, 1);
+        assert_eq!(stats.degraded.len(), 1);
+        let d = &stats.degraded[0];
+        assert_eq!(d.qun, 0);
+        assert_eq!(d.fault_point, FP_SAMPLE_DRAW);
+        assert_eq!(d.fallback, FB_ARCHIVE_STATS);
+        // qun 0 contributed no groups; qun 1's stats survived the merge
+        assert!(stats.groups.keys().all(|(q, _)| *q == 1));
+        assert!(stats.groups.keys().any(|(q, _)| *q == 1));
+        // both tables still report row counts (cheap metadata)
+        assert_eq!(stats.table_rows.len(), 2);
+    }
+
+    #[test]
+    fn transient_draw_fault_retries_and_charges_backoff() {
+        let (_, tables, block) = setup_join();
+        let candidates = query_analysis(&block, 6);
+        let clean = collect_faulted(
+            &block,
+            &tables,
+            &candidates,
+            1,
+            0,
+            &FaultPlane::disabled(),
+            1,
+        );
+        // default 1 attempt: fires at attempt 0, clears at attempt 1
+        let fault = FaultPlane::from_spec(5, "sample.draw=once:1024").unwrap();
+        let stats = collect_faulted(&block, &tables, &candidates, 1, 0, &fault, 1);
+        assert!(stats.degraded.is_empty(), "transient fault must clear");
+        assert_eq!(stats.groups, clean.groups, "retry must not perturb stats");
+        // one failed attempt charges 1 << 0 = 1 backoff work unit
+        assert_eq!(stats.work, clean.work + 1.0);
+    }
+
+    #[test]
+    fn worker_fault_and_degradation_replay_identically_across_threads() {
+        let (_, tables, block) = setup_join();
+        let candidates = query_analysis(&block, 6);
+        let fault = FaultPlane::from_spec(77, "collect.worker=once:2049:inf").unwrap();
+        let one = collect_faulted(&block, &tables, &candidates, 1, 0, &fault, 2);
+        assert_eq!(one.degraded.len(), 1);
+        assert_eq!(one.degraded[0].qun, 1);
+        assert_eq!(one.degraded[0].fault_point, FP_COLLECT_WORKER);
+        for threads in [2, 8] {
+            let par = collect_faulted(&block, &tables, &candidates, threads, 0, &fault, 2);
+            assert_eq!(par.degraded, one.degraded, "at {threads} threads");
+            assert_eq!(par.groups, one.groups, "at {threads} threads");
+            assert_eq!(
+                par.work.to_bits(),
+                one.work.to_bits(),
+                "at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_degrades_deterministically_at_any_thread_count() {
+        let (_, tables, block) = setup_join();
+        let candidates = query_analysis(&block, 6);
+        // a tight budget binds on both tables' draws
+        let one = collect_faulted(
+            &block,
+            &tables,
+            &candidates,
+            1,
+            150,
+            &FaultPlane::disabled(),
+            3,
+        );
+        assert!(!one.degraded.is_empty(), "tight budget must degrade");
+        for d in &one.degraded {
+            assert_eq!(d.fault_point, FP_COLLECT_BUDGET);
+        }
+        for threads in [2, 8] {
+            let par = collect_faulted(
+                &block,
+                &tables,
+                &candidates,
+                threads,
+                150,
+                &FaultPlane::disabled(),
+                3,
+            );
+            assert_eq!(par.degraded, one.degraded);
+            assert_eq!(par.groups, one.groups);
+            assert_eq!(par.work.to_bits(), one.work.to_bits());
+        }
+        // unlimited budget: no degradation at all
+        let clean = collect_faulted(
+            &block,
+            &tables,
+            &candidates,
+            1,
+            0,
+            &FaultPlane::disabled(),
+            3,
+        );
+        assert!(clean.degraded.is_empty());
     }
 }

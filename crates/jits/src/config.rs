@@ -66,6 +66,14 @@ pub struct JitsConfig {
     /// lookup re-draws); `1.0` serves until the table has churned through
     /// its own cardinality.
     pub sample_cache_staleness: f64,
+    /// Per-table work-unit budget for one collection pass (slot probes for
+    /// the draw plus row×group evaluations), `0` = unlimited. When the
+    /// budget binds mid-draw the partial probe-phase sample is kept if it
+    /// is still uniform; otherwise (or when evaluation would blow the
+    /// remaining budget) the table degrades to archive/catalog statistics.
+    /// The budget is counted in deterministic work units — never wall
+    /// clock — so budgeted runs replay bit-identically at any thread count.
+    pub collect_budget: u64,
     /// Worker threads for per-table statistics collection (1 = sequential).
     /// Any value yields bit-identical statistics — per-table RNG streams
     /// derive from (seed, table, quantifier), not from a shared sequence —
@@ -120,6 +128,7 @@ impl Default for JitsConfig {
             sample: SampleSpec::default(),
             sample_cache: true,
             sample_cache_staleness: 0.1,
+            collect_budget: 0,
             collect_threads: 1,
             max_group_enumeration: 6,
             archive_bucket_budget: 4096,

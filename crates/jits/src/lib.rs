@@ -50,8 +50,8 @@ pub use analysis::{query_analysis, CandidateGroup};
 pub use archive::{QssArchive, RefineOutcome};
 pub use collect::{
     collect_for_tables, collect_for_tables_parallel, collect_for_tables_sourced,
-    collect_for_tables_traced, CollectTiming, CollectedStats, DrawnSample, SampleOrigin,
-    SampleSource,
+    collect_for_tables_traced, CollectTiming, CollectedStats, DegradedTable, DrawnSample,
+    SampleOrigin, SampleSource, FB_ARCHIVE_STATS, FB_PARTIAL_SAMPLE, FP_COLLECT_BUDGET,
 };
 pub use config::{AggregateFn, JitsConfig, SensitivityStrategy};
 pub use epsilon::{epsilon_sensitivity, EpsilonConfig, EpsilonOutcome};

@@ -106,7 +106,10 @@ impl<'a> JitsStatisticsProvider<'a> {
         pred_indices: &[usize],
         colgroup: &ColGroup,
     ) -> Option<SelEstimate> {
-        let table = block.quns[qun].table;
+        // quantifier indices come from the caller; an out-of-range index
+        // (e.g. a stale candidate after degradation) means "no estimate",
+        // never a panic
+        let table = block.quns.get(qun)?.table;
         let types = |c: ColumnId| self.column_type(table, c);
         let mut best: Option<&ColGroup> = None;
         for (candidate, _) in self.archive.iter() {
@@ -171,7 +174,9 @@ impl StatisticsProvider for JitsStatisticsProvider<'_> {
             ));
         }
         let colgroup = block.colgroup_of(pred_indices);
-        let table = block.quns[qun].table;
+        // tolerate out-of-range quantifiers (see infer_from_superset): a
+        // missing lookup degrades to "no estimate", the optimizer's default
+        let table = block.quns.get(qun)?.table;
         let types = |c: ColumnId| self.column_type(table, c);
 
         // 2. the auxiliary predicate cache: exact matches for groups with

@@ -1,0 +1,22 @@
+//! Known-bad fixture for the timed-budget pass. Never compiled — the
+//! integration test feeds it to the analyzer and expects violations.
+
+use std::time::{Duration, Instant};
+
+fn charge_collect_budget(spent: &mut u64) -> bool {
+    // BAD: budgets are counted in deterministic work units, not elapsed time
+    let started = Instant::now();
+    *spent += 1;
+    started.elapsed() < Duration::from_millis(50)
+}
+
+fn retry_with_backoff(attempt: u32) -> Duration {
+    // BAD: backoff must be an attempt counter, never a wall-clock sleep
+    Duration::from_millis(10 << attempt)
+}
+
+fn unrelated_timing() -> std::time::SystemTime {
+    // Not a budget/retry/backoff function — only the plain wall-clock rule
+    // applies here, not timed-budget.
+    std::time::SystemTime::now()
+}

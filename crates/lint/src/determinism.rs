@@ -16,9 +16,16 @@
 //! - **unseeded-rng**: `thread_rng` / `from_entropy` / `OsRng` /
 //!   `rand::random` / `RandomState` seed from the environment; all
 //!   randomness must flow through `jits_common::rng` with explicit seeds.
+//! - **timed-budget**: functions whose names mention `budget`, `retry`, or
+//!   `backoff` must not read wall time (`Instant::now`, `SystemTime::now`,
+//!   `.elapsed(`, `Duration::from_*`) — budgets and backoff are counted in
+//!   deterministic work units / attempt counters so faulted and budgeted
+//!   runs replay bit-identically at any thread count. This rule applies
+//!   even inside the wall-clock whitelist (those files time *metrics*, but
+//!   their budget/retry logic still must not).
 //!
 //! Waive with `// jits-lint: allow(wall-clock)` (or `hash-iteration`,
-//! `unseeded-rng`).
+//! `unseeded-rng`, `timed-budget`).
 
 use crate::source::SourceFile;
 use crate::{Severity, Violation};
@@ -30,6 +37,8 @@ pub const RULE_WALL_CLOCK: &str = "wall-clock";
 pub const RULE_HASH_ITERATION: &str = "hash-iteration";
 /// See module docs.
 pub const RULE_UNSEEDED_RNG: &str = "unseeded-rng";
+/// See module docs.
+pub const RULE_TIMED_BUDGET: &str = "timed-budget";
 
 /// Pass configuration: whitelists for repo mode, nothing for fixture mode.
 #[derive(Debug, Clone, Copy)]
@@ -103,6 +112,8 @@ pub fn run(files: &[SourceFile], cfg: Config) -> Vec<Violation> {
         if in_hash_scope {
             hash_iteration(file, &mut out);
         }
+        // applies everywhere, including the wall-clock whitelist
+        timed_budget(file, &mut out);
     }
     out
 }
@@ -143,6 +154,84 @@ fn scan_tokens(
                 message: format!("`{token}`: {what}"),
                 severity: Severity::Error,
             });
+        }
+    }
+}
+
+/// Wall-time reads forbidden inside budget/retry/backoff functions.
+const TIMED_BUDGET_TOKENS: &[&str] = &[
+    "Instant::now",
+    "SystemTime::now",
+    ".elapsed(",
+    "Duration::from_",
+];
+
+/// Flags wall-time reads inside any function whose name mentions `budget`,
+/// `retry`, or `backoff`: those code paths must count deterministic work
+/// units or attempt counters, never elapsed time, or budgeted/faulted runs
+/// stop replaying bit-identically.
+fn timed_budget(file: &SourceFile, out: &mut Vec<Violation>) {
+    let code = &file.code;
+    let b = code.as_bytes();
+    let mut search = 0usize;
+    while let Some(rel) = code[search..].find("fn ") {
+        let at = search + rel;
+        search = at + 3;
+        if at > 0 && is_ident(b[at - 1]) {
+            continue;
+        }
+        let name: String = code[at + 3..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        let lname = name.to_ascii_lowercase();
+        if !(lname.contains("budget") || lname.contains("retry") || lname.contains("backoff")) {
+            continue;
+        }
+        // brace-matched body scan, starting at the first `{` after the
+        // signature (heuristic: braces in strings/comments count, like the
+        // rest of this analyzer)
+        let Some(open_rel) = code[at..].find('{') else {
+            continue;
+        };
+        let open = at + open_rel;
+        let mut depth = 0i32;
+        let mut end = open;
+        while end < b.len() {
+            match b[end] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        let body = &code[open..end.min(code.len())];
+        for token in TIMED_BUDGET_TOKENS {
+            let mut s = 0usize;
+            while let Some(r) = body[s..].find(token) {
+                let p = s + r;
+                s = p + token.len();
+                let line = file.line_of(open + p);
+                if file.is_test_line(line) || file.is_waived(line, RULE_TIMED_BUDGET) {
+                    continue;
+                }
+                out.push(Violation {
+                    rule: RULE_TIMED_BUDGET,
+                    path: file.path.clone(),
+                    line,
+                    message: format!(
+                        "`{token}` inside `{name}`: budget/retry/backoff logic must count \
+                         deterministic work units or attempts, never wall time"
+                    ),
+                    severity: Severity::Error,
+                });
+            }
         }
     }
 }
@@ -330,6 +419,41 @@ mod tests {
         );
         let v = run(&[f], Config::repo());
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn timed_budget_flagged_even_in_whitelisted_file() {
+        // session.rs is on the wall-clock whitelist, but budget/retry logic
+        // inside it must still never read wall time.
+        let f = SourceFile::from_source(
+            "crates/engine/src/session.rs".into(),
+            "fn enforce_retry_budget() { let t = Instant::now(); let _ = t.elapsed(); }\n".into(),
+        );
+        let v = run(&[f], Config::repo());
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == RULE_TIMED_BUDGET), "{v:?}");
+    }
+
+    #[test]
+    fn timed_budget_ignores_unrelated_functions() {
+        let v = lint(
+            "fn budget_free_path() -> u64 { work_units() }\n\
+             fn with_backoff(attempt: u32) -> u64 { 1u64 << attempt }\n",
+            Config::strict(),
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn timed_budget_respects_waiver() {
+        let v = lint(
+            "fn retry_loop() {\n\
+             // jits-lint: allow(timed-budget) — metrics only\n\
+             let t = Instant::now();\n\
+             }\n",
+            Config::strict(),
+        );
+        assert!(v.iter().all(|x| x.rule != RULE_TIMED_BUDGET), "{v:?}");
     }
 
     #[test]

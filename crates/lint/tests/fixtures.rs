@@ -102,6 +102,27 @@ fn determinism_fixture_is_flagged() {
 }
 
 #[test]
+fn timed_budget_fixture_is_flagged() {
+    let report = run_paths(&[fixture("budget_timer_bad.rs")]);
+    let timed: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "timed-budget")
+        .collect();
+    // Instant::now + .elapsed( + Duration::from_ in charge_collect_budget,
+    // Duration::from_ in retry_with_backoff; SystemTime::now in
+    // unrelated_timing must NOT be flagged by this rule.
+    assert_eq!(timed.len(), 4, "{timed:#?}");
+    assert!(
+        timed
+            .iter()
+            .all(|v| v.message.contains("budget") || v.message.contains("backoff")),
+        "{timed:#?}"
+    );
+    assert!(report.failed(false));
+}
+
+#[test]
 fn panic_fixture_is_flagged() {
     let report = run_paths(&[fixture("panic_bad.rs")]);
     let sites: Vec<_> = report

@@ -30,6 +30,25 @@ use std::collections::VecDeque;
 /// Retained statements in the query log ring.
 const QUERY_LOG_CAPACITY: usize = 256;
 
+/// Retained rows in the degradation ring.
+const DEGRADATION_CAPACITY: usize = 256;
+
+/// One pipeline degradation event (backs the `jits_degradation` system
+/// view): which table fell back, at which fault point, to which fallback,
+/// and when. Engine-agnostic — the engine resolves table ids to names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradationRow {
+    /// Logical statement clock when the degradation happened.
+    pub clock: u64,
+    /// Affected table name (empty when the degradation is not
+    /// table-scoped, e.g. an archive bucket-set quarantine).
+    pub table: String,
+    /// The fault point (or budget) that tripped.
+    pub fault_point: String,
+    /// The fallback the pipeline served instead.
+    pub fallback: String,
+}
+
 /// One finished statement in the query log (backs the `jits_query_log`
 /// system view).
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +99,7 @@ pub struct Observability {
     pub registry: MetricsRegistry,
     query_log: Mutex<VecDeque<QueryLogEntry>>,
     scores: Mutex<(u64, Vec<ScoreRow>)>,
+    degradations: Mutex<VecDeque<DegradationRow>>,
 }
 
 impl Observability {
@@ -90,7 +110,22 @@ impl Observability {
             registry: MetricsRegistry::new(),
             query_log: Mutex::new(VecDeque::new()),
             scores: Mutex::new((0, Vec::new())),
+            degradations: Mutex::new(VecDeque::new()),
         }
+    }
+
+    /// Appends one degradation event to the bounded ring.
+    pub fn record_degradation(&self, row: DegradationRow) {
+        let mut ring = self.degradations.lock();
+        if ring.len() == DEGRADATION_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(row);
+    }
+
+    /// The retained degradation events, oldest first.
+    pub fn recent_degradations(&self) -> Vec<DegradationRow> {
+        self.degradations.lock().iter().cloned().collect()
     }
 
     /// Appends one statement to the query log ring.
@@ -160,6 +195,23 @@ mod tests {
         let log = obs.recent_queries();
         assert_eq!(log.len(), QUERY_LOG_CAPACITY);
         assert_eq!(log[0].clock, 5);
+    }
+
+    #[test]
+    fn degradation_ring_is_bounded_and_ordered() {
+        let obs = Observability::new();
+        for i in 0..(DEGRADATION_CAPACITY as u64 + 3) {
+            obs.record_degradation(DegradationRow {
+                clock: i,
+                table: "cars".to_string(),
+                fault_point: "sample.draw".to_string(),
+                fallback: "archive_or_catalog_stats".to_string(),
+            });
+        }
+        let rows = obs.recent_degradations();
+        assert_eq!(rows.len(), DEGRADATION_CAPACITY);
+        assert_eq!(rows[0].clock, 3);
+        assert_eq!(rows.last().unwrap().clock, DEGRADATION_CAPACITY as u64 + 2);
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub use column::Column;
 pub use frame::{FrameColumn, FrameValues, SampleFrame};
 pub use index::SecondaryIndex;
 pub use row::{Row, RowId};
-pub use sample::SampleSpec;
+pub use sample::{sample_rows_budgeted, BudgetedDraw, SampleSpec};
 pub use samplecache::{sample_staleness, CacheCounters, CacheLookup, CachedSample, SampleCache};
 pub use table::Table;
 pub use udi::UdiCounter;

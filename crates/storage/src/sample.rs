@@ -60,6 +60,94 @@ pub fn sample_rows_counted(
     sample_rows_with_probe_cap(table, spec, rng, spec.size * 20 + 64)
 }
 
+/// One budgeted sample draw: the rows drawn, the slot probes charged, and
+/// whether the work-unit budget aborted the draw early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetedDraw {
+    /// The sampled row ids (possibly fewer than requested when aborted).
+    pub rows: Vec<RowId>,
+    /// Slot probes charged — the deterministic work-unit cost of the draw.
+    pub probes: usize,
+    /// True when the budget stopped the draw before the requested size.
+    pub aborted: bool,
+}
+
+/// [`sample_rows_counted`] under a deterministic work-unit budget
+/// (`budget` slot probes; `0` means unlimited).
+///
+/// Degradation contract (the JITS "bounded best-effort" promise):
+///
+/// * When the budget does not bind (`budget == 0` or `budget >= size*20+64`,
+///   the default probe cap) the draw is **bit-identical** to
+///   [`sample_rows_counted`] — same rows, same probe count, same RNG stream —
+///   so enabling a generous budget never perturbs statistics.
+/// * On the probe path a binding budget keeps the partial probe-phase rows:
+///   each accepted probe is a uniform draw without replacement, so the
+///   partial sample stays uniform and is worth keeping (`aborted = true`,
+///   exactly `budget` probes charged).
+/// * On the reservoir path (small or heavily tombstoned tables) a truncated
+///   scan would be biased toward early slots, so a budget below the live row
+///   count aborts with **no** rows and zero probes — the caller falls back
+///   to archive/catalog statistics instead of skewed ones.
+pub fn sample_rows_budgeted(
+    table: &Table,
+    spec: SampleSpec,
+    rng: &mut SplitMix64,
+    budget: u64,
+) -> BudgetedDraw {
+    let default_cap = spec.size * 20 + 64;
+    if budget == 0 || budget >= default_cap as u64 {
+        // Budget cannot bind: replay the unbudgeted draw exactly.
+        let (rows, probes) = sample_rows_with_probe_cap(table, spec, rng, default_cap);
+        return BudgetedDraw {
+            rows,
+            probes,
+            aborted: false,
+        };
+    }
+    let live = table.row_count();
+    let slots = table.slot_count();
+    if live == 0 {
+        return BudgetedDraw {
+            rows: Vec::new(),
+            probes: 0,
+            aborted: false,
+        };
+    }
+    let live_fraction = live as f64 / slots as f64;
+    if live <= spec.size || live_fraction < 0.25 {
+        if live as u64 <= budget {
+            return BudgetedDraw {
+                rows: rng.reservoir_sample(table.scan(), spec.size),
+                probes: live,
+                aborted: false,
+            };
+        }
+        return BudgetedDraw {
+            rows: Vec::new(),
+            probes: 0,
+            aborted: true,
+        };
+    }
+    let (rows, probes) = sample_probe_phase(table, spec, rng, budget as usize);
+    if rows.len() == spec.size {
+        return BudgetedDraw {
+            rows,
+            probes,
+            aborted: false,
+        };
+    }
+    // Budget tripped mid-probe: the partial is uniform, keep it. The probe
+    // counter must equal the budget exactly — that is the "same work units
+    // as the equivalent capped draw" invariant chaos replay relies on.
+    debug_assert_eq!(probes as u64, budget, "aborted draw must charge budget");
+    BudgetedDraw {
+        rows,
+        probes,
+        aborted: true,
+    }
+}
+
 /// Fixed-size bitmap over a table's slot range: membership for the probe
 /// phase without hashing. One bit per slot, so a 10M-slot table costs
 /// ~1.2 MB transiently during a draw — cheaper than a `HashSet` of the same
@@ -94,6 +182,43 @@ impl SlotBitmap {
     }
 }
 
+/// The shared probe loop: random slot probes with tombstone/duplicate
+/// rejection, stopping at `max_probes` or a full sample. Both the capped
+/// draw and the budgeted draw run exactly this loop, which is what makes an
+/// early-aborted partial sample charge the same work units (and consume the
+/// same RNG stream) as the equivalent capped draw's probe phase.
+fn probe_phase(
+    table: &Table,
+    spec: SampleSpec,
+    rng: &mut SplitMix64,
+    max_probes: usize,
+) -> (Vec<RowId>, usize, SlotBitmap) {
+    let slots = table.slot_count();
+    let mut chosen = SlotBitmap::new(slots);
+    let mut out = Vec::with_capacity(spec.size);
+    let mut probes = 0usize;
+    while probes < max_probes && out.len() < spec.size {
+        let slot = rng.next_bounded(slots as u64) as RowId;
+        probes += 1;
+        if table.is_live(slot) && chosen.insert(slot) {
+            out.push(slot);
+        }
+    }
+    (out, probes, chosen)
+}
+
+/// [`probe_phase`] without the membership bitmap (the budgeted caller never
+/// tops up, so it does not need one).
+fn sample_probe_phase(
+    table: &Table,
+    spec: SampleSpec,
+    rng: &mut SplitMix64,
+    max_probes: usize,
+) -> (Vec<RowId>, usize) {
+    let (out, probes, _) = probe_phase(table, spec, rng, max_probes);
+    (out, probes)
+}
+
 fn sample_rows_with_probe_cap(
     table: &Table,
     spec: SampleSpec,
@@ -101,26 +226,16 @@ fn sample_rows_with_probe_cap(
     max_probes: usize,
 ) -> (Vec<RowId>, usize) {
     let live = table.row_count();
-    let slots = table.slot_count();
     if live == 0 {
         return (Vec::new(), 0);
     }
-    let live_fraction = live as f64 / slots as f64;
+    let live_fraction = live as f64 / table.slot_count() as f64;
     if live <= spec.size || live_fraction < 0.25 {
         return (rng.reservoir_sample(table.scan(), spec.size), live);
     }
-    let mut chosen = SlotBitmap::new(slots);
-    let mut out = Vec::with_capacity(spec.size);
-    let mut probes = 0usize;
-    for _ in 0..max_probes {
-        if out.len() == spec.size {
-            return (out, probes);
-        }
-        let slot = rng.next_bounded(slots as u64) as RowId;
-        probes += 1;
-        if table.is_live(slot) && chosen.insert(slot) {
-            out.push(slot);
-        }
+    let (mut out, mut probes, chosen) = probe_phase(table, spec, rng, max_probes);
+    if out.len() == spec.size {
+        return (out, probes);
     }
     // The cap tripped: keep the probe-phase rows (a uniform random subset
     // of the live rows) and reservoir-fill only the remainder from the rows
@@ -242,6 +357,66 @@ mod tests {
         let hi = hits_high as f64 / 600.0;
         assert!((0.4..0.6).contains(&lo), "row 0 rate {lo}");
         assert!((0.4..0.6).contains(&hi), "row 199 rate {hi}");
+    }
+
+    #[test]
+    fn unbinding_budget_replays_unbudgeted_draw_exactly() {
+        // budget on/off must be bit-identical when no abort fires: same
+        // rows, same probe charge, same RNG stream afterwards
+        let t = table_with(10_000);
+        for budget in [0u64, 20_064, 1 << 32] {
+            let mut a = SplitMix64::new(13);
+            let mut b = SplitMix64::new(13);
+            let (rows, probes) = sample_rows_counted(&t, SampleSpec::default(), &mut a);
+            let draw = sample_rows_budgeted(&t, SampleSpec::default(), &mut b, budget);
+            assert!(!draw.aborted);
+            assert_eq!(draw.rows, rows, "budget {budget}");
+            assert_eq!(draw.probes, probes, "budget {budget}");
+            assert_eq!(a.next_u64(), b.next_u64(), "RNG streams diverged");
+        }
+    }
+
+    #[test]
+    fn aborted_draw_charges_same_work_as_equivalent_capped_draw() {
+        let t = table_with(10_000);
+        let spec = SampleSpec::fixed(2_000);
+        let budget = 300u64;
+        let mut a = SplitMix64::new(11);
+        let draw = sample_rows_budgeted(&t, spec, &mut a, budget);
+        assert!(draw.aborted);
+        assert_eq!(
+            draw.probes as u64, budget,
+            "aborted partial must charge exactly the budget"
+        );
+        // the partial is the probe phase of the equivalent capped draw:
+        // identical rows (prefix) drawn from an identical RNG stream
+        let mut b = SplitMix64::new(11);
+        let (capped, capped_probes) = sample_rows_with_probe_cap(&t, spec, &mut b, budget as usize);
+        assert_eq!(capped.len(), spec.size, "capped draw tops up to full size");
+        assert!(capped_probes as u64 > budget, "top-up scan charges extra");
+        assert_eq!(draw.rows[..], capped[..draw.rows.len()]);
+        assert!(!draw.rows.is_empty());
+    }
+
+    #[test]
+    fn reservoir_path_budget_abort_returns_no_rows() {
+        // a truncated reservoir scan would bias toward early slots, so the
+        // budgeted draw refuses to return a partial on that path
+        let mut t = table_with(1_000);
+        for r in 0..800 {
+            t.delete(r); // live fraction 0.2 -> reservoir path
+        }
+        let mut rng = SplitMix64::new(5);
+        let draw = sample_rows_budgeted(&t, SampleSpec::fixed(50), &mut rng, 100);
+        assert!(draw.aborted);
+        assert!(draw.rows.is_empty());
+        assert_eq!(draw.probes, 0);
+        // with enough budget the same path completes normally
+        let mut rng = SplitMix64::new(5);
+        let draw = sample_rows_budgeted(&t, SampleSpec::fixed(50), &mut rng, 200);
+        assert!(!draw.aborted);
+        assert_eq!(draw.rows.len(), 50);
+        assert_eq!(draw.probes, 200);
     }
 
     #[test]
