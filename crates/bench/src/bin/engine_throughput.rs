@@ -1,0 +1,188 @@
+//! Batch-vs-row executor throughput on a multi-join + aggregate workload.
+//!
+//! Drives the same statement mix through the engine twice — once on the
+//! vectorized batch executor (the default) and once on the row-at-a-time
+//! path (`set_batch_executor(false)`) — under `CatalogOnly` statistics so
+//! execution, not collection, dominates the measurement. The two runs must
+//! return identical rows (the executors are differential-tested
+//! bit-identical; this harness re-asserts it on the bench workload).
+//!
+//! Writes `BENCH_engine_throughput.json` next to the workspace root and
+//! prints the same JSON to stdout. `--quick` shrinks the data and fails
+//! (exit 1) if batch throughput does not beat row throughput — the CI
+//! regression guard.
+
+use jits_common::{DataType, Schema, Value};
+use jits_engine::{Database, StatsSetting};
+use std::time::Instant;
+
+/// Multi-join + aggregate mix: a two-join aggregate, a single-join
+/// group-by, a filtered aggregate, and an ORDER BY + LIMIT scan.
+const MIX: &[&str] = &[
+    "SELECT COUNT(*) FROM car c, owner o, dealer d \
+     WHERE c.ownerid = o.id AND c.dealerid = d.id AND salary > 25000 AND region = 'north'",
+    "SELECT make, COUNT(*), SUM(year), MIN(id), MAX(id) FROM car GROUP BY make",
+    "SELECT COUNT(*), AVG(year) FROM car c, owner o \
+     WHERE c.ownerid = o.id AND make = 'Toyota' AND salary > 10000",
+    "SELECT id, year FROM car WHERE year > 2000 ORDER BY year DESC LIMIT 50",
+];
+
+struct Args {
+    rows: usize,
+    reps: usize,
+    quick: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        rows: 60_000,
+        reps: 9,
+        quick: false,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--rows" => {
+                args.rows = argv[i + 1].parse().expect("bad --rows");
+                i += 2;
+            }
+            "--reps" => {
+                args.reps = argv[i + 1].parse().expect("bad --reps");
+                i += 2;
+            }
+            "--quick" => {
+                args.quick = true;
+                args.rows = 12_000;
+                args.reps = 5;
+                i += 1;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+fn median(mut v: Vec<u64>) -> u64 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+fn build_db(rows: usize) -> Database {
+    let mut db = Database::new(0xBA7C);
+    db.create_table(
+        "car",
+        Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("ownerid", DataType::Int),
+            ("dealerid", DataType::Int),
+            ("make", DataType::Str),
+            ("year", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "owner",
+        Schema::from_pairs(&[("id", DataType::Int), ("salary", DataType::Int)]),
+    )
+    .unwrap();
+    db.create_table(
+        "dealer",
+        Schema::from_pairs(&[("id", DataType::Int), ("region", DataType::Str)]),
+    )
+    .unwrap();
+    db.set_primary_key("car", "id").unwrap();
+    db.set_primary_key("owner", "id").unwrap();
+    db.set_primary_key("dealer", "id").unwrap();
+    let owners = (rows / 10).max(1) as i64;
+    let dealers = (rows / 100).max(1) as i64;
+    db.load_rows(
+        "car",
+        (0..rows as i64)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % owners),
+                    Value::Int((i * 7) % dealers),
+                    Value::str(["Toyota", "Honda", "Audi"][(i % 3) as usize]),
+                    Value::Int(1990 + i % 17),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+    db.load_rows(
+        "owner",
+        (0..owners)
+            .map(|i| vec![Value::Int(i), Value::Int((i * 173) % 60_000)])
+            .collect(),
+    )
+    .unwrap();
+    db.load_rows(
+        "dealer",
+        (0..dealers)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::str(if i % 2 == 0 { "north" } else { "south" }),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+    db.set_setting(StatsSetting::CatalogOnly);
+    db.runstats_all().unwrap();
+    db
+}
+
+/// Runs the mix `reps` times on one executor; returns (median nanos per
+/// full mix pass, result-row fingerprint for the cross-check).
+fn run_executor(db: &mut Database, batch: bool, reps: usize) -> (u64, Vec<Vec<Vec<Value>>>) {
+    db.set_batch_executor(batch);
+    // warm-up pass: fault in plans and samples outside the timed region
+    let fingerprint: Vec<Vec<Vec<Value>>> = MIX
+        .iter()
+        .map(|sql| db.execute(sql).unwrap().rows)
+        .collect();
+    let mut passes = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        for sql in MIX {
+            let r = db.execute(sql).unwrap();
+            assert!(!r.rows.is_empty());
+        }
+        passes.push(t.elapsed().as_nanos() as u64);
+    }
+    (median(passes), fingerprint)
+}
+
+fn main() {
+    let args = parse_args();
+    let mut db = build_db(args.rows);
+
+    let (row_ns, row_rows) = run_executor(&mut db, false, args.reps);
+    let (batch_ns, batch_rows) = run_executor(&mut db, true, args.reps);
+    assert_eq!(row_rows, batch_rows, "executors disagreed on the workload");
+
+    let speedup = row_ns as f64 / batch_ns.max(1) as f64;
+    let json = format!(
+        "{{\n  \"bench\": \"engine_throughput\",\n  \"rows\": {},\n  \"reps\": {},\n  \"quick\": {},\n  \"statements_per_pass\": {},\n  \"row_pass_nanos\": {},\n  \"batch_pass_nanos\": {},\n  \"batch_vs_row_speedup\": {:.2}\n}}\n",
+        args.rows,
+        args.reps,
+        args.quick,
+        MIX.len(),
+        row_ns,
+        batch_ns,
+        speedup,
+    );
+    print!("{json}");
+    if !args.quick {
+        std::fs::write("BENCH_engine_throughput.json", &json)
+            .expect("write BENCH_engine_throughput.json");
+    }
+    eprintln!("batch vs row: {speedup:.2}x over {} statements", MIX.len());
+    if args.quick && batch_ns >= row_ns {
+        eprintln!("REGRESSION: batch executor is not faster than the row executor");
+        std::process::exit(1);
+    }
+}

@@ -16,7 +16,7 @@ use jits_common::fault::{
 use jits_common::{
     fault_key, ColumnId, FaultPlane, JitsError, Result, Schema, SplitMix64, TableId, Value,
 };
-use jits_executor::execute;
+use jits_executor::{execute_with, ExecutorKind};
 use jits_obs::{Observability, QueryLogEntry, TraceBuilder};
 use jits_optimizer::{
     optimize, CardinalityEstimator, CatalogStatisticsProvider, CostModel, DefaultSelectivities,
@@ -77,6 +77,9 @@ pub struct Database {
     runstats_opts: RunstatsOptions,
     /// Groups materialized by the most recent JITS compile phase.
     last_materialized: usize,
+    /// Evaluate SELECTs on the vectorized batch executor (default) or the
+    /// row-at-a-time path; bit-identical either way, kept for A/B runs.
+    batch_executor: bool,
     /// Tracer, metrics registry, and query log.
     obs: Arc<Observability>,
     /// Deterministic fault-injection plane (disabled by default: every
@@ -102,9 +105,23 @@ impl Database {
             defaults: DefaultSelectivities::default(),
             runstats_opts: RunstatsOptions::default(),
             last_materialized: 0,
+            batch_executor: true,
             obs: Arc::new(Observability::new()),
             fault: FaultPlane::disabled(),
         }
+    }
+
+    /// Selects the executor for subsequent SELECTs: the vectorized batch
+    /// engine (`true`, the default) or the row-at-a-time path. The two are
+    /// differential-tested bit-identical in result rows, work, and
+    /// observations, so this only affects wall-clock speed.
+    pub fn set_batch_executor(&mut self, on: bool) {
+        self.batch_executor = on;
+    }
+
+    /// Whether SELECTs run on the vectorized batch executor.
+    pub fn batch_executor(&self) -> bool {
+        self.batch_executor
     }
 
     /// Installs the deterministic fault-injection plane (chaos testing).
@@ -335,6 +352,7 @@ impl Database {
             self.cost,
             self.defaults,
             self.runstats_opts,
+            self.batch_executor,
             self.obs,
             self.fault,
         )
@@ -472,11 +490,18 @@ impl Database {
         // -- execute --
         tb.begin("execute");
         let t1 = Instant::now();
-        let out = execute(&plan, &block, &self.tables, &self.cost)?;
+        let kind = if self.batch_executor {
+            ExecutorKind::Batch
+        } else {
+            ExecutorKind::Row
+        };
+        let out = execute_with(kind, &plan, &block, &self.tables, &self.cost)?;
         metrics.exec_wall = t1.elapsed();
         tb.end(metrics.exec_wall.as_nanos() as u64);
         metrics.exec_work = out.stats.work;
         metrics.result_rows = out.rows.len();
+        metrics.batch_executor = self.batch_executor;
+        observe::note_executor(&obs, self.batch_executor);
 
         // -- feedback (LEO) --
         tb.begin("feedback");

@@ -323,6 +323,18 @@ pub(crate) fn note_degradation(
 }
 
 /// Records the feedback stage (LEO ingest).
+/// Records which executor evaluated one SELECT. Deterministic: the choice
+/// is a setting, never data- or timing-dependent, so the batch/row split is
+/// replayable and backs the A/B comparisons.
+pub(crate) fn note_executor(obs: &Observability, batch: bool) {
+    let name = if batch {
+        "jits.exec.batch_statements"
+    } else {
+        "jits.exec.row_statements"
+    };
+    obs.registry.counter(name, Volatility::Deterministic).inc();
+}
+
 pub(crate) fn note_feedback(obs: &Observability, tb: &mut TraceBuilder, observations: usize) {
     obs.registry
         .counter("jits.feedback.observations", Volatility::Deterministic)

@@ -58,7 +58,7 @@ use jits_common::fault::{
     FP_ARCHIVE_READ, FP_ARCHIVE_WRITE, FP_HISTORY_READ, FP_SAMPLECACHE_COMMIT,
 };
 use jits_common::{fault_key, FaultPlane, JitsError, Result, Schema, SplitMix64, TableId, Value};
-use jits_executor::execute;
+use jits_executor::{execute_with, ExecutorKind};
 use jits_obs::{Observability, QueryLogEntry, TraceBuilder};
 use jits_optimizer::{
     optimize, CardinalityEstimator, CatalogStatisticsProvider, CostModel, DefaultSelectivities,
@@ -70,7 +70,7 @@ use jits_query::{
 use jits_storage::{RowId, SampleCache, Table};
 use parking_lot::rank::LockRank;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -110,6 +110,9 @@ struct Shared {
     cost: CostModel,
     defaults: DefaultSelectivities,
     runstats_opts: RunstatsOptions,
+    /// Evaluate SELECTs on the vectorized batch executor (default) or the
+    /// row-at-a-time A/B path; lock-free, togglable at any time.
+    batch_executor: AtomicBool,
     counters: EngineCounters,
     /// Tracer, metrics registry, and query log (lock-free or rank-8
     /// internally, so usable while holding any engine lock).
@@ -208,6 +211,7 @@ impl SharedDatabase {
         cost: CostModel,
         defaults: DefaultSelectivities,
         runstats_opts: RunstatsOptions,
+        batch_executor: bool,
         obs: Arc<Observability>,
         fault: FaultPlane,
     ) -> Self {
@@ -226,6 +230,7 @@ impl SharedDatabase {
                 cost,
                 defaults,
                 runstats_opts,
+                batch_executor: AtomicBool::new(batch_executor),
                 counters: EngineCounters::default(),
                 obs,
                 fault: Mutex::new(fault),
@@ -238,6 +243,18 @@ impl SharedDatabase {
     /// next statement.
     pub fn set_fault_plane(&self, fault: FaultPlane) {
         *self.shared.fault.lock() = fault;
+    }
+
+    /// Selects the executor for every session's subsequent SELECTs (see
+    /// [`Database::set_batch_executor`]); lock-free, takes effect at each
+    /// session's next statement.
+    pub fn set_batch_executor(&self, on: bool) {
+        self.shared.batch_executor.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether SELECTs run on the vectorized batch executor.
+    pub fn batch_executor(&self) -> bool {
+        self.shared.batch_executor.load(Ordering::SeqCst)
     }
 
     /// Opens a new session. The first session continues the master RNG
@@ -656,14 +673,22 @@ impl Session {
         // -- execute --
         tb.begin("execute");
         let t1 = Instant::now();
+        let batch_exec = sh.batch_executor.load(Ordering::SeqCst);
+        let kind = if batch_exec {
+            ExecutorKind::Batch
+        } else {
+            ExecutorKind::Row
+        };
         let out = {
             let tables = timed_read(&sh.tables, &sh.counters, &mut waited);
-            execute(&plan, &block, &tables, &sh.cost)?
+            execute_with(kind, &plan, &block, &tables, &sh.cost)?
         };
         metrics.exec_wall = t1.elapsed();
         tb.end(metrics.exec_wall.as_nanos() as u64);
         metrics.exec_work = out.stats.work;
         metrics.result_rows = out.rows.len();
+        metrics.batch_executor = batch_exec;
+        observe::note_executor(&sh.obs, batch_exec);
 
         // -- feedback (LEO) --
         tb.begin("feedback");

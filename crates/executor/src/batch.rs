@@ -1,0 +1,608 @@
+//! Vectorized batch execution over columnar gathers.
+//!
+//! The row executor ([`crate::exec`]) materializes intermediate results as
+//! vectors of row-id tuples and calls [`Table::value`] once per *row ×
+//! predicate/key* probe — a `Value` clone (and, for strings, an `Arc` bump)
+//! each time. This module evaluates the same physical plans columnar:
+//!
+//! * operators carry **selection vectors** — one `Vec<RowId>` per covered
+//!   quantifier, struct-of-arrays instead of the row path's array-of-structs
+//!   tuple vectors;
+//! * scan predicates evaluate as **bitsets over gathered columns**: every
+//!   referenced column is gathered once into a typed dense
+//!   [`FrameColumn`] (PR 4's collection-path layout, reused here against
+//!   live tables) and each predicate ANDs its verdicts into a `Vec<bool>`;
+//! * joins gather their key columns once per side and probe/build over the
+//!   dense slices; aggregation accumulates over gathered slices.
+//!
+//! **Bit-identity contract.** For every plan the batch executor produces the
+//! same result rows (values and order), the same `ExecStats.work` (same
+//! [`CostModel`] formulas applied to the same counts, in the same order —
+//! f64-bit-identical), and the same node/scan observations as the row
+//! executor. The argument: `FrameColumn::value(i)` is defined to equal
+//! `Table::value(rows[i], c)`, predicates and key comparisons run the same
+//! `Value` operations (or a typed integer fast path whose outcome equals
+//! `Interval::contains` exactly), hash-join output order is probe-order ×
+//! build-insertion-order in both paths, and ORDER BY uses the same stable
+//! comparator. The contract is enforced by `tests/batch_executor.rs`.
+
+use crate::exec::{
+    accumulate, finish_groups, index_interval, matches_preds, position_in, record_scan, table_of,
+    AggAcc, ExecOutput,
+};
+use crate::monitor::{ExecStats, NodeKind, NodeObservation};
+use jits_common::{Bound, ColumnId, Interval, JitsError, Result, Value};
+use jits_optimizer::{CostModel, PhysicalPlan};
+use jits_query::{LocalPredicate, PredKind, Projection, QueryBlock};
+use jits_storage::{FrameColumn, FrameValues, Row, RowId, Table};
+use std::collections::BTreeMap;
+
+/// A batch in struct-of-arrays form: `sel[i]` is the selection vector of
+/// quantifier `quns[i]`, and all selection vectors share length `len`
+/// (tuple `t` of the row executor corresponds to `sel[..][t]`).
+struct ColumnBatch {
+    quns: Vec<usize>,
+    sel: Vec<Vec<RowId>>,
+    len: usize,
+}
+
+impl ColumnBatch {
+    fn position_of(&self, qun: usize) -> Result<usize> {
+        position_in(&self.quns, qun)
+    }
+
+    /// The selection vector of `qun`.
+    fn sel_of(&self, qun: usize) -> Result<&[RowId]> {
+        Ok(&self.sel[self.position_of(qun)?])
+    }
+
+    /// Reorders every selection vector by `perm` (ORDER BY).
+    fn permute(&mut self, perm: &[usize]) {
+        for s in &mut self.sel {
+            let reordered: Vec<RowId> = perm.iter().map(|&i| s[i]).collect();
+            *s = reordered;
+        }
+    }
+
+    /// Truncates every selection vector (LIMIT on plain projections).
+    fn truncate(&mut self, limit: usize) {
+        for s in &mut self.sel {
+            s.truncate(limit);
+        }
+        self.len = self.len.min(limit);
+    }
+}
+
+/// Executes a physical plan on the batch executor (see module docs for the
+/// bit-identity contract with [`crate::exec::execute_with`]'s row path).
+pub(crate) fn execute_batch(
+    plan: &PhysicalPlan,
+    block: &QueryBlock,
+    tables: &[Table],
+    cost: &CostModel,
+) -> Result<ExecOutput> {
+    let mut stats = ExecStats::default();
+    let mut batch = run_batch(plan, block, tables, cost, &mut stats)?;
+    if let Some((qun, col, desc)) = block.order_by {
+        let table = table_of(tables, block, qun)?;
+        let fc = table.gather_column(col, batch.sel_of(qun)?);
+        let n = batch.len as f64;
+        let mut perm: Vec<usize> = (0..batch.len).collect();
+        // same stable sort and comparator as the row path, over indices
+        perm.sort_by(|&a, &b| {
+            let ord = fc.value(a).cmp_total(&fc.value(b));
+            if desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+        batch.permute(&perm);
+        stats.work += cost.sort(n);
+    }
+    let aggregating = matches!(
+        block.projection,
+        Projection::CountStar | Projection::Aggregates(_) | Projection::GroupBy { .. }
+    );
+    if let Some(limit) = block.limit {
+        if !aggregating {
+            batch.truncate(limit);
+        }
+    }
+    let mut rows = project_batch(&batch, block, tables)?;
+    if let Some(limit) = block.limit {
+        rows.truncate(limit);
+    }
+    stats.work += rows.len() as f64 * cost.output_row;
+    Ok(ExecOutput { rows, stats })
+}
+
+fn run_batch(
+    plan: &PhysicalPlan,
+    block: &QueryBlock,
+    tables: &[Table],
+    cost: &CostModel,
+    stats: &mut ExecStats,
+) -> Result<ColumnBatch> {
+    match plan {
+        PhysicalPlan::SeqScan { scan, est } => {
+            let table = table_of(tables, block, scan.qun)?;
+            let rows: Vec<RowId> = table.scan().collect();
+            let sel = filter_rows(table, rows, block, &scan.pred_indices);
+            stats.work += cost.seq_scan(table.row_count() as f64, sel.len() as f64);
+            record_scan(stats, scan, NodeKind::SeqScan, est.rows, sel.len(), table);
+            Ok(ColumnBatch {
+                quns: vec![scan.qun],
+                len: sel.len(),
+                sel: vec![sel],
+            })
+        }
+        PhysicalPlan::IndexScan {
+            scan,
+            index_column,
+            est,
+            ..
+        } => {
+            let table = table_of(tables, block, scan.qun)?;
+            let index = table.index(*index_column).ok_or_else(|| {
+                JitsError::Execution(format!(
+                    "plan expects an index on {index_column} of '{}'",
+                    table.name()
+                ))
+            })?;
+            let interval = index_interval(block, &scan.pred_indices, *index_column)?;
+            let candidates = index.lookup_range(&interval);
+            let fetched = candidates.len() as f64;
+            let live: Vec<RowId> = candidates
+                .into_iter()
+                .filter(|&r| table.is_live(r))
+                .collect();
+            let sel = filter_rows(table, live, block, &scan.pred_indices);
+            stats.work += cost.index_scan(fetched, sel.len() as f64);
+            record_scan(stats, scan, NodeKind::IndexScan, est.rows, sel.len(), table);
+            Ok(ColumnBatch {
+                quns: vec![scan.qun],
+                len: sel.len(),
+                sel: vec![sel],
+            })
+        }
+        PhysicalPlan::HashJoin {
+            build,
+            probe,
+            keys,
+            est,
+        } => {
+            let build_batch = run_batch(build, block, tables, cost, stats)?;
+            let probe_batch = run_batch(probe, block, tables, cost, stats)?;
+            if keys.is_empty() {
+                return Err(JitsError::Execution("hash join without keys".into()));
+            }
+            let build_cols = gather_keys(&build_batch, block, tables, keys.iter().map(|(b, _)| b))?;
+            let probe_cols = gather_keys(&probe_batch, block, tables, keys.iter().map(|(_, p)| p))?;
+            let pairs = hash_join_pairs(&build_cols, &probe_cols, build_batch.len, probe_batch.len);
+            stats.work += cost.hash_join(
+                build_batch.len as f64,
+                probe_batch.len as f64,
+                pairs.len() as f64,
+            );
+            stats.nodes.push(NodeObservation {
+                kind: NodeKind::HashJoin,
+                est_rows: est.rows,
+                actual_rows: pairs.len() as f64,
+            });
+            let mut quns = build_batch.quns;
+            quns.extend(probe_batch.quns);
+            let mut sel = Vec::with_capacity(quns.len());
+            for s in &build_batch.sel {
+                sel.push(pairs.iter().map(|&(b, _)| s[b]).collect());
+            }
+            for s in &probe_batch.sel {
+                sel.push(pairs.iter().map(|&(_, p)| s[p]).collect());
+            }
+            Ok(ColumnBatch {
+                quns,
+                len: pairs.len(),
+                sel,
+            })
+        }
+        PhysicalPlan::IndexNLJoin {
+            outer,
+            inner,
+            index_column,
+            keys,
+            est,
+        } => {
+            let outer_batch = run_batch(outer, block, tables, cost, stats)?;
+            let inner_table = table_of(tables, block, inner.qun)?;
+            let index = inner_table.index(*index_column).ok_or_else(|| {
+                JitsError::Execution(format!(
+                    "plan expects an index on {index_column} of '{}'",
+                    inner_table.name()
+                ))
+            })?;
+            let Some(&((drive_oq, drive_oc), _)) = keys.first() else {
+                return Err(JitsError::Execution(
+                    "index nested-loop join without keys".into(),
+                ));
+            };
+            let drive_table = table_of(tables, block, drive_oq)?;
+            let drive_col = drive_table.gather_column(drive_oc, outer_batch.sel_of(drive_oq)?);
+            // residual outer key columns, gathered once before the probe loop
+            let residual: Vec<(FrameColumn, ColumnId)> = keys[1..]
+                .iter()
+                .map(|((oq, oc), (_, ic))| {
+                    let t = table_of(tables, block, *oq)?;
+                    Ok((t.gather_column(*oc, outer_batch.sel_of(*oq)?), *ic))
+                })
+                .collect::<Result<_>>()?;
+            let mut pairs: Vec<(usize, RowId)> = Vec::new();
+            let mut fetched_total = 0f64;
+            for t in 0..outer_batch.len {
+                if !drive_col.validity[t] {
+                    continue; // NULL keys never join
+                }
+                let key = drive_col.value(t);
+                let candidates = index.lookup_eq(&key);
+                fetched_total += candidates.len() as f64;
+                'cand: for &irow in candidates {
+                    if !inner_table.is_live(irow)
+                        || !matches_preds(inner_table, irow, block, &inner.pred_indices)
+                    {
+                        continue;
+                    }
+                    for (fc, ic) in &residual {
+                        if !fc.value(t).sql_eq(&inner_table.value(irow, *ic)) {
+                            continue 'cand;
+                        }
+                    }
+                    pairs.push((t, irow));
+                }
+            }
+            let per_probe = if outer_batch.len == 0 {
+                0.0
+            } else {
+                fetched_total / outer_batch.len as f64
+            };
+            stats.work += cost.index_nl_join(outer_batch.len as f64, per_probe, pairs.len() as f64);
+            stats.nodes.push(NodeObservation {
+                kind: NodeKind::IndexNLJoin,
+                est_rows: est.rows,
+                actual_rows: pairs.len() as f64,
+            });
+            let mut quns = outer_batch.quns;
+            quns.push(inner.qun);
+            let mut sel = Vec::with_capacity(quns.len());
+            for s in &outer_batch.sel {
+                sel.push(pairs.iter().map(|&(t, _)| s[t]).collect());
+            }
+            sel.push(pairs.iter().map(|&(_, irow)| irow).collect());
+            Ok(ColumnBatch {
+                quns,
+                len: pairs.len(),
+                sel,
+            })
+        }
+        PhysicalPlan::NLJoin {
+            outer,
+            inner,
+            keys,
+            est,
+        } => {
+            let outer_batch = run_batch(outer, block, tables, cost, stats)?;
+            let inner_batch = run_batch(inner, block, tables, cost, stats)?;
+            let outer_cols = gather_keys(&outer_batch, block, tables, keys.iter().map(|(o, _)| o))?;
+            let inner_cols = gather_keys(&inner_batch, block, tables, keys.iter().map(|(_, i)| i))?;
+            let mut pairs: Vec<(usize, usize)> = Vec::new();
+            for o in 0..outer_batch.len {
+                'inner: for i in 0..inner_batch.len {
+                    for k in 0..outer_cols.len() {
+                        if !outer_cols[k].value(o).sql_eq(&inner_cols[k].value(i)) {
+                            continue 'inner;
+                        }
+                    }
+                    pairs.push((o, i));
+                }
+            }
+            stats.work += cost.nl_join(
+                outer_batch.len as f64,
+                inner_batch.len as f64,
+                pairs.len() as f64,
+            );
+            stats.nodes.push(NodeObservation {
+                kind: NodeKind::NLJoin,
+                est_rows: est.rows,
+                actual_rows: pairs.len() as f64,
+            });
+            let mut quns = outer_batch.quns;
+            quns.extend(inner_batch.quns);
+            let mut sel = Vec::with_capacity(quns.len());
+            for s in &outer_batch.sel {
+                sel.push(pairs.iter().map(|&(o, _)| s[o]).collect());
+            }
+            for s in &inner_batch.sel {
+                sel.push(pairs.iter().map(|&(_, i)| s[i]).collect());
+            }
+            Ok(ColumnBatch {
+                quns,
+                len: pairs.len(),
+                sel,
+            })
+        }
+    }
+}
+
+/// Gathers one key column per join key side, in key order.
+fn gather_keys<'a>(
+    batch: &ColumnBatch,
+    block: &QueryBlock,
+    tables: &[Table],
+    sides: impl Iterator<Item = &'a (usize, ColumnId)>,
+) -> Result<Vec<FrameColumn>> {
+    sides
+        .map(|(q, c)| {
+            let t = table_of(tables, block, *q)?;
+            Ok(t.gather_column(*c, batch.sel_of(*q)?))
+        })
+        .collect()
+}
+
+/// Hash-join pair construction: output is probe-order × build-insertion-
+/// order, exactly like the row path's tuple loop. NULL keys never join.
+fn hash_join_pairs(
+    build_cols: &[FrameColumn],
+    probe_cols: &[FrameColumn],
+    build_len: usize,
+    probe_len: usize,
+) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    // single-Int-key fast path: hash raw i64s, no Value materialization.
+    // Output order is unaffected by the hash function (entries keep build
+    // insertion order; probes run in probe order).
+    if let ([b], [p]) = (build_cols, probe_cols) {
+        if let (FrameValues::Int(bv), FrameValues::Int(pv)) = (&b.values, &p.values) {
+            let mut ht: std::collections::HashMap<i64, Vec<usize>> =
+                std::collections::HashMap::new();
+            for (t, &v) in bv.iter().enumerate().take(build_len) {
+                if b.validity[t] {
+                    ht.entry(v).or_default().push(t);
+                }
+            }
+            for (t, v) in pv.iter().enumerate().take(probe_len) {
+                if !p.validity[t] {
+                    continue;
+                }
+                if let Some(matches) = ht.get(v) {
+                    for &bi in matches {
+                        pairs.push((bi, t));
+                    }
+                }
+            }
+            return pairs;
+        }
+    }
+    let mut ht: std::collections::HashMap<Vec<Value>, Vec<usize>> =
+        std::collections::HashMap::new();
+    for t in 0..build_len {
+        if build_cols.iter().any(|fc| !fc.validity[t]) {
+            continue;
+        }
+        let key: Vec<Value> = build_cols.iter().map(|fc| fc.value(t)).collect();
+        ht.entry(key).or_default().push(t);
+    }
+    for t in 0..probe_len {
+        if probe_cols.iter().any(|fc| !fc.validity[t]) {
+            continue;
+        }
+        let key: Vec<Value> = probe_cols.iter().map(|fc| fc.value(t)).collect();
+        if let Some(matches) = ht.get(&key) {
+            for &bi in matches {
+                pairs.push((bi, t));
+            }
+        }
+    }
+    pairs
+}
+
+/// Gathers every predicate column once and keeps the rows passing all
+/// predicates (bitset AND), preserving input order.
+fn filter_rows(
+    table: &Table,
+    rows: Vec<RowId>,
+    block: &QueryBlock,
+    pred_indices: &[usize],
+) -> Vec<RowId> {
+    if pred_indices.is_empty() {
+        return rows;
+    }
+    let mut cols: BTreeMap<ColumnId, FrameColumn> = BTreeMap::new();
+    for &i in pred_indices {
+        let c = block.local_predicates[i].column;
+        cols.entry(c)
+            .or_insert_with(|| table.gather_column(c, &rows));
+    }
+    let mut keep = vec![true; rows.len()];
+    for &i in pred_indices {
+        let p = &block.local_predicates[i];
+        eval_pred(p, &cols[&p.column], &mut keep);
+    }
+    rows.into_iter()
+        .zip(keep)
+        .filter_map(|(r, k)| k.then_some(r))
+        .collect()
+}
+
+/// ANDs one predicate's verdicts into `keep`. Integer intervals compare
+/// dense `i64`s directly; every other shape falls back to
+/// [`LocalPredicate::matches`] over [`FrameColumn::value`], which is
+/// definitionally identical to the row path.
+fn eval_pred(p: &LocalPredicate, fc: &FrameColumn, keep: &mut [bool]) {
+    if let (PredKind::Interval(iv), FrameValues::Int(vals)) = (&p.kind, &fc.values) {
+        if let Some((lo, hi)) = int_bounds(iv) {
+            for (i, k) in keep.iter_mut().enumerate() {
+                if *k {
+                    // NULL never matches an interval; bound semantics mirror
+                    // Interval::contains over exact i64 comparisons
+                    *k = fc.validity[i]
+                        && lo.is_none_or(|(x, inc)| if inc { vals[i] >= x } else { vals[i] > x })
+                        && hi.is_none_or(|(x, inc)| if inc { vals[i] <= x } else { vals[i] < x });
+                }
+            }
+            return;
+        }
+    }
+    for (i, k) in keep.iter_mut().enumerate() {
+        if *k {
+            *k = p.matches(&fc.value(i));
+        }
+    }
+}
+
+/// The interval's bounds as `(value, inclusive)` pairs when both endpoints
+/// are integer or unbounded (`None` = unbounded); `None` otherwise.
+#[allow(clippy::type_complexity)]
+fn int_bounds(iv: &Interval) -> Option<(Option<(i64, bool)>, Option<(i64, bool)>)> {
+    let side = |b: &Bound| match b {
+        Bound::Unbounded => Some(None),
+        Bound::Inclusive(Value::Int(x)) => Some(Some((*x, true))),
+        Bound::Exclusive(Value::Int(x)) => Some(Some((*x, false))),
+        _ => None,
+    };
+    Some((side(&iv.low)?, side(&iv.high)?))
+}
+
+fn project_batch(batch: &ColumnBatch, block: &QueryBlock, tables: &[Table]) -> Result<Vec<Row>> {
+    match &block.projection {
+        Projection::CountStar => Ok(vec![vec![Value::Int(batch.len as i64)]]),
+        Projection::Aggregates(aggs) => {
+            let row = aggs
+                .iter()
+                .map(|agg| eval_aggregate_batch(agg, batch, block, tables))
+                .collect::<Result<Vec<Value>>>()?;
+            Ok(vec![row])
+        }
+        Projection::GroupBy { keys, items } => {
+            eval_group_by_batch(keys, items, batch, block, tables)
+        }
+        Projection::Wildcard => {
+            // gather all columns of every quantifier once, then emit rows in
+            // the same qun-major / column-minor order as the row path
+            let mut frames: Vec<Vec<FrameColumn>> = Vec::with_capacity(block.quns.len());
+            for qun in 0..block.quns.len() {
+                let table = table_of(tables, block, qun)?;
+                let sel = batch.sel_of(qun)?;
+                frames.push(
+                    (0..table.schema().len())
+                        .map(|c| table.gather_column(ColumnId(c as u32), sel))
+                        .collect(),
+                );
+            }
+            let width: usize = frames.iter().map(Vec::len).sum();
+            let mut rows = Vec::with_capacity(batch.len);
+            for t in 0..batch.len {
+                let mut row = Vec::with_capacity(width);
+                for cols in &frames {
+                    for fc in cols {
+                        row.push(fc.value(t));
+                    }
+                }
+                rows.push(row);
+            }
+            Ok(rows)
+        }
+        Projection::Columns(cols) => {
+            let frames: Vec<FrameColumn> = cols
+                .iter()
+                .map(|(qun, col)| {
+                    let t = table_of(tables, block, *qun)?;
+                    Ok(t.gather_column(*col, batch.sel_of(*qun)?))
+                })
+                .collect::<Result<_>>()?;
+            let mut rows = Vec::with_capacity(batch.len);
+            for t in 0..batch.len {
+                rows.push(frames.iter().map(|fc| fc.value(t)).collect());
+            }
+            Ok(rows)
+        }
+    }
+}
+
+/// Evaluates one aggregate over the whole batch (no GROUP BY), gathering
+/// the input column once and streaming it through the shared accumulator.
+fn eval_aggregate_batch(
+    agg: &jits_query::BoundAggregate,
+    batch: &ColumnBatch,
+    block: &QueryBlock,
+    tables: &[Table],
+) -> Result<Value> {
+    let Some((qun, col)) = agg.col else {
+        return Ok(Value::Int(batch.len as i64));
+    };
+    let table = table_of(tables, block, qun)?;
+    let fc = table.gather_column(col, batch.sel_of(qun)?);
+    let mut acc = AggAcc::new();
+    for i in 0..fc.len() {
+        accumulate(&mut acc, agg.func, col, fc.value(i))?;
+    }
+    Ok(acc.finish(agg.func))
+}
+
+/// Hash aggregation over gathered key/input columns, one output row per
+/// distinct key combination in first-seen order (same as the row path).
+fn eval_group_by_batch(
+    keys: &[(usize, ColumnId)],
+    items: &[jits_query::qgm::GroupItem],
+    batch: &ColumnBatch,
+    block: &QueryBlock,
+    tables: &[Table],
+) -> Result<Vec<Row>> {
+    use jits_query::qgm::GroupItem;
+    let key_cols: Vec<FrameColumn> = keys
+        .iter()
+        .map(|(q, c)| {
+            let t = table_of(tables, block, *q)?;
+            Ok(t.gather_column(*c, batch.sel_of(*q)?))
+        })
+        .collect::<Result<_>>()?;
+    // per-item aggregate input columns, gathered once; None for COUNT(*)
+    // and for items whose table is missing (mirroring the row path's `.ok()`)
+    let agg_cols: Vec<Option<FrameColumn>> = items
+        .iter()
+        .map(|it| match it {
+            GroupItem::Agg(a) => match a.col {
+                Some((q, c)) => {
+                    let sel = batch.sel_of(q)?;
+                    Ok(table_of(tables, block, q)
+                        .ok()
+                        .map(|t| t.gather_column(c, sel)))
+                }
+                None => Ok(None),
+            },
+            GroupItem::Key(_) => Ok(None),
+        })
+        .collect::<Result<_>>()?;
+
+    // key -> group index; only probed, never iterated (first-seen `order`
+    // carries the output order)
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut accs: Vec<(Vec<AggAcc>, i64)> = Vec::new();
+    let mut groups: std::collections::HashMap<Vec<Value>, usize> = std::collections::HashMap::new();
+    for t in 0..batch.len {
+        let key: Vec<Value> = key_cols.iter().map(|fc| fc.value(t)).collect();
+        let n_items = items.len();
+        let gi = *groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            accs.push((vec![AggAcc::new(); n_items], 0));
+            accs.len() - 1
+        });
+        let entry = &mut accs[gi];
+        entry.1 += 1;
+        for (i, item) in items.iter().enumerate() {
+            if let GroupItem::Agg(_) = item {
+                if let Some(fc) = &agg_cols[i] {
+                    entry.0[i].push(fc.value(t));
+                }
+            }
+        }
+    }
+    Ok(finish_groups(items, order, accs))
+}

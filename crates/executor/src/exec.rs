@@ -16,6 +16,19 @@ pub struct ExecOutput {
     pub stats: ExecStats,
 }
 
+/// Which of the two executors evaluates the plan.
+///
+/// Both produce bit-identical results, work charges, and observations; the
+/// batch executor replaces per-row `Value` materialization with columnar
+/// gathers and selection vectors (see [`crate::batch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// Row-at-a-time volcano evaluation over row-id tuples.
+    Row,
+    /// Vectorized evaluation over gathered columns and selection vectors.
+    Batch,
+}
+
 /// A batch of intermediate tuples: `quns[i]` names the quantifier whose row
 /// id sits at position `i` of every tuple.
 struct Batch {
@@ -24,17 +37,47 @@ struct Batch {
 }
 
 impl Batch {
-    fn position_of(&self, qun: usize) -> usize {
-        self.quns
-            .iter()
-            .position(|q| *q == qun)
-            .expect("quantifier must be covered by the batch")
+    fn position_of(&self, qun: usize) -> Result<usize> {
+        position_in(&self.quns, qun)
     }
 }
 
+/// Index of `qun` within a covered-quantifier list; a typed error (not a
+/// panic) when a malformed plan references an uncovered quantifier.
+pub(crate) fn position_in(quns: &[usize], qun: usize) -> Result<usize> {
+    quns.iter().position(|q| *q == qun).ok_or_else(|| {
+        JitsError::Execution(format!("quantifier q{qun} is not covered by the batch"))
+    })
+}
+
 /// Executes a physical plan for `block` against `tables` (indexed by
-/// `TableId`).
+/// `TableId`) on the default (batch) executor.
 pub fn execute(
+    plan: &PhysicalPlan,
+    block: &QueryBlock,
+    tables: &[Table],
+    cost: &CostModel,
+) -> Result<ExecOutput> {
+    execute_with(ExecutorKind::Batch, plan, block, tables, cost)
+}
+
+/// Executes a physical plan on the chosen executor. The two executors are
+/// differential-tested bit-identical (rows, `ExecStats.work`, node and scan
+/// observations); `kind` only selects the evaluation strategy.
+pub fn execute_with(
+    kind: ExecutorKind,
+    plan: &PhysicalPlan,
+    block: &QueryBlock,
+    tables: &[Table],
+    cost: &CostModel,
+) -> Result<ExecOutput> {
+    match kind {
+        ExecutorKind::Row => execute_row(plan, block, tables, cost),
+        ExecutorKind::Batch => crate::batch::execute_batch(plan, block, tables, cost),
+    }
+}
+
+fn execute_row(
     plan: &PhysicalPlan,
     block: &QueryBlock,
     tables: &[Table],
@@ -43,7 +86,7 @@ pub fn execute(
     let mut stats = ExecStats::default();
     let mut batch = run(plan, block, tables, cost, &mut stats)?;
     if let Some((qun, col, desc)) = block.order_by {
-        let pos = batch.position_of(qun);
+        let pos = batch.position_of(qun)?;
         let table = table_of(tables, block, qun)?;
         let n = batch.tuples.len() as f64;
         batch.tuples.sort_by(|a, b| {
@@ -56,7 +99,7 @@ pub fn execute(
                 ord
             }
         });
-        stats.work += n * n.max(2.0).log2() * 0.5;
+        stats.work += cost.sort(n);
     }
     let aggregating = matches!(
         block.projection,
@@ -77,7 +120,11 @@ pub fn execute(
     Ok(ExecOutput { rows, stats })
 }
 
-fn table_of<'a>(tables: &'a [Table], block: &QueryBlock, qun: usize) -> Result<&'a Table> {
+pub(crate) fn table_of<'a>(
+    tables: &'a [Table],
+    block: &QueryBlock,
+    qun: usize,
+) -> Result<&'a Table> {
     let tid = block.quns[qun].table;
     tables
         .get(tid.index())
@@ -166,8 +213,8 @@ fn run(
                 std::collections::HashMap::new();
             let build_positions: Vec<(usize, ColumnId)> = keys
                 .iter()
-                .map(|((bq, bc), _)| (build_batch.position_of(*bq), *bc))
-                .collect();
+                .map(|((bq, bc), _)| Ok((build_batch.position_of(*bq)?, *bc)))
+                .collect::<Result<_>>()?;
             let build_tables: Vec<&Table> = keys
                 .iter()
                 .map(|((bq, _), _)| table_of(tables, block, *bq))
@@ -186,8 +233,8 @@ fn run(
             // probe
             let probe_positions: Vec<(usize, ColumnId)> = keys
                 .iter()
-                .map(|(_, (pq, pc))| (probe_batch.position_of(*pq), *pc))
-                .collect();
+                .map(|(_, (pq, pc))| Ok((probe_batch.position_of(*pq)?, *pc)))
+                .collect::<Result<_>>()?;
             let probe_tables: Vec<&Table> = keys
                 .iter()
                 .map(|(_, (pq, _))| table_of(tables, block, *pq))
@@ -239,14 +286,26 @@ fn run(
                     inner_table.name()
                 ))
             })?;
-            let ((drive_oq, drive_oc), _) = keys[0];
-            let drive_pos = outer_batch.position_of(drive_oq);
+            let Some(&((drive_oq, drive_oc), _)) = keys.first() else {
+                return Err(JitsError::Execution(
+                    "index nested-loop join without keys".into(),
+                ));
+            };
+            let drive_pos = outer_batch.position_of(drive_oq)?;
             let drive_table = table_of(tables, block, drive_oq)?;
-            // residual keys beyond the driving one
-            let residual: Vec<((usize, ColumnId), ColumnId)> = keys[1..]
+            // residual keys beyond the driving one; positions and tables are
+            // loop-invariant, so resolve them once before probing
+            let residual: Vec<(usize, ColumnId, &Table, ColumnId)> = keys[1..]
                 .iter()
-                .map(|((oq, oc), (_, ic))| ((*oq, *oc), *ic))
-                .collect();
+                .map(|((oq, oc), (_, ic))| {
+                    Ok((
+                        outer_batch.position_of(*oq)?,
+                        *oc,
+                        table_of(tables, block, *oq)?,
+                        *ic,
+                    ))
+                })
+                .collect::<Result<_>>()?;
             let mut tuples = Vec::new();
             let mut fetched_total = 0f64;
             for outer_tuple in &outer_batch.tuples {
@@ -262,10 +321,8 @@ fn run(
                     {
                         continue;
                     }
-                    for ((oq, oc), ic) in &residual {
-                        let opos = outer_batch.position_of(*oq);
-                        let ot = table_of(tables, block, *oq)?;
-                        let ov = ot.value(outer_tuple[opos], *oc);
+                    for (opos, oc, ot, ic) in &residual {
+                        let ov = ot.value(outer_tuple[*opos], *oc);
                         let iv = inner_table.value(irow, *ic);
                         if !ov.sql_eq(&iv) {
                             continue 'cand;
@@ -306,12 +363,12 @@ fn run(
             let key_positions: Vec<((usize, ColumnId), (usize, ColumnId))> = keys
                 .iter()
                 .map(|((oq, oc), (iq, ic))| {
-                    (
-                        (outer_batch.position_of(*oq), *oc),
-                        (inner_batch.position_of(*iq), *ic),
-                    )
+                    Ok((
+                        (outer_batch.position_of(*oq)?, *oc),
+                        (inner_batch.position_of(*iq)?, *ic),
+                    ))
                 })
-                .collect();
+                .collect::<Result<_>>()?;
             let outer_key_tables: Vec<&Table> = keys
                 .iter()
                 .map(|((oq, _), _)| table_of(tables, block, *oq))
@@ -353,7 +410,12 @@ fn run(
 }
 
 /// Whether a row satisfies all the given local predicates.
-fn matches_preds(table: &Table, row: RowId, block: &QueryBlock, pred_indices: &[usize]) -> bool {
+pub(crate) fn matches_preds(
+    table: &Table,
+    row: RowId,
+    block: &QueryBlock,
+    pred_indices: &[usize],
+) -> bool {
     pred_indices.iter().all(|&i| {
         let p = &block.local_predicates[i];
         p.matches(&table.value(row, p.column))
@@ -362,7 +424,7 @@ fn matches_preds(table: &Table, row: RowId, block: &QueryBlock, pred_indices: &[
 
 /// The merged index-driving interval for `column` among the scan's
 /// predicates.
-fn index_interval(
+pub(crate) fn index_interval(
     block: &QueryBlock,
     pred_indices: &[usize],
     column: ColumnId,
@@ -385,7 +447,7 @@ fn index_interval(
     })
 }
 
-fn record_scan(
+pub(crate) fn record_scan(
     stats: &mut ExecStats,
     scan: &ScanGroupEstimate,
     kind: NodeKind,
@@ -413,27 +475,35 @@ fn record_scan(
 }
 
 /// A streaming accumulator for one aggregate.
+///
+/// Integer inputs additionally accumulate in a checked `i64` so pure-integer
+/// `SUM` stays exact past 2^53 (the `f64` mirror still drives `AVG` and the
+/// float/overflow fallbacks).
 #[derive(Debug, Clone)]
-struct AggAcc {
+pub(crate) struct AggAcc {
     count: i64,
     sum: f64,
+    int_sum: i64,
+    int_exact: bool,
     any_float: bool,
     min: Option<Value>,
     max: Option<Value>,
 }
 
 impl AggAcc {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         AggAcc {
             count: 0,
             sum: 0.0,
+            int_sum: 0,
+            int_exact: true,
             any_float: false,
             min: None,
             max: None,
         }
     }
 
-    fn push(&mut self, v: Value) {
+    pub(crate) fn push(&mut self, v: Value) {
         if v.is_null() {
             return;
         }
@@ -441,6 +511,12 @@ impl AggAcc {
         if let Some(x) = v.as_f64() {
             self.any_float |= matches!(v, Value::Float(_));
             self.sum += x;
+        }
+        if let Value::Int(i) = v {
+            match self.int_sum.checked_add(i) {
+                Some(s) => self.int_sum = s,
+                None => self.int_exact = false,
+            }
         }
         if self
             .min
@@ -458,14 +534,18 @@ impl AggAcc {
         }
     }
 
-    fn finish(&self, func: AggFunc) -> Value {
+    pub(crate) fn finish(&self, func: AggFunc) -> Value {
         match func {
             AggFunc::Count => Value::Int(self.count),
             AggFunc::Sum => {
                 if self.any_float {
                     Value::Float(self.sum)
+                } else if self.int_exact {
+                    Value::Int(self.int_sum)
                 } else {
-                    Value::Int(self.sum as i64)
+                    // pure-int input overflowed i64: degrade to the float
+                    // mirror rather than wrapping
+                    Value::Float(self.sum)
                 }
             }
             AggFunc::Avg => {
@@ -481,6 +561,19 @@ impl AggAcc {
     }
 }
 
+/// Feeds one input value to an accumulator, surfacing the typed error the
+/// executor reports for `SUM`/`AVG` over non-numeric input. Shared by the
+/// row and batch aggregate paths so they cannot diverge.
+pub(crate) fn accumulate(acc: &mut AggAcc, func: AggFunc, col: ColumnId, v: Value) -> Result<()> {
+    if matches!(func, AggFunc::Sum | AggFunc::Avg) && !v.is_null() && v.as_f64().is_none() {
+        return Err(JitsError::Execution(format!(
+            "{func}({col}) over non-numeric value"
+        )));
+    }
+    acc.push(v);
+    Ok(())
+}
+
 /// Hash aggregation: one output row per distinct grouping-key combination,
 /// in first-seen order (deterministic given the input order).
 fn eval_group_by(
@@ -493,8 +586,8 @@ fn eval_group_by(
     use jits_query::qgm::GroupItem;
     let key_pos: Vec<(usize, ColumnId)> = keys
         .iter()
-        .map(|(q, c)| (batch.position_of(*q), *c))
-        .collect();
+        .map(|(q, c)| Ok((batch.position_of(*q)?, *c)))
+        .collect::<Result<_>>()?;
     let key_tables: Vec<&Table> = keys
         .iter()
         .map(|(q, _)| table_of(tables, block, *q))
@@ -503,10 +596,13 @@ fn eval_group_by(
     let agg_inputs: Vec<Option<(usize, ColumnId)>> = items
         .iter()
         .map(|it| match it {
-            GroupItem::Agg(a) => a.col.map(|(q, c)| (batch.position_of(q), c)),
-            GroupItem::Key(_) => None,
+            GroupItem::Agg(a) => a
+                .col
+                .map(|(q, c)| Ok((batch.position_of(q)?, c)))
+                .transpose(),
+            GroupItem::Key(_) => Ok(None),
         })
-        .collect();
+        .collect::<Result<_>>()?;
     let agg_tables: Vec<Option<&Table>> = items
         .iter()
         .map(|it| match it {
@@ -518,9 +614,12 @@ fn eval_group_by(
         })
         .collect();
 
+    // `groups` maps key -> group index and is only ever probed (`entry`);
+    // output order comes from the first-seen `order`/`accs` vectors, so no
+    // hash order is observed
     let mut order: Vec<Vec<Value>> = Vec::new();
-    let mut groups: std::collections::HashMap<Vec<Value>, (usize, Vec<AggAcc>, i64)> =
-        std::collections::HashMap::new();
+    let mut accs: Vec<(Vec<AggAcc>, i64)> = Vec::new();
+    let mut groups: std::collections::HashMap<Vec<Value>, usize> = std::collections::HashMap::new();
     for tuple in &batch.tuples {
         let key: Vec<Value> = key_pos
             .iter()
@@ -528,38 +627,48 @@ fn eval_group_by(
             .map(|((pos, col), t)| t.value(tuple[*pos], *col))
             .collect();
         let n_items = items.len();
-        let entry = groups.entry(key.clone()).or_insert_with(|| {
+        let gi = *groups.entry(key.clone()).or_insert_with(|| {
             order.push(key);
-            (order.len() - 1, vec![AggAcc::new(); n_items], 0)
+            accs.push((vec![AggAcc::new(); n_items], 0));
+            accs.len() - 1
         });
-        entry.2 += 1; // group row count for COUNT(*)
+        let entry = &mut accs[gi];
+        entry.1 += 1; // group row count for COUNT(*)
         for (i, item) in items.iter().enumerate() {
             if let GroupItem::Agg(_) = item {
                 if let (Some((pos, col)), Some(t)) = (agg_inputs[i], agg_tables[i]) {
-                    entry.1[i].push(t.value(tuple[pos], col));
+                    entry.0[i].push(t.value(tuple[pos], col));
                 }
             }
         }
     }
-    let mut out: Vec<(usize, Row)> = groups
+    Ok(finish_groups(items, order, accs))
+}
+
+/// Emits one row per group in first-seen order, shared by both executors.
+pub(crate) fn finish_groups(
+    items: &[jits_query::qgm::GroupItem],
+    order: Vec<Vec<Value>>,
+    accs: Vec<(Vec<AggAcc>, i64)>,
+) -> Vec<Row> {
+    use jits_query::qgm::GroupItem;
+    order
         .into_iter()
-        .map(|(key, (ord, accs, star))| {
-            let row: Row = items
+        .zip(accs)
+        .map(|(key, (group_accs, star))| {
+            items
                 .iter()
                 .enumerate()
                 .map(|(i, item)| match item {
                     GroupItem::Key(k) => key[*k].clone(),
                     GroupItem::Agg(a) => match a.col {
                         None => Value::Int(star),
-                        Some(_) => accs[i].finish(a.func),
+                        Some(_) => group_accs[i].finish(a.func),
                     },
                 })
-                .collect();
-            (ord, row)
+                .collect()
         })
-        .collect();
-    out.sort_by_key(|(ord, _)| *ord);
-    Ok(out.into_iter().map(|(_, row)| row).collect())
+        .collect()
 }
 
 /// Evaluates one aggregate over the whole batch (no GROUP BY).
@@ -572,64 +681,13 @@ fn eval_aggregate(
     let Some((qun, col)) = agg.col else {
         return Ok(Value::Int(batch.tuples.len() as i64));
     };
-    let pos = batch.position_of(qun);
+    let pos = batch.position_of(qun)?;
     let table = table_of(tables, block, qun)?;
-    let mut count = 0i64;
-    let mut sum = 0.0f64;
-    let mut any_float = false;
-    let mut min: Option<Value> = None;
-    let mut max: Option<Value> = None;
+    let mut acc = AggAcc::new();
     for tuple in &batch.tuples {
-        let v = table.value(tuple[pos], col);
-        if v.is_null() {
-            continue;
-        }
-        count += 1;
-        match agg.func {
-            AggFunc::Count => {}
-            AggFunc::Sum | AggFunc::Avg => {
-                any_float |= matches!(v, Value::Float(_));
-                sum += v.as_f64().ok_or_else(|| {
-                    JitsError::Execution(format!("{}({}) over non-numeric value", agg.func, col))
-                })?;
-            }
-            AggFunc::Min => {
-                if min
-                    .as_ref()
-                    .is_none_or(|m| v.cmp_total(m) == std::cmp::Ordering::Less)
-                {
-                    min = Some(v);
-                }
-            }
-            AggFunc::Max => {
-                if max
-                    .as_ref()
-                    .is_none_or(|m| v.cmp_total(m) == std::cmp::Ordering::Greater)
-                {
-                    max = Some(v);
-                }
-            }
-        }
+        accumulate(&mut acc, agg.func, col, table.value(tuple[pos], col))?;
     }
-    Ok(match agg.func {
-        AggFunc::Count => Value::Int(count),
-        AggFunc::Sum => {
-            if any_float {
-                Value::Float(sum)
-            } else {
-                Value::Int(sum as i64)
-            }
-        }
-        AggFunc::Avg => {
-            if count == 0 {
-                Value::Null
-            } else {
-                Value::Float(sum / count as f64)
-            }
-        }
-        AggFunc::Min => min.unwrap_or(Value::Null),
-        AggFunc::Max => max.unwrap_or(Value::Null),
-    })
+    Ok(acc.finish(agg.func))
 }
 
 fn project(batch: &Batch, block: &QueryBlock, tables: &[Table]) -> Result<Vec<Row>> {
@@ -648,7 +706,7 @@ fn project(batch: &Batch, block: &QueryBlock, tables: &[Table]) -> Result<Vec<Ro
             for tuple in &batch.tuples {
                 let mut row = Vec::new();
                 for qun in 0..block.quns.len() {
-                    let pos = batch.position_of(qun);
+                    let pos = batch.position_of(qun)?;
                     let table = table_of(tables, block, qun)?;
                     for c in 0..table.schema().len() {
                         row.push(table.value(tuple[pos], ColumnId(c as u32)));
@@ -664,7 +722,7 @@ fn project(batch: &Batch, block: &QueryBlock, tables: &[Table]) -> Result<Vec<Ro
                 let row = cols
                     .iter()
                     .map(|(qun, col)| {
-                        let pos = batch.position_of(*qun);
+                        let pos = batch.position_of(*qun)?;
                         table_of(tables, block, *qun).map(|t| t.value(tuple[pos], *col))
                     })
                     .collect::<Result<Vec<Value>>>()?;

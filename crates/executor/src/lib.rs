@@ -1,8 +1,12 @@
 //! Plan execution with cardinality monitoring.
 //!
-//! The executor materializes intermediate results as vectors of row-id
-//! tuples (one row id per covered quantifier), so joins move 4-byte ids, not
-//! values. Two byproducts matter to JITS:
+//! Two executors share one contract: the row path materializes intermediate
+//! results as vectors of row-id tuples (one row id per covered quantifier),
+//! while the default batch path ([`batch`]) keeps one selection vector per
+//! quantifier and evaluates predicates, join keys, and aggregates over
+//! columnar gathers. Both charge identical work and record identical
+//! observations — [`ExecutorKind`] only selects the evaluation strategy.
+//! Two byproducts matter to JITS:
 //!
 //! * **work accounting** — every operator charges the same
 //!   [`CostModel`](jits_optimizer::CostModel) constants the optimizer used
@@ -16,8 +20,9 @@
 
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod exec;
 pub mod monitor;
 
-pub use exec::{execute, ExecOutput};
+pub use exec::{execute, execute_with, ExecOutput, ExecutorKind};
 pub use monitor::{ExecStats, NodeKind, NodeObservation, ScanObservation};

@@ -1,0 +1,26 @@
+//! Known-bad fixture for the hash-iteration pass, modeled on the executor's
+//! group-by: draining the accumulator map directly would emit result rows in
+//! hash order, breaking bit-identity between the row and batch executors.
+//! Never compiled — the integration test feeds it to the analyzer and
+//! expects violations. The real executor indexes a `HashMap` into a
+//! first-seen-order side vector and emits from that instead.
+
+use std::collections::HashMap;
+
+fn emit_groups_in_hash_order(groups: HashMap<Vec<u64>, f64>) -> Vec<(Vec<u64>, f64)> {
+    let mut rows = Vec::new();
+    // BAD: result-row order depends on the hash function
+    for (key, acc) in groups.into_iter() {
+        rows.push((key, acc));
+    }
+    rows
+}
+
+fn charges_work_in_hash_order(seen: &HashMap<u64, f64>) -> f64 {
+    let mut work = 0.0;
+    // BAD: floating-point accumulation order leaks hash order into work
+    for c in seen.values() {
+        work += *c;
+    }
+    work
+}

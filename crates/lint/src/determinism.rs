@@ -530,10 +530,20 @@ mod tests {
     #[test]
     fn hash_scope_limits_to_crates() {
         let f = SourceFile::from_source(
-            "crates/executor/src/exec.rs".into(),
+            "crates/query/src/parse.rs".into(),
             "fn f(m: &HashMap<u32, u32>) { for k in m.keys() {} }\n".into(),
         );
         let v = run(&[f], Config::repo());
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn hash_scope_covers_executor() {
+        let f = SourceFile::from_source(
+            "crates/executor/src/batch.rs".into(),
+            "fn f(m: &HashMap<u32, u32>) { for k in m.keys() {} }\n".into(),
+        );
+        let v = run(&[f], Config::repo());
+        assert_eq!(v.len(), 1, "{v:?}");
     }
 }

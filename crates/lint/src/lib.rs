@@ -91,8 +91,11 @@ pub const PRODUCT_CRATES: &[&str] = &[
 
 /// Crates whose data feeds statistics: `HashMap`/`HashSet` iteration order
 /// must never be observable here. `obs` qualifies because its exporters must
-/// emit byte-identical output for identical runs (`BTreeMap` only).
-pub const HASH_ORDER_CRATES: &[&str] = &["catalog", "histogram", "jits", "obs", "storage"];
+/// emit byte-identical output for identical runs (`BTreeMap` only), and
+/// `executor` because result rows, work charges, and observations must be
+/// bit-identical between the row and batch executors at any thread count.
+pub const HASH_ORDER_CRATES: &[&str] =
+    &["catalog", "executor", "histogram", "jits", "obs", "storage"];
 
 /// The lock-order pass covers the crate that owns `SharedDatabase` plus the
 /// observability crate, whose `registry` lock ranks above every engine

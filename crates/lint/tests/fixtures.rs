@@ -102,6 +102,19 @@ fn determinism_fixture_is_flagged() {
 }
 
 #[test]
+fn determinism_hash_executor_fixture_is_flagged() {
+    let report = run_paths(&[fixture("determinism_hash_executor_bad.rs")]);
+    let hash: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "hash-iteration")
+        .collect();
+    // the group-by drain (`into_iter`) and the work accumulation (`values`)
+    assert_eq!(hash.len(), 2, "{hash:#?}");
+    assert!(report.failed(false));
+}
+
+#[test]
 fn timed_budget_fixture_is_flagged() {
     let report = run_paths(&[fixture("budget_timer_bad.rs")]);
     let timed: Vec<_> = report

@@ -70,6 +70,12 @@ impl CostModel {
     pub fn nl_join(&self, outer_rows: f64, inner_rows: f64, out_rows: f64) -> f64 {
         outer_rows * inner_rows * self.nl_pair + out_rows * self.output_row
     }
+
+    /// Comparison sort of `n` rows (ORDER BY). One formula shared by the
+    /// row and batch executors so their work charges stay bit-identical.
+    pub fn sort(&self, n: f64) -> f64 {
+        n * n.max(2.0).log2() * 0.5
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,390 @@
+//! Batch-executor integration tests: the vectorized path must be
+//! bit-identical to the row-at-a-time path — same rows in the same order,
+//! same `ExecStats.work` bit pattern, same node and scan observations — on
+//! every plan shape, and the engine's `batch_executor` setting must A/B
+//! cleanly at any collection fan-out.
+
+use jits_repro::catalog::{runstats, Catalog, RunstatsOptions};
+use jits_repro::common::{ColumnId, DataType, JitsError, Schema, TableId, Value};
+use jits_repro::core::JitsConfig;
+use jits_repro::engine::{Database, StatsSetting};
+use jits_repro::executor::{execute_with, ExecutorKind};
+use jits_repro::optimizer::{
+    optimize, CardinalityEstimator, CatalogStatisticsProvider, CostModel, DefaultSelectivities,
+    NodeEst, PhysicalPlan, ScanGroupEstimate, StatSource,
+};
+use jits_repro::query::{bind_statement, parse, BoundStatement};
+use jits_repro::storage::Table;
+
+/// car(1200, some NULL join keys) joins owner(100) on `ownerid = id` and —
+/// for the multi-key corpus entries — additionally on `year`.
+fn setup() -> (Catalog, Vec<Table>) {
+    let mut catalog = Catalog::new();
+    let car_schema = Schema::from_pairs(&[
+        ("id", DataType::Int),
+        ("ownerid", DataType::Int),
+        ("make", DataType::Str),
+        ("year", DataType::Int),
+    ]);
+    let owner_schema = Schema::from_pairs(&[
+        ("id", DataType::Int),
+        ("name", DataType::Str),
+        ("salary", DataType::Int),
+        ("year", DataType::Int),
+    ]);
+    let car_id = catalog.register_table("car", car_schema.clone()).unwrap();
+    let owner_id = catalog
+        .register_table("owner", owner_schema.clone())
+        .unwrap();
+
+    let mut car = Table::new("car", car_schema);
+    for i in 0..1200i64 {
+        let owner = if i % 11 == 0 {
+            Value::Null // NULL join keys must match nothing on either path
+        } else {
+            Value::Int(i % 100)
+        };
+        let make = ["Toyota", "Honda", "Audi"][(i % 3) as usize];
+        car.insert(vec![
+            Value::Int(i),
+            owner,
+            Value::str(make),
+            Value::Int(1990 + i % 17),
+        ])
+        .unwrap();
+    }
+    let mut owner = Table::new("owner", owner_schema);
+    for i in 0..100i64 {
+        owner
+            .insert(vec![
+                Value::Int(i),
+                Value::str(format!("owner{i}")),
+                Value::Int(i * 1000),
+                Value::Int(1990 + i % 17),
+            ])
+            .unwrap();
+    }
+    owner.create_index(ColumnId(0)).unwrap();
+    catalog.add_index(owner_id, ColumnId(0)).unwrap();
+    car.create_index(ColumnId(0)).unwrap();
+    catalog.add_index(car_id, ColumnId(0)).unwrap();
+
+    let (ts, cs) = runstats(&car, RunstatsOptions::default(), 1);
+    catalog.set_stats(car_id, ts, cs).unwrap();
+    let (ts, cs) = runstats(&owner, RunstatsOptions::default(), 1);
+    catalog.set_stats(owner_id, ts, cs).unwrap();
+    (catalog, vec![car, owner])
+}
+
+fn plan_of(
+    catalog: &Catalog,
+    sql: &str,
+) -> (jits_repro::query::QueryBlock, PhysicalPlan, CostModel) {
+    let BoundStatement::Select(block) = bind_statement(&parse(sql).unwrap(), catalog).unwrap()
+    else {
+        panic!("not a SELECT: {sql}")
+    };
+    let provider = CatalogStatisticsProvider::new(catalog);
+    let est = CardinalityEstimator::new(&provider, DefaultSelectivities::default());
+    let cost = CostModel::default();
+    let plan = optimize(&block, &est, &cost, catalog).unwrap();
+    (block, plan, cost)
+}
+
+/// Every plan shape the optimizer can emit, plus the epilogue combinations
+/// the issue calls out: ORDER BY + LIMIT, GROUP BY, NULL join keys, and a
+/// multi-key join.
+const CORPUS: &[&str] = &[
+    "SELECT id FROM car WHERE make = 'Toyota'",
+    "SELECT id, year FROM car WHERE id >= 100 AND id < 300 ORDER BY year DESC LIMIT 7",
+    "SELECT make FROM car WHERE year > 2000 ORDER BY make LIMIT 5",
+    "SELECT id FROM car LIMIT 0",
+    "SELECT COUNT(*) FROM car WHERE year > 2000",
+    "SELECT COUNT(*), SUM(year), AVG(year), MIN(id), MAX(id) FROM car WHERE make = 'Audi'",
+    "SELECT make, COUNT(*), SUM(year), MIN(id), MAX(id) FROM car GROUP BY make",
+    "SELECT year, COUNT(*) FROM car WHERE make = 'Toyota' GROUP BY year LIMIT 4",
+    "SELECT COUNT(*) FROM car WHERE ownerid IS NULL",
+    "SELECT c.id, o.name FROM car c, owner o WHERE c.ownerid = o.id AND salary >= 50000",
+    "SELECT COUNT(*) FROM car c, owner o WHERE c.ownerid = o.id AND c.year = o.year",
+    "SELECT * FROM car c, owner o WHERE c.ownerid = o.id AND c.id = 7",
+    "SELECT c.make, COUNT(*) FROM car c, owner o WHERE c.ownerid = o.id \
+     GROUP BY c.make LIMIT 2",
+    "SELECT o.name FROM car c, owner o WHERE c.ownerid = o.id AND c.year > 2002 \
+     ORDER BY o.name LIMIT 9",
+];
+
+/// The core contract: for the optimizer's chosen plan, the batch executor
+/// reproduces the row executor bit for bit — rows, work, and both
+/// observation streams.
+#[test]
+fn batch_matches_row_bit_for_bit_across_corpus() {
+    let (catalog, tables) = setup();
+    for sql in CORPUS {
+        let (block, plan, cost) = plan_of(&catalog, sql);
+        let row = execute_with(ExecutorKind::Row, &plan, &block, &tables, &cost).unwrap();
+        let batch = execute_with(ExecutorKind::Batch, &plan, &block, &tables, &cost).unwrap();
+        assert_eq!(row.rows, batch.rows, "rows diverged: {sql}");
+        assert_eq!(
+            row.stats.work.to_bits(),
+            batch.stats.work.to_bits(),
+            "work diverged: {sql} (row {} vs batch {})",
+            row.stats.work,
+            batch.stats.work
+        );
+        assert_eq!(row.stats.nodes, batch.stats.nodes, "nodes diverged: {sql}");
+        assert_eq!(row.stats.scans, batch.stats.scans, "scans diverged: {sql}");
+    }
+}
+
+/// A malformed index nested-loop plan (no equality keys) must fail with a
+/// typed execution error on both paths, never a panic.
+#[test]
+fn keyless_index_nl_join_is_a_typed_error() {
+    let (catalog, tables) = setup();
+    let (block, _, cost) = plan_of(
+        &catalog,
+        "SELECT c.id FROM car c, owner o WHERE c.ownerid = o.id",
+    );
+    let scan = |qun: usize, table: u32, base_rows: f64| ScanGroupEstimate {
+        qun,
+        table: TableId(table),
+        pred_indices: vec![],
+        selectivity: 1.0,
+        base_rows,
+        statlist: vec![],
+        source: StatSource::Default,
+    };
+    let est = NodeEst {
+        rows: 1200.0,
+        cost: 1.0,
+    };
+    let plan = PhysicalPlan::IndexNLJoin {
+        outer: Box::new(PhysicalPlan::SeqScan {
+            scan: scan(0, 0, 1200.0),
+            est,
+        }),
+        inner: scan(1, 1, 100.0),
+        index_column: ColumnId(0),
+        keys: vec![], // malformed: nothing to probe the index with
+        est,
+    };
+    for kind in [ExecutorKind::Row, ExecutorKind::Batch] {
+        match execute_with(kind, &plan, &block, &tables, &cost) {
+            Err(JitsError::Execution(m)) => {
+                assert!(m.contains("without keys"), "{kind:?}: {m}")
+            }
+            other => panic!("{kind:?}: expected typed execution error, got {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level A/B and fan-out replay
+// ---------------------------------------------------------------------------
+
+fn build_engine_db(seed: u64) -> Database {
+    let mut db = Database::new(seed);
+    db.create_table(
+        "car",
+        Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("ownerid", DataType::Int),
+            ("make", DataType::Str),
+            ("year", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "owner",
+        Schema::from_pairs(&[("id", DataType::Int), ("salary", DataType::Int)]),
+    )
+    .unwrap();
+    db.set_primary_key("car", "id").unwrap();
+    db.set_primary_key("owner", "id").unwrap();
+    let car_rows = (0..2000i64)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                if i % 13 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i % 200)
+                },
+                Value::str(if i % 3 == 0 { "Toyota" } else { "Honda" }),
+                Value::Int(1990 + i % 17),
+            ]
+        })
+        .collect();
+    db.load_rows("car", car_rows).unwrap();
+    let owner_rows = (0..200i64)
+        .map(|i| vec![Value::Int(i), Value::Int(i * 250)])
+        .collect();
+    db.load_rows("owner", owner_rows).unwrap();
+    db
+}
+
+fn always_collect() -> JitsConfig {
+    JitsConfig {
+        s_max: 0.0,
+        ..JitsConfig::default()
+    }
+}
+
+const SCRIPT: &[&str] = &[
+    "SELECT COUNT(*) FROM car WHERE make = 'Toyota' AND year > 1995",
+    "SELECT COUNT(*) FROM car c, owner o WHERE c.ownerid = o.id AND salary > 25000",
+    "SELECT make, COUNT(*) FROM car GROUP BY make",
+    "SELECT id FROM car WHERE year > 2003 ORDER BY id DESC LIMIT 5",
+    "UPDATE car SET year = 2007 WHERE id = 3",
+    "SELECT COUNT(*) FROM car WHERE ownerid IS NULL",
+    "SELECT COUNT(*) FROM car c, owner o WHERE c.ownerid = o.id AND salary > 25000",
+];
+
+/// Per-statement trace: result rows plus the bit patterns of the two
+/// deterministic work counters.
+type OpTrace = Vec<(Vec<Vec<Value>>, u64, u64)>;
+
+/// Flipping the engine's `batch_executor` setting changes nothing but the
+/// evaluation strategy: the full query+DML script replays bit for bit.
+#[test]
+fn engine_ab_replays_bit_for_bit() {
+    let run = |batch: bool| -> OpTrace {
+        let mut db = build_engine_db(52);
+        db.set_setting(StatsSetting::Jits(always_collect()));
+        db.set_batch_executor(batch);
+        assert_eq!(db.batch_executor(), batch);
+        SCRIPT
+            .iter()
+            .map(|sql| {
+                let r = db.execute(sql).unwrap();
+                if !sql.starts_with("UPDATE") {
+                    assert_eq!(r.metrics.batch_executor, batch, "{sql}");
+                }
+                (
+                    r.rows,
+                    r.metrics.compile_work.to_bits(),
+                    r.metrics.exec_work.to_bits(),
+                )
+            })
+            .collect()
+    };
+    assert_eq!(run(true), run(false));
+}
+
+/// With the batch executor on (the default), replaying through shared
+/// sessions stays bit-deterministic at any collection fan-out, and the
+/// executor-choice counter lands in the deterministic metrics export.
+#[test]
+fn batch_executor_bit_identical_at_1_and_8_collect_threads() {
+    let drive = |threads: usize| -> (OpTrace, String) {
+        let mut db = build_engine_db(53);
+        db.set_setting(StatsSetting::Jits(JitsConfig {
+            collect_threads: threads,
+            ..always_collect()
+        }));
+        let shared = db.into_shared();
+        assert!(shared.batch_executor(), "batch must be the default");
+        let mut session = shared.session();
+        let traces = SCRIPT
+            .iter()
+            .map(|sql| {
+                let r = session.execute(sql).unwrap();
+                (
+                    r.rows,
+                    r.metrics.compile_work.to_bits(),
+                    r.metrics.exec_work.to_bits(),
+                )
+            })
+            .collect();
+        (traces, shared.metrics_json(false))
+    };
+    let one = drive(1);
+    let eight = drive(8);
+    assert_eq!(one.0, eight.0, "per-op traces diverged across fan-out");
+    assert_eq!(one.1, eight.1, "deterministic metrics diverged");
+    assert!(one.1.contains("jits.exec.batch_statements"));
+}
+
+/// The shared setting is per-engine, not per-session: a flip through one
+/// session handle is visible to all, and each statement reports which
+/// executor actually ran it.
+#[test]
+fn shared_setting_flips_across_sessions() {
+    let mut db = build_engine_db(54);
+    db.set_setting(StatsSetting::Jits(always_collect()));
+    let shared = db.into_shared();
+    let mut a = shared.session();
+    let mut b = shared.session();
+    let q = SCRIPT[0];
+
+    let ra = a.execute(q).unwrap();
+    assert!(ra.metrics.batch_executor);
+    shared.set_batch_executor(false);
+    assert!(!shared.batch_executor());
+    let rb = b.execute(q).unwrap();
+    assert!(!rb.metrics.batch_executor, "flip must reach other sessions");
+    assert_eq!(ra.rows, rb.rows);
+    assert_eq!(
+        ra.metrics.exec_work.to_bits(),
+        rb.metrics.exec_work.to_bits(),
+        "row/batch work must agree bit for bit at the engine level too"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Integer SUM precision
+// ---------------------------------------------------------------------------
+
+fn nums_db(rows: &[i64]) -> Database {
+    let mut db = Database::new(7);
+    db.create_table(
+        "nums",
+        Schema::from_pairs(&[("id", DataType::Int), ("v", DataType::Int)]),
+    )
+    .unwrap();
+    db.load_rows(
+        "nums",
+        rows.iter()
+            .enumerate()
+            .map(|(i, v)| vec![Value::Int(i as i64), Value::Int(*v)])
+            .collect(),
+    )
+    .unwrap();
+    db
+}
+
+/// 2^53 is where f64 stops representing every integer: an f64 accumulator
+/// would return 2^53 for this sum, losing the +1.
+#[test]
+fn int_sum_is_exact_past_the_f64_boundary() {
+    const B: i64 = 1 << 53;
+    let mut db = nums_db(&[B - 1, 1, 1, 1]);
+    let r = db.execute("SELECT SUM(v) FROM nums").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(B + 2));
+
+    // the same digits through GROUP BY accumulation
+    let r = db
+        .execute("SELECT id, SUM(v) FROM nums WHERE id < 2 GROUP BY id")
+        .unwrap();
+    assert_eq!(r.rows[0][1], Value::Int(B - 1));
+
+    // AVG stays floating-point
+    let r = db.execute("SELECT AVG(v) FROM nums WHERE id > 0").unwrap();
+    assert_eq!(r.rows[0][0], Value::Float(1.0));
+}
+
+/// Overflowing i64 must not wrap or panic: the sum degrades to the f64
+/// mirror, identically on both executors.
+#[test]
+fn int_sum_overflow_promotes_to_float() {
+    let mut db = nums_db(&[i64::MAX, i64::MAX, 5]);
+    let run = |db: &mut Database| db.execute("SELECT SUM(v) FROM nums").unwrap().rows[0][0].clone();
+    let batch = run(&mut db);
+    db.set_batch_executor(false);
+    let row = run(&mut db);
+    assert_eq!(batch, row);
+    let Value::Float(f) = batch else {
+        panic!("overflowed SUM must promote to Float, got {batch:?}")
+    };
+    assert!((f - (i64::MAX as f64) * 2.0).abs() / f < 1e-9);
+}
