@@ -79,7 +79,7 @@ pub fn runstats(
             // `cmp_total`), which erases the hash order.
             // jits-lint: allow(hash-iteration)
             let mut mcv: Vec<(Value, f64)> = freq[c].iter().map(|(v, n)| (v.clone(), *n)).collect();
-            mcv.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp_total(&b.0)));
+            mcv.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp_total(&b.0)));
             let distinct = mcv.len() as f64;
             mcv.truncate(opts.mcv_entries);
             // drop MCV entries that are no more frequent than the average --

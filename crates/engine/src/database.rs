@@ -988,6 +988,10 @@ pub(crate) fn materialize_group_into(
         predcache.insert(tid, fp, stat.selectivity, clock);
         return MaterializeOutcome::Cache;
     };
+    // collected.frames is this statement's own draw (single epoch by
+    // construction); the epoch comparison happens at SampleCache
+    // commit/lookup, not at archive materialization
+    // jits-lint: allow(epoch-safety)
     let Some(frame) = collected.frames.get(&cand.colgroup) else {
         return MaterializeOutcome::Skipped;
     };

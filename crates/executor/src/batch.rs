@@ -53,11 +53,15 @@ impl ColumnBatch {
 
     /// The selection vector of `qun`.
     fn sel_of(&self, qun: usize) -> Result<&[RowId]> {
-        Ok(&self.sel[self.position_of(qun)?])
+        let pos = self.position_of(qun)?;
+        self.sel.get(pos).map(Vec::as_slice).ok_or_else(|| {
+            JitsError::Execution(format!("batch carries no selection vector for qun {qun}"))
+        })
     }
 
     /// Reorders every selection vector by `perm` (ORDER BY).
     fn permute(&mut self, perm: &[usize]) {
+        debug_assert!(perm.iter().all(|&i| i < self.len));
         for s in &mut self.sel {
             let reordered: Vec<RowId> = perm.iter().map(|&i| s[i]).collect();
             *s = reordered;
@@ -117,7 +121,137 @@ pub(crate) fn execute_batch(
     Ok(ExecOutput { rows, stats })
 }
 
+/// Runs one operator (recursively) and, in debug builds, validates the
+/// produced batch and the work charged at this operator boundary.
 fn run_batch(
+    plan: &PhysicalPlan,
+    block: &QueryBlock,
+    tables: &[Table],
+    cost: &CostModel,
+    stats: &mut ExecStats,
+) -> Result<ColumnBatch> {
+    #[cfg(debug_assertions)]
+    let (work_before, nodes_before) = (stats.work, stats.nodes.len());
+    let batch = run_operator(plan, block, tables, cost, stats)?;
+    #[cfg(debug_assertions)]
+    debug_validate_batch(plan, &batch, stats, work_before, nodes_before);
+    Ok(batch)
+}
+
+/// Debug-build runtime validator for the batch executor's structural
+/// invariants at operator boundaries (the static `batch-bounds` lint pass
+/// covers indexing; this covers what only execution can see):
+///
+/// - every covered quantifier carries a selection vector, all of the
+///   batch's length, with no quantifier covered twice;
+/// - scan output preserves ascending row-id order (the row path's scan
+///   order — joins and ORDER BY may reorder, scans must not);
+/// - the operator charged exactly one node observation whose kind matches
+///   the plan node, with finite non-negative work, and the running work
+///   total grew by a finite non-negative amount (charged-work parity with
+///   the row path is then enforced per node by `tests/batch_executor.rs`,
+///   which compares the `NodeObservation.work` streams bit for bit).
+#[cfg(debug_assertions)]
+fn debug_validate_batch(
+    plan: &PhysicalPlan,
+    batch: &ColumnBatch,
+    stats: &ExecStats,
+    work_before: f64,
+    nodes_before: usize,
+) {
+    assert_eq!(
+        batch.quns.len(),
+        batch.sel.len(),
+        "batch executor: quns/sel arity mismatch"
+    );
+    for (q, s) in batch.quns.iter().zip(&batch.sel) {
+        assert_eq!(
+            s.len(),
+            batch.len,
+            "batch executor: selection vector of qun {q} disagrees with batch length"
+        );
+    }
+    let mut sorted_quns = batch.quns.clone();
+    sorted_quns.sort_unstable();
+    sorted_quns.dedup();
+    assert_eq!(
+        sorted_quns.len(),
+        batch.quns.len(),
+        "batch executor: a quantifier is covered by two selection vectors"
+    );
+    let expect_kind = match plan {
+        PhysicalPlan::SeqScan { .. } => NodeKind::SeqScan,
+        PhysicalPlan::IndexScan { .. } => NodeKind::IndexScan,
+        PhysicalPlan::HashJoin { .. } => NodeKind::HashJoin,
+        PhysicalPlan::IndexNLJoin { .. } => NodeKind::IndexNLJoin,
+        PhysicalPlan::NLJoin { .. } => NodeKind::NLJoin,
+    };
+    match plan {
+        PhysicalPlan::SeqScan { .. } => {
+            // table scans emit row ids in ascending order and the bitset
+            // filter preserves it
+            for (q, s) in batch.quns.iter().zip(&batch.sel) {
+                assert!(
+                    s.windows(2).all(|w| w[0] < w[1]),
+                    "batch executor: seq-scan selection vector of qun {q} is not strictly \
+                     increasing"
+                );
+            }
+        }
+        PhysicalPlan::IndexScan { .. } => {
+            // index ranges come back in key order, not row-id order, but a
+            // scan must still never emit the same row twice
+            for (q, s) in batch.quns.iter().zip(&batch.sel) {
+                let mut seen = s.clone();
+                seen.sort_unstable();
+                seen.dedup();
+                assert_eq!(
+                    seen.len(),
+                    s.len(),
+                    "batch executor: index-scan selection vector of qun {q} repeats a row"
+                );
+            }
+        }
+        _ => {}
+    }
+    assert_eq!(
+        stats.nodes.len(),
+        nodes_before + node_count(plan),
+        "batch executor: wrong number of node observations for this subtree"
+    );
+    let Some(node) = stats.nodes.last() else {
+        return; // unreachable: node_count(plan) >= 1, checked just above
+    };
+    assert_eq!(
+        node.kind, expect_kind,
+        "batch executor: last node observation does not match the operator"
+    );
+    assert!(
+        node.work.is_finite() && node.work >= 0.0,
+        "batch executor: operator charged non-finite or negative work ({})",
+        node.work
+    );
+    let delta = stats.work - work_before;
+    assert!(
+        delta.is_finite() && delta >= 0.0,
+        "batch executor: running work total moved by a non-finite or negative amount ({delta})"
+    );
+}
+
+/// Number of observation-charging plan nodes in a subtree. The inner side
+/// of an index nested-loop join is probed through the index, not run as an
+/// operator, so it charges nothing of its own.
+#[cfg(debug_assertions)]
+fn node_count(plan: &PhysicalPlan) -> usize {
+    match plan {
+        PhysicalPlan::SeqScan { .. } | PhysicalPlan::IndexScan { .. } => 1,
+        PhysicalPlan::HashJoin { build, probe, .. } => 1 + node_count(build) + node_count(probe),
+        PhysicalPlan::IndexNLJoin { outer, .. } => 1 + node_count(outer),
+        PhysicalPlan::NLJoin { outer, inner, .. } => 1 + node_count(outer) + node_count(inner),
+    }
+}
+
+fn run_operator(
     plan: &PhysicalPlan,
     block: &QueryBlock,
     tables: &[Table],
@@ -129,8 +263,17 @@ fn run_batch(
             let table = table_of(tables, block, scan.qun)?;
             let rows: Vec<RowId> = table.scan().collect();
             let sel = filter_rows(table, rows, block, &scan.pred_indices);
-            stats.work += cost.seq_scan(table.row_count() as f64, sel.len() as f64);
-            record_scan(stats, scan, NodeKind::SeqScan, est.rows, sel.len(), table);
+            let work = cost.seq_scan(table.row_count() as f64, sel.len() as f64);
+            stats.work += work;
+            record_scan(
+                stats,
+                scan,
+                NodeKind::SeqScan,
+                est.rows,
+                sel.len(),
+                table,
+                work,
+            );
             Ok(ColumnBatch {
                 quns: vec![scan.qun],
                 len: sel.len(),
@@ -158,8 +301,17 @@ fn run_batch(
                 .filter(|&r| table.is_live(r))
                 .collect();
             let sel = filter_rows(table, live, block, &scan.pred_indices);
-            stats.work += cost.index_scan(fetched, sel.len() as f64);
-            record_scan(stats, scan, NodeKind::IndexScan, est.rows, sel.len(), table);
+            let work = cost.index_scan(fetched, sel.len() as f64);
+            stats.work += work;
+            record_scan(
+                stats,
+                scan,
+                NodeKind::IndexScan,
+                est.rows,
+                sel.len(),
+                table,
+                work,
+            );
             Ok(ColumnBatch {
                 quns: vec![scan.qun],
                 len: sel.len(),
@@ -180,15 +332,20 @@ fn run_batch(
             let build_cols = gather_keys(&build_batch, block, tables, keys.iter().map(|(b, _)| b))?;
             let probe_cols = gather_keys(&probe_batch, block, tables, keys.iter().map(|(_, p)| p))?;
             let pairs = hash_join_pairs(&build_cols, &probe_cols, build_batch.len, probe_batch.len);
-            stats.work += cost.hash_join(
+            debug_assert!(pairs
+                .iter()
+                .all(|&(b, p)| b < build_batch.len && p < probe_batch.len));
+            let work = cost.hash_join(
                 build_batch.len as f64,
                 probe_batch.len as f64,
                 pairs.len() as f64,
             );
+            stats.work += work;
             stats.nodes.push(NodeObservation {
                 kind: NodeKind::HashJoin,
                 est_rows: est.rows,
                 actual_rows: pairs.len() as f64,
+                work,
             });
             let mut quns = build_batch.quns;
             quns.extend(probe_batch.quns);
@@ -263,11 +420,13 @@ fn run_batch(
             } else {
                 fetched_total / outer_batch.len as f64
             };
-            stats.work += cost.index_nl_join(outer_batch.len as f64, per_probe, pairs.len() as f64);
+            let work = cost.index_nl_join(outer_batch.len as f64, per_probe, pairs.len() as f64);
+            stats.work += work;
             stats.nodes.push(NodeObservation {
                 kind: NodeKind::IndexNLJoin,
                 est_rows: est.rows,
                 actual_rows: pairs.len() as f64,
+                work,
             });
             let mut quns = outer_batch.quns;
             quns.push(inner.qun);
@@ -303,15 +462,17 @@ fn run_batch(
                     pairs.push((o, i));
                 }
             }
-            stats.work += cost.nl_join(
+            let work = cost.nl_join(
                 outer_batch.len as f64,
                 inner_batch.len as f64,
                 pairs.len() as f64,
             );
+            stats.work += work;
             stats.nodes.push(NodeObservation {
                 kind: NodeKind::NLJoin,
                 est_rows: est.rows,
                 actual_rows: pairs.len() as f64,
+                work,
             });
             let mut quns = outer_batch.quns;
             quns.extend(inner_batch.quns);

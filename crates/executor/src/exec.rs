@@ -147,7 +147,8 @@ fn run(
                     tuples.push(vec![row]);
                 }
             }
-            stats.work += cost.seq_scan(table.row_count() as f64, tuples.len() as f64);
+            let work = cost.seq_scan(table.row_count() as f64, tuples.len() as f64);
+            stats.work += work;
             record_scan(
                 stats,
                 scan,
@@ -155,6 +156,7 @@ fn run(
                 est.rows,
                 tuples.len(),
                 table,
+                work,
             );
             Ok(Batch {
                 quns: vec![scan.qun],
@@ -183,7 +185,8 @@ fn run(
                     tuples.push(vec![row]);
                 }
             }
-            stats.work += cost.index_scan(fetched, tuples.len() as f64);
+            let work = cost.index_scan(fetched, tuples.len() as f64);
+            stats.work += work;
             record_scan(
                 stats,
                 scan,
@@ -191,6 +194,7 @@ fn run(
                 est.rows,
                 tuples.len(),
                 table,
+                work,
             );
             Ok(Batch {
                 quns: vec![scan.qun],
@@ -257,15 +261,17 @@ fn run(
                     }
                 }
             }
-            stats.work += cost.hash_join(
+            let work = cost.hash_join(
                 build_batch.tuples.len() as f64,
                 probe_batch.tuples.len() as f64,
                 tuples.len() as f64,
             );
+            stats.work += work;
             stats.nodes.push(NodeObservation {
                 kind: NodeKind::HashJoin,
                 est_rows: est.rows,
                 actual_rows: tuples.len() as f64,
+                work,
             });
             let mut quns = build_batch.quns;
             quns.extend(probe_batch.quns);
@@ -338,15 +344,17 @@ fn run(
             } else {
                 fetched_total / outer_batch.tuples.len() as f64
             };
-            stats.work += cost.index_nl_join(
+            let work = cost.index_nl_join(
                 outer_batch.tuples.len() as f64,
                 per_probe,
                 tuples.len() as f64,
             );
+            stats.work += work;
             stats.nodes.push(NodeObservation {
                 kind: NodeKind::IndexNLJoin,
                 est_rows: est.rows,
                 actual_rows: tuples.len() as f64,
+                work,
             });
             let mut quns = outer_batch.quns;
             quns.push(inner.qun);
@@ -392,15 +400,17 @@ fn run(
                     tuples.push(combined);
                 }
             }
-            stats.work += cost.nl_join(
+            let work = cost.nl_join(
                 outer_batch.tuples.len() as f64,
                 inner_batch.tuples.len() as f64,
                 tuples.len() as f64,
             );
+            stats.work += work;
             stats.nodes.push(NodeObservation {
                 kind: NodeKind::NLJoin,
                 est_rows: est.rows,
                 actual_rows: tuples.len() as f64,
+                work,
             });
             let mut quns = outer_batch.quns;
             quns.extend(inner_batch.quns);
@@ -447,6 +457,7 @@ pub(crate) fn index_interval(
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn record_scan(
     stats: &mut ExecStats,
     scan: &ScanGroupEstimate,
@@ -454,11 +465,13 @@ pub(crate) fn record_scan(
     est_rows: f64,
     actual: usize,
     table: &Table,
+    work: f64,
 ) {
     stats.nodes.push(NodeObservation {
         kind,
         est_rows,
         actual_rows: actual as f64,
+        work,
     });
     if !scan.pred_indices.is_empty() {
         stats.scans.push(ScanObservation {

@@ -27,6 +27,11 @@ pub struct NodeObservation {
     pub est_rows: f64,
     /// What actually came out.
     pub actual_rows: f64,
+    /// Work this node charged, in cost-model units. The per-node slice of
+    /// [`ExecStats::work`]: the bit-identity contract compares it between
+    /// the row and batch executors at every operator boundary, not just in
+    /// the final total.
+    pub work: f64,
 }
 
 /// Actual selectivity of a base-table predicate group, paired with how it

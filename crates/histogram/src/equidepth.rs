@@ -45,7 +45,7 @@ impl EquiDepth {
                 total: 0.0,
             };
         }
-        values.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        values.sort_unstable_by(|a, b| a.total_cmp(b));
         let n = values.len();
         let per_bucket = (n as f64 / n_buckets as f64).max(1.0);
 

@@ -484,10 +484,7 @@ impl GridHistogram {
     /// actually inserted.
     fn insert_boundary(&mut self, d: usize, x: f64) -> bool {
         let b = &self.boundaries[d];
-        if x <= b[0]
-            || x >= b[b.len() - 1]
-            || b.binary_search_by(|p| p.partial_cmp(&x).unwrap()).is_ok()
-        {
+        if x <= b[0] || x >= b[b.len() - 1] || b.binary_search_by(|p| p.total_cmp(&x)).is_ok() {
             return false;
         }
         if b.len() >= self.limits.max_boundaries_per_dim {

@@ -1086,6 +1086,10 @@ pub fn collect_for_tables_sourced(
             out.groups.insert(key, stat);
         }
         for (cg, frame) in p.frames {
+            // merging worker partials of one collection call: every partial
+            // gathered under this statement's guards at a single epoch, so
+            // no boundary can be crossed here
+            // jits-lint: allow(epoch-safety)
             out.frames.entry(cg).or_insert(frame);
         }
         timings.push(p.timing);

@@ -151,7 +151,7 @@ pub fn epsilon_sensitivity(
             .max_by(|a, b| {
                 let ca = a.base_rows * a.selectivity;
                 let cb = b.base_rows * b.selectivity;
-                ca.partial_cmp(&cb).expect("finite estimates")
+                ca.total_cmp(&cb)
             })
             .map(|s| s.qun);
         match victim {

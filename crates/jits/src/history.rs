@@ -111,7 +111,7 @@ impl StatHistory {
                 .min_by(|(_, a), (_, b)| {
                     a.count
                         .cmp(&b.count)
-                        .then(a.accuracy().partial_cmp(&b.accuracy()).unwrap())
+                        .then(a.accuracy().total_cmp(&b.accuracy()))
                 })
                 .map(|(i, _)| i)
                 .expect("entries is non-empty");

@@ -1,0 +1,35 @@
+//! Clean twin of `bounds_bad.rs`: every index is dominated by a guard —
+//! a length assert, an explicit comparison, or a bounded-range loop
+//! variable. Must produce zero findings.
+
+fn gather_pairs(batch: &Batch, pairs: &[(usize, usize)], len: usize) -> Vec<u64> {
+    // a length assert dominates the pair positions
+    debug_assert!(pairs.iter().all(|&(b, _)| b < len));
+    let mut out = Vec::new();
+    for s in &batch.sel {
+        out.extend(pairs.iter().map(|&(b, _)| s[b]));
+    }
+    out
+}
+
+fn read_column(fc: &FrameColumn, t: usize) -> bool {
+    // the bound is checked before the index
+    if t >= fc.len() {
+        return false;
+    }
+    fc.validity[t]
+}
+
+fn gather_values(values: &FrameValues, n: usize) -> Vec<i64> {
+    let mut out = Vec::new();
+    match values {
+        FrameValues::Int(vals) => {
+            // the loop variable is range-bounded
+            for p in 0..n {
+                out.push(vals[p]);
+            }
+        }
+        _ => {}
+    }
+    out
+}

@@ -1,0 +1,21 @@
+//! Known-bad fixture for the work-charging pass. Never compiled — the
+//! integration test feeds it to the analyzer and expects violations.
+
+fn collect_group(rows: &[Row], acc: &mut Acc) {
+    // BAD: a sampled-row loop on the collection path, nothing charged
+    for r in rows {
+        acc.absorb(r);
+    }
+}
+
+fn collect_stats(rows: &[Row], acc: &mut Acc) {
+    prepare(acc);
+    eval_rows(rows, acc);
+}
+
+fn eval_rows(rows: &[Row], acc: &mut Acc) {
+    // BAD: the helper's only caller (`collect_stats`) charges nothing either
+    for r in rows {
+        acc.absorb(r);
+    }
+}

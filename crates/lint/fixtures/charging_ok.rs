@@ -1,0 +1,23 @@
+//! Clean twin of `charging_bad.rs`: the same loops, paid for — locally in
+//! `collect_group`, by the caller for `eval_rows`. Must produce zero
+//! findings.
+
+fn collect_group(rows: &[Row], acc: &mut Acc, work: &mut f64) {
+    for r in rows {
+        acc.absorb(r);
+    }
+    // the loop is charged locally
+    *work += rows.len() as f64;
+}
+
+fn collect_stats(rows: &[Row], acc: &mut Acc) {
+    // every caller of `eval_rows` charges on its behalf
+    charge_budget(rows.len());
+    eval_rows(rows, acc);
+}
+
+fn eval_rows(rows: &[Row], acc: &mut Acc) {
+    for r in rows {
+        acc.absorb(r);
+    }
+}

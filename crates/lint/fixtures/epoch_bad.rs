@@ -1,0 +1,17 @@
+//! Known-bad fixture for the epoch-safety pass. Never compiled — the
+//! integration test feeds it to the analyzer and expects violations.
+
+fn deposit_frames(cache: &mut ArtifactCache, cg: ColGroupId, frame: FrameColumn) {
+    // BAD: no mutation_epoch comparison dominates the deposit
+    cache.frames.insert(cg, frame);
+}
+
+fn blend_bitsets(dst: &mut CollectedStats, src: CollectedStats) {
+    // BAD: bitsets drawn at an unknown epoch are blended into the live map
+    dst.bitsets.extend(ordered(src));
+}
+
+fn merge_partials(out: &mut SampleCache, part: CollectedStats) {
+    // BAD: unguarded merge, and no callee in scope guards internally
+    out.merge_artifacts(part);
+}

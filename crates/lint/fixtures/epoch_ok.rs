@@ -1,0 +1,28 @@
+//! Clean twin of `epoch_bad.rs`: the same deposits and merges, each
+//! dominated by an exact `mutation_epoch` comparison — either locally or
+//! inside the callee. Must produce zero findings.
+
+fn deposit_frames(cache: &mut ArtifactCache, cg: ColGroupId, frame: FrameColumn, epoch: u64) {
+    if cache.mutation_epoch == epoch {
+        cache.frames.insert(cg, frame);
+    }
+}
+
+fn blend_bitsets(dst: &mut CollectedStats, src: CollectedStats, epoch: u64) {
+    if src.epoch == epoch {
+        dst.bitsets.extend(ordered(src));
+    }
+}
+
+impl SampleCache {
+    fn merge_artifacts(&mut self, part: CollectedStats) {
+        // the callee guards internally: callers may invoke it bare
+        if part.epoch == self.mutation_epoch {
+            self.frames.extend(ordered(part));
+        }
+    }
+}
+
+fn merge_partials(out: &mut SampleCache, part: CollectedStats) {
+    out.merge_artifacts(part);
+}

@@ -1,0 +1,26 @@
+//! Known-bad fixture for the float-determinism pass. Never compiled — the
+//! integration test feeds it to the analyzer and expects violations. (The
+//! hash iterations here also fire `hash-iteration`; the fixture test
+//! filters by rule.)
+
+use std::collections::HashMap;
+
+fn rank_candidates(xs: &mut Vec<(u32, f64)>) {
+    // BAD: partial_cmp is not a total order — NaN position changes the sort
+    xs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
+}
+
+fn total_weight(weights: &HashMap<u32, f64>) -> f64 {
+    // BAD: hash iteration order leaks into the accumulated bits
+    let t: f64 = weights.values().sum();
+    t
+}
+
+fn drift_score(weights: &HashMap<u32, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (_, w) in weights.iter() {
+        // BAD: order-sensitive accumulation over a hash container
+        acc += *w;
+    }
+    acc
+}

@@ -1,0 +1,23 @@
+//! Clean twin of `float_det_bad.rs`: total comparators and fixed-order
+//! containers. Must produce zero findings.
+
+use std::collections::BTreeMap;
+
+fn rank_candidates(xs: &mut Vec<(u32, f64)>) {
+    // total_cmp is a total order: NaN sorts to a fixed place
+    xs.sort_by(|a, b| b.1.total_cmp(&a.1));
+}
+
+fn total_weight(weights: &BTreeMap<u32, f64>) -> f64 {
+    // BTree iteration order is fixed, so the sum is reproducible
+    let t: f64 = weights.values().sum();
+    t
+}
+
+fn drift_score(weights: &BTreeMap<u32, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (_, w) in weights.iter() {
+        acc += *w;
+    }
+    acc
+}

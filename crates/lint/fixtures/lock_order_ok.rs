@@ -1,0 +1,31 @@
+//! Clean twin of the lock-order fixtures: rank-ordered acquisitions, a
+//! guard dropped at scope exit before re-acquiring, and a re-acquiring
+//! helper called with no guard held. Must produce zero findings.
+
+fn rank_ordered(sh: &SharedDatabase, w: &mut u64) {
+    let catalog = timed_read(&sh.catalog, &sh.counters, w);
+    let tables = timed_read(&sh.tables, &sh.counters, w);
+    use_both(&catalog, &tables);
+}
+
+fn drop_before_reacquire(sh: &SharedDatabase, w: &mut u64) {
+    {
+        let archive = timed_write(&sh.archive, &sh.counters, w);
+        touch(&archive);
+    }
+    // the write guard died with its scope; re-reading is fine
+    let again = timed_read(&sh.archive, &sh.counters, w);
+    touch(&again);
+}
+
+fn locks_predcache(sh: &SharedDatabase, w: &mut u64) {
+    let predcache = timed_write(&sh.predcache, &sh.counters, w);
+    touch(&predcache);
+}
+
+fn call_with_no_guard_held(sh: &SharedDatabase, w: &mut u64) {
+    // the callee locks predcache, but nothing is held across the call
+    locks_predcache(sh, w);
+    let history = timed_read(&sh.history, &sh.counters, w);
+    touch(&history);
+}

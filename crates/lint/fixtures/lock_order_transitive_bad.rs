@@ -1,0 +1,26 @@
+//! Known-bad fixture for the *transitive* layer of the lock-order pass:
+//! the acquisition is two helpers (and a closure) away from the function
+//! holding the guard. Never compiled — the integration test feeds it to
+//! the analyzer and expects violations.
+
+fn locks_catalog(sh: &SharedDatabase, w: &mut u64) {
+    let catalog = timed_write(&sh.catalog, &sh.counters, w);
+    touch(&catalog);
+}
+
+fn refresh_each(sh: &SharedDatabase, w: &mut u64, items: &[u64]) {
+    // the lock is only reachable through the closure body
+    items.iter().for_each(|_| locks_catalog(sh, w));
+}
+
+fn rebuild(sh: &SharedDatabase, w: &mut u64, items: &[u64]) {
+    refresh_each(sh, w, items);
+}
+
+fn held_across_deep_chain(sh: &SharedDatabase, w: &mut u64, items: &[u64]) {
+    let tables = timed_read(&sh.tables, &sh.counters, w);
+    // BAD: rebuild → refresh_each → (closure) → locks_catalog acquires
+    // catalog (rank 1) while our tables guard (rank 2) is held
+    rebuild(sh, w, items);
+    touch(&tables);
+}

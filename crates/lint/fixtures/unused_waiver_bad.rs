@@ -1,0 +1,8 @@
+//! Fixture for the unused-waiver audit: the `allow(…)` below suppresses
+//! nothing (the hash map it once covered became a Vec) and must be
+//! reported as a stale waiver.
+
+fn tidy(xs: &mut Vec<u64>) {
+    // jits-lint: allow(hash-iteration) -- stale: the map became a Vec
+    xs.sort_unstable();
+}

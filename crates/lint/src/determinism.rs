@@ -71,8 +71,9 @@ impl Config {
     }
 }
 
-/// Runs the pass.
-pub fn run(files: &[SourceFile], cfg: Config) -> Vec<Violation> {
+/// Runs the pass. Returns every finding, including waived ones (flagged
+/// `waived: true`).
+pub fn run(files: &[&SourceFile], cfg: Config) -> Vec<Violation> {
     let mut out = Vec::new();
     for file in files {
         if !cfg.wall_clock_whitelist.contains(&file.path.as_str()) {
@@ -144,7 +145,7 @@ fn scan_tokens(
                 continue;
             }
             let line = file.line_of(at);
-            if file.is_test_line(line) || file.is_waived(line, rule) {
+            if file.is_test_line(line) {
                 continue;
             }
             out.push(Violation {
@@ -153,6 +154,7 @@ fn scan_tokens(
                 line,
                 message: format!("`{token}`: {what}"),
                 severity: Severity::Error,
+                waived: file.is_waived(line, rule),
             });
         }
     }
@@ -218,7 +220,7 @@ fn timed_budget(file: &SourceFile, out: &mut Vec<Violation>) {
                 let p = s + r;
                 s = p + token.len();
                 let line = file.line_of(open + p);
-                if file.is_test_line(line) || file.is_waived(line, RULE_TIMED_BUDGET) {
+                if file.is_test_line(line) {
                     continue;
                 }
                 out.push(Violation {
@@ -230,6 +232,7 @@ fn timed_budget(file: &SourceFile, out: &mut Vec<Violation>) {
                          deterministic work units or attempts, never wall time"
                     ),
                     severity: Severity::Error,
+                    waived: file.is_waived(line, RULE_TIMED_BUDGET),
                 });
             }
         }
@@ -300,7 +303,7 @@ fn hash_iteration(file: &SourceFile, out: &mut Vec<Violation>) {
                 continue;
             };
             let line = file.line_of(at);
-            if file.is_test_line(line) || file.is_waived(line, RULE_HASH_ITERATION) {
+            if file.is_test_line(line) {
                 continue;
             }
             out.push(Violation {
@@ -312,6 +315,7 @@ fn hash_iteration(file: &SourceFile, out: &mut Vec<Violation>) {
                      observes its hash order; use a BTreeMap/BTreeSet or sort first",
                 ),
                 severity: Severity::Error,
+                waived: file.is_waived(line, RULE_HASH_ITERATION),
             });
         }
     }
@@ -336,14 +340,16 @@ fn is_for_in_target(code: &str, at: usize) -> bool {
     j >= 2 && &code[j - 2..j] == "in" && (j == 2 || !is_ident(b[j - 3]))
 }
 
-/// Identifiers declared in this file with a hash-ordered collection type.
+/// Identifiers declared in this file with a hash-ordered collection type
+/// (shared with the float-determinism pass, which flags float reductions
+/// over the same containers).
 ///
 /// Heuristic, line-based: a line mentioning `HashMap`/`HashSet` declares the
 /// identifier bound by its `let`, or annotated by the nearest preceding
 /// `name:` on the line (covering struct fields and fn parameters). Values
 /// produced by function calls are not tracked — keeping declarations local
 /// is part of the contract.
-fn hash_typed_names(code: &str) -> BTreeSet<String> {
+pub(crate) fn hash_typed_names(code: &str) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
     for line in code.lines() {
         let Some(pos) = line.find("HashMap").or_else(|| line.find("HashSet")) else {
@@ -401,7 +407,11 @@ mod tests {
 
     fn lint(src: &str, cfg: Config) -> Vec<Violation> {
         let f = SourceFile::from_source("crates/jits/src/t.rs".into(), src.into());
-        run(&[f], cfg)
+        run(&[&f], cfg).into_iter().filter(|v| !v.waived).collect()
+    }
+
+    fn run_unwaived(f: &SourceFile, cfg: Config) -> Vec<Violation> {
+        run(&[f], cfg).into_iter().filter(|v| !v.waived).collect()
     }
 
     #[test]
@@ -417,7 +427,7 @@ mod tests {
             "crates/engine/src/session.rs".into(),
             "fn f() { let t = Instant::now(); }\n".into(),
         );
-        let v = run(&[f], Config::repo());
+        let v = run_unwaived(&f, Config::repo());
         assert!(v.is_empty(), "{v:?}");
     }
 
@@ -429,7 +439,7 @@ mod tests {
             "crates/engine/src/session.rs".into(),
             "fn enforce_retry_budget() { let t = Instant::now(); let _ = t.elapsed(); }\n".into(),
         );
-        let v = run(&[f], Config::repo());
+        let v = run_unwaived(&f, Config::repo());
         assert_eq!(v.len(), 2, "{v:?}");
         assert!(v.iter().all(|x| x.rule == RULE_TIMED_BUDGET), "{v:?}");
     }
@@ -533,7 +543,7 @@ mod tests {
             "crates/query/src/parse.rs".into(),
             "fn f(m: &HashMap<u32, u32>) { for k in m.keys() {} }\n".into(),
         );
-        let v = run(&[f], Config::repo());
+        let v = run_unwaived(&f, Config::repo());
         assert!(v.is_empty(), "{v:?}");
     }
 
@@ -543,7 +553,7 @@ mod tests {
             "crates/executor/src/batch.rs".into(),
             "fn f(m: &HashMap<u32, u32>) { for k in m.keys() {} }\n".into(),
         );
-        let v = run(&[f], Config::repo());
+        let v = run_unwaived(&f, Config::repo());
         assert_eq!(v.len(), 1, "{v:?}");
     }
 }

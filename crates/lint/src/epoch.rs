@@ -1,0 +1,179 @@
+//! Epoch-safety pass.
+//!
+//! SampleCache-derived artifacts — columnar `FrameColumn` gathers and
+//! per-predicate bitsets — are valid only at the *exact* `mutation_epoch`
+//! they were drawn at (DESIGN §9): serving or merging them across an epoch
+//! boundary silently mixes statistics from two table versions, which no
+//! test can reliably catch (the rows may even agree). This pass requires
+//! every deposit/merge/serve of such artifacts to be dominated by an exact
+//! epoch equality comparison:
+//!
+//! - **sites**: calls to `merge_artifacts(…)`, and accesses to `.frames` /
+//!   `.bitsets` fields that clone, insert into, or extend a cache entry's
+//!   artifact maps (`.clone()`, `.entry(`, `.insert(`, `.extend(`, `.get(`
+//!   chained off the field).
+//! - **guard**: an `==` comparison with an operand naming an epoch (an
+//!   identifier containing `epoch`) textually earlier in the same function
+//!   body.
+//! - **interprocedural**: a call site is clean if the *callee* (resolved
+//!   through the workspace call graph) performs the epoch comparison in its
+//!   own body before touching artifacts — `SampleCache::merge_artifacts`
+//!   guards internally, so `commit_drawn_samples` may call it bare.
+//!
+//! Waive with `// jits-lint: allow(epoch-safety)`.
+
+use crate::parse::CallKind;
+use crate::{Severity, Violation, Workspace};
+use std::collections::BTreeSet;
+
+/// The rule slug for waivers.
+pub const RULE: &str = "epoch-safety";
+
+/// Artifact-map field names whose manipulation is epoch-sensitive.
+const ARTIFACT_FIELDS: &[&str] = &["frames", "bitsets"];
+
+/// Methods on an artifact field that deposit, merge, or serve it.
+const ARTIFACT_METHODS: &[&str] = &["clone", "entry", "insert", "extend", "get"];
+
+/// Runs the pass over a workspace. Returns every finding, including waived
+/// ones (flagged `waived: true`).
+pub fn run(ws: &Workspace) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    // which graph nodes contain an epoch equality guard anywhere
+    let guarded: BTreeSet<usize> = (0..ws.graph.nodes.len())
+        .filter(|&n| {
+            let node = &ws.graph.nodes[n];
+            ws.parsed[node.file].fns[node.fn_idx]
+                .body
+                .is_some_and(|(open, close)| {
+                    !epoch_eq_positions(ws, node.file, open, close).is_empty()
+                })
+        })
+        .collect();
+
+    for (fi, pf) in ws.parsed.iter().enumerate() {
+        let file = ws.files[fi];
+        let src = &file.raw;
+        for f in &pf.fns {
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            if file.is_test_line(f.line) {
+                continue;
+            }
+            let eq_toks = epoch_eq_positions(ws, fi, open, close);
+
+            // (a) merge_artifacts(…) call sites
+            for call in pf.call_sites(src, open, close) {
+                if call.name != "merge_artifacts" {
+                    continue;
+                }
+                if file.is_test_line(call.line) {
+                    continue;
+                }
+                // guarded earlier in this body?
+                if eq_toks.iter().any(|&e| e < call.tok) {
+                    continue;
+                }
+                // or the callee guards internally?
+                let callee_guarded = ws
+                    .graph
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| {
+                        n.name == "merge_artifacts"
+                            && match &call.kind {
+                                CallKind::Method(_) => n.is_method,
+                                _ => true,
+                            }
+                    })
+                    .any(|(id, _)| guarded.contains(&id));
+                if callee_guarded {
+                    continue;
+                }
+                out.push(Violation {
+                    rule: RULE,
+                    path: file.path.clone(),
+                    line: call.line,
+                    message: format!(
+                        "`merge_artifacts` call in `{}` is not dominated by an exact \
+                         `mutation_epoch` comparison (`… == epoch`), and the callee does \
+                         not guard internally; cache-derived frames/bitsets are only valid \
+                         at the epoch they were drawn at",
+                        f.name
+                    ),
+                    severity: Severity::Error,
+                    waived: file.is_waived(call.line, RULE),
+                });
+            }
+
+            // (b) artifact-map manipulation: `.frames.<method>` / `.bitsets.<method>`
+            let toks = &pf.toks;
+            for i in open..close.min(toks.len()) {
+                if toks[i].kind != crate::tokens::TokKind::Ident {
+                    continue;
+                }
+                let name = pf.text(src, i);
+                if !ARTIFACT_FIELDS.contains(&name) {
+                    continue;
+                }
+                // field access: preceded by `.`, followed by `.method(`
+                if i == 0 || !pf.is_punct(src, i - 1, ".") {
+                    continue;
+                }
+                if !pf.is_punct(src, i + 1, ".") {
+                    continue;
+                }
+                let Some(m) = toks.get(i + 2) else { continue };
+                if m.kind != crate::tokens::TokKind::Ident
+                    || !ARTIFACT_METHODS.contains(&m.text(src))
+                    || !pf.is_punct(src, i + 3, "(")
+                {
+                    continue;
+                }
+                let line = toks[i].line;
+                if file.is_test_line(line) {
+                    continue;
+                }
+                if eq_toks.iter().any(|&e| e < i) {
+                    continue;
+                }
+                out.push(Violation {
+                    rule: RULE,
+                    path: file.path.clone(),
+                    line,
+                    message: format!(
+                        "`.{name}.{}(` in `{}` manipulates cache artifacts without an \
+                         earlier exact epoch comparison (`… == epoch`) in the same \
+                         function; artifacts must never cross a mutation_epoch boundary",
+                        m.text(src),
+                        f.name
+                    ),
+                    severity: Severity::Error,
+                    waived: file.is_waived(line, RULE),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Token indices of `==` comparisons whose operand window names an epoch,
+/// within the given function body of file `fi`.
+fn epoch_eq_positions(ws: &Workspace, fi: usize, open: usize, close: usize) -> Vec<usize> {
+    let pf = &ws.parsed[fi];
+    let src = &ws.files[fi].raw;
+    pf.eq_comparisons(src, open, close)
+        .into_iter()
+        .filter(|&eq| {
+            let lo = eq.saturating_sub(6).max(open);
+            let hi = (eq + 7).min(close);
+            (lo..hi).any(|k| {
+                pf.toks[k].kind == crate::tokens::TokKind::Ident
+                    && pf.text(src, k).to_ascii_lowercase().contains("epoch")
+            })
+        })
+        .collect()
+}

@@ -1,0 +1,221 @@
+//! Float-determinism pass.
+//!
+//! Statistics are f64s, and the paper's replay contract is *bit*-identity:
+//! the same workload collects the same statistics, bit for bit, at any
+//! thread count. Two float idioms silently break that:
+//!
+//! - **non-total comparators**: `partial_cmp(..).unwrap()` panics on NaN
+//!   and `unwrap_or(Equal)` turns NaN into "equal to everything", making
+//!   sort order depend on where a NaN lands. `f64::total_cmp` is total,
+//!   deterministic, and NaN-safe — use it in every comparator in
+//!   stats-bearing crates.
+//! - **order-sensitive accumulation over unordered containers**: float
+//!   addition does not associate; reducing (`+=`, `.sum()`, `.fold()`,
+//!   `.product()`) over a `HashMap`/`HashSet` iteration order feeds hash
+//!   order into the accumulated bits. Reduce over sorted/`BTree` iterators
+//!   or sort first.
+//!
+//! Waive with `// jits-lint: allow(float-determinism)`.
+
+use crate::parse::CallKind;
+use crate::{Severity, Violation, Workspace};
+
+/// The rule slug for waivers.
+pub const RULE: &str = "float-determinism";
+
+/// Reduction methods that are order-sensitive over floats.
+const REDUCERS: &[&str] = &["sum", "fold", "product"];
+
+/// Runs the pass. `crates` restricts findings to those crates' `src/` trees
+/// (`None` checks every file — fixture mode). Returns every finding,
+/// including waived ones (flagged `waived: true`).
+pub fn run(ws: &Workspace, crates: Option<&[&str]>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (fi, pf) in ws.parsed.iter().enumerate() {
+        let file = ws.files[fi];
+        if let Some(cs) = crates {
+            let in_scope = cs
+                .iter()
+                .any(|k| file.path.starts_with(&format!("crates/{k}/src")));
+            if !in_scope {
+                continue;
+            }
+        }
+        let src = &file.raw;
+        let hash_names = crate::determinism::hash_typed_names(&file.code);
+        let end = pf.toks.len();
+
+        for call in pf.call_sites(src, 0, end) {
+            if file.is_test_line(call.line) {
+                continue;
+            }
+            let in_fn = pf.enclosing_fn(call.tok).map(|i| pf.fns[i].name.clone());
+            let fn_name = in_fn.as_deref().unwrap_or("<file scope>");
+            if call.name == "partial_cmp" && matches!(call.kind, CallKind::Method(_)) {
+                out.push(Violation {
+                    rule: RULE,
+                    path: file.path.clone(),
+                    line: call.line,
+                    message: format!(
+                        "`partial_cmp` comparator in `{fn_name}`: not a total order — \
+                         NaN panics (`unwrap`) or compares equal-to-everything \
+                         (`unwrap_or`), making sort order data-dependent; use \
+                         `f64::total_cmp`",
+                    ),
+                    severity: Severity::Error,
+                    waived: file.is_waived(call.line, RULE),
+                });
+            }
+            // `hash_map.values().sum::<f64>()` and friends: a reduction in
+            // a statement that touches a hash-typed name
+            if REDUCERS.contains(&call.name.as_str())
+                && matches!(call.kind, CallKind::Method(_))
+                && !hash_names.is_empty()
+            {
+                let st = pf.stmt_start(src, call.tok, 0);
+                let touches_hash = (st..call.tok).any(|k| {
+                    pf.toks[k].kind == crate::tokens::TokKind::Ident
+                        && hash_names.contains(pf.text(src, k))
+                });
+                if touches_hash {
+                    out.push(Violation {
+                        rule: RULE,
+                        path: file.path.clone(),
+                        line: call.line,
+                        message: format!(
+                            "`.{}(` in `{fn_name}` reduces over a HashMap/HashSet \
+                             declared in this file: float accumulation is \
+                             order-sensitive and hash order leaks into the result \
+                             bits; sort first or use a BTree container",
+                            call.name,
+                        ),
+                        severity: Severity::Error,
+                        waived: file.is_waived(call.line, RULE),
+                    });
+                }
+            }
+        }
+
+        // `for x in hash.iter() { acc += … }`: accumulation inside a loop
+        // over a hash-ordered container
+        if hash_names.is_empty() {
+            continue;
+        }
+        for lp in pf.for_loops(src, 0, end) {
+            let over_hash = (lp.expr.0..lp.expr.1).any(|k| {
+                pf.toks[k].kind == crate::tokens::TokKind::Ident
+                    && hash_names.contains(pf.text(src, k))
+            });
+            if !over_hash {
+                continue;
+            }
+            let in_fn = pf.enclosing_fn(lp.body.0).map(|i| pf.fns[i].name.clone());
+            let fn_name = in_fn.as_deref().unwrap_or("<file scope>");
+            for k in lp.body.0..lp.body.1.min(end) {
+                if !pf.is_punct(src, k, "+=") {
+                    continue;
+                }
+                let line = pf.toks[k].line;
+                if file.is_test_line(line) {
+                    continue;
+                }
+                out.push(Violation {
+                    rule: RULE,
+                    path: file.path.clone(),
+                    line,
+                    message: format!(
+                        "`+=` accumulation in `{fn_name}` inside a loop over a \
+                         HashMap/HashSet declared in this file: float addition does \
+                         not associate, so hash order changes the accumulated bits; \
+                         iterate in sorted order instead",
+                    ),
+                    severity: Severity::Error,
+                    waived: file.is_waived(line, RULE),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn lint(src: &str) -> Vec<Violation> {
+        let files = [SourceFile::from_source("f0.rs".into(), src.to_string())];
+        let refs: Vec<&SourceFile> = files.iter().collect();
+        let ws = Workspace::new(&refs);
+        run(&ws, None).into_iter().filter(|v| !v.waived).collect()
+    }
+
+    #[test]
+    fn partial_cmp_comparator_fires() {
+        let v = lint(
+            "fn top_k(xs: &mut Vec<(u32, f64)>) {\n\
+             xs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());\n\
+             }\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("total_cmp"), "{v:?}");
+    }
+
+    #[test]
+    fn total_cmp_is_clean() {
+        let v = lint(
+            "fn top_k(xs: &mut Vec<(u32, f64)>) {\n\
+             xs.sort_by(|a, b| b.1.total_cmp(&a.1));\n\
+             }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn sum_over_hash_map_fires() {
+        let v = lint(
+            "fn total(m: &HashMap<u32, f64>) -> f64 {\n\
+             let t: f64 = m.values().sum();\n\
+             t\n}\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("order-sensitive"), "{v:?}");
+    }
+
+    #[test]
+    fn accumulation_in_hash_loop_fires() {
+        let v = lint(
+            "fn total(m: &HashMap<u32, f64>) -> f64 {\n\
+             let mut acc = 0.0;\n\
+             for (_, c) in m.iter() { acc += *c; }\n\
+             acc\n}\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn accumulation_over_btree_is_clean() {
+        let v = lint(
+            "fn total(m: &BTreeMap<u32, f64>) -> f64 {\n\
+             let mut acc = 0.0;\n\
+             for (_, c) in m.iter() { acc += *c; }\n\
+             acc\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn scope_limits_to_crates() {
+        let files = [SourceFile::from_source(
+            "crates/query/src/parse.rs".into(),
+            "fn f(xs: &mut Vec<f64>) { xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n".into(),
+        )];
+        let refs: Vec<&SourceFile> = files.iter().collect();
+        let ws = Workspace::new(&refs);
+        let v: Vec<Violation> = run(&ws, Some(crate::FLOAT_ORDER_CRATES))
+            .into_iter()
+            .filter(|x| !x.waived)
+            .collect();
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -4,32 +4,40 @@
 //! `catalog (1) < tables (2) < archive (3) < history (4) < predcache (5) <
 //! samplecache (6) < setting (7)`; the observability `registry` lock ranks
 //! above them all (8), so metrics may be recorded while any engine guard is
-//! held but the registry must never be held across an engine acquisition. Any thread
-//! holding a guard may only acquire components of strictly greater rank;
-//! re-acquiring a held component deadlocks a
+//! held but the registry must never be held across an engine acquisition.
+//! Any thread holding a guard may only acquire components of strictly
+//! greater rank; re-acquiring a held component deadlocks a
 //! writer-preferring `RwLock` outright. The runtime tracker in
 //! `parking_lot::rank` asserts this on every acquisition in debug builds;
 //! this pass proves it for paths the test suite never executes.
 //!
-//! The analysis is intentionally syntactic (no `rustc` internals are
-//! available offline):
+//! The analysis is syntactic (no `rustc` internals are available offline)
+//! but interprocedural since the v2 call-graph engine:
 //!
 //! - Acquisitions are recognized as `timed_read(&…​.comp, …)` /
 //!   `timed_write(&…​.comp, …)` calls and as direct `.comp.read()` /
 //!   `.comp.write()` / `.try_read()` / `.try_write()` method chains, where
-//!   `comp` is one of the seven component names.
+//!   `comp` is one of the eight component names.
 //! - A guard bound by a plain `let` is held until its block scope closes; an
 //!   acquisition that is immediately chained (`timed_read(…).clone()`) or
 //!   not `let`-bound is a statement temporary, released at the next `;`.
-//! - A second, interprocedural layer summarizes which components each
-//!   function in scope acquires, then flags calls made while a guard is
-//!   held if the callee (re-)acquires a conflicting component.
+//! - The interprocedural layer builds a [`crate::callgraph::CallGraph`]
+//!   (edges: bare `helper(…)` free calls and `self.method(…)` calls — other
+//!   receivers cannot be resolved by name and are left to the runtime
+//!   tracker) and propagates acquisition summaries to a *transitive*
+//!   fixed point, so a helper that only reaches a lock through two more
+//!   helpers, or through a closure in its body, still taints its callers.
+//!   Calls made while a guard is held are checked against the callee's
+//!   transitive summary, and the reported message names the function the
+//!   acquisition actually lives in.
 //!
 //! Waive a finding with `// jits-lint: allow(lock-order)`.
 
+use crate::callgraph::CallGraph;
+use crate::parse::{CallKind, ParsedFile};
 use crate::source::SourceFile;
 use crate::{Severity, Violation};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The rule slug for waivers.
 pub const RULE: &str = "lock-order";
@@ -62,173 +70,107 @@ struct Held {
 }
 
 /// One acquisition found while scanning a function body.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct Acquisition {
     comp: usize,
     write: bool,
 }
 
-/// Per-function summary for the interprocedural layer.
-#[derive(Debug, Default, Clone)]
-struct FnSummary {
-    acquires: Vec<Acquisition>,
+/// Transitive acquisition summaries, indexed the way call sites resolve:
+/// `self.name(…)` against methods, bare `name(…)` against free fns. Each
+/// entry carries the name of the function the acquisition textually lives
+/// in, for diagnostics.
+#[derive(Debug, Default)]
+struct Summaries {
+    methods: BTreeMap<String, BTreeSet<(Acquisition, String)>>,
+    free_fns: BTreeMap<String, BTreeSet<(Acquisition, String)>>,
 }
 
-/// A function body located in a file.
+/// A function body located in a file (byte offsets into the stripped view).
 struct FnBody {
-    name: String,
-    /// Whether the first parameter is `self` (a method).
-    is_method: bool,
     /// Offset of the byte after the opening `{`.
     start: usize,
     /// Offset of the closing `}`.
     end: usize,
 }
 
-/// Function summaries, split by call form: a method named `create_index`
-/// must not shadow `Table::create_index` called on a guard's contents, so
-/// method summaries only apply to `self.name(…)` call sites and free-fn
-/// summaries only to bare `name(…)` calls.
-#[derive(Debug, Default)]
-struct Summaries {
-    methods: BTreeMap<String, FnSummary>,
-    free_fns: BTreeMap<String, FnSummary>,
+/// Edge filter for the lock-order graph: only call forms we can resolve by
+/// name without receiver types. A method named `create_index` must not
+/// shadow `Table::create_index` called on a guard's contents, so arbitrary
+/// `recv.name(…)` receivers are rejected.
+fn lock_edge(kind: &CallKind) -> bool {
+    match kind {
+        CallKind::Free => true,
+        CallKind::Method(recv) => recv.as_deref() == Some("self"),
+        CallKind::Path(_) => false,
+    }
 }
 
-/// Runs the pass over a set of files (normally all of `crates/engine/src`).
-pub fn run(files: &[SourceFile]) -> Vec<Violation> {
-    // layer 1: per-function summaries + direct violations
-    let mut summaries = Summaries::default();
+/// Runs the pass over a set of files (normally all of `crates/engine/src`
+/// and `crates/obs/src`). Returns every finding, including waived ones
+/// (flagged `waived: true`) so the caller can report suppression status.
+pub fn run(files: &[&SourceFile]) -> Vec<Violation> {
+    let parsed: Vec<ParsedFile> = files.iter().map(|f| ParsedFile::parse(f)).collect();
+    let graph = CallGraph::build_filtered(files, &parsed, lock_edge);
+
+    // bodies per graph node, in node order
+    let bodies: Vec<Option<FnBody>> = graph
+        .nodes
+        .iter()
+        .map(|n| {
+            let pf = &parsed[n.file];
+            let f = &pf.fns[n.fn_idx];
+            f.body.map(|(open, close)| {
+                let (start, end) = pf.body_bytes((open, close));
+                FnBody {
+                    start: start + 1,
+                    end: end.saturating_sub(1),
+                }
+            })
+        })
+        .collect();
+
+    // layer 1: per-function direct acquisitions + direct violations
     let mut violations = Vec::new();
-    let mut bodies_per_file: Vec<Vec<FnBody>> = Vec::new();
-    for file in files {
-        let bodies = find_functions(&file.code);
-        for body in &bodies {
-            let line = file.line_of(body.start);
-            if file.is_test_line(line) {
-                continue;
-            }
-            let mut analyzer = BodyAnalyzer::new(file);
-            analyzer.scan(body, None, &mut violations);
-            let map = if body.is_method {
-                &mut summaries.methods
-            } else {
-                &mut summaries.free_fns
-            };
-            let entry = map.entry(body.name.clone()).or_default();
-            entry.acquires.extend(analyzer.all_acquisitions);
-        }
-        bodies_per_file.push(bodies);
-    }
-
-    // layer 2: calls made while holding guards, against the summaries
-    for (file, bodies) in files.iter().zip(&bodies_per_file) {
-        for body in bodies {
-            let line = file.line_of(body.start);
-            if file.is_test_line(line) {
-                continue;
-            }
-            let mut analyzer = BodyAnalyzer::new(file);
-            analyzer.scan(body, Some(&summaries), &mut violations);
-        }
-    }
-    violations
-}
-
-/// Locates every `fn` body in stripped source.
-fn find_functions(code: &str) -> Vec<FnBody> {
-    let b = code.as_bytes();
-    let mut out = Vec::new();
-    let mut i = 0usize;
-    while i + 2 < b.len() {
-        // `fn` keyword at an identifier boundary
-        if &b[i..i + 2] == b"fn"
-            && (i == 0 || !is_ident(b[i - 1]))
-            && b.get(i + 2).is_some_and(|c| c.is_ascii_whitespace())
-        {
-            let mut j = i + 2;
-            while j < b.len() && b[j].is_ascii_whitespace() {
-                j += 1;
-            }
-            let name_start = j;
-            while j < b.len() && is_ident(b[j]) {
-                j += 1;
-            }
-            let name = code[name_start..j].to_string();
-            if name.is_empty() {
-                i += 2;
-                continue;
-            }
-            // find the body `{` at paren depth 0, or `;` (trait decl)
-            let mut depth = 0i32;
-            let mut open = None;
-            while j < b.len() {
-                match b[j] {
-                    b'(' | b'[' => depth += 1,
-                    b')' | b']' => depth -= 1,
-                    b'{' if depth == 0 => {
-                        open = Some(j);
-                        break;
-                    }
-                    b';' if depth == 0 => break,
-                    _ => {}
-                }
-                j += 1;
-            }
-            let Some(open) = open else {
-                i = j.max(i + 2);
-                continue;
-            };
-            // brace-match the body
-            let mut bd = 0i32;
-            let mut k = open;
-            while k < b.len() {
-                match b[k] {
-                    b'{' => bd += 1,
-                    b'}' => {
-                        bd -= 1;
-                        if bd == 0 {
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-                k += 1;
-            }
-            // `self` as the first parameter marks a method
-            let params_open = code[name_start..open].find('(').map(|p| name_start + p);
-            let is_method = params_open.is_some_and(|p| {
-                // strip `&`, an optional lifetime, and `mut` off the first
-                // parameter, then look for `self`
-                let mut first = code[p + 1..open].trim_start();
-                first = first.strip_prefix('&').unwrap_or(first).trim_start();
-                if let Some(rest) = first.strip_prefix('\'') {
-                    let skip = rest
-                        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
-                        .unwrap_or(rest.len());
-                    first = rest[skip..].trim_start();
-                }
-                first = first.strip_prefix("mut ").unwrap_or(first).trim_start();
-                first == "self"
-                    || first.starts_with("self,")
-                    || first.starts_with("self)")
-                    || first.starts_with("self ")
-                    || first.starts_with("self:")
-            });
-            out.push(FnBody {
-                name,
-                is_method,
-                start: open + 1,
-                end: k.min(b.len()),
-            });
-            // continue scanning *inside* the body too: nested fns are rare
-            // but harmless to re-discover, and closures are not fns
-            i = open + 1;
+    let mut direct: Vec<Vec<Acquisition>> = vec![Vec::new(); graph.nodes.len()];
+    for (node, body) in bodies.iter().enumerate() {
+        let Some(body) = body else { continue };
+        let file = files[graph.nodes[node].file];
+        if file.is_test_line(file.line_of(body.start)) {
             continue;
         }
-        i += 1;
+        let mut analyzer = BodyAnalyzer::new(file);
+        analyzer.scan(body, None, &mut violations);
+        direct[node] = analyzer.all_acquisitions;
     }
-    out
+
+    // transitive closure over the call graph; index by call-site namespace
+    let propagated = graph.propagate(&direct);
+    let mut summaries = Summaries::default();
+    for (node, set) in propagated.iter().enumerate() {
+        let n = &graph.nodes[node];
+        let map = if n.is_method {
+            &mut summaries.methods
+        } else {
+            &mut summaries.free_fns
+        };
+        let entry = map.entry(n.name.clone()).or_default();
+        for (acq, origin) in set {
+            entry.insert((*acq, graph.nodes[*origin].name.clone()));
+        }
+    }
+
+    // layer 2: calls made while holding guards, against transitive summaries
+    for (node, body) in bodies.iter().enumerate() {
+        let Some(body) = body else { continue };
+        let file = files[graph.nodes[node].file];
+        if file.is_test_line(file.line_of(body.start)) {
+            continue;
+        }
+        let mut analyzer = BodyAnalyzer::new(file);
+        analyzer.scan(body, Some(&summaries), &mut violations);
+    }
+    violations
 }
 
 fn is_ident(b: u8) -> bool {
@@ -257,6 +199,17 @@ impl<'a> BodyAnalyzer<'a> {
 
     fn held(&self) -> impl Iterator<Item = &Held> {
         self.scopes.iter().flatten().chain(self.temps.iter())
+    }
+
+    fn emit(&self, line: usize, message: String, violations: &mut Vec<Violation>) {
+        violations.push(Violation {
+            rule: RULE,
+            path: self.file.path.clone(),
+            line,
+            message,
+            severity: Severity::Error,
+            waived: self.file.is_waived(line, RULE),
+        });
     }
 
     fn scan(
@@ -333,7 +286,7 @@ impl<'a> BodyAnalyzer<'a> {
                     return Some(arg_end); // not a component lock; skip the arg
                 };
                 let close = match_paren(code, open, body.end);
-                self.record_acquisition(rank - 1, write, i, open, close, report, violations);
+                self.record_acquisition(rank - 1, write, i, close, report, violations);
                 return Some(arg_end);
             }
         }
@@ -347,21 +300,10 @@ impl<'a> BodyAnalyzer<'a> {
         ] {
             if rest.starts_with(kw) {
                 // identifier immediately before the `.` must be a component
-                let (comp_start, comp) = ident_before(code, i)?;
+                let (_, comp) = ident_before(code, i)?;
                 let rank = rank_of(comp)?;
-                // require a field access (`x.comp`) or bare `comp` receiver,
-                // not e.g. a method call result
-                let _ = comp_start;
                 let close = i + kw.len() - 1; // offset of the final `)`
-                self.record_acquisition(
-                    rank - 1,
-                    write,
-                    i,
-                    close, // paren already closed at `close`
-                    Some(close),
-                    report,
-                    violations,
-                );
+                self.record_acquisition(rank - 1, write, i, Some(close), report, violations);
                 return Some(i + kw.len());
             }
         }
@@ -369,39 +311,33 @@ impl<'a> BodyAnalyzer<'a> {
     }
 
     /// Common bookkeeping for both acquisition patterns.
-    #[allow(clippy::too_many_arguments)]
     fn record_acquisition(
         &mut self,
         comp: usize,
         write: bool,
         at: usize,
-        _open: usize,
         close: Option<usize>,
         report: bool,
         violations: &mut Vec<Violation>,
     ) {
         let code = &self.file.code;
         let line = self.file.line_of(at);
-        if report && !self.file.is_waived(line, RULE) {
+        if report {
             for h in self.held() {
                 if h.comp == comp {
-                    violations.push(Violation {
-                        rule: RULE,
-                        path: self.file.path.clone(),
+                    self.emit(
                         line,
-                        message: format!(
+                        format!(
                             "re-acquires `{}` while a guard taken at line {} is still held \
                              (self-deadlock on a writer-preferring RwLock)",
                             COMPONENTS[comp], h.line
                         ),
-                        severity: Severity::Error,
-                    });
+                        violations,
+                    );
                 } else if h.comp > comp {
-                    violations.push(Violation {
-                        rule: RULE,
-                        path: self.file.path.clone(),
+                    self.emit(
                         line,
-                        message: format!(
+                        format!(
                             "acquires `{}` (rank {}) while holding `{}` (rank {}, {} guard \
                              taken at line {}); ranks must be acquired in increasing order",
                             COMPONENTS[comp],
@@ -411,8 +347,8 @@ impl<'a> BodyAnalyzer<'a> {
                             if h.write { "write" } else { "read" },
                             h.line
                         ),
-                        severity: Severity::Error,
-                    });
+                        violations,
+                    );
                 }
             }
         }
@@ -441,6 +377,8 @@ impl<'a> BodyAnalyzer<'a> {
     /// Detects `known_fn(…)` / `self.known_method(…)` call sites made while
     /// guards are held. Methods on receivers other than `self` cannot be
     /// resolved by name and are skipped — the runtime tracker covers those.
+    /// The summary consulted is *transitive*: acquisitions two helpers (or
+    /// a closure) deep taint the direct callee.
     fn try_call_site(
         &mut self,
         i: usize,
@@ -464,29 +402,32 @@ impl<'a> BodyAnalyzer<'a> {
             }
             summaries.methods.get(name)?
         } else {
+            if name_start > 1 && b[name_start - 1] == b':' && b[name_start - 2] == b':' {
+                return None; // Path::assoc(…) — not resolvable by name
+            }
             summaries.free_fns.get(name)?
         };
-        if summary.acquires.is_empty() {
+        if summary.is_empty() {
             return None;
         }
         let line = self.file.line_of(i);
-        if self.file.is_waived(line, RULE) {
-            return Some(i + 1);
-        }
         let held: Vec<Held> = self.held().cloned().collect();
-        let mut reported = std::collections::BTreeSet::new();
-        for acq in &summary.acquires {
+        let mut reported = BTreeSet::new();
+        for (acq, origin) in summary {
+            let via = if origin == name {
+                String::new()
+            } else {
+                format!(" via `{origin}`")
+            };
             for h in &held {
                 if !reported.insert((acq.comp, h.comp)) {
                     continue;
                 }
                 if h.comp == acq.comp {
-                    violations.push(Violation {
-                        rule: RULE,
-                        path: self.file.path.clone(),
+                    self.emit(
                         line,
-                        message: format!(
-                            "calls `{name}` (which {} `{}`) while holding the `{}` guard \
+                        format!(
+                            "calls `{name}` (which {} `{}`{via}) while holding the `{}` guard \
                              taken at line {}",
                             if acq.write {
                                 "write-locks"
@@ -497,15 +438,13 @@ impl<'a> BodyAnalyzer<'a> {
                             COMPONENTS[h.comp],
                             h.line
                         ),
-                        severity: Severity::Error,
-                    });
+                        violations,
+                    );
                 } else if h.comp > acq.comp {
-                    violations.push(Violation {
-                        rule: RULE,
-                        path: self.file.path.clone(),
+                    self.emit(
                         line,
-                        message: format!(
-                            "calls `{name}` (which acquires `{}`, rank {}) while holding \
+                        format!(
+                            "calls `{name}` (which acquires `{}`, rank {}{via}) while holding \
                              `{}` (rank {}) taken at line {}; callee would acquire out of \
                              rank order",
                             COMPONENTS[acq.comp],
@@ -514,8 +453,8 @@ impl<'a> BodyAnalyzer<'a> {
                             h.comp + 1,
                             h.line
                         ),
-                        severity: Severity::Error,
-                    });
+                        violations,
+                    );
                 }
             }
         }
@@ -589,7 +528,7 @@ mod tests {
 
     fn lint(src: &str) -> Vec<Violation> {
         let f = SourceFile::from_source("t.rs".into(), src.into());
-        run(&[f])
+        run(&[&f]).into_iter().filter(|v| !v.waived).collect()
     }
 
     #[test]
@@ -679,6 +618,53 @@ mod tests {
         );
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].message.contains("helper"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn transitive_chain_is_flagged_and_names_the_origin() {
+        // bad → mid → deep: only `deep` touches a lock; the old one-level
+        // summaries missed this shape entirely
+        let v = lint(
+            "fn deep(sh: &S, w: &mut f64) {\n\
+             let c = timed_write(&sh.catalog, &sh.counters, w);\n\
+             }\n\
+             fn mid(sh: &S, w: &mut f64) {\n\
+             deep(sh, w);\n\
+             }\n\
+             fn bad(sh: &S, w: &mut f64) {\n\
+             let tables = timed_read(&sh.tables, &sh.counters, w);\n\
+             mid(sh, w);\n\
+             }\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("mid"), "{}", v[0].message);
+        assert!(v[0].message.contains("via `deep`"), "{}", v[0].message);
+        assert!(v[0].message.contains("catalog"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn closure_call_taints_the_enclosing_fn() {
+        // `apply` only reaches the lock through a closure body; callers
+        // holding a higher-rank guard must still be flagged
+        let v = lint(
+            "fn locks_catalog(sh: &S, w: &mut f64) {\n\
+             let c = timed_write(&sh.catalog, &sh.counters, w);\n\
+             }\n\
+             fn apply(sh: &S, w: &mut f64, items: &[u64]) {\n\
+             items.iter().for_each(|_| locks_catalog(sh, w));\n\
+             }\n\
+             fn bad(sh: &S, w: &mut f64, items: &[u64]) {\n\
+             let tables = timed_read(&sh.tables, &sh.counters, w);\n\
+             apply(sh, w, items);\n\
+             }\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("apply"), "{}", v[0].message);
+        assert!(
+            v[0].message.contains("via `locks_catalog`"),
+            "{}",
+            v[0].message
+        );
     }
 
     #[test]

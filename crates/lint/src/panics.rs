@@ -101,7 +101,7 @@ pub fn format_allowlist(inventory: &BTreeMap<String, Vec<Site>>) -> String {
 }
 
 /// Collects every non-test, non-waived panic site per file.
-pub fn inventory(files: &[SourceFile]) -> BTreeMap<String, Vec<Site>> {
+pub fn inventory(files: &[&SourceFile]) -> BTreeMap<String, Vec<Site>> {
     let mut out = BTreeMap::new();
     for file in files {
         let mut sites = Vec::new();
@@ -139,7 +139,7 @@ pub fn inventory(files: &[SourceFile]) -> BTreeMap<String, Vec<Site>> {
 }
 
 /// Runs the pass against an allowlist.
-pub fn run(files: &[SourceFile], allow: &Allowlist) -> Vec<Violation> {
+pub fn run(files: &[&SourceFile], allow: &Allowlist) -> Vec<Violation> {
     let seen = inventory(files);
     let mut out = Vec::new();
     for (path, sites) in &seen {
@@ -158,6 +158,7 @@ pub fn run(files: &[SourceFile], allow: &Allowlist) -> Vec<Violation> {
                     lines.join(", "),
                 ),
                 severity: Severity::Error,
+                waived: false,
             });
         } else if sites.len() < allowed {
             out.push(Violation {
@@ -170,6 +171,7 @@ pub fn run(files: &[SourceFile], allow: &Allowlist) -> Vec<Violation> {
                     sites.len(),
                 ),
                 severity: Severity::Warning,
+                waived: false,
             });
         }
     }
@@ -182,6 +184,7 @@ pub fn run(files: &[SourceFile], allow: &Allowlist) -> Vec<Violation> {
                       exists); tighten it with --update-allowlist"
                 .to_string(),
             severity: Severity::Warning,
+            waived: false,
         });
     }
     out
@@ -203,14 +206,14 @@ mod tests {
              fn g() { panic!(\"boom\"); }\n\
              fn h(x: Option<u32>) -> u32 { x.unwrap_or(3) }\n",
         );
-        let inv = inventory(&[f]);
+        let inv = inventory(&[&f]);
         assert_eq!(inv["a.rs"].len(), 2, "{inv:?}");
     }
 
     #[test]
     fn over_allowlist_is_an_error() {
         let f = file("a.rs", "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n");
-        let v = run(&[f], &Allowlist::default());
+        let v = run(&[&f], &Allowlist::default());
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].severity, Severity::Error);
     }
@@ -221,12 +224,12 @@ mod tests {
         counts.insert("a.rs".to_string(), 1);
         let allow = Allowlist { counts };
         let f = file("a.rs", "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n");
-        assert!(run(&[f], &allow).is_empty());
+        assert!(run(&[&f], &allow).is_empty());
         let mut counts = BTreeMap::new();
         counts.insert("a.rs".to_string(), 5);
         let allow = Allowlist { counts };
         let f = file("a.rs", "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n");
-        let v = run(&[f], &allow);
+        let v = run(&[&f], &allow);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].severity, Severity::Warning);
     }
@@ -239,13 +242,13 @@ mod tests {
              // jits-lint: allow(panic-surface)\n\
              #[cfg(test)]\nmod tests { fn t() { None::<u32>.unwrap(); } }\n",
         );
-        assert!(inventory(&[f]).is_empty());
+        assert!(inventory(&[&f]).is_empty());
     }
 
     #[test]
     fn allowlist_roundtrip() {
         let f = file("b.rs", "fn g() { unreachable!() }\n");
-        let inv = inventory(&[f]);
+        let inv = inventory(&[&f]);
         let text = format_allowlist(&inv);
         assert!(text.contains("1 b.rs"), "{text}");
     }

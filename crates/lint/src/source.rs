@@ -4,17 +4,27 @@
 //! contents of string/char literals are blanked with spaces (newlines are
 //! preserved), so pattern scans never match inside documentation or literal
 //! text, and every byte offset in the stripped view maps to the same line
-//! as in the raw file.
+//! as in the raw file. Stripping is built on the real tokenizer in
+//! [`crate::tokens`], so raw strings (`r#"…"#`), nested block comments and
+//! escaped-quote char literals (`'\''`) are all handled exactly.
 //!
 //! The model also computes, per line:
 //!
 //! - whether the line sits inside a `#[cfg(test)] mod … { … }` region
 //!   (test code is exempt from every pass — tests deliberately hold raw
 //!   locks and unwrap), and
-//! - inline waivers: a comment `jits-lint: allow(rule-name)` waives the
-//!   named rule on its own line and the line below, mirroring
-//!   `#[allow(..)]` ergonomics.
+//! - inline waivers: a *plain* (non-doc) comment `jits-lint: allow(rule)`
+//!   waives the named rule on its own line and the line below, mirroring
+//!   `#[allow(..)]` ergonomics. Doc comments never declare waivers — they
+//!   talk *about* the syntax too often.
+//!
+//! Waiver checks record which waivers actually suppressed something, so the
+//! unused-waiver audit ([`crate::unused_waivers`]) can ratchet the waiver
+//! surface the same way the panic allowlist ratchets panic sites.
 
+use crate::tokens::{self, TokKind};
+use std::cell::RefCell;
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::Path;
 
@@ -32,6 +42,10 @@ pub struct SourceFile {
     pub in_test: Vec<bool>,
     /// Per line (0-based): rules waived on this line.
     pub waivers: Vec<Vec<String>>,
+    /// Waivers that suppressed at least one finding this run, keyed by
+    /// (0-based waiver line, rule). Interior-mutable: recording a use is
+    /// not a mutation of the source model.
+    used_waivers: RefCell<BTreeSet<(usize, String)>>,
 }
 
 impl SourceFile {
@@ -43,7 +57,7 @@ impl SourceFile {
 
     /// Builds the model from in-memory source (used by unit tests).
     pub fn from_source(path: String, raw: String) -> SourceFile {
-        let code = strip(&raw);
+        let code = tokens::strip(&raw);
         let in_test = test_regions(&code);
         let waivers = parse_waivers(&raw);
         SourceFile {
@@ -52,6 +66,7 @@ impl SourceFile {
             code,
             in_test,
             waivers,
+            used_waivers: RefCell::new(BTreeSet::new()),
         }
     }
 
@@ -73,137 +88,53 @@ impl SourceFile {
     }
 
     /// True if `rule` is waived on the (1-based) line, either by a waiver
-    /// comment on the line itself or on the line above.
+    /// comment on the line itself or on the line above. A `true` result
+    /// records the match, marking the waiver as used for the audit — call
+    /// this only when a finding is actually being suppressed.
     pub fn is_waived(&self, line: usize, rule: &str) -> bool {
         let idx = line.saturating_sub(1);
-        let here = self.waivers.get(idx).map(Vec::as_slice).unwrap_or(&[]);
-        let above = if idx > 0 {
-            self.waivers.get(idx - 1).map(Vec::as_slice).unwrap_or(&[])
-        } else {
-            &[]
-        };
-        here.iter().chain(above.iter()).any(|w| w == rule)
+        let here = self
+            .waivers
+            .get(idx)
+            .is_some_and(|ws| ws.iter().any(|w| w == rule));
+        if here {
+            self.used_waivers
+                .borrow_mut()
+                .insert((idx, rule.to_string()));
+            return true;
+        }
+        let above = idx > 0
+            && self
+                .waivers
+                .get(idx - 1)
+                .is_some_and(|ws| ws.iter().any(|w| w == rule));
+        if above {
+            self.used_waivers
+                .borrow_mut()
+                .insert((idx - 1, rule.to_string()));
+            return true;
+        }
+        false
     }
-}
 
-/// Blanks comments and literal bodies, preserving length and newlines.
-fn strip(raw: &str) -> String {
-    let b = raw.as_bytes();
-    let mut out: Vec<u8> = Vec::with_capacity(b.len());
-    let mut i = 0;
-    let blank = |out: &mut Vec<u8>, b: &[u8], from: usize, to: usize| {
-        for &c in &b[from..to.min(b.len())] {
-            out.push(if c == b'\n' { b'\n' } else { b' ' });
-        }
-    };
-    while i < b.len() {
-        let c = b[i];
-        // line comment (incl. doc comments)
-        if c == b'/' && b.get(i + 1) == Some(&b'/') {
-            let start = i;
-            while i < b.len() && b[i] != b'\n' {
-                i += 1;
-            }
-            blank(&mut out, b, start, i);
-            continue;
-        }
-        // block comment (nesting supported)
-        if c == b'/' && b.get(i + 1) == Some(&b'*') {
-            let start = i;
-            let mut depth = 1usize;
-            i += 2;
-            while i < b.len() && depth > 0 {
-                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
-                    depth += 1;
-                    i += 2;
-                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
-                    depth -= 1;
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-            }
-            blank(&mut out, b, start, i);
-            continue;
-        }
-        // raw strings r"..." / r#"..."# (and br variants)
-        let prev_ident = i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_');
-        if !prev_ident && (c == b'r' || (c == b'b' && b.get(i + 1) == Some(&b'r'))) {
-            let mut j = i + if c == b'b' { 2 } else { 1 };
-            let mut hashes = 0usize;
-            while b.get(j) == Some(&b'#') {
-                hashes += 1;
-                j += 1;
-            }
-            if b.get(j) == Some(&b'"') {
-                let start = i;
-                j += 1;
-                'scan: while j < b.len() {
-                    if b[j] == b'"' {
-                        let mut k = j + 1;
-                        let mut seen = 0usize;
-                        while seen < hashes && b.get(k) == Some(&b'#') {
-                            seen += 1;
-                            k += 1;
-                        }
-                        if seen == hashes {
-                            j = k;
-                            break 'scan;
-                        }
-                    }
-                    j += 1;
-                }
-                blank(&mut out, b, start, j);
-                i = j;
+    /// Waivers that suppressed nothing this run: (1-based line, rule).
+    /// Waivers inside `#[cfg(test)]` regions are exempt (the passes never
+    /// fire there, so "unused" is meaningless).
+    pub fn unused_waivers(&self) -> Vec<(usize, String)> {
+        let used = self.used_waivers.borrow();
+        let mut out = Vec::new();
+        for (idx, rules) in self.waivers.iter().enumerate() {
+            if self.is_test_line(idx + 1) {
                 continue;
             }
-        }
-        // normal string literal (and b"...")
-        if c == b'"' || (c == b'b' && !prev_ident && b.get(i + 1) == Some(&b'"')) {
-            let start = i;
-            i += if c == b'b' { 2 } else { 1 };
-            while i < b.len() {
-                if b[i] == b'\\' {
-                    i += 2;
-                } else if b[i] == b'"' {
-                    i += 1;
-                    break;
-                } else {
-                    i += 1;
+            for rule in rules {
+                if !used.contains(&(idx, rule.clone())) {
+                    out.push((idx + 1, rule.clone()));
                 }
             }
-            blank(&mut out, b, start, i);
-            continue;
         }
-        // char literal vs lifetime
-        if c == b'\'' {
-            if b.get(i + 1) == Some(&b'\\') {
-                // escaped char literal: '\n', '\u{..}', ...
-                let start = i;
-                i += 2;
-                while i < b.len() && b[i] != b'\'' {
-                    i += 1;
-                }
-                i = (i + 1).min(b.len());
-                blank(&mut out, b, start, i);
-                continue;
-            }
-            // 'x' (single ASCII char) — multi-byte char literals fall
-            // through to the lifetime case, which is harmless: their
-            // contents are a single character, never a scannable pattern.
-            if b.get(i + 2) == Some(&b'\'') && b.get(i + 1) != Some(&b'\'') {
-                blank(&mut out, b, i, i + 3);
-                i += 3;
-                continue;
-            }
-            out.push(c);
-            i += 1;
-            continue;
-        }
-        out.push(c);
-        i += 1;
+        out
     }
-    String::from_utf8_lossy(&out).into_owned()
 }
 
 /// Marks the lines covered by every `#[cfg(test)] mod … { … }` region.
@@ -257,28 +188,46 @@ fn test_regions(code: &str) -> Vec<bool> {
 }
 
 /// Parses `jits-lint: allow(rule-a, rule-b)` waiver comments per line.
+/// Only plain comments qualify; doc comments (`///`, `//!`, `/**`, `/*!`)
+/// are prose and often *mention* the waiver syntax.
 fn parse_waivers(raw: &str) -> Vec<Vec<String>> {
-    raw.lines()
-        .map(|line| {
-            let Some(pos) = line.find("jits-lint: allow(") else {
-                return Vec::new();
-            };
-            let rest = &line[pos + "jits-lint: allow(".len()..];
+    let n_lines = raw.bytes().filter(|&b| b == b'\n').count() + 1;
+    let mut out = vec![Vec::new(); n_lines];
+    for tok in tokens::tokenize(raw) {
+        let text = tok.text(raw);
+        let is_plain = match tok.kind {
+            TokKind::LineComment => !text.starts_with("///") && !text.starts_with("//!"),
+            TokKind::BlockComment => !text.starts_with("/**") && !text.starts_with("/*!"),
+            _ => false,
+        };
+        if !is_plain {
+            continue;
+        }
+        let mut search = 0usize;
+        while let Some(pos) = text[search..].find("jits-lint: allow(") {
+            let at = search + pos;
+            let rest = &text[at + "jits-lint: allow(".len()..];
             let Some(end) = rest.find(')') else {
-                return Vec::new();
+                break;
             };
-            rest[..end]
-                .split(',')
-                .map(|r| r.trim().to_string())
-                .filter(|r| !r.is_empty())
-                .collect()
-        })
-        .collect()
+            // the waiver's line within a (possibly multi-line) comment
+            let line = tok.line + text[..at].bytes().filter(|&b| b == b'\n').count();
+            for rule in rest[..end].split(',') {
+                let rule = rule.trim();
+                if !rule.is_empty() {
+                    out[line - 1].push(rule.to_string());
+                }
+            }
+            search = at + 1;
+        }
+    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tokens::strip;
 
     #[test]
     fn strips_comments_and_strings() {
@@ -297,6 +246,34 @@ mod tests {
         let s = strip(src);
         assert!(!s.contains("unwrap"));
         assert!(s.contains("'static"), "lifetimes survive: {s}");
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_leaves_no_stray_quote() {
+        // regression: the pre-tokenizer stripper blanked only part of `'\''`
+        // and leaked a stray `'` that corrupted everything after it
+        let src = "let q = '\\''; let z = \"secret()\"; tail()";
+        let s = strip(src);
+        assert!(!s.contains('\''), "{s}");
+        assert!(!s.contains("secret"), "{s}");
+        assert!(s.contains("tail()"), "{s}");
+    }
+
+    #[test]
+    fn raw_string_with_embedded_quote_hash_terminates_correctly() {
+        // regression: `"#` inside an r##-string must not close it
+        let src = "let p = r##\"has \"# inside\"##; after()";
+        let s = strip(src);
+        assert!(!s.contains("inside"), "{s}");
+        assert!(s.contains("after()"), "{s}");
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_at_outer_close() {
+        let src = "/* a /* b */ hidden() */ visible()";
+        let s = strip(src);
+        assert!(!s.contains("hidden"), "{s}");
+        assert!(s.contains("visible()"), "{s}");
     }
 
     #[test]
@@ -326,5 +303,23 @@ mod tests {
         assert!(f.is_waived(2, "hash-iteration"));
         assert!(!f.is_waived(3, "hash-iteration"));
         assert!(!f.is_waived(2, "wall-clock"));
+    }
+
+    #[test]
+    fn doc_comments_do_not_declare_waivers() {
+        let src = "//! Waive with `jits-lint: allow(lock-order)`.\nfn f() {}\n";
+        let f = SourceFile::from_source("t.rs".into(), src.into());
+        assert!(!f.is_waived(1, "lock-order"));
+        assert!(!f.is_waived(2, "lock-order"));
+        assert!(f.unused_waivers().is_empty());
+    }
+
+    #[test]
+    fn waiver_usage_is_recorded_for_the_audit() {
+        let src = "// jits-lint: allow(wall-clock) -- used below\nInstant::now();\n// jits-lint: allow(unseeded-rng) -- stale\nlet x = 1;\n";
+        let f = SourceFile::from_source("t.rs".into(), src.into());
+        assert!(f.is_waived(2, "wall-clock"));
+        let unused = f.unused_waivers();
+        assert_eq!(unused, vec![(3, "unseeded-rng".to_string())]);
     }
 }

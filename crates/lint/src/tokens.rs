@@ -1,0 +1,511 @@
+//! Hand-rolled Rust tokenizer — the foundation of the v2 analysis core.
+//!
+//! The passes used to scan a regex-style "stripped" view of each file,
+//! produced by an ad-hoc byte scanner that mishandled `'\''` char literals,
+//! raw strings whose body contains `"#`, and comment/literal interleavings.
+//! This module lexes real Rust tokens (identifiers, lifetimes, numbers,
+//! string/char literals in all their prefixed and raw forms, multi-char
+//! punctuation, and line/block comments with nesting) with exact byte
+//! ranges and line numbers. Both the stripped view ([`strip`]) and the
+//! item/expression parser ([`crate::parse`]) are built on it, so the two
+//! can never disagree about where a literal ends.
+//!
+//! No `rustc` internals are available offline; the lexer is intentionally
+//! small and forgiving — on malformed input it degrades to single-byte
+//! punctuation tokens rather than failing, which is the right behavior for
+//! a linter that must never block the build on its own bugs.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish), including
+    /// raw identifiers (`r#match`).
+    Ident,
+    /// A lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Integer or float literal, with any suffix.
+    Num,
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `'\''`, `b'\n'`.
+    Char,
+    /// Punctuation; multi-char operators (`==`, `::`, `..=`, `->`, …) are
+    /// single tokens.
+    Punct,
+    /// `// …` to end of line (doc comments included).
+    LineComment,
+    /// `/* … */`, nesting-aware (doc comments included).
+    BlockComment,
+}
+
+/// One token: kind plus byte range into the source and 1-based start line.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    /// Token category.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: usize,
+}
+
+impl Tok {
+    /// The token's text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end.min(src.len())]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Multi-char punctuation, longest first so greedy matching is correct.
+const PUNCTS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "==", "!=", "<=", ">=", "::", "..", "->", "=>", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "^=", "|=", "&=", "<<", ">>",
+];
+
+/// Lexes `src` into tokens (comments included, whitespace skipped).
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let push = |toks: &mut Vec<Tok>, kind, start: usize, end: usize, line: &mut usize| {
+        toks.push(Tok {
+            kind,
+            start,
+            end,
+            line: *line,
+        });
+        *line += b[start..end.min(n)].iter().filter(|&&c| c == b'\n').count();
+    };
+    while i < n {
+        let c = b[i];
+        // whitespace
+        if c.is_ascii_whitespace() {
+            if c == b'\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // comments
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            let start = i;
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            push(&mut toks, TokKind::LineComment, start, i, &mut line);
+            continue;
+        }
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let start = i;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            push(&mut toks, TokKind::BlockComment, start, i, &mut line);
+            continue;
+        }
+        // identifier — possibly a literal prefix (r, b, br, rb) or raw ident
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_cont(b[i]) {
+                i += 1;
+            }
+            let ident = &src[start..i];
+            // raw identifier r#name
+            if ident == "r"
+                && b.get(i) == Some(&b'#')
+                && b.get(i + 1).copied().is_some_and(is_ident_start)
+            {
+                i += 1;
+                while i < n && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                push(&mut toks, TokKind::Ident, start, i, &mut line);
+                continue;
+            }
+            // byte-char literal b'…'
+            if ident == "b" && b.get(i) == Some(&b'\'') {
+                if let Some(end) = lex_char_body(b, i) {
+                    push(&mut toks, TokKind::Char, start, end, &mut line);
+                    i = end;
+                    continue;
+                }
+            }
+            // string-literal prefixes
+            let raw_capable = matches!(ident, "r" | "br" | "rb");
+            let str_capable = raw_capable || ident == "b" || ident == "c";
+            if str_capable {
+                let mut j = i;
+                let mut hashes = 0usize;
+                if raw_capable {
+                    while b.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                }
+                if b.get(j) == Some(&b'"') {
+                    let end = if raw_capable {
+                        lex_raw_string_body(b, j, hashes)
+                    } else {
+                        lex_string_body(b, j)
+                    };
+                    push(&mut toks, TokKind::Str, start, end, &mut line);
+                    i = end;
+                    continue;
+                }
+            }
+            push(&mut toks, TokKind::Ident, start, i, &mut line);
+            continue;
+        }
+        // plain string literal
+        if c == b'"' {
+            let end = lex_string_body(b, i);
+            push(&mut toks, TokKind::Str, i, end, &mut line);
+            i = end;
+            continue;
+        }
+        // char literal vs lifetime
+        if c == b'\'' {
+            if let Some(end) = lex_char_body(b, i) {
+                push(&mut toks, TokKind::Char, i, end, &mut line);
+                i = end;
+                continue;
+            }
+            if b.get(i + 1).copied().is_some_and(is_ident_start) {
+                let start = i;
+                i += 1;
+                while i < n && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                push(&mut toks, TokKind::Lifetime, start, i, &mut line);
+                continue;
+            }
+            push(&mut toks, TokKind::Punct, i, i + 1, &mut line);
+            i += 1;
+            continue;
+        }
+        // number literal
+        if c.is_ascii_digit() {
+            let start = i;
+            let hex = c == b'0' && matches!(b.get(i + 1), Some(&b'x') | Some(&b'X'));
+            i += 1;
+            let mut seen_dot = false;
+            while i < n {
+                let d = b[i];
+                if d.is_ascii_alphanumeric() || d == b'_' {
+                    i += 1;
+                } else if d == b'.'
+                    && !seen_dot
+                    && !hex
+                    && b.get(i + 1).copied().is_some_and(|x| x.is_ascii_digit())
+                {
+                    seen_dot = true;
+                    i += 1;
+                } else if (d == b'+' || d == b'-')
+                    && !hex
+                    && matches!(b[i - 1], b'e' | b'E')
+                    && b.get(i + 1).copied().is_some_and(|x| x.is_ascii_digit())
+                {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            push(&mut toks, TokKind::Num, start, i, &mut line);
+            continue;
+        }
+        // punctuation, longest match first
+        let rest = &src[i..];
+        let mut matched = 1usize;
+        for p in PUNCTS {
+            if rest.starts_with(p) {
+                matched = p.len();
+                break;
+            }
+        }
+        push(&mut toks, TokKind::Punct, i, i + matched, &mut line);
+        i += matched;
+    }
+    toks
+}
+
+/// Lexes a cooked string body starting at the opening `"` at `open`;
+/// returns the offset one past the closing quote.
+fn lex_string_body(b: &[u8], open: usize) -> usize {
+    let n = b.len();
+    let mut i = open + 1;
+    while i < n {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Lexes a raw string body starting at the opening `"` at `open`, closed by
+/// `"` followed by `hashes` `#`s; returns the offset one past the close.
+fn lex_raw_string_body(b: &[u8], open: usize, hashes: usize) -> usize {
+    let n = b.len();
+    let mut i = open + 1;
+    while i < n {
+        if b[i] == b'"' {
+            let mut k = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && b.get(k) == Some(&b'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        i += 1;
+    }
+    n
+}
+
+/// Tries to lex a char literal at the `'` at `open`; returns the offset one
+/// past the closing quote, or `None` if this is a lifetime (or malformed).
+///
+/// The escape is consumed as a unit before looking for the closing quote,
+/// so `'\''` lexes correctly (the old stripper treated the escaped quote as
+/// the closer and leaked a stray `'` into the stripped view).
+fn lex_char_body(b: &[u8], open: usize) -> Option<usize> {
+    let n = b.len();
+    let mut i = open + 1;
+    if i >= n {
+        return None;
+    }
+    if b[i] == b'\\' {
+        i += 1;
+        match b.get(i) {
+            Some(b'x') => i += 3, // \xFF
+            Some(b'u') => {
+                // \u{10FFFF}
+                i += 1;
+                while i < n && b[i] != b'}' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            Some(_) => i += 1, // \n \t \' \" \\ \0
+            None => return None,
+        }
+        if b.get(i) == Some(&b'\'') {
+            return Some(i + 1);
+        }
+        return None;
+    }
+    // unescaped: exactly one char (possibly multi-byte) then a quote
+    if b[i] == b'\'' {
+        return None; // '' is not a char literal
+    }
+    let ch_len = utf8_len(b[i]);
+    if b.get(i + ch_len) == Some(&b'\'') {
+        return Some(i + ch_len + 1);
+    }
+    None
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Blanks comments and string/char literal bodies with spaces (newlines
+/// preserved), keeping every other byte — and therefore every byte offset
+/// and line number — identical to the raw source.
+pub fn strip(src: &str) -> String {
+    let mut out = src.as_bytes().to_vec();
+    for t in tokenize(src) {
+        if matches!(
+            t.kind,
+            TokKind::Str | TokKind::Char | TokKind::LineComment | TokKind::BlockComment
+        ) {
+            for b in &mut out[t.start..t.end.min(src.len())] {
+                if *b != b'\n' {
+                    *b = b' ';
+                }
+            }
+        }
+    }
+    String::from_utf8(out).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        let ks = kinds("let x = a.b_2 + 0x1f - 1.5e-3;");
+        let texts: Vec<&str> = ks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["let", "x", "=", "a", ".", "b_2", "+", "0x1f", "-", "1.5e-3", ";"]
+        );
+        assert_eq!(ks[7].0, TokKind::Num);
+        assert_eq!(ks[9].0, TokKind::Num);
+    }
+
+    #[test]
+    fn multichar_puncts_are_single_tokens() {
+        let texts: Vec<(TokKind, String)> = kinds("a == b..=c :: d -> e");
+        let ops: Vec<&str> = texts.iter().map(|(_, t)| t.as_str()).collect();
+        assert!(ops.contains(&"=="));
+        assert!(ops.contains(&"..="));
+        assert!(ops.contains(&"::"));
+        assert!(ops.contains(&"->"));
+    }
+
+    #[test]
+    fn ranges_do_not_eat_floats() {
+        let ops: Vec<String> = kinds("for i in 0..n {}")
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        assert!(ops.contains(&"..".to_string()), "{ops:?}");
+        assert!(ops.contains(&"0".to_string()), "{ops:?}");
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        // regression: the old stripper left a stray `'` after `'\''`
+        let ks = kinds(r"let a = '\''; foo()");
+        assert!(
+            ks.iter().any(|(k, t)| *k == TokKind::Char && t == "'\\''"),
+            "{ks:?}"
+        );
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Ident && t == "foo"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_embedded_quote_hash() {
+        let src = "let p = r##\"body \"# still inside\"##; bar()";
+        let ks = kinds(src);
+        assert!(
+            ks.iter()
+                .any(|(k, t)| *k == TokKind::Str && t.contains("still inside")),
+            "{ks:?}"
+        );
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Ident && t == "bar"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let ks = kinds("let a = b\"x\"; let b2 = br#\"y\"#; let c = b'z';");
+        let strs: Vec<_> = ks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strs.len(), 2, "{ks:?}");
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Char && t == "b'z'"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let ks = kinds("let r#match = 1;");
+        assert!(
+            ks.iter()
+                .any(|(k, t)| *k == TokKind::Ident && t == "r#match"),
+            "{ks:?}"
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ fn f() {}";
+        let ks = kinds(src);
+        assert_eq!(ks[0].0, TokKind::BlockComment);
+        assert!(ks[0].1.contains("still comment"));
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Ident && t == "fn"));
+    }
+
+    #[test]
+    fn lifetimes_survive() {
+        let ks = kinds("fn f<'a>(x: &'a str, y: &'_ u8) {}");
+        let lifes: Vec<_> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifes, ["'a", "'a", "'_"]);
+    }
+
+    #[test]
+    fn line_numbers_track_all_token_shapes() {
+        let src = "fn a() {}\n/* two\nline */ fn b() {}\nlet s = \"x\ny\"; fn c() {}\n";
+        let toks = tokenize(src);
+        let line_of = |name: &str| {
+            toks.iter()
+                .find(|t| t.text(src) == name)
+                .map(|t| t.line)
+                .unwrap()
+        };
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 3);
+        assert_eq!(line_of("c"), 5);
+    }
+
+    #[test]
+    fn strip_blanks_literals_and_comments_only() {
+        let src = "let x = \"Instant::now()\"; // panic!()\nlet c = '\\''; foo(x)\n";
+        let s = strip(src);
+        assert_eq!(s.len(), src.len());
+        assert!(!s.contains("Instant::now"));
+        assert!(!s.contains("panic!"));
+        assert!(!s.contains('\''), "char literal fully blanked: {s}");
+        assert!(s.contains("foo(x)"));
+        assert_eq!(s.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn strip_handles_raw_string_with_hash_quote() {
+        let src = "let p = r#\"unwrap() \"# ; still_code()";
+        // the raw string closes at `"#`, so ` ; still_code()` is code
+        let s = strip(src);
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("still_code"));
+    }
+
+    #[test]
+    fn strip_preserves_nested_comment_boundaries() {
+        let src = "/* a /* b */ c */ alive()";
+        let s = strip(src);
+        // the whole nested comment is blank; code after the outer close is not
+        assert!(!s.contains("c */"), "comment fully blanked: {s}");
+        assert!(s.contains("alive()"));
+    }
+}

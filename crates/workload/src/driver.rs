@@ -238,7 +238,7 @@ pub fn boxplot(values: &[f64]) -> Option<Boxplot> {
     if v.is_empty() {
         return None;
     }
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.total_cmp(b));
     let q = |p: f64| -> f64 {
         let pos = p * (v.len() - 1) as f64;
         let lo = pos.floor() as usize;

@@ -136,6 +136,50 @@ fn batch_matches_row_bit_for_bit_across_corpus() {
     }
 }
 
+/// Per-operator charged-work parity: each node observation's `work` slice
+/// must agree bit for bit between the executors (the debug-build validator
+/// in the batch executor checks the structural side — selection-vector
+/// lengths, scan monotonicity, one finite non-negative charge per node —
+/// on every run of this suite), and the node slices must account for no
+/// more than the total (the remainder is the sort/output epilogue, which
+/// both paths charge identically).
+#[test]
+fn per_node_charged_work_matches_across_executors() {
+    let (catalog, tables) = setup();
+    for sql in CORPUS {
+        let (block, plan, cost) = plan_of(&catalog, sql);
+        let row = execute_with(ExecutorKind::Row, &plan, &block, &tables, &cost).unwrap();
+        let batch = execute_with(ExecutorKind::Batch, &plan, &block, &tables, &cost).unwrap();
+        assert_eq!(
+            row.stats.nodes.len(),
+            batch.stats.nodes.len(),
+            "node count diverged: {sql}"
+        );
+        for (r, b) in row.stats.nodes.iter().zip(&batch.stats.nodes) {
+            assert_eq!(r.kind, b.kind, "node kinds diverged: {sql}");
+            assert_eq!(
+                r.work.to_bits(),
+                b.work.to_bits(),
+                "per-node work diverged: {sql} ({:?}: row {} vs batch {})",
+                r.kind,
+                r.work,
+                b.work
+            );
+            assert!(
+                r.work.is_finite() && r.work >= 0.0,
+                "non-finite or negative node work: {sql} ({:?})",
+                r.kind
+            );
+        }
+        let node_sum: f64 = row.stats.nodes.iter().map(|n| n.work).sum();
+        assert!(
+            node_sum <= row.stats.work * (1.0 + 1e-12) + 1e-9,
+            "node work slices exceed the total: {sql} ({node_sum} > {})",
+            row.stats.work
+        );
+    }
+}
+
 /// A malformed index nested-loop plan (no equality keys) must fail with a
 /// typed execution error on both paths, never a panic.
 #[test]
