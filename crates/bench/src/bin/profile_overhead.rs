@@ -1,0 +1,141 @@
+//! Profiling-overhead benchmark: runs the full JITS workload with the
+//! per-operator profiler (profile trees, q-error accounting, flight-ring
+//! recording) off and on, and reports the throughput delta.
+//!
+//! The profiler walks the already-collected `ExecStats` observation stream
+//! once per statement — no extra work inside operator loops — so the
+//! measured overhead must stay under the 3% budget. Writes
+//! `BENCH_profile_overhead.json` next to the workspace root and prints the
+//! same JSON to stdout. `--quick` shrinks the workload and fails (exit 1)
+//! if the overhead crosses the budget — the CI regression guard.
+
+use jits::JitsConfig;
+use jits_workload::{
+    generate_workload, prepare, run_workload, setup_database, DataGenConfig, Setting, WorkloadOp,
+    WorkloadSpec,
+};
+use std::time::Instant;
+
+struct Args {
+    scale: f64,
+    ops: usize,
+    reps: usize,
+    quick: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 0.01,
+        ops: 840,
+        reps: 5,
+        quick: false,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                args.scale = argv[i + 1].parse().expect("bad --scale");
+                i += 2;
+            }
+            "--ops" => {
+                args.ops = argv[i + 1].parse().expect("bad --ops");
+                i += 2;
+            }
+            "--reps" => {
+                args.reps = argv[i + 1].parse().expect("bad --reps");
+                i += 2;
+            }
+            "--quick" => {
+                args.quick = true;
+                args.scale = 0.002;
+                args.ops = 120;
+                i += 1;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+/// One full workload run on a freshly built database; returns wall seconds.
+fn run_once(args: &Args, ops: &[WorkloadOp], profiling: bool) -> f64 {
+    let dg = DataGenConfig {
+        scale: args.scale,
+        seed: 0x2007_1CDE,
+    };
+    let mut db = setup_database(&dg).expect("database builds");
+    prepare(&mut db, &Setting::Jits(JitsConfig::default()), ops).expect("prepare");
+    db.set_profiling(profiling);
+    let t = Instant::now();
+    let records = run_workload(&mut db, ops).expect("workload runs");
+    let wall = t.elapsed().as_secs_f64();
+    assert_eq!(records.len(), ops.len());
+    // the off path must really be off, and the on path must really profile
+    let profiled = records
+        .iter()
+        .filter(|r| r.metrics.profile.is_some())
+        .count();
+    if profiling {
+        assert!(profiled > 0, "profiling on must attach profiles");
+    } else {
+        assert_eq!(profiled, 0, "profiling off must attach none");
+    }
+    wall
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.total_cmp(b));
+    v[v.len() / 2]
+}
+
+fn main() {
+    let args = parse_args();
+    let ws = WorkloadSpec {
+        total_ops: args.ops,
+        dml_every: 12,
+        seed: 0x2007_1CDE ^ 0x77,
+    };
+    let dg = DataGenConfig {
+        scale: args.scale,
+        seed: 0x2007_1CDE,
+    };
+    let ops = generate_workload(&ws, &dg);
+
+    // one throwaway warm-up run, then interleave off/on reps so slow drift
+    // (cache warmth, frequency scaling) hits both states evenly
+    run_once(&args, &ops, false);
+    let (mut off, mut on) = (Vec::new(), Vec::new());
+    for _ in 0..args.reps {
+        off.push(run_once(&args, &ops, false));
+        on.push(run_once(&args, &ops, true));
+    }
+    let (med_off, med_on) = (median(off), median(on));
+    let (tput_off, tput_on) = (ops.len() as f64 / med_off, ops.len() as f64 / med_on);
+    let overhead_pct = (med_on / med_off - 1.0) * 100.0;
+
+    let json = format!(
+        "{{\n  \"bench\": \"profile_overhead\",\n  \"scale\": {},\n  \"ops\": {},\n  \"reps\": {},\n  \"quick\": {},\n  \"median_wall_secs_profiling_off\": {:.6},\n  \"median_wall_secs_profiling_on\": {:.6},\n  \"ops_per_sec_profiling_off\": {:.2},\n  \"ops_per_sec_profiling_on\": {:.2},\n  \"overhead_pct\": {:.3},\n  \"target_pct\": 3.0,\n  \"within_target\": {}\n}}\n",
+        args.scale,
+        ops.len(),
+        args.reps,
+        args.quick,
+        med_off,
+        med_on,
+        tput_off,
+        tput_on,
+        overhead_pct,
+        overhead_pct < 3.0,
+    );
+    print!("{json}");
+    std::fs::write("BENCH_profile_overhead.json", &json)
+        .expect("write BENCH_profile_overhead.json");
+    eprintln!(
+        "profiling overhead: {overhead_pct:.3}% ({} target 3%)",
+        if overhead_pct < 3.0 { "within" } else { "OVER" }
+    );
+    if args.quick && overhead_pct >= 3.0 {
+        eprintln!("::error::profiling overhead {overhead_pct:.3}% breaches the 3% budget");
+        std::process::exit(1);
+    }
+}

@@ -27,7 +27,7 @@ fn run_once(args: &BenchArgs, ops: &[WorkloadOp], trace: bool) -> f64 {
         ops,
         ObserveOptions {
             trace,
-            metrics: false,
+            ..ObserveOptions::default()
         },
     )
     .expect("workload runs");

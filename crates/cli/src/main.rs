@@ -15,12 +15,22 @@
 //! \stats              show archive / history / catalog status
 //! \trace on|off       per-statement span traces (also: --trace flag)
 //! \metrics [prom]     dump the metrics registry (JSON or Prometheus)
+//! \analyze SELECT …   execute and print the per-operator profile
+//!                     (est/actual rows, q-error, work, wall)
+//! \flight [path]      dump the flight recorder as JSON (stdout or file)
 //! \help, \quit
 //! ```
 //!
 //! With `--trace`, each statement prints its span tree (parse/bind,
 //! analyze, sensitivity, collect, refine, optimize, execute, feedback)
 //! to stderr; `--metrics` dumps the registry as JSON on exit.
+//!
+//! `--dump-flight <path>` writes the flight-recorder ring (the last
+//! [`jits_obs::FLIGHT_CAPACITY`] query profiles, degradations, and anomaly
+//! markers) to `<path>` as JSON on exit, and also arms anomaly auto-dump:
+//! any statement whose max q-error crosses the configured threshold, or
+//! that degrades, rewrites the dump immediately — so the black box survives
+//! even a crash later in the session.
 //!
 //! Chaos testing: `--fault-spec 'point=mode:arg[:attempts],...'` installs
 //! the deterministic fault plane (e.g. `--fault-spec
@@ -47,6 +57,16 @@ fn main() {
     }
     let trace = args.iter().any(|a| a == "--trace");
     let metrics = args.iter().any(|a| a == "--metrics");
+    let dump_flight: Option<String> = match args.iter().position(|a| a == "--dump-flight") {
+        Some(i) => match args.get(i + 1) {
+            Some(path) => Some(path.clone()),
+            None => {
+                eprintln!("--dump-flight requires a file path");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
     let fault_seed: u64 = match args.iter().position(|a| a == "--fault-seed") {
         Some(i) => match args.get(i + 1).and_then(|s| s.parse().ok()) {
             Some(seed) => seed,
@@ -83,6 +103,11 @@ fn main() {
     let counts = populate(&mut db, &cfg).expect("populate");
     db.set_setting(StatsSetting::Jits(JitsConfig::default()));
     db.obs().tracer.set_enabled(trace);
+    if let Some(path) = &dump_flight {
+        // arm anomaly auto-dump so the black box is on disk even if the
+        // process dies before the exit-time dump
+        db.obs().flight.set_auto_dump(Some(path.clone().into()));
+    }
     if fault.is_enabled() {
         eprintln!(
             "fault plane enabled (seed {fault_seed}); degradations: SELECT * FROM jits_degradation"
@@ -150,6 +175,12 @@ fn main() {
     if metrics {
         println!("{}", db.metrics_json(true));
     }
+    if let Some(path) = &dump_flight {
+        match std::fs::write(path, db.obs().flight.to_json(true)) {
+            Ok(()) => eprintln!("flight recorder dumped to {path}"),
+            Err(e) => eprintln!("cannot dump flight recorder to {path}: {e}"),
+        }
+    }
 }
 
 /// Handles a `\...` meta command; returns false to quit.
@@ -162,7 +193,26 @@ fn meta_command(db: &mut Database, cmd: &str) -> bool {
             eprintln!("\\setting no-stats|general|workload|jits [s_max]");
             eprintln!("\\runstats   \\migrate   \\stats   \\quit");
             eprintln!("\\trace on|off   \\metrics [prom]");
+            eprintln!("\\analyze SELECT ...   \\flight [path]");
         }
+        Some("analyze") => {
+            let sql = cmd.trim_start_matches("analyze").trim();
+            if sql.is_empty() {
+                eprintln!("usage: \\analyze SELECT ...");
+            } else {
+                match db.explain_analyze(sql) {
+                    Ok(text) => print!("{text}"),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
+        }
+        Some("flight") => match parts.get(1).copied() {
+            Some(path) => match std::fs::write(path, db.obs().flight.to_json(true)) {
+                Ok(()) => eprintln!("flight recorder dumped to {path}"),
+                Err(e) => eprintln!("cannot dump flight recorder to {path}: {e}"),
+            },
+            None => println!("{}", db.obs().flight.to_json(true)),
+        },
         Some("trace") => match parts.get(1).copied() {
             Some("on") => db.obs().tracer.set_enabled(true),
             Some("off") => db.obs().tracer.set_enabled(false),

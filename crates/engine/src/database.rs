@@ -1,13 +1,14 @@
 //! The `Database` facade.
 
 use crate::explain::{explain_block, JitsExplain};
-use crate::metrics::{QueryMetrics, StageWalls};
+use crate::metrics::{wall_since, QueryMetrics, StageWalls};
+use crate::profile::{build_profile, render_profile, ProfileContext};
 use crate::settings::StatsSetting;
 use crate::{observe, views};
 use jits::{
-    collect_for_tables, collect_for_tables_sourced, ingest, query_analysis, sensitivity_analysis,
-    CollectedStats, JitsConfig, JitsStatisticsProvider, PredicateCache, QssArchive, RefineOutcome,
-    SampleSource, SensitivityStrategy, StatHistory,
+    collect_for_tables, collect_for_tables_sourced, ingest, query_analysis,
+    sensitivity_analysis_with_feedback, CollectedStats, JitsConfig, JitsStatisticsProvider,
+    PredicateCache, QssArchive, RefineOutcome, SampleSource, SensitivityStrategy, StatHistory,
 };
 use jits_catalog::{runstats, Catalog, RunstatsOptions};
 use jits_common::fault::{
@@ -17,6 +18,7 @@ use jits_common::{
     fault_key, ColumnId, FaultPlane, JitsError, Result, Schema, SplitMix64, TableId, Value,
 };
 use jits_executor::{execute_with, ExecutorKind};
+use jits_obs::clock::now_nanos;
 use jits_obs::{Observability, QueryLogEntry, TraceBuilder};
 use jits_optimizer::{
     optimize, CardinalityEstimator, CatalogStatisticsProvider, CostModel, DefaultSelectivities,
@@ -29,7 +31,6 @@ use jits_query::{
 use jits_storage::{CacheLookup, CachedSample, RowId, SampleCache, Table};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Result of executing one SQL statement.
 #[derive(Debug, Clone)]
@@ -80,6 +81,10 @@ pub struct Database {
     /// Evaluate SELECTs on the vectorized batch executor (default) or the
     /// row-at-a-time path; bit-identical either way, kept for A/B runs.
     batch_executor: bool,
+    /// Build per-operator profiles of executed SELECTs (default on; see
+    /// `crate::profile`). Off disables the q-error observatory and the
+    /// flight-recorder profile events, for overhead A/B runs.
+    profiling: bool,
     /// Tracer, metrics registry, and query log.
     obs: Arc<Observability>,
     /// Deterministic fault-injection plane (disabled by default: every
@@ -106,6 +111,7 @@ impl Database {
             runstats_opts: RunstatsOptions::default(),
             last_materialized: 0,
             batch_executor: true,
+            profiling: true,
             obs: Arc::new(Observability::new()),
             fault: FaultPlane::disabled(),
         }
@@ -122,6 +128,19 @@ impl Database {
     /// Whether SELECTs run on the vectorized batch executor.
     pub fn batch_executor(&self) -> bool {
         self.batch_executor
+    }
+
+    /// Enables or disables per-operator profiling of SELECTs (default on).
+    /// When off, executed statements carry no [`QueryMetrics::profile`],
+    /// record no flight-recorder profile events, and feed no q-error
+    /// aggregates — the knob the profiling-overhead benchmark flips.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiling = on;
+    }
+
+    /// Whether per-operator profiling is enabled.
+    pub fn profiling(&self) -> bool {
+        self.profiling
     }
 
     /// Installs the deterministic fault-injection plane (chaos testing).
@@ -353,6 +372,7 @@ impl Database {
             self.defaults,
             self.runstats_opts,
             self.batch_executor,
+            self.profiling,
             self.obs,
             self.fault,
         )
@@ -362,12 +382,12 @@ impl Database {
 
     /// Parses, optimizes and executes one SQL statement.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
-        let t0 = Instant::now();
+        let t0 = now_nanos();
         let stmt = parse(sql)?;
         if let Some(rows) = self.system_view_rows(&stmt) {
             return Ok(QueryResult {
                 metrics: QueryMetrics {
-                    compile_wall: t0.elapsed(),
+                    compile_wall: wall_since(t0),
                     result_rows: rows.len(),
                     ..QueryMetrics::default()
                 },
@@ -386,7 +406,7 @@ impl Database {
                 );
                 let plan = self.plan_for(&block, &collected)?;
                 let metrics = QueryMetrics {
-                    compile_wall: t0.elapsed(),
+                    compile_wall: wall_since(t0),
                     compile_work: collected.work,
                     plan: Some(PlanSummary::from(&plan)),
                     ..QueryMetrics::default()
@@ -442,7 +462,26 @@ impl Database {
             &self.archive,
             &self.history,
             &self.predcache,
+            &observe::qerror_feedback(&self.obs, &self.catalog),
         ))
+    }
+
+    /// Executes `sql` with profiling forced on and renders the per-operator
+    /// profile tree: estimated vs. actual cardinality, q-error, charged
+    /// work, and wall time for every node of the executed plan.
+    ///
+    /// Errors for statements that execute no plan (DML, EXPLAIN, system
+    /// views).
+    pub fn explain_analyze(&mut self, sql: &str) -> Result<String> {
+        let was = self.profiling;
+        self.profiling = true;
+        let result = self.execute(sql);
+        self.profiling = was;
+        let profile = result?
+            .metrics
+            .profile
+            .ok_or_else(|| JitsError::Plan("EXPLAIN ANALYZE supports plain SELECT only".into()))?;
+        Ok(render_profile(&profile))
     }
 
     /// Answers a `SELECT` from one of the virtual system views, unless a
@@ -457,16 +496,19 @@ impl Database {
             views::VIEW_TABLE_SCORES => views::table_scores_rows(&self.obs),
             views::VIEW_SAMPLE_CACHE => views::sample_cache_rows(&self.samplecache, &self.catalog),
             views::VIEW_DEGRADATION => views::degradation_rows(&self.obs),
+            views::VIEW_PROFILE => views::profile_rows(&self.obs),
+            views::VIEW_FLIGHT => views::flight_rows(&self.obs),
             _ => views::query_log_rows(&self.obs),
         })
     }
 
-    fn run_select(&mut self, block: QueryBlock, t0: Instant, sql: &str) -> Result<QueryResult> {
+    fn run_select(&mut self, block: QueryBlock, t0: u64, sql: &str) -> Result<QueryResult> {
         self.clock += 1;
         let obs = Arc::clone(&self.obs);
+        let cfg = self.setting.jits_config().cloned().unwrap_or_default();
         let mut tb = obs.tracer.start(sql, self.clock, 0);
         tb.begin("parse_bind");
-        tb.end(t0.elapsed().as_nanos() as u64);
+        tb.end(now_nanos().saturating_sub(t0));
         let mut metrics = QueryMetrics::default();
 
         // -- JITS compile-time pipeline --
@@ -481,32 +523,59 @@ impl Database {
 
         // -- optimize --
         tb.begin("optimize");
-        let topt = Instant::now();
+        let topt = now_nanos();
         let plan = self.plan_for(&block, &collected)?;
-        tb.end(topt.elapsed().as_nanos() as u64);
+        let plan_nanos = now_nanos().saturating_sub(topt);
+        tb.end(plan_nanos);
         metrics.plan = Some(PlanSummary::from(&plan));
-        metrics.compile_wall = t0.elapsed();
+        metrics.compile_wall = wall_since(t0);
 
         // -- execute --
         tb.begin("execute");
-        let t1 = Instant::now();
+        let t1 = now_nanos();
         let kind = if self.batch_executor {
             ExecutorKind::Batch
         } else {
             ExecutorKind::Row
         };
         let out = execute_with(kind, &plan, &block, &self.tables, &self.cost)?;
-        metrics.exec_wall = t1.elapsed();
-        tb.end(metrics.exec_wall.as_nanos() as u64);
+        metrics.exec_wall = wall_since(t1);
+        let exec_nanos = metrics.exec_wall.as_nanos() as u64;
+        tb.end(exec_nanos);
         metrics.exec_work = out.stats.work;
         metrics.result_rows = out.rows.len();
         metrics.batch_executor = self.batch_executor;
         observe::note_executor(&obs, self.batch_executor);
 
+        // -- profile (estimation-quality observatory) --
+        if self.profiling {
+            let profile = build_profile(
+                &plan,
+                &out.stats,
+                &self.catalog,
+                &ProfileContext {
+                    clock: self.clock,
+                    session: 0,
+                    sql,
+                    batch_executor: self.batch_executor,
+                    result_rows: out.rows.len(),
+                    degraded: metrics.degraded,
+                    exec_wall_nanos: exec_nanos,
+                },
+            );
+            observe::note_profile(&obs, &profile, cfg.qerror_threshold);
+            metrics.profile = Some(profile);
+        }
+        observe::note_stage_latencies(
+            &obs,
+            plan_nanos,
+            metrics.collect_wall.as_nanos() as u64,
+            exec_nanos,
+        );
+
         // -- feedback (LEO) --
         tb.begin("feedback");
-        let tf = Instant::now();
-        let cfg = self.setting.jits_config().cloned().unwrap_or_default();
+        let tf = now_nanos();
         ingest(
             &block,
             &out.stats.scans,
@@ -517,7 +586,7 @@ impl Database {
             self.clock,
         );
         observe::note_feedback(&obs, &mut tb, out.stats.scans.len());
-        tb.end(tf.elapsed().as_nanos() as u64);
+        tb.end(now_nanos().saturating_sub(tf));
 
         // -- periodic statistics migration (paper Figure 1) --
         if matches!(self.setting, StatsSetting::Jits(_))
@@ -539,7 +608,7 @@ impl Database {
                 sampled_tables: sampled,
             },
         );
-        obs.tracer.finish(tb, t0.elapsed().as_nanos() as u64);
+        obs.tracer.finish(tb, now_nanos().saturating_sub(t0));
 
         Ok(QueryResult {
             rows: out.rows,
@@ -572,15 +641,15 @@ impl Database {
 
         // -- query analysis (Algorithm 1) --
         tb.begin("analyze");
-        let t = Instant::now();
+        let t = now_nanos();
         let candidates = query_analysis(block, cfg.max_group_enumeration);
-        walls.analyze = t.elapsed();
+        walls.analyze = wall_since(t);
         observe::note_analysis(&self.obs, tb, block.quns.len(), candidates.len());
         tb.end(walls.analyze.as_nanos() as u64);
 
         // -- sensitivity analysis (Algorithms 2-4) --
         tb.begin("sensitivity");
-        let t = Instant::now();
+        let t = now_nanos();
         let (sample_quns, materialize, table_scores, extra_work, mat_log) = match &cfg.strategy {
             SensitivityStrategy::PaperHeuristic => {
                 // history.read fault: a failed (post-retry) history read
@@ -600,7 +669,7 @@ impl Database {
                         "empty_history",
                     );
                 }
-                let decision = sensitivity_analysis(
+                let decision = sensitivity_analysis_with_feedback(
                     block,
                     &candidates,
                     empty_history.as_ref().unwrap_or(&self.history),
@@ -609,6 +678,7 @@ impl Database {
                     &self.catalog,
                     &self.tables,
                     &cfg,
+                    &observe::qerror_feedback(&self.obs, &self.catalog),
                 );
                 (
                     decision.sample_quns,
@@ -646,7 +716,7 @@ impl Database {
                 )
             }
         };
-        walls.sensitivity = t.elapsed();
+        walls.sensitivity = wall_since(t);
         observe::note_sensitivity(
             &self.obs,
             tb,
@@ -660,7 +730,7 @@ impl Database {
 
         // -- statistics collection (sampling) --
         tb.begin("collect");
-        let t = Instant::now();
+        let t = now_nanos();
         let clock_fn: Option<&(dyn Fn() -> u64 + Sync)> = if tb.enabled() {
             Some(&jits_obs::clock::now_nanos)
         } else {
@@ -718,7 +788,7 @@ impl Database {
             );
         }
         collected.work += extra_work;
-        walls.collect = t.elapsed();
+        walls.collect = wall_since(t);
         observe::note_collect(&self.obs, tb, block, &self.catalog, &timings);
         observe::note_samplecache(&self.obs, tb, cache_before, self.samplecache.counters());
         tb.end(walls.collect.as_nanos() as u64);
@@ -730,7 +800,7 @@ impl Database {
 
         // -- archive materialization / max-entropy refinement --
         tb.begin("refine");
-        let t = Instant::now();
+        let t = now_nanos();
         // Quarantined groups rebuild on the next collection that covers
         // them, regardless of the sensitivity verdict (the verdict may be
         // "skip" precisely because the group *was* archived).
@@ -780,7 +850,7 @@ impl Database {
                 );
             }
         }
-        walls.refine = t.elapsed();
+        walls.refine = wall_since(t);
         observe::note_archive_gauges(&self.obs, &self.archive);
         tb.end(walls.refine.as_nanos() as u64);
 
@@ -866,10 +936,10 @@ impl Database {
         }
     }
 
-    fn run_insert(&mut self, ins: BoundInsert, t0: Instant) -> Result<QueryResult> {
+    fn run_insert(&mut self, ins: BoundInsert, t0: u64) -> Result<QueryResult> {
         self.clock += 1;
-        let compile_wall = t0.elapsed();
-        let t1 = Instant::now();
+        let compile_wall = wall_since(t0);
+        let t1 = now_nanos();
         let t = &mut self.tables[ins.table.index()];
         let n = ins.rows.len();
         for row in ins.rows {
@@ -879,7 +949,7 @@ impl Database {
             rows: Vec::new(),
             metrics: QueryMetrics {
                 compile_wall,
-                exec_wall: t1.elapsed(),
+                exec_wall: wall_since(t1),
                 exec_work: n as f64,
                 result_rows: n,
                 ..QueryMetrics::default()
@@ -887,10 +957,10 @@ impl Database {
         })
     }
 
-    fn run_update(&mut self, upd: BoundUpdate, t0: Instant) -> Result<QueryResult> {
+    fn run_update(&mut self, upd: BoundUpdate, t0: u64) -> Result<QueryResult> {
         self.clock += 1;
-        let compile_wall = t0.elapsed();
-        let t1 = Instant::now();
+        let compile_wall = wall_since(t0);
+        let t1 = now_nanos();
         let t = &mut self.tables[upd.table.index()];
         let matching: Vec<RowId> = t
             .scan()
@@ -910,7 +980,7 @@ impl Database {
             rows: Vec::new(),
             metrics: QueryMetrics {
                 compile_wall,
-                exec_wall: t1.elapsed(),
+                exec_wall: wall_since(t1),
                 exec_work: scanned as f64 + matching.len() as f64,
                 result_rows: matching.len(),
                 ..QueryMetrics::default()
@@ -918,10 +988,10 @@ impl Database {
         })
     }
 
-    fn run_delete(&mut self, del: BoundDelete, t0: Instant) -> Result<QueryResult> {
+    fn run_delete(&mut self, del: BoundDelete, t0: u64) -> Result<QueryResult> {
         self.clock += 1;
-        let compile_wall = t0.elapsed();
-        let t1 = Instant::now();
+        let compile_wall = wall_since(t0);
+        let t1 = now_nanos();
         let t = &mut self.tables[del.table.index()];
         let matching: Vec<RowId> = t
             .scan()
@@ -939,7 +1009,7 @@ impl Database {
             rows: Vec::new(),
             metrics: QueryMetrics {
                 compile_wall,
-                exec_wall: t1.elapsed(),
+                exec_wall: wall_since(t1),
                 exec_work: scanned as f64 + matching.len() as f64,
                 result_rows: matching.len(),
                 ..QueryMetrics::default()

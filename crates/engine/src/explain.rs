@@ -8,11 +8,13 @@
 
 use crate::observe;
 use crate::settings::StatsSetting;
-use jits::{query_analysis, sensitivity_analysis, TableScore};
+use jits::{query_analysis, sensitivity_analysis_with_feedback, TableScore};
 use jits_catalog::Catalog;
+use jits_common::TableId;
 use jits_obs::ScoreRow;
 use jits_query::QueryBlock;
 use jits_storage::Table;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// One Algorithm 4 materialize-or-not verdict.
@@ -96,6 +98,7 @@ pub(crate) fn explain_block(
     archive: &jits::QssArchive,
     history: &jits::StatHistory,
     predcache: &jits::PredicateCache,
+    qerror: &BTreeMap<TableId, f64>,
 ) -> JitsExplain {
     let mut out = JitsExplain {
         sql: sql.to_string(),
@@ -117,7 +120,9 @@ pub(crate) fn explain_block(
     out.s_max = cfg.s_max;
     let candidates = query_analysis(block, cfg.max_group_enumeration);
     out.candidate_groups = candidates.len();
-    let decision = sensitivity_analysis(
+    // the same q-error feedback `execute` applies, so the preview stays
+    // bit-for-bit what the next execution would decide
+    let decision = sensitivity_analysis_with_feedback(
         block,
         &candidates,
         history,
@@ -126,6 +131,7 @@ pub(crate) fn explain_block(
         catalog,
         tables,
         cfg,
+        qerror,
     );
     out.scores = decision
         .table_scores

@@ -33,6 +33,7 @@ pub mod database;
 pub mod explain;
 pub mod metrics;
 mod observe;
+mod profile;
 pub mod session;
 pub mod settings;
 pub mod views;
@@ -42,4 +43,7 @@ pub use explain::{JitsExplain, MaterializeExplain};
 pub use metrics::{CountersSnapshot, EngineCounters, QueryMetrics, StageWalls};
 pub use session::{Session, SharedDatabase};
 pub use settings::StatsSetting;
-pub use views::{VIEW_ARCHIVE_STATS, VIEW_DEGRADATION, VIEW_QUERY_LOG, VIEW_TABLE_SCORES};
+pub use views::{
+    VIEW_ARCHIVE_STATS, VIEW_DEGRADATION, VIEW_FLIGHT, VIEW_PROFILE, VIEW_QUERY_LOG,
+    VIEW_TABLE_SCORES,
+};

@@ -5,6 +5,15 @@ use jits_optimizer::PlanSummary;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+/// Wall-clock elapsed since a [`jits_obs::clock::now_nanos`] reading.
+///
+/// Every engine wall measurement goes through this helper (and thus through
+/// `obs::clock`), so the determinism lint can pin OS-clock reads to a
+/// single file.
+pub(crate) fn wall_since(start_nanos: u64) -> Duration {
+    Duration::from_nanos(jits_obs::clock::now_nanos().saturating_sub(start_nanos))
+}
+
 /// The rate converting cost-model work units into simulated seconds.
 ///
 /// Calibrated so the single-query experiment at default scale lands in the
@@ -76,6 +85,10 @@ pub struct QueryMetrics {
     /// One `"<fault-point> -> <fallback>"` entry per degradation, in the
     /// deterministic order they were recorded.
     pub degraded_reasons: Vec<String>,
+    /// Per-operator profile of the executed plan (None for DML, system
+    /// views, or when profiling is disabled). Captured at execution time so
+    /// `explain_analyze` never races other sessions for the flight ring.
+    pub profile: Option<jits_obs::QueryProfile>,
 }
 
 impl QueryMetrics {

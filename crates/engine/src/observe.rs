@@ -17,10 +17,12 @@ use jits::{CollectTiming, JitsConfig, MaterializeDecision, SampleOrigin, TableSc
 use jits_catalog::Catalog;
 use jits_common::{ColGroup, TableId};
 use jits_obs::{
-    DegradationRow, Observability, QueryLogEntry, ScoreRow, TraceBuilder, TraceEvent, Volatility,
+    clamp_q_error, DegradationRow, FlightEvent, Observability, QueryLogEntry, QueryProfile,
+    ScoreRow, TraceBuilder, TraceEvent, Volatility,
 };
 use jits_query::QueryBlock;
 use jits_storage::CacheCounters;
+use std::collections::BTreeMap;
 
 /// Resolves a table id to its name for trace/score rows.
 pub(crate) fn table_name(catalog: &Catalog, tid: TableId) -> String {
@@ -314,12 +316,101 @@ pub(crate) fn note_degradation(
     metrics
         .degraded_reasons
         .push(format!("{fault_point} -> {fallback}"));
+    obs.flight.record(FlightEvent::Degradation {
+        clock,
+        table: table.clone(),
+        fault_point: fault_point.to_string(),
+        fallback: fallback.to_string(),
+    });
     obs.record_degradation(DegradationRow {
         clock,
         table,
         fault_point: fault_point.to_string(),
         fallback: fallback.to_string(),
     });
+}
+
+/// A q-error in integer milli-units, clamped: the registry speaks `u64`,
+/// and thousandths are plenty of resolution for accuracy aggregates.
+fn qerror_milli(q: f64) -> u64 {
+    (clamp_q_error(q) * 1000.0) as u64
+}
+
+/// Records one statement's operator profile: the `jits.qerror.*` accuracy
+/// metrics, the per-table q-error aggregates the sensitivity loop reads,
+/// the flight-recorder event, and — on a misprediction above
+/// `qerror_threshold` or a degraded statement — the anomaly marker that
+/// triggers an automatic flight dump. Everything recorded here derives
+/// from estimated vs. actual row counts, never timing, so the metrics are
+/// deterministic at any `collect_threads`.
+pub(crate) fn note_profile(obs: &Observability, profile: &QueryProfile, qerror_threshold: f64) {
+    let reg = &obs.registry;
+    reg.counter("jits.profile.statements", Volatility::Deterministic)
+        .inc();
+    let qhist = reg.histogram("jits.qerror.scan_milli", Volatility::Deterministic);
+    let mut scans = 0u64;
+    let mut mispredicted = 0u64;
+    for n in &profile.nodes {
+        let is_scan = n.kind == "seq_scan" || n.kind == "index_scan";
+        if !is_scan || n.table.is_empty() {
+            continue;
+        }
+        obs.record_qerror(&n.table, n.q_error, qerror_threshold);
+        qhist.observe(qerror_milli(n.q_error));
+        scans += 1;
+        if n.q_error > qerror_threshold {
+            mispredicted += 1;
+        }
+    }
+    reg.counter("jits.qerror.scans", Volatility::Deterministic)
+        .add(scans);
+    reg.counter("jits.qerror.mispredicted_scans", Volatility::Deterministic)
+        .add(mispredicted);
+    reg.gauge("jits.qerror.last_max_milli", Volatility::Deterministic)
+        .set(qerror_milli(profile.max_q_error));
+    let max_q = profile.max_q_error;
+    let (clock, degraded) = (profile.clock, profile.degraded);
+    obs.flight.record(FlightEvent::Profile(profile.clone()));
+    if max_q > qerror_threshold {
+        obs.flight.record_anomaly(
+            clock,
+            format!("q-error {:.3} above threshold {qerror_threshold:.3}", max_q),
+        );
+    } else if degraded {
+        obs.flight
+            .record_anomaly(clock, "degraded statement".to_string());
+    }
+}
+
+/// Observes one statement's per-stage wall latencies into the fixed-bucket
+/// log-scale sketches behind the `jits.stage.*` p50/p99/p999 exports.
+/// Volatile by definition — masked out of deterministic metric dumps.
+pub(crate) fn note_stage_latencies(
+    obs: &Observability,
+    plan_nanos: u64,
+    collect_nanos: u64,
+    exec_nanos: u64,
+) {
+    let reg = &obs.registry;
+    reg.histogram("jits.stage.plan_nanos", Volatility::Volatile)
+        .observe(plan_nanos);
+    if collect_nanos > 0 {
+        reg.histogram("jits.stage.collect_nanos", Volatility::Volatile)
+            .observe(collect_nanos);
+    }
+    reg.histogram("jits.stage.execute_nanos", Volatility::Volatile)
+        .observe(exec_nanos);
+}
+
+/// The last observed per-table q-errors resolved to table ids — the
+/// feedback [`jits::sensitivity_analysis_with_feedback`] uses to boost
+/// re-collection of tables the optimizer actually mispredicted. Tables
+/// whose names no longer resolve are dropped.
+pub(crate) fn qerror_feedback(obs: &Observability, catalog: &Catalog) -> BTreeMap<TableId, f64> {
+    obs.qerror_last()
+        .into_iter()
+        .filter_map(|(name, q)| catalog.resolve(&name).map(|tid| (tid, q)))
+        .collect()
 }
 
 /// Records the feedback stage (LEO ingest).

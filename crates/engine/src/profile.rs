@@ -1,0 +1,192 @@
+//! Per-operator query profiles: the estimation-quality observatory.
+//!
+//! After every executed SELECT the engine zips the physical plan with the
+//! executor's post-order observation stream ([`jits_executor::ExecStats`])
+//! into a [`QueryProfile`]: one row per operator carrying estimated vs.
+//! actual cardinality, q-error, charged work, and inclusive wall time.
+//! The deterministic fields (kind, table, rows, q-error, work) are
+//! bit-identical between the row and batch executors and across
+//! `collect_threads`; only `wall_nanos` is volatile, and every dump path
+//! can mask it.
+//!
+//! Profiles feed three consumers: `EXPLAIN ANALYZE`
+//! ([`crate::Database::explain_analyze`]), the `jits_profile` /
+//! `jits_flight` system views, and the per-table q-error aggregates the
+//! sensitivity loop reads to prioritize re-collection of tables the
+//! optimizer actually mispredicted.
+
+use crate::observe;
+use jits_catalog::Catalog;
+use jits_executor::ExecStats;
+use jits_obs::{clamp_q_error, ProfileNodeRow, QueryProfile};
+use jits_optimizer::PhysicalPlan;
+use std::fmt::Write as _;
+
+/// Everything [`build_profile`] needs about the statement besides the plan
+/// and the executor stats.
+pub(crate) struct ProfileContext<'a> {
+    /// Logical statement clock.
+    pub clock: u64,
+    /// Session id (0 on the single-owner path).
+    pub session: u64,
+    /// Statement text.
+    pub sql: &'a str,
+    /// Whether the batch executor evaluated the statement.
+    pub batch_executor: bool,
+    /// Result rows returned.
+    pub result_rows: usize,
+    /// Whether any pipeline stage degraded for this statement.
+    pub degraded: bool,
+    /// Execute-phase wall nanoseconds (volatile).
+    pub exec_wall_nanos: u64,
+}
+
+/// Builds the per-operator profile of one executed statement.
+///
+/// The walker visits the plan in the executor's push order (post-order,
+/// children before self) to consume `stats.nodes` / `stats.node_walls`,
+/// but emits rows in pre-order with depths so the profile reads as an
+/// indented tree.
+pub(crate) fn build_profile(
+    plan: &PhysicalPlan,
+    stats: &ExecStats,
+    catalog: &Catalog,
+    ctx: &ProfileContext<'_>,
+) -> QueryProfile {
+    let mut nodes = Vec::with_capacity(stats.nodes.len());
+    let mut cursor = 0usize;
+    flatten(plan, stats, catalog, 0, &mut cursor, &mut nodes);
+    debug_assert_eq!(
+        cursor,
+        stats.nodes.len(),
+        "profile walker out of step with the observation stream"
+    );
+    let max_q_error = nodes.iter().map(|n| n.q_error).fold(1.0f64, f64::max);
+    QueryProfile {
+        clock: ctx.clock,
+        session: ctx.session,
+        sql: ctx.sql.to_string(),
+        executor: if ctx.batch_executor { "batch" } else { "row" }.to_string(),
+        result_rows: ctx.result_rows,
+        total_work: stats.work,
+        max_q_error,
+        degraded: ctx.degraded,
+        exec_wall_nanos: ctx.exec_wall_nanos,
+        nodes,
+    }
+}
+
+/// Consumes this subtree's observations from the post-order stream and
+/// appends its rows in pre-order (self before children) at `depth`.
+fn flatten(
+    plan: &PhysicalPlan,
+    stats: &ExecStats,
+    catalog: &Catalog,
+    depth: usize,
+    cursor: &mut usize,
+    out: &mut Vec<ProfileNodeRow>,
+) {
+    match plan {
+        PhysicalPlan::SeqScan { scan, .. } | PhysicalPlan::IndexScan { scan, .. } => {
+            push_row(
+                stats,
+                *cursor,
+                depth,
+                observe::table_name(catalog, scan.table),
+                out,
+            );
+            *cursor += 1;
+        }
+        PhysicalPlan::HashJoin { build, probe, .. } => {
+            let mut kids = Vec::new();
+            flatten(build, stats, catalog, depth + 1, cursor, &mut kids);
+            flatten(probe, stats, catalog, depth + 1, cursor, &mut kids);
+            push_row(stats, *cursor, depth, String::new(), out);
+            *cursor += 1;
+            out.append(&mut kids);
+        }
+        PhysicalPlan::IndexNLJoin { outer, inner, .. } => {
+            // the inner side is a per-probe index access inside the join
+            // operator itself (the executor pushes no separate node for
+            // it), so its table labels the join row
+            let mut kids = Vec::new();
+            flatten(outer, stats, catalog, depth + 1, cursor, &mut kids);
+            push_row(
+                stats,
+                *cursor,
+                depth,
+                observe::table_name(catalog, inner.table),
+                out,
+            );
+            *cursor += 1;
+            out.append(&mut kids);
+        }
+        PhysicalPlan::NLJoin { outer, inner, .. } => {
+            let mut kids = Vec::new();
+            flatten(outer, stats, catalog, depth + 1, cursor, &mut kids);
+            flatten(inner, stats, catalog, depth + 1, cursor, &mut kids);
+            push_row(stats, *cursor, depth, String::new(), out);
+            *cursor += 1;
+            out.append(&mut kids);
+        }
+    }
+}
+
+/// Emits the row for the observation at `i` (no-op if the stream is
+/// shorter than the plan, which the debug assertion above would flag).
+fn push_row(
+    stats: &ExecStats,
+    i: usize,
+    depth: usize,
+    table: String,
+    out: &mut Vec<ProfileNodeRow>,
+) {
+    let Some(obs) = stats.nodes.get(i) else {
+        return;
+    };
+    out.push(ProfileNodeRow {
+        depth,
+        kind: obs.kind.label().to_string(),
+        table,
+        est_rows: obs.est_rows,
+        actual_rows: obs.actual_rows,
+        q_error: clamp_q_error(obs.q_error()),
+        work: obs.work,
+        wall_nanos: stats.node_walls.get(i).copied().unwrap_or(0),
+    });
+}
+
+/// Renders a profile as an indented operator tree (the `EXPLAIN ANALYZE`
+/// output format).
+pub(crate) fn render_profile(p: &QueryProfile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "EXPLAIN ANALYZE ({} executor): {} rows, work {:.0}, max q-error {:.2}{}",
+        p.executor,
+        p.result_rows,
+        p.total_work,
+        p.max_q_error,
+        if p.degraded { ", DEGRADED" } else { "" },
+    );
+    for n in &p.nodes {
+        let on = if n.table.is_empty() {
+            String::new()
+        } else {
+            format!(" on {}", n.table)
+        };
+        let _ = writeln!(
+            out,
+            "{}{}{} (est={:.1} actual={:.1} q-error={:.2} work={:.0} wall={}ns)",
+            "  ".repeat(n.depth + 1),
+            n.kind,
+            on,
+            n.est_rows,
+            n.actual_rows,
+            n.q_error,
+            n.work,
+            n.wall_nanos,
+        );
+    }
+    out
+}

@@ -46,12 +46,14 @@ use crate::database::{
     PhysicalMetadataProvider, OPTIMIZER_CALL_WORK,
 };
 use crate::explain::{explain_block, JitsExplain};
-use crate::metrics::{CountersSnapshot, EngineCounters, QueryMetrics, StageWalls};
+use crate::metrics::{wall_since, CountersSnapshot, EngineCounters, QueryMetrics, StageWalls};
+use crate::profile::{build_profile, render_profile, ProfileContext};
 use crate::settings::StatsSetting;
 use crate::{observe, views, Database, QueryResult};
 use jits::{
-    collect_for_tables_sourced, ingest, query_analysis, sensitivity_analysis, CollectedStats,
-    JitsStatisticsProvider, PredicateCache, QssArchive, SensitivityStrategy, StatHistory,
+    collect_for_tables_sourced, ingest, query_analysis, sensitivity_analysis_with_feedback,
+    CollectedStats, JitsStatisticsProvider, PredicateCache, QssArchive, SensitivityStrategy,
+    StatHistory,
 };
 use jits_catalog::{runstats, Catalog, RunstatsOptions};
 use jits_common::fault::{
@@ -59,6 +61,7 @@ use jits_common::fault::{
 };
 use jits_common::{fault_key, FaultPlane, JitsError, Result, Schema, SplitMix64, TableId, Value};
 use jits_executor::{execute_with, ExecutorKind};
+use jits_obs::clock::now_nanos;
 use jits_obs::{Observability, QueryLogEntry, TraceBuilder};
 use jits_optimizer::{
     optimize, CardinalityEstimator, CatalogStatisticsProvider, CostModel, DefaultSelectivities,
@@ -72,7 +75,7 @@ use parking_lot::rank::LockRank;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Rank of the catalog lock — first in the acquisition order.
 pub const RANK_CATALOG: LockRank = LockRank::new(1, "catalog");
@@ -113,6 +116,9 @@ struct Shared {
     /// Evaluate SELECTs on the vectorized batch executor (default) or the
     /// row-at-a-time A/B path; lock-free, togglable at any time.
     batch_executor: AtomicBool,
+    /// Build per-operator profiles of executed SELECTs (default on);
+    /// lock-free, togglable at any time.
+    profiling: AtomicBool,
     counters: EngineCounters,
     /// Tracer, metrics registry, and query log (lock-free or rank-8
     /// internally, so usable while holding any engine lock).
@@ -164,9 +170,9 @@ fn timed_read<'a, T: ?Sized>(
     if let Some(g) = lock.try_read() {
         return g;
     }
-    let t = Instant::now();
+    let t = now_nanos();
     let g = lock.read();
-    let ns = t.elapsed().as_nanos() as u64;
+    let ns = now_nanos().saturating_sub(t);
     counters.charge_lock_wait(ns);
     *waited += ns;
     g
@@ -181,9 +187,9 @@ fn timed_write<'a, T: ?Sized>(
     if let Some(g) = lock.try_write() {
         return g;
     }
-    let t = Instant::now();
+    let t = now_nanos();
     let g = lock.write();
-    let ns = t.elapsed().as_nanos() as u64;
+    let ns = now_nanos().saturating_sub(t);
     counters.charge_lock_wait(ns);
     *waited += ns;
     g
@@ -212,6 +218,7 @@ impl SharedDatabase {
         defaults: DefaultSelectivities,
         runstats_opts: RunstatsOptions,
         batch_executor: bool,
+        profiling: bool,
         obs: Arc<Observability>,
         fault: FaultPlane,
     ) -> Self {
@@ -231,6 +238,7 @@ impl SharedDatabase {
                 defaults,
                 runstats_opts,
                 batch_executor: AtomicBool::new(batch_executor),
+                profiling: AtomicBool::new(profiling),
                 counters: EngineCounters::default(),
                 obs,
                 fault: Mutex::new(fault),
@@ -255,6 +263,18 @@ impl SharedDatabase {
     /// Whether SELECTs run on the vectorized batch executor.
     pub fn batch_executor(&self) -> bool {
         self.shared.batch_executor.load(Ordering::SeqCst)
+    }
+
+    /// Enables or disables per-operator profiling for every session (see
+    /// [`Database::set_profiling`]); lock-free, takes effect at each
+    /// session's next statement.
+    pub fn set_profiling(&self, on: bool) {
+        self.shared.profiling.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether per-operator profiling is enabled.
+    pub fn profiling(&self) -> bool {
+        self.shared.profiling.load(Ordering::SeqCst)
     }
 
     /// Opens a new session. The first session continues the master RNG
@@ -497,7 +517,7 @@ impl Session {
     /// [`Database::execute`] statement-for-statement, but against shared
     /// state under the module's lock discipline.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
-        let t0 = Instant::now();
+        let t0 = now_nanos();
         let mut waited = 0u64;
         self.shared
             .counters
@@ -507,7 +527,7 @@ impl Session {
         if let Some(rows) = self.system_view_rows(&stmt, &mut waited) {
             return Ok(QueryResult {
                 metrics: QueryMetrics {
-                    compile_wall: t0.elapsed(),
+                    compile_wall: wall_since(t0),
                     result_rows: rows.len(),
                     lock_wait: Duration::from_nanos(waited),
                     ..QueryMetrics::default()
@@ -535,7 +555,7 @@ impl Session {
                 );
                 let plan = self.plan_for(&block, &collected, &setting, clock, &mut waited)?;
                 let metrics = QueryMetrics {
-                    compile_wall: t0.elapsed(),
+                    compile_wall: wall_since(t0),
                     compile_work: collected.work,
                     plan: Some(PlanSummary::from(&plan)),
                     collect_threads: collected.collect_threads,
@@ -602,8 +622,32 @@ impl Session {
         let predcache = timed_read(&sh.predcache, &sh.counters, &mut waited);
         let setting = timed_read(&sh.setting, &sh.counters, &mut waited).clone();
         Ok(explain_block(
-            sql, &block, &setting, &catalog, &tables, &archive, &history, &predcache,
+            sql,
+            &block,
+            &setting,
+            &catalog,
+            &tables,
+            &archive,
+            &history,
+            &predcache,
+            &observe::qerror_feedback(&sh.obs, &catalog),
         ))
+    }
+
+    /// Executes `sql` with profiling forced on and renders the per-operator
+    /// profile tree (the locked counterpart of
+    /// [`Database::explain_analyze`]). The statement's own profile is
+    /// rendered — never another session's — because the profile rides on
+    /// the returned metrics, not on the shared flight ring.
+    pub fn explain_analyze(&mut self, sql: &str) -> Result<String> {
+        let was = self.shared.profiling.swap(true, Ordering::SeqCst);
+        let result = self.execute(sql);
+        self.shared.profiling.store(was, Ordering::SeqCst);
+        let profile = result?
+            .metrics
+            .profile
+            .ok_or_else(|| JitsError::Plan("EXPLAIN ANALYZE supports plain SELECT only".into()))?;
+        Ok(render_profile(&profile))
     }
 
     /// Answers a `SELECT` from one of the virtual system views, unless a
@@ -633,6 +677,8 @@ impl Session {
                 views::sample_cache_rows(&samplecache, &catalog)
             }
             views::VIEW_DEGRADATION => views::degradation_rows(&sh.obs),
+            views::VIEW_PROFILE => views::profile_rows(&sh.obs),
+            views::VIEW_FLIGHT => views::flight_rows(&sh.obs),
             _ => views::query_log_rows(&sh.obs),
         })
     }
@@ -640,7 +686,7 @@ impl Session {
     fn run_select(
         &mut self,
         block: QueryBlock,
-        t0: Instant,
+        t0: u64,
         mut waited: u64,
         sql: &str,
     ) -> Result<QueryResult> {
@@ -648,8 +694,9 @@ impl Session {
         let clock = sh.clock.fetch_add(1, Ordering::SeqCst) + 1;
         let mut tb = sh.obs.tracer.start(sql, clock, self.id);
         tb.begin("parse_bind");
-        tb.end(t0.elapsed().as_nanos() as u64);
+        tb.end(now_nanos().saturating_sub(t0));
         let setting = timed_read(&sh.setting, &sh.counters, &mut waited).clone();
+        let cfg = setting.jits_config().cloned().unwrap_or_default();
         let mut metrics = QueryMetrics::default();
 
         // -- JITS compile-time pipeline --
@@ -664,15 +711,16 @@ impl Session {
 
         // -- optimize --
         tb.begin("optimize");
-        let topt = Instant::now();
+        let topt = now_nanos();
         let plan = self.plan_for(&block, &collected, &setting, clock, &mut waited)?;
-        tb.end(topt.elapsed().as_nanos() as u64);
+        let plan_nanos = now_nanos().saturating_sub(topt);
+        tb.end(plan_nanos);
         metrics.plan = Some(PlanSummary::from(&plan));
-        metrics.compile_wall = t0.elapsed();
+        metrics.compile_wall = wall_since(t0);
 
         // -- execute --
         tb.begin("execute");
-        let t1 = Instant::now();
+        let t1 = now_nanos();
         let batch_exec = sh.batch_executor.load(Ordering::SeqCst);
         let kind = if batch_exec {
             ExecutorKind::Batch
@@ -683,17 +731,46 @@ impl Session {
             let tables = timed_read(&sh.tables, &sh.counters, &mut waited);
             execute_with(kind, &plan, &block, &tables, &sh.cost)?
         };
-        metrics.exec_wall = t1.elapsed();
-        tb.end(metrics.exec_wall.as_nanos() as u64);
+        metrics.exec_wall = wall_since(t1);
+        let exec_nanos = metrics.exec_wall.as_nanos() as u64;
+        tb.end(exec_nanos);
         metrics.exec_work = out.stats.work;
         metrics.result_rows = out.rows.len();
         metrics.batch_executor = batch_exec;
         observe::note_executor(&sh.obs, batch_exec);
 
+        // -- profile (estimation-quality observatory) --
+        if sh.profiling.load(Ordering::SeqCst) {
+            let profile = {
+                let catalog = timed_read(&sh.catalog, &sh.counters, &mut waited);
+                build_profile(
+                    &plan,
+                    &out.stats,
+                    &catalog,
+                    &ProfileContext {
+                        clock,
+                        session: self.id,
+                        sql,
+                        batch_executor: batch_exec,
+                        result_rows: out.rows.len(),
+                        degraded: metrics.degraded,
+                        exec_wall_nanos: exec_nanos,
+                    },
+                )
+            };
+            observe::note_profile(&sh.obs, &profile, cfg.qerror_threshold);
+            metrics.profile = Some(profile);
+        }
+        observe::note_stage_latencies(
+            &sh.obs,
+            plan_nanos,
+            metrics.collect_wall.as_nanos() as u64,
+            exec_nanos,
+        );
+
         // -- feedback (LEO) --
         tb.begin("feedback");
-        let tf = Instant::now();
-        let cfg = setting.jits_config().cloned().unwrap_or_default();
+        let tf = now_nanos();
         {
             let catalog = timed_read(&sh.catalog, &sh.counters, &mut waited);
             let mut archive = timed_write(&sh.archive, &sh.counters, &mut waited);
@@ -709,7 +786,7 @@ impl Session {
             );
         }
         observe::note_feedback(&sh.obs, &mut tb, out.stats.scans.len());
-        tb.end(tf.elapsed().as_nanos() as u64);
+        tb.end(now_nanos().saturating_sub(tf));
 
         // -- periodic statistics migration (paper Figure 1) --
         if matches!(setting, StatsSetting::Jits(_))
@@ -734,7 +811,7 @@ impl Session {
                 sampled_tables: sampled,
             },
         );
-        sh.obs.tracer.finish(tb, t0.elapsed().as_nanos() as u64);
+        sh.obs.tracer.finish(tb, now_nanos().saturating_sub(t0));
         Ok(QueryResult {
             rows: out.rows,
             metrics,
@@ -775,9 +852,9 @@ impl Session {
 
         // -- query analysis (Algorithm 1; no locks needed) --
         tb.begin("analyze");
-        let t = Instant::now();
+        let t = now_nanos();
         let candidates = query_analysis(block, cfg.max_group_enumeration);
-        walls.analyze = t.elapsed();
+        walls.analyze = wall_since(t);
         let sh = &self.shared;
         observe::note_analysis(&sh.obs, tb, block.quns.len(), candidates.len());
         tb.end(walls.analyze.as_nanos() as u64);
@@ -790,7 +867,7 @@ impl Session {
 
             // -- sensitivity analysis (Algorithms 2-4) --
             tb.begin("sensitivity");
-            let t = Instant::now();
+            let t = now_nanos();
             let (sample_quns, materialize, table_scores, extra_work, mat_log) = match &cfg.strategy
             {
                 SensitivityStrategy::PaperHeuristic => {
@@ -811,7 +888,7 @@ impl Session {
                             "empty_history",
                         );
                     }
-                    let decision = sensitivity_analysis(
+                    let decision = sensitivity_analysis_with_feedback(
                         block,
                         &candidates,
                         empty_history.as_ref().unwrap_or(&history),
@@ -820,6 +897,7 @@ impl Session {
                         &catalog,
                         &tables,
                         &cfg,
+                        &observe::qerror_feedback(&sh.obs, &catalog),
                     );
                     (
                         decision.sample_quns,
@@ -848,13 +926,13 @@ impl Session {
                     )
                 }
             };
-            walls.sensitivity = t.elapsed();
+            walls.sensitivity = wall_since(t);
             observe::note_sensitivity(&sh.obs, tb, &catalog, &table_scores, &mat_log, &cfg, clock);
             tb.end(walls.sensitivity.as_nanos() as u64);
 
             // -- statistics collection (sampling) --
             tb.begin("collect");
-            let t = Instant::now();
+            let t = now_nanos();
             let clock_fn: Option<&(dyn Fn() -> u64 + Sync)> = if tb.enabled() {
                 Some(&jits_obs::clock::now_nanos)
             } else {
@@ -918,7 +996,7 @@ impl Session {
                 timed_read(&sh.samplecache, &sh.counters, waited).counters()
             };
             collected.work += extra_work;
-            walls.collect = t.elapsed();
+            walls.collect = wall_since(t);
             observe::note_collect(&sh.obs, tb, block, &catalog, &timings);
             observe::note_samplecache(&sh.obs, tb, cache_before, cache_after);
             tb.end(walls.collect.as_nanos() as u64);
@@ -943,7 +1021,7 @@ impl Session {
 
         // -- archive materialization / max-entropy refinement --
         tb.begin("refine");
-        let t = Instant::now();
+        let t = now_nanos();
         let mut materialized = 0usize;
         // With the fault plane enabled the write window also runs the
         // rebuild scan and checksum verification; disabled, neither can
@@ -1016,7 +1094,7 @@ impl Session {
             }
             observe::note_archive_gauges(&sh.obs, &archive);
         }
-        walls.refine = t.elapsed();
+        walls.refine = wall_since(t);
         tb.end(walls.refine.as_nanos() as u64);
 
         (
@@ -1090,15 +1168,10 @@ impl Session {
         }
     }
 
-    fn run_insert(
-        &mut self,
-        ins: BoundInsert,
-        t0: Instant,
-        mut waited: u64,
-    ) -> Result<QueryResult> {
+    fn run_insert(&mut self, ins: BoundInsert, t0: u64, mut waited: u64) -> Result<QueryResult> {
         self.shared.clock.fetch_add(1, Ordering::SeqCst);
-        let compile_wall = t0.elapsed();
-        let t1 = Instant::now();
+        let compile_wall = wall_since(t0);
+        let t1 = now_nanos();
         let n = ins.rows.len();
         {
             let mut tables = timed_write(&self.shared.tables, &self.shared.counters, &mut waited);
@@ -1111,7 +1184,7 @@ impl Session {
             rows: Vec::new(),
             metrics: QueryMetrics {
                 compile_wall,
-                exec_wall: t1.elapsed(),
+                exec_wall: wall_since(t1),
                 exec_work: n as f64,
                 result_rows: n,
                 lock_wait: Duration::from_nanos(waited),
@@ -1120,15 +1193,10 @@ impl Session {
         })
     }
 
-    fn run_update(
-        &mut self,
-        upd: BoundUpdate,
-        t0: Instant,
-        mut waited: u64,
-    ) -> Result<QueryResult> {
+    fn run_update(&mut self, upd: BoundUpdate, t0: u64, mut waited: u64) -> Result<QueryResult> {
         self.shared.clock.fetch_add(1, Ordering::SeqCst);
-        let compile_wall = t0.elapsed();
-        let t1 = Instant::now();
+        let compile_wall = wall_since(t0);
+        let t1 = now_nanos();
         let (scanned, changed) = {
             let mut tables = timed_write(&self.shared.tables, &self.shared.counters, &mut waited);
             let t = &mut tables[upd.table.index()];
@@ -1152,7 +1220,7 @@ impl Session {
             rows: Vec::new(),
             metrics: QueryMetrics {
                 compile_wall,
-                exec_wall: t1.elapsed(),
+                exec_wall: wall_since(t1),
                 exec_work: scanned as f64 + changed as f64,
                 result_rows: changed,
                 lock_wait: Duration::from_nanos(waited),
@@ -1161,15 +1229,10 @@ impl Session {
         })
     }
 
-    fn run_delete(
-        &mut self,
-        del: BoundDelete,
-        t0: Instant,
-        mut waited: u64,
-    ) -> Result<QueryResult> {
+    fn run_delete(&mut self, del: BoundDelete, t0: u64, mut waited: u64) -> Result<QueryResult> {
         self.shared.clock.fetch_add(1, Ordering::SeqCst);
-        let compile_wall = t0.elapsed();
-        let t1 = Instant::now();
+        let compile_wall = wall_since(t0);
+        let t1 = now_nanos();
         let (scanned, changed) = {
             let mut tables = timed_write(&self.shared.tables, &self.shared.counters, &mut waited);
             let t = &mut tables[del.table.index()];
@@ -1191,7 +1254,7 @@ impl Session {
             rows: Vec::new(),
             metrics: QueryMetrics {
                 compile_wall,
-                exec_wall: t1.elapsed(),
+                exec_wall: wall_since(t1),
                 exec_work: scanned as f64 + changed as f64,
                 result_rows: changed,
                 lock_wait: Duration::from_nanos(waited),

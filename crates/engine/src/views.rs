@@ -1,6 +1,6 @@
 //! Virtual system views over the observability state.
 //!
-//! Five read-only views answer plain `SELECT * FROM <view>` statements
+//! Seven read-only views answer plain `SELECT * FROM <view>` statements
 //! without touching user data, bumping the query clock, or drawing from
 //! the sampling RNG:
 //!
@@ -11,6 +11,8 @@
 //! | `jits_query_log`     | clock, session, sql, rows, compile_ns, exec_ns, sampled |
 //! | `jits_sample_cache`  | table, spec_size, epoch, rows_at_draw, sample_rows, probes, hits, frame_cols |
 //! | `jits_degradation`   | clock, table, fault_point, fallback                |
+//! | `jits_profile`       | clock, depth, kind, table, est_rows, actual_rows, q_error, work, wall_ns |
+//! | `jits_flight`        | clock, kind, detail                                |
 //!
 //! A user table with the same name shadows the view (the interception only
 //! fires when the name does not resolve in the catalog).
@@ -32,6 +34,11 @@ pub const VIEW_QUERY_LOG: &str = "jits_query_log";
 pub const VIEW_SAMPLE_CACHE: &str = "jits_sample_cache";
 /// `SELECT * FROM jits_degradation` — recent pipeline degradation events.
 pub const VIEW_DEGRADATION: &str = "jits_degradation";
+/// `SELECT * FROM jits_profile` — per-operator profile of the most recent
+/// profiled statement.
+pub const VIEW_PROFILE: &str = "jits_profile";
+/// `SELECT * FROM jits_flight` — the flight-recorder event ring.
+pub const VIEW_FLIGHT: &str = "jits_flight";
 
 /// Returns the canonical view name if `stmt` is a single-table SELECT from
 /// one of the virtual system views (matched case-insensitively).
@@ -48,6 +55,8 @@ pub(crate) fn system_view_name(stmt: &Statement) -> Option<&'static str> {
         VIEW_QUERY_LOG => Some(VIEW_QUERY_LOG),
         VIEW_SAMPLE_CACHE => Some(VIEW_SAMPLE_CACHE),
         VIEW_DEGRADATION => Some(VIEW_DEGRADATION),
+        VIEW_PROFILE => Some(VIEW_PROFILE),
+        VIEW_FLIGHT => Some(VIEW_FLIGHT),
         _ => None,
     }
 }
@@ -119,6 +128,71 @@ pub(crate) fn degradation_rows(obs: &Observability) -> Vec<Vec<Value>> {
                 Value::str(d.table),
                 Value::str(d.fault_point),
                 Value::str(d.fallback),
+            ]
+        })
+        .collect()
+}
+
+/// Rows of `jits_profile`: the operator tree of the most recent profiled
+/// statement, one row per node in pre-order.
+pub(crate) fn profile_rows(obs: &Observability) -> Vec<Vec<Value>> {
+    let Some(p) = obs.flight.latest_profile() else {
+        return Vec::new();
+    };
+    p.nodes
+        .into_iter()
+        .map(|n| {
+            vec![
+                Value::Int(p.clock as i64),
+                Value::Int(n.depth as i64),
+                Value::str(n.kind),
+                Value::str(n.table),
+                Value::Float(n.est_rows),
+                Value::Float(n.actual_rows),
+                Value::Float(n.q_error),
+                Value::Float(n.work),
+                Value::Int(n.wall_nanos as i64),
+            ]
+        })
+        .collect()
+}
+
+/// Rows of `jits_flight`, oldest first: every retained flight-recorder
+/// event with a one-line deterministic summary.
+pub(crate) fn flight_rows(obs: &Observability) -> Vec<Vec<Value>> {
+    use jits_obs::FlightEvent;
+    obs.flight
+        .recent()
+        .into_iter()
+        .map(|e| {
+            let detail = match &e {
+                FlightEvent::Profile(p) => format!(
+                    "{} ({} executor, {} rows, max q-error {:.2}{})",
+                    p.sql,
+                    p.executor,
+                    p.result_rows,
+                    p.max_q_error,
+                    if p.degraded { ", degraded" } else { "" },
+                ),
+                FlightEvent::Degradation {
+                    table,
+                    fault_point,
+                    fallback,
+                    ..
+                } => {
+                    if table.is_empty() {
+                        format!("{fault_point} -> {fallback}")
+                    } else {
+                        format!("{table}: {fault_point} -> {fallback}")
+                    }
+                }
+                FlightEvent::Note { label, detail, .. } => format!("{label}: {detail}"),
+                FlightEvent::Anomaly { reason, .. } => reason.clone(),
+            };
+            vec![
+                Value::Int(e.clock() as i64),
+                Value::str(e.kind()),
+                Value::str(detail),
             ]
         })
         .collect()

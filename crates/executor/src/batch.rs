@@ -219,6 +219,11 @@ fn debug_validate_batch(
         nodes_before + node_count(plan),
         "batch executor: wrong number of node observations for this subtree"
     );
+    assert_eq!(
+        stats.node_walls.len(),
+        stats.nodes.len(),
+        "batch executor: node wall-time stream out of step with observations"
+    );
     let Some(node) = stats.nodes.last() else {
         return; // unreachable: node_count(plan) >= 1, checked just above
     };
@@ -258,6 +263,9 @@ fn run_operator(
     cost: &CostModel,
     stats: &mut ExecStats,
 ) -> Result<ColumnBatch> {
+    // inclusive wall per node, mirroring the row path's capture points;
+    // volatile and excluded from the bit-identity contract
+    let t_node = jits_obs::clock::now_nanos();
     match plan {
         PhysicalPlan::SeqScan { scan, est } => {
             let table = table_of(tables, block, scan.qun)?;
@@ -273,6 +281,7 @@ fn run_operator(
                 sel.len(),
                 table,
                 work,
+                jits_obs::clock::now_nanos().saturating_sub(t_node),
             );
             Ok(ColumnBatch {
                 quns: vec![scan.qun],
@@ -311,6 +320,7 @@ fn run_operator(
                 sel.len(),
                 table,
                 work,
+                jits_obs::clock::now_nanos().saturating_sub(t_node),
             );
             Ok(ColumnBatch {
                 quns: vec![scan.qun],
@@ -347,6 +357,9 @@ fn run_operator(
                 actual_rows: pairs.len() as f64,
                 work,
             });
+            stats
+                .node_walls
+                .push(jits_obs::clock::now_nanos().saturating_sub(t_node));
             let mut quns = build_batch.quns;
             quns.extend(probe_batch.quns);
             let mut sel = Vec::with_capacity(quns.len());
@@ -428,6 +441,9 @@ fn run_operator(
                 actual_rows: pairs.len() as f64,
                 work,
             });
+            stats
+                .node_walls
+                .push(jits_obs::clock::now_nanos().saturating_sub(t_node));
             let mut quns = outer_batch.quns;
             quns.push(inner.qun);
             let mut sel = Vec::with_capacity(quns.len());
@@ -474,6 +490,9 @@ fn run_operator(
                 actual_rows: pairs.len() as f64,
                 work,
             });
+            stats
+                .node_walls
+                .push(jits_obs::clock::now_nanos().saturating_sub(t_node));
             let mut quns = outer_batch.quns;
             quns.extend(inner_batch.quns);
             let mut sel = Vec::with_capacity(quns.len());

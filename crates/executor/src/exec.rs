@@ -138,6 +138,10 @@ fn run(
     cost: &CostModel,
     stats: &mut ExecStats,
 ) -> Result<Batch> {
+    // inclusive wall per node (children recurse within the arm, so a join's
+    // wall covers its inputs); volatile — never part of the bit-compared
+    // observation stream
+    let t_node = jits_obs::clock::now_nanos();
     match plan {
         PhysicalPlan::SeqScan { scan, est } => {
             let table = table_of(tables, block, scan.qun)?;
@@ -157,6 +161,7 @@ fn run(
                 tuples.len(),
                 table,
                 work,
+                jits_obs::clock::now_nanos().saturating_sub(t_node),
             );
             Ok(Batch {
                 quns: vec![scan.qun],
@@ -195,6 +200,7 @@ fn run(
                 tuples.len(),
                 table,
                 work,
+                jits_obs::clock::now_nanos().saturating_sub(t_node),
             );
             Ok(Batch {
                 quns: vec![scan.qun],
@@ -273,6 +279,9 @@ fn run(
                 actual_rows: tuples.len() as f64,
                 work,
             });
+            stats
+                .node_walls
+                .push(jits_obs::clock::now_nanos().saturating_sub(t_node));
             let mut quns = build_batch.quns;
             quns.extend(probe_batch.quns);
             Ok(Batch { quns, tuples })
@@ -356,6 +365,9 @@ fn run(
                 actual_rows: tuples.len() as f64,
                 work,
             });
+            stats
+                .node_walls
+                .push(jits_obs::clock::now_nanos().saturating_sub(t_node));
             let mut quns = outer_batch.quns;
             quns.push(inner.qun);
             Ok(Batch { quns, tuples })
@@ -412,6 +424,9 @@ fn run(
                 actual_rows: tuples.len() as f64,
                 work,
             });
+            stats
+                .node_walls
+                .push(jits_obs::clock::now_nanos().saturating_sub(t_node));
             let mut quns = outer_batch.quns;
             quns.extend(inner_batch.quns);
             Ok(Batch { quns, tuples })
@@ -466,6 +481,7 @@ pub(crate) fn record_scan(
     actual: usize,
     table: &Table,
     work: f64,
+    wall_nanos: u64,
 ) {
     stats.nodes.push(NodeObservation {
         kind,
@@ -473,6 +489,7 @@ pub(crate) fn record_scan(
         actual_rows: actual as f64,
         work,
     });
+    stats.node_walls.push(wall_nanos);
     if !scan.pred_indices.is_empty() {
         stats.scans.push(ScanObservation {
             qun: scan.qun,

@@ -18,6 +18,35 @@ pub enum NodeKind {
     NLJoin,
 }
 
+impl NodeKind {
+    /// Stable lowercase label for profiles, views, and JSON dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            NodeKind::SeqScan => "seq_scan",
+            NodeKind::IndexScan => "index_scan",
+            NodeKind::HashJoin => "hash_join",
+            NodeKind::IndexNLJoin => "index_nl_join",
+            NodeKind::NLJoin => "nl_join",
+        }
+    }
+}
+
+/// The q-error of a cardinality estimate: `max(est/act, act/est)`, the
+/// symmetric multiplicative error used throughout the estimation-quality
+/// literature. Guarded so it is total: both sides zero (a correct empty
+/// estimate) is a perfect 1.0; exactly one side zero is an unbounded miss.
+pub fn q_error(est_rows: f64, actual_rows: f64) -> f64 {
+    let est = est_rows.max(0.0);
+    let act = actual_rows.max(0.0);
+    if est <= 0.0 && act <= 0.0 {
+        1.0
+    } else if est <= 0.0 || act <= 0.0 {
+        f64::INFINITY
+    } else {
+        (est / act).max(act / est)
+    }
+}
+
 /// Estimated vs. actual output cardinality of one plan node.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeObservation {
@@ -32,6 +61,13 @@ pub struct NodeObservation {
     /// the row and batch executors at every operator boundary, not just in
     /// the final total.
     pub work: f64,
+}
+
+impl NodeObservation {
+    /// The q-error of this node's estimate (see [`q_error`]).
+    pub fn q_error(&self) -> f64 {
+        q_error(self.est_rows, self.actual_rows)
+    }
 }
 
 /// Actual selectivity of a base-table predicate group, paired with how it
@@ -88,6 +124,11 @@ pub struct ExecStats {
     pub work: f64,
     /// Per-node estimated-vs-actual cardinalities.
     pub nodes: Vec<NodeObservation>,
+    /// Inclusive wall time per node, in nanoseconds, parallel to `nodes`
+    /// (same push order). Kept out of [`NodeObservation`] on purpose: the
+    /// observation stream is the deterministic, bit-compared half of the
+    /// profile, while walls are volatile and masked in replay comparisons.
+    pub node_walls: Vec<u64>,
     /// Base-table predicate-group observations for the feedback loop.
     pub scans: Vec<ScanObservation>,
 }
@@ -129,5 +170,16 @@ mod tests {
     fn empty_table_guard() {
         let o = obs(0.5, 0.0, 0.0);
         assert_eq!(o.actual_selectivity(), 0.0);
+    }
+
+    #[test]
+    fn q_error_is_symmetric_and_guarded() {
+        assert_eq!(q_error(100.0, 100.0), 1.0);
+        assert_eq!(q_error(200.0, 100.0), 2.0);
+        assert_eq!(q_error(100.0, 200.0), 2.0); // under-estimates count too
+        assert_eq!(q_error(0.0, 0.0), 1.0);
+        assert!(q_error(5.0, 0.0).is_infinite());
+        assert!(q_error(0.0, 5.0).is_infinite());
+        assert_eq!(q_error(-3.0, -7.0), 1.0); // negative inputs clamp to 0
     }
 }

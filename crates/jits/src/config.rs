@@ -117,6 +117,13 @@ pub struct JitsConfig {
     /// constraints (an extension beyond the paper, off by default — the
     /// paper updates the archive from compile-time samples only).
     pub feedback_to_archive: bool,
+    /// Scan-level q-error above which a table counts as *mispredicted*.
+    /// Feeds two places: the `jits.qerror.*` misprediction metrics, and the
+    /// sensitivity boost in [`crate::sensitivity_analysis_with_feedback`],
+    /// where a table whose last observed q-error `q` exceeds this threshold
+    /// has `s1` floored at `1 − 1/q` so re-collection targets tables the
+    /// optimizer actually mispredicted.
+    pub qerror_threshold: f64,
 }
 
 impl Default for JitsConfig {
@@ -140,6 +147,7 @@ impl Default for JitsConfig {
             predicate_cache_capacity: 256,
             migrate_every: 25,
             feedback_to_archive: false,
+            qerror_threshold: 2.0,
         }
     }
 }

@@ -60,5 +60,6 @@ pub use history::{HistEntry, StatHistory};
 pub use predcache::{fingerprint, PredicateCache};
 pub use provider::JitsStatisticsProvider;
 pub use sensitivity::{
-    sensitivity_analysis, MaterializeDecision, MaterializeReason, SensitivityDecision, TableScore,
+    sensitivity_analysis, sensitivity_analysis_with_feedback, MaterializeDecision,
+    MaterializeReason, SensitivityDecision, TableScore,
 };

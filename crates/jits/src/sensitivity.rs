@@ -23,6 +23,7 @@ use jits_catalog::Catalog;
 use jits_common::{ColGroup, ColumnId, DataType, Interval, TableId};
 use jits_query::QueryBlock;
 use jits_storage::Table;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Diagnostic scores for one quantifier's table.
@@ -113,6 +114,40 @@ pub fn sensitivity_analysis(
     tables: &[Table],
     config: &JitsConfig,
 ) -> SensitivityDecision {
+    sensitivity_analysis_with_feedback(
+        block,
+        candidates,
+        history,
+        archive,
+        predcache,
+        catalog,
+        tables,
+        config,
+        &BTreeMap::new(),
+    )
+}
+
+/// [`sensitivity_analysis`] with execution-time estimation-quality feedback:
+/// `qerror` maps tables to the last scan-level q-error observed when
+/// executing a query over them. A table whose q-error exceeds
+/// `config.qerror_threshold` has its accuracy score `s1` floored at
+/// `1 − 1/q` — StatHistory may believe its statistics are fine, but the
+/// executor just proved otherwise, so re-collection is prioritized for
+/// tables that are *actually* mispredicted. Q-errors derive purely from
+/// estimated vs. actual row counts, so the boost is deterministic across
+/// replay and thread counts.
+#[allow(clippy::too_many_arguments)]
+pub fn sensitivity_analysis_with_feedback(
+    block: &QueryBlock,
+    candidates: &[CandidateGroup],
+    history: &StatHistory,
+    archive: &QssArchive,
+    predcache: &PredicateCache,
+    catalog: &Catalog,
+    tables: &[Table],
+    config: &JitsConfig,
+    qerror: &BTreeMap<TableId, f64>,
+) -> SensitivityDecision {
     let mut decision = SensitivityDecision {
         table_scores: Vec::new(),
         sample_quns: Vec::new(),
@@ -138,6 +173,7 @@ pub fn sensitivity_analysis(
             catalog,
             tables,
             config,
+            qerror,
         );
         let collect = score.collect;
         decision.table_scores.push(score);
@@ -174,6 +210,7 @@ fn should_collect_stats(
     catalog: &Catalog,
     tables: &[Table],
     config: &JitsConfig,
+    qerror: &BTreeMap<TableId, f64>,
 ) -> TableScore {
     let table_id = block.quns[qun].table;
     // g <- the group with the maximum number of predicates
@@ -199,6 +236,14 @@ fn should_collect_stats(
         max_acc = max_acc.max(acc);
     }
     let s1 = 1.0 - max_acc.clamp(0.0, 1.0);
+    // Estimation-quality feedback: the executor's last observed q-error on
+    // this table overrides an optimistic history — a misprediction just
+    // happened, whatever the bookkeeping says. `1 − 1/q` maps q=2 to a 0.5
+    // floor and grows toward 1 as mispredictions worsen.
+    let s1 = match qerror.get(&table_id) {
+        Some(&q) if q > config.qerror_threshold && q > 1.0 => s1.max(1.0 - 1.0 / q),
+        _ => s1,
+    };
 
     let s2 = tables
         .get(table_id.index())
@@ -477,6 +522,40 @@ mod tests {
             &cfg(0.5),
         );
         // MaxAcc = 1 -> s1 = 0; s2 = 0 -> score 0 < 0.5: skip the table
+        assert!(d.sample_quns.is_empty(), "scores: {:?}", d.table_scores);
+
+        // Same accurate history, but the executor just observed a 10x
+        // misprediction on the table: the q-error feedback floors s1 at
+        // 1 - 1/10 = 0.9, overriding the optimistic history.
+        let mut feedback = BTreeMap::new();
+        feedback.insert(block.quns[0].table, 10.0);
+        let d = sensitivity_analysis_with_feedback(
+            &block,
+            &candidates,
+            &history,
+            &archive,
+            &PredicateCache::default(),
+            &catalog,
+            &tables,
+            &cfg(0.4),
+            &feedback,
+        );
+        assert_eq!(d.sample_quns, vec![0], "scores: {:?}", d.table_scores);
+        assert!((d.table_scores[0].s1 - 0.9).abs() < 1e-12);
+
+        // A q-error at or below the threshold leaves the decision alone.
+        feedback.insert(block.quns[0].table, 1.5);
+        let d = sensitivity_analysis_with_feedback(
+            &block,
+            &candidates,
+            &history,
+            &archive,
+            &PredicateCache::default(),
+            &catalog,
+            &tables,
+            &cfg(0.4),
+            &feedback,
+        );
         assert!(d.sample_quns.is_empty(), "scores: {:?}", d.table_scores);
     }
 

@@ -1,0 +1,19 @@
+//! Known-bad fixture for the wall-clock sub-rule. Never compiled — the
+//! integration test feeds it to the analyzer and expects violations.
+//!
+//! Any direct OS-clock read outside `crates/obs/src/clock.rs` is a
+//! violation, whichever clock API it goes through.
+
+use std::time::{Instant, SystemTime};
+
+fn times_a_stage_directly() -> u64 {
+    // BAD: engine timing must go through jits_obs::clock::now_nanos
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+fn stamps_with_system_time() -> u64 {
+    // BAD: SystemTime is just as non-replayable as Instant
+    let t = SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH).unwrap_or_default().as_nanos() as u64
+}

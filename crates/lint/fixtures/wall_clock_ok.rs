@@ -1,0 +1,15 @@
+//! Clean twin of `wall_clock_bad.rs`: the same timing shapes routed through
+//! the observability clock, which the analyzer must not flag.
+
+fn times_a_stage_through_the_clock() -> u64 {
+    let t0 = jits_obs::clock::now_nanos();
+    work();
+    jits_obs::clock::now_nanos().saturating_sub(t0)
+}
+
+fn stamps_with_the_logical_clock(stamp: u64) -> u64 {
+    // statistics use the query clock, never the OS clock
+    stamp + 1
+}
+
+fn work() {}

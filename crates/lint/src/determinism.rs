@@ -5,9 +5,10 @@
 //! same statistics and pick the same plans. Three rules guard that:
 //!
 //! - **wall-clock**: `Instant::now()` / `SystemTime::now()` are forbidden
-//!   outside the metrics whitelist (lock-wait and phase-latency counters in
-//!   `crates/engine`, which never feed statistics or plan choices). All
-//!   statistics logic uses the logical clock (`stamp`).
+//!   everywhere except `crates/obs/src/clock.rs`. All engine timing flows
+//!   through `jits_obs::clock::now_nanos`, and all statistics logic uses
+//!   the logical clock (`stamp`) — so OS-clock reads live in exactly one
+//!   audited file.
 //! - **hash-iteration**: iterating a `HashMap`/`HashSet` in stats-bearing
 //!   crates leaks hash order into statistics. Lookups (`get`/`contains_key`/
 //!   `entry`) are fine; `iter`/`keys`/`values`/`drain`/`retain`/`for … in`
@@ -424,7 +425,7 @@ mod tests {
     #[test]
     fn wall_clock_whitelist_respected() {
         let f = SourceFile::from_source(
-            "crates/engine/src/session.rs".into(),
+            "crates/obs/src/clock.rs".into(),
             "fn f() { let t = Instant::now(); }\n".into(),
         );
         let v = run_unwaived(&f, Config::repo());
@@ -432,11 +433,24 @@ mod tests {
     }
 
     #[test]
-    fn timed_budget_flagged_even_in_whitelisted_file() {
-        // session.rs is on the wall-clock whitelist, but budget/retry logic
-        // inside it must still never read wall time.
+    fn wall_clock_flagged_in_engine_files() {
+        // the engine is no longer whitelisted: every wall read must route
+        // through jits_obs::clock::now_nanos
         let f = SourceFile::from_source(
             "crates/engine/src/session.rs".into(),
+            "fn f() { let t = Instant::now(); let s = SystemTime::now(); }\n".into(),
+        );
+        let v = run_unwaived(&f, Config::repo());
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == RULE_WALL_CLOCK), "{v:?}");
+    }
+
+    #[test]
+    fn timed_budget_flagged_even_in_whitelisted_file() {
+        // clock.rs is on the wall-clock whitelist, but budget/retry logic
+        // inside it must still never read wall time.
+        let f = SourceFile::from_source(
+            "crates/obs/src/clock.rs".into(),
             "fn enforce_retry_budget() { let t = Instant::now(); let _ = t.elapsed(); }\n".into(),
         );
         let v = run_unwaived(&f, Config::repo());

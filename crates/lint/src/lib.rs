@@ -256,15 +256,11 @@ pub const CHARGING_SCOPE: &[&str] = &["crates/jits/src/collect.rs", "crates/stor
 /// Files the batch-bounds pass reports on in repo mode.
 pub const BOUNDS_SCOPE: &[&str] = &["crates/executor/src/batch.rs"];
 
-/// Files allowed to read wall clocks: the lock-wait / phase-latency metrics
-/// plumbing and the observability clock. Timing there feeds
-/// `EngineMetrics`-style counters, span durations and volatile metrics
-/// only, never statistics or plans.
-pub const WALL_CLOCK_WHITELIST: &[&str] = &[
-    "crates/engine/src/database.rs",
-    "crates/engine/src/session.rs",
-    "crates/obs/src/clock.rs",
-];
+/// Files allowed to read wall clocks: only the observability clock. Every
+/// other wall measurement (lock waits, stage latencies, span durations)
+/// goes through `jits_obs::clock::now_nanos`, so OS-clock reads are pinned
+/// to a single audited file and can never leak into statistics or plans.
+pub const WALL_CLOCK_WHITELIST: &[&str] = &["crates/obs/src/clock.rs"];
 
 /// Files allowed to seed randomness from the environment (none currently:
 /// all RNG flows through `jits_common::rng` with explicit seeds).

@@ -5,6 +5,9 @@
 //! samplecache (6) < setting (7)`; the observability `registry` lock ranks
 //! above them all (8), so metrics may be recorded while any engine guard is
 //! held but the registry must never be held across an engine acquisition.
+//! The flight-recorder ring (`flight`, 9) ranks above even the registry:
+//! recording a flight event is legal anywhere, but the ring lock must never
+//! be held across any other acquisition.
 //! Any thread holding a guard may only acquire components of strictly
 //! greater rank; re-acquiring a held component deadlocks a
 //! writer-preferring `RwLock` outright. The runtime tracker in
@@ -43,9 +46,10 @@ use std::collections::{BTreeMap, BTreeSet};
 pub const RULE: &str = "lock-order";
 
 /// Component names in rank order (rank = index + 1). `registry` is the
-/// metrics-registry lock in `jits-obs`: highest rank, so recording a metric
-/// is legal under any engine guard but holding the registry across an
-/// engine acquisition is not.
+/// metrics-registry lock in `jits-obs`: recording a metric is legal under
+/// any engine guard but holding the registry across an engine acquisition
+/// is not. `flight` is the flight-recorder ring, top-ranked so events can
+/// be recorded from any context.
 pub const COMPONENTS: &[&str] = &[
     "catalog",
     "tables",
@@ -55,6 +59,7 @@ pub const COMPONENTS: &[&str] = &[
     "samplecache",
     "setting",
     "registry",
+    "flight",
 ];
 
 fn rank_of(comp: &str) -> Option<usize> {

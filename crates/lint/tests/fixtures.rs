@@ -120,6 +120,34 @@ fn determinism_fixture_is_flagged() {
 }
 
 #[test]
+fn wall_clock_fixture_is_flagged() {
+    let report = run_paths(&[fixture("wall_clock_bad.rs")]);
+    let wall: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "wall-clock")
+        .collect();
+    // one Instant::now and one SystemTime::now, both outside the
+    // single-file obs clock whitelist
+    assert_eq!(wall.len(), 2, "{wall:#?}");
+    assert!(
+        wall.iter().any(|v| v.message.contains("Instant::now")),
+        "{wall:#?}"
+    );
+    assert!(
+        wall.iter().any(|v| v.message.contains("SystemTime::now")),
+        "{wall:#?}"
+    );
+    assert!(report.failed(false));
+}
+
+#[test]
+fn wall_clock_clean_twin_passes() {
+    let report = run_paths(&[fixture("wall_clock_ok.rs")]);
+    assert_totally_clean(&report, "wall_clock_ok.rs");
+}
+
+#[test]
 fn determinism_hash_executor_fixture_is_flagged() {
     let report = run_paths(&[fixture("determinism_hash_executor_bad.rs")]);
     let hash: Vec<_> = report

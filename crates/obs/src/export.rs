@@ -9,7 +9,11 @@
 //! and a Prometheus line-grammar checker — used by CI to assert exporter
 //! output is well-formed without external tooling.
 
-use crate::registry::{MetricSample, SampleValue};
+use crate::registry::{histogram_quantile, MetricSample, SampleValue};
+
+/// The per-stage latency quantiles exported for every histogram, as
+/// `(suffix, q)` pairs: p50/p99/p999 derived from the log2 buckets.
+const EXPORTED_QUANTILES: [(&str, f64); 3] = [("p50", 0.50), ("p99", 0.99), ("p999", 0.999)];
 
 /// Escapes a string for a JSON string literal (quotes not included).
 fn json_escape(s: &str) -> String {
@@ -69,9 +73,16 @@ pub fn to_json(samples: &[MetricSample], include_volatile: bool) -> String {
                     .iter()
                     .map(|(le, n)| format!("{{\"le\": {le}, \"count\": {n}}}"))
                     .collect();
+                let quantiles: Vec<String> = EXPORTED_QUANTILES
+                    .iter()
+                    .map(|(suffix, q)| {
+                        format!("\"{suffix}\": {}", histogram_quantile(buckets, *count, *q))
+                    })
+                    .collect();
                 out.push_str(&format!(
-                    "{{\"type\": \"histogram\", \"count\": {count}, \"sum\": {sum}, \
+                    "{{\"type\": \"histogram\", \"count\": {count}, \"sum\": {sum}, {}, \
                      \"buckets\": [{}], \"volatile\": {vol}}}",
+                    quantiles.join(", "),
                     entries.join(", ")
                 ));
             }
@@ -96,11 +107,53 @@ fn prom_name(name: &str) -> String {
     out
 }
 
+/// Escapes a `# HELP` payload per the exposition format: backslash and
+/// newline are the only characters with escape sequences in help text.
+fn prom_escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn prom_escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The `# HELP` payload for one sample: the original dotted name (which the
+/// mangled Prometheus identifier loses) plus the volatility class.
+fn prom_help(s: &MetricSample) -> String {
+    let class = if s.volatile {
+        "volatile"
+    } else {
+        "deterministic"
+    };
+    prom_escape_help(&format!("{} ({class})", s.name))
+}
+
 /// Renders samples in the Prometheus text exposition format.
 ///
-/// Counters/gauges emit `# TYPE` plus one sample line; histograms emit
-/// cumulative `_bucket{le="…"}` series with a terminal `le="+Inf"`, plus
-/// `_sum` and `_count`.
+/// Every metric emits `# HELP` (escaped) and `# TYPE` comments; ordering is
+/// the snapshot's deterministic name order. Counters/gauges emit one sample
+/// line; histograms emit cumulative `_bucket{le="…"}` series with a
+/// terminal `le="+Inf"`, plus `_sum`, `_count`, and derived `_p50`/`_p99`/
+/// `_p999` gauges (upper-bound latency quantiles from the log2 buckets).
 pub fn to_prometheus(samples: &[MetricSample], include_volatile: bool) -> String {
     let mut out = String::new();
     for s in samples {
@@ -108,27 +161,41 @@ pub fn to_prometheus(samples: &[MetricSample], include_volatile: bool) -> String
             continue;
         }
         let name = prom_name(&s.name);
+        let help = prom_help(s);
         match &s.value {
             SampleValue::Counter(v) => {
-                out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+                out.push_str(&format!(
+                    "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+                ));
             }
             SampleValue::Gauge(v) => {
-                out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+                out.push_str(&format!(
+                    "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
+                ));
             }
             SampleValue::Histogram {
                 count,
                 sum,
                 buckets,
             } => {
-                out.push_str(&format!("# TYPE {name} histogram\n"));
+                out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
                 let mut cumulative = 0u64;
                 for (le, n) in buckets {
                     cumulative += n;
-                    out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                    out.push_str(&format!(
+                        "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                        prom_escape_label(&le.to_string())
+                    ));
                 }
                 out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {count}\n"));
                 out.push_str(&format!("{name}_sum {sum}\n"));
                 out.push_str(&format!("{name}_count {count}\n"));
+                for (suffix, q) in EXPORTED_QUANTILES {
+                    let v = histogram_quantile(buckets, *count, q);
+                    out.push_str(&format!(
+                        "# TYPE {name}_{suffix} gauge\n{name}_{suffix} {v}\n"
+                    ));
+                }
             }
         }
     }
@@ -463,6 +530,36 @@ mod tests {
         assert!(validate_prometheus("m{le=\"1\" 2\n").is_err());
         assert!(validate_prometheus("m{le=unquoted} 2\n").is_err());
         assert!(validate_prometheus("m 1\nm{le=\"5\"} 2\n# TYPE m histogram\n").is_ok());
+    }
+
+    #[test]
+    fn help_lines_present_and_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("jits.odd.name\\with\nnewline", Volatility::Deterministic)
+            .inc();
+        let text = to_prometheus(&reg.snapshot(), true);
+        validate_prometheus(&text).expect("escaped help must keep the output grammatical");
+        // the help payload carries the dotted name with backslash and
+        // newline escaped, so the comment stays on one line
+        assert!(text.contains("# HELP jits_odd_name_with_newline jits.odd.name\\\\with\\nnewline"));
+        assert!(text.contains("(deterministic)"));
+    }
+
+    #[test]
+    fn histogram_quantiles_exported_in_both_formats() {
+        let reg = sample_registry();
+        let json = to_json(&reg.snapshot(), true);
+        validate_json(&json).unwrap();
+        // observations at 900 and 40_000 → p50 in (512,1024], p99/p999 in
+        // (32768, 65536]
+        assert!(json.contains("\"p50\": 1024"));
+        assert!(json.contains("\"p99\": 65536"));
+        assert!(json.contains("\"p999\": 65536"));
+        let text = to_prometheus(&reg.snapshot(), true);
+        validate_prometheus(&text).unwrap();
+        assert!(text.contains("jits_query_compile_nanos_p50 1024"));
+        assert!(text.contains("jits_query_compile_nanos_p99 65536"));
+        assert!(text.contains("jits_query_compile_nanos_p999 65536"));
     }
 
     #[test]

@@ -14,18 +14,23 @@
 
 pub mod clock;
 pub mod export;
+pub mod flight;
 pub mod registry;
 pub mod trace;
 
 pub use export::{to_json, to_prometheus, validate_json, validate_prometheus};
+pub use flight::{
+    clamp_q_error, FlightEvent, FlightRecorder, ProfileNodeRow, QueryProfile, FLIGHT_CAPACITY,
+    Q_ERROR_CAP, RANK_FLIGHT,
+};
 pub use registry::{
-    Counter, Gauge, Histogram, MetricSample, MetricsRegistry, SampleValue, Volatility,
-    RANK_REGISTRY,
+    histogram_quantile, Counter, Gauge, Histogram, MetricSample, MetricsRegistry, SampleValue,
+    Volatility, RANK_REGISTRY,
 };
 pub use trace::{QueryTrace, SpanNode, TraceBuilder, TraceEvent, Tracer};
 
 use parking_lot::Mutex;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Retained statements in the query log ring.
 const QUERY_LOG_CAPACITY: usize = 256;
@@ -89,17 +94,37 @@ pub struct ScoreRow {
     pub reason: String,
 }
 
+/// Per-table estimation-accuracy aggregate fed by query profiles. All
+/// fields are deterministic: q-errors derive from estimated vs. actual row
+/// counts, never from timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QErrorStat {
+    /// Most recent per-table q-error (scan-level, clamped).
+    pub last: f64,
+    /// Largest q-error observed so far.
+    pub max: f64,
+    /// Observations recorded.
+    pub count: u64,
+    /// Observations whose q-error exceeded the misprediction threshold
+    /// passed to [`Observability::record_qerror`].
+    pub mispredicted: u64,
+}
+
 /// Engine-wide observability state: tracer, metrics registry, query log,
-/// and the latest sensitivity scores.
+/// flight recorder, q-error accuracy aggregates, and the latest
+/// sensitivity scores.
 #[derive(Debug)]
 pub struct Observability {
     /// The span tracer (ring of recent per-statement trace trees).
     pub tracer: Tracer,
     /// The metrics registry.
     pub registry: MetricsRegistry,
+    /// The flight recorder (bounded post-mortem event ring).
+    pub flight: FlightRecorder,
     query_log: Mutex<VecDeque<QueryLogEntry>>,
     scores: Mutex<(u64, Vec<ScoreRow>)>,
     degradations: Mutex<VecDeque<DegradationRow>>,
+    qerror: Mutex<BTreeMap<String, QErrorStat>>,
 }
 
 impl Observability {
@@ -108,10 +133,51 @@ impl Observability {
         Observability {
             tracer: Tracer::new(32),
             registry: MetricsRegistry::new(),
+            flight: FlightRecorder::new(),
             query_log: Mutex::new(VecDeque::new()),
             scores: Mutex::new((0, Vec::new())),
             degradations: Mutex::new(VecDeque::new()),
+            qerror: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// Folds one per-table q-error observation into the accuracy
+    /// aggregates. `q` is clamped by [`clamp_q_error`]; observations above
+    /// `misprediction_threshold` additionally bump the misprediction count.
+    pub fn record_qerror(&self, table: &str, q: f64, misprediction_threshold: f64) {
+        let q = clamp_q_error(q);
+        let mut map = self.qerror.lock();
+        let stat = map.entry(table.to_string()).or_insert(QErrorStat {
+            last: 1.0,
+            max: 1.0,
+            count: 0,
+            mispredicted: 0,
+        });
+        stat.last = q;
+        stat.max = stat.max.max(q);
+        stat.count += 1;
+        if q > misprediction_threshold {
+            stat.mispredicted += 1;
+        }
+    }
+
+    /// The latest q-error per table, in table-name order — the feedback the
+    /// JITS scoring loop reads to prioritize actually-mispredicted tables.
+    pub fn qerror_last(&self) -> BTreeMap<String, f64> {
+        self.qerror
+            .lock()
+            .iter()
+            .map(|(t, s)| (t.clone(), s.last))
+            .collect()
+    }
+
+    /// Every per-table accuracy aggregate, in table-name order.
+    pub fn qerror_stats(&self) -> Vec<(String, QErrorStat)> {
+        self.qerror
+            .lock()
+            .iter()
+            .map(|(t, s)| (t.clone(), *s))
+            .collect()
     }
 
     /// Appends one degradation event to the bounded ring.

@@ -171,6 +171,27 @@ pub struct MetricSample {
     pub value: SampleValue,
 }
 
+/// Upper-bound quantile estimate from a snapshot's non-empty bucket list
+/// (`(exclusive upper bound, count)` pairs, ascending): the bound of the
+/// first bucket at which the cumulative count reaches `ceil(q * count)`.
+/// Returns 0 for an empty histogram. Because buckets are log2-spaced the
+/// estimate is within 2× of the true quantile — the right fidelity for a
+/// latency sketch, and exactly reproducible from any exported snapshot.
+pub fn histogram_quantile(buckets: &[(u64, u64)], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cumulative = 0u64;
+    for &(bound, n) in buckets {
+        cumulative += n;
+        if cumulative >= target {
+            return bound;
+        }
+    }
+    buckets.last().map(|&(bound, _)| bound).unwrap_or(0)
+}
+
 /// The registry: name → instrument, deterministically ordered.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
@@ -322,6 +343,17 @@ mod tests {
         g.set(42);
         // the registered counter is untouched
         assert_eq!(reg.snapshot()[0].value, SampleValue::Counter(1),);
+    }
+
+    #[test]
+    fn quantiles_from_bucket_list() {
+        // 10 obs in [1024,2048), 89 in [2048,4096), 1 in [8192,16384)
+        let buckets = [(2048u64, 10u64), (4096, 89), (16384, 1)];
+        assert_eq!(histogram_quantile(&buckets, 100, 0.50), 4096);
+        assert_eq!(histogram_quantile(&buckets, 100, 0.05), 2048);
+        assert_eq!(histogram_quantile(&buckets, 100, 0.99), 4096);
+        assert_eq!(histogram_quantile(&buckets, 100, 0.999), 16384);
+        assert_eq!(histogram_quantile(&[], 0, 0.5), 0);
     }
 
     #[test]

@@ -100,6 +100,9 @@ pub struct ObserveOptions {
     pub trace: bool,
     /// Export the metrics registry as JSON after the run.
     pub metrics: bool,
+    /// Export the flight-recorder ring as JSON after the run (deterministic
+    /// form: wall-clock fields masked, so equal-seed runs dump equal bytes).
+    pub flight: bool,
 }
 
 /// An observed run's artifacts.
@@ -113,6 +116,9 @@ pub struct ObservedRun {
     /// Metrics-registry JSON including volatile samples (empty unless
     /// `metrics` was set).
     pub metrics_json: String,
+    /// Flight-recorder JSON with wall-clock fields masked (empty unless
+    /// `flight` was set).
+    pub flight_json: String,
 }
 
 /// [`run_workload`] with observability: enables the tracer for the run
@@ -142,10 +148,16 @@ pub fn run_workload_observed(
     } else {
         String::new()
     };
+    let flight_json = if opts.flight {
+        db.obs().flight.to_json(false)
+    } else {
+        String::new()
+    };
     Ok(ObservedRun {
         records,
         last_trace,
         metrics_json,
+        flight_json,
     })
 }
 
@@ -345,16 +357,41 @@ mod tests {
             ObserveOptions {
                 trace: true,
                 metrics: true,
+                flight: true,
             },
         )
         .unwrap();
         assert_eq!(observed.records.len(), ops.len());
         assert!(!observed.last_trace.is_empty());
         assert!(observed.metrics_json.contains("jits.query.statements"));
+        assert!(observed.flight_json.contains("\"profile\""));
         assert!(
             !db.obs().tracer.enabled(),
             "tracer state must be restored after the run"
         );
+    }
+
+    #[test]
+    fn masked_flight_dump_replays_bit_identically() {
+        let (dg, ws) = tiny();
+        let ops = generate_workload(&ws, &dg);
+        let run = |()| {
+            let mut db = setup_database(&dg).unwrap();
+            prepare(&mut db, &Setting::Jits(JitsConfig::default()), &ops).unwrap();
+            run_workload_observed(
+                &mut db,
+                &ops,
+                ObserveOptions {
+                    flight: true,
+                    ..ObserveOptions::default()
+                },
+            )
+            .unwrap()
+            .flight_json
+        };
+        let a = run(());
+        assert!(!a.is_empty());
+        assert_eq!(a, run(()), "masked flight dumps must be byte-equal");
     }
 
     #[test]

@@ -49,9 +49,14 @@ fn drive(total_ops: usize, cfg: JitsConfig, plane: FaultPlane) -> ChaosRun {
     let mut session = shared.session();
     let mut traces = Vec::with_capacity(ops.len());
     for op in &ops {
-        let r = session
-            .execute(&op.sql)
-            .unwrap_or_else(|e| panic!("op `{}` failed under faults: {e}", op.sql));
+        let r = session.execute(&op.sql).unwrap_or_else(|e| {
+            // leave the black box behind for CI to upload as an artifact
+            let dump = dump_flight_on_failure(shared.obs());
+            panic!(
+                "op `{}` failed under faults: {e} (flight recorder: {dump})",
+                op.sql
+            )
+        });
         traces.push((
             r.rows,
             r.metrics.exec_work.to_bits(),
@@ -84,6 +89,23 @@ fn drive(total_ops: usize, cfg: JitsConfig, plane: FaultPlane) -> ChaosRun {
         traces,
         archive,
         degradations,
+    }
+}
+
+/// Writes a full-fidelity flight-recorder dump to `target/flight/` so a CI
+/// failure ships the last [`jits_obs::FLIGHT_CAPACITY`] profiles and events
+/// alongside the panic message. Returns a description of where it went.
+fn dump_flight_on_failure(obs: &jits_obs::Observability) -> String {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("flight");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        return format!("not dumped: {e}");
+    }
+    let path = dir.join("chaos-failure.json");
+    match std::fs::write(&path, obs.flight.to_json(true)) {
+        Ok(()) => path.display().to_string(),
+        Err(e) => format!("not dumped: {e}"),
     }
 }
 

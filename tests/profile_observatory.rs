@@ -1,0 +1,282 @@
+//! The estimation-quality observatory, end to end: per-operator profile
+//! trees from both executors, the q-error metrics they aggregate into, the
+//! flight recorder that retains them, and the system views / dumps that
+//! surface both (DESIGN.md §12).
+
+use jits::JitsConfig;
+use jits_engine::StatsSetting;
+use jits_obs::{QueryProfile, Volatility};
+use jits_workload::{
+    generate_workload, prepare, setup_database, DataGenConfig, Setting, WorkloadSpec,
+};
+
+/// The paper's §4.1 four-table query: three joins plus five predicates,
+/// enough plan to make a profile tree worth reading.
+const PAPER_QUERY: &str = "SELECT o.name, driver, damage \
+    FROM car as c, accidents as a, demographics as d, owner as o \
+    WHERE d.ownerid = o.id AND a.carid = c.id AND c.ownerid = o.id \
+    AND make = 'Toyota' AND model = 'Camry' AND city = 'Ottawa' \
+    AND country = 'CA' AND salary > 5000";
+
+fn datagen() -> DataGenConfig {
+    DataGenConfig {
+        scale: 0.002,
+        seed: 0x0B5E,
+    }
+}
+
+/// The deterministic skeleton of a profile: everything except the volatile
+/// wall fields and the executor label.
+fn fingerprint(p: &QueryProfile) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "clock={} session={} sql={} rows={} work={} maxq={} degraded={}\n",
+        p.clock,
+        p.session,
+        p.sql,
+        p.result_rows,
+        p.total_work.to_bits(),
+        p.max_q_error.to_bits(),
+        p.degraded,
+    );
+    for n in &p.nodes {
+        let _ = writeln!(
+            out,
+            "{} {} [{}] est={} act={} q={} work={}",
+            n.depth,
+            n.kind,
+            n.table,
+            n.est_rows.to_bits(),
+            n.actual_rows.to_bits(),
+            n.q_error.to_bits(),
+            n.work.to_bits(),
+        );
+    }
+    out
+}
+
+/// Masks the volatile parts of a rendered `EXPLAIN ANALYZE`: per-node
+/// `wall=<n>ns` readings and the executor label in the header.
+fn mask_render(text: &str) -> String {
+    let text = text
+        .replace("(batch executor)", "(_ executor)")
+        .replace("(row executor)", "(_ executor)");
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text.as_str();
+    while let Some(at) = rest.find("wall=") {
+        out.push_str(&rest[..at]);
+        out.push_str("wall=_");
+        let tail = &rest[at + 5..];
+        let digits = tail.bytes().take_while(|b| b.is_ascii_digit()).count();
+        rest = &tail[digits..];
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn profile_trees_identical_row_vs_batch() {
+    let run = |batch: bool| {
+        let mut db = setup_database(&datagen()).unwrap();
+        prepare(&mut db, &Setting::Jits(JitsConfig::default()), &[]).unwrap();
+        db.set_batch_executor(batch);
+        db.execute(PAPER_QUERY)
+            .unwrap()
+            .metrics
+            .profile
+            .expect("profiling is on by default")
+    };
+    let batch = run(true);
+    let row = run(false);
+    assert_eq!(batch.executor, "batch");
+    assert_eq!(row.executor, "row");
+    let joins = batch
+        .nodes
+        .iter()
+        .filter(|n| n.kind.contains("join"))
+        .count();
+    assert!(
+        joins >= 3,
+        "four tables need three joins: {:#?}",
+        batch.nodes
+    );
+    assert!(
+        batch.nodes.iter().all(|n| n.q_error >= 1.0),
+        "q-errors are clamped to [1, cap]"
+    );
+    // the deterministic skeleton must agree bit-for-bit across executors
+    assert_eq!(fingerprint(&batch), fingerprint(&row));
+}
+
+#[test]
+fn explain_analyze_shows_per_operator_rows_bit_identically() {
+    let run = |batch: bool| {
+        let mut db = setup_database(&datagen()).unwrap();
+        prepare(&mut db, &Setting::Jits(JitsConfig::default()), &[]).unwrap();
+        db.set_batch_executor(batch);
+        db.explain_analyze(PAPER_QUERY).unwrap()
+    };
+    let batch = run(true);
+    let row = run(false);
+    for text in [&batch, &row] {
+        assert!(text.contains("EXPLAIN ANALYZE"), "{text}");
+        assert!(text.contains("max q-error"), "{text}");
+        assert!(text.contains("est="), "{text}");
+        assert!(text.contains("actual="), "{text}");
+        assert!(text.contains("q-error="), "{text}");
+        assert!(text.contains("_scan"), "scans must appear: {text}");
+        assert!(text.contains("join"), "joins must appear: {text}");
+    }
+    // with walls and the executor label masked, the render is bit-identical
+    assert_eq!(mask_render(&batch), mask_render(&row));
+    assert_ne!(batch, row, "the unmasked headers differ by executor");
+}
+
+#[test]
+fn qerror_metrics_shrink_after_collection_pass() {
+    let mut db = setup_database(&datagen()).unwrap();
+
+    // pass 1: no statistics — the optimizer guesses, and the observatory
+    // must record how badly
+    db.set_setting(StatsSetting::NoStatistics);
+    db.execute(PAPER_QUERY).unwrap();
+    let before = db
+        .obs()
+        .registry
+        .gauge("jits.qerror.last_max_milli", Volatility::Deterministic)
+        .get();
+    let scans_before: Vec<(String, f64)> = db.obs().qerror_last().into_iter().collect();
+    assert!(!scans_before.is_empty(), "scan q-errors must be recorded");
+    assert!(
+        before > 2_000,
+        "without statistics the paper query must mispredict (got {before} milli-q)"
+    );
+
+    // pass 2: JITS collects just-in-time for the same query — estimates
+    // (and the recorded q-errors) must improve
+    db.set_setting(StatsSetting::Jits(JitsConfig::default()));
+    db.execute(PAPER_QUERY).unwrap();
+    let after = db
+        .obs()
+        .registry
+        .gauge("jits.qerror.last_max_milli", Volatility::Deterministic)
+        .get();
+    assert!(
+        after < before,
+        "a collection pass must shrink the recorded q-error: {before} -> {after}"
+    );
+
+    let statements = db
+        .obs()
+        .registry
+        .counter("jits.profile.statements", Volatility::Deterministic)
+        .get();
+    assert_eq!(statements, 2, "both executions were profiled");
+    // the second (JITS) plan may be fully index-driven, where inner index
+    // probes ride inside the join nodes — only the no-stats pass is
+    // guaranteed to expose all four base scans
+    let scans = db
+        .obs()
+        .registry
+        .counter("jits.qerror.scans", Volatility::Deterministic)
+        .get();
+    assert!(scans >= 4, "the no-stats pass scans four tables: {scans}");
+}
+
+#[test]
+fn profile_and_flight_views_return_rows() {
+    let mut db = setup_database(&datagen()).unwrap();
+    prepare(&mut db, &Setting::Jits(JitsConfig::default()), &[]).unwrap();
+    db.execute(PAPER_QUERY).unwrap();
+
+    let profile = db.execute("SELECT * FROM jits_profile").unwrap().rows;
+    assert!(
+        !profile.is_empty(),
+        "jits_profile must show the last profile"
+    );
+    assert!(profile.iter().all(|r| r.len() == 9), "{profile:#?}");
+
+    let flight = db.execute("SELECT * FROM jits_flight").unwrap().rows;
+    assert!(!flight.is_empty(), "jits_flight must retain events");
+    assert!(flight.iter().all(|r| r.len() == 3), "{flight:#?}");
+    let kinds: Vec<String> = flight.iter().map(|r| r[1].to_string()).collect();
+    assert!(
+        kinds.iter().any(|k| k.contains("profile")),
+        "the executed statement's profile must be in the ring: {kinds:?}"
+    );
+
+    // system-view reads must not themselves pollute the ring with profiles
+    // (they bypass planning entirely)
+    let again = db.execute("SELECT * FROM jits_flight").unwrap().rows;
+    assert_eq!(flight.len(), again.len());
+}
+
+#[test]
+fn flight_and_qerror_accounting_replay_at_1_and_8_collect_threads() {
+    let run = |threads: usize| {
+        let dg = datagen();
+        let ws = WorkloadSpec {
+            total_ops: 24,
+            dml_every: 6,
+            seed: 0xF11,
+        };
+        let ops = generate_workload(&ws, &dg);
+        let cfg = JitsConfig {
+            collect_threads: threads,
+            ..JitsConfig::default()
+        };
+        let mut db = setup_database(&dg).unwrap();
+        prepare(&mut db, &Setting::Jits(cfg), &ops).unwrap();
+        let shared = db.into_shared();
+        let mut session = shared.session();
+        for op in &ops {
+            session.execute(&op.sql).unwrap();
+        }
+        let obs = shared.obs().clone();
+        let flight = obs.flight.to_json(false);
+        let scans = obs
+            .registry
+            .counter("jits.qerror.scans", Volatility::Deterministic)
+            .get();
+        let mispredicted = obs
+            .registry
+            .counter("jits.qerror.mispredicted_scans", Volatility::Deterministic)
+            .get();
+        let last_max = obs
+            .registry
+            .gauge("jits.qerror.last_max_milli", Volatility::Deterministic)
+            .get();
+        (flight, scans, mispredicted, last_max)
+    };
+    let one = run(1);
+    let eight = run(8);
+    assert_eq!(
+        one.0, eight.0,
+        "masked flight dumps must be byte-equal at any collection parallelism"
+    );
+    assert_eq!((one.1, one.2, one.3), (eight.1, eight.2, eight.3));
+    assert!(one.1 > 0, "the workload must profile some scans");
+}
+
+#[test]
+fn anomaly_auto_dump_writes_flight_json() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("flight");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("observatory-anomaly.json");
+    let _ = std::fs::remove_file(&path);
+
+    let mut db = setup_database(&datagen()).unwrap();
+    db.set_setting(StatsSetting::NoStatistics);
+    db.obs().flight.set_auto_dump(Some(path.clone()));
+    // without statistics the paper query's q-error crosses the default
+    // threshold, which must trip an anomaly and the auto-dump
+    db.execute(PAPER_QUERY).unwrap();
+
+    let dump = std::fs::read_to_string(&path).expect("anomaly must write the dump");
+    assert!(dump.contains("\"anomaly\""), "{dump}");
+    assert!(dump.contains("q-error"), "{dump}");
+    assert!(dump.contains("\"profile\""), "{dump}");
+    let _ = std::fs::remove_file(&path);
+}
