@@ -17,7 +17,7 @@ use jits_common::fault::{
 use jits_common::{
     fault_key, ColumnId, FaultPlane, JitsError, Result, Schema, SplitMix64, TableId, Value,
 };
-use jits_executor::{execute_with, ExecutorKind};
+use jits_executor::{execute_with_opts, ExecOptions, ExecutorKind};
 use jits_obs::clock::now_nanos;
 use jits_obs::{Observability, QueryLogEntry, TraceBuilder};
 use jits_optimizer::{
@@ -81,6 +81,11 @@ pub struct Database {
     /// Evaluate SELECTs on the vectorized batch executor (default) or the
     /// row-at-a-time path; bit-identical either way, kept for A/B runs.
     batch_executor: bool,
+    /// Physically skip zone-map-pruned blocks during pruned scans (default
+    /// on). Results, work, and observations are bit-identical either way —
+    /// the skip list is always consulted for charging — so this is another
+    /// wall-clock-only A/B knob.
+    data_skipping: bool,
     /// Build per-operator profiles of executed SELECTs (default on; see
     /// `crate::profile`). Off disables the q-error observatory and the
     /// flight-recorder profile events, for overhead A/B runs.
@@ -111,6 +116,7 @@ impl Database {
             runstats_opts: RunstatsOptions::default(),
             last_materialized: 0,
             batch_executor: true,
+            data_skipping: true,
             profiling: true,
             obs: Arc::new(Observability::new()),
             fault: FaultPlane::disabled(),
@@ -128,6 +134,19 @@ impl Database {
     /// Whether SELECTs run on the vectorized batch executor.
     pub fn batch_executor(&self) -> bool {
         self.batch_executor
+    }
+
+    /// Enables or disables physical block skipping in pruned scans (default
+    /// on). The plan still chooses the pruned-scan access path and charges
+    /// pruned-scan work either way; off forces the executor to read every
+    /// block, which is the baseline arm of the data-skipping benchmark.
+    pub fn set_data_skipping(&mut self, on: bool) {
+        self.data_skipping = on;
+    }
+
+    /// Whether pruned scans physically skip pruned blocks.
+    pub fn data_skipping(&self) -> bool {
+        self.data_skipping
     }
 
     /// Enables or disables per-operator profiling of SELECTs (default on).
@@ -372,6 +391,7 @@ impl Database {
             self.defaults,
             self.runstats_opts,
             self.batch_executor,
+            self.data_skipping,
             self.profiling,
             self.obs,
             self.fault,
@@ -498,6 +518,7 @@ impl Database {
             views::VIEW_DEGRADATION => views::degradation_rows(&self.obs),
             views::VIEW_PROFILE => views::profile_rows(&self.obs),
             views::VIEW_FLIGHT => views::flight_rows(&self.obs),
+            views::VIEW_ACCESS_PATHS => views::access_paths_rows(&self.obs),
             _ => views::query_log_rows(&self.obs),
         })
     }
@@ -538,7 +559,16 @@ impl Database {
         } else {
             ExecutorKind::Row
         };
-        let out = execute_with(kind, &plan, &block, &self.tables, &self.cost)?;
+        let out = execute_with_opts(
+            kind,
+            &plan,
+            &block,
+            &self.tables,
+            &self.cost,
+            ExecOptions {
+                data_skipping: self.data_skipping,
+            },
+        )?;
         metrics.exec_wall = wall_since(t1);
         let exec_nanos = metrics.exec_wall.as_nanos() as u64;
         tb.end(exec_nanos);
@@ -546,6 +576,7 @@ impl Database {
         metrics.result_rows = out.rows.len();
         metrics.batch_executor = self.batch_executor;
         observe::note_executor(&obs, self.batch_executor);
+        observe::note_access_paths(&obs, &out.stats);
 
         // -- profile (estimation-quality observatory) --
         if self.profiling {

@@ -351,7 +351,7 @@ pub(crate) fn note_profile(obs: &Observability, profile: &QueryProfile, qerror_t
     let mut scans = 0u64;
     let mut mispredicted = 0u64;
     for n in &profile.nodes {
-        let is_scan = n.kind == "seq_scan" || n.kind == "index_scan";
+        let is_scan = n.kind == "seq_scan" || n.kind == "pruned_scan" || n.kind == "index_scan";
         if !is_scan || n.table.is_empty() {
             continue;
         }
@@ -424,6 +424,35 @@ pub(crate) fn note_executor(obs: &Observability, batch: bool) {
         "jits.exec.row_statements"
     };
     obs.registry.counter(name, Volatility::Deterministic).inc();
+}
+
+/// Records one SELECT's access-path usage: zone-map skip counters plus a
+/// per-path tally of how base tables were reached. Everything derives from
+/// the skip lists and the plan shape — never from whether blocks were
+/// physically skipped — so the counters are deterministic and identical
+/// with data skipping on or off, on either executor, at any thread count.
+pub(crate) fn note_access_paths(obs: &Observability, stats: &jits_executor::ExecStats) {
+    use jits_executor::NodeKind;
+    let (mut seq, mut pruned, mut index) = (0u64, 0u64, 0u64);
+    for n in &stats.nodes {
+        match n.kind {
+            NodeKind::SeqScan => seq += 1,
+            NodeKind::PrunedScan => pruned += 1,
+            NodeKind::IndexScan | NodeKind::IndexNLJoin => index += 1,
+            NodeKind::HashJoin | NodeKind::NLJoin => {}
+        }
+    }
+    let reg = &obs.registry;
+    reg.counter("jits.skip.seq_scans", Volatility::Deterministic)
+        .add(seq);
+    reg.counter("jits.skip.pruned_scans", Volatility::Deterministic)
+        .add(pruned);
+    reg.counter("jits.skip.index_scans", Volatility::Deterministic)
+        .add(index);
+    reg.counter("jits.skip.blocks_total", Volatility::Deterministic)
+        .add(stats.blocks_total);
+    reg.counter("jits.skip.blocks_pruned", Volatility::Deterministic)
+        .add(stats.blocks_pruned);
 }
 
 pub(crate) fn note_feedback(obs: &Observability, tb: &mut TraceBuilder, observations: usize) {

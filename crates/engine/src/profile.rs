@@ -87,7 +87,9 @@ fn flatten(
     out: &mut Vec<ProfileNodeRow>,
 ) {
     match plan {
-        PhysicalPlan::SeqScan { scan, .. } | PhysicalPlan::IndexScan { scan, .. } => {
+        PhysicalPlan::SeqScan { scan, .. }
+        | PhysicalPlan::PrunedScan { scan, .. }
+        | PhysicalPlan::IndexScan { scan, .. } => {
             push_row(
                 stats,
                 *cursor,

@@ -60,7 +60,7 @@ use jits_common::fault::{
     FP_ARCHIVE_READ, FP_ARCHIVE_WRITE, FP_HISTORY_READ, FP_SAMPLECACHE_COMMIT,
 };
 use jits_common::{fault_key, FaultPlane, JitsError, Result, Schema, SplitMix64, TableId, Value};
-use jits_executor::{execute_with, ExecutorKind};
+use jits_executor::{execute_with_opts, ExecOptions, ExecutorKind};
 use jits_obs::clock::now_nanos;
 use jits_obs::{Observability, QueryLogEntry, TraceBuilder};
 use jits_optimizer::{
@@ -116,6 +116,9 @@ struct Shared {
     /// Evaluate SELECTs on the vectorized batch executor (default) or the
     /// row-at-a-time A/B path; lock-free, togglable at any time.
     batch_executor: AtomicBool,
+    /// Physically skip zone-map-pruned blocks in pruned scans (default on);
+    /// bit-identical results either way, lock-free, togglable at any time.
+    data_skipping: AtomicBool,
     /// Build per-operator profiles of executed SELECTs (default on);
     /// lock-free, togglable at any time.
     profiling: AtomicBool,
@@ -218,6 +221,7 @@ impl SharedDatabase {
         defaults: DefaultSelectivities,
         runstats_opts: RunstatsOptions,
         batch_executor: bool,
+        data_skipping: bool,
         profiling: bool,
         obs: Arc<Observability>,
         fault: FaultPlane,
@@ -238,6 +242,7 @@ impl SharedDatabase {
                 defaults,
                 runstats_opts,
                 batch_executor: AtomicBool::new(batch_executor),
+                data_skipping: AtomicBool::new(data_skipping),
                 profiling: AtomicBool::new(profiling),
                 counters: EngineCounters::default(),
                 obs,
@@ -263,6 +268,18 @@ impl SharedDatabase {
     /// Whether SELECTs run on the vectorized batch executor.
     pub fn batch_executor(&self) -> bool {
         self.shared.batch_executor.load(Ordering::SeqCst)
+    }
+
+    /// Enables or disables physical block skipping in pruned scans for
+    /// every session (see [`Database::set_data_skipping`]); lock-free,
+    /// takes effect at each session's next statement.
+    pub fn set_data_skipping(&self, on: bool) {
+        self.shared.data_skipping.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether pruned scans physically skip pruned blocks.
+    pub fn data_skipping(&self) -> bool {
+        self.shared.data_skipping.load(Ordering::SeqCst)
     }
 
     /// Enables or disables per-operator profiling for every session (see
@@ -679,6 +696,7 @@ impl Session {
             views::VIEW_DEGRADATION => views::degradation_rows(&sh.obs),
             views::VIEW_PROFILE => views::profile_rows(&sh.obs),
             views::VIEW_FLIGHT => views::flight_rows(&sh.obs),
+            views::VIEW_ACCESS_PATHS => views::access_paths_rows(&sh.obs),
             _ => views::query_log_rows(&sh.obs),
         })
     }
@@ -727,9 +745,19 @@ impl Session {
         } else {
             ExecutorKind::Row
         };
+        let skipping = sh.data_skipping.load(Ordering::SeqCst);
         let out = {
             let tables = timed_read(&sh.tables, &sh.counters, &mut waited);
-            execute_with(kind, &plan, &block, &tables, &sh.cost)?
+            execute_with_opts(
+                kind,
+                &plan,
+                &block,
+                &tables,
+                &sh.cost,
+                ExecOptions {
+                    data_skipping: skipping,
+                },
+            )?
         };
         metrics.exec_wall = wall_since(t1);
         let exec_nanos = metrics.exec_wall.as_nanos() as u64;
@@ -738,6 +766,7 @@ impl Session {
         metrics.result_rows = out.rows.len();
         metrics.batch_executor = batch_exec;
         observe::note_executor(&sh.obs, batch_exec);
+        observe::note_access_paths(&sh.obs, &out.stats);
 
         // -- profile (estimation-quality observatory) --
         if sh.profiling.load(Ordering::SeqCst) {

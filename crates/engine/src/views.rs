@@ -1,6 +1,6 @@
 //! Virtual system views over the observability state.
 //!
-//! Seven read-only views answer plain `SELECT * FROM <view>` statements
+//! Eight read-only views answer plain `SELECT * FROM <view>` statements
 //! without touching user data, bumping the query clock, or drawing from
 //! the sampling RNG:
 //!
@@ -13,6 +13,7 @@
 //! | `jits_degradation`   | clock, table, fault_point, fallback                |
 //! | `jits_profile`       | clock, depth, kind, table, est_rows, actual_rows, q_error, work, wall_ns |
 //! | `jits_flight`        | clock, kind, detail                                |
+//! | `jits_access_paths`  | path, uses, blocks_total, blocks_pruned            |
 //!
 //! A user table with the same name shadows the view (the interception only
 //! fires when the name does not resolve in the catalog).
@@ -39,6 +40,9 @@ pub const VIEW_DEGRADATION: &str = "jits_degradation";
 pub const VIEW_PROFILE: &str = "jits_profile";
 /// `SELECT * FROM jits_flight` — the flight-recorder event ring.
 pub const VIEW_FLIGHT: &str = "jits_flight";
+/// `SELECT * FROM jits_access_paths` — cumulative per-access-path usage and
+/// zone-map skip totals.
+pub const VIEW_ACCESS_PATHS: &str = "jits_access_paths";
 
 /// Returns the canonical view name if `stmt` is a single-table SELECT from
 /// one of the virtual system views (matched case-insensitively).
@@ -57,6 +61,7 @@ pub(crate) fn system_view_name(stmt: &Statement) -> Option<&'static str> {
         VIEW_DEGRADATION => Some(VIEW_DEGRADATION),
         VIEW_PROFILE => Some(VIEW_PROFILE),
         VIEW_FLIGHT => Some(VIEW_FLIGHT),
+        VIEW_ACCESS_PATHS => Some(VIEW_ACCESS_PATHS),
         _ => None,
     }
 }
@@ -196,6 +201,36 @@ pub(crate) fn flight_rows(obs: &Observability) -> Vec<Vec<Value>> {
             ]
         })
         .collect()
+}
+
+/// Rows of `jits_access_paths`: one row per base-table access path with its
+/// cumulative use count; the `pruned_scan` row additionally carries the
+/// zone-map block totals. Backed by the deterministic `jits.skip.*`
+/// counters, so the view is identical with data skipping on or off.
+pub(crate) fn access_paths_rows(obs: &Observability) -> Vec<Vec<Value>> {
+    use jits_obs::Volatility;
+    let reg = &obs.registry;
+    let get = |name: &str| reg.counter(name, Volatility::Deterministic).get() as i64;
+    vec![
+        vec![
+            Value::str("seq_scan"),
+            Value::Int(get("jits.skip.seq_scans")),
+            Value::Int(0),
+            Value::Int(0),
+        ],
+        vec![
+            Value::str("pruned_scan"),
+            Value::Int(get("jits.skip.pruned_scans")),
+            Value::Int(get("jits.skip.blocks_total")),
+            Value::Int(get("jits.skip.blocks_pruned")),
+        ],
+        vec![
+            Value::str("index_scan"),
+            Value::Int(get("jits.skip.index_scans")),
+            Value::Int(0),
+            Value::Int(0),
+        ],
+    ]
 }
 
 /// Rows of `jits_query_log`, oldest first.

@@ -28,7 +28,7 @@
 
 use crate::exec::{
     accumulate, finish_groups, index_interval, matches_preds, position_in, record_scan, table_of,
-    AggAcc, ExecOutput,
+    zone_constraints, AggAcc, ExecOptions, ExecOutput,
 };
 use crate::monitor::{ExecStats, NodeKind, NodeObservation};
 use jits_common::{Bound, ColumnId, Interval, JitsError, Result, Value};
@@ -84,9 +84,10 @@ pub(crate) fn execute_batch(
     block: &QueryBlock,
     tables: &[Table],
     cost: &CostModel,
+    opts: ExecOptions,
 ) -> Result<ExecOutput> {
     let mut stats = ExecStats::default();
-    let mut batch = run_batch(plan, block, tables, cost, &mut stats)?;
+    let mut batch = run_batch(plan, block, tables, cost, opts, &mut stats)?;
     if let Some((qun, col, desc)) = block.order_by {
         let table = table_of(tables, block, qun)?;
         let fc = table.gather_column(col, batch.sel_of(qun)?);
@@ -128,11 +129,12 @@ fn run_batch(
     block: &QueryBlock,
     tables: &[Table],
     cost: &CostModel,
+    opts: ExecOptions,
     stats: &mut ExecStats,
 ) -> Result<ColumnBatch> {
     #[cfg(debug_assertions)]
     let (work_before, nodes_before) = (stats.work, stats.nodes.len());
-    let batch = run_operator(plan, block, tables, cost, stats)?;
+    let batch = run_operator(plan, block, tables, cost, opts, stats)?;
     #[cfg(debug_assertions)]
     debug_validate_batch(plan, &batch, stats, work_before, nodes_before);
     Ok(batch)
@@ -181,19 +183,20 @@ fn debug_validate_batch(
     );
     let expect_kind = match plan {
         PhysicalPlan::SeqScan { .. } => NodeKind::SeqScan,
+        PhysicalPlan::PrunedScan { .. } => NodeKind::PrunedScan,
         PhysicalPlan::IndexScan { .. } => NodeKind::IndexScan,
         PhysicalPlan::HashJoin { .. } => NodeKind::HashJoin,
         PhysicalPlan::IndexNLJoin { .. } => NodeKind::IndexNLJoin,
         PhysicalPlan::NLJoin { .. } => NodeKind::NLJoin,
     };
     match plan {
-        PhysicalPlan::SeqScan { .. } => {
-            // table scans emit row ids in ascending order and the bitset
-            // filter preserves it
+        PhysicalPlan::SeqScan { .. } | PhysicalPlan::PrunedScan { .. } => {
+            // table scans emit row ids in ascending order and both the
+            // bitset filter and block skipping preserve it
             for (q, s) in batch.quns.iter().zip(&batch.sel) {
                 assert!(
                     s.windows(2).all(|w| w[0] < w[1]),
-                    "batch executor: seq-scan selection vector of qun {q} is not strictly \
+                    "batch executor: scan selection vector of qun {q} is not strictly \
                      increasing"
                 );
             }
@@ -249,7 +252,9 @@ fn debug_validate_batch(
 #[cfg(debug_assertions)]
 fn node_count(plan: &PhysicalPlan) -> usize {
     match plan {
-        PhysicalPlan::SeqScan { .. } | PhysicalPlan::IndexScan { .. } => 1,
+        PhysicalPlan::SeqScan { .. }
+        | PhysicalPlan::PrunedScan { .. }
+        | PhysicalPlan::IndexScan { .. } => 1,
         PhysicalPlan::HashJoin { build, probe, .. } => 1 + node_count(build) + node_count(probe),
         PhysicalPlan::IndexNLJoin { outer, .. } => 1 + node_count(outer),
         PhysicalPlan::NLJoin { outer, inner, .. } => 1 + node_count(outer) + node_count(inner),
@@ -261,6 +266,7 @@ fn run_operator(
     block: &QueryBlock,
     tables: &[Table],
     cost: &CostModel,
+    opts: ExecOptions,
     stats: &mut ExecStats,
 ) -> Result<ColumnBatch> {
     // inclusive wall per node, mirroring the row path's capture points;
@@ -289,6 +295,50 @@ fn run_operator(
                 sel: vec![sel],
             })
         }
+        PhysicalPlan::PrunedScan { scan, est, .. } => {
+            debug_assert!(
+                jits_optimizer::EST_BLOCK_ROWS == jits_storage::BLOCK_SIZE as f64,
+                "optimizer block-size assumption diverged from storage"
+            );
+            let table = table_of(tables, block, scan.qun)?;
+            // same skip list, work formula, and row order as the row path
+            // (and as the off-mode full scan — pruning is sound, so the
+            // surviving blocks contain every matching row)
+            let constraints = zone_constraints(block, &scan.pred_indices);
+            let skip = table.skip_list(&constraints);
+            let rows: Vec<RowId> = if opts.data_skipping {
+                skip.survivors
+                    .iter()
+                    .flat_map(|&b| table.block_rows(b as usize))
+                    .collect()
+            } else {
+                table.scan().collect()
+            };
+            let sel = filter_rows(table, rows, block, &scan.pred_indices);
+            let work = cost.pruned_scan(
+                skip.blocks_total as f64,
+                skip.surviving_rows as f64,
+                sel.len() as f64,
+            );
+            stats.work += work;
+            stats.blocks_total += skip.blocks_total as u64;
+            stats.blocks_pruned += skip.blocks_pruned() as u64;
+            record_scan(
+                stats,
+                scan,
+                NodeKind::PrunedScan,
+                est.rows,
+                sel.len(),
+                table,
+                work,
+                jits_obs::clock::now_nanos().saturating_sub(t_node),
+            );
+            Ok(ColumnBatch {
+                quns: vec![scan.qun],
+                len: sel.len(),
+                sel: vec![sel],
+            })
+        }
         PhysicalPlan::IndexScan {
             scan,
             index_column,
@@ -303,7 +353,18 @@ fn run_operator(
                 ))
             })?;
             let interval = index_interval(block, &scan.pred_indices, *index_column)?;
-            let candidates = index.lookup_range(&interval);
+            // equality probes route to the hash twin when one exists (same
+            // per-key row order as the B-tree, so the candidate stream is
+            // identical either way)
+            let point_key = if interval.is_point() {
+                interval.low.value()
+            } else {
+                None
+            };
+            let candidates: Vec<RowId> = match (point_key, table.hash_index(*index_column)) {
+                (Some(v), Some(hash)) => hash.lookup_eq(v).to_vec(),
+                _ => index.lookup_range(&interval),
+            };
             let fetched = candidates.len() as f64;
             let live: Vec<RowId> = candidates
                 .into_iter()
@@ -334,8 +395,8 @@ fn run_operator(
             keys,
             est,
         } => {
-            let build_batch = run_batch(build, block, tables, cost, stats)?;
-            let probe_batch = run_batch(probe, block, tables, cost, stats)?;
+            let build_batch = run_batch(build, block, tables, cost, opts, stats)?;
+            let probe_batch = run_batch(probe, block, tables, cost, opts, stats)?;
             if keys.is_empty() {
                 return Err(JitsError::Execution("hash join without keys".into()));
             }
@@ -382,7 +443,7 @@ fn run_operator(
             keys,
             est,
         } => {
-            let outer_batch = run_batch(outer, block, tables, cost, stats)?;
+            let outer_batch = run_batch(outer, block, tables, cost, opts, stats)?;
             let inner_table = table_of(tables, block, inner.qun)?;
             let index = inner_table.index(*index_column).ok_or_else(|| {
                 JitsError::Execution(format!(
@@ -397,6 +458,9 @@ fn run_operator(
             };
             let drive_table = table_of(tables, block, drive_oq)?;
             let drive_col = drive_table.gather_column(drive_oc, outer_batch.sel_of(drive_oq)?);
+            // equality probes prefer the hash twin (same per-key row order
+            // as the B-tree, so the candidate stream is identical)
+            let hash = inner_table.hash_index(*index_column);
             // residual outer key columns, gathered once before the probe loop
             let residual: Vec<(FrameColumn, ColumnId)> = keys[1..]
                 .iter()
@@ -412,7 +476,10 @@ fn run_operator(
                     continue; // NULL keys never join
                 }
                 let key = drive_col.value(t);
-                let candidates = index.lookup_eq(&key);
+                let candidates = match hash {
+                    Some(h) => h.lookup_eq(&key),
+                    None => index.lookup_eq(&key),
+                };
                 fetched_total += candidates.len() as f64;
                 'cand: for &irow in candidates {
                     if !inner_table.is_live(irow)
@@ -463,8 +530,8 @@ fn run_operator(
             keys,
             est,
         } => {
-            let outer_batch = run_batch(outer, block, tables, cost, stats)?;
-            let inner_batch = run_batch(inner, block, tables, cost, stats)?;
+            let outer_batch = run_batch(outer, block, tables, cost, opts, stats)?;
+            let inner_batch = run_batch(inner, block, tables, cost, opts, stats)?;
             let outer_cols = gather_keys(&outer_batch, block, tables, keys.iter().map(|(o, _)| o))?;
             let inner_cols = gather_keys(&inner_batch, block, tables, keys.iter().map(|(_, i)| i))?;
             let mut pairs: Vec<(usize, usize)> = Vec::new();
@@ -618,13 +685,26 @@ fn filter_rows(
 fn eval_pred(p: &LocalPredicate, fc: &FrameColumn, keep: &mut [bool]) {
     if let (PredKind::Interval(iv), FrameValues::Int(vals)) = (&p.kind, &fc.values) {
         if let Some((lo, hi)) = int_bounds(iv) {
-            for (i, k) in keep.iter_mut().enumerate() {
-                if *k {
-                    // NULL never matches an interval; bound semantics mirror
-                    // Interval::contains over exact i64 comparisons
-                    *k = fc.validity[i]
-                        && lo.is_none_or(|(x, inc)| if inc { vals[i] >= x } else { vals[i] > x })
-                        && hi.is_none_or(|(x, inc)| if inc { vals[i] <= x } else { vals[i] < x });
+            let in_bounds = |v: i64| {
+                lo.is_none_or(|(x, inc)| if inc { v >= x } else { v > x })
+                    && hi.is_none_or(|(x, inc)| if inc { v <= x } else { v < x })
+            };
+            if fc.non_null == fc.len() {
+                // the gather proved the slice NULL-free (for pruned scans
+                // the zone map's null count already knew), so the per-row
+                // validity re-check is hoisted out of the inner loop
+                for (i, k) in keep.iter_mut().enumerate() {
+                    if *k {
+                        *k = in_bounds(vals[i]);
+                    }
+                }
+            } else {
+                for (i, k) in keep.iter_mut().enumerate() {
+                    if *k {
+                        // NULL never matches an interval; bound semantics
+                        // mirror Interval::contains over exact i64 compares
+                        *k = fc.validity[i] && in_bounds(vals[i]);
+                    }
                 }
             }
             return;

@@ -29,6 +29,24 @@ pub enum ExecutorKind {
     Batch,
 }
 
+/// Per-execution options shared by both executors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Whether pruned scans physically skip zone-map-pruned blocks. The
+    /// skip list is computed and work is charged from it either way, so
+    /// rows, work, and observations are bit-identical on and off; the knob
+    /// only changes wall-clock time.
+    pub data_skipping: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            data_skipping: true,
+        }
+    }
+}
+
 /// A batch of intermediate tuples: `quns[i]` names the quantifier whose row
 /// id sits at position `i` of every tuple.
 struct Batch {
@@ -71,9 +89,21 @@ pub fn execute_with(
     tables: &[Table],
     cost: &CostModel,
 ) -> Result<ExecOutput> {
+    execute_with_opts(kind, plan, block, tables, cost, ExecOptions::default())
+}
+
+/// [`execute_with`] with explicit [`ExecOptions`].
+pub fn execute_with_opts(
+    kind: ExecutorKind,
+    plan: &PhysicalPlan,
+    block: &QueryBlock,
+    tables: &[Table],
+    cost: &CostModel,
+    opts: ExecOptions,
+) -> Result<ExecOutput> {
     match kind {
-        ExecutorKind::Row => execute_row(plan, block, tables, cost),
-        ExecutorKind::Batch => crate::batch::execute_batch(plan, block, tables, cost),
+        ExecutorKind::Row => execute_row(plan, block, tables, cost, opts),
+        ExecutorKind::Batch => crate::batch::execute_batch(plan, block, tables, cost, opts),
     }
 }
 
@@ -82,9 +112,10 @@ fn execute_row(
     block: &QueryBlock,
     tables: &[Table],
     cost: &CostModel,
+    opts: ExecOptions,
 ) -> Result<ExecOutput> {
     let mut stats = ExecStats::default();
-    let mut batch = run(plan, block, tables, cost, &mut stats)?;
+    let mut batch = run(plan, block, tables, cost, opts, &mut stats)?;
     if let Some((qun, col, desc)) = block.order_by {
         let pos = batch.position_of(qun)?;
         let table = table_of(tables, block, qun)?;
@@ -136,6 +167,7 @@ fn run(
     block: &QueryBlock,
     tables: &[Table],
     cost: &CostModel,
+    opts: ExecOptions,
     stats: &mut ExecStats,
 ) -> Result<Batch> {
     // inclusive wall per node (children recurse within the arm, so a join's
@@ -168,6 +200,57 @@ fn run(
                 tuples,
             })
         }
+        PhysicalPlan::PrunedScan { scan, est, .. } => {
+            debug_assert!(
+                jits_optimizer::EST_BLOCK_ROWS == jits_storage::BLOCK_SIZE as f64,
+                "optimizer block-size assumption diverged from storage"
+            );
+            let table = table_of(tables, block, scan.qun)?;
+            // the skip list is computed in both modes: pruning is sound
+            // (pruned blocks hold no matching rows), so the off-mode full
+            // scan yields the same rows in the same ascending order, and
+            // charging work from the skip list keeps the stats identical
+            let constraints = zone_constraints(block, &scan.pred_indices);
+            let skip = table.skip_list(&constraints);
+            let mut tuples = Vec::new();
+            if opts.data_skipping {
+                for &b in &skip.survivors {
+                    for row in table.block_rows(b as usize) {
+                        if matches_preds(table, row, block, &scan.pred_indices) {
+                            tuples.push(vec![row]);
+                        }
+                    }
+                }
+            } else {
+                for row in table.scan() {
+                    if matches_preds(table, row, block, &scan.pred_indices) {
+                        tuples.push(vec![row]);
+                    }
+                }
+            }
+            let work = cost.pruned_scan(
+                skip.blocks_total as f64,
+                skip.surviving_rows as f64,
+                tuples.len() as f64,
+            );
+            stats.work += work;
+            stats.blocks_total += skip.blocks_total as u64;
+            stats.blocks_pruned += skip.blocks_pruned() as u64;
+            record_scan(
+                stats,
+                scan,
+                NodeKind::PrunedScan,
+                est.rows,
+                tuples.len(),
+                table,
+                work,
+                jits_obs::clock::now_nanos().saturating_sub(t_node),
+            );
+            Ok(Batch {
+                quns: vec![scan.qun],
+                tuples,
+            })
+        }
         PhysicalPlan::IndexScan {
             scan,
             index_column,
@@ -182,7 +265,18 @@ fn run(
                 ))
             })?;
             let interval = index_interval(block, &scan.pred_indices, *index_column)?;
-            let candidates = index.lookup_range(&interval);
+            // equality probes route to the hash twin when one exists; its
+            // per-key row vectors are maintained in the same order as the
+            // B-tree's, so the candidate stream is identical either way
+            let point_key = if interval.is_point() {
+                interval.low.value()
+            } else {
+                None
+            };
+            let candidates: Vec<RowId> = match (point_key, table.hash_index(*index_column)) {
+                (Some(v), Some(hash)) => hash.lookup_eq(v).to_vec(),
+                _ => index.lookup_range(&interval),
+            };
             let fetched = candidates.len() as f64;
             let mut tuples = Vec::new();
             for row in candidates {
@@ -213,8 +307,8 @@ fn run(
             keys,
             est,
         } => {
-            let build_batch = run(build, block, tables, cost, stats)?;
-            let probe_batch = run(probe, block, tables, cost, stats)?;
+            let build_batch = run(build, block, tables, cost, opts, stats)?;
+            let probe_batch = run(probe, block, tables, cost, opts, stats)?;
             if keys.is_empty() {
                 return Err(JitsError::Execution("hash join without keys".into()));
             }
@@ -293,7 +387,7 @@ fn run(
             keys,
             est,
         } => {
-            let outer_batch = run(outer, block, tables, cost, stats)?;
+            let outer_batch = run(outer, block, tables, cost, opts, stats)?;
             let inner_table = table_of(tables, block, inner.qun)?;
             let index = inner_table.index(*index_column).ok_or_else(|| {
                 JitsError::Execution(format!(
@@ -308,6 +402,9 @@ fn run(
             };
             let drive_pos = outer_batch.position_of(drive_oq)?;
             let drive_table = table_of(tables, block, drive_oq)?;
+            // equality probes prefer the hash twin (same per-key row order
+            // as the B-tree, so the candidate stream is identical)
+            let hash = inner_table.hash_index(*index_column);
             // residual keys beyond the driving one; positions and tables are
             // loop-invariant, so resolve them once before probing
             let residual: Vec<(usize, ColumnId, &Table, ColumnId)> = keys[1..]
@@ -328,7 +425,10 @@ fn run(
                 if key.is_null() {
                     continue;
                 }
-                let candidates = index.lookup_eq(&key);
+                let candidates = match hash {
+                    Some(h) => h.lookup_eq(&key),
+                    None => index.lookup_eq(&key),
+                };
                 fetched_total += candidates.len() as f64;
                 'cand: for &irow in candidates {
                     if !inner_table.is_live(irow)
@@ -378,8 +478,8 @@ fn run(
             keys,
             est,
         } => {
-            let outer_batch = run(outer, block, tables, cost, stats)?;
-            let inner_batch = run(inner, block, tables, cost, stats)?;
+            let outer_batch = run(outer, block, tables, cost, opts, stats)?;
+            let inner_batch = run(inner, block, tables, cost, opts, stats)?;
             let key_positions: Vec<((usize, ColumnId), (usize, ColumnId))> = keys
                 .iter()
                 .map(|((oq, oc), (iq, ic))| {
@@ -445,6 +545,27 @@ pub(crate) fn matches_preds(
         let p = &block.local_predicates[i];
         p.matches(&table.value(row, p.column))
     })
+}
+
+/// The per-column zone-map constraints of a scan's predicate group: every
+/// interval predicate, merged per column by intersection. Shared by both
+/// executors so their skip lists (and therefore their work charges) agree.
+pub(crate) fn zone_constraints(
+    block: &QueryBlock,
+    pred_indices: &[usize],
+) -> Vec<(ColumnId, Interval)> {
+    let mut merged: std::collections::BTreeMap<ColumnId, Interval> = Default::default();
+    for &i in pred_indices {
+        let p = &block.local_predicates[i];
+        if let PredKind::Interval(iv) = &p.kind {
+            let next = match merged.remove(&p.column) {
+                Some(existing) => existing.intersect(iv),
+                None => iv.clone(),
+            };
+            merged.insert(p.column, next);
+        }
+    }
+    merged.into_iter().collect()
 }
 
 /// The merged index-driving interval for `column` among the scan's

@@ -24,5 +24,5 @@ pub mod batch;
 pub mod exec;
 pub mod monitor;
 
-pub use exec::{execute, execute_with, ExecOutput, ExecutorKind};
+pub use exec::{execute, execute_with, execute_with_opts, ExecOptions, ExecOutput, ExecutorKind};
 pub use monitor::{ExecStats, NodeKind, NodeObservation, ScanObservation};

@@ -8,6 +8,8 @@ use jits_optimizer::StatSource;
 pub enum NodeKind {
     /// Sequential scan.
     SeqScan,
+    /// Zone-map-pruned scan.
+    PrunedScan,
     /// Index scan.
     IndexScan,
     /// Hash join.
@@ -23,6 +25,7 @@ impl NodeKind {
     pub fn label(self) -> &'static str {
         match self {
             NodeKind::SeqScan => "seq_scan",
+            NodeKind::PrunedScan => "pruned_scan",
             NodeKind::IndexScan => "index_scan",
             NodeKind::HashJoin => "hash_join",
             NodeKind::IndexNLJoin => "index_nl_join",
@@ -131,6 +134,12 @@ pub struct ExecStats {
     pub node_walls: Vec<u64>,
     /// Base-table predicate-group observations for the feedback loop.
     pub scans: Vec<ScanObservation>,
+    /// Zone-map block summaries probed by pruned scans. Computed from the
+    /// skip list whether or not blocks are physically skipped, so the pair
+    /// is part of the bit-compared half of the stats.
+    pub blocks_total: u64,
+    /// Blocks whose summaries proved no row could match.
+    pub blocks_pruned: u64,
 }
 
 #[cfg(test)]

@@ -1,0 +1,14 @@
+//! Known-bad fixture for the epoch-safety zone-map rule. Never compiled —
+//! the integration test feeds it to the analyzer and expects violations.
+
+fn insert_row(table: &mut Table, id: RowId, row: Row) {
+    table.rows.push(row.clone());
+    // BAD: block summary written without a dominating epoch-tick check
+    table.zones.note_insert(id, &row);
+}
+
+fn delete_row(table: &mut Table, id: RowId, was_null: Vec<bool>) {
+    table.live.remove(&id);
+    // BAD: the epoch never demonstrably ticked before the summary shrank
+    table.zones.note_delete(id, &was_null);
+}

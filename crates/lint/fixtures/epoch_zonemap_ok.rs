@@ -1,0 +1,19 @@
+//! Clean twin of `epoch_zonemap_bad.rs`: the same zone-map writes, each
+//! dominated by an exact epoch comparison proving the mutation tick
+//! happened first. Must produce zero findings.
+
+fn insert_row(table: &mut Table, id: RowId, row: Row) {
+    let before = table.epoch;
+    table.rows.push(row.clone());
+    table.epoch += 1;
+    debug_assert!(table.epoch == before + 1, "epoch must tick before zones");
+    table.zones.note_insert(id, &row);
+}
+
+fn update_cell(table: &mut Table, id: RowId, col: ColumnId, was_null: bool, v: Value) {
+    let before = table.epoch;
+    table.epoch += 1;
+    if table.epoch == before + 1 {
+        table.zones.note_update(id, col, was_null, &v);
+    }
+}

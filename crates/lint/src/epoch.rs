@@ -11,7 +11,12 @@
 //! - **sites**: calls to `merge_artifacts(…)`, and accesses to `.frames` /
 //!   `.bitsets` fields that clone, insert into, or extend a cache entry's
 //!   artifact maps (`.clone()`, `.entry(`, `.insert(`, `.extend(`, `.get(`
-//!   chained off the field).
+//!   chained off the field). The same discipline covers zone-map
+//!   maintenance: block summaries (`.zones.note_insert(` / `note_delete(` /
+//!   `note_update(`) are versioned by the mutation epoch, so every write
+//!   must be dominated by an epoch comparison proving the tick happened
+//!   first — otherwise a skip list can disagree with the rows it
+//!   summarizes.
 //! - **guard**: an `==` comparison with an operand naming an epoch (an
 //!   identifier containing `epoch`) textually earlier in the same function
 //!   body.
@@ -34,6 +39,12 @@ const ARTIFACT_FIELDS: &[&str] = &["frames", "bitsets"];
 
 /// Methods on an artifact field that deposit, merge, or serve it.
 const ARTIFACT_METHODS: &[&str] = &["clone", "entry", "insert", "extend", "get"];
+
+/// Zone-map field names whose block summaries are epoch-versioned.
+const ZONE_FIELDS: &[&str] = &["zones"];
+
+/// Methods on a zone-map field that write block summaries.
+const ZONE_METHODS: &[&str] = &["note_insert", "note_delete", "note_update"];
 
 /// Runs the pass over a workspace. Returns every finding, including waived
 /// ones (flagged `waived: true`).
@@ -109,16 +120,22 @@ pub fn run(ws: &Workspace) -> Vec<Violation> {
                 });
             }
 
-            // (b) artifact-map manipulation: `.frames.<method>` / `.bitsets.<method>`
+            // (b) epoch-versioned field manipulation: artifact maps
+            // (`.frames.<method>` / `.bitsets.<method>`) and zone-map
+            // writes (`.zones.note_*(`)
             let toks = &pf.toks;
             for i in open..close.min(toks.len()) {
                 if toks[i].kind != crate::tokens::TokKind::Ident {
                     continue;
                 }
                 let name = pf.text(src, i);
-                if !ARTIFACT_FIELDS.contains(&name) {
+                let methods = if ARTIFACT_FIELDS.contains(&name) {
+                    ARTIFACT_METHODS
+                } else if ZONE_FIELDS.contains(&name) {
+                    ZONE_METHODS
+                } else {
                     continue;
-                }
+                };
                 // field access: preceded by `.`, followed by `.method(`
                 if i == 0 || !pf.is_punct(src, i - 1, ".") {
                     continue;
@@ -128,7 +145,7 @@ pub fn run(ws: &Workspace) -> Vec<Violation> {
                 }
                 let Some(m) = toks.get(i + 2) else { continue };
                 if m.kind != crate::tokens::TokKind::Ident
-                    || !ARTIFACT_METHODS.contains(&m.text(src))
+                    || !methods.contains(&m.text(src))
                     || !pf.is_punct(src, i + 3, "(")
                 {
                     continue;
@@ -140,17 +157,21 @@ pub fn run(ws: &Workspace) -> Vec<Violation> {
                 if eq_toks.iter().any(|&e| e < i) {
                     continue;
                 }
+                let consequence = if ZONE_FIELDS.contains(&name) {
+                    "writes block zone summaries without an earlier exact epoch \
+                     comparison (`… == epoch`) in the same function; summaries must \
+                     only change under a fresh mutation_epoch tick, or skip lists \
+                     can disagree with the rows they summarize"
+                } else {
+                    "manipulates cache artifacts without an earlier exact epoch \
+                     comparison (`… == epoch`) in the same function; artifacts must \
+                     never cross a mutation_epoch boundary"
+                };
                 out.push(Violation {
                     rule: RULE,
                     path: file.path.clone(),
                     line,
-                    message: format!(
-                        "`.{name}.{}(` in `{}` manipulates cache artifacts without an \
-                         earlier exact epoch comparison (`… == epoch`) in the same \
-                         function; artifacts must never cross a mutation_epoch boundary",
-                        m.text(src),
-                        f.name
-                    ),
+                    message: format!("`.{name}.{}(` in `{}` {consequence}", m.text(src), f.name),
                     severity: Severity::Error,
                     waived: file.is_waived(line, RULE),
                 });

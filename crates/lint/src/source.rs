@@ -19,7 +19,7 @@
 //!   talk *about* the syntax too often.
 //!
 //! Waiver checks record which waivers actually suppressed something, so the
-//! unused-waiver audit ([`crate::unused_waivers`]) can ratchet the waiver
+//! unused-waiver audit ([`SourceFile::unused_waivers`]) can ratchet the waiver
 //! surface the same way the panic allowlist ratchets panic sites.
 
 use crate::tokens::{self, TokKind};

@@ -254,6 +254,39 @@ fn epoch_clean_twin_passes() {
 }
 
 #[test]
+fn epoch_zonemap_fixture_is_flagged() {
+    let report = run_paths(&[fixture("epoch_zonemap_bad.rs")]);
+    let ep: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == epoch::RULE)
+        .collect();
+    // unguarded `.zones.note_insert(` and `.zones.note_delete(`
+    assert_eq!(ep.len(), 2, "expected 2 zone-map findings: {ep:#?}");
+    assert!(
+        ep.iter()
+            .any(|v| v.message.contains("`.zones.note_insert(`")),
+        "{ep:#?}"
+    );
+    assert!(
+        ep.iter()
+            .any(|v| v.message.contains("`.zones.note_delete(`")),
+        "{ep:#?}"
+    );
+    assert!(
+        ep.iter().all(|v| v.message.contains("mutation_epoch tick")),
+        "{ep:#?}"
+    );
+    assert!(report.failed(false));
+}
+
+#[test]
+fn epoch_zonemap_clean_twin_passes() {
+    let report = run_paths(&[fixture("epoch_zonemap_ok.rs")]);
+    assert_totally_clean(&report, "epoch_zonemap_ok.rs");
+}
+
+#[test]
 fn charging_fixture_is_flagged() {
     let report = run_paths(&[fixture("charging_bad.rs")]);
     let ch: Vec<_> = report

@@ -4,11 +4,20 @@
 //! counters report — so estimated and actual work are directly comparable
 //! and the simulated-time experiments are machine-independent.
 
+/// Rows per zone-map block assumed when costing a pruned scan. Must match
+/// the storage layout (`jits_storage::BLOCK_SIZE`); the executor
+/// debug-asserts the two constants agree.
+pub const EST_BLOCK_ROWS: f64 = 1024.0;
+
 /// Per-operation cost constants.
 #[derive(Debug, Clone, Copy)]
 pub struct CostModel {
     /// Reading one row during a sequential scan.
     pub seq_row: f64,
+    /// Probing one block's zone-map summary during a pruned scan
+    /// (metadata only — pruned blocks are charged this instead of their
+    /// row cost).
+    pub block_probe: f64,
     /// One index probe (tree descent), amortized.
     pub index_probe: f64,
     /// Fetching one matching row through an index.
@@ -31,6 +40,7 @@ impl Default for CostModel {
         // the expensive mistake misestimated selectivities cause.
         CostModel {
             seq_row: 1.0,
+            block_probe: 2.0,
             index_probe: 40.0,
             index_row: 4.0,
             hash_build_row: 2.0,
@@ -50,6 +60,14 @@ impl CostModel {
     /// Index access fetching `index_rows` then filtering to `out_rows`.
     pub fn index_scan(&self, index_rows: f64, out_rows: f64) -> f64 {
         self.index_probe + index_rows * self.index_row + out_rows * self.output_row
+    }
+
+    /// Zone-map-pruned scan: every block pays a metadata probe, only the
+    /// rows of surviving blocks pay row cost. One formula shared by plan
+    /// costing and by both executors' work charging, so charged work stays
+    /// bit-identical whether or not pruned blocks are physically skipped.
+    pub fn pruned_scan(&self, blocks_total: f64, surviving_rows: f64, out_rows: f64) -> f64 {
+        blocks_total * self.block_probe + surviving_rows * self.seq_row + out_rows * self.output_row
     }
 
     /// Hash join on already-costed inputs.
@@ -89,6 +107,19 @@ mod tests {
         assert!(m.index_scan(1_000.0, 1_000.0) < m.seq_scan(100_000.0, 1_000.0));
         // 90% through an index is worse than a scan
         assert!(m.index_scan(90_000.0, 90_000.0) > m.seq_scan(100_000.0, 90_000.0));
+    }
+
+    #[test]
+    fn pruned_scan_sits_between_index_and_full_scan() {
+        let m = CostModel::default();
+        // 100k rows = ~98 blocks; a clustered 0.5% predicate survives ~1
+        // block. Pruning must beat the full scan by a wide margin...
+        let (blocks, surviving, out) = (98.0, 1024.0, 500.0);
+        assert!(m.pruned_scan(blocks, surviving, out) < m.seq_scan(100_000.0, out) / 3.0);
+        // ...but a near-zero selectivity still favors the index
+        assert!(m.index_scan(50.0, 50.0) < m.pruned_scan(blocks, 1024.0, 50.0));
+        // and with nothing pruned it degenerates to scan + probe overhead
+        assert!(m.pruned_scan(blocks, 100_000.0, out) > m.seq_scan(100_000.0, out));
     }
 
     #[test]

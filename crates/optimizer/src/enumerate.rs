@@ -14,7 +14,7 @@
 //! its cost.
 
 use crate::card::CardinalityEstimator;
-use crate::cost::CostModel;
+use crate::cost::{CostModel, EST_BLOCK_ROWS};
 use crate::plan::{JoinKey, NodeEst, PhysicalPlan, ScanGroupEstimate};
 use jits_catalog::Catalog;
 use jits_common::{JitsError, Result};
@@ -119,6 +119,33 @@ pub fn optimize(
                     scan: scan.clone(),
                     index_column: col,
                     index_rows,
+                    est: NodeEst {
+                        rows: out_rows,
+                        cost: c,
+                    },
+                };
+            }
+        }
+        // zone-map-pruned scan: needs at least one interval predicate to
+        // prune on. The block estimate assumes the matching rows are
+        // clustered (the favorable layout pruning exists for): the rows fit
+        // in ceil(matching / block) blocks plus one straddler. Ties go to
+        // the simpler paths above (strict `<`), so tables of a block or two
+        // never flip away from their sequential plan.
+        let has_interval = scan
+            .pred_indices
+            .iter()
+            .any(|&i| matches!(block.local_predicates[i].kind, PredKind::Interval(_)));
+        if has_interval && scan.base_rows > 0.0 {
+            let blocks_total = (scan.base_rows / EST_BLOCK_ROWS).ceil().max(1.0);
+            let matching = scan.base_rows * scan.selectivity;
+            let est_blocks = ((matching / EST_BLOCK_ROWS).ceil() + 1.0).min(blocks_total);
+            let surviving_rows = (est_blocks * EST_BLOCK_ROWS).min(scan.base_rows);
+            let c = cost.pruned_scan(blocks_total, surviving_rows, out_rows);
+            if c < chosen.est().cost {
+                chosen = PhysicalPlan::PrunedScan {
+                    scan: scan.clone(),
+                    est_blocks,
                     est: NodeEst {
                         rows: out_rows,
                         cost: c,
@@ -301,6 +328,35 @@ mod tests {
             }
             other => panic!("expected SeqScan, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn selective_interval_on_large_table_prefers_pruned_scan() {
+        let mut catalog = Catalog::new();
+        let schema = Schema::from_pairs(&[("ts", DataType::Int), ("v", DataType::Int)]);
+        let id = catalog.register_table("log", schema.clone()).unwrap();
+        let mut log = Table::new("log", schema);
+        for i in 0..50_000i64 {
+            log.insert(vec![Value::Int(i), Value::Int(i % 7)]).unwrap();
+        }
+        let (ts, cs) = runstats(&log, RunstatsOptions::default(), 1);
+        catalog.set_stats(id, ts, cs).unwrap();
+        // ~1% of a 49-block table: probing every summary plus reading a
+        // couple of blocks beats scanning 50k rows
+        let p = plan_for(&catalog, "SELECT * FROM log WHERE ts < 500");
+        match &p {
+            PhysicalPlan::PrunedScan {
+                est_blocks, est, ..
+            } => {
+                assert!(*est_blocks <= 3.0, "blocks {est_blocks}");
+                assert!(est.cost < 50_000.0, "cost {}", est.cost);
+            }
+            other => panic!("expected PrunedScan, got:\n{}", other.explain()),
+        }
+        // a table of a block or less keeps its sequential plan
+        let (small, _) = setup();
+        let p = plan_for(&small, "SELECT * FROM owner WHERE salary > 5000");
+        assert!(matches!(p, PhysicalPlan::SeqScan { .. }), "{}", p.explain());
     }
 
     #[test]

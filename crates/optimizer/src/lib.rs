@@ -27,7 +27,7 @@ pub mod plan;
 pub mod provider;
 
 pub use card::{CardinalityEstimator, DefaultSelectivities};
-pub use cost::CostModel;
+pub use cost::{CostModel, EST_BLOCK_ROWS};
 pub use enumerate::optimize;
 pub use plan::{NodeEst, PhysicalPlan, PlanSummary, ScanGroupEstimate};
 pub use provider::{

@@ -58,6 +58,18 @@ pub enum PhysicalPlan {
         /// Node estimates.
         est: NodeEst,
     },
+    /// Zone-map-pruned scan: every block's summary is probed, only blocks
+    /// that may contain matching rows are read. All local predicates are
+    /// still applied to every surviving row, so results are identical to a
+    /// full scan.
+    PrunedScan {
+        /// Scan estimate and predicate bookkeeping.
+        scan: ScanGroupEstimate,
+        /// Estimated number of blocks surviving zone-map pruning.
+        est_blocks: f64,
+        /// Node estimates.
+        est: NodeEst,
+    },
     /// Index range/equality access on `index_column`, residual predicates
     /// applied afterwards.
     IndexScan {
@@ -114,6 +126,7 @@ impl PhysicalPlan {
     pub fn est(&self) -> NodeEst {
         match self {
             PhysicalPlan::SeqScan { est, .. }
+            | PhysicalPlan::PrunedScan { est, .. }
             | PhysicalPlan::IndexScan { est, .. }
             | PhysicalPlan::HashJoin { est, .. }
             | PhysicalPlan::IndexNLJoin { est, .. }
@@ -124,7 +137,9 @@ impl PhysicalPlan {
     /// Quantifiers covered by this subtree, in tuple-layout order.
     pub fn quns(&self) -> Vec<usize> {
         match self {
-            PhysicalPlan::SeqScan { scan, .. } | PhysicalPlan::IndexScan { scan, .. } => {
+            PhysicalPlan::SeqScan { scan, .. }
+            | PhysicalPlan::PrunedScan { scan, .. }
+            | PhysicalPlan::IndexScan { scan, .. } => {
                 vec![scan.qun]
             }
             PhysicalPlan::HashJoin { build, probe, .. } => {
@@ -154,9 +169,9 @@ impl PhysicalPlan {
 
     fn collect_scans<'a>(&'a self, out: &mut Vec<&'a ScanGroupEstimate>) {
         match self {
-            PhysicalPlan::SeqScan { scan, .. } | PhysicalPlan::IndexScan { scan, .. } => {
-                out.push(scan)
-            }
+            PhysicalPlan::SeqScan { scan, .. }
+            | PhysicalPlan::PrunedScan { scan, .. }
+            | PhysicalPlan::IndexScan { scan, .. } => out.push(scan),
             PhysicalPlan::HashJoin { build, probe, .. } => {
                 build.collect_scans(out);
                 probe.collect_scans(out);
@@ -191,6 +206,20 @@ impl PhysicalPlan {
                     scan.qun,
                     scan.pred_indices.len(),
                     scan.selectivity,
+                    est.rows,
+                    est.cost
+                );
+            }
+            PhysicalPlan::PrunedScan {
+                scan, est_blocks, ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}PrunedScan q{} [{} preds, sel {:.4}] blocks~{:.0} rows={:.0} cost={:.0}",
+                    scan.qun,
+                    scan.pred_indices.len(),
+                    scan.selectivity,
+                    est_blocks,
                     est.rows,
                     est.cost
                 );

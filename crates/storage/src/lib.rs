@@ -20,12 +20,14 @@ pub mod sample;
 pub mod samplecache;
 pub mod table;
 pub mod udi;
+pub mod zonemap;
 
 pub use column::Column;
 pub use frame::{FrameColumn, FrameValues, SampleFrame};
-pub use index::SecondaryIndex;
+pub use index::{HashIndex, SecondaryIndex};
 pub use row::{Row, RowId};
 pub use sample::{sample_rows_budgeted, BudgetedDraw, SampleSpec};
 pub use samplecache::{sample_staleness, CacheCounters, CacheLookup, CachedSample, SampleCache};
 pub use table::Table;
 pub use udi::UdiCounter;
+pub use zonemap::{block_of, BlockSkipList, ColumnZone, ZoneMaps, BLOCK_SIZE};

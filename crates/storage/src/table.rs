@@ -1,9 +1,10 @@
 //! Tables: column vectors + tombstones + UDI counters + indexes.
 
 use crate::column::Column;
-use crate::index::SecondaryIndex;
+use crate::index::{HashIndex, SecondaryIndex};
 use crate::row::{Row, RowId};
 use crate::udi::UdiCounter;
+use crate::zonemap::{BlockSkipList, ZoneMaps, BLOCK_SIZE};
 use jits_common::{ColumnId, Interval, JitsError, Result, Schema, Value};
 use std::collections::BTreeMap;
 
@@ -26,6 +27,13 @@ pub struct Table {
     /// Keyed by `BTreeMap`: index maintenance and [`Table::indexed_columns`]
     /// iterate this map, and their order must not depend on hash state.
     indexes: BTreeMap<ColumnId, SecondaryIndex>,
+    /// Equality-key hash indexes, one per indexed column, maintained in
+    /// lock-step with `indexes` (probe-only, never iterated).
+    hash_indexes: BTreeMap<ColumnId, HashIndex>,
+    /// Per-block zone maps (min/max/NULLs per column, live rows per
+    /// block), updated under the same epoch tick as the data they
+    /// summarize.
+    zones: ZoneMaps,
 }
 
 impl Table {
@@ -36,6 +44,7 @@ impl Table {
             .iter()
             .map(|c| Column::new(c.dtype))
             .collect();
+        let ncols = schema.len();
         Table {
             name: name.into(),
             schema,
@@ -45,6 +54,8 @@ impl Table {
             udi: UdiCounter::new(),
             epoch: 0,
             indexes: BTreeMap::new(),
+            hash_indexes: BTreeMap::new(),
+            zones: ZoneMaps::new(ncols),
         }
     }
 
@@ -121,6 +132,7 @@ impl Table {
             col.push(v.clone())
                 .expect("values were coerced to the column type");
         }
+        let before = self.epoch;
         self.live.push(true);
         self.live_count += 1;
         self.udi.inserts += 1;
@@ -128,6 +140,15 @@ impl Table {
         for (cid, idx) in self.indexes.iter_mut() {
             idx.insert(coerced[cid.index()].clone(), id);
         }
+        for (cid, idx) in self.hash_indexes.iter_mut() {
+            idx.insert(&coerced[cid.index()], id);
+        }
+        // Block summaries are versioned by the mutation epoch: they must
+        // only change under a fresh tick, or epoch-gated consumers
+        // (SampleCache invalidation, skip lists) would read a new summary
+        // against stale data.
+        debug_assert!(self.epoch == before + 1, "epoch must tick before zones");
+        self.zones.note_insert(id, &coerced);
         Ok(id)
     }
 
@@ -141,10 +162,18 @@ impl Table {
             let old = self.columns[cid.index()].get(i);
             idx.remove(&old, row);
         }
+        for (cid, idx) in self.hash_indexes.iter_mut() {
+            let old = self.columns[cid.index()].get(i);
+            idx.remove(&old, row);
+        }
+        let was_null: Vec<bool> = self.columns.iter().map(|c| !c.is_valid(i)).collect();
+        let before = self.epoch;
         self.live[i] = false;
         self.live_count -= 1;
         self.udi.deletes += 1;
         self.epoch += 1;
+        debug_assert!(self.epoch == before + 1, "epoch must tick before zones");
+        self.zones.note_delete(row, &was_null);
         true
     }
 
@@ -173,9 +202,18 @@ impl Table {
             idx.remove(&old, row);
             idx.insert(coerced.clone(), row);
         }
-        self.columns[column.index()].set(i, coerced)?;
+        if let Some(idx) = self.hash_indexes.get_mut(&column) {
+            let old = self.columns[column.index()].get(i);
+            idx.remove(&old, row);
+            idx.insert(&coerced, row);
+        }
+        let was_null = !self.columns[column.index()].is_valid(i);
+        self.columns[column.index()].set(i, coerced.clone())?;
+        let before = self.epoch;
         self.udi.updates += 1;
         self.epoch += 1;
+        debug_assert!(self.epoch == before + 1, "epoch must tick before zones");
+        self.zones.note_update(row, column, was_null, &coerced);
         Ok(())
     }
 
@@ -226,16 +264,43 @@ impl Table {
             )));
         }
         let mut idx = SecondaryIndex::new();
+        let mut hash = HashIndex::new();
         for row in self.scan() {
-            idx.insert(self.value(row, column), row);
+            let v = self.value(row, column);
+            hash.insert(&v, row);
+            idx.insert(v, row);
         }
         self.indexes.insert(column, idx);
+        self.hash_indexes.insert(column, hash);
         Ok(())
     }
 
     /// The index on `column`, if one exists.
     pub fn index(&self, column: ColumnId) -> Option<&SecondaryIndex> {
         self.indexes.get(&column)
+    }
+
+    /// The equality-key hash index on `column`, if one exists.
+    pub fn hash_index(&self, column: ColumnId) -> Option<&HashIndex> {
+        self.hash_indexes.get(&column)
+    }
+
+    /// The table's per-block zone maps.
+    pub fn zone_maps(&self) -> &ZoneMaps {
+        &self.zones
+    }
+
+    /// Prunes the table's blocks against per-column interval constraints
+    /// (see [`ZoneMaps::skip_list`]).
+    pub fn skip_list(&self, constraints: &[(ColumnId, Interval)]) -> BlockSkipList {
+        self.zones.skip_list(constraints)
+    }
+
+    /// Live row ids of zone-map block `b`, ascending.
+    pub fn block_rows(&self, b: usize) -> impl Iterator<Item = RowId> + '_ {
+        let lo = b * BLOCK_SIZE;
+        let hi = ((b + 1) * BLOCK_SIZE).min(self.live.len());
+        (lo..hi).filter(|&i| self.live[i]).map(|i| i as RowId)
     }
 
     /// Columns that currently have secondary indexes.
@@ -380,6 +445,86 @@ mod tests {
         assert!(t.udi().total() > 0);
         t.reset_udi();
         assert_eq!(t.udi().total(), 0);
+    }
+
+    #[test]
+    fn zone_maps_track_dml() {
+        let mut t = cars();
+        assert_eq!(t.zone_maps().block_count(), 1);
+        assert_eq!(t.zone_maps().live_rows(0), 4);
+        // year in [2001, 2005]: a disjoint predicate prunes the block
+        let skip = t.skip_list(&[(ColumnId(2), Interval::at_least(Value::Int(2006), true))]);
+        assert!(skip.survivors.is_empty());
+        assert_eq!(skip.blocks_total, 1);
+        let keep = t.skip_list(&[(ColumnId(2), Interval::point(Value::Int(2003)))]);
+        assert_eq!(keep.survivors, vec![0]);
+        assert_eq!(keep.surviving_rows, 4);
+        // an update widens the envelope
+        t.update(0, ColumnId(2), Value::Int(2010)).unwrap();
+        let keep = t.skip_list(&[(ColumnId(2), Interval::at_least(Value::Int(2006), true))]);
+        assert_eq!(keep.survivors, vec![0]);
+        // deletes keep live counts exact
+        t.delete(0);
+        t.delete(1);
+        assert_eq!(t.zone_maps().live_rows(0), 2);
+        let keep = t.skip_list(&[(ColumnId(2), Interval::point(Value::Int(2001)))]);
+        assert_eq!(keep.surviving_rows, 2);
+    }
+
+    #[test]
+    fn zone_null_counts_stay_exact() {
+        let schema = Schema::from_pairs(&[("id", DataType::Int), ("x", DataType::Int)]);
+        let mut t = Table::new("t", schema);
+        t.insert(vec![Value::Int(0), Value::Null]).unwrap();
+        t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        assert_eq!(t.zone_maps().nulls(0, ColumnId(1)), 2);
+        // all live rows NULL in x: any interval on x prunes the block
+        let skip = t.skip_list(&[(ColumnId(1), Interval::at_least(Value::Int(0), true))]);
+        assert!(skip.survivors.is_empty());
+        t.update(0, ColumnId(1), Value::Int(7)).unwrap();
+        assert_eq!(t.zone_maps().nulls(0, ColumnId(1)), 1);
+        let keep = t.skip_list(&[(ColumnId(1), Interval::point(Value::Int(7)))]);
+        assert_eq!(keep.survivors, vec![0]);
+        t.delete(1);
+        assert_eq!(t.zone_maps().nulls(0, ColumnId(1)), 0);
+    }
+
+    #[test]
+    fn block_rows_partition_the_scan() {
+        let schema = Schema::from_pairs(&[("id", DataType::Int)]);
+        let mut t = Table::new("t", schema);
+        for i in 0..2500i64 {
+            t.insert(vec![Value::Int(i)]).unwrap();
+        }
+        t.delete(100);
+        t.delete(1500);
+        let via_blocks: Vec<RowId> = (0..t.zone_maps().block_count())
+            .flat_map(|b| t.block_rows(b).collect::<Vec<_>>())
+            .collect();
+        assert_eq!(via_blocks, t.scan().collect::<Vec<_>>());
+        assert_eq!(t.zone_maps().block_count(), 3);
+    }
+
+    #[test]
+    fn hash_index_maintained_with_btree() {
+        let mut t = cars();
+        t.create_index(ColumnId(1)).unwrap();
+        let probe = |t: &Table, v: &Value| {
+            (
+                t.index(ColumnId(1)).unwrap().lookup_eq(v).to_vec(),
+                t.hash_index(ColumnId(1)).unwrap().lookup_eq(v).to_vec(),
+            )
+        };
+        let (b, h) = probe(&t, &Value::str("Toyota"));
+        assert_eq!(b, h);
+        t.insert(vec![Value::Int(5), Value::str("Toyota"), Value::Int(1999)])
+            .unwrap();
+        t.delete(0);
+        t.update(1, ColumnId(1), Value::str("Honda")).unwrap();
+        for make in ["Toyota", "Honda", "Audi", "BMW"] {
+            let (b, h) = probe(&t, &Value::str(make));
+            assert_eq!(b, h, "{make}: hash and B-tree must agree exactly");
+        }
     }
 
     #[test]

@@ -1,0 +1,365 @@
+//! Data-skipping integration tests: a pruned scan must be bit-identical to
+//! the same scan with skipping disabled — same rows in the same order, same
+//! `ExecStats.work` bit pattern, same node and scan observations, and the
+//! same zone-map block totals — on both executors, and the engine's
+//! `data_skipping` setting must A/B cleanly at any collection fan-out.
+
+use jits_repro::catalog::{runstats, Catalog, RunstatsOptions};
+use jits_repro::common::{ColumnId, DataType, Schema, Value};
+use jits_repro::core::JitsConfig;
+use jits_repro::engine::{Database, StatsSetting};
+use jits_repro::executor::{execute_with_opts, ExecOptions, ExecutorKind};
+use jits_repro::optimizer::{
+    optimize, CardinalityEstimator, CatalogStatisticsProvider, CostModel, DefaultSelectivities,
+    PhysicalPlan,
+};
+use jits_repro::query::{bind_statement, parse, BoundStatement};
+use jits_repro::storage::{Table, BLOCK_SIZE};
+
+/// `log` spans 16 zone-map blocks with `ts` perfectly clustered (row i has
+/// ts = i), so a selective `ts` interval prunes most blocks; `level` and
+/// `msg` repeat within every block, so their predicates can never prune.
+/// `src` is a small indexed dimension table for join shapes.
+fn setup() -> (Catalog, Vec<Table>) {
+    const ROWS: i64 = 16 * BLOCK_SIZE as i64;
+    let mut catalog = Catalog::new();
+    let log_schema = Schema::from_pairs(&[
+        ("id", DataType::Int),
+        ("ts", DataType::Int),
+        ("level", DataType::Int),
+        ("msg", DataType::Str),
+        ("srcid", DataType::Int),
+    ]);
+    let src_schema = Schema::from_pairs(&[("id", DataType::Int), ("kind", DataType::Int)]);
+    let log_id = catalog.register_table("log", log_schema.clone()).unwrap();
+    let src_id = catalog.register_table("src", src_schema.clone()).unwrap();
+
+    let mut log = Table::new("log", log_schema);
+    for i in 0..ROWS {
+        let level = if i % 97 == 0 {
+            Value::Null // zone null counts must agree with IS NULL scans
+        } else {
+            Value::Int(i % 5)
+        };
+        let msg = ["info", "warn", "error", "debug"][(i % 4) as usize];
+        log.insert(vec![
+            Value::Int(i),
+            Value::Int(i),
+            level,
+            Value::str(msg),
+            Value::Int(i % 64),
+        ])
+        .unwrap();
+    }
+    let mut src = Table::new("src", src_schema);
+    for i in 0..64i64 {
+        src.insert(vec![Value::Int(i), Value::Int(i % 3)]).unwrap();
+    }
+    log.create_index(ColumnId(0)).unwrap();
+    catalog.add_index(log_id, ColumnId(0)).unwrap();
+    src.create_index(ColumnId(0)).unwrap();
+    catalog.add_index(src_id, ColumnId(0)).unwrap();
+
+    let (ts, cs) = runstats(&log, RunstatsOptions::default(), 1);
+    catalog.set_stats(log_id, ts, cs).unwrap();
+    let (ts, cs) = runstats(&src, RunstatsOptions::default(), 1);
+    catalog.set_stats(src_id, ts, cs).unwrap();
+    (catalog, vec![log, src])
+}
+
+fn plan_of(
+    catalog: &Catalog,
+    sql: &str,
+) -> (jits_repro::query::QueryBlock, PhysicalPlan, CostModel) {
+    let BoundStatement::Select(block) = bind_statement(&parse(sql).unwrap(), catalog).unwrap()
+    else {
+        panic!("not a SELECT: {sql}")
+    };
+    let provider = CatalogStatisticsProvider::new(catalog);
+    let est = CardinalityEstimator::new(&provider, DefaultSelectivities::default());
+    let cost = CostModel::default();
+    let plan = optimize(&block, &est, &cost, catalog).unwrap();
+    (block, plan, cost)
+}
+
+/// Every access-path shape the data-skipping work touches: selective and
+/// degenerate pruned scans (all blocks pruned, none prunable), full scans,
+/// hash-routed point index probes, joins over pruned outers, and the
+/// aggregate/ORDER BY/GROUP BY epilogues on top of each.
+const CORPUS: &[&str] = &[
+    "SELECT id FROM log WHERE ts < 100",
+    "SELECT COUNT(*) FROM log WHERE ts >= 16000",
+    "SELECT id, level FROM log WHERE ts >= 5000 AND ts < 5050 ORDER BY id DESC LIMIT 7",
+    "SELECT COUNT(*) FROM log WHERE ts < 0",
+    "SELECT COUNT(*) FROM log WHERE ts >= 0",
+    "SELECT level, COUNT(*) FROM log WHERE ts < 2048 GROUP BY level",
+    "SELECT COUNT(*) FROM log WHERE level = 2",
+    "SELECT COUNT(*) FROM log WHERE level = 3 AND ts < 1000",
+    "SELECT COUNT(*) FROM log WHERE level IS NULL",
+    "SELECT * FROM log WHERE id = 12345",
+    "SELECT MIN(ts), MAX(ts), AVG(ts) FROM log WHERE ts >= 8192 AND ts < 9216",
+    "SELECT COUNT(*) FROM log l, src s WHERE l.srcid = s.id AND l.ts < 500",
+    "SELECT s.kind, COUNT(*) FROM log l, src s WHERE l.srcid = s.id AND l.ts < 300 \
+     GROUP BY s.kind",
+    "SELECT COUNT(*) FROM log WHERE msg = 'warn' AND ts < 512",
+];
+
+fn has_pruned_scan(plan: &PhysicalPlan) -> bool {
+    match plan {
+        PhysicalPlan::PrunedScan { .. } => true,
+        PhysicalPlan::SeqScan { .. } | PhysicalPlan::IndexScan { .. } => false,
+        PhysicalPlan::HashJoin { build, probe, .. } => {
+            has_pruned_scan(build) || has_pruned_scan(probe)
+        }
+        PhysicalPlan::IndexNLJoin { outer, .. } => has_pruned_scan(outer),
+        PhysicalPlan::NLJoin { outer, inner, .. } => {
+            has_pruned_scan(outer) || has_pruned_scan(inner)
+        }
+    }
+}
+
+/// The core contract: with the skip list always computed, physically
+/// skipping pruned blocks changes nothing observable — rows, total and
+/// per-node work, scan observations, and the block counters all match bit
+/// for bit on both executors.
+#[test]
+fn pruning_on_off_bit_identical_across_corpus() {
+    let (catalog, tables) = setup();
+    let mut pruned_plans = 0;
+    for sql in CORPUS {
+        let (block, plan, cost) = plan_of(&catalog, sql);
+        if has_pruned_scan(&plan) {
+            pruned_plans += 1;
+        }
+        let mut runs = Vec::new();
+        for kind in [ExecutorKind::Row, ExecutorKind::Batch] {
+            for skipping in [true, false] {
+                let opts = ExecOptions {
+                    data_skipping: skipping,
+                };
+                let out = execute_with_opts(kind, &plan, &block, &tables, &cost, opts).unwrap();
+                runs.push((kind, skipping, out));
+            }
+        }
+        let (_, _, reference) = &runs[0];
+        for (kind, skipping, out) in &runs[1..] {
+            let what = format!("{sql} ({kind:?}, skipping {skipping})");
+            assert_eq!(reference.rows, out.rows, "rows diverged: {what}");
+            assert_eq!(
+                reference.stats.work.to_bits(),
+                out.stats.work.to_bits(),
+                "work diverged: {what} ({} vs {})",
+                reference.stats.work,
+                out.stats.work
+            );
+            assert_eq!(
+                reference.stats.nodes, out.stats.nodes,
+                "nodes diverged: {what}"
+            );
+            assert_eq!(
+                reference.stats.scans, out.stats.scans,
+                "scans diverged: {what}"
+            );
+            assert_eq!(
+                (reference.stats.blocks_total, reference.stats.blocks_pruned),
+                (out.stats.blocks_total, out.stats.blocks_pruned),
+                "block counters diverged: {what}"
+            );
+        }
+    }
+    assert!(
+        pruned_plans >= 5,
+        "corpus must exercise pruned scans, got {pruned_plans}"
+    );
+}
+
+/// Spot-checks of the plans and runtime skip totals the corpus relies on:
+/// a selective clustered interval prunes almost everything, an unclustered
+/// equality prunes nothing, an empty interval prunes every block, and a
+/// point lookup still prefers the index.
+#[test]
+fn skip_totals_match_the_zone_layout() {
+    let (catalog, tables) = setup();
+    let run = |sql: &str| {
+        let (block, plan, cost) = plan_of(&catalog, sql);
+        let opts = ExecOptions {
+            data_skipping: true,
+        };
+        let out =
+            execute_with_opts(ExecutorKind::Batch, &plan, &block, &tables, &cost, opts).unwrap();
+        (plan, out)
+    };
+
+    let (plan, out) = run("SELECT id FROM log WHERE ts < 100");
+    assert!(matches!(plan, PhysicalPlan::PrunedScan { .. }), "{plan:?}");
+    assert_eq!(out.rows.len(), 100);
+    assert_eq!(out.stats.blocks_total, 16);
+    assert_eq!(out.stats.blocks_pruned, 15, "ts < 100 lives in one block");
+
+    let (plan, out) = run("SELECT COUNT(*) FROM log WHERE level = 2");
+    assert!(matches!(plan, PhysicalPlan::PrunedScan { .. }), "{plan:?}");
+    assert_eq!(out.stats.blocks_pruned, 0, "level repeats in every block");
+
+    let (_, out) = run("SELECT COUNT(*) FROM log WHERE ts < 0");
+    assert_eq!(out.rows[0][0], Value::Int(0));
+    assert_eq!(out.stats.blocks_pruned, 16, "empty interval prunes all");
+
+    let (plan, out) = run("SELECT * FROM log WHERE id = 12345");
+    assert!(matches!(plan, PhysicalPlan::IndexScan { .. }), "{plan:?}");
+    assert_eq!(out.rows.len(), 1);
+    assert_eq!(out.stats.blocks_total, 0, "index scans probe no zones");
+
+    let (plan, _) = run("SELECT COUNT(*) FROM log WHERE ts >= 0");
+    assert!(matches!(plan, PhysicalPlan::SeqScan { .. }), "{plan:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level A/B and fan-out replay
+// ---------------------------------------------------------------------------
+
+fn build_engine_db(seed: u64) -> Database {
+    let mut db = Database::new(seed);
+    db.create_table(
+        "log",
+        Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("ts", DataType::Int),
+            ("level", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.set_primary_key("log", "id").unwrap();
+    let rows = (0..12288i64)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Int(i),
+                if i % 89 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i % 7)
+                },
+            ]
+        })
+        .collect();
+    db.load_rows("log", rows).unwrap();
+    db
+}
+
+fn always_collect() -> JitsConfig {
+    JitsConfig {
+        s_max: 0.0,
+        ..JitsConfig::default()
+    }
+}
+
+/// SELECTs across the pruning spectrum interleaved with the UDI statements
+/// that must keep the zone maps (and therefore the skip lists) current.
+const SCRIPT: &[&str] = &[
+    "SELECT COUNT(*) FROM log WHERE ts < 400",
+    "UPDATE log SET level = 9 WHERE id = 5000",
+    "SELECT level, COUNT(*) FROM log WHERE ts < 2048 GROUP BY level",
+    "DELETE FROM log WHERE ts >= 11000",
+    "SELECT COUNT(*) FROM log WHERE ts >= 10000",
+    "SELECT * FROM log WHERE id = 2345",
+    "SELECT COUNT(*) FROM log WHERE level IS NULL",
+    "SELECT id FROM log WHERE ts >= 6000 AND ts < 6010 ORDER BY id DESC",
+];
+
+/// Per-statement trace: result rows plus the bit patterns of the two
+/// deterministic work counters.
+type OpTrace = Vec<(Vec<Vec<Value>>, u64, u64)>;
+
+/// Flipping the engine's `data_skipping` setting changes nothing but which
+/// blocks are physically read: the full query+UDI script — QSS collection
+/// included — replays bit for bit.
+#[test]
+fn engine_ab_replays_bit_for_bit_across_the_skipping_flip() {
+    let run = |skipping: bool| -> OpTrace {
+        let mut db = build_engine_db(61);
+        db.set_setting(StatsSetting::Jits(always_collect()));
+        db.set_data_skipping(skipping);
+        assert_eq!(db.data_skipping(), skipping);
+        SCRIPT
+            .iter()
+            .map(|sql| {
+                let r = db.execute(sql).unwrap();
+                (
+                    r.rows,
+                    r.metrics.compile_work.to_bits(),
+                    r.metrics.exec_work.to_bits(),
+                )
+            })
+            .collect()
+    };
+    assert_eq!(run(true), run(false));
+}
+
+/// With pruning on (the default), replaying through shared sessions stays
+/// bit-deterministic at any collection fan-out, and the skip counters land
+/// in the deterministic metrics export.
+#[test]
+fn pruned_scans_bit_identical_at_1_and_8_collect_threads() {
+    let drive = |threads: usize| -> (OpTrace, String) {
+        let mut db = build_engine_db(62);
+        db.set_setting(StatsSetting::Jits(JitsConfig {
+            collect_threads: threads,
+            ..always_collect()
+        }));
+        let shared = db.into_shared();
+        assert!(shared.data_skipping(), "skipping must be the default");
+        let mut session = shared.session();
+        let traces = SCRIPT
+            .iter()
+            .map(|sql| {
+                let r = session.execute(sql).unwrap();
+                (
+                    r.rows,
+                    r.metrics.compile_work.to_bits(),
+                    r.metrics.exec_work.to_bits(),
+                )
+            })
+            .collect();
+        (traces, shared.metrics_json(false))
+    };
+    let one = drive(1);
+    let eight = drive(8);
+    assert_eq!(one.0, eight.0, "per-op traces diverged across fan-out");
+    assert_eq!(one.1, eight.1, "deterministic metrics diverged");
+    assert!(one.1.contains("jits.skip.blocks_pruned"));
+    assert!(one.1.contains("jits.skip.pruned_scans"));
+}
+
+/// `jits_access_paths` summarizes the skip counters per access path — and
+/// because the counters come from the always-computed skip list, the view
+/// is identical whether or not blocks were physically skipped.
+#[test]
+fn access_paths_view_is_knob_independent() {
+    let drive = |skipping: bool| -> Vec<Vec<Value>> {
+        let mut db = build_engine_db(63);
+        db.set_setting(StatsSetting::Jits(always_collect()));
+        db.set_data_skipping(skipping);
+        for sql in SCRIPT {
+            db.execute(sql).unwrap();
+        }
+        db.execute("SELECT * FROM jits_access_paths").unwrap().rows
+    };
+    let on = drive(true);
+    assert_eq!(on.len(), 3, "one row per access path");
+    assert_eq!(on[0][0], Value::str("seq_scan"));
+    assert_eq!(on[1][0], Value::str("pruned_scan"));
+    assert_eq!(on[2][0], Value::str("index_scan"));
+    let Value::Int(pruned_uses) = on[1][1] else {
+        panic!("uses column must be Int: {:?}", on[1])
+    };
+    let Value::Int(blocks_pruned) = on[1][3] else {
+        panic!("blocks_pruned column must be Int: {:?}", on[1])
+    };
+    assert!(pruned_uses >= 1, "script must use pruned scans: {on:?}");
+    assert!(blocks_pruned >= 1, "script must prune blocks: {on:?}");
+    let Value::Int(index_uses) = on[2][1] else {
+        panic!("uses column must be Int: {:?}", on[2])
+    };
+    assert!(index_uses >= 1, "script must use index scans: {on:?}");
+    assert_eq!(on, drive(false), "view must not depend on the knob");
+}
