@@ -1,0 +1,87 @@
+//! WAL-overhead benchmark: runs the full JITS workload on an in-memory
+//! database and on a durable one (statement-level write-ahead log plus
+//! periodic fuzzy checkpoints), and reports the throughput delta.
+//!
+//! Durability is bought per statement with one buffered frame append and an
+//! fsync-free file write (the log file is flushed, not synced, in this
+//! reproduction — see DESIGN §14), so the measured overhead should stay
+//! under the 5% budget. Writes `BENCH_wal_overhead.json` next to the
+//! workspace root and prints the same JSON to stdout.
+
+use jits::JitsConfig;
+use jits_bench::BenchArgs;
+use jits_common::TestDir;
+use jits_engine::Database;
+use jits_workload::{
+    create_schema, generate_workload, populate, prepare, run_workload_observed, setup_database,
+    ObserveOptions, Setting, WorkloadOp,
+};
+use std::time::Instant;
+
+const REPS: usize = 5;
+
+/// One full workload run on a freshly built database; returns wall seconds
+/// of the workload itself (setup and population excluded — bulk load cost
+/// is amortized; the per-statement logging path is what the budget is for).
+fn run_once(args: &BenchArgs, ops: &[WorkloadOp], durable: bool) -> f64 {
+    let dir = TestDir::new("bench-wal-overhead");
+    let mut db = if durable {
+        let mut db = Database::open(args.datagen().seed ^ 0xD1B, dir.path()).expect("wal opens");
+        create_schema(&mut db).expect("schema");
+        populate(&mut db, &args.datagen()).expect("populate");
+        db
+    } else {
+        setup_database(&args.datagen()).expect("database builds")
+    };
+    prepare(&mut db, &Setting::Jits(JitsConfig::default()), ops).expect("prepare");
+    let t = Instant::now();
+    let observed =
+        run_workload_observed(&mut db, ops, ObserveOptions::default()).expect("workload runs");
+    let wall = t.elapsed().as_secs_f64();
+    assert_eq!(observed.records.len(), ops.len());
+    wall
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    v[v.len() / 2]
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let ops = generate_workload(&args.workload(), &args.datagen());
+
+    // one throwaway warm-up run, then interleave memory/durable reps so
+    // slow drift (cache warmth, frequency scaling) hits both states evenly
+    run_once(&args, &ops, false);
+    let (mut mem, mut wal) = (Vec::new(), Vec::new());
+    for _ in 0..REPS {
+        mem.push(run_once(&args, &ops, false));
+        wal.push(run_once(&args, &ops, true));
+    }
+    let (med_mem, med_wal) = (median(mem), median(wal));
+    let (tput_mem, tput_wal) = (ops.len() as f64 / med_mem, ops.len() as f64 / med_wal);
+    let overhead_pct = (med_wal / med_mem - 1.0) * 100.0;
+
+    let json = format!(
+        "{{\n  \"bench\": \"wal_overhead\",\n  \"scale\": {},\n  \"ops\": {},\n  \"reps\": {},\n  \"median_wall_secs_in_memory\": {:.6},\n  \"median_wall_secs_durable\": {:.6},\n  \"ops_per_sec_in_memory\": {:.2},\n  \"ops_per_sec_durable\": {:.2},\n  \"overhead_pct\": {:.3},\n  \"target_pct\": 5.0,\n  \"within_target\": {}\n}}\n",
+        args.scale,
+        ops.len(),
+        REPS,
+        med_mem,
+        med_wal,
+        tput_mem,
+        tput_wal,
+        overhead_pct,
+        overhead_pct < 5.0,
+    );
+    print!("{json}");
+    std::fs::write("BENCH_wal_overhead.json", &json).expect("write BENCH_wal_overhead.json");
+    eprintln!(
+        "wal overhead: {overhead_pct:.3}% ({} target 5%)",
+        if overhead_pct < 5.0 { "within" } else { "OVER" }
+    );
+    if overhead_pct >= 5.0 {
+        std::process::exit(1);
+    }
+}

@@ -13,6 +13,7 @@
 //! \runstats           collect general statistics on all tables
 //! \migrate            fold 1-D QSS histograms into the catalog
 //! \stats              show archive / history / catalog status
+//! \checkpoint         force a durability checkpoint (needs --data-dir)
 //! \trace on|off       per-statement span traces (also: --trace flag)
 //! \metrics [prom]     dump the metrics registry (JSON or Prometheus)
 //! \analyze SELECT …   execute and print the per-operator profile
@@ -20,6 +21,14 @@
 //! \flight [path]      dump the flight recorder as JSON (stdout or file)
 //! \help, \quit
 //! ```
+//!
+//! Durability: `--data-dir <path>` opens (or creates) a write-ahead-logged
+//! database under `<path>`. A fresh directory is seeded with the
+//! car-insurance schema and data; an existing one is *recovered* — last
+//! checkpoint plus WAL tail replay — so the statistics plane (QSS archive,
+//! history, catalog stats) comes back warm and the first query does not
+//! re-sample. Every statement is logged before it runs; `\checkpoint`
+//! forces a fuzzy checkpoint on demand.
 //!
 //! With `--trace`, each statement prints its span tree (parse/bind,
 //! analyze, sensitivity, collect, refine, optimize, execute, feedback)
@@ -93,15 +102,60 @@ fn main() {
         }
         None => FaultPlane::disabled(),
     };
-    eprintln!("loading the car-insurance database at scale {scale} ...");
+    let data_dir: Option<String> = match args.iter().position(|a| a == "--data-dir") {
+        Some(i) => match args.get(i + 1) {
+            Some(path) => Some(path.clone()),
+            None => {
+                eprintln!("--data-dir requires a directory path");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
     let cfg = DataGenConfig {
         scale,
         ..DataGenConfig::default()
     };
-    let mut db = Database::new(cfg.seed);
-    create_schema(&mut db).expect("schema");
-    let counts = populate(&mut db, &cfg).expect("populate");
-    db.set_setting(StatsSetting::Jits(JitsConfig::default()));
+    let mut db = match &data_dir {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create --data-dir {dir}: {e}");
+                std::process::exit(2);
+            }
+            match Database::open(cfg.seed, std::path::Path::new(dir)) {
+                Ok(db) => db,
+                Err(e) => {
+                    eprintln!("cannot recover {dir}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => Database::new(cfg.seed),
+    };
+    if db.tables().is_empty() {
+        // fresh database (in-memory, or an empty data directory)
+        eprintln!("loading the car-insurance database at scale {scale} ...");
+        create_schema(&mut db).expect("schema");
+        let counts = populate(&mut db, &cfg).expect("populate");
+        db.set_setting(StatsSetting::Jits(JitsConfig::default()));
+        eprintln!(
+            "tables: car={} owner={} demographics={} accidents={}",
+            counts[0], counts[1], counts[2], counts[3]
+        );
+    } else {
+        // recovered: schema, data, and warm statistics come from the log
+        let r = db.recovery_report();
+        eprintln!(
+            "recovered {} (checkpoint lsn {}, {} record(s) replayed, {} replay error(s), \
+             {} torn byte(s) discarded); statistics are warm: archive has {} histogram(s)",
+            data_dir.as_deref().unwrap_or("?"),
+            r.checkpoint_lsn.map_or("none".to_string(), |l| l.to_string()),
+            r.replayed_records,
+            r.replay_errors,
+            r.torn_bytes,
+            db.archive().len(),
+        );
+    }
     db.obs().tracer.set_enabled(trace);
     if let Some(path) = &dump_flight {
         // arm anomaly auto-dump so the black box is on disk even if the
@@ -114,10 +168,7 @@ fn main() {
         );
         db.set_fault_plane(fault);
     }
-    eprintln!(
-        "tables: car={} owner={} demographics={} accidents={} (JITS enabled; \\help for commands)",
-        counts[0], counts[1], counts[2], counts[3]
-    );
+    eprintln!("ready (JITS enabled; \\help for commands)");
 
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
@@ -191,7 +242,7 @@ fn meta_command(db: &mut Database, cmd: &str) -> bool {
         Some("help") => {
             eprintln!("SQL: SELECT / INSERT / UPDATE / DELETE / EXPLAIN SELECT ...");
             eprintln!("\\setting no-stats|general|workload|jits [s_max]");
-            eprintln!("\\runstats   \\migrate   \\stats   \\quit");
+            eprintln!("\\runstats   \\migrate   \\stats   \\checkpoint   \\quit");
             eprintln!("\\trace on|off   \\metrics [prom]");
             eprintln!("\\analyze SELECT ...   \\flight [path]");
         }
@@ -232,6 +283,11 @@ fn meta_command(db: &mut Database, cmd: &str) -> bool {
                 println!("{}", db.metrics_json(true));
             }
         }
+        Some("checkpoint") => match db.checkpoint() {
+            Ok(Some(lsn)) => eprintln!("checkpoint written through lsn {lsn}"),
+            Ok(None) => eprintln!("in-memory database (start with --data-dir to enable the WAL)"),
+            Err(e) => eprintln!("checkpoint failed: {e}"),
+        },
         Some("runstats") => match db.runstats_all() {
             Ok(()) => eprintln!("general statistics collected on all tables"),
             Err(e) => eprintln!("error: {e}"),

@@ -26,6 +26,11 @@ pub enum JitsError {
     Plan(String),
     /// A runtime failure during execution.
     Execution(String),
+    /// The durability plane failed: a write-ahead-log append or fsync did
+    /// not complete, a checkpoint segment or log tail failed its CRC, or
+    /// recovery found state it cannot replay. The in-memory engine may be
+    /// ahead of durable state; only reopening from disk continues safely.
+    Recovery(String),
     /// An invalid argument or internal invariant violation.
     Internal(String),
 }
@@ -47,6 +52,7 @@ impl fmt::Display for JitsError {
             JitsError::AlreadyExists(m) => write!(f, "already exists: {m}"),
             JitsError::Plan(m) => write!(f, "planning error: {m}"),
             JitsError::Execution(m) => write!(f, "execution error: {m}"),
+            JitsError::Recovery(m) => write!(f, "recovery error: {m}"),
             JitsError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }

@@ -47,16 +47,35 @@ pub const FP_ARCHIVE_READ: &str = "archive.read";
 pub const FP_ARCHIVE_WRITE: &str = "archive.write";
 /// Fault point: reading the feedback history.
 pub const FP_HISTORY_READ: &str = "history.read";
+/// Fault point: a crash before any byte of a WAL record is written. The
+/// statement's effects are durably absent; re-running it after recovery
+/// reproduces the never-crashed state.
+pub const FP_WAL_BEFORE_APPEND: &str = "wal.before_append";
+/// Fault point: a crash after the record bytes reached the file but before
+/// `fsync` made them durable — the unsynced tail is lost, so on disk this
+/// is indistinguishable from [`FP_WAL_BEFORE_APPEND`].
+pub const FP_WAL_AFTER_APPEND: &str = "wal.after_append_before_fsync";
+/// Fault point: a crash mid-record — a torn tail of partial record bytes is
+/// left in the log for recovery's truncation scan to find.
+pub const FP_WAL_TORN_TAIL: &str = "wal.torn_tail";
+/// Fault point: a crash while writing a checkpoint segment, leaving a
+/// partial temp segment that recovery must ignore in favor of the previous
+/// complete checkpoint.
+pub const FP_WAL_MID_CHECKPOINT: &str = "wal.mid_checkpoint";
 
 /// All fault points the pipeline exposes, in a fixed order (used by tests
 /// and by spec validation).
-pub const FAULT_POINTS: [&str; 6] = [
+pub const FAULT_POINTS: [&str; 10] = [
     FP_SAMPLE_DRAW,
     FP_SAMPLECACHE_COMMIT,
     FP_COLLECT_WORKER,
     FP_ARCHIVE_READ,
     FP_ARCHIVE_WRITE,
     FP_HISTORY_READ,
+    FP_WAL_BEFORE_APPEND,
+    FP_WAL_AFTER_APPEND,
+    FP_WAL_TORN_TAIL,
+    FP_WAL_MID_CHECKPOINT,
 ];
 
 /// Upper bound on retry attempts at transient fault points. Attempt numbers

@@ -22,6 +22,7 @@ pub mod ids;
 pub mod interval;
 pub mod rng;
 pub mod schema;
+pub mod testpath;
 pub mod value;
 
 pub use colgroup::ColGroup;
@@ -31,4 +32,5 @@ pub use ids::{ColumnId, TableId};
 pub use interval::{Bound, Interval};
 pub use rng::SplitMix64;
 pub use schema::{ColumnDef, Schema};
+pub use testpath::TestDir;
 pub use value::{DataType, Value};

@@ -19,6 +19,18 @@ impl SplitMix64 {
         SplitMix64 { state: seed }
     }
 
+    /// The generator's current internal state, for checkpointing. Feeding
+    /// it back through [`SplitMix64::from_state`] resumes the stream at
+    /// exactly the next output.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator at a checkpointed [`SplitMix64::state`].
+    pub fn from_state(state: u64) -> Self {
+        SplitMix64 { state }
+    }
+
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);

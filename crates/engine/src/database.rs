@@ -2,6 +2,7 @@
 
 use crate::explain::{explain_block, JitsExplain};
 use crate::metrics::{wall_since, QueryMetrics, StageWalls};
+use crate::persist::{self, RecoveryReport, RestoredState, StateRefs};
 use crate::profile::{build_profile, render_profile, ProfileContext};
 use crate::settings::StatsSetting;
 use crate::{observe, views};
@@ -19,7 +20,7 @@ use jits_common::{
 };
 use jits_executor::{execute_with_opts, ExecOptions, ExecutorKind};
 use jits_obs::clock::now_nanos;
-use jits_obs::{Observability, QueryLogEntry, TraceBuilder};
+use jits_obs::{FlightEvent, Observability, QueryLogEntry, TraceBuilder};
 use jits_optimizer::{
     optimize, CardinalityEstimator, CatalogStatisticsProvider, CostModel, DefaultSelectivities,
     PhysicalPlan, PlanSummary, SelEstimate, StatisticsProvider,
@@ -29,8 +30,13 @@ use jits_query::{
     Statement,
 };
 use jits_storage::{CacheLookup, CachedSample, RowId, SampleCache, Table};
+use jits_wal::{Wal, WalRecord};
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
 use std::sync::Arc;
+
+/// Default number of WAL records between automatic fuzzy checkpoints.
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 512;
 
 /// Result of executing one SQL statement.
 #[derive(Debug, Clone)]
@@ -95,6 +101,16 @@ pub struct Database {
     /// Deterministic fault-injection plane (disabled by default: every
     /// check is a constant `false`).
     fault: FaultPlane,
+    /// Write-ahead log when the database is durable ([`Database::open`]);
+    /// `None` for in-memory databases and during recovery replay (replay
+    /// must never re-append the records it is re-executing).
+    wal: Option<Wal>,
+    /// WAL records between automatic fuzzy checkpoints (0 disables the
+    /// automatic trigger; explicit [`Database::checkpoint`] still works).
+    checkpoint_every: u64,
+    /// What recovery did at the last [`Database::open`] (all zeros for a
+    /// fresh or in-memory database).
+    recovery: RecoveryReport,
 }
 
 impl Database {
@@ -120,7 +136,217 @@ impl Database {
             profiling: true,
             obs: Arc::new(Observability::new()),
             fault: FaultPlane::disabled(),
+            wal: None,
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+            recovery: RecoveryReport::default(),
         }
+    }
+
+    /// Opens (or creates) a durable database rooted at `dir`: restores the
+    /// newest intact checkpoint segment, replays the post-checkpoint WAL
+    /// tail through the normal engine paths, and only then attaches the
+    /// log so subsequent operations append. `seed` is used only when no
+    /// checkpoint exists — a restored database continues the checkpointed
+    /// RNG stream, which is what makes recovery bit-identical.
+    ///
+    /// Replayed statements that error do so deterministically (the
+    /// original execution failed the same way), so statement-level replay
+    /// errors are counted, not fatal. A checkpoint that fails to *decode*
+    /// after passing its CRC is real corruption and aborts the open with
+    /// [`JitsError::Recovery`].
+    pub fn open(seed: u64, dir: &Path) -> Result<Database> {
+        let opened = Wal::open(dir)?;
+        let mut report = RecoveryReport {
+            checkpoint_lsn: opened.checkpoint.as_ref().map(|c| c.lsn),
+            replayed_records: 0,
+            replay_errors: 0,
+            torn_bytes: opened.torn_bytes,
+            corrupt_checkpoints: opened.corrupt_checkpoints,
+        };
+        let mut db = Database::new(seed);
+        if let Some(ckpt) = &opened.checkpoint {
+            db.restore(persist::decode_state(&ckpt.payload)?);
+        }
+        for (_lsn, rec) in &opened.records {
+            report.replayed_records += 1;
+            if db.replay(rec).is_err() {
+                report.replay_errors += 1;
+            }
+        }
+        db.wal = Some(opened.wal);
+        db.recovery = report.clone();
+        observe::note_recovery(&db.obs, &report);
+        Ok(db)
+    }
+
+    /// Installs checkpointed state verbatim. Unlike
+    /// [`Database::set_setting`], the setting is assigned directly: the
+    /// archive limits and cache capacities it would re-derive are already
+    /// inside the restored snapshots, and re-deriving them could clear a
+    /// restored sample cache.
+    fn restore(&mut self, s: RestoredState) {
+        self.clock = s.clock;
+        self.rng = s.rng;
+        self.batch_executor = s.batch_executor;
+        self.data_skipping = s.data_skipping;
+        self.profiling = s.profiling;
+        self.setting = s.setting;
+        self.catalog = s.catalog;
+        self.tables = s.tables;
+        self.archive = s.archive;
+        self.history = s.history;
+        self.predcache = s.predcache;
+        self.samplecache = s.samplecache;
+        self.obs.registry.restore(&s.metrics);
+        self.obs.restore_qerror(s.qerror);
+    }
+
+    /// Re-executes one WAL record through the normal engine path. Only
+    /// called while `self.wal` is `None`, so nothing re-appends.
+    fn replay(&mut self, rec: &WalRecord) -> Result<()> {
+        debug_assert!(self.wal.is_none(), "replay must not re-append");
+        match rec {
+            WalRecord::Statement { sql } => self.execute(sql).map(|_| ()),
+            WalRecord::Explain { sql } => self.explain(sql).map(|_| ()),
+            WalRecord::CreateTable { name, schema } => {
+                self.create_table(name, schema.clone()).map(|_| ())
+            }
+            WalRecord::CreateIndex { table, column } => self.create_index(table, column),
+            WalRecord::SetPrimaryKey { table, column } => self.set_primary_key(table, column),
+            WalRecord::LoadRows { table, rows } => self.load_rows(table, rows.clone()).map(|_| ()),
+            WalRecord::ResetUdi { table } => {
+                self.reset_udi(TableId(*table));
+                Ok(())
+            }
+            WalRecord::RunstatsAll => self.runstats_all(),
+            WalRecord::Precollect { sql } => self.precollect_query_stats(sql),
+            WalRecord::MigrateStats => {
+                self.migrate_statistics();
+                Ok(())
+            }
+            WalRecord::ClearStats => {
+                self.clear_statistics();
+                Ok(())
+            }
+            WalRecord::SetSetting { payload } => {
+                self.set_setting(persist::decode_setting(payload)?);
+                Ok(())
+            }
+            WalRecord::SetFlag { name, on } => {
+                match name.as_str() {
+                    "profiling" => self.set_profiling(*on),
+                    "batch_executor" => self.set_batch_executor(*on),
+                    "data_skipping" => self.set_data_skipping(*on),
+                    other => {
+                        return Err(JitsError::Recovery(format!(
+                            "wal replay: unknown flag '{other}'"
+                        )))
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Appends one record to the WAL, if one is attached. Errors poison
+    /// the log (no further durable operations succeed), so a caller that
+    /// propagates this error fails the triggering operation before any
+    /// in-memory mutation happens — write-ahead in the strict sense.
+    fn wal_append(&mut self, rec: &WalRecord) -> Result<()> {
+        let Some(wal) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        wal.append(rec, &self.fault, self.clock)?;
+        let bytes = wal.bytes_appended();
+        observe::note_wal_append(&self.obs, rec.kind(), bytes);
+        Ok(())
+    }
+
+    /// [`Database::wal_append`] for infallible-signature knobs (setting and
+    /// flag flips): a failure is counted and flight-noted instead of
+    /// propagated. The log has poisoned itself, so the very next fallible
+    /// durable operation errors loudly — the knob's effect is never
+    /// silently lost past that point (DESIGN.md §14).
+    fn wal_append_lossy(&mut self, rec: &WalRecord) {
+        let kind = rec.kind();
+        if let Err(e) = self.wal_append(rec) {
+            observe::note_wal_append_error(&self.obs, self.clock, kind, &e.to_string());
+        }
+    }
+
+    /// Folds the entire engine state into a new checkpoint segment and
+    /// truncates the log. Returns the covered LSN, or `None` for an
+    /// in-memory database. The snapshot is taken synchronously between
+    /// statements, so it is trivially consistent; "fuzzy" refers to its
+    /// placement at an arbitrary point of the workload, not to torn
+    /// in-flight state.
+    pub fn checkpoint(&mut self) -> Result<Option<u64>> {
+        if self.wal.is_none() {
+            return Ok(None);
+        }
+        let payload = persist::encode_state(&StateRefs {
+            clock: self.clock,
+            rng_state: self.rng.state(),
+            batch_executor: self.batch_executor,
+            data_skipping: self.data_skipping,
+            profiling: self.profiling,
+            setting: &self.setting,
+            catalog: &self.catalog,
+            tables: &self.tables,
+            archive: &self.archive,
+            history: &self.history,
+            predcache: &self.predcache,
+            samplecache: &self.samplecache,
+            obs: &self.obs,
+        });
+        // jits-lint: allow(panic-surface) -- the None case returned above
+        let wal = self.wal.as_mut().expect("checked above");
+        let lsn = wal.checkpoint(&payload, &self.fault, self.clock)?;
+        observe::note_checkpoint(&self.obs, self.clock, lsn, payload.len());
+        Ok(Some(lsn))
+    }
+
+    /// Checkpoints when enough records have accumulated since the last
+    /// one. Runs *before* the next statement is logged, so the statement
+    /// lands in the fresh log generation.
+    fn maybe_checkpoint(&mut self) -> Result<()> {
+        let due = self.checkpoint_every > 0
+            && self
+                .wal
+                .as_ref()
+                .is_some_and(|w| w.since_checkpoint() >= self.checkpoint_every);
+        if due {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Sets the automatic checkpoint cadence (records since the last
+    /// checkpoint; 0 disables the automatic trigger).
+    pub fn set_checkpoint_every(&mut self, every: u64) {
+        self.checkpoint_every = every;
+    }
+
+    /// What recovery did at the last [`Database::open`].
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Whether a WAL is attached (durable mode).
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// RNG stream position (recovery tests compare it across crashes).
+    #[doc(hidden)]
+    pub fn rng_state_for_test(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// The predicate cache (recovery tests snapshot it).
+    #[doc(hidden)]
+    pub fn predcache_for_test(&self) -> &PredicateCache {
+        &self.predcache
     }
 
     /// Selects the executor for subsequent SELECTs: the vectorized batch
@@ -128,6 +354,12 @@ impl Database {
     /// differential-tested bit-identical in result rows, work, and
     /// observations, so this only affects wall-clock speed.
     pub fn set_batch_executor(&mut self, on: bool) {
+        if self.batch_executor != on {
+            self.wal_append_lossy(&WalRecord::SetFlag {
+                name: "batch_executor".to_string(),
+                on,
+            });
+        }
         self.batch_executor = on;
     }
 
@@ -141,6 +373,12 @@ impl Database {
     /// pruned-scan work either way; off forces the executor to read every
     /// block, which is the baseline arm of the data-skipping benchmark.
     pub fn set_data_skipping(&mut self, on: bool) {
+        if self.data_skipping != on {
+            self.wal_append_lossy(&WalRecord::SetFlag {
+                name: "data_skipping".to_string(),
+                on,
+            });
+        }
         self.data_skipping = on;
     }
 
@@ -154,6 +392,12 @@ impl Database {
     /// record no flight-recorder profile events, and feed no q-error
     /// aggregates — the knob the profiling-overhead benchmark flips.
     pub fn set_profiling(&mut self, on: bool) {
+        if self.profiling != on {
+            self.wal_append_lossy(&WalRecord::SetFlag {
+                name: "profiling".to_string(),
+                on,
+            });
+        }
         self.profiling = on;
     }
 
@@ -197,6 +441,9 @@ impl Database {
     /// the switch — tuning `s_max` mid-session must not discard what JITS
     /// has learned. Use [`Database::clear_statistics`] for a clean slate.
     pub fn set_setting(&mut self, setting: StatsSetting) {
+        self.wal_append_lossy(&WalRecord::SetSetting {
+            payload: persist::encode_setting(&setting),
+        });
         if let StatsSetting::Jits(cfg) = &setting {
             self.archive
                 .set_limits(cfg.archive_bucket_budget, cfg.eviction_uniformity);
@@ -217,6 +464,10 @@ impl Database {
 
     /// Creates a table.
     pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<TableId> {
+        self.wal_append(&WalRecord::CreateTable {
+            name: name.to_string(),
+            schema: schema.clone(),
+        })?;
         let id = self.catalog.register_table(name, schema.clone())?;
         debug_assert_eq!(id.index(), self.tables.len());
         self.tables.push(Table::new(name, schema));
@@ -225,6 +476,10 @@ impl Database {
 
     /// Creates a secondary index.
     pub fn create_index(&mut self, table: &str, column: &str) -> Result<()> {
+        self.wal_append(&WalRecord::CreateIndex {
+            table: table.to_string(),
+            column: column.to_string(),
+        })?;
         let tid = self.catalog.require(table)?;
         let col = self
             .catalog
@@ -238,6 +493,10 @@ impl Database {
 
     /// Declares a primary key (also builds its index).
     pub fn set_primary_key(&mut self, table: &str, column: &str) -> Result<()> {
+        self.wal_append(&WalRecord::SetPrimaryKey {
+            table: table.to_string(),
+            column: column.to_string(),
+        })?;
         let tid = self.catalog.require(table)?;
         let col = self
             .catalog
@@ -254,6 +513,17 @@ impl Database {
 
     /// Bulk-loads rows (bypasses SQL parsing; used by data generators).
     pub fn load_rows(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
+        // encode into the record, append, then take the rows back — the
+        // append borrows them, so bulk loads cost no extra copy
+        let rec = WalRecord::LoadRows {
+            table: table.to_string(),
+            rows,
+        };
+        self.wal_append(&rec)?;
+        let WalRecord::LoadRows { rows, .. } = rec else {
+            // jits-lint: allow(panic-surface) -- variant constructed above
+            unreachable!("constructed two lines up")
+        };
         let tid = self.catalog.require(table)?;
         let t = &mut self.tables[tid.index()];
         let n = rows.len();
@@ -277,6 +547,7 @@ impl Database {
     /// Resets a table's UDI counter (bulk loads are initial state, not
     /// churn).
     pub fn reset_udi(&mut self, id: TableId) {
+        self.wal_append_lossy(&WalRecord::ResetUdi { table: id.0 });
         if let Some(t) = self.tables.get_mut(id.index()) {
             t.reset_udi();
         }
@@ -318,6 +589,7 @@ impl Database {
     /// statistics and resets UDI counters (the paper's "general (basic and
     /// distribution) statistics about all tables and columns").
     pub fn runstats_all(&mut self) -> Result<()> {
+        self.wal_append(&WalRecord::RunstatsAll)?;
         self.clock += 1;
         for tid in 0..self.tables.len() {
             let (ts, cs) = runstats(&self.tables[tid], self.runstats_opts, self.clock);
@@ -333,6 +605,9 @@ impl Database {
     /// beforehand). Does not count toward any query's compile time.
     pub fn precollect_query_stats(&mut self, sql: &str) -> Result<()> {
         let stmt = parse(sql)?;
+        self.wal_append(&WalRecord::Precollect {
+            sql: sql.to_string(),
+        })?;
         let BoundStatement::Select(block) = bind_statement(&stmt, &self.catalog)? else {
             return Ok(()); // only SELECTs carry predicate groups
         };
@@ -358,6 +633,7 @@ impl Database {
 
     /// Migrates one-dimensional QSS histograms into the catalog.
     pub fn migrate_statistics(&mut self) -> usize {
+        self.wal_append_lossy(&WalRecord::MigrateStats);
         self.clock += 1;
         jits::migrate::migrate(&self.archive, &mut self.catalog, self.clock)
     }
@@ -365,6 +641,7 @@ impl Database {
     /// Drops catalog statistics, the archive, and the history (the paper's
     /// "no initial statistics" baseline).
     pub fn clear_statistics(&mut self) {
+        self.wal_append_lossy(&WalRecord::ClearStats);
         self.catalog.clear_stats();
         self.archive.clear();
         self.history.clear();
@@ -395,6 +672,9 @@ impl Database {
             self.profiling,
             self.obs,
             self.fault,
+            self.wal,
+            self.checkpoint_every,
+            self.recovery,
         )
     }
 
@@ -414,6 +694,14 @@ impl Database {
                 rows,
             });
         }
+        // Logged after parse (parse errors mutate nothing) and before bind:
+        // a bind error happens after the record is durable, and replays to
+        // the identical error without ticking the clock. Checkpoint first,
+        // so this statement lands in the fresh log generation.
+        self.maybe_checkpoint()?;
+        self.wal_append(&WalRecord::Statement {
+            sql: sql.to_string(),
+        })?;
         let bound = bind_statement(&stmt, &self.catalog)?;
         match bound {
             BoundStatement::Select(block) => self.run_select(block, t0, sql),
@@ -447,6 +735,10 @@ impl Database {
     /// Compiles a query and renders its plan (EXPLAIN).
     pub fn explain(&mut self, sql: &str) -> Result<String> {
         let stmt = parse(sql)?;
+        self.maybe_checkpoint()?;
+        self.wal_append(&WalRecord::Explain {
+            sql: sql.to_string(),
+        })?;
         let (BoundStatement::Select(block) | BoundStatement::Explain(block)) =
             bind_statement(&stmt, &self.catalog)?
         else {
@@ -493,10 +785,13 @@ impl Database {
     /// Errors for statements that execute no plan (DML, EXPLAIN, system
     /// views).
     pub fn explain_analyze(&mut self, sql: &str) -> Result<String> {
+        // the flips route through set_profiling so they are WAL-logged:
+        // replay must profile (and feed the q-error aggregates) exactly as
+        // the original run did
         let was = self.profiling;
-        self.profiling = true;
+        self.set_profiling(true);
         let result = self.execute(sql);
-        self.profiling = was;
+        self.set_profiling(was);
         let profile = result?
             .metrics
             .profile
@@ -868,6 +1163,20 @@ impl Database {
                 .fault
                 .retry(FP_ARCHIVE_READ, fault_key(self.clock, i as u64));
             if !read_ok || !self.archive.validate(&cand.colgroup) {
+                // flight-note the failing checksum pair *before* quarantine
+                // drops it, so --dump-flight shows exactly which group and
+                // which mismatch triggered the rebuild
+                self.obs.flight.record(FlightEvent::Note {
+                    clock: self.clock,
+                    label: "quarantine".to_string(),
+                    detail: format!(
+                        "group {:?}: stored checksum {:?} vs computed {:?} ({}); rebuild scheduled",
+                        cand.colgroup,
+                        self.archive.stored_checksum(&cand.colgroup),
+                        self.archive.computed_checksum(&cand.colgroup),
+                        if read_ok { "mismatch" } else { "read fault" },
+                    ),
+                });
                 self.archive.quarantine(&cand.colgroup);
                 let table = observe::table_name(&self.catalog, block.quns[cand.qun].table);
                 observe::note_degradation(

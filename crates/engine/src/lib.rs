@@ -25,6 +25,12 @@
 //! [`jits_common::FaultPlane`] with [`Database::set_fault_plane`] to
 //! deterministically fail named pipeline points; every failure degrades to
 //! a weaker statistics source — the statement always returns a plan.
+//!
+//! Durability (DESIGN.md §14): [`Database::open`] attaches a write-ahead
+//! log and restores the newest checkpoint + record tail, recovering tables
+//! *and* the statistics plane — archive, history, caches, clock, RNG —
+//! bit-identically, so a restarted engine answers its first query from
+//! warm statistics instead of re-degrading to cold defaults.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,12 +39,14 @@ pub mod database;
 pub mod explain;
 pub mod metrics;
 mod observe;
+mod persist;
 mod profile;
 pub mod session;
 pub mod settings;
 pub mod views;
 
-pub use database::{Database, QueryResult};
+pub use database::{Database, QueryResult, DEFAULT_CHECKPOINT_EVERY};
+pub use persist::RecoveryReport;
 pub use explain::{JitsExplain, MaterializeExplain};
 pub use metrics::{CountersSnapshot, EngineCounters, QueryMetrics, StageWalls};
 pub use session::{Session, SharedDatabase};

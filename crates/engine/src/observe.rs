@@ -489,3 +489,73 @@ pub(crate) fn sync_engine_counters(obs: &Observability, snap: &CountersSnapshot)
     reg.gauge("jits.engine.parallel_collections", Volatility::Volatile)
         .set(snap.parallel_collections);
 }
+
+/// Records one WAL append: kind-tagged count plus the running byte total.
+/// All `jits.wal.*` metrics are volatile — a durable run and an in-memory
+/// run of the same workload must still produce identical deterministic
+/// metric digests, which is exactly what the recovery tests compare.
+pub(crate) fn note_wal_append(obs: &Observability, kind: &str, bytes_appended: u64) {
+    let reg = &obs.registry;
+    reg.counter("jits.wal.appends", Volatility::Volatile).inc();
+    reg.counter(&format!("jits.wal.appends.{kind}"), Volatility::Volatile)
+        .inc();
+    reg.gauge("jits.wal.bytes", Volatility::Volatile)
+        .set(bytes_appended);
+}
+
+/// Records a swallowed append failure on an infallible-signature knob
+/// (setting/flag flips): the log has poisoned itself, so every subsequent
+/// fallible durable operation will error loudly — this counter plus the
+/// flight note are how the swallowed trigger stays diagnosable.
+pub(crate) fn note_wal_append_error(obs: &Observability, clock: u64, kind: &str, err: &str) {
+    obs.registry
+        .counter("jits.wal.append_errors", Volatility::Volatile)
+        .inc();
+    obs.flight.record(FlightEvent::Note {
+        clock,
+        label: "wal_append_error".to_string(),
+        detail: format!("append of {kind} record failed (log poisoned): {err}"),
+    });
+}
+
+/// Records one completed checkpoint.
+pub(crate) fn note_checkpoint(obs: &Observability, clock: u64, lsn: u64, payload_bytes: usize) {
+    obs.registry
+        .counter("jits.wal.checkpoints", Volatility::Volatile)
+        .inc();
+    obs.registry
+        .gauge("jits.wal.checkpoint_bytes", Volatility::Volatile)
+        .set(payload_bytes as u64);
+    obs.flight.record(FlightEvent::Note {
+        clock,
+        label: "checkpoint".to_string(),
+        detail: format!("checkpoint at lsn {lsn}, {payload_bytes} payload bytes"),
+    });
+}
+
+/// Records what recovery did at open (volatile counters + a flight note,
+/// so `--dump-flight` shows the recovery story post-mortem).
+pub(crate) fn note_recovery(obs: &Observability, report: &crate::persist::RecoveryReport) {
+    let reg = &obs.registry;
+    reg.counter("jits.recovery.opens", Volatility::Volatile).inc();
+    reg.counter("jits.recovery.replayed_records", Volatility::Volatile)
+        .add(report.replayed_records);
+    reg.counter("jits.recovery.replay_errors", Volatility::Volatile)
+        .add(report.replay_errors);
+    reg.counter("jits.recovery.torn_bytes", Volatility::Volatile)
+        .add(report.torn_bytes);
+    reg.counter("jits.recovery.corrupt_checkpoints", Volatility::Volatile)
+        .add(report.corrupt_checkpoints as u64);
+    obs.flight.record(FlightEvent::Note {
+        clock: 0,
+        label: "recovery".to_string(),
+        detail: format!(
+            "opened: checkpoint_lsn={:?} replayed={} replay_errors={} torn_bytes={} corrupt_checkpoints={}",
+            report.checkpoint_lsn,
+            report.replayed_records,
+            report.replay_errors,
+            report.torn_bytes,
+            report.corrupt_checkpoints
+        ),
+    });
+}

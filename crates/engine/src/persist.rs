@@ -1,0 +1,1103 @@
+//! Checkpoint payload codec: the full engine state, bytes in and bytes out.
+//!
+//! A checkpoint must capture everything a replayed record could read —
+//! tables, catalog statistics, the QSS archive, StatHistory, predicate and
+//! sample caches, the deterministic substrate (clock, RNG stream, setting,
+//! flags), the deterministic metric counters, and the q-error aggregates
+//! that feed sensitivity scoring. What it deliberately does *not* capture
+//! are the observability rings (query log, flight recorder, trace ring,
+//! degradation ring, latest scores): those are bounded post-mortem
+//! diagnostics, not decision-bearing state, and the durability contract in
+//! DESIGN.md §14 excludes them — a recovered engine plans, collects, and
+//! scores identically with empty rings.
+//!
+//! Sample-cache entries persist only their decision-bearing core (row ids,
+//! epoch, probe cost, hit counts). Columnar gathers and predicate bitsets
+//! are dropped: they are served only on an exact epoch match and rebuilt
+//! first-in-wins from fresh gathers, so their absence after recovery is
+//! invisible to results, work charging, and deterministic counters.
+//!
+//! Archive checksums are likewise not persisted — recovery recomputes them
+//! from the restored bucket sets (the checksum is a pure function of
+//! logical content), so a corrupt segment fails its CRC instead of
+//! resurrecting a poisoned histogram with a matching stored checksum.
+
+use crate::settings::StatsSetting;
+use jits::{
+    AggregateFn, ArchiveSnapshot, CachedSelectivity, EpsilonConfig, HistEntry, JitsConfig,
+    PredicateCache, QssArchive, SensitivityStrategy, StatHistory,
+};
+use jits_catalog::{Catalog, ColumnStats, TableStats};
+use jits_histogram::{EquiDepth, GridLimits, GridSnapshot};
+use jits_obs::{MetricSample, Observability, QErrorStat, SampleValue};
+use jits_storage::{
+    CacheCounters, CachedSample, SampleCache, SampleSpec, Table, TableSnapshot, ZoneSnapshot,
+};
+use jits_wal::{Decoder, Encoder};
+use jits_common::{ColGroup, ColumnId, JitsError, Result, SplitMix64, TableId, Value};
+use std::sync::Arc;
+
+/// Checkpoint payload format version.
+const STATE_VERSION: u8 = 1;
+
+/// What recovery did, surfaced through `Database::recovery_report` and the
+/// `jits.recovery.*` metrics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// LSN of the checkpoint restored, if one existed.
+    pub checkpoint_lsn: Option<u64>,
+    /// WAL records re-executed on top of the checkpoint.
+    pub replayed_records: u64,
+    /// Replayed records whose re-execution returned a statement-level
+    /// error (deterministic — the original execution failed identically).
+    pub replay_errors: u64,
+    /// Bytes of torn WAL tail physically truncated at open.
+    pub torn_bytes: u64,
+    /// Checkpoint segments that failed validation and were skipped.
+    pub corrupt_checkpoints: u32,
+}
+
+/// Borrowed view of everything [`encode_state`] folds into a checkpoint.
+pub(crate) struct StateRefs<'a> {
+    pub clock: u64,
+    pub rng_state: u64,
+    pub batch_executor: bool,
+    pub data_skipping: bool,
+    pub profiling: bool,
+    pub setting: &'a StatsSetting,
+    pub catalog: &'a Catalog,
+    pub tables: &'a [Table],
+    pub archive: &'a QssArchive,
+    pub history: &'a StatHistory,
+    pub predcache: &'a PredicateCache,
+    pub samplecache: &'a SampleCache,
+    pub obs: &'a Observability,
+}
+
+/// Owned engine state decoded from a checkpoint payload.
+pub(crate) struct RestoredState {
+    pub clock: u64,
+    pub rng: SplitMix64,
+    pub batch_executor: bool,
+    pub data_skipping: bool,
+    pub profiling: bool,
+    pub setting: StatsSetting,
+    pub catalog: Catalog,
+    pub tables: Vec<Table>,
+    pub archive: QssArchive,
+    pub history: StatHistory,
+    pub predcache: PredicateCache,
+    pub samplecache: SampleCache,
+    /// Deterministic metric readings to restore into the registry.
+    pub metrics: Vec<MetricSample>,
+    /// Q-error aggregates to restore into the observability state.
+    pub qerror: Vec<(String, QErrorStat)>,
+}
+
+// ---- small shared helpers ----------------------------------------------
+
+fn put_opt_u32(e: &mut Encoder, v: Option<u32>) {
+    match v {
+        None => e.put_bool(false),
+        Some(v) => {
+            e.put_bool(true);
+            e.put_u32(v);
+        }
+    }
+}
+
+fn opt_u32(d: &mut Decoder) -> Result<Option<u32>> {
+    Ok(if d.bool()? { Some(d.u32()?) } else { None })
+}
+
+fn put_opt_value(e: &mut Encoder, v: &Option<Value>) {
+    match v {
+        None => e.put_bool(false),
+        Some(v) => {
+            e.put_bool(true);
+            e.put_value(v);
+        }
+    }
+}
+
+fn opt_value(d: &mut Decoder) -> Result<Option<Value>> {
+    Ok(if d.bool()? { Some(d.value()?) } else { None })
+}
+
+fn put_f64s(e: &mut Encoder, vs: &[f64]) {
+    e.put_u32(vs.len() as u32);
+    for &v in vs {
+        e.put_f64(v);
+    }
+}
+
+fn f64s(d: &mut Decoder) -> Result<Vec<f64>> {
+    let n = d.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        out.push(d.f64()?);
+    }
+    Ok(out)
+}
+
+fn put_u64s(e: &mut Encoder, vs: &[u64]) {
+    e.put_u32(vs.len() as u32);
+    for &v in vs {
+        e.put_u64(v);
+    }
+}
+
+fn u64s(d: &mut Decoder) -> Result<Vec<u64>> {
+    let n = d.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        out.push(d.u64()?);
+    }
+    Ok(out)
+}
+
+fn put_colgroup(e: &mut Encoder, g: &ColGroup) {
+    e.put_u32(g.table().0);
+    e.put_u32(g.columns().len() as u32);
+    for c in g.columns() {
+        e.put_u32(c.0);
+    }
+}
+
+fn colgroup(d: &mut Decoder) -> Result<ColGroup> {
+    let table = TableId(d.u32()?);
+    let n = d.u32()? as usize;
+    let mut cols = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        cols.push(ColumnId(d.u32()?));
+    }
+    Ok(ColGroup::new(table, cols))
+}
+
+// ---- statistics setting -------------------------------------------------
+
+/// Encodes a [`StatsSetting`] — also the payload of the `SetSetting` WAL
+/// record, so a replayed setting switch restores the exact configuration.
+pub(crate) fn encode_setting(setting: &StatsSetting) -> Vec<u8> {
+    let mut e = Encoder::new();
+    put_setting(&mut e, setting);
+    e.into_bytes()
+}
+
+/// Decodes a [`StatsSetting`] payload.
+pub(crate) fn decode_setting(bytes: &[u8]) -> Result<StatsSetting> {
+    let mut d = Decoder::new(bytes);
+    let s = setting(&mut d)?;
+    d.finish()?;
+    Ok(s)
+}
+
+fn put_setting(e: &mut Encoder, s: &StatsSetting) {
+    match s {
+        StatsSetting::NoStatistics => e.put_u8(0),
+        StatsSetting::CatalogOnly => e.put_u8(1),
+        StatsSetting::ArchiveReadOnly => e.put_u8(2),
+        StatsSetting::Jits(cfg) => {
+            e.put_u8(3);
+            put_jits_config(e, cfg);
+        }
+    }
+}
+
+fn setting(d: &mut Decoder) -> Result<StatsSetting> {
+    Ok(match d.u8()? {
+        0 => StatsSetting::NoStatistics,
+        1 => StatsSetting::CatalogOnly,
+        2 => StatsSetting::ArchiveReadOnly,
+        3 => StatsSetting::Jits(jits_config(d)?),
+        t => {
+            return Err(JitsError::Recovery(format!(
+                "checkpoint: bad setting tag {t}"
+            )))
+        }
+    })
+}
+
+fn put_jits_config(e: &mut Encoder, c: &JitsConfig) {
+    match &c.strategy {
+        SensitivityStrategy::PaperHeuristic => e.put_u8(0),
+        SensitivityStrategy::EpsilonPlanning(eps) => {
+            e.put_u8(1);
+            e.put_f64(eps.epsilon);
+            e.put_f64(eps.threshold);
+            e.put_u64(eps.max_iterations as u64);
+        }
+    }
+    e.put_f64(c.s_max);
+    e.put_u8(match c.aggregate {
+        AggregateFn::Average => 0,
+        AggregateFn::Max => 1,
+        AggregateFn::Min => 2,
+    });
+    e.put_u64(c.sample.size as u64);
+    e.put_bool(c.sample_cache);
+    e.put_f64(c.sample_cache_staleness);
+    e.put_u64(c.collect_budget);
+    e.put_u64(c.collect_threads as u64);
+    e.put_u64(c.max_group_enumeration as u64);
+    e.put_u64(c.archive_bucket_budget as u64);
+    e.put_f64(c.eviction_uniformity);
+    e.put_u64(c.history_entries_per_key as u64);
+    e.put_f64(c.history_ewma);
+    e.put_f64(c.archive_accuracy_gate);
+    e.put_bool(c.infer_from_supersets);
+    e.put_u64(c.predicate_cache_capacity as u64);
+    e.put_u64(c.migrate_every);
+    e.put_bool(c.feedback_to_archive);
+    e.put_f64(c.qerror_threshold);
+}
+
+fn jits_config(d: &mut Decoder) -> Result<JitsConfig> {
+    let strategy = match d.u8()? {
+        0 => SensitivityStrategy::PaperHeuristic,
+        1 => SensitivityStrategy::EpsilonPlanning(EpsilonConfig {
+            epsilon: d.f64()?,
+            threshold: d.f64()?,
+            max_iterations: d.u64()? as usize,
+        }),
+        t => {
+            return Err(JitsError::Recovery(format!(
+                "checkpoint: bad strategy tag {t}"
+            )))
+        }
+    };
+    Ok(JitsConfig {
+        strategy,
+        s_max: d.f64()?,
+        aggregate: match d.u8()? {
+            0 => AggregateFn::Average,
+            1 => AggregateFn::Max,
+            2 => AggregateFn::Min,
+            t => {
+                return Err(JitsError::Recovery(format!(
+                    "checkpoint: bad aggregate tag {t}"
+                )))
+            }
+        },
+        sample: SampleSpec {
+            size: d.u64()? as usize,
+        },
+        sample_cache: d.bool()?,
+        sample_cache_staleness: d.f64()?,
+        collect_budget: d.u64()?,
+        collect_threads: d.u64()? as usize,
+        max_group_enumeration: d.u64()? as usize,
+        archive_bucket_budget: d.u64()? as usize,
+        eviction_uniformity: d.f64()?,
+        history_entries_per_key: d.u64()? as usize,
+        history_ewma: d.f64()?,
+        archive_accuracy_gate: d.f64()?,
+        infer_from_supersets: d.bool()?,
+        predicate_cache_capacity: d.u64()? as usize,
+        migrate_every: d.u64()?,
+        feedback_to_archive: d.bool()?,
+        qerror_threshold: d.f64()?,
+    })
+}
+
+// ---- catalog ------------------------------------------------------------
+
+fn put_equidepth(e: &mut Encoder, h: &EquiDepth) {
+    put_f64s(e, h.boundaries());
+    put_f64s(e, h.counts());
+    put_f64s(e, h.distincts());
+    e.put_f64(h.total());
+}
+
+fn equidepth(d: &mut Decoder) -> Result<EquiDepth> {
+    let boundaries = f64s(d)?;
+    let counts = f64s(d)?;
+    let distincts = f64s(d)?;
+    let total = d.f64()?;
+    Ok(EquiDepth::from_raw_parts(boundaries, counts, distincts, total))
+}
+
+fn put_column_stats(e: &mut Encoder, cs: &ColumnStats) {
+    e.put_dtype(cs.dtype);
+    put_opt_value(e, &cs.min);
+    put_opt_value(e, &cs.max);
+    e.put_f64(cs.distinct);
+    e.put_f64(cs.null_count);
+    e.put_f64(cs.row_count);
+    e.put_u32(cs.mcv.len() as u32);
+    for (v, n) in &cs.mcv {
+        e.put_value(v);
+        e.put_f64(*n);
+    }
+    put_equidepth(e, &cs.histogram);
+    e.put_u64(cs.collected_at);
+}
+
+fn column_stats(d: &mut Decoder) -> Result<ColumnStats> {
+    let dtype = d.dtype()?;
+    let min = opt_value(d)?;
+    let max = opt_value(d)?;
+    let distinct = d.f64()?;
+    let null_count = d.f64()?;
+    let row_count = d.f64()?;
+    let nmcv = d.u32()? as usize;
+    let mut mcv = Vec::with_capacity(nmcv.min(1024));
+    for _ in 0..nmcv {
+        let v = d.value()?;
+        let n = d.f64()?;
+        mcv.push((v, n));
+    }
+    let histogram = equidepth(d)?;
+    let collected_at = d.u64()?;
+    Ok(ColumnStats {
+        dtype,
+        min,
+        max,
+        distinct,
+        null_count,
+        row_count,
+        mcv,
+        histogram,
+        collected_at,
+    })
+}
+
+fn put_catalog(e: &mut Encoder, c: &Catalog) {
+    e.put_u32(c.len() as u32);
+    for id in c.table_ids() {
+        // jits-lint: allow(panic-surface) -- table_ids only yields live ids
+        let t = c.table(id).expect("table_ids yields live ids");
+        e.put_str(&t.name);
+        e.put_schema(&t.schema);
+        put_opt_u32(e, t.primary_key.map(|c| c.0));
+        e.put_u32(t.indexed_columns.len() as u32);
+        for col in &t.indexed_columns {
+            e.put_u32(col.0);
+        }
+        match &t.table_stats {
+            None => e.put_bool(false),
+            Some(ts) => {
+                e.put_bool(true);
+                e.put_f64(ts.row_count);
+                e.put_u64(ts.collected_at);
+            }
+        }
+        e.put_u32(t.column_stats.len() as u32);
+        for cs in &t.column_stats {
+            match cs {
+                None => e.put_bool(false),
+                Some(cs) => {
+                    e.put_bool(true);
+                    put_column_stats(e, cs);
+                }
+            }
+        }
+    }
+}
+
+fn catalog(d: &mut Decoder) -> Result<Catalog> {
+    let n = d.u32()? as usize;
+    let mut c = Catalog::new();
+    for _ in 0..n {
+        let name = d.str()?;
+        let schema = d.schema()?;
+        let primary_key = opt_u32(d)?.map(ColumnId);
+        let nidx = d.u32()? as usize;
+        let mut indexed = Vec::with_capacity(nidx.min(64));
+        for _ in 0..nidx {
+            indexed.push(ColumnId(d.u32()?));
+        }
+        let table_stats = if d.bool()? {
+            Some(TableStats {
+                row_count: d.f64()?,
+                collected_at: d.u64()?,
+            })
+        } else {
+            None
+        };
+        let ncols = d.u32()? as usize;
+        let mut column_stats = Vec::with_capacity(ncols.min(1024));
+        for _ in 0..ncols {
+            column_stats.push(if d.bool()? {
+                Some(self::column_stats(d)?)
+            } else {
+                None
+            });
+        }
+        let id = c
+            .register_table(&name, schema)
+            .map_err(|e| JitsError::Recovery(format!("checkpoint: catalog rebuild: {e}")))?;
+        let entry = c
+            .table_mut(id)
+            .ok_or_else(|| JitsError::Recovery("checkpoint: fresh table vanished".into()))?;
+        // fields assigned verbatim rather than via set_stats/add_index: the
+        // checkpoint may legitimately hold mixed Some/None column stats
+        // (statistics migration fills columns one at a time)
+        entry.primary_key = primary_key;
+        entry.indexed_columns = indexed;
+        entry.table_stats = table_stats;
+        entry.column_stats = column_stats;
+    }
+    Ok(c)
+}
+
+// ---- storage tables -----------------------------------------------------
+
+fn put_table(e: &mut Encoder, s: &TableSnapshot) {
+    e.put_str(&s.name);
+    e.put_schema(&s.schema);
+    e.put_u32(s.slots.len() as u32);
+    for (row, live) in &s.slots {
+        for v in row {
+            e.put_value(v);
+        }
+        e.put_bool(*live);
+    }
+    e.put_u64(s.udi.0);
+    e.put_u64(s.udi.1);
+    e.put_u64(s.udi.2);
+    e.put_u64(s.epoch);
+    e.put_u32(s.indexes.len() as u32);
+    for (col, entries) in &s.indexes {
+        e.put_u32(col.0);
+        e.put_u32(entries.len() as u32);
+        for (key, rows) in entries {
+            e.put_value(key);
+            e.put_u32(rows.len() as u32);
+            for r in rows {
+                e.put_u32(*r);
+            }
+        }
+    }
+    e.put_u32(s.zones.ncols as u32);
+    e.put_u32(s.zones.blocks.len() as u32);
+    for (block, cols) in &s.zones.blocks {
+        e.put_u32(*block);
+        e.put_u32(cols.len() as u32);
+        for (min, max, nulls) in cols {
+            put_opt_value(e, min);
+            put_opt_value(e, max);
+            e.put_u32(*nulls);
+        }
+    }
+}
+
+fn table_snapshot(d: &mut Decoder) -> Result<TableSnapshot> {
+    let name = d.str()?;
+    let schema = d.schema()?;
+    let ncols = schema.len();
+    let nslots = d.u32()? as usize;
+    let mut slots = Vec::with_capacity(nslots.min(1 << 20));
+    for _ in 0..nslots {
+        let mut row = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            row.push(d.value()?);
+        }
+        slots.push((row, d.bool()?));
+    }
+    let udi = (d.u64()?, d.u64()?, d.u64()?);
+    let epoch = d.u64()?;
+    let nindexes = d.u32()? as usize;
+    let mut indexes = Vec::with_capacity(nindexes.min(64));
+    for _ in 0..nindexes {
+        let col = ColumnId(d.u32()?);
+        let nentries = d.u32()? as usize;
+        let mut entries = Vec::with_capacity(nentries.min(1 << 20));
+        for _ in 0..nentries {
+            let key = d.value()?;
+            let nrows = d.u32()? as usize;
+            let mut rows = Vec::with_capacity(nrows.min(1 << 20));
+            for _ in 0..nrows {
+                rows.push(d.u32()?);
+            }
+            entries.push((key, rows));
+        }
+        indexes.push((col, entries));
+    }
+    let zncols = d.u32()? as usize;
+    let nblocks = d.u32()? as usize;
+    let mut blocks = Vec::with_capacity(nblocks.min(1 << 20));
+    for _ in 0..nblocks {
+        let block = d.u32()?;
+        let nbcols = d.u32()? as usize;
+        let mut cols = Vec::with_capacity(nbcols.min(1024));
+        for _ in 0..nbcols {
+            let min = opt_value(d)?;
+            let max = opt_value(d)?;
+            cols.push((min, max, d.u32()?));
+        }
+        blocks.push((block, cols));
+    }
+    Ok(TableSnapshot {
+        name,
+        schema,
+        slots,
+        udi,
+        epoch,
+        indexes,
+        zones: ZoneSnapshot {
+            ncols: zncols,
+            blocks,
+        },
+    })
+}
+
+// ---- QSS archive --------------------------------------------------------
+
+fn put_grid(e: &mut Encoder, g: &GridSnapshot) {
+    e.put_u32(g.boundaries.len() as u32);
+    for dim in &g.boundaries {
+        put_f64s(e, dim);
+    }
+    put_f64s(e, &g.counts);
+    put_u64s(e, &g.stamps);
+    e.put_f64(g.total);
+    e.put_u32(g.constraints.len() as u32);
+    for (ranges, count, stamp) in &g.constraints {
+        e.put_u32(ranges.len() as u32);
+        for (lo, hi) in ranges {
+            e.put_f64(*lo);
+            e.put_f64(*hi);
+        }
+        e.put_f64(*count);
+        e.put_u64(*stamp);
+    }
+    e.put_u64(g.last_used);
+    e.put_u64(g.limits.max_boundaries_per_dim as u64);
+    e.put_u64(g.limits.max_constraints as u64);
+}
+
+fn grid(d: &mut Decoder) -> Result<GridSnapshot> {
+    let ndims = d.u32()? as usize;
+    let mut boundaries = Vec::with_capacity(ndims.min(64));
+    for _ in 0..ndims {
+        boundaries.push(f64s(d)?);
+    }
+    let counts = f64s(d)?;
+    let stamps = u64s(d)?;
+    let total = d.f64()?;
+    let nconstraints = d.u32()? as usize;
+    let mut constraints = Vec::with_capacity(nconstraints.min(1 << 12));
+    for _ in 0..nconstraints {
+        let nranges = d.u32()? as usize;
+        let mut ranges = Vec::with_capacity(nranges.min(64));
+        for _ in 0..nranges {
+            let lo = d.f64()?;
+            ranges.push((lo, d.f64()?));
+        }
+        let count = d.f64()?;
+        constraints.push((ranges, count, d.u64()?));
+    }
+    let last_used = d.u64()?;
+    let limits = GridLimits {
+        max_boundaries_per_dim: d.u64()? as usize,
+        max_constraints: d.u64()? as usize,
+    };
+    Ok(GridSnapshot {
+        boundaries,
+        counts,
+        stamps,
+        total,
+        constraints,
+        last_used,
+        limits,
+    })
+}
+
+fn put_archive(e: &mut Encoder, s: &ArchiveSnapshot) {
+    e.put_u32(s.histograms.len() as u32);
+    for (g, grid) in &s.histograms {
+        put_colgroup(e, g);
+        put_grid(e, grid);
+    }
+    e.put_u32(s.rebuild.len() as u32);
+    for g in &s.rebuild {
+        put_colgroup(e, g);
+    }
+    e.put_u64(s.bucket_budget as u64);
+    e.put_f64(s.eviction_uniformity);
+}
+
+fn archive(d: &mut Decoder) -> Result<ArchiveSnapshot> {
+    let n = d.u32()? as usize;
+    let mut histograms = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        let g = colgroup(d)?;
+        histograms.push((g, grid(d)?));
+    }
+    let nrebuild = d.u32()? as usize;
+    let mut rebuild = Vec::with_capacity(nrebuild.min(1 << 12));
+    for _ in 0..nrebuild {
+        rebuild.push(colgroup(d)?);
+    }
+    let bucket_budget = d.u64()? as usize;
+    let eviction_uniformity = d.f64()?;
+    Ok(ArchiveSnapshot {
+        histograms,
+        rebuild,
+        bucket_budget,
+        eviction_uniformity,
+    })
+}
+
+// ---- history, predicate cache, sample cache -----------------------------
+
+fn put_history(e: &mut Encoder, s: &[((TableId, ColGroup), Vec<HistEntry>)]) {
+    e.put_u32(s.len() as u32);
+    for ((tid, g), entries) in s {
+        e.put_u32(tid.0);
+        put_colgroup(e, g);
+        e.put_u32(entries.len() as u32);
+        for h in entries {
+            e.put_u32(h.statlist.len() as u32);
+            for g in &h.statlist {
+                put_colgroup(e, g);
+            }
+            e.put_u64(h.count);
+            e.put_f64(h.error_factor);
+        }
+    }
+}
+
+fn history(d: &mut Decoder) -> Result<Vec<((TableId, ColGroup), Vec<HistEntry>)>> {
+    let n = d.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        let tid = TableId(d.u32()?);
+        let g = colgroup(d)?;
+        let nentries = d.u32()? as usize;
+        let mut entries = Vec::with_capacity(nentries.min(1 << 12));
+        for _ in 0..nentries {
+            let nstats = d.u32()? as usize;
+            let mut statlist = Vec::with_capacity(nstats.min(64));
+            for _ in 0..nstats {
+                statlist.push(colgroup(d)?);
+            }
+            let count = d.u64()?;
+            entries.push(HistEntry {
+                statlist,
+                count,
+                error_factor: d.f64()?,
+            });
+        }
+        out.push(((tid, g), entries));
+    }
+    Ok(out)
+}
+
+fn put_predcache(e: &mut Encoder, (capacity, entries): &(usize, Vec<((TableId, String), CachedSelectivity)>)) {
+    e.put_u64(*capacity as u64);
+    e.put_u32(entries.len() as u32);
+    for ((tid, fp), v) in entries {
+        e.put_u32(tid.0);
+        e.put_str(fp);
+        e.put_f64(v.selectivity);
+        e.put_u64(v.stamp);
+        e.put_u64(v.last_used);
+    }
+}
+
+fn predcache(d: &mut Decoder) -> Result<(usize, Vec<((TableId, String), CachedSelectivity)>)> {
+    let capacity = d.u64()? as usize;
+    let n = d.u32()? as usize;
+    let mut entries = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let tid = TableId(d.u32()?);
+        let fp = d.str()?;
+        let selectivity = d.f64()?;
+        let stamp = d.u64()?;
+        entries.push((
+            (tid, fp),
+            CachedSelectivity {
+                selectivity,
+                stamp,
+                last_used: d.u64()?,
+            },
+        ));
+    }
+    Ok((capacity, entries))
+}
+
+fn put_samplecache(e: &mut Encoder, c: &SampleCache) {
+    let counters = c.counters();
+    e.put_u64(counters.hits);
+    e.put_u64(counters.misses);
+    e.put_u64(counters.stale_redraws);
+    let entries: Vec<_> = c.entries().collect();
+    e.put_u32(entries.len() as u32);
+    for (tid, s) in entries {
+        e.put_u32(tid.0);
+        e.put_u64(s.spec.size as u64);
+        e.put_u64(s.epoch);
+        e.put_u64(s.rows_at_draw);
+        e.put_u32(s.rows.len() as u32);
+        for &r in s.rows.iter() {
+            e.put_u32(r);
+        }
+        e.put_u64(s.probes as u64);
+        e.put_u64(s.hits);
+    }
+}
+
+fn samplecache(d: &mut Decoder) -> Result<SampleCache> {
+    let counters = CacheCounters {
+        hits: d.u64()?,
+        misses: d.u64()?,
+        stale_redraws: d.u64()?,
+    };
+    let n = d.u32()? as usize;
+    let mut cache = SampleCache::new();
+    for _ in 0..n {
+        let tid = TableId(d.u32()?);
+        let size = d.u64()? as usize;
+        let epoch = d.u64()?;
+        let rows_at_draw = d.u64()?;
+        let nrows = d.u32()? as usize;
+        let mut rows = Vec::with_capacity(nrows.min(1 << 20));
+        for _ in 0..nrows {
+            rows.push(d.u32()?);
+        }
+        let probes = d.u64()? as usize;
+        let hits = d.u64()?;
+        cache.store(
+            tid,
+            CachedSample {
+                spec: SampleSpec { size },
+                epoch,
+                rows_at_draw,
+                rows: Arc::new(rows),
+                probes,
+                hits,
+                // columnar gathers and bitsets are rebuilt from fresh
+                // draws; they are served only on exact epoch matches, so
+                // recovery starting without them is behavior-identical
+                frames: Default::default(),
+                bitsets: Default::default(),
+            },
+        );
+    }
+    cache.restore_counters(counters);
+    Ok(cache)
+}
+
+// ---- deterministic metrics and q-error aggregates -----------------------
+
+fn put_metrics(e: &mut Encoder, samples: &[MetricSample]) {
+    let deterministic: Vec<_> = samples.iter().filter(|s| !s.volatile).collect();
+    e.put_u32(deterministic.len() as u32);
+    for s in deterministic {
+        e.put_str(&s.name);
+        match &s.value {
+            SampleValue::Counter(v) => {
+                e.put_u8(0);
+                e.put_u64(*v);
+            }
+            SampleValue::Gauge(v) => {
+                e.put_u8(1);
+                e.put_u64(*v);
+            }
+            SampleValue::Histogram {
+                count,
+                sum,
+                buckets,
+            } => {
+                e.put_u8(2);
+                e.put_u64(*count);
+                e.put_u64(*sum);
+                e.put_u32(buckets.len() as u32);
+                for &(bound, n) in buckets {
+                    e.put_u64(bound);
+                    e.put_u64(n);
+                }
+            }
+        }
+    }
+}
+
+fn metrics(d: &mut Decoder) -> Result<Vec<MetricSample>> {
+    let n = d.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        let name = d.str()?;
+        let value = match d.u8()? {
+            0 => SampleValue::Counter(d.u64()?),
+            1 => SampleValue::Gauge(d.u64()?),
+            2 => {
+                let count = d.u64()?;
+                let sum = d.u64()?;
+                let nbuckets = d.u32()? as usize;
+                let mut buckets = Vec::with_capacity(nbuckets.min(64));
+                for _ in 0..nbuckets {
+                    let bound = d.u64()?;
+                    buckets.push((bound, d.u64()?));
+                }
+                SampleValue::Histogram {
+                    count,
+                    sum,
+                    buckets,
+                }
+            }
+            t => {
+                return Err(JitsError::Recovery(format!(
+                    "checkpoint: bad metric tag {t}"
+                )))
+            }
+        };
+        out.push(MetricSample {
+            name,
+            volatile: false,
+            value,
+        });
+    }
+    Ok(out)
+}
+
+fn put_qerror(e: &mut Encoder, stats: &[(String, QErrorStat)]) {
+    e.put_u32(stats.len() as u32);
+    for (table, s) in stats {
+        e.put_str(table);
+        e.put_f64(s.last);
+        e.put_f64(s.max);
+        e.put_u64(s.count);
+        e.put_u64(s.mispredicted);
+    }
+}
+
+fn qerror(d: &mut Decoder) -> Result<Vec<(String, QErrorStat)>> {
+    let n = d.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        let table = d.str()?;
+        let last = d.f64()?;
+        let max = d.f64()?;
+        let count = d.u64()?;
+        out.push((
+            table,
+            QErrorStat {
+                last,
+                max,
+                count,
+                mispredicted: d.u64()?,
+            },
+        ));
+    }
+    Ok(out)
+}
+
+// ---- top level ----------------------------------------------------------
+
+/// Folds the full engine state into one checkpoint payload.
+pub(crate) fn encode_state(s: &StateRefs) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(STATE_VERSION);
+    e.put_u64(s.clock);
+    e.put_u64(s.rng_state);
+    e.put_bool(s.batch_executor);
+    e.put_bool(s.data_skipping);
+    e.put_bool(s.profiling);
+    put_setting(&mut e, s.setting);
+    put_catalog(&mut e, s.catalog);
+    e.put_u32(s.tables.len() as u32);
+    for t in s.tables {
+        put_table(&mut e, &t.snapshot());
+    }
+    put_archive(&mut e, &s.archive.snapshot());
+    put_history(&mut e, &s.history.snapshot());
+    put_predcache(&mut e, &s.predcache.snapshot());
+    put_samplecache(&mut e, s.samplecache);
+    put_metrics(&mut e, &s.obs.registry.snapshot());
+    put_qerror(&mut e, &s.obs.qerror_stats());
+    e.into_bytes()
+}
+
+/// Decodes a checkpoint payload back into owned engine state. Any
+/// malformation is typed [`JitsError::Recovery`] — never a panic — so a
+/// torn or truncated segment quarantines instead of crashing recovery.
+pub(crate) fn decode_state(bytes: &[u8]) -> Result<RestoredState> {
+    let mut d = Decoder::new(bytes);
+    let version = d.u8()?;
+    if version != STATE_VERSION {
+        return Err(JitsError::Recovery(format!(
+            "checkpoint: unsupported format version {version}"
+        )));
+    }
+    let clock = d.u64()?;
+    let rng = SplitMix64::from_state(d.u64()?);
+    let batch_executor = d.bool()?;
+    let data_skipping = d.bool()?;
+    let profiling = d.bool()?;
+    let setting = setting(&mut d)?;
+    let catalog = catalog(&mut d)?;
+    let ntables = d.u32()? as usize;
+    let mut tables = Vec::with_capacity(ntables.min(1 << 12));
+    for _ in 0..ntables {
+        tables.push(Table::from_snapshot(table_snapshot(&mut d)?)?);
+    }
+    let archive = QssArchive::from_snapshot(archive(&mut d)?);
+    let history = StatHistory::from_snapshot(history(&mut d)?);
+    let predcache = PredicateCache::from_snapshot(predcache(&mut d)?);
+    let samplecache = samplecache(&mut d)?;
+    let metrics = metrics(&mut d)?;
+    let qerror = qerror(&mut d)?;
+    d.finish()?;
+    if tables.len() != catalog.len() {
+        return Err(JitsError::Recovery(format!(
+            "checkpoint: {} storage tables for {} catalog entries",
+            tables.len(),
+            catalog.len()
+        )));
+    }
+    Ok(RestoredState {
+        clock,
+        rng,
+        batch_executor,
+        data_skipping,
+        profiling,
+        setting,
+        catalog,
+        tables,
+        archive,
+        history,
+        predcache,
+        samplecache,
+        metrics,
+        qerror,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jits_common::{DataType, Schema};
+
+    fn seeded_refs_roundtrip(db: &crate::Database) -> RestoredState {
+        let bytes = encode_state(&StateRefs {
+            clock: db.clock(),
+            rng_state: db.rng_state_for_test(),
+            batch_executor: db.batch_executor(),
+            data_skipping: db.data_skipping(),
+            profiling: db.profiling(),
+            setting: db.setting(),
+            catalog: db.catalog(),
+            tables: db.tables(),
+            archive: db.archive(),
+            history: db.history(),
+            predcache: db.predcache_for_test(),
+            samplecache: db.sample_cache(),
+            obs: db.obs(),
+        });
+        decode_state(&bytes).unwrap()
+    }
+
+    #[test]
+    fn full_state_roundtrips_bit_identically() {
+        let mut db = crate::Database::new(7);
+        db.create_table(
+            "t",
+            Schema::from_pairs(&[("id", DataType::Int), ("tag", DataType::Str)]),
+        )
+        .unwrap();
+        db.load_rows(
+            "t",
+            (0..300i64)
+                .map(|i| {
+                    vec![
+                        Value::Int(i),
+                        Value::str(if i % 3 == 0 { "hot" } else { "cold" }),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap();
+        db.create_index("t", "id").unwrap();
+        db.runstats_all().unwrap();
+        db.set_setting(StatsSetting::Jits(jits::JitsConfig::default()));
+        for _ in 0..3 {
+            db.execute("SELECT id FROM t WHERE tag = 'hot'").unwrap();
+        }
+        db.execute("DELETE FROM t WHERE id = 5").unwrap();
+
+        let restored = seeded_refs_roundtrip(&db);
+        assert_eq!(restored.clock, db.clock());
+        assert_eq!(restored.rng.state(), db.rng_state_for_test());
+        assert_eq!(restored.tables.len(), 1);
+        assert_eq!(
+            restored.tables[0].snapshot(),
+            db.tables()[0].snapshot(),
+            "storage state must survive the codec verbatim"
+        );
+        assert_eq!(restored.archive.snapshot(), db.archive().snapshot());
+        assert_eq!(restored.history.snapshot(), db.history().snapshot());
+        assert_eq!(
+            restored.samplecache.counters(),
+            db.sample_cache().counters()
+        );
+        assert_eq!(restored.qerror, db.obs().qerror_stats());
+        let det: Vec<_> = db
+            .obs()
+            .registry
+            .snapshot()
+            .into_iter()
+            .filter(|s| !s.volatile)
+            .map(|s| MetricSample {
+                volatile: false,
+                ..s
+            })
+            .collect();
+        assert_eq!(restored.metrics, det);
+    }
+
+    #[test]
+    fn setting_payload_roundtrips() {
+        for setting in [
+            StatsSetting::NoStatistics,
+            StatsSetting::CatalogOnly,
+            StatsSetting::ArchiveReadOnly,
+            StatsSetting::Jits(JitsConfig {
+                strategy: SensitivityStrategy::EpsilonPlanning(EpsilonConfig::default()),
+                s_max: 0.25,
+                aggregate: AggregateFn::Max,
+                collect_threads: 8,
+                ..JitsConfig::default()
+            }),
+        ] {
+            let bytes = encode_setting(&setting);
+            let back = decode_setting(&bytes).unwrap();
+            assert_eq!(format!("{back:?}"), format!("{setting:?}"));
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_a_typed_recovery_error() {
+        let db = crate::Database::new(1);
+        let bytes = encode_state(&StateRefs {
+            clock: 0,
+            rng_state: 1,
+            batch_executor: true,
+            data_skipping: true,
+            profiling: true,
+            setting: db.setting(),
+            catalog: db.catalog(),
+            tables: db.tables(),
+            archive: db.archive(),
+            history: db.history(),
+            predcache: db.predcache_for_test(),
+            samplecache: db.sample_cache(),
+            obs: db.obs(),
+        });
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            match decode_state(&bytes[..cut]) {
+                Err(JitsError::Recovery(_)) => {}
+                Err(other) => panic!("cut at {cut}: expected Recovery error, got {other:?}"),
+                Ok(_) => panic!("cut at {cut}: expected Recovery error, got Ok"),
+            }
+        }
+        // trailing garbage is corruption too
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(matches!(
+            decode_state(&padded),
+            Err(JitsError::Recovery(_))
+        ));
+    }
+}

@@ -16,8 +16,15 @@
 //! one), which makes deadlock impossible:
 //!
 //! ```text
-//! catalog < tables < archive < history < predcache < samplecache < setting
+//! catalog < tables < archive < history < predcache < samplecache < setting < wal
 //! ```
+//!
+//! (The write-ahead log, rank 8, is always acquired last: a durable
+//! mutation takes its component guards first and appends while holding
+//! them, so log order matches mutation order. The observability locks sit
+//! above the whole engine — registry at rank 9, flight ring at rank 10 —
+//! and are therefore usable from any point of the statement path,
+//! including under the WAL guard.)
 //!
 //! The order is load-bearing and enforced twice: statically by
 //! `jits-lint`'s lock-order pass over this crate's source, and dynamically
@@ -47,6 +54,7 @@ use crate::database::{
 };
 use crate::explain::{explain_block, JitsExplain};
 use crate::metrics::{wall_since, CountersSnapshot, EngineCounters, QueryMetrics, StageWalls};
+use crate::persist::{self, RecoveryReport, StateRefs};
 use crate::profile::{build_profile, render_profile, ProfileContext};
 use crate::settings::StatsSetting;
 use crate::{observe, views, Database, QueryResult};
@@ -62,7 +70,7 @@ use jits_common::fault::{
 use jits_common::{fault_key, FaultPlane, JitsError, Result, Schema, SplitMix64, TableId, Value};
 use jits_executor::{execute_with_opts, ExecOptions, ExecutorKind};
 use jits_obs::clock::now_nanos;
-use jits_obs::{Observability, QueryLogEntry, TraceBuilder};
+use jits_obs::{FlightEvent, Observability, QueryLogEntry, TraceBuilder};
 use jits_optimizer::{
     optimize, CardinalityEstimator, CatalogStatisticsProvider, CostModel, DefaultSelectivities,
     PhysicalPlan, PlanSummary,
@@ -71,8 +79,10 @@ use jits_query::{
     bind_statement, parse, BoundDelete, BoundInsert, BoundStatement, BoundUpdate, QueryBlock,
 };
 use jits_storage::{RowId, SampleCache, Table};
+use jits_wal::{Wal, WalRecord};
 use parking_lot::rank::LockRank;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -89,8 +99,11 @@ pub const RANK_HISTORY: LockRank = LockRank::new(4, "history");
 pub const RANK_PREDCACHE: LockRank = LockRank::new(5, "predcache");
 /// Rank of the versioned sample-cache lock.
 pub const RANK_SAMPLECACHE: LockRank = LockRank::new(6, "samplecache");
-/// Rank of the statistics-setting lock — last in the acquisition order.
+/// Rank of the statistics-setting lock — last of the component locks.
 pub const RANK_SETTING: LockRank = LockRank::new(7, "setting");
+/// Rank of the write-ahead-log lock — last in the acquisition order, so a
+/// durable mutation can append while still holding its component guards.
+pub const RANK_WAL: LockRank = LockRank::new(8, "wal");
 
 /// Engine state shared by all sessions, each component behind its own lock
 /// (see the module docs for the acquisition order).
@@ -105,8 +118,10 @@ struct Shared {
     /// Logical statement clock, global across sessions so archive/history
     /// timestamps stay monotone.
     clock: AtomicU64,
-    /// Master RNG: the first session takes its state verbatim, later
-    /// sessions fork independent streams from it.
+    /// Master RNG: the first session takes its state verbatim (and writes
+    /// the advanced state back after each sampling phase so checkpoints
+    /// snapshot the live stream); later sessions fork independent streams
+    /// from it.
     rng_source: Mutex<SplitMix64>,
     /// Sessions handed out so far.
     sessions: AtomicU64,
@@ -123,13 +138,140 @@ struct Shared {
     /// lock-free, togglable at any time.
     profiling: AtomicBool,
     counters: EngineCounters,
-    /// Tracer, metrics registry, and query log (lock-free or rank-8
-    /// internally, so usable while holding any engine lock).
+    /// Tracer, metrics registry, and query log (lock-free or rank-9/10
+    /// internally, so usable while holding any engine lock — including the
+    /// rank-8 WAL guard).
     obs: Arc<Observability>,
     /// Deterministic fault-injection plane. Like `rng_source`, guarded by a
     /// plain mutex outside the ranked hierarchy: sessions clone the handle
     /// (an `Arc` bump) once per statement before taking any engine lock.
     fault: Mutex<FaultPlane>,
+    /// Write-ahead log, `None` for in-memory databases. Rank 8: acquired
+    /// last, so durable mutations append while holding their component
+    /// guards and log order matches mutation order.
+    wal: RwLock<Option<Wal>>,
+    /// WAL records between automatic fuzzy checkpoints (0 disables the
+    /// automatic trigger; explicit [`SharedDatabase::checkpoint`] still
+    /// works).
+    checkpoint_every: AtomicU64,
+    /// What recovery did when this database was opened (all zeros for a
+    /// fresh or in-memory database).
+    recovery: RecoveryReport,
+}
+
+impl Shared {
+    /// Appends one record to the WAL, if one is attached (the shared
+    /// counterpart of `Database::wal_append`). Legal while holding any
+    /// component guard — the WAL lock is rank 8, above them all — which is
+    /// how durable mutations keep log order consistent with mutation
+    /// order. Errors poison the log, so propagating callers fail before
+    /// mutating.
+    fn wal_append(&self, rec: &WalRecord, waited: &mut u64) -> Result<()> {
+        // plain mutexes (fault, outside the ranked hierarchy) are cloned
+        // before the ranked acquisition, as everywhere else in this module
+        let fault = self.fault.lock().clone();
+        let clock = self.clock.load(Ordering::SeqCst);
+        let mut wal = timed_write(&self.wal, &self.counters, waited);
+        let Some(w) = wal.as_mut() else {
+            return Ok(());
+        };
+        w.append(rec, &fault, clock)?;
+        let bytes = w.bytes_appended();
+        observe::note_wal_append(&self.obs, rec.kind(), bytes);
+        Ok(())
+    }
+
+    /// [`Shared::wal_append`] for infallible-signature knobs: failures are
+    /// counted and flight-noted, and the poisoned log makes the next
+    /// fallible durable operation error loudly (DESIGN.md §14).
+    fn wal_append_lossy(&self, rec: &WalRecord, waited: &mut u64) {
+        let kind = rec.kind();
+        if let Err(e) = self.wal_append(rec, waited) {
+            let clock = self.clock.load(Ordering::SeqCst);
+            observe::note_wal_append_error(&self.obs, clock, kind, &e.to_string());
+        }
+    }
+
+    /// Flips a lock-free boolean knob, logging a `SetFlag` record only
+    /// when the value actually changes (idempotent re-sets stay silent, as
+    /// on `Database`).
+    fn set_flag_logged(&self, flag: &AtomicBool, name: &str, on: bool) {
+        let was = flag.swap(on, Ordering::SeqCst);
+        if was != on {
+            let mut w = 0u64;
+            self.wal_append_lossy(
+                &WalRecord::SetFlag {
+                    name: name.to_string(),
+                    on,
+                },
+                &mut w,
+            );
+        }
+    }
+
+    /// Folds the entire shared state into a new checkpoint segment and
+    /// truncates the log (the shared counterpart of
+    /// `Database::checkpoint`). Takes read guards over every component in
+    /// rank order, so the snapshot is consistent even with concurrent
+    /// sessions; "fuzzy" refers to its placement in the workload, not to
+    /// torn state.
+    fn checkpoint(&self, waited: &mut u64) -> Result<Option<u64>> {
+        {
+            if timed_read(&self.wal, &self.counters, waited).is_none() {
+                return Ok(None);
+            }
+        }
+        // un-ranked snapshots first, then guards in rank order 1..=7
+        let fault = self.fault.lock().clone();
+        let rng_state = self.rng_source.lock().state();
+        let catalog = timed_read(&self.catalog, &self.counters, waited);
+        let tables = timed_read(&self.tables, &self.counters, waited);
+        let archive = timed_read(&self.archive, &self.counters, waited);
+        let history = timed_read(&self.history, &self.counters, waited);
+        let predcache = timed_read(&self.predcache, &self.counters, waited);
+        let samplecache = timed_read(&self.samplecache, &self.counters, waited);
+        let setting = timed_read(&self.setting, &self.counters, waited);
+        let clock = self.clock.load(Ordering::SeqCst);
+        let payload = persist::encode_state(&StateRefs {
+            clock,
+            rng_state,
+            batch_executor: self.batch_executor.load(Ordering::SeqCst),
+            data_skipping: self.data_skipping.load(Ordering::SeqCst),
+            profiling: self.profiling.load(Ordering::SeqCst),
+            setting: &setting,
+            catalog: &catalog,
+            tables: &tables,
+            archive: &archive,
+            history: &history,
+            predcache: &predcache,
+            samplecache: &samplecache,
+            obs: &self.obs,
+        });
+        let mut wal = timed_write(&self.wal, &self.counters, waited);
+        let Some(w) = wal.as_mut() else {
+            return Ok(None); // detached between the check and now
+        };
+        let lsn = w.checkpoint(&payload, &fault, clock)?;
+        observe::note_checkpoint(&self.obs, clock, lsn, payload.len());
+        Ok(Some(lsn))
+    }
+
+    /// Checkpoints when enough records have accumulated since the last
+    /// one; runs before the next statement is logged. Two sessions racing
+    /// the trigger at worst checkpoint twice, which is harmless.
+    fn maybe_checkpoint(&self, waited: &mut u64) -> Result<()> {
+        let every = self.checkpoint_every.load(Ordering::SeqCst);
+        if every == 0 {
+            return Ok(());
+        }
+        let due = timed_read(&self.wal, &self.counters, waited)
+            .as_ref()
+            .is_some_and(|w| w.since_checkpoint() >= every);
+        if due {
+            self.checkpoint(waited)?;
+        }
+        Ok(())
+    }
 }
 
 /// A database whose state is shareable across threads; spawn one
@@ -206,6 +348,15 @@ impl SharedDatabase {
         Database::new(seed).into_shared()
     }
 
+    /// Opens (or creates) a durable shared database rooted at `dir`:
+    /// recovery runs on the single-owner [`Database`] (see
+    /// [`Database::open`]), which is then converted, WAL attached and all.
+    /// Subsequent sessions append durably and [`SharedDatabase::checkpoint`]
+    /// folds the shared state into a new segment.
+    pub fn open(seed: u64, dir: &Path) -> Result<SharedDatabase> {
+        Ok(Database::open(seed, dir)?.into_shared())
+    }
+
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_database_parts(
         tables: Vec<Table>,
@@ -225,6 +376,9 @@ impl SharedDatabase {
         profiling: bool,
         obs: Arc<Observability>,
         fault: FaultPlane,
+        wal: Option<Wal>,
+        checkpoint_every: u64,
+        recovery: RecoveryReport,
     ) -> Self {
         SharedDatabase {
             shared: Arc::new(Shared {
@@ -247,8 +401,37 @@ impl SharedDatabase {
                 counters: EngineCounters::default(),
                 obs,
                 fault: Mutex::new(fault),
+                wal: RwLock::with_rank(wal, RANK_WAL),
+                checkpoint_every: AtomicU64::new(checkpoint_every),
+                recovery,
             }),
         }
+    }
+
+    /// Folds the entire shared state into a new checkpoint segment and
+    /// truncates the log. Returns the covered LSN, or `None` for an
+    /// in-memory database.
+    pub fn checkpoint(&self) -> Result<Option<u64>> {
+        let mut w = 0u64;
+        self.shared.checkpoint(&mut w)
+    }
+
+    /// Sets the automatic checkpoint cadence (records since the last
+    /// checkpoint; 0 disables the automatic trigger).
+    pub fn set_checkpoint_every(&self, every: u64) {
+        self.shared.checkpoint_every.store(every, Ordering::SeqCst);
+    }
+
+    /// What recovery did when this database was opened (all zeros for a
+    /// fresh or in-memory database).
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.shared.recovery.clone()
+    }
+
+    /// Whether a WAL is attached (durable mode).
+    pub fn is_durable(&self) -> bool {
+        let mut w = 0u64;
+        timed_read(&self.shared.wal, &self.shared.counters, &mut w).is_some()
     }
 
     /// Installs the deterministic fault-injection plane for every session
@@ -262,7 +445,8 @@ impl SharedDatabase {
     /// [`Database::set_batch_executor`]); lock-free, takes effect at each
     /// session's next statement.
     pub fn set_batch_executor(&self, on: bool) {
-        self.shared.batch_executor.store(on, Ordering::SeqCst);
+        self.shared
+            .set_flag_logged(&self.shared.batch_executor, "batch_executor", on);
     }
 
     /// Whether SELECTs run on the vectorized batch executor.
@@ -274,7 +458,8 @@ impl SharedDatabase {
     /// every session (see [`Database::set_data_skipping`]); lock-free,
     /// takes effect at each session's next statement.
     pub fn set_data_skipping(&self, on: bool) {
-        self.shared.data_skipping.store(on, Ordering::SeqCst);
+        self.shared
+            .set_flag_logged(&self.shared.data_skipping, "data_skipping", on);
     }
 
     /// Whether pruned scans physically skip pruned blocks.
@@ -286,7 +471,8 @@ impl SharedDatabase {
     /// [`Database::set_profiling`]); lock-free, takes effect at each
     /// session's next statement.
     pub fn set_profiling(&self, on: bool) {
-        self.shared.profiling.store(on, Ordering::SeqCst);
+        self.shared
+            .set_flag_logged(&self.shared.profiling, "profiling", on);
     }
 
     /// Whether per-operator profiling is enabled.
@@ -318,6 +504,12 @@ impl SharedDatabase {
     /// sessions). Accumulated statistics survive, as on [`Database`].
     pub fn set_setting(&self, setting: StatsSetting) {
         let mut w = 0u64;
+        self.shared.wal_append_lossy(
+            &WalRecord::SetSetting {
+                payload: persist::encode_setting(&setting),
+            },
+            &mut w,
+        );
         if let StatsSetting::Jits(cfg) = &setting {
             let mut archive = timed_write(&self.shared.archive, &self.shared.counters, &mut w);
             archive.set_limits(cfg.archive_bucket_budget, cfg.eviction_uniformity);
@@ -337,6 +529,16 @@ impl SharedDatabase {
         let mut w = 0u64;
         let mut catalog = timed_write(&self.shared.catalog, &self.shared.counters, &mut w);
         let mut tables = timed_write(&self.shared.tables, &self.shared.counters, &mut w);
+        // append under the write guards (wal is rank 8, above them): log
+        // order matches mutation order, and a failed append aborts before
+        // any in-memory mutation
+        self.shared.wal_append(
+            &WalRecord::CreateTable {
+                name: name.to_string(),
+                schema: schema.clone(),
+            },
+            &mut w,
+        )?;
         let id = catalog.register_table(name, schema.clone())?;
         debug_assert_eq!(id.index(), tables.len());
         tables.push(Table::new(name, schema));
@@ -348,6 +550,13 @@ impl SharedDatabase {
         let mut w = 0u64;
         let mut catalog = timed_write(&self.shared.catalog, &self.shared.counters, &mut w);
         let mut tables = timed_write(&self.shared.tables, &self.shared.counters, &mut w);
+        self.shared.wal_append(
+            &WalRecord::CreateIndex {
+                table: table.to_string(),
+                column: column.to_string(),
+            },
+            &mut w,
+        )?;
         let tid = catalog.require(table)?;
         let col = catalog
             .table(tid)
@@ -363,6 +572,13 @@ impl SharedDatabase {
         let mut w = 0u64;
         let mut catalog = timed_write(&self.shared.catalog, &self.shared.counters, &mut w);
         let mut tables = timed_write(&self.shared.tables, &self.shared.counters, &mut w);
+        self.shared.wal_append(
+            &WalRecord::SetPrimaryKey {
+                table: table.to_string(),
+                column: column.to_string(),
+            },
+            &mut w,
+        )?;
         let tid = catalog.require(table)?;
         let col = catalog
             .table(tid)
@@ -382,6 +598,17 @@ impl SharedDatabase {
             catalog.require(table)?
         };
         let mut tables = timed_write(&self.shared.tables, &self.shared.counters, &mut w);
+        // encode into the record, append, then take the rows back — the
+        // append borrows them, so bulk loads cost no extra copy
+        let rec = WalRecord::LoadRows {
+            table: table.to_string(),
+            rows,
+        };
+        self.shared.wal_append(&rec, &mut w)?;
+        let WalRecord::LoadRows { rows, .. } = rec else {
+            // jits-lint: allow(panic-surface) -- variant constructed above
+            unreachable!("constructed two lines up")
+        };
         let t = &mut tables[tid.index()];
         let n = rows.len();
         for row in rows {
@@ -395,6 +622,8 @@ impl SharedDatabase {
     pub fn reset_udi(&self, id: TableId) {
         let mut w = 0u64;
         let mut tables = timed_write(&self.shared.tables, &self.shared.counters, &mut w);
+        self.shared
+            .wal_append_lossy(&WalRecord::ResetUdi { table: id.0 }, &mut w);
         if let Some(t) = tables.get_mut(id.index()) {
             t.reset_udi();
         }
@@ -410,8 +639,9 @@ impl SharedDatabase {
 
     /// Runs RUNSTATS over every table (see [`Database::runstats_all`]).
     pub fn runstats_all(&self) -> Result<()> {
-        let clock = self.shared.clock.fetch_add(1, Ordering::SeqCst) + 1;
         let mut w = 0u64;
+        self.shared.wal_append(&WalRecord::RunstatsAll, &mut w)?;
+        let clock = self.shared.clock.fetch_add(1, Ordering::SeqCst) + 1;
         let mut catalog = timed_write(&self.shared.catalog, &self.shared.counters, &mut w);
         let mut tables = timed_write(&self.shared.tables, &self.shared.counters, &mut w);
         for tid in 0..tables.len() {
@@ -424,8 +654,10 @@ impl SharedDatabase {
 
     /// Migrates one-dimensional QSS histograms into the catalog.
     pub fn migrate_statistics(&self) -> usize {
-        let clock = self.shared.clock.fetch_add(1, Ordering::SeqCst) + 1;
         let mut w = 0u64;
+        self.shared
+            .wal_append_lossy(&WalRecord::MigrateStats, &mut w);
+        let clock = self.shared.clock.fetch_add(1, Ordering::SeqCst) + 1;
         let mut catalog = timed_write(&self.shared.catalog, &self.shared.counters, &mut w);
         let archive = timed_read(&self.shared.archive, &self.shared.counters, &mut w);
         jits::migrate::migrate(&archive, &mut catalog, clock)
@@ -434,6 +666,8 @@ impl SharedDatabase {
     /// Drops catalog statistics, the archive, and the history.
     pub fn clear_statistics(&self) {
         let mut w = 0u64;
+        self.shared
+            .wal_append_lossy(&WalRecord::ClearStats, &mut w);
         timed_write(&self.shared.catalog, &self.shared.counters, &mut w).clear_stats();
         timed_write(&self.shared.archive, &self.shared.counters, &mut w).clear();
         timed_write(&self.shared.history, &self.shared.counters, &mut w).clear();
@@ -552,6 +786,16 @@ impl Session {
                 rows,
             });
         }
+        // checkpoint first so the statement lands in the fresh log
+        // generation, then log it before binding (statement-level logical
+        // WAL: even failed statements replay to the same failure)
+        self.shared.maybe_checkpoint(&mut waited)?;
+        self.shared.wal_append(
+            &WalRecord::Statement {
+                sql: sql.to_string(),
+            },
+            &mut waited,
+        )?;
         let bound = {
             let catalog = timed_read(&self.shared.catalog, &self.shared.counters, &mut waited);
             bind_statement(&stmt, &catalog)?
@@ -596,6 +840,15 @@ impl Session {
     pub fn explain(&mut self, sql: &str) -> Result<String> {
         let mut waited = 0u64;
         let stmt = parse(sql)?;
+        // logged like a statement: EXPLAIN compiles, which mutates the
+        // statistics plane (clock, archive touches, sample draws)
+        self.shared.maybe_checkpoint(&mut waited)?;
+        self.shared.wal_append(
+            &WalRecord::Explain {
+                sql: sql.to_string(),
+            },
+            &mut waited,
+        )?;
         let bound = {
             let catalog = timed_read(&self.shared.catalog, &self.shared.counters, &mut waited);
             bind_statement(&stmt, &catalog)?
@@ -657,9 +910,14 @@ impl Session {
     /// rendered — never another session's — because the profile rides on
     /// the returned metrics, not on the shared flight ring.
     pub fn explain_analyze(&mut self, sql: &str) -> Result<String> {
-        let was = self.shared.profiling.swap(true, Ordering::SeqCst);
+        // flips route through the logged setter so a durable log replays
+        // the same profiling state around the statement
+        let was = self.shared.profiling.load(Ordering::SeqCst);
+        self.shared
+            .set_flag_logged(&self.shared.profiling, "profiling", true);
         let result = self.execute(sql);
-        self.shared.profiling.store(was, Ordering::SeqCst);
+        self.shared
+            .set_flag_logged(&self.shared.profiling, "profiling", was);
         let profile = result?
             .metrics
             .profile
@@ -991,6 +1249,14 @@ impl Session {
                 &fault,
                 clock,
             );
+            // The master session carries the checkpoint-visible RNG stream:
+            // publish the advanced state so a later fuzzy checkpoint
+            // snapshots the draws just consumed. Forked streams (sessions
+            // after the first) are not recoverable through single-stream
+            // replay and are intentionally not published.
+            if self.id == 0 {
+                *self.shared.rng_source.lock() = self.rng.clone();
+            }
             for d in &collected.degraded {
                 let table = observe::table_name(&catalog, d.table);
                 observe::note_degradation(
@@ -1109,6 +1375,20 @@ impl Session {
                 }
                 let (read_ok, _) = fault.retry(FP_ARCHIVE_READ, fault_key(clock, i as u64));
                 if !read_ok || !archive.validate(&cand.colgroup) {
+                    // flight-note the failing checksum pair *before*
+                    // quarantine drops it, so --dump-flight shows exactly
+                    // which group and which mismatch triggered the rebuild
+                    sh.obs.flight.record(FlightEvent::Note {
+                        clock,
+                        label: "quarantine".to_string(),
+                        detail: format!(
+                            "group {:?}: stored checksum {:?} vs computed {:?} ({}); rebuild scheduled",
+                            cand.colgroup,
+                            archive.stored_checksum(&cand.colgroup),
+                            archive.computed_checksum(&cand.colgroup),
+                            if read_ok { "mismatch" } else { "read fault" },
+                        ),
+                    });
                     archive.quarantine(&cand.colgroup);
                     observe::note_degradation(
                         &sh.obs,

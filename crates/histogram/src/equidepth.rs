@@ -132,6 +132,34 @@ impl EquiDepth {
         &self.boundaries
     }
 
+    /// Rows per bucket (raw state, for checkpointing).
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Distinct values per bucket (raw state, for checkpointing).
+    /// [`EquiDepth::from_buckets`] *approximates* distincts, so round-trip
+    /// fidelity needs this raw accessor plus [`EquiDepth::from_raw_parts`].
+    pub fn distincts(&self) -> &[f64] {
+        &self.distincts
+    }
+
+    /// Rebuilds a histogram from raw checkpointed state, field for field —
+    /// unlike [`EquiDepth::from_buckets`], nothing is recomputed.
+    pub fn from_raw_parts(
+        boundaries: Vec<f64>,
+        counts: Vec<f64>,
+        distincts: Vec<f64>,
+        total: f64,
+    ) -> Self {
+        EquiDepth {
+            boundaries,
+            counts,
+            distincts,
+            total,
+        }
+    }
+
     /// Estimated fraction of rows in the half-open axis range `[lo, hi)`,
     /// interpolating uniformly within buckets. Returns `None` when empty.
     pub fn estimate_range(&self, lo: f64, hi: f64) -> Option<f64> {

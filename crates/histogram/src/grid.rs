@@ -15,7 +15,7 @@ use crate::region::Region;
 use std::collections::VecDeque;
 
 /// Hard caps keeping adaptive histograms bounded.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GridLimits {
     /// Maximum boundaries per dimension (buckets per dim = boundaries − 1).
     pub max_boundaries_per_dim: usize,
@@ -32,6 +32,29 @@ impl Default for GridLimits {
             max_constraints: 24,
         }
     }
+}
+
+/// Raw state of one [`GridHistogram`], produced by
+/// [`GridHistogram::snapshot`] and consumed by
+/// [`GridHistogram::from_snapshot`]. Plain data (ranges as `(lo, hi)`
+/// pairs, constraints as `(ranges, count, stamp)` triples) so the
+/// durability layer can encode it without knowing histogram internals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSnapshot {
+    /// Per-dimension sorted boundary lists.
+    pub boundaries: Vec<Vec<f64>>,
+    /// Row-major bucket counts.
+    pub counts: Vec<f64>,
+    /// Per-bucket last-touch stamps.
+    pub stamps: Vec<u64>,
+    /// Total rows represented.
+    pub total: f64,
+    /// Retained constraints, FIFO order: (region ranges, count, stamp).
+    pub constraints: Vec<(Vec<(f64, f64)>, f64, u64)>,
+    /// LRU stamp of the histogram itself.
+    pub last_used: u64,
+    /// Size caps in force.
+    pub limits: GridLimits,
 }
 
 /// An adaptive N-dimensional histogram.
@@ -340,6 +363,49 @@ impl GridHistogram {
     /// Number of retained constraints (test/diagnostic).
     pub fn constraint_count(&self) -> usize {
         self.constraints.len()
+    }
+
+    /// Raw state dump for checkpointing. Captures *every* field — including
+    /// per-bucket stamps, the retained constraint queue, and the LRU stamp —
+    /// because they are all history-dependent: none can be recomputed from
+    /// the bucket counts alone, and recovery must reproduce the histogram
+    /// bit-identically (same future refinements, same eviction order).
+    pub fn snapshot(&self) -> GridSnapshot {
+        GridSnapshot {
+            boundaries: self.boundaries.clone(),
+            counts: self.counts.clone(),
+            stamps: self.stamps.clone(),
+            total: self.total,
+            constraints: self
+                .constraints
+                .iter()
+                .map(|c| (c.region.ranges().to_vec(), c.count, c.stamp))
+                .collect(),
+            last_used: self.last_used,
+            limits: self.limits,
+        }
+    }
+
+    /// Rebuilds a histogram from a [`GridHistogram::snapshot`], field for
+    /// field.
+    pub fn from_snapshot(s: GridSnapshot) -> GridHistogram {
+        GridHistogram {
+            boundaries: s.boundaries,
+            counts: s.counts,
+            stamps: s.stamps,
+            total: s.total,
+            constraints: s
+                .constraints
+                .into_iter()
+                .map(|(ranges, count, stamp)| Constraint {
+                    region: Region::new(ranges),
+                    count,
+                    stamp,
+                })
+                .collect(),
+            last_used: s.last_used,
+            limits: s.limits,
+        }
     }
 
     // ---- geometry ----------------------------------------------------

@@ -10,8 +10,27 @@
 //! use LRU".
 
 use jits_common::ColGroup;
-use jits_histogram::{region_accuracy, FitResult, GridHistogram, Region};
+use jits_histogram::{region_accuracy, FitResult, GridHistogram, GridSnapshot, Region};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Raw archive state for checkpointing, produced by
+/// [`QssArchive::snapshot`]. Histograms travel as [`GridSnapshot`]s
+/// (stamps, constraint FIFO and LRU bookkeeping included — all of it
+/// eviction-decision-bearing); write-time checksums deliberately do
+/// **not** travel: [`QssArchive::from_snapshot`] recomputes them from the
+/// restored contents, so a checkpoint torn inside a histogram fails
+/// restore-side CRC checks rather than resurrecting as "valid".
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchiveSnapshot {
+    /// Stored histograms in group order.
+    pub histograms: Vec<(ColGroup, GridSnapshot)>,
+    /// Groups quarantined and awaiting rebuild.
+    pub rebuild: Vec<ColGroup>,
+    /// Total-bucket budget.
+    pub bucket_budget: usize,
+    /// Uniformity threshold for eviction.
+    pub eviction_uniformity: f64,
+}
 
 /// What one [`QssArchive::apply_observation`] call did — the refine trail
 /// observability reports (created vs refreshed, bucket growth, IPF fit
@@ -213,6 +232,19 @@ impl QssArchive {
         }
     }
 
+    /// The write-time checksum recorded for a stored group, if any — what
+    /// [`QssArchive::validate`] compares against. Surfaced so quarantine
+    /// diagnostics can report the failing pair.
+    pub fn stored_checksum(&self, group: &ColGroup) -> Option<u64> {
+        self.checksums.get(group).copied()
+    }
+
+    /// The checksum of the group's current bucket set, recomputed from its
+    /// logical content, if a histogram is stored.
+    pub fn computed_checksum(&self, group: &ColGroup) -> Option<u64> {
+        self.histograms.get(group).map(histogram_checksum)
+    }
+
     /// Drops the group's bucket set and schedules a rebuild on the next
     /// collection covering it. Until then the group is served as "no
     /// stats", so the optimizer falls back to default selectivities (the
@@ -298,6 +330,40 @@ impl QssArchive {
         self.histograms.clear();
         self.checksums.clear();
         self.rebuild.clear();
+    }
+
+    /// Raw state dump for checkpointing.
+    pub fn snapshot(&self) -> ArchiveSnapshot {
+        ArchiveSnapshot {
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(g, h)| (g.clone(), h.snapshot()))
+                .collect(),
+            rebuild: self.rebuild.iter().cloned().collect(),
+            bucket_budget: self.bucket_budget,
+            eviction_uniformity: self.eviction_uniformity,
+        }
+    }
+
+    /// Rebuilds an archive from a [`QssArchive::snapshot`], recomputing
+    /// each histogram's write-time checksum from the restored contents
+    /// (deterministic, so it matches the pre-crash value bit for bit).
+    pub fn from_snapshot(s: ArchiveSnapshot) -> QssArchive {
+        let mut histograms = BTreeMap::new();
+        let mut checksums = BTreeMap::new();
+        for (g, hs) in s.histograms {
+            let h = GridHistogram::from_snapshot(hs);
+            checksums.insert(g.clone(), histogram_checksum(&h));
+            histograms.insert(g, h);
+        }
+        QssArchive {
+            histograms,
+            checksums,
+            rebuild: s.rebuild.into_iter().collect(),
+            bucket_budget: s.bucket_budget.max(1),
+            eviction_uniformity: s.eviction_uniformity,
+        }
     }
 }
 

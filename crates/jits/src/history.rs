@@ -154,6 +154,25 @@ impl StatHistory {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// Raw state dump for checkpointing: every `(table, colgrp)` key with
+    /// its entry vector in stored order. Entry order matters — the
+    /// per-key-cap eviction `swap_remove`s, so order is history the
+    /// sensitivity scores iterate over.
+    pub fn snapshot(&self) -> Vec<((TableId, ColGroup), Vec<HistEntry>)> {
+        self.entries
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Rebuilds a history from a [`StatHistory::snapshot`], field for
+    /// field.
+    pub fn from_snapshot(s: Vec<((TableId, ColGroup), Vec<HistEntry>)>) -> StatHistory {
+        StatHistory {
+            entries: s.into_iter().collect(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -47,7 +47,7 @@ pub mod provider;
 pub mod sensitivity;
 
 pub use analysis::{query_analysis, CandidateGroup};
-pub use archive::{QssArchive, RefineOutcome};
+pub use archive::{ArchiveSnapshot, QssArchive, RefineOutcome};
 pub use collect::{
     collect_for_tables, collect_for_tables_parallel, collect_for_tables_sourced,
     collect_for_tables_traced, CollectTiming, CollectedStats, DegradedTable, DrawnSample,
@@ -57,7 +57,7 @@ pub use config::{AggregateFn, JitsConfig, SensitivityStrategy};
 pub use epsilon::{epsilon_sensitivity, EpsilonConfig, EpsilonOutcome};
 pub use feedback::ingest;
 pub use history::{HistEntry, StatHistory};
-pub use predcache::{fingerprint, PredicateCache};
+pub use predcache::{fingerprint, CachedSelectivity, PredicateCache};
 pub use provider::JitsStatisticsProvider;
 pub use sensitivity::{
     sensitivity_analysis, sensitivity_analysis_with_feedback, MaterializeDecision,

@@ -117,6 +117,30 @@ impl PredicateCache {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// Raw state dump for checkpointing: capacity plus every entry in key
+    /// order, LRU stamps included (eviction decisions after recovery must
+    /// match the never-crashed run).
+    pub fn snapshot(&self) -> (usize, Vec<((TableId, String), CachedSelectivity)>) {
+        (
+            self.capacity,
+            self.entries
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        )
+    }
+
+    /// Rebuilds a cache from a [`PredicateCache::snapshot`], field for
+    /// field.
+    pub fn from_snapshot(
+        (capacity, entries): (usize, Vec<((TableId, String), CachedSelectivity)>),
+    ) -> PredicateCache {
+        PredicateCache {
+            entries: entries.into_iter().collect(),
+            capacity: capacity.max(1),
+        }
+    }
 }
 
 impl Default for PredicateCache {

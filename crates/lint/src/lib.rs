@@ -27,6 +27,9 @@
 //! 7. **batch-bounds** ([`bounds`]): unchecked indexing into FrameColumn
 //!    buffers / selection vectors in the batch executor must be dominated
 //!    by a validity or length guard.
+//! 8. **wal-ordering** ([`wal_ordering`]): durable engine mutators must
+//!    append their write-ahead-log record before the first in-memory
+//!    mutation, so a crash between the two never loses a logged change.
 //!
 //! Individual findings can be waived with an inline comment on the same or
 //! previous line: `// jits-lint: allow(rule-name) -- justification`. Every
@@ -46,6 +49,7 @@ pub mod panics;
 pub mod parse;
 pub mod source;
 pub mod tokens;
+pub mod wal_ordering;
 
 use callgraph::CallGraph;
 use parse::ParsedFile;
@@ -189,6 +193,17 @@ pub const RULES: &[RuleInfo] = &[
                     assert, bounded loop) must dominate every such index",
     },
     RuleInfo {
+        slug: "wal-ordering",
+        summary: "durable engine mutators (execute, DDL, bulk load, stats \
+                  admin) must append their WAL record before the first \
+                  in-memory mutation",
+        rationale: "write-ahead means *ahead*: a mutation applied before its \
+                    record is durable vanishes on crash while the engine \
+                    believed it was logged; recovery then replays to a state \
+                    that never existed — the crash matrix probes injected \
+                    points, the static pass proves the ordering everywhere",
+    },
+    RuleInfo {
         slug: "unused-waiver",
         summary: "a `jits-lint: allow(…)` comment that suppresses nothing",
         rationale: "stale waivers hide future violations at their site; the \
@@ -255,6 +270,10 @@ pub const CHARGING_SCOPE: &[&str] = &["crates/jits/src/collect.rs", "crates/stor
 
 /// Files the batch-bounds pass reports on in repo mode.
 pub const BOUNDS_SCOPE: &[&str] = &["crates/executor/src/batch.rs"];
+
+/// Files the wal-ordering pass reports on in repo mode: the crate that owns
+/// the durable mutator surface.
+pub const WAL_ORDER_SCOPE: &[&str] = &["crates/engine/src"];
 
 /// Files allowed to read wall clocks: only the observability clock. Every
 /// other wall measurement (lock waits, stage latencies, span durations)
@@ -452,6 +471,7 @@ pub fn run_repo(root: &Path, allowlist: &panics::Allowlist) -> Report {
     raw.extend(charging::run(&ws, Some(CHARGING_SCOPE)));
     raw.extend(float_det::run(&ws, Some(FLOAT_ORDER_CRATES)));
     raw.extend(bounds::run(&ws, Some(BOUNDS_SCOPE)));
+    raw.extend(wal_ordering::run(&ws, Some(WAL_ORDER_SCOPE)));
     Report::finish(raw, &files)
 }
 
@@ -484,5 +504,6 @@ pub fn run_paths(paths: &[PathBuf]) -> Report {
     raw.extend(charging::run(&ws, None));
     raw.extend(float_det::run(&ws, None));
     raw.extend(bounds::run(&ws, None));
+    raw.extend(wal_ordering::run(&ws, None));
     Report::finish(raw, &files)
 }

@@ -7,8 +7,8 @@
 #![forbid(unsafe_code)]
 
 use jits_lint::{
-    bounds, charging, epoch, float_det, lock_order, panics, repo_root, run_paths, run_repo, Report,
-    Severity,
+    bounds, charging, epoch, float_det, lock_order, panics, repo_root, run_paths, run_repo,
+    wal_ordering, Report, Severity,
 };
 use std::path::PathBuf;
 
@@ -372,6 +372,40 @@ fn bounds_fixture_is_flagged() {
 fn bounds_clean_twin_passes() {
     let report = run_paths(&[fixture("bounds_ok.rs")]);
     assert_totally_clean(&report, "bounds_ok.rs");
+}
+
+#[test]
+fn wal_ordering_fixture_is_flagged() {
+    let report = run_paths(&[fixture("wal_ordering_bad.rs")]);
+    let wo: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == wal_ordering::RULE)
+        .collect();
+    // mutate-then-log DDL, mutate-then-log bulk load, a statement path
+    // that never logs, and a clock bump ahead of its record
+    assert_eq!(wo.len(), 4, "expected 4 wal-ordering findings: {wo:#?}");
+    assert!(
+        wo.iter()
+            .any(|v| v.message.contains("`create_table`") && v.message.contains("before")),
+        "{wo:#?}"
+    );
+    assert!(
+        wo.iter()
+            .any(|v| v.message.contains("`execute`") && v.message.contains("never appends")),
+        "{wo:#?}"
+    );
+    assert!(
+        wo.iter().any(|v| v.message.contains("`runstats_all`")),
+        "{wo:#?}"
+    );
+    assert!(report.failed(false));
+}
+
+#[test]
+fn wal_ordering_clean_twin_passes() {
+    let report = run_paths(&[fixture("wal_ordering_ok.rs")]);
+    assert_totally_clean(&report, "wal_ordering_ok.rs");
 }
 
 #[test]

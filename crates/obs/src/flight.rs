@@ -18,10 +18,10 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::VecDeque;
 use std::path::PathBuf;
 
-/// Rank of the flight-recorder ring lock: above the registry (8), so the
+/// Rank of the flight-recorder ring lock: above the registry (9), so the
 /// recorder can be fed while holding any engine guard or registry handle,
 /// and nothing may be acquired while holding the ring.
-pub const RANK_FLIGHT: LockRank = LockRank::new(9, "flight");
+pub const RANK_FLIGHT: LockRank = LockRank::new(10, "flight");
 
 /// Retained events in the flight ring.
 pub const FLIGHT_CAPACITY: usize = 256;
@@ -151,7 +151,7 @@ impl FlightEvent {
 #[derive(Debug)]
 pub struct FlightRecorder {
     /// Named `flight` so the static lock-order pass attributes acquisitions
-    /// to the rank-9 `flight` component.
+    /// to the rank-10 `flight` component.
     flight: RwLock<VecDeque<FlightEvent>>,
     /// Where anomaly-triggered dumps land (none = no automatic dumps). Held
     /// in its own small mutex, never while the ring is held.

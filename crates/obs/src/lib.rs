@@ -171,6 +171,14 @@ impl Observability {
             .collect()
     }
 
+    /// Restores the per-table q-error aggregates from a recovery snapshot
+    /// (the inverse of [`Observability::qerror_stats`]). The aggregates are
+    /// decision-bearing — sensitivity scoring reads them to prioritize
+    /// mispredicted tables — so recovery must rebuild them exactly.
+    pub fn restore_qerror(&self, stats: Vec<(String, QErrorStat)>) {
+        *self.qerror.lock() = stats.into_iter().collect();
+    }
+
     /// Every per-table accuracy aggregate, in table-name order.
     pub fn qerror_stats(&self) -> Vec<(String, QErrorStat)> {
         self.qerror

@@ -21,10 +21,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Rank of the registry lock in the engine's global acquisition order: it
-/// sits *above* every engine lock (`catalog(1)` … `setting(7)`), so metric
-/// registration/snapshot is always legal while holding engine guards, and
-/// no engine lock may be acquired while holding the registry lock.
-pub const RANK_REGISTRY: LockRank = LockRank::new(8, "registry");
+/// sits *above* every engine lock (`catalog(1)` … `setting(7)`) and above
+/// the WAL lock (8), so metric registration/snapshot is always legal while
+/// holding engine or durability guards, and no engine lock may be acquired
+/// while holding the registry lock.
+pub const RANK_REGISTRY: LockRank = LockRank::new(9, "registry");
 
 /// Whether a metric is reproducible across runs and thread counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -196,7 +197,7 @@ pub fn histogram_quantile(buckets: &[(u64, u64)], count: u64, q: f64) -> u64 {
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     /// Named `registry` so the static lock-order pass attributes
-    /// acquisitions to the rank-8 `registry` component.
+    /// acquisitions to the rank-9 `registry` component.
     registry: RwLock<BTreeMap<String, Registered>>,
 }
 
@@ -248,6 +249,45 @@ impl MetricsRegistry {
         match &entry.instrument {
             Instrument::Histogram(core) => Histogram(Arc::clone(core)),
             _ => Histogram(Arc::new(HistogramCore::new())),
+        }
+    }
+
+    /// Restores metrics to absolute snapshot values (crash recovery only —
+    /// the inverse of [`MetricsRegistry::snapshot`] for the deterministic
+    /// subset). Each sample is registered under its recorded volatility and
+    /// overwritten with the snapshot reading; histogram buckets are rebuilt
+    /// from their `(exclusive upper bound, count)` pairs, which is exact
+    /// because bounds are the powers of two the log2 sketch emits.
+    pub fn restore(&self, samples: &[MetricSample]) {
+        for s in samples {
+            let vol = if s.volatile {
+                Volatility::Volatile
+            } else {
+                Volatility::Deterministic
+            };
+            match &s.value {
+                SampleValue::Counter(v) => self.counter(&s.name, vol).add(*v),
+                SampleValue::Gauge(v) => self.gauge(&s.name, vol).set(*v),
+                SampleValue::Histogram {
+                    count,
+                    sum,
+                    buckets,
+                } => {
+                    let h = self.histogram(&s.name, vol);
+                    for &(bound, n) in buckets {
+                        let idx = if bound == u64::MAX {
+                            HISTOGRAM_BUCKETS - 1
+                        } else {
+                            (bound.trailing_zeros() as usize)
+                                .saturating_sub(1)
+                                .min(HISTOGRAM_BUCKETS - 1)
+                        };
+                        h.0.buckets[idx].fetch_add(n, Ordering::Relaxed);
+                    }
+                    h.0.count.fetch_add(*count, Ordering::Relaxed);
+                    h.0.sum.fetch_add(*sum, Ordering::Relaxed);
+                }
+            }
         }
     }
 

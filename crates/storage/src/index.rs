@@ -102,6 +102,18 @@ impl SecondaryIndex {
             .unwrap_or(&[])
     }
 
+    /// Iterates `(key, rows)` in key order, each per-key row vector in its
+    /// stored (chronological append / `swap_remove`) order — the raw state
+    /// a checkpoint must capture. Re-inserting the pairs in this order into
+    /// an empty index (B-tree or hash) reproduces it bit-identically,
+    /// because `insert` appends to the per-key vector.
+    pub fn entries_in_order(&self) -> impl Iterator<Item = (&Value, &[RowId])> + '_ {
+        // `SecondaryIndex::map` is a BTreeMap (key order is deterministic);
+        // the HashMap also named `map` in this file is `HashIndex`'s
+        // jits-lint: allow(hash-iteration)
+        self.map.iter().map(|(k, v)| (&k.0, v.as_slice()))
+    }
+
     /// Rows whose key falls inside `interval`, in key order, streamed
     /// without materializing per-key vectors. Unbounded-on-both-ends
     /// intervals walk the tree lazily instead of allocating the full key

@@ -233,6 +233,13 @@ impl SampleCache {
         self.counters
     }
 
+    /// Restores the lifetime counters from a checkpoint. The counters are
+    /// decision-visible (metrics, `jits_sample_cache` view), so recovery
+    /// must resume them rather than restart from zero.
+    pub fn restore_counters(&mut self, counters: CacheCounters) {
+        self.counters = counters;
+    }
+
     /// Iterates the entries in table-id order (system-view substrate).
     pub fn entries(&self) -> impl Iterator<Item = (TableId, &CachedSample)> + '_ {
         self.entries.iter().map(|(tid, e)| (*tid, e))

@@ -4,9 +4,37 @@ use crate::column::Column;
 use crate::index::{HashIndex, SecondaryIndex};
 use crate::row::{Row, RowId};
 use crate::udi::UdiCounter;
-use crate::zonemap::{BlockSkipList, ZoneMaps, BLOCK_SIZE};
+use crate::zonemap::{BlockSkipList, ZoneMaps, ZoneSnapshot, BLOCK_SIZE};
 use jits_common::{ColumnId, Interval, JitsError, Result, Schema, Value};
 use std::collections::BTreeMap;
+
+/// Raw state of one table, produced by [`Table::snapshot`] for
+/// checkpointing. Everything history-dependent travels verbatim: dead
+/// slots (row ids must stay stable), the UDI triple, the lifetime
+/// mutation epoch (versions cached samples), per-key index row order
+/// (chronological append / `swap_remove` state), and the widen-only zone
+/// envelopes, so [`Table::from_snapshot`] reproduces the table
+/// bit-identically for every observable API.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSnapshot {
+    /// Table name.
+    pub name: String,
+    /// Table schema.
+    pub schema: Schema,
+    /// Every physical slot in `RowId` order: the row's values and its
+    /// live flag (dead slots keep their last values).
+    pub slots: Vec<(Vec<Value>, bool)>,
+    /// UDI counters as `(inserts, updates, deletes)`.
+    pub udi: (u64, u64, u64),
+    /// Lifetime mutation epoch.
+    pub epoch: u64,
+    /// Indexed columns with their B-tree entries in
+    /// [`SecondaryIndex::entries_in_order`] order; both index kinds are
+    /// rebuilt from the same entries.
+    pub indexes: Vec<(ColumnId, Vec<(Value, Vec<RowId>)>)>,
+    /// Per-block zone-map state.
+    pub zones: ZoneSnapshot,
+}
 
 /// An in-memory table.
 ///
@@ -309,6 +337,89 @@ impl Table {
         cols.sort_unstable();
         cols
     }
+
+    /// Raw state dump for checkpointing. Dead-slot cell values are read
+    /// through [`Column::get`], which canonicalizes invalid slots to
+    /// `Value::Null` — the only forms any reader of this table observes.
+    pub fn snapshot(&self) -> TableSnapshot {
+        TableSnapshot {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            slots: (0..self.live.len())
+                .map(|i| {
+                    (
+                        self.columns.iter().map(|c| c.get(i)).collect(),
+                        self.live[i],
+                    )
+                })
+                .collect(),
+            udi: (self.udi.inserts, self.udi.updates, self.udi.deletes),
+            epoch: self.epoch,
+            indexes: self
+                .indexes
+                .iter()
+                .map(|(cid, idx)| {
+                    (
+                        *cid,
+                        idx.entries_in_order()
+                            .map(|(v, rows)| (v.clone(), rows.to_vec()))
+                            .collect(),
+                    )
+                })
+                .collect(),
+            zones: self.zones.snapshot(),
+        }
+    }
+
+    /// Rebuilds a table from a [`Table::snapshot`]. Slots are pushed
+    /// directly into the column vectors (no epoch ticks, no index or zone
+    /// maintenance — those travel in the snapshot verbatim), then both
+    /// index kinds are rebuilt by re-inserting the snapshot's entries in
+    /// stored order, which reproduces their per-key row vectors exactly.
+    pub fn from_snapshot(s: TableSnapshot) -> Result<Table> {
+        let ncols = s.schema.len();
+        let mut t = Table::new(s.name, s.schema);
+        for (row, live) in s.slots {
+            if row.len() != ncols {
+                return Err(JitsError::Recovery(format!(
+                    "table '{}' snapshot slot has {} values for {} columns",
+                    t.name,
+                    row.len(),
+                    ncols
+                )));
+            }
+            for (col, v) in t.columns.iter_mut().zip(row) {
+                col.push(v).map_err(|e| {
+                    JitsError::Recovery(format!(
+                        "table '{}' snapshot value does not fit its column: {e}",
+                        t.name
+                    ))
+                })?;
+            }
+            t.live.push(live);
+            if live {
+                t.live_count += 1;
+            }
+        }
+        t.udi.inserts = s.udi.0;
+        t.udi.updates = s.udi.1;
+        t.udi.deletes = s.udi.2;
+        t.epoch = s.epoch;
+        for (cid, entries) in s.indexes {
+            let mut idx = SecondaryIndex::new();
+            let mut hash = HashIndex::new();
+            for (v, rows) in entries {
+                for r in rows {
+                    hash.insert(&v, r);
+                    idx.insert(v.clone(), r);
+                }
+            }
+            t.indexes.insert(cid, idx);
+            t.hash_indexes.insert(cid, hash);
+        }
+        t.zones = ZoneMaps::from_snapshot(s.zones);
+        Ok(t)
+    }
 }
 
 #[cfg(test)]
@@ -525,6 +636,54 @@ mod tests {
             let (b, h) = probe(&t, &Value::str(make));
             assert_eq!(b, h, "{make}: hash and B-tree must agree exactly");
         }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_bit_identical() {
+        let mut t = cars();
+        t.create_index(ColumnId(1)).unwrap();
+        // Exercise every history-dependent feature: widened zones, a
+        // tombstone, swap_remove'd index vectors, a NULL cell.
+        t.insert(vec![Value::Int(5), Value::str("Toyota"), Value::Int(1999)])
+            .unwrap();
+        t.update(0, ColumnId(2), Value::Int(2010)).unwrap();
+        t.update(2, ColumnId(1), Value::Null).unwrap();
+        t.delete(1);
+        let snap = t.snapshot();
+        let r = Table::from_snapshot(snap.clone()).unwrap();
+        assert_eq!(r.snapshot(), snap, "snapshot of the restore must match");
+        assert_eq!(r.name(), t.name());
+        assert_eq!(r.row_count(), t.row_count());
+        assert_eq!(r.slot_count(), t.slot_count());
+        assert_eq!(r.mutation_epoch(), t.mutation_epoch());
+        assert_eq!(r.udi().inserts, t.udi().inserts);
+        assert_eq!(r.udi().updates, t.udi().updates);
+        assert_eq!(r.udi().deletes, t.udi().deletes);
+        for i in 0..t.slot_count() as RowId {
+            assert_eq!(r.is_live(i), t.is_live(i));
+            assert_eq!(r.row(i), t.row(i), "slot {i} (dead slots included)");
+        }
+        // per-key index row order survives (swap_remove left [4, 0])
+        assert_eq!(
+            r.index(ColumnId(1)).unwrap().lookup_eq(&Value::str("Toyota")),
+            t.index(ColumnId(1)).unwrap().lookup_eq(&Value::str("Toyota")),
+        );
+        assert_eq!(
+            r.hash_index(ColumnId(1))
+                .unwrap()
+                .lookup_eq(&Value::str("Toyota")),
+            t.hash_index(ColumnId(1))
+                .unwrap()
+                .lookup_eq(&Value::str("Toyota")),
+        );
+        // widen-only zone envelope survives even though row 0 was updated
+        let skip = r.skip_list(&[(ColumnId(2), Interval::at_least(Value::Int(2006), true))]);
+        assert_eq!(skip.survivors, vec![0]);
+        assert_eq!(
+            r.zone_maps().snapshot(),
+            t.zone_maps().snapshot(),
+            "zone state is carried verbatim"
+        );
     }
 
     #[test]

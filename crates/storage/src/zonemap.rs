@@ -147,12 +147,63 @@ impl BlockSkipList {
     }
 }
 
+/// Raw state of one table's zone maps, produced by [`ZoneMaps::snapshot`].
+/// Zones are widen-only (deleted values keep widening history), so they are
+/// a function of the full mutation history and cannot be recomputed from
+/// live rows — a checkpoint must carry them verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneSnapshot {
+    /// Column count of the owning table.
+    pub ncols: usize,
+    /// Per block: exact live-row count, then per column
+    /// `(min, max, null_count)`.
+    pub blocks: Vec<(u32, Vec<(Option<Value>, Option<Value>, u32)>)>,
+}
+
 impl ZoneMaps {
     /// Empty zone maps for a table of `ncols` columns.
     pub fn new(ncols: usize) -> Self {
         ZoneMaps {
             ncols,
             blocks: Vec::new(),
+        }
+    }
+
+    /// Raw state dump for checkpointing.
+    pub fn snapshot(&self) -> ZoneSnapshot {
+        ZoneSnapshot {
+            ncols: self.ncols,
+            blocks: self
+                .blocks
+                .iter()
+                .map(|b| {
+                    (
+                        b.live_rows,
+                        b.cols
+                            .iter()
+                            .map(|c| (c.min.clone(), c.max.clone(), c.nulls))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds zone maps from a [`ZoneMaps::snapshot`], field for field.
+    pub fn from_snapshot(s: ZoneSnapshot) -> ZoneMaps {
+        ZoneMaps {
+            ncols: s.ncols,
+            blocks: s
+                .blocks
+                .into_iter()
+                .map(|(live_rows, cols)| BlockZone {
+                    live_rows,
+                    cols: cols
+                        .into_iter()
+                        .map(|(min, max, nulls)| ColumnZone { min, max, nulls })
+                        .collect(),
+                })
+                .collect(),
         }
     }
 

@@ -136,6 +136,11 @@ fn fault_matrix_every_query_still_returns_a_plan() {
 #[test]
 fn persistent_faults_degrade_and_are_attributed_in_the_view() {
     for point in FAULT_POINTS {
+        if point.starts_with("wal.") {
+            // WAL points only fire with a log attached; the recovery
+            // crash matrix (tests/recovery.rs) covers them.
+            continue;
+        }
         let spec = format!("{point}=after:0:inf");
         let plane = FaultPlane::from_spec(7, &spec).unwrap();
         // s_max = 0: collect on every query so each point is exercised
@@ -299,6 +304,17 @@ fn quarantine_and_rebuild_round_trip_restores_archive_stats() {
             "quarantine must schedule a rebuild"
         );
     }
+    // the flight recorder names the quarantined group and its checksum
+    // pair, so a --dump-flight after the fact explains the rebuild
+    let flight = db.obs().flight.to_json(true);
+    assert!(
+        flight.contains("quarantine"),
+        "quarantine must be flight-noted: {flight}"
+    );
+    assert!(
+        flight.contains("stored checksum") && flight.contains("rebuild scheduled"),
+        "the note must carry the checksum pair and the scheduled rebuild: {flight}"
+    );
 
     // 3. with the plane gone, the next collection rebuilds the group from
     //    the (unchanged) table and the stats come back bit-identical
